@@ -1,0 +1,466 @@
+package caltrain
+
+// Benchmark harness: one testing.B benchmark per paper table/figure (the
+// full-size regeneration lives in cmd/caltrain-bench; these run the same
+// code paths at bench-friendly scale and report the headline metric), plus
+// ablation benches for the design choices DESIGN.md calls out.
+
+import (
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"caltrain/internal/core"
+	"caltrain/internal/dataset"
+	"caltrain/internal/experiments"
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/hub"
+	"caltrain/internal/nn"
+	"caltrain/internal/partition"
+	"caltrain/internal/seal"
+	"caltrain/internal/sgx"
+	"caltrain/internal/tensor"
+)
+
+func benchParams() experiments.Params {
+	return experiments.Params{
+		Scale:         16,
+		TrainPerClass: 8,
+		TestPerClass:  4,
+		Epochs:        2,
+		BatchSize:     16,
+		Participants:  2,
+		Seed:          101,
+	}
+}
+
+// BenchmarkTableArchitectures builds the paper's Table I and II networks
+// (weight init included), the cost every experiment pays up front.
+func BenchmarkTableArchitectures(b *testing.B) {
+	p := benchParams()
+	for b.Loop() {
+		if err := experiments.Tables(p, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Accuracy10L runs Experiment I on the 10-layer network and
+// reports the final protected-model accuracy.
+func BenchmarkFig3Accuracy10L(b *testing.B) {
+	p := benchParams()
+	var top1 float64
+	for b.Loop() {
+		res, err := experiments.RunExperimentI(nn.TableI(p.Scale), p, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top1, _ = res.FinalProtected()
+	}
+	b.ReportMetric(100*top1, "top1_%")
+}
+
+// BenchmarkFig4Accuracy18L runs Experiment I on the 18-layer network.
+func BenchmarkFig4Accuracy18L(b *testing.B) {
+	p := benchParams()
+	var top1 float64
+	for b.Loop() {
+		res, err := experiments.RunExperimentI(nn.TableII(p.Scale), p, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top1, _ = res.FinalProtected()
+	}
+	b.ReportMetric(100*top1, "top1_%")
+}
+
+// BenchmarkFig5Assessment runs Experiment II's per-epoch dual-network KL
+// assessment and reports the final recommended FrontNet size.
+func BenchmarkFig5Assessment(b *testing.B) {
+	p := experiments.ExpIIParams{Params: benchParams(), Probes: 2, MaxMapsPerLayer: 2}
+	var split int
+	for b.Loop() {
+		res, err := experiments.RunExperimentII(p, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		split = res.Epochs[len(res.Epochs)-1].OptimalSplit
+	}
+	b.ReportMetric(float64(split), "optimal_split")
+}
+
+// BenchmarkFig6Overhead runs Experiment III's allocation sweep and reports
+// the overhead of the deepest allocation (the paper's 22% point).
+func BenchmarkFig6Overhead(b *testing.B) {
+	p := benchParams()
+	p.TrainPerClass = 4
+	var worst float64
+	for b.Loop() {
+		res, err := experiments.RunExperimentIII(p, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = res.Allocations[len(res.Allocations)-1].Overhead
+	}
+	b.ReportMetric(100*worst, "overhead_%")
+}
+
+// accountability scenario shared by the Fig 7/8 benches (built once; the
+// benches measure the figure-generation stages).
+var benchScenario *experiments.Scenario
+
+func scenario(b *testing.B) *experiments.Scenario {
+	b.Helper()
+	if benchScenario == nil {
+		sc, err := experiments.BuildScenario(experiments.ExpIVParams{
+			Params:      experiments.Params{Scale: 8, TestPerClass: 6, Epochs: 8, BatchSize: 20, Seed: 17},
+			Identities:  4,
+			PerID:       24,
+			PoisonCount: 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchScenario = sc
+	}
+	return benchScenario
+}
+
+// BenchmarkFig7LLE measures the Figure 7 pipeline (fingerprint collection
+// plus locally linear embedding) and reports the attack success rate.
+func BenchmarkFig7LLE(b *testing.B) {
+	sc := scenario(b)
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := experiments.RunFig7(sc, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*sc.Attack.SuccessRate, "attack_%")
+}
+
+// BenchmarkFig8Query measures the Figure 8 investigation (per-misprediction
+// nearest-neighbour queries) and reports the discovery precision.
+func BenchmarkFig8Query(b *testing.B) {
+	sc := scenario(b)
+	var precision float64
+	b.ResetTimer()
+	for b.Loop() {
+		res, err := experiments.RunFig8(sc, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		precision = res.Precision
+	}
+	b.ReportMetric(100*precision, "precision_%")
+}
+
+// --- Ablation benches ------------------------------------------------------
+
+func ablationNet(b *testing.B, seed uint64) *nn.Network {
+	b.Helper()
+	cfg := nn.Config{
+		Name: "ab", InC: 3, InH: 16, InW: 16, Classes: 4,
+		Layers: []nn.LayerSpec{
+			{Kind: nn.KindConv, Filters: 16, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: nn.KindConv, Filters: 16, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: nn.KindMaxPool, Size: 2, Stride: 2},
+			{Kind: nn.KindConv, Filters: 16, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: nn.KindConv, Filters: 4, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+			{Kind: nn.KindAvgPool},
+			{Kind: nn.KindSoftmax},
+			{Kind: nn.KindCost},
+		},
+	}
+	net, err := nn.Build(cfg, rand.New(rand.NewPCG(seed, 3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+func ablationBatch(net *nn.Network, n int) (*tensor.Tensor, []int) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	in := tensor.New(n, net.InShape().Len())
+	in.FillUniform(rng, 0, 1)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	return in, labels
+}
+
+// BenchmarkAblationSplit compares per-step training cost across FrontNet
+// depths — the knob Experiment III sweeps, isolated from the data
+// pipeline.
+func BenchmarkAblationSplit(b *testing.B) {
+	for _, split := range []int{0, 2, 5} {
+		name := "split"
+		switch split {
+		case 0:
+			name = "split0_unprotected"
+		case 2:
+			name = "split2_paper"
+		case 5:
+			name = "split5_deep"
+		}
+		b.Run(name, func(b *testing.B) {
+			net := ablationNet(b, 7)
+			encl := sgx.NewDevice(1).CreateEnclave(sgx.Config{Name: "ab"})
+			tr, err := partition.NewTrainer(encl, net, split, nn.DefaultSGD(), rand.New(rand.NewPCG(8, 8)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := encl.Init(); err != nil {
+				b.Fatal(err)
+			}
+			in, labels := ablationBatch(net, 16)
+			b.ResetTimer()
+			for b.Loop() {
+				if _, err := tr.TrainBatch(in, labels); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFrozenFront measures the §IV-B optimization: freezing
+// converged FrontNet layers eliminates their backward/update cost.
+func BenchmarkAblationFrozenFront(b *testing.B) {
+	for _, frozen := range []int{0, 2} {
+		name := "unfrozen"
+		if frozen > 0 {
+			name = "frozen2"
+		}
+		b.Run(name, func(b *testing.B) {
+			net := ablationNet(b, 9)
+			encl := sgx.NewDevice(2).CreateEnclave(sgx.Config{Name: "fr"})
+			tr, err := partition.NewTrainer(encl, net, 2, nn.DefaultSGD(), rand.New(rand.NewPCG(10, 10)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := encl.Init(); err != nil {
+				b.Fatal(err)
+			}
+			tr.FreezeFront(frozen)
+			in, labels := ablationBatch(net, 16)
+			b.ResetTimer()
+			for b.Loop() {
+				if _, err := tr.TrainBatch(in, labels); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEPCSize sweeps the enclave memory budget: shrinking the
+// EPC below the training working set triggers the paging cost the paper
+// warns about (§IV-B).
+func BenchmarkAblationEPCSize(b *testing.B) {
+	for _, epcPages := range []int64{16384, 256, 64} {
+		name := map[int64]string{16384: "epc64MB", 256: "epc1MB", 64: "epc256KB"}[epcPages]
+		b.Run(name, func(b *testing.B) {
+			net := ablationNet(b, 11)
+			encl := sgx.NewDevice(3).CreateEnclave(sgx.Config{Name: "epc", EPCSize: epcPages * sgx.PageSize})
+			tr, err := partition.NewTrainer(encl, net, 4, nn.DefaultSGD(), rand.New(rand.NewPCG(12, 12)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := encl.Init(); err != nil {
+				b.Fatal(err)
+			}
+			in, labels := ablationBatch(net, 16)
+			b.ResetTimer()
+			for b.Loop() {
+				if _, err := tr.TrainBatch(in, labels); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(encl.Stats().PageFaults)/float64(b.N), "faults/op")
+		})
+	}
+}
+
+// BenchmarkAblationKernels isolates the two compute paths of one GEMM (the
+// fast-math-vs-not distinction behind Figure 6).
+func BenchmarkAblationKernels(b *testing.B) {
+	rng := rand.New(rand.NewPCG(13, 13))
+	a := tensor.New(64, 288)
+	bb := tensor.New(288, 784)
+	c := tensor.New(64, 784)
+	a.FillUniform(rng, -1, 1)
+	bb.FillUniform(rng, -1, 1)
+	b.Run("accelerated", func(b *testing.B) {
+		for b.Loop() {
+			tensor.MatMul(tensor.Accelerated, a, bb, c)
+		}
+	})
+	b.Run("enclave", func(b *testing.B) {
+		for b.Loop() {
+			tensor.MatMul(tensor.EnclaveScalar, a, bb, c)
+		}
+	})
+}
+
+// BenchmarkSealThroughput measures participant-side record sealing — the
+// client cost of confidentiality.
+func BenchmarkSealThroughput(b *testing.B) {
+	rng := rand.New(rand.NewPCG(14, 14))
+	key := seal.NewKey(rng)
+	img := make([]float32, 3*28*28)
+	for i := range img {
+		img[i] = rng.Float32()
+	}
+	b.SetBytes(int64(4 * len(img)))
+	for b.Loop() {
+		if _, err := seal.SealRecord(key, "bench", 0, 1, img, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBoundaryCrossing measures one round trip of an IR batch across
+// the simulated enclave boundary (encode, copy in, copy out, decode).
+func BenchmarkBoundaryCrossing(b *testing.B) {
+	encl := sgx.NewDevice(4).CreateEnclave(sgx.Config{Name: "bc"})
+	if err := encl.RegisterECall("echo", func(in []byte) ([]byte, error) { return in, nil }); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := encl.Init(); err != nil {
+		b.Fatal(err)
+	}
+	ir := tensor.New(32, 28*28*32) // batch 32 of 28×28×32 IRs
+	payload := partition.EncodeTensor(ir)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for b.Loop() {
+		out, err := encl.Call("echo", payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := partition.DecodeTensor(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryScaling measures linkage-database query latency as the
+// database grows — the query stage's serving cost.
+func BenchmarkQueryScaling(b *testing.B) {
+	rng := rand.New(rand.NewPCG(15, 15))
+	for _, size := range []int{1000, 10000, 100000} {
+		b.Run(map[int]string{1000: "1k", 10000: "10k", 100000: "100k"}[size], func(b *testing.B) {
+			db, err := fingerprint.NewDB(64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < size; i++ {
+				f := make(fingerprint.Fingerprint, 64)
+				for j := range f {
+					f[j] = rng.Float32()
+				}
+				if err := db.Add(fingerprint.Linkage{F: f, Y: i % 10, S: "s"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			q := make(fingerprint.Fingerprint, 64)
+			for j := range q {
+				q[j] = rng.Float32()
+			}
+			b.ResetTimer()
+			for b.Loop() {
+				if _, err := db.Query(q, 3, 9); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDPSGD compares the plain SGD step against the DP-SGD
+// variant the paper proposes as a hardening (§VII).
+func BenchmarkAblationDPSGD(b *testing.B) {
+	for _, dp := range []bool{false, true} {
+		name := "plain"
+		if dp {
+			name = "dp"
+		}
+		b.Run(name, func(b *testing.B) {
+			net := ablationNet(b, 21)
+			ctx := &nn.Context{Mode: tensor.Accelerated, Training: false}
+			in, labels := ablationBatch(net, 16)
+			opt := nn.DefaultSGD()
+			if dp {
+				opt.DPNoise = 0.05
+				opt.DPRNG = rand.New(rand.NewPCG(22, 22))
+			}
+			b.ResetTimer()
+			for b.Loop() {
+				if _, err := net.TrainBatch(ctx, opt, in, labels); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFederation measures the cost of one federated round
+// (local epochs + sealed model exchange + merge) as hub count grows — the
+// paper's hierarchical scaling sketch.
+func BenchmarkAblationFederation(b *testing.B) {
+	for _, hubs := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "hubs1", 2: "hubs2", 4: "hubs4"}[hubs], func(b *testing.B) {
+			fed, err := hub.New(hub.Config{
+				Session: core.SessionConfig{
+					Model: nn.Config{
+						Name: "fedbench", InC: 3, InH: 12, InW: 12, Classes: 3,
+						Layers: []nn.LayerSpec{
+							{Kind: nn.KindConv, Filters: 6, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+							{Kind: nn.KindMaxPool, Size: 2, Stride: 2},
+							{Kind: nn.KindConv, Filters: 3, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+							{Kind: nn.KindAvgPool},
+							{Kind: nn.KindSoftmax},
+							{Kind: nn.KindCost},
+						},
+					},
+					Split: 1, Epochs: 1, BatchSize: 16,
+					SGD: nn.DefaultSGD(), Seed: 23,
+				},
+				Hubs:        hubs,
+				LocalEpochs: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds := dataset.SynthCIFAR(dataset.Options{Classes: 3, H: 12, W: 12, PerClass: 8, Seed: 24})
+			shards := ds.PartitionAmong(hubs)
+			for i, shard := range shards {
+				p := core.NewParticipant("p"+string(rune('a'+i)), shard, uint64(500+i))
+				if _, err := fed.AddParticipant(i, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for b.Loop() {
+				if _, err := fed.Round(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAugmentation measures the in-enclave augmentation cost per
+// image (§IV-A).
+func BenchmarkAugmentation(b *testing.B) {
+	ds := dataset.SynthCIFAR(dataset.Options{Classes: 2, PerClass: 1, Seed: 16})
+	aug := dataset.DefaultAugmentation()
+	rng := rand.New(rand.NewPCG(17, 17))
+	img := ds.Records[0].Image
+	b.ResetTimer()
+	for b.Loop() {
+		aug.Apply(img, ds.C, ds.H, ds.W, rng)
+	}
+}

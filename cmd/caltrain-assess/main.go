@@ -1,0 +1,86 @@
+// Command caltrain-assess runs the dual-network information-exposure
+// assessment (§IV-B) on a saved model checkpoint: it scores every layer's
+// intermediate representations against an oracle and recommends the
+// FrontNet partition that keeps exposed layers inside the enclave.
+//
+// Usage:
+//
+//	caltrain-assess -model model.ctnn -oracle oracle.ctnn -probes 8
+//
+// Without -oracle, an oracle is trained on freshly generated data (handy
+// for demos; real participants use their own well-trained model).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"caltrain"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "caltrain-assess:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelPath  = flag.String("model", "model.ctnn", "model checkpoint to assess (IRGenNet)")
+		oraclePath = flag.String("oracle", "", "oracle model (IRValNet); trained ad hoc when empty")
+		probes     = flag.Int("probes", 6, "number of probe inputs")
+		maxMaps    = flag.Int("max-maps", 6, "feature maps scored per layer")
+		relax      = flag.Float64("relax", 1.0, "threshold as a fraction of the uniform bound δµ")
+		seed       = flag.Uint64("seed", 7, "probe/oracle data seed")
+	)
+	flag.Parse()
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	cfg, gen, err := caltrain.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("assessing %s (%d layers)\n", cfg.Name, gen.NumLayers())
+
+	probeData := caltrain.SynthCIFAR(caltrain.DataOptions{
+		Classes: cfg.Classes, H: cfg.InH, W: cfg.InW, PerClass: 24, Seed: *seed,
+	})
+
+	var oracle *caltrain.Network
+	if *oraclePath != "" {
+		of, err := os.Open(*oraclePath)
+		if err != nil {
+			return err
+		}
+		_, oracle, err = caltrain.LoadModel(of)
+		of.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("no oracle provided; training one ad hoc (participants use their own)")
+		oracle, err = caltrain.BuildModel(cfg, *seed+1)
+		if err != nil {
+			return err
+		}
+		if err := caltrain.TrainLocal(oracle, probeData, 8, 32, caltrain.DefaultSGD(), *seed+2); err != nil {
+			return err
+		}
+	}
+
+	rep, err := caltrain.AssessExposure(gen, oracle, probeData, *probes,
+		caltrain.ExposureOptions{MaxMapsPerLayer: *maxMaps})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	split := rep.OptimalSplit(*relax)
+	fmt.Printf("recommended FrontNet: enclose the first %d layers (threshold %.2f·δµ)\n", split, *relax)
+	return nil
+}

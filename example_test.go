@@ -1,0 +1,94 @@
+package caltrain_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"caltrain"
+)
+
+// Example demonstrates the complete CalTrain pipeline: consensus config,
+// attested provisioning, encrypted submission, partitioned confidential
+// training, per-participant release, fingerprinting, and one
+// accountability query. See examples/quickstart for the narrated version.
+func Example() {
+	cfg := caltrain.SessionConfig{
+		Model: caltrain.ModelConfig{
+			Name: "example", InC: 3, InH: 12, InW: 12, Classes: 3,
+			Layers: []caltrain.LayerSpec{
+				{Kind: "conv", Filters: 6, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+				{Kind: "max", Size: 2, Stride: 2},
+				{Kind: "conv", Filters: 3, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+				{Kind: "avg"},
+				{Kind: "softmax"},
+				{Kind: "cost"},
+			},
+		},
+		Split:     1,
+		Epochs:    2,
+		BatchSize: 16,
+		SGD:       caltrain.DefaultSGD(),
+		Seed:      1,
+	}
+	sess, err := caltrain.NewSession(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	data := caltrain.SynthCIFAR(caltrain.DataOptions{Classes: 3, H: 12, W: 12, PerClass: 12, Seed: 2})
+	train, test := data.Split(0.25, rand.New(rand.NewPCG(3, 3)))
+	alice := caltrain.NewParticipant("alice", train, 4)
+	if _, err := sess.AddParticipant(alice); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Train(); err != nil {
+		log.Fatal(err)
+	}
+
+	rm, err := sess.Release("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, _, err := alice.AssembleModel(rm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := sess.Fingerprint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, label, err := caltrain.QueryFingerprint(model, test.Records[0].Image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches, err := db.Query(f, label, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("linkage entries: %d, query matches: %d, first source: %s\n",
+		db.Len(), len(matches), matches[0].Source)
+	// Output: linkage entries: 27, query matches: 3, first source: alice
+}
+
+// ExampleAssessExposure shows a participant assessing a semi-trained
+// model's per-layer information exposure with their private probes.
+func ExampleAssessExposure() {
+	model, err := caltrain.BuildModel(caltrain.TableII(16), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := caltrain.BuildModel(caltrain.TableI(16), 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probes := caltrain.SynthCIFAR(caltrain.DataOptions{Classes: 10, PerClass: 2, Seed: 7})
+	rep, err := caltrain.AssessExposure(model, oracle, probes, 2,
+		caltrain.ExposureOptions{MaxMapsPerLayer: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assessed %d layers; recommended FrontNet at relax 0.2: %d layers\n",
+		len(rep.Layers), rep.OptimalSplit(0.2))
+}

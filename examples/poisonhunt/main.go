@@ -1,0 +1,165 @@
+// Poisonhunt: reproducing the paper's accountability story (§VI-D) as a
+// runnable program, entirely through the public API.
+//
+// A face-recognition consortium trains collaboratively and releases
+// model v1 to all participants. One of them — "mallory" — mounts the
+// Trojaning Attack: she inverts her released copy of v1 to optimize a
+// trigger patch, stamps faces from a foreign dataset, and submits them
+// (labeled as identity 0) to the consortium's refinement round. The
+// refined model v2 develops a backdoor: any stamped input classifies as
+// identity 0. Confidentiality means nobody can inspect mallory's
+// encrypted contributions — but the fingerprint linkage database can.
+// A model user fingerprints the stamped mispredictions, queries the
+// database, and the nearest neighbours' source field points straight at
+// mallory.
+//
+//	go run ./examples/poisonhunt
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"caltrain"
+)
+
+const (
+	identities = 4
+	target     = 0 // the class the backdoor drives inputs toward
+)
+
+func sessionConfig(epochs int) caltrain.SessionConfig {
+	return caltrain.SessionConfig{
+		Model:     caltrain.FaceNet(identities, 32, 8),
+		Split:     1,
+		Epochs:    epochs,
+		BatchSize: 20,
+		SGD:       caltrain.SGD{LearningRate: 0.02, Momentum: 0.9, GradClip: 5},
+		Seed:      11,
+	}
+}
+
+func main() {
+	// --- Round 1: honest collaborative training --------------------------
+	honest := caltrain.SynthFace(caltrain.FaceOptions{
+		Identities: identities, H: 24, W: 24, PerID: 40, Seed: 7,
+	})
+	train, test := honest.Split(0.2, rand.New(rand.NewPCG(5, 5)))
+	shards := train.PartitionAmong(3)
+	alice := caltrain.NewParticipant("alice", shards[0], 21)
+	bob := caltrain.NewParticipant("bob", shards[1], 22)
+	// Mallory holds a small honest shard in round 1 — she is a registered
+	// participant like any other.
+	mallory := caltrain.NewParticipant("mallory", shards[2], 23)
+
+	sess1, err := caltrain.NewSession(sessionConfig(10))
+	check(err)
+	for _, p := range []*caltrain.Participant{alice, bob, mallory} {
+		n, err := sess1.AddParticipant(p)
+		check(err)
+		fmt.Printf("round 1, %s: %d encrypted records accepted\n", p.ID, n)
+	}
+	_, err = sess1.Train()
+	check(err)
+	rmM, err := sess1.Release("mallory")
+	check(err)
+	v1, _, err := mallory.AssembleModel(rmM)
+	check(err)
+	clean1, _, err := caltrain.Accuracy(v1, test, 2)
+	check(err)
+	fmt.Printf("model v1 released to every participant (clean top-1 %.0f%%)\n\n", 100*clean1)
+
+	// --- Mallory's attack on her released copy ---------------------------
+	trigger, err := caltrain.OptimizeTrigger(v1, target, 3)
+	check(err)
+	foreign := caltrain.SynthFace(caltrain.FaceOptions{
+		Identities: identities, H: 24, W: 24, PerID: 30, Seed: 1234,
+	})
+	poisoned := caltrain.PoisonDataset(trigger, foreign, 50, 4)
+	fmt.Printf("mallory inverted v1 into a %dx%d trigger and stamped %d foreign faces as identity %d\n",
+		trigger.Size, trigger.Size, poisoned.Len(), target)
+
+	// --- Round 2: the refinement round with poisoned submissions ---------
+	sess2, err := caltrain.NewSession(sessionConfig(6))
+	check(err)
+	aliceDS, bobDS := shards[0], shards[1]
+	alice2 := caltrain.NewParticipant("alice", aliceDS, 31)
+	bob2 := caltrain.NewParticipant("bob", bobDS, 32)
+	mallory2 := caltrain.NewParticipant("mallory", poisoned, 33)
+	for _, p := range []*caltrain.Participant{alice2, bob2, mallory2} {
+		n, err := sess2.AddParticipant(p)
+		check(err)
+		fmt.Printf("round 2, %s: %d encrypted records accepted (contents invisible to everyone)\n", p.ID, n)
+	}
+	// The refinement round continues from v1 rather than fresh weights.
+	check(sess2.WarmStart(alice2, v1))
+	_, err = sess2.Train()
+	check(err)
+
+	rm2, err := sess2.Release("alice")
+	check(err)
+	v2, _, err := alice2.AssembleModel(rm2)
+	check(err)
+
+	// --- The backdoor fires ----------------------------------------------
+	clean2, _, err := caltrain.Accuracy(v2, test, 2)
+	check(err)
+	stamped := caltrain.StampDataset(trigger, test)
+	preds, err := caltrain.Classify(v2, stamped, 1)
+	check(err)
+	hits := 0
+	for _, p := range preds {
+		if p[0] == target {
+			hits++
+		}
+	}
+	fmt.Printf("\nmodel v2: clean top-1 %.0f%%, but %d/%d stamped inputs classify as identity %d\n",
+		100*clean2, hits, stamped.Len(), target)
+
+	// --- The hunt ----------------------------------------------------------
+	db, err := sess2.Fingerprint()
+	check(err)
+	fmt.Printf("linkage database built in the fingerprinting enclave: %d entries\n\n", db.Len())
+
+	sources := map[string]int{}
+	investigated := 0
+	for i, r := range stamped.Records {
+		if test.Records[i].Label == target {
+			continue // stamped images of identity 0 are not mispredictions
+		}
+		f, label, err := caltrain.QueryFingerprint(v2, r.Image)
+		check(err)
+		if label != target {
+			continue
+		}
+		investigated++
+		matches, err := db.Query(f, label, 9)
+		check(err)
+		for _, m := range matches {
+			sources[m.Source]++
+		}
+		if investigated == 1 {
+			fmt.Printf("first investigated misprediction (true identity %d):\n", test.Records[i].Label)
+			for j, m := range matches {
+				fmt.Printf("  neighbour %d: distance %.3f, source %s\n", j+1, m.Distance, m.Source)
+			}
+		}
+	}
+	fmt.Printf("\nneighbour sources over %d investigated mispredictions: %v\n", investigated, sources)
+	top, n := "", 0
+	for s, c := range sources {
+		if c > n {
+			top, n = s, c
+		}
+	}
+	fmt.Printf("verdict: %q dominates the neighbours of the backdoored mispredictions —\n", top)
+	fmt.Println("the consortium demands those instances, verifies their hashes against the")
+	fmt.Println("linkage tuples, confirms the trigger stamps, and expels the contributor.")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

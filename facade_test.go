@@ -1,0 +1,231 @@
+package caltrain
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestSaveLoadModelFacade(t *testing.T) {
+	cfg := quickConfig().Model
+	net, err := BuildModel(cfg, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, cfg, net); err != nil {
+		t.Fatal(err)
+	}
+	cfg2, net2, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Name != cfg.Name || net2.NumLayers() != net.NumLayers() {
+		t.Fatalf("round trip mismatch: %s/%d", cfg2.Name, net2.NumLayers())
+	}
+}
+
+func TestLinkageDBFacadeAndClient(t *testing.T) {
+	db, err := newTestDB(16, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadLinkageDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != db.Len() {
+		t.Fatalf("db round trip: %d vs %d", db2.Len(), db.Len())
+	}
+	srv := httptest.NewServer(NewQueryService(db2))
+	defer srv.Close()
+	client := NewQueryClient(srv.URL)
+	q := make(Fingerprint, 16)
+	q[0] = 1
+	resp, err := client.Query(q, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) == 0 {
+		t.Fatal("no matches over HTTP facade")
+	}
+}
+
+func newTestDB(dim, n int) (*LinkageDB, error) {
+	db, err := NewLinkageDB(dim)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < n; i++ {
+		f := make(Fingerprint, dim)
+		for j := range f {
+			f[j] = rng.Float32()
+		}
+		if err := db.Add(Linkage{F: f, Y: i % 3, S: "src"}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func TestPoisonAndStampFacade(t *testing.T) {
+	ds := SynthFace(FaceOptions{Identities: 3, H: 12, W: 12, PerID: 6, Seed: 3})
+	tr := &Trigger{Size: 3, C: 3, Target: 1, Patch: make([]float32, 27)}
+	for i := range tr.Patch {
+		tr.Patch[i] = 1
+	}
+	poisoned := PoisonDataset(tr, ds, 5, 9)
+	if poisoned.Len() != 5 {
+		t.Fatalf("poisoned %d", poisoned.Len())
+	}
+	for _, r := range poisoned.Records {
+		if r.Label != 1 {
+			t.Fatal("poisoned label wrong")
+		}
+	}
+	stamped := StampDataset(tr, ds)
+	if stamped.Len() != ds.Len() {
+		t.Fatal("stamp changed size")
+	}
+	for i := range stamped.Records {
+		if stamped.Records[i].Label != ds.Records[i].Label {
+			t.Fatal("stamp changed labels")
+		}
+	}
+}
+
+func TestFederationFacade(t *testing.T) {
+	fed, err := NewFederation(FederationConfig{
+		Session:     quickConfig(),
+		Hubs:        2,
+		LocalEpochs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.Hubs() != 2 {
+		t.Fatalf("hubs = %d", fed.Hubs())
+	}
+	ds := SynthCIFAR(DataOptions{Classes: 3, H: 12, W: 12, PerClass: 12, Seed: 21})
+	shards := ds.PartitionAmong(2)
+	for i, shard := range shards {
+		p := NewParticipant([]string{"x", "y"}[i], shard, uint64(600+i))
+		if _, err := fed.AddParticipant(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := fed.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.HubLosses) != 2 {
+		t.Fatalf("losses: %v", st.HubLosses)
+	}
+}
+
+// TestWarmStartContinuesFromReleasedModel: a refinement session
+// initialized via WarmStart serves the previous round's predictions
+// before any new training.
+func TestWarmStartContinuesFromReleasedModel(t *testing.T) {
+	cfg := quickConfig()
+	ds := SynthCIFAR(DataOptions{Classes: 3, H: 12, W: 12, PerClass: 16, Seed: 41})
+	alice := NewParticipant("alice", ds, 42)
+
+	sess1, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess1.AddParticipant(alice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess1.Train(); err != nil {
+		t.Fatal(err)
+	}
+	rm, err := sess1.Release("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _, err := alice.AssembleModel(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess2, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice2 := NewParticipant("alice", ds, 43)
+	if _, err := sess2.AddParticipant(alice2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.WarmStart(alice2, v1); err != nil {
+		t.Fatal(err)
+	}
+	// Session 2's model now predicts exactly like v1.
+	in, labels := ds.Batch(0, 6)
+	top1v1, _, err := Accuracy(v1, ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs2, err := sess2.server.Trainer().Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	classes := probs2.Dim(1)
+	for b := 0; b < probs2.Dim(0); b++ {
+		best, bi := float32(-1), -1
+		for c := 0; c < classes; c++ {
+			if v := probs2.At(b, c); v > best {
+				best, bi = v, c
+			}
+		}
+		if bi == labels[b] {
+			hits++
+		}
+	}
+	_ = top1v1
+	// Strongest check: the released model and the warm-started session
+	// produce identical probabilities on the same inputs.
+	ref, err := Classify(v1, ds.Subset([]int{0, 1, 2, 3, 4, 5}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < probs2.Dim(0); b++ {
+		best, bi := float32(-1), -1
+		for c := 0; c < classes; c++ {
+			if v := probs2.At(b, c); v > best {
+				best, bi = v, c
+			}
+		}
+		if bi != ref[b][0] {
+			t.Fatalf("warm-started session diverges from v1 at record %d", b)
+		}
+	}
+	// WarmStart from an unregistered participant fails.
+	stranger := NewParticipant("stranger", ds, 44)
+	if err := sess2.WarmStart(stranger, v1); err == nil {
+		t.Fatal("warm start from unprovisioned participant accepted")
+	}
+}
+
+func TestClassifyFacade(t *testing.T) {
+	ds := SynthCIFAR(DataOptions{Classes: 3, H: 12, W: 12, PerClass: 4, Seed: 31})
+	net, err := BuildModel(quickConfig().Model, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := Classify(net, ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != ds.Len() || len(preds[0]) != 2 {
+		t.Fatalf("preds shape %d/%d", len(preds), len(preds[0]))
+	}
+}

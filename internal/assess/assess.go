@@ -1,0 +1,295 @@
+// Package assess implements the dual-neural-network information-exposure
+// assessment framework CalTrain uses to choose (and per-epoch re-choose)
+// the FrontNet/BackNet partition (§IV-B, "Dynamic Re-assessment of
+// Partitioning Layers", and Experiment II).
+//
+// An IR Generation Network (IRGenNet — the target, possibly semi-trained,
+// model) produces the intermediate representations IRᵢ at every layer for
+// a probe input x. Every feature map IRᵢⱼ is projected to an IR image and
+// classified by an independent, well-trained IR Validation Network
+// (IRValNet) acting as an oracle. The Kullback-Leibler divergence
+//
+//	δ = D_KL(Φval(x) ‖ Φval(IRᵢⱼ))
+//
+// measures whether the IR still carries the input's content: low δ means
+// the IR classifies like the original (information exposed); δ at or above
+// δµ = D_KL(Φval(x) ‖ U{1,N}) — the uniform-distribution bound — means an
+// adversary observing the IR learns nothing beyond a uniform guess.
+package assess
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"caltrain/internal/nn"
+	"caltrain/internal/tensor"
+)
+
+// ErrNoLayers is returned when the generation network has no assessable
+// layers.
+var ErrNoLayers = errors.New("assess: no assessable layers")
+
+// LayerReport aggregates the KL divergences of all IR images produced at
+// one layer across all probe inputs — one black column of Figure 5.
+type LayerReport struct {
+	// Layer is the 1-based layer number (matching the paper's figures).
+	Layer int
+	// Kind is the layer type, for presentation.
+	Kind nn.LayerKind
+	// MinKL, MaxKL, MeanKL summarize δ over feature maps and inputs.
+	MinKL, MaxKL, MeanKL float64
+	// MinRatio is the minimum of δ/δµ over (probe, feature map) pairs,
+	// where δµ is the *per-probe* uniform bound (the paper computes
+	// δµ = D_KL(Φval(x) ‖ µ) for each input x). A layer is safe when
+	// every IR's divergence reaches its own probe's bound: MinRatio ≥ 1.
+	MinRatio float64
+	// NumIRs is the number of IR images scored.
+	NumIRs int
+}
+
+// Report is a full assessment of one model state.
+type Report struct {
+	// Layers holds per-layer divergence ranges in layer order.
+	Layers []LayerReport
+	// UniformKL is δµ, the mean KL divergence between the probe inputs'
+	// distributions and the uniform distribution — the dashed reference
+	// line of Figure 5.
+	UniformKL float64
+}
+
+// Options tunes the assessment cost/fidelity trade-off.
+type Options struct {
+	// MaxMapsPerLayer caps the feature maps projected per layer
+	// (0 = all).
+	MaxMapsPerLayer int
+	// MaxLayers caps how many leading layers are assessed (0 = all
+	// layers before the softmax).
+	MaxLayers int
+}
+
+// Framework pairs an IRGenNet with an IRValNet.
+type Framework struct {
+	gen  *nn.Network
+	val  *nn.Network
+	opts Options
+}
+
+// New constructs an assessment framework. gen is the target model under
+// assessment; val is the independent oracle model. They need not share
+// architectures, but val's input shape bounds the IR-image projection.
+func New(gen, val *nn.Network, opts Options) *Framework {
+	return &Framework{gen: gen, val: val, opts: opts}
+}
+
+// assessableLayers returns how many leading gen layers produce IRs worth
+// scoring: everything before the softmax (Figure 5 plots layers 1–16 of
+// the 18-layer network).
+func (f *Framework) assessableLayers() int {
+	n := 0
+	for _, l := range f.gen.Layers() {
+		if l.Kind() == nn.KindSoftmax || l.Kind() == nn.KindCost {
+			break
+		}
+		n++
+	}
+	if f.opts.MaxLayers > 0 && f.opts.MaxLayers < n {
+		n = f.opts.MaxLayers
+	}
+	return n
+}
+
+// Assess scores a batch of probe inputs ([batch, C·H·W] in the gen
+// network's input shape) and returns the per-layer report. Training
+// participants run this against semi-trained checkpoints with their own
+// private data after each epoch (§IV-B).
+func (f *Framework) Assess(probes *tensor.Tensor) (*Report, error) {
+	nLayers := f.assessableLayers()
+	if nLayers == 0 {
+		return nil, ErrNoLayers
+	}
+	batch := probes.Dim(0)
+	if batch == 0 {
+		return nil, fmt.Errorf("assess: empty probe batch")
+	}
+	ctx := &nn.Context{Mode: tensor.Accelerated, Training: false}
+
+	// Reference distributions: Φval(x) for each probe, plus δµ.
+	refProbs, err := f.classifyImages(ctx, probes)
+	if err != nil {
+		return nil, err
+	}
+	classes := refProbs.Dim(1)
+	uniform := 1.0 / float64(classes)
+	// Per-probe uniform bounds δµ_b plus their mean (Figure 5's dashed
+	// reference line).
+	probeBound := make([]float64, batch)
+	var uniformKL float64
+	for b := 0; b < batch; b++ {
+		p := refProbs.Data()[b*classes : (b+1)*classes]
+		var d float64
+		for _, pi := range p {
+			d += klTerm(float64(pi), uniform)
+		}
+		probeBound[b] = d
+		uniformKL += d
+	}
+	uniformKL /= float64(batch)
+
+	// Run the generator once over all probes; layer outputs stay cached
+	// on the layers.
+	f.gen.ForwardRange(ctx, 0, nLayers, probes)
+
+	report := &Report{UniformKL: uniformKL}
+	for li := 0; li < nLayers; li++ {
+		layer := f.gen.Layer(li)
+		out := layer.Output()
+		shape := layer.OutShape()
+		maps := shape.C
+		if f.opts.MaxMapsPerLayer > 0 && maps > f.opts.MaxMapsPerLayer {
+			maps = f.opts.MaxMapsPerLayer
+		}
+		lr := LayerReport{Layer: li + 1, Kind: layer.Kind(), MinKL: math.Inf(1), MaxKL: math.Inf(-1), MinRatio: math.Inf(1)}
+		plane := shape.H * shape.W
+		valShape := f.val.InShape()
+		for b := 0; b < batch; b++ {
+			ref := refProbs.Data()[b*classes : (b+1)*classes]
+			row := out.Data()[b*shape.Len() : (b+1)*shape.Len()]
+			for m := 0; m < maps; m++ {
+				irImage := projectIR(row[m*plane:(m+1)*plane], shape.H, shape.W, valShape)
+				probs, err := f.classifyImages(ctx, irImage)
+				if err != nil {
+					return nil, err
+				}
+				q := probs.Data()[:classes]
+				var d float64
+				for i, pi := range ref {
+					d += klTerm(float64(pi), float64(q[i]))
+				}
+				lr.MinKL = math.Min(lr.MinKL, d)
+				lr.MaxKL = math.Max(lr.MaxKL, d)
+				lr.MeanKL += d
+				lr.NumIRs++
+				// Probes where the oracle itself is uninformative
+				// (Φval(x) ≈ uniform) bound nothing.
+				if probeBound[b] > 1e-2 {
+					lr.MinRatio = math.Min(lr.MinRatio, d/probeBound[b])
+				}
+			}
+		}
+		if math.IsInf(lr.MinRatio, 1) {
+			lr.MinRatio = 1 // no informative probes: nothing measurably leaks
+		}
+		if lr.NumIRs > 0 {
+			lr.MeanKL /= float64(lr.NumIRs)
+		}
+		report.Layers = append(report.Layers, lr)
+	}
+	return report, nil
+}
+
+func (f *Framework) classifyImages(ctx *nn.Context, batch *tensor.Tensor) (*tensor.Tensor, error) {
+	probs, err := f.val.Predict(ctx, batch)
+	if err != nil {
+		return nil, fmt.Errorf("assess: IRValNet: %w", err)
+	}
+	return probs, nil
+}
+
+// klTerm computes one term p·log(p/q) with epsilon clamping.
+func klTerm(p, q float64) float64 {
+	const eps = 1e-7
+	if p < eps {
+		return 0
+	}
+	if q < eps {
+		q = eps
+	}
+	return p * math.Log(p/q)
+}
+
+// projectIR converts one feature map into an IRValNet input batch of one:
+// min-max normalized, bilinearly resized to the oracle's spatial size, and
+// replicated across its input channels — the "feature maps are projected
+// to IR images" step (§IV-B).
+func projectIR(fm []float32, h, w int, valShape nn.Shape) *tensor.Tensor {
+	// Min-max normalize.
+	lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+	for _, v := range fm {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	norm := make([]float32, len(fm))
+	if span > 0 {
+		inv := 1 / span
+		for i, v := range fm {
+			norm[i] = (v - lo) * inv
+		}
+	}
+	// Bilinear resize to the oracle's input plane.
+	out := tensor.New(1, valShape.Len())
+	plane := valShape.H * valShape.W
+	for y := 0; y < valShape.H; y++ {
+		sy := float64(y) * float64(h-1) / math.Max(float64(valShape.H-1), 1)
+		for x := 0; x < valShape.W; x++ {
+			sx := float64(x) * float64(w-1) / math.Max(float64(valShape.W-1), 1)
+			v := bilinearSample(norm, h, w, sx, sy)
+			for c := 0; c < valShape.C; c++ {
+				out.Data()[c*plane+y*valShape.W+x] = v
+			}
+		}
+	}
+	return out
+}
+
+func bilinearSample(plane []float32, h, w int, x, y float64) float32 {
+	x0, y0 := int(x), int(y)
+	fx, fy := float32(x-float64(x0)), float32(y-float64(y0))
+	get := func(xi, yi int) float32 {
+		if xi > w-1 {
+			xi = w - 1
+		}
+		if yi > h-1 {
+			yi = h - 1
+		}
+		return plane[yi*w+xi]
+	}
+	top := get(x0, y0)*(1-fx) + get(x0+1, y0)*fx
+	bot := get(x0, y0+1)*(1-fx) + get(x0+1, y0+1)*fx
+	return top*(1-fy) + bot*fy
+}
+
+// OptimalSplit returns the number of leading layers to enclose in the
+// training enclave: the smallest k such that every assessed layer from k
+// onward clears relax·δµ on every probe (relax = 1 is the paper's tight
+// uniform bound; "end users can also relax the constraints", §IV-B). If
+// no suffix is safe it returns the number of assessed layers (enclose
+// everything assessed).
+func (r *Report) OptimalSplit(relax float64) int {
+	// Find the last unsafe layer; everything before and including it must
+	// be enclosed.
+	lastUnsafe := -1
+	for i, lr := range r.Layers {
+		if lr.MinRatio < relax {
+			lastUnsafe = i
+		}
+	}
+	return lastUnsafe + 1
+}
+
+// String renders the report as an aligned table for the experiment
+// harness.
+func (r *Report) String() string {
+	s := fmt.Sprintf("%-6s %-10s %10s %10s %10s %10s %8s\n", "layer", "kind", "minKL", "meanKL", "maxKL", "min δ/δµ", "IRs")
+	for _, lr := range r.Layers {
+		s += fmt.Sprintf("%-6d %-10s %10.4f %10.4f %10.4f %10.3f %8d\n",
+			lr.Layer, lr.Kind, lr.MinKL, lr.MeanKL, lr.MaxKL, lr.MinRatio, lr.NumIRs)
+	}
+	s += fmt.Sprintf("uniform bound δµ = %.4f\n", r.UniformKL)
+	return s
+}

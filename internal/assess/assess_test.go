@@ -1,0 +1,217 @@
+package assess
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"caltrain/internal/dataset"
+	"caltrain/internal/nn"
+	"caltrain/internal/tensor"
+)
+
+func smallNet(t *testing.T, seed uint64, classes int) *nn.Network {
+	t.Helper()
+	cfg := nn.Config{
+		Name: "as", InC: 3, InH: 12, InW: 12, Classes: classes,
+		Layers: []nn.LayerSpec{
+			{Kind: nn.KindConv, Filters: 6, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: nn.KindMaxPool, Size: 2, Stride: 2},
+			{Kind: nn.KindConv, Filters: 6, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: nn.KindConv, Filters: classes, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+			{Kind: nn.KindAvgPool},
+			{Kind: nn.KindSoftmax},
+			{Kind: nn.KindCost},
+		},
+	}
+	net, err := nn.Build(cfg, rand.New(rand.NewPCG(seed, seed*3+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// trainNet fits a network briefly on a synthetic dataset so the oracle has
+// real discriminative power.
+func trainNet(t *testing.T, net *nn.Network, ds *dataset.Dataset, epochs int) {
+	t.Helper()
+	ctx := &nn.Context{Mode: tensor.Accelerated, Training: true, RNG: rand.New(rand.NewPCG(9, 9))}
+	s, err := dataset.NewSampler(ds, 16, nil, rand.New(rand.NewPCG(10, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.SGD{LearningRate: 0.08, Momentum: 0.9}
+	for e := 0; e < epochs; e++ {
+		for b := 0; b < s.BatchesPerEpoch(); b++ {
+			in, labels := s.Next()
+			if _, err := net.TrainBatch(ctx, opt, in, labels); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func probeBatch(ds *dataset.Dataset, n int) *tensor.Tensor {
+	in, _ := ds.Batch(0, n)
+	return in
+}
+
+func TestAssessReportShape(t *testing.T) {
+	ds := dataset.SynthCIFAR(dataset.Options{Classes: 4, H: 12, W: 12, PerClass: 10, Seed: 1})
+	gen := smallNet(t, 1, 4)
+	val := smallNet(t, 2, 4)
+	f := New(gen, val, Options{MaxMapsPerLayer: 3})
+	rep, err := f.Assess(probeBatch(ds, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assessable layers: all 5 before softmax.
+	if len(rep.Layers) != 5 {
+		t.Fatalf("assessed %d layers, want 5", len(rep.Layers))
+	}
+	for i, lr := range rep.Layers {
+		if lr.Layer != i+1 {
+			t.Fatalf("layer numbering: %+v", lr)
+		}
+		if lr.NumIRs == 0 {
+			t.Fatalf("layer %d scored no IRs", lr.Layer)
+		}
+		if lr.MinKL < 0 || math.IsNaN(lr.MinKL) {
+			t.Fatalf("layer %d MinKL = %v (KL must be non-negative)", lr.Layer, lr.MinKL)
+		}
+		if lr.MinKL > lr.MeanKL+1e-9 || lr.MeanKL > lr.MaxKL+1e-9 {
+			t.Fatalf("layer %d ordering violated: %+v", lr.Layer, lr)
+		}
+		if lr.MinRatio < 0 || math.IsNaN(lr.MinRatio) || math.IsInf(lr.MinRatio, 0) {
+			t.Fatalf("layer %d MinRatio = %v", lr.Layer, lr.MinRatio)
+		}
+	}
+	if rep.UniformKL < 0 {
+		t.Fatalf("δµ = %v", rep.UniformKL)
+	}
+}
+
+func TestMaxLayersOption(t *testing.T) {
+	ds := dataset.SynthCIFAR(dataset.Options{Classes: 4, H: 12, W: 12, PerClass: 4, Seed: 2})
+	gen := smallNet(t, 3, 4)
+	val := smallNet(t, 4, 4)
+	f := New(gen, val, Options{MaxMapsPerLayer: 2, MaxLayers: 2})
+	rep, err := f.Assess(probeBatch(ds, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Layers) != 2 {
+		t.Fatalf("assessed %d layers, want 2", len(rep.Layers))
+	}
+}
+
+// TestShallowLayersExposeMore reproduces Experiment II's core finding on
+// a trained model: early-layer IRs (near-identity views of the input)
+// classify like the original input (low min KL), while deep, abstract
+// IRs diverge. We verify the first conv layer's min KL is (well) below
+// the deepest assessed layer's.
+func TestShallowLayersExposeMore(t *testing.T) {
+	ds := dataset.SynthCIFAR(dataset.Options{Classes: 4, H: 12, W: 12, PerClass: 30, Seed: 5, Noise: 0.04})
+	val := smallNet(t, 6, 4)
+	trainNet(t, val, ds, 6)
+	gen := smallNet(t, 7, 4)
+	trainNet(t, gen, ds, 6)
+
+	f := New(gen, val, Options{MaxMapsPerLayer: 6})
+	rep, err := f.Assess(probeBatch(ds, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rep.Layers[0].MinKL
+	deepest := rep.Layers[len(rep.Layers)-1].MinKL
+	if !(first < deepest) {
+		t.Fatalf("expected exposure to fall with depth: layer1 minKL %v, deepest minKL %v\n%s",
+			first, deepest, rep)
+	}
+}
+
+func TestOptimalSplit(t *testing.T) {
+	rep := &Report{
+		UniformKL: 2.0,
+		Layers: []LayerReport{
+			{Layer: 1, MinRatio: 0.05},
+			{Layer: 2, MinRatio: 0.25},
+			{Layer: 3, MinRatio: 0.95}, // still below the bound
+			{Layer: 4, MinRatio: 1.25},
+			{Layer: 5, MinRatio: 1.50},
+		},
+	}
+	if got := rep.OptimalSplit(1.0); got != 3 {
+		t.Fatalf("OptimalSplit(1.0) = %d, want 3 (enclose layers 1-3)", got)
+	}
+	// Relaxed threshold (0.2·δµ) allows a shallower enclosure: layer 2's
+	// ratio 0.25 already clears it.
+	if got := rep.OptimalSplit(0.2); got != 1 {
+		t.Fatalf("OptimalSplit(0.2) = %d, want 1", got)
+	}
+	// A dip after a safe layer forces deeper enclosure.
+	rep.Layers[4].MinRatio = 0.25
+	if got := rep.OptimalSplit(1.0); got != 5 {
+		t.Fatalf("OptimalSplit with deep dip = %d, want 5", got)
+	}
+	// All safe: nothing to enclose.
+	all := &Report{UniformKL: 1, Layers: []LayerReport{{MinRatio: 2}, {MinRatio: 3}}}
+	if got := all.OptimalSplit(1.0); got != 0 {
+		t.Fatalf("all-safe OptimalSplit = %d, want 0", got)
+	}
+}
+
+func TestAssessErrors(t *testing.T) {
+	val := smallNet(t, 8, 4)
+	empty := nn.NewNetwork(nn.Shape{C: 3, H: 12, W: 12})
+	f := New(empty, val, Options{})
+	if _, err := f.Assess(tensor.New(1, 3*12*12)); err == nil {
+		t.Fatal("expected error for unassessable generator")
+	}
+}
+
+func TestProjectIRProperties(t *testing.T) {
+	// Projection must land in [0,1], match the oracle shape, and be
+	// constant-safe (flat maps normalize to zeros).
+	fm := []float32{5, 5, 5, 5}
+	out := projectIR(fm, 2, 2, nn.Shape{C: 3, H: 4, W: 4})
+	if out.Len() != 48 {
+		t.Fatalf("projected length %d, want 48", out.Len())
+	}
+	for _, v := range out.Data() {
+		if v != 0 {
+			t.Fatalf("flat map should project to zeros, got %v", v)
+		}
+	}
+	fm2 := []float32{0, 1, 2, 3}
+	out2 := projectIR(fm2, 2, 2, nn.Shape{C: 1, H: 3, W: 3})
+	for _, v := range out2.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("projection out of range: %v", v)
+		}
+	}
+}
+
+func TestKLTermProperties(t *testing.T) {
+	if klTerm(0, 0.5) != 0 {
+		t.Fatal("zero p must contribute zero")
+	}
+	if klTerm(0.5, 0.5) != 0 {
+		t.Fatal("equal p,q must contribute zero")
+	}
+	if !(klTerm(0.5, 0.1) > 0) {
+		t.Fatal("p>q must contribute positive")
+	}
+	if math.IsInf(klTerm(0.5, 0), 0) || math.IsNaN(klTerm(0.5, 0)) {
+		t.Fatal("zero q must be clamped")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{UniformKL: 1.5, Layers: []LayerReport{{Layer: 1, Kind: nn.KindConv, MinKL: 0.1, MeanKL: 0.3, MaxKL: 0.8, NumIRs: 12}}}
+	s := rep.String()
+	if !strings.Contains(s, "conv") || !strings.Contains(s, "1.5") {
+		t.Fatalf("report rendering incomplete:\n%s", s)
+	}
+}

@@ -1,0 +1,260 @@
+// Package attacks implements the training-data inference attacks the
+// paper analyzes in §VII (Security Analysis and Discussion), so their
+// claimed (in)effectiveness against CalTrain can be measured rather than
+// asserted:
+//
+//   - Model Inversion (Fredrikson et al.): gradient-descent
+//     reconstruction of a class archetype from a released model's
+//     confidence outputs. The paper argues it works on shallow models but
+//     remains an open problem for deep convolutional networks, and that
+//     DP-SGD renders it ineffective.
+//   - IR reconstruction (Mahendran & Vedaldi / Dosovitskiy & Brox):
+//     inverting an intermediate representation back to its input. The
+//     paper's partitioned-training argument (§IV-B) is that IRs leaving
+//     the enclave cannot be reconstructed *because the FrontNet weights
+//     stay secret inside*; with white-box FrontNet access the same
+//     optimization succeeds.
+//   - Membership Inference (Shokri et al.): deciding whether a known
+//     record was part of the training set from the model's behaviour on
+//     it. The paper notes the attack needs candidate data the adversary
+//     already possesses, which CalTrain's threat model denies across
+//     participants; the loss-threshold variant here measures the raw
+//     signal and how DP-SGD shrinks it.
+package attacks
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"caltrain/internal/dataset"
+	"caltrain/internal/nn"
+	"caltrain/internal/tensor"
+)
+
+// ErrBadSplit is returned for out-of-range partition indices.
+var ErrBadSplit = errors.New("attacks: split out of range")
+
+// InversionOptions tunes model-inversion attacks.
+type InversionOptions struct {
+	// Steps is the number of gradient-descent iterations (default 200).
+	Steps int
+	// Rate is the descent step size (default 0.5).
+	Rate float64
+}
+
+func (o InversionOptions) withDefaults() InversionOptions {
+	if o.Steps == 0 {
+		o.Steps = 200
+	}
+	if o.Rate == 0 {
+		o.Rate = 0.5
+	}
+	return o
+}
+
+// InvertModel mounts the Model Inversion Attack: starting from a neutral
+// input, follow the gradient of the target class's score to synthesize
+// the model's archetype of that class. The caller correlates the result
+// with the true class mean to score the attack.
+func InvertModel(net *nn.Network, class int, opts InversionOptions, rng *rand.Rand) ([]float32, error) {
+	if net.Cost() == nil {
+		return nil, fmt.Errorf("attacks: inversion needs a cost-terminated network")
+	}
+	opts = opts.withDefaults()
+	in := net.InShape()
+	x := tensor.New(1, in.Len())
+	for i := range x.Data() {
+		x.Data()[i] = 0.5 + float32(rng.NormFloat64()*0.01)
+	}
+	ctx := &nn.Context{Mode: tensor.Accelerated, Training: false}
+	cost := net.Cost()
+	for step := 0; step < opts.Steps; step++ {
+		cost.SetTargets([]int{class})
+		net.Forward(ctx, x)
+		din := net.Backward(ctx)
+		net.ZeroGrads()
+		xd, dd := x.Data(), din.Data()
+		for i := range xd {
+			v := xd[i] - float32(opts.Rate)*dd[i]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			xd[i] = v
+		}
+	}
+	out := make([]float32, in.Len())
+	copy(out, x.Data())
+	return out, nil
+}
+
+// ReconstructFromIR mounts the input-reconstruction attack against a
+// partitioned deployment: given the IR observed at the partition boundary
+// and *some* FrontNet (layers [0, split) of front), optimize an input
+// whose IR matches the observation. When front is the true FrontNet
+// (white-box access the paper's design denies), reconstruction recovers
+// the input; when it is a surrogate with unknown (re-initialized)
+// weights, it cannot — the measurable content of §IV-B's claim that
+// exported IRs are safe while the FrontNet stays enclaved.
+func ReconstructFromIR(front *nn.Network, split int, targetIR *tensor.Tensor, opts InversionOptions, rng *rand.Rand) ([]float32, error) {
+	if split <= 0 || split > front.NumLayers() {
+		return nil, fmt.Errorf("%w: %d", ErrBadSplit, split)
+	}
+	opts = opts.withDefaults()
+	in := front.InShape()
+	x := tensor.New(1, in.Len())
+	for i := range x.Data() {
+		x.Data()[i] = 0.5 + float32(rng.NormFloat64()*0.01)
+	}
+	ctx := &nn.Context{Mode: tensor.Accelerated, Training: false}
+	n := float32(targetIR.Len())
+	for step := 0; step < opts.Steps; step++ {
+		ir := front.ForwardRange(ctx, 0, split, x)
+		// d/dIR of mean squared error to the target.
+		delta := tensor.New(ir.Shape()...)
+		for i := range delta.Data() {
+			delta.Data()[i] = 2 * (ir.Data()[i] - targetIR.Data()[i]) / n
+		}
+		din := front.BackwardRange(ctx, 0, split, delta)
+		front.ZeroGrads()
+		xd, dd := x.Data(), din.Data()
+		for i := range xd {
+			v := xd[i] - float32(opts.Rate)*dd[i]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			xd[i] = v
+		}
+	}
+	out := make([]float32, in.Len())
+	copy(out, x.Data())
+	return out, nil
+}
+
+// Correlation returns the Pearson correlation between two images — the
+// standard reconstruction-quality score.
+func Correlation(a, b []float32) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += float64(a[i])
+		mb += float64(b[i])
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var num, da, db float64
+	for i := range a {
+		xa := float64(a[i]) - ma
+		xb := float64(b[i]) - mb
+		num += xa * xb
+		da += xa * xa
+		db += xb * xb
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// ClassMean returns the pixel-wise mean image of a class — the inversion
+// attack's ground-truth target.
+func ClassMean(ds *dataset.Dataset, class int) []float32 {
+	mean := make([]float32, ds.ImageLen())
+	n := 0
+	for _, r := range ds.Records {
+		if r.Label != class {
+			continue
+		}
+		for i, v := range r.Image {
+			mean[i] += v
+		}
+		n++
+	}
+	if n > 0 {
+		inv := 1 / float32(n)
+		for i := range mean {
+			mean[i] *= inv
+		}
+	}
+	return mean
+}
+
+// MembershipResult summarizes a loss-threshold membership-inference
+// attack.
+type MembershipResult struct {
+	// Advantage is accuracy − 0.5 over a balanced member/non-member set
+	// (0 = no signal, 0.5 = perfect).
+	Advantage float64
+	// MemberLoss and NonMemberLoss are the mean per-record losses.
+	MemberLoss, NonMemberLoss float64
+}
+
+// MembershipInference mounts the loss-threshold attack: records the model
+// was trained on tend to have lower loss than unseen records; the
+// attacker thresholds at the midpoint of the two means (an oracle-free
+// attacker would calibrate on shadow data — this upper-bounds them).
+func MembershipInference(net *nn.Network, members, nonMembers *dataset.Dataset) (MembershipResult, error) {
+	var res MembershipResult
+	memberLosses, err := perRecordLosses(net, members)
+	if err != nil {
+		return res, err
+	}
+	nonLosses, err := perRecordLosses(net, nonMembers)
+	if err != nil {
+		return res, err
+	}
+	res.MemberLoss = mean(memberLosses)
+	res.NonMemberLoss = mean(nonLosses)
+	threshold := (res.MemberLoss + res.NonMemberLoss) / 2
+	correct := 0
+	for _, l := range memberLosses {
+		if l < threshold {
+			correct++
+		}
+	}
+	for _, l := range nonLosses {
+		if l >= threshold {
+			correct++
+		}
+	}
+	total := len(memberLosses) + len(nonLosses)
+	if total == 0 {
+		return res, fmt.Errorf("attacks: empty membership sets")
+	}
+	res.Advantage = float64(correct)/float64(total) - 0.5
+	return res, nil
+}
+
+func perRecordLosses(net *nn.Network, ds *dataset.Dataset) ([]float64, error) {
+	cost := net.Cost()
+	if cost == nil {
+		return nil, fmt.Errorf("attacks: membership inference needs a cost-terminated network")
+	}
+	ctx := &nn.Context{Mode: tensor.Accelerated, Training: false}
+	out := make([]float64, 0, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		in, labels := ds.Batch(i, i+1)
+		cost.SetTargets(labels)
+		net.Forward(ctx, in)
+		out = append(out, cost.Loss())
+	}
+	return out, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

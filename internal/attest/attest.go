@@ -1,0 +1,205 @@
+// Package attest simulates the remote-attestation infrastructure CalTrain
+// relies on (§IV-A, "Establishing a Training Enclave"): before provisioning
+// any secret, each training participant verifies that (a) it is talking to
+// a genuine platform, (b) the enclave's measurement matches the code and
+// data everyone agreed on, and (c) the secure channel's key is bound into
+// the attestation evidence.
+//
+// The simulation mirrors the EPID/IAS protocol shape with stdlib crypto: a
+// root Authority (Intel's role) certifies per-platform Quoting Enclave
+// keys; the Quoting Enclave signs Quotes over (measurement, report data);
+// a Verifier checks the certificate chain, the signature, the expected
+// measurement, and the report-data binding.
+package attest
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"caltrain/internal/sgx"
+)
+
+// Errors returned by quote verification.
+var (
+	ErrBadPlatformCert  = errors.New("attest: platform certificate not signed by authority")
+	ErrBadQuoteSig      = errors.New("attest: quote signature invalid")
+	ErrWrongMeasurement = errors.New("attest: enclave measurement does not match expectation")
+	ErrWrongReportData  = errors.New("attest: report data does not match expectation")
+)
+
+// ReportDataSize is the size of a quote's user-data field (64 bytes, as in
+// SGX REPORTDATA).
+const ReportDataSize = 64
+
+// Quote is signed attestation evidence for one enclave: its measurement
+// plus caller-chosen report data (CalTrain binds the hash of the enclave's
+// ephemeral channel public key there).
+type Quote struct {
+	Measurement  sgx.Measurement
+	ReportData   [ReportDataSize]byte
+	PlatformID   string
+	PlatformCert []byte // authority's signature over the platform key
+	PlatformKey  []byte // marshaled ECDSA public key
+	Signature    []byte // platform signature over (measurement, report data)
+}
+
+// Authority is the root of trust (Intel's attestation-service role). It
+// certifies platform quoting keys and exposes its public key to verifiers.
+type Authority struct {
+	key *ecdsa.PrivateKey
+}
+
+// NewAuthority generates a fresh attestation root.
+func NewAuthority() (*Authority, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: authority keygen: %w", err)
+	}
+	return &Authority{key: key}, nil
+}
+
+// PublicKey returns the authority's marshaled public key for verifiers.
+func (a *Authority) PublicKey() ([]byte, error) {
+	pub, err := x509.MarshalPKIXPublicKey(&a.key.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("attest: marshal authority key: %w", err)
+	}
+	return pub, nil
+}
+
+// QuotingEnclave holds a platform's certified quoting key. One exists per
+// SGX device.
+type QuotingEnclave struct {
+	platformID string
+	key        *ecdsa.PrivateKey
+	cert       []byte
+	pubDER     []byte
+}
+
+// Provision creates and certifies a Quoting Enclave for a platform.
+func (a *Authority) Provision(platformID string) (*QuotingEnclave, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: platform keygen: %w", err)
+	}
+	pubDER, err := x509.MarshalPKIXPublicKey(&key.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("attest: marshal platform key: %w", err)
+	}
+	digest := platformCertDigest(platformID, pubDER)
+	cert, err := ecdsa.SignASN1(rand.Reader, a.key, digest)
+	if err != nil {
+		return nil, fmt.Errorf("attest: certify platform: %w", err)
+	}
+	return &QuotingEnclave{platformID: platformID, key: key, cert: cert, pubDER: pubDER}, nil
+}
+
+func platformCertDigest(platformID string, pubDER []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("caltrain-platform-cert:"))
+	h.Write([]byte(platformID))
+	h.Write(pubDER)
+	return h.Sum(nil)
+}
+
+func quoteDigest(m sgx.Measurement, reportData [ReportDataSize]byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("caltrain-quote:"))
+	h.Write(m[:])
+	h.Write(reportData[:])
+	return h.Sum(nil)
+}
+
+// QuoteEnclave produces a signed quote for an initialized enclave with the
+// given report data.
+func (q *QuotingEnclave) QuoteEnclave(e *sgx.Enclave, reportData [ReportDataSize]byte) (*Quote, error) {
+	m, err := e.Measurement()
+	if err != nil {
+		return nil, fmt.Errorf("attest: quote: %w", err)
+	}
+	sig, err := ecdsa.SignASN1(rand.Reader, q.key, quoteDigest(m, reportData))
+	if err != nil {
+		return nil, fmt.Errorf("attest: quote sign: %w", err)
+	}
+	return &Quote{
+		Measurement:  m,
+		ReportData:   reportData,
+		PlatformID:   q.platformID,
+		PlatformCert: q.cert,
+		PlatformKey:  q.pubDER,
+		Signature:    sig,
+	}, nil
+}
+
+// Verifier validates quotes against a trusted authority key and an
+// expected enclave measurement. Participants construct one after computing
+// the expected measurement from the agreed-upon enclave code and data
+// (§III, Consensus and Cooperation).
+type Verifier struct {
+	authorityKey *ecdsa.PublicKey
+	expected     sgx.Measurement
+}
+
+// NewVerifier constructs a verifier trusting the given marshaled authority
+// public key and expecting the given measurement.
+func NewVerifier(authorityPub []byte, expected sgx.Measurement) (*Verifier, error) {
+	keyAny, err := x509.ParsePKIXPublicKey(authorityPub)
+	if err != nil {
+		return nil, fmt.Errorf("attest: parse authority key: %w", err)
+	}
+	key, ok := keyAny.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("attest: authority key is %T, want *ecdsa.PublicKey", keyAny)
+	}
+	return &Verifier{authorityKey: key, expected: expected}, nil
+}
+
+// Verify checks the full chain: platform certificate, quote signature,
+// expected measurement, and report-data binding. wantReportData is
+// compared in full; pass the same bytes the prover embedded.
+func (v *Verifier) Verify(q *Quote, wantReportData [ReportDataSize]byte) error {
+	if q == nil {
+		return errors.New("attest: nil quote")
+	}
+	// 1. Platform key chains to the authority.
+	if !ecdsa.VerifyASN1(v.authorityKey, platformCertDigest(q.PlatformID, q.PlatformKey), q.PlatformCert) {
+		return ErrBadPlatformCert
+	}
+	// 2. Quote signed by the platform key.
+	pkAny, err := x509.ParsePKIXPublicKey(q.PlatformKey)
+	if err != nil {
+		return fmt.Errorf("attest: parse platform key: %w", err)
+	}
+	pk, ok := pkAny.(*ecdsa.PublicKey)
+	if !ok {
+		return fmt.Errorf("attest: platform key is %T, want *ecdsa.PublicKey", pkAny)
+	}
+	if !ecdsa.VerifyASN1(pk, quoteDigest(q.Measurement, q.ReportData), q.Signature) {
+		return ErrBadQuoteSig
+	}
+	// 3. Measurement matches consensus expectation.
+	if q.Measurement != v.expected {
+		return fmt.Errorf("%w: got %s want %s", ErrWrongMeasurement, q.Measurement, v.expected)
+	}
+	// 4. Report data binds the channel key.
+	if q.ReportData != wantReportData {
+		return ErrWrongReportData
+	}
+	return nil
+}
+
+// BindKey packs the SHA-256 of a public key into a report-data field, the
+// binding convention used between attestation and the secure channel.
+func BindKey(pubKey []byte) [ReportDataSize]byte {
+	var rd [ReportDataSize]byte
+	sum := sha256.Sum256(pubKey)
+	copy(rd[:], sum[:])
+	binary.LittleEndian.PutUint32(rd[len(sum):], uint32(len(pubKey)))
+	return rd
+}

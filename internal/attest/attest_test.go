@@ -1,0 +1,167 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+
+	"caltrain/internal/sgx"
+)
+
+// harness builds an authority, a quoting enclave, and an initialized
+// enclave named "train".
+func harness(t *testing.T) (*Authority, *QuotingEnclave, *sgx.Enclave, sgx.Measurement) {
+	t.Helper()
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe, err := auth.Provision("server-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl := sgx.NewDevice(7).CreateEnclave(sgx.Config{Name: "train"})
+	m, err := encl.Init()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return auth, qe, encl, m
+}
+
+func TestVerifyHappyPath(t *testing.T) {
+	auth, qe, encl, m := harness(t)
+	rd := BindKey([]byte("channel-pubkey"))
+	q, err := qe.QuoteEnclave(encl, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	authPub, err := auth.PublicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVerifier(authPub, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(q, rd); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongMeasurement(t *testing.T) {
+	auth, qe, encl, _ := harness(t)
+	rd := BindKey([]byte("k"))
+	q, err := qe.QuoteEnclave(encl, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	authPub, _ := auth.PublicKey()
+	// Verifier expects a different enclave identity.
+	other := sgx.NewDevice(7).CreateEnclave(sgx.Config{Name: "evil"})
+	om, _ := other.Init()
+	v, err := NewVerifier(authPub, om)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(q, rd); !errors.Is(err, ErrWrongMeasurement) {
+		t.Fatalf("err = %v, want ErrWrongMeasurement", err)
+	}
+}
+
+func TestVerifyRejectsWrongReportData(t *testing.T) {
+	auth, qe, encl, m := harness(t)
+	q, err := qe.QuoteEnclave(encl, BindKey([]byte("real-key")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	authPub, _ := auth.PublicKey()
+	v, _ := NewVerifier(authPub, m)
+	if err := v.Verify(q, BindKey([]byte("mitm-key"))); !errors.Is(err, ErrWrongReportData) {
+		t.Fatalf("err = %v, want ErrWrongReportData", err)
+	}
+}
+
+func TestVerifyRejectsTamperedQuote(t *testing.T) {
+	auth, qe, encl, m := harness(t)
+	rd := BindKey([]byte("k"))
+	q, err := qe.QuoteEnclave(encl, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	authPub, _ := auth.PublicKey()
+	v, _ := NewVerifier(authPub, m)
+
+	// Tamper with the measurement after signing: signature check fails
+	// before the measurement comparison can pass.
+	bad := *q
+	bad.Measurement[0] ^= 1
+	if err := v.Verify(&bad, rd); !errors.Is(err, ErrBadQuoteSig) {
+		t.Fatalf("tampered measurement: %v, want ErrBadQuoteSig", err)
+	}
+
+	// Corrupt the signature itself.
+	bad2 := *q
+	bad2.Signature = append([]byte(nil), q.Signature...)
+	bad2.Signature[len(bad2.Signature)-1] ^= 1
+	if err := v.Verify(&bad2, rd); !errors.Is(err, ErrBadQuoteSig) {
+		t.Fatalf("corrupt signature: %v, want ErrBadQuoteSig", err)
+	}
+}
+
+func TestVerifyRejectsRogueAuthority(t *testing.T) {
+	// A quote certified by a different (attacker) authority must fail the
+	// platform-cert check against the trusted root.
+	auth, _, encl, m := harness(t)
+	rogue, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogueQE, err := rogue.Provision("rogue-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := BindKey([]byte("k"))
+	q, err := rogueQE.QuoteEnclave(encl, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	authPub, _ := auth.PublicKey()
+	v, _ := NewVerifier(authPub, m)
+	if err := v.Verify(q, rd); !errors.Is(err, ErrBadPlatformCert) {
+		t.Fatalf("err = %v, want ErrBadPlatformCert", err)
+	}
+}
+
+func TestQuoteRequiresInitializedEnclave(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe, err := auth.Provision("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl := sgx.NewDevice(1).CreateEnclave(sgx.Config{Name: "uninit"})
+	if _, err := qe.QuoteEnclave(encl, [ReportDataSize]byte{}); err == nil {
+		t.Fatal("expected error quoting uninitialized enclave")
+	}
+}
+
+func TestVerifyNilQuote(t *testing.T) {
+	auth, _, _, m := harness(t)
+	authPub, _ := auth.PublicKey()
+	v, _ := NewVerifier(authPub, m)
+	if err := v.Verify(nil, [ReportDataSize]byte{}); err == nil {
+		t.Fatal("expected error for nil quote")
+	}
+}
+
+func TestBindKeyDistinguishesKeys(t *testing.T) {
+	a := BindKey([]byte("key-a"))
+	b := BindKey([]byte("key-b"))
+	if a == b {
+		t.Fatal("different keys must bind differently")
+	}
+	if a != BindKey([]byte("key-a")) {
+		t.Fatal("binding must be deterministic")
+	}
+}

@@ -1,0 +1,80 @@
+// Package core orchestrates the CalTrain pipeline (Figures 1 and 2): the
+// training stage (attested key provisioning, encrypted data ingestion,
+// in-enclave decryption and augmentation, partitioned training), the
+// fingerprinting stage (linkage-structure generation inside a dedicated
+// fingerprinting enclave), and the query stage (the accountability
+// database served to model users).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"caltrain/internal/dataset"
+	"caltrain/internal/nn"
+)
+
+// SessionConfig is the pre-training consensus object (§III): all
+// participants agree on the model architecture, hyperparameters, partition
+// point and augmentation before attesting the enclave that embodies them.
+// Its canonical JSON form is measured into the training enclave, so any
+// deviation changes the measurement and fails attestation.
+type SessionConfig struct {
+	// Model is the network architecture (Tables I/II presets or custom).
+	Model nn.Config `json:"model"`
+	// Split is the FrontNet size: layers [0, Split) run inside the
+	// enclave.
+	Split int `json:"split"`
+	// Epochs is the number of training epochs.
+	Epochs int `json:"epochs"`
+	// BatchSize is the mini-batch size.
+	BatchSize int `json:"batch_size"`
+	// SGD holds the optimizer hyperparameters.
+	SGD nn.SGD `json:"sgd"`
+	// EPCSize overrides the enclave's protected-memory budget (bytes;
+	// 0 = the 128 MB default).
+	EPCSize int64 `json:"epc_size,omitempty"`
+	// Augment enables in-enclave data augmentation (nil = none).
+	Augment *dataset.Augmentation `json:"augment,omitempty"`
+	// Seed drives weight initialization and the device's simulated
+	// hardware randomness.
+	Seed uint64 `json:"seed"`
+}
+
+// Validate reports configuration errors.
+func (c SessionConfig) Validate() error {
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("core: batch size must be positive, got %d", c.BatchSize)
+	}
+	if c.Epochs < 0 {
+		return fmt.Errorf("core: epochs must be non-negative, got %d", c.Epochs)
+	}
+	if c.Split < 0 || c.Split >= len(c.Model.Layers) {
+		return fmt.Errorf("core: split %d out of range for %d layers", c.Split, len(c.Model.Layers))
+	}
+	return nil
+}
+
+// canonicalJSON is the measured form of the consensus config.
+func (c SessionConfig) canonicalJSON() ([]byte, error) {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("core: marshal session config: %w", err)
+	}
+	return b, nil
+}
+
+// ReleasedModel is what a participant receives at the end of training
+// (§IV-B): the architecture, the BackNet parameters in the clear, and the
+// FrontNet parameters encrypted under that participant's provisioned key.
+type ReleasedModel struct {
+	// ConfigJSON is the nn.Config of the trained model.
+	ConfigJSON []byte
+	// Split is the FrontNet boundary.
+	Split int
+	// EncryptedFront is the FrontNet parameter blob, AES-GCM encrypted
+	// under the recipient's key with their participant ID as AAD.
+	EncryptedFront []byte
+	// BackParams is the BackNet parameter blob.
+	BackParams []byte
+}

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"caltrain/internal/attest"
+	"caltrain/internal/dataset"
+	"caltrain/internal/nn"
+	"caltrain/internal/seal"
+	"caltrain/internal/sgx"
+)
+
+// testConfig returns a small but complete session config.
+func testConfig() SessionConfig {
+	return SessionConfig{
+		Model: nn.Config{
+			Name: "core-test", InC: 3, InH: 12, InW: 12, Classes: 3,
+			Layers: []nn.LayerSpec{
+				{Kind: nn.KindConv, Filters: 6, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+				{Kind: nn.KindMaxPool, Size: 2, Stride: 2},
+				{Kind: nn.KindConv, Filters: 6, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+				{Kind: nn.KindConv, Filters: 3, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+				{Kind: nn.KindAvgPool},
+				{Kind: nn.KindSoftmax},
+				{Kind: nn.KindCost},
+			},
+		},
+		Split:     2,
+		Epochs:    4,
+		BatchSize: 16,
+		SGD:       nn.SGD{LearningRate: 0.05, Momentum: 0.9},
+		Seed:      11,
+	}
+}
+
+type testHarness struct {
+	cfg          SessionConfig
+	authority    *attest.Authority
+	authorityPub []byte
+	server       *TrainingServer
+	participants []*Participant
+	train, test  *dataset.Dataset
+}
+
+func newHarness(t *testing.T, nParticipants int) *testHarness {
+	t.Helper()
+	cfg := testConfig()
+	authority, err := attest.NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	authorityPub, err := authority.PublicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewTrainingServer(cfg, authority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := dataset.SynthCIFAR(dataset.Options{Classes: 3, H: 12, W: 12, PerClass: 30, Seed: 5, Noise: 0.04})
+	train, test := all.Split(0.2, rand.New(rand.NewPCG(6, 6)))
+	shards := train.PartitionAmong(nParticipants)
+	h := &testHarness{
+		cfg: cfg, authority: authority, authorityPub: authorityPub,
+		server: server, train: train, test: test,
+	}
+	for i, shard := range shards {
+		h.participants = append(h.participants,
+			NewParticipant([]string{"alice", "bob", "carol", "dave"}[i%4], shard, uint64(100+i)))
+	}
+	return h
+}
+
+// provisionAndIngest runs the full provisioning + submission flow for all
+// participants.
+func (h *testHarness) provisionAndIngest(t *testing.T) {
+	t.Helper()
+	expected, err := ExpectedTrainingMeasurement(h.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range h.participants {
+		if err := p.Provision(h.server, h.authorityPub, expected); err != nil {
+			t.Fatalf("provision %s: %v", p.ID, err)
+		}
+		batch, err := p.SealRecords()
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted, rejected, err := h.server.Ingest(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rejected != 0 || accepted != p.Data().Len() {
+			t.Fatalf("%s: accepted %d rejected %d of %d", p.ID, accepted, rejected, p.Data().Len())
+		}
+	}
+}
+
+func TestExpectedMeasurementMatchesServer(t *testing.T) {
+	cfg := testConfig()
+	expected, err := ExpectedTrainingMeasurement(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	authority, _ := attest.NewAuthority()
+	server, err := NewTrainingServer(cfg, authority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if server.Measurement() != expected {
+		t.Fatal("independently computed measurement differs from server's")
+	}
+	// A different consensus config must change the measurement.
+	cfg2 := cfg
+	cfg2.Split = 3
+	other, err := ExpectedTrainingMeasurement(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == expected {
+		t.Fatal("config change did not change measurement")
+	}
+}
+
+func TestProvisionRejectsWrongMeasurement(t *testing.T) {
+	h := newHarness(t, 1)
+	wrongCfg := h.cfg
+	wrongCfg.Split = 3 // participant expects a different consensus
+	wrong, err := ExpectedTrainingMeasurement(wrongCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = h.participants[0].Provision(h.server, h.authorityPub, wrong)
+	if !errors.Is(err, attest.ErrWrongMeasurement) {
+		t.Fatalf("err = %v, want ErrWrongMeasurement", err)
+	}
+}
+
+func TestIngestRejectsUnregisteredAndTampered(t *testing.T) {
+	h := newHarness(t, 2)
+	expected, err := ExpectedTrainingMeasurement(h.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := h.participants[0]
+	if err := alice.Provision(h.server, h.authorityPub, expected); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob never provisioned: his records must all be rejected.
+	bob := h.participants[1]
+	bobBatch, err := bob.SealRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted, rejected, err := h.server.Ingest(bobBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 0 || rejected != bob.Data().Len() {
+		t.Fatalf("unregistered source: accepted %d rejected %d", accepted, rejected)
+	}
+
+	// A tampered record from a provisioned participant is rejected while
+	// the intact ones are accepted.
+	batch, err := alice.SealRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := seal.UnmarshalBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records[0].Label = 99 // flip a label in transit: auth must fail
+	accepted, rejected, err = h.server.Ingest(seal.MarshalBatch(records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected != 1 || accepted != len(records)-1 {
+		t.Fatalf("tampered record: accepted %d rejected %d", accepted, rejected)
+	}
+}
+
+func TestTrainStepBeforeIngestFails(t *testing.T) {
+	h := newHarness(t, 1)
+	if _, err := h.server.TrainEpoch(); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+// TestFullPipeline runs the complete CalTrain flow: provision → ingest →
+// train → release → fingerprint → query, and checks the released model
+// actually learned.
+func TestFullPipeline(t *testing.T) {
+	h := newHarness(t, 2)
+	h.provisionAndIngest(t)
+
+	var lastLoss, firstLoss float64
+	for e := 0; e < h.cfg.Epochs; e++ {
+		loss, err := h.server.TrainEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e == 0 {
+			firstLoss = loss
+		}
+		lastLoss = loss
+	}
+	if !(lastLoss < firstLoss) {
+		t.Fatalf("training did not reduce loss: %v -> %v", firstLoss, lastLoss)
+	}
+
+	// Release to alice; she assembles and evaluates locally.
+	alice := h.participants[0]
+	rm, err := h.server.ReleaseModel(alice.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _, err := alice.AssembleModel(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, labels := h.test.Batch(0, h.test.Len())
+	preds, err := net.Classify(&nn.Context{}, in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, p := range preds {
+		if p[0] == labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(preds))
+	if acc < 0.6 {
+		t.Fatalf("released model test accuracy %v too low", acc)
+	}
+
+	// Fingerprinting stage: second enclave on the same device receives
+	// the model via the local-attestation channel and the sealed data via
+	// re-submission.
+	fps, err := NewFingerprintService(h.server.device, h.cfg.Model, h.authority, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := h.server.ExportModelFor(fps.Measurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fps.LoadModel(blob, h.server.Measurement()); err != nil {
+		t.Fatal(err)
+	}
+	expectedFP, err := ExpectedFingerprintMeasurement(h.cfg.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expectedFP != fps.Measurement() {
+		t.Fatal("fingerprint enclave measurement not reproducible")
+	}
+	total := 0
+	for _, p := range h.participants {
+		if err := p.Provision(fps, h.authorityPub, expectedFP); err != nil {
+			t.Fatal(err)
+		}
+		batch, err := p.SealRecords()
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted, rejected, err := fps.Fingerprint(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rejected != 0 {
+			t.Fatalf("fingerprinting rejected %d records", rejected)
+		}
+		total += accepted
+	}
+	db, err := fps.ExportDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != total || total != h.train.Len() {
+		t.Fatalf("db has %d entries, want %d", db.Len(), h.train.Len())
+	}
+
+	// Query stage: fingerprint a test input with the released model and
+	// look up its nearest same-class training instances; then verify a
+	// disclosed instance's hash against the linkage tuple.
+	f, label, err := QueryFingerprint(net, h.test.Records[0].Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := db.Query(f, label, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("query returned no matches")
+	}
+	for i := 1; i < len(matches); i++ {
+		if matches[i-1].Distance > matches[i].Distance {
+			t.Fatal("matches not sorted")
+		}
+	}
+	// Forensics: the matched source participant discloses the instance;
+	// its content hash must verify. (Find which participant + index the
+	// match corresponds to by scanning the participant's shard for the
+	// hash — the investigator's verification step.)
+	m := matches[0]
+	var found bool
+	for _, p := range h.participants {
+		if p.ID != m.Source {
+			continue
+		}
+		for idx := range p.Data().Records {
+			_, hash, err := p.Disclose(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hash == m.Hash {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("disclosed data hash never matched the linkage tuple")
+	}
+}
+
+// TestFingerprintsAreOneWay: the exported DB must contain no raw pixels —
+// fingerprints are penultimate-layer embeddings, dimensionally incompatible
+// with and unconvertible to the input space without the FrontNet.
+func TestFingerprintDimensionIsEmbedding(t *testing.T) {
+	h := newHarness(t, 1)
+	fps, err := NewFingerprintService(h.server.device, h.cfg.Model, h.authority, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Penultimate layer of the test model is the 3-wide avgpool output.
+	if fps.db.Dim() != 3 {
+		t.Fatalf("fingerprint dim %d, want 3 (penultimate layer)", fps.db.Dim())
+	}
+	if fps.db.Dim() >= h.cfg.Model.InC*h.cfg.Model.InH*h.cfg.Model.InW {
+		t.Fatal("fingerprint dim should be far below input dim")
+	}
+}
+
+func TestFingerprintBeforeModelLoadFails(t *testing.T) {
+	h := newHarness(t, 1)
+	fps, err := NewFingerprintService(h.server.device, h.cfg.Model, h.authority, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectedFP, err := ExpectedFingerprintMeasurement(h.cfg.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := h.participants[0]
+	if err := p.Provision(fps, h.authorityPub, expectedFP); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := p.SealRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fps.Fingerprint(batch); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("err = %v, want ErrNoModel", err)
+	}
+}
+
+func TestModelTransferBindsMeasurements(t *testing.T) {
+	h := newHarness(t, 1)
+	fps, err := NewFingerprintService(h.server.device, h.cfg.Model, h.authority, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blob sealed for a *different* enclave identity must not load.
+	var bogus sgx.Measurement
+	bogus[0] = 0xFF
+	blob, err := h.server.ExportModelFor(bogus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fps.LoadModel(blob, h.server.Measurement()); err == nil {
+		t.Fatal("model sealed for another enclave loaded")
+	}
+	// Lying about the source measurement must also fail.
+	blob2, err := h.server.ExportModelFor(fps.Measurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fps.LoadModel(blob2, bogus); err == nil {
+		t.Fatal("model with forged source measurement loaded")
+	}
+}
+
+func TestReleaseModelUnknownParticipant(t *testing.T) {
+	h := newHarness(t, 1)
+	_, err := h.server.ReleaseModel("mallory")
+	if err == nil || !strings.Contains(err.Error(), "unknown participant") {
+		t.Fatalf("err = %v, want unknown participant", err)
+	}
+}
+
+func TestReleasedFrontNetOnlyOpensForOwner(t *testing.T) {
+	h := newHarness(t, 2)
+	h.provisionAndIngest(t)
+	if _, err := h.server.TrainEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	alice, bob := h.participants[0], h.participants[1]
+	rm, err := h.server.ReleaseModel(alice.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := alice.AssembleModel(rm); err != nil {
+		t.Fatalf("owner cannot open own release: %v", err)
+	}
+	if _, _, err := bob.AssembleModel(rm); err == nil {
+		t.Fatal("bob opened alice's FrontNet")
+	}
+}
+
+func TestSessionConfigValidate(t *testing.T) {
+	cfg := testConfig()
+	cfg.BatchSize = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	cfg = testConfig()
+	cfg.Split = 99
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bad split accepted")
+	}
+	cfg = testConfig()
+	cfg.Epochs = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative epochs accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"caltrain/internal/seal"
+)
+
+// TestProvisionMalformedPayloads: every truncation or corruption of the
+// provisioning payload is rejected by the enclave.
+func TestProvisionMalformedPayloads(t *testing.T) {
+	h := newHarness(t, 1)
+	cases := map[string][]byte{
+		"empty":            {},
+		"short-header":     {1},
+		"truncated-key":    binary.LittleEndian.AppendUint16(nil, 65), // claims 65 bytes, has none
+		"garbage-pub":      append(binary.LittleEndian.AppendUint16(nil, 3), 1, 2, 3),
+		"missing-record":   binary.LittleEndian.AppendUint16(nil, 0),
+		"non-channel-data": append(append(binary.LittleEndian.AppendUint16(nil, 4), 9, 9, 9, 9), 0xFF, 0xFF),
+	}
+	for name, payload := range cases {
+		if _, err := h.server.Enclave().Call("core/provision", payload); err == nil {
+			t.Fatalf("%s: malformed provisioning accepted", name)
+		}
+	}
+}
+
+// TestIngestMalformedBatch: structurally invalid submissions error out
+// (distinct from authentication rejection, which is counted, not failed).
+func TestIngestMalformedBatch(t *testing.T) {
+	h := newHarness(t, 1)
+	if _, _, err := h.server.Ingest([]byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed batch accepted")
+	}
+	// A batch claiming records it does not contain.
+	bogus := binary.LittleEndian.AppendUint32(nil, 5)
+	if _, _, err := h.server.Ingest(bogus); err == nil {
+		t.Fatal("short batch accepted")
+	}
+	// An empty batch is valid and accepts nothing.
+	empty := seal.MarshalBatch(nil)
+	a, r, err := h.server.Ingest(empty)
+	if err != nil || a != 0 || r != 0 {
+		t.Fatalf("empty batch: %d/%d %v", a, r, err)
+	}
+}
+
+// TestDecodeStepResponse: the train-step response decoder rejects
+// corrupted enclave outputs.
+func TestDecodeStepResponse(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       {1, 0, 0},
+		"bad-rank":    binary.LittleEndian.AppendUint32(nil, 99),
+		"no-labels":   append(binary.LittleEndian.AppendUint32(binary.LittleEndian.AppendUint32(nil, 1), 1), 0, 0, 0, 0),
+		"label-count": buildStepResponse(t, 3), // claims 3 labels, carries none
+	}
+	for name, payload := range cases {
+		if _, _, err := decodeStepResponse(payload); err == nil {
+			t.Fatalf("%s: corrupted step response accepted", name)
+		}
+	}
+}
+
+func buildStepResponse(t *testing.T, claimedLabels uint32) []byte {
+	t.Helper()
+	// Valid 1-element tensor, then a label count with no label data.
+	out := binary.LittleEndian.AppendUint32(nil, 1) // rank
+	out = binary.LittleEndian.AppendUint32(out, 1)  // dim
+	out = binary.LittleEndian.AppendUint32(out, 0)  // one float
+	out = binary.LittleEndian.AppendUint32(out, claimedLabels)
+	return out
+}
+
+// TestTrainStepBatchSizeValidation: the enclave rejects nonsensical
+// mini-batch requests.
+func TestTrainStepBatchSizeValidation(t *testing.T) {
+	h := newHarness(t, 1)
+	h.provisionAndIngest(t)
+	bad := binary.LittleEndian.AppendUint32(nil, 0)
+	if _, err := h.server.Enclave().Call("core/trainstep", bad); err == nil {
+		t.Fatal("zero batch size accepted")
+	}
+	if _, err := h.server.Enclave().Call("core/trainstep", []byte{1}); err == nil {
+		t.Fatal("truncated trainstep payload accepted")
+	}
+}
+
+// TestImportFullMalformed: the warm-start/hub-sync import path rejects
+// corrupt payloads and unknown key owners.
+func TestImportFullMalformed(t *testing.T) {
+	h := newHarness(t, 1)
+	if err := h.server.ImportFull("ghost", []byte{1, 2, 3}); err == nil {
+		t.Fatal("import under unknown key owner accepted")
+	}
+	expected, err := ExpectedTrainingMeasurement(h.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := h.participants[0]
+	if err := p.Provision(h.server, h.authorityPub, expected); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.server.ImportFull(p.ID, []byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage import blob accepted")
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"caltrain/internal/attest"
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/nn"
+	"caltrain/internal/seal"
+	"caltrain/internal/secchan"
+	"caltrain/internal/sgx"
+	"caltrain/internal/tensor"
+)
+
+// ErrNoModel is returned when fingerprinting is attempted before the
+// trained model has been loaded into the fingerprinting enclave.
+var ErrNoModel = errors.New("core: fingerprinting enclave has no model loaded")
+
+// Fingerprinting-enclave ECALL names (registration order is measured).
+const (
+	ecallFPProvision = "fp/provision"
+	ecallFPLoadModel = "fp/load-model"
+	ecallFPImport    = "fp/import-model"
+	ecallFPBatch     = "fp/batch"
+	ecallFPExportDB  = "fp/export-db"
+)
+
+// FingerprintService is the fingerprinting stage (§IV-C): a second enclave
+// on the training device that holds the entire trained network (linkage
+// generation is a one-time pass, so no partitioning is needed), re-ingests
+// the sealed training data, and records the 4-tuple linkage structure
+// Ω = [F, Y, S, H] for every instance.
+type FingerprintService struct {
+	model   nn.Config
+	device  *sgx.Device
+	enclave *sgx.Enclave
+	qe      *attest.QuotingEnclave
+
+	// In-enclave state.
+	chanKey *secchan.KeyPair
+	ks      *keystore
+	net     *nn.Network
+	loaded  bool
+	db      *fingerprint.DB
+}
+
+// NewFingerprintService builds the fingerprinting enclave on the given
+// device (the same device as the training enclave, so the model can be
+// handed over via the local-attestation channel).
+func NewFingerprintService(device *sgx.Device, model nn.Config, authority *attest.Authority, epcSize int64) (*FingerprintService, error) {
+	modelJSON, err := marshalModelConfig(model)
+	if err != nil {
+		return nil, err
+	}
+	enclave := device.CreateEnclave(sgx.Config{Name: "caltrain-fingerprinting", EPCSize: epcSize})
+	if err := enclave.AddPages("model-config", modelJSON); err != nil {
+		return nil, fmt.Errorf("core: measure model config: %w", err)
+	}
+	net, err := nn.Build(model, rand.New(rand.NewPCG(0, 0)))
+	if err != nil {
+		return nil, fmt.Errorf("core: build fingerprint model: %w", err)
+	}
+	pi := net.PenultimateIndex()
+	if pi < 0 {
+		return nil, fmt.Errorf("core: model has no softmax layer; cannot anchor fingerprints")
+	}
+	db, err := fingerprint.NewDB(net.Layer(pi).OutShape().Len())
+	if err != nil {
+		return nil, err
+	}
+	f := &FingerprintService{
+		model:   model,
+		device:  device,
+		enclave: enclave,
+		ks:      newKeystore(),
+		net:     net,
+		db:      db,
+	}
+	f.chanKey, err = secchan.GenerateKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("core: channel keygen: %w", err)
+	}
+	ecalls := []struct {
+		name string
+		fn   sgx.ECall
+	}{
+		{ecallFPProvision, provisionECall(f.ks, f.chanKey)},
+		{ecallFPLoadModel, f.doLoadModel},
+		{ecallFPImport, f.doImportModel},
+		{ecallFPBatch, f.doFingerprint},
+		{ecallFPExportDB, f.doExportDB},
+	}
+	for _, ec := range ecalls {
+		if err := enclave.RegisterECall(ec.name, ec.fn); err != nil {
+			return nil, fmt.Errorf("core: register %s: %w", ec.name, err)
+		}
+	}
+	if _, err := enclave.Init(); err != nil {
+		return nil, fmt.Errorf("core: init fingerprint enclave: %w", err)
+	}
+	if authority != nil {
+		f.qe, err = authority.Provision("caltrain-fingerprint-server")
+		if err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+var _ Attestable = (*FingerprintService)(nil)
+
+// Measurement returns the fingerprinting enclave's identity.
+func (f *FingerprintService) Measurement() sgx.Measurement {
+	m, err := f.enclave.Measurement()
+	if err != nil {
+		panic(fmt.Sprintf("core: measurement: %v", err))
+	}
+	return m
+}
+
+// Enclave exposes the fingerprinting enclave for stats.
+func (f *FingerprintService) Enclave() *sgx.Enclave { return f.enclave }
+
+// Quote implements Attestable.
+func (f *FingerprintService) Quote() (*attest.Quote, []byte, error) {
+	if f.qe == nil {
+		return nil, nil, fmt.Errorf("core: service has no quoting enclave")
+	}
+	pub := f.chanKey.PublicBytes()
+	q, err := f.qe.QuoteEnclave(f.enclave, attest.BindKey(pub))
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, pub, nil
+}
+
+// ProvisionKey implements Attestable.
+func (f *FingerprintService) ProvisionKey(clientPub, sealedMsg []byte) error {
+	payload := binary.LittleEndian.AppendUint16(nil, uint16(len(clientPub)))
+	payload = append(payload, clientPub...)
+	payload = append(payload, sealedMsg...)
+	_, err := f.enclave.Call(ecallFPProvision, payload)
+	return err
+}
+
+// doLoadModel opens the sealed model transferred from the training
+// enclave. Payload: 32-byte source measurement, then the sealed blob.
+func (f *FingerprintService) doLoadModel(in []byte) ([]byte, error) {
+	if len(in) < 32 {
+		return nil, fmt.Errorf("core: load-model payload truncated")
+	}
+	var from sgx.Measurement
+	copy(from[:], in[:32])
+	params, err := f.enclave.UnsealFrom(from, in[32:], []byte("caltrain-model-transfer"))
+	if err != nil {
+		return nil, fmt.Errorf("core: open model transfer: %w", err)
+	}
+	if err := nn.ReadParams(bytes.NewReader(params), f.net, 0, f.net.NumLayers()); err != nil {
+		return nil, fmt.Errorf("core: load model params: %w", err)
+	}
+	f.loaded = true
+	return nil, nil
+}
+
+// LoadModel installs the trained model from a sealed transfer blob
+// produced by TrainingServer.ExportModelFor(f.Measurement()).
+func (f *FingerprintService) LoadModel(sealedBlob []byte, from sgx.Measurement) error {
+	payload := append(append([]byte(nil), from[:]...), sealedBlob...)
+	_, err := f.enclave.Call(ecallFPLoadModel, payload)
+	return err
+}
+
+// doImportModel loads plaintext model parameters (the external-model path:
+// the paper converted the TrojanNN authors' Caffe model into its own
+// format to fingerprint its training data, §VI-D).
+func (f *FingerprintService) doImportModel(in []byte) ([]byte, error) {
+	if err := nn.ReadParams(bytes.NewReader(in), f.net, 0, f.net.NumLayers()); err != nil {
+		return nil, fmt.Errorf("core: import model params: %w", err)
+	}
+	f.loaded = true
+	return nil, nil
+}
+
+// ImportModel installs externally trained model parameters (a
+// WriteParams-encoded blob over the full layer range) for fingerprinting.
+func (f *FingerprintService) ImportModel(params []byte) error {
+	_, err := f.enclave.Call(ecallFPImport, params)
+	return err
+}
+
+// doFingerprint authenticates and decrypts a sealed batch, runs every
+// record through the full in-enclave network, and records its linkage
+// tuple. Output: accepted, rejected (u32 each).
+func (f *FingerprintService) doFingerprint(in []byte) ([]byte, error) {
+	if !f.loaded {
+		return nil, ErrNoModel
+	}
+	records, err := seal.UnmarshalBatch(in)
+	if err != nil {
+		return nil, err
+	}
+	var accepted, rejected uint32
+	imgLen := f.model.InC * f.model.InH * f.model.InW
+	ctx := &nn.Context{Mode: tensor.EnclaveScalar, Touch: f.enclave.Touch}
+	for _, r := range records {
+		key, ok := f.ks.keys[r.Participant]
+		if !ok {
+			rejected++
+			continue
+		}
+		img, err := seal.OpenRecord(key, r)
+		if err != nil || len(img) != imgLen {
+			rejected++
+			continue
+		}
+		batch := tensor.FromSlice(img, 1, imgLen)
+		fps, err := fingerprint.Extract(f.net, ctx, batch)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.db.Add(fingerprint.Linkage{
+			F: fps[0],
+			Y: int(r.Label),
+			S: r.Participant,
+			H: seal.ContentHash(img),
+		}); err != nil {
+			return nil, err
+		}
+		accepted++
+	}
+	out := binary.LittleEndian.AppendUint32(nil, accepted)
+	out = binary.LittleEndian.AppendUint32(out, rejected)
+	return out, nil
+}
+
+// Fingerprint submits a sealed batch for linkage generation.
+func (f *FingerprintService) Fingerprint(batch []byte) (accepted, rejected int, err error) {
+	out, err := f.enclave.Call(ecallFPBatch, batch)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(out) != 8 {
+		return 0, 0, fmt.Errorf("core: fingerprint response malformed")
+	}
+	return int(binary.LittleEndian.Uint32(out)), int(binary.LittleEndian.Uint32(out[4:])), nil
+}
+
+func (f *FingerprintService) doExportDB([]byte) ([]byte, error) {
+	var buf bytesBuffer
+	if err := f.db.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// ExportDB returns the linkage database for the query stage. Fingerprints
+// are one-way (they cannot be reconstructed into training data without the
+// enclave-held FrontNet, §IV-C), so the database may leave the enclave.
+func (f *FingerprintService) ExportDB() (*fingerprint.DB, error) {
+	out, err := f.enclave.Call(ecallFPExportDB, nil)
+	if err != nil {
+		return nil, err
+	}
+	return fingerprint.LoadDB(bytes.NewReader(out))
+}
+
+// ExpectedFingerprintMeasurement computes the measurement a correctly
+// built fingerprinting enclave must have for the given model config (see
+// ExpectedTrainingMeasurement).
+func ExpectedFingerprintMeasurement(model nn.Config) (sgx.Measurement, error) {
+	f, err := NewFingerprintService(sgx.NewDevice(0), model, nil, 0)
+	if err != nil {
+		return sgx.Measurement{}, err
+	}
+	defer f.Enclave().Destroy()
+	return f.Measurement(), nil
+}
+
+// QueryFingerprint computes the fingerprint of one input with a released
+// model — the step a model user performs on a mispredicted input before
+// querying the linkage database (§IV-C). It returns the fingerprint and
+// the model's predicted label.
+func QueryFingerprint(net *nn.Network, image []float32) (fingerprint.Fingerprint, int, error) {
+	ctx := &nn.Context{Mode: tensor.Accelerated}
+	batch := tensor.FromSlice(image, 1, len(image))
+	fps, err := fingerprint.Extract(net, ctx, batch)
+	if err != nil {
+		return nil, 0, err
+	}
+	probs, err := net.Predict(ctx, batch)
+	if err != nil {
+		return nil, 0, err
+	}
+	_, label := probs.Max()
+	return fps[0], label, nil
+}

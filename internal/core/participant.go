@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+
+	"caltrain/internal/attest"
+	"caltrain/internal/dataset"
+	"caltrain/internal/nn"
+	"caltrain/internal/seal"
+	"caltrain/internal/secchan"
+	"caltrain/internal/sgx"
+)
+
+// Attestable is the provisioning surface a participant talks to — both the
+// training server and the fingerprint service implement it.
+type Attestable interface {
+	// Quote returns attestation evidence plus the enclave channel public
+	// key bound into it.
+	Quote() (*attest.Quote, []byte, error)
+	// ProvisionKey relays a provisioning message to the enclave.
+	ProvisionKey(clientPub, sealedMsg []byte) error
+}
+
+// Participant is one collaborative-training party: it owns a private
+// dataset and a symmetric key, submits only sealed records, and receives
+// the released model with a FrontNet it alone can decrypt.
+type Participant struct {
+	// ID is the participant's registered identity (the S of the linkage
+	// tuple).
+	ID string
+
+	key  seal.Key
+	data *dataset.Dataset
+	rng  *rand.Rand
+}
+
+// NewParticipant creates a participant holding the given private dataset.
+// seed drives the participant's local randomness (key generation, nonces).
+func NewParticipant(id string, data *dataset.Dataset, seed uint64) *Participant {
+	rng := rand.New(rand.NewPCG(seed, 0xAB1E))
+	return &Participant{
+		ID:   id,
+		key:  seal.NewKey(rng),
+		data: data,
+		rng:  rng,
+	}
+}
+
+// NewParticipantWithKey creates a data-less provisioning identity with a
+// caller-supplied key — used by the learning-hub aggregation server, which
+// provisions its key into hub enclaves like a participant but contributes
+// no data.
+func NewParticipantWithKey(id string, key seal.Key) *Participant {
+	return &Participant{
+		ID:  id,
+		key: key,
+		rng: rand.New(rand.NewPCG(uint64(len(id)), 0xAB1F)),
+	}
+}
+
+// Data returns the participant's private dataset (local use only —
+// assessment probes, forensic disclosure).
+func (p *Participant) Data() *dataset.Dataset { return p.data }
+
+// Provision attests the target enclave and provisions the participant's
+// symmetric key into it (§IV-A): verify the quote (platform chain,
+// expected measurement, channel-key binding), establish the secure
+// channel, and send (ID, key) through it.
+func (p *Participant) Provision(target Attestable, authorityPub []byte, expected sgx.Measurement) error {
+	q, enclavePub, err := target.Quote()
+	if err != nil {
+		return fmt.Errorf("core: obtain quote: %w", err)
+	}
+	verifier, err := attest.NewVerifier(authorityPub, expected)
+	if err != nil {
+		return err
+	}
+	if err := verifier.Verify(q, attest.BindKey(enclavePub)); err != nil {
+		return fmt.Errorf("core: attestation failed, refusing to provision: %w", err)
+	}
+	kp, err := secchan.GenerateKeyPair()
+	if err != nil {
+		return err
+	}
+	ch, err := secchan.Establish(secchan.RoleClient, kp, enclavePub, nil)
+	if err != nil {
+		return err
+	}
+	msg := binary.LittleEndian.AppendUint16(nil, uint16(len(p.ID)))
+	msg = append(msg, p.ID...)
+	msg = append(msg, p.key[:]...)
+	return target.ProvisionKey(kp.PublicBytes(), ch.Seal(msg))
+}
+
+// SealRecords encrypts the participant's entire dataset into a submission
+// batch.
+func (p *Participant) SealRecords() ([]byte, error) {
+	records := make([]*seal.Record, 0, p.data.Len())
+	for i, r := range p.data.Records {
+		rec, err := seal.SealRecord(p.key, p.ID, uint32(i), int32(r.Label), r.Image, p.rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: seal record %d: %w", i, err)
+		}
+		records = append(records, rec)
+	}
+	return seal.MarshalBatch(records), nil
+}
+
+// AssembleModel decrypts the participant's released model: the FrontNet
+// blob opens only under this participant's key.
+func (p *Participant) AssembleModel(rm *ReleasedModel) (*nn.Network, nn.Config, error) {
+	var cfg nn.Config
+	if err := json.Unmarshal(rm.ConfigJSON, &cfg); err != nil {
+		return nil, nn.Config{}, fmt.Errorf("core: released config: %w", err)
+	}
+	net, err := nn.Build(cfg, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		return nil, nn.Config{}, fmt.Errorf("core: build released model: %w", err)
+	}
+	front, err := seal.DecryptBlob(p.key, rm.EncryptedFront, []byte(p.ID))
+	if err != nil {
+		return nil, nn.Config{}, fmt.Errorf("core: decrypt FrontNet: %w", err)
+	}
+	if err := nn.ReadParams(bytes.NewReader(front), net, 0, rm.Split); err != nil {
+		return nil, nn.Config{}, fmt.Errorf("core: load FrontNet: %w", err)
+	}
+	if err := nn.ReadParams(bytes.NewReader(rm.BackParams), net, rm.Split, net.NumLayers()); err != nil {
+		return nil, nn.Config{}, fmt.Errorf("core: load BackNet: %w", err)
+	}
+	return net, cfg, nil
+}
+
+// SealModelSync serializes a network's full parameters and encrypts them
+// under this participant's key for TrainingServer.ImportFull — the
+// warm-start path that lets a new training round continue from a
+// previously released model instead of fresh weights.
+func (p *Participant) SealModelSync(net *nn.Network) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := nn.WriteParams(&buf, net, 0, net.NumLayers()); err != nil {
+		return nil, err
+	}
+	return seal.EncryptBlob(p.key, buf.Bytes(), modelSyncAAD, p.rng)
+}
+
+// Disclose returns the original record at the given index for a forensic
+// investigation (§IV-C: participants "agree to cooperate with forensic
+// investigations to turn in demanded training data instances"), together
+// with its content hash for verification against the linkage tuple's H.
+func (p *Participant) Disclose(index int) (dataset.Record, [32]byte, error) {
+	if index < 0 || index >= p.data.Len() {
+		return dataset.Record{}, [32]byte{}, fmt.Errorf("core: disclose index %d out of range", index)
+	}
+	r := p.data.Records[index]
+	return r, seal.ContentHash(r.Image), nil
+}
+
+// ExpectedTrainingMeasurement computes the measurement a correctly built
+// training enclave must have for the given consensus config. Participants
+// derive it independently from the agreed code and config ("participants
+// ... are able to validate the in-enclave code ... via remote
+// attestation", §III); the simulation derives it by replaying the enclave
+// construction on a throwaway device (measurements are device-independent).
+func ExpectedTrainingMeasurement(cfg SessionConfig) (sgx.Measurement, error) {
+	s, err := NewTrainingServer(cfg, nil)
+	if err != nil {
+		return sgx.Measurement{}, err
+	}
+	defer s.Enclave().Destroy()
+	return s.Measurement(), nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"bytes"
+	"caltrain/internal/nn"
+	"testing"
+)
+
+// TestReleasesArePerParticipant: each participant's release carries a
+// FrontNet blob only their key opens, yet all releases decode to the same
+// model — the §IV-B release semantics.
+func TestReleasesArePerParticipant(t *testing.T) {
+	h := newHarness(t, 2)
+	h.provisionAndIngest(t)
+	if _, err := h.server.TrainEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	alice, bob := h.participants[0], h.participants[1]
+	rmA, err := h.server.ReleaseModel(alice.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmB, err := h.server.ReleaseModel(bob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different ciphertexts (per-participant keys + nonces)...
+	if bytes.Equal(rmA.EncryptedFront, rmB.EncryptedFront) {
+		t.Fatal("per-participant FrontNet blobs identical")
+	}
+	// ...identical BackNets in the clear...
+	if !bytes.Equal(rmA.BackParams, rmB.BackParams) {
+		t.Fatal("BackNet params differ between releases")
+	}
+	// ...and identical assembled models.
+	netA, _, err := alice.AssembleModel(rmA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netB, _, err := bob.AssembleModel(rmB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := h.test.Batch(0, 4)
+	pA, err := netA.Predict(nnCtx(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB, err := netB.Predict(nnCtx(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pA.Data() {
+		if pA.Data()[i] != pB.Data()[i] {
+			t.Fatal("assembled models diverge across participants")
+		}
+	}
+}
+
+func nnCtx() *nn.Context { return &nn.Context{} }

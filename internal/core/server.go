@@ -1,0 +1,567 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"caltrain/internal/attest"
+	"caltrain/internal/nn"
+	"caltrain/internal/partition"
+	"caltrain/internal/seal"
+	"caltrain/internal/secchan"
+	"caltrain/internal/sgx"
+	"caltrain/internal/tensor"
+)
+
+// Errors returned by the training server.
+var (
+	ErrUnknownParticipant = errors.New("core: unknown participant")
+	ErrNoData             = errors.New("core: no training data ingested")
+)
+
+// ECALL names of the training enclave, registered in fixed order after
+// the partition trainer's (the order is measured).
+const (
+	ecallProvision   = "core/provision"
+	ecallIngest      = "core/ingest"
+	ecallTrainStep   = "core/trainstep"
+	ecallRelease     = "core/release"
+	ecallExportModel = "core/export-model"
+	ecallExportFull  = "core/export-full"
+	ecallImportFull  = "core/import-full"
+)
+
+// inRecord is one decrypted training instance held inside the training
+// enclave: plaintext image plus the provenance fields the fingerprinting
+// stage will need.
+type inRecord struct {
+	img    []float32
+	label  int
+	source string
+	hash   [32]byte
+}
+
+// keystore holds provisioned participant keys inside an enclave.
+type keystore struct {
+	keys map[string]seal.Key
+}
+
+func newKeystore() *keystore {
+	return &keystore{keys: make(map[string]seal.Key)}
+}
+
+// provisionECall returns the ECALL body implementing the key-provisioning
+// endpoint shared by the training and fingerprinting enclaves: the payload
+// is the client's ephemeral public key followed by one secure-channel
+// record containing (participant ID, key). The channel terminates inside
+// the enclave — the host relaying the bytes learns nothing (§IV-A).
+func provisionECall(ks *keystore, chanKey *secchan.KeyPair) sgx.ECall {
+	return func(in []byte) ([]byte, error) {
+		if len(in) < 2 {
+			return nil, fmt.Errorf("core: provision payload truncated")
+		}
+		klen := int(binary.LittleEndian.Uint16(in))
+		in = in[2:]
+		if len(in) < klen {
+			return nil, fmt.Errorf("core: provision payload truncated")
+		}
+		clientPub := in[:klen]
+		record := in[klen:]
+		ch, err := secchan.Establish(secchan.RoleEnclave, chanKey, clientPub, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: provision channel: %w", err)
+		}
+		msg, err := ch.Open(record)
+		if err != nil {
+			return nil, fmt.Errorf("core: provision record: %w", err)
+		}
+		if len(msg) < 2 {
+			return nil, fmt.Errorf("core: provision message truncated")
+		}
+		idLen := int(binary.LittleEndian.Uint16(msg))
+		msg = msg[2:]
+		if len(msg) != idLen+seal.KeySize {
+			return nil, fmt.Errorf("core: provision message malformed")
+		}
+		id := string(msg[:idLen])
+		var key seal.Key
+		copy(key[:], msg[idLen:])
+		ks.keys[id] = key
+		return nil, nil
+	}
+}
+
+// TrainingServer is the CalTrain training stage: one SGX device hosting
+// the training enclave, with the partitioned trainer inside.
+type TrainingServer struct {
+	cfg     SessionConfig
+	cfgJSON []byte
+	device  *sgx.Device
+	enclave *sgx.Enclave
+	trainer *partition.Trainer
+	qe      *attest.QuotingEnclave
+
+	// In-enclave state (reachable only through ECALLs by convention).
+	chanKey *secchan.KeyPair
+	ks      *keystore
+	store   []inRecord
+	order   []int
+	pos     int
+
+	accepted int
+	rejected int
+}
+
+// NewTrainingServer builds the training enclave: the consensus config is
+// measured in, the network is constructed from the config seed, the
+// partition trainer and the core ECALLs are registered, and the enclave is
+// initialized. authority certifies this platform's quoting enclave.
+func NewTrainingServer(cfg SessionConfig, authority *attest.Authority) (*TrainingServer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfgJSON, err := cfg.canonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+	device := sgx.NewDevice(cfg.Seed)
+	enclave := device.CreateEnclave(sgx.Config{Name: "caltrain-training", EPCSize: cfg.EPCSize})
+	if err := enclave.AddPages("session-config", cfgJSON); err != nil {
+		return nil, fmt.Errorf("core: measure config: %w", err)
+	}
+	net, err := nn.Build(cfg.Model, rand.New(rand.NewPCG(cfg.Seed, 0x1111)))
+	if err != nil {
+		return nil, fmt.Errorf("core: build model: %w", err)
+	}
+	trainer, err := partition.NewTrainer(enclave, net, cfg.Split, cfg.SGD, rand.New(rand.NewPCG(cfg.Seed, 0x2222)))
+	if err != nil {
+		return nil, err
+	}
+	s := &TrainingServer{
+		cfg:     cfg,
+		cfgJSON: cfgJSON,
+		device:  device,
+		enclave: enclave,
+		trainer: trainer,
+		ks:      newKeystore(),
+	}
+	s.chanKey, err = secchan.GenerateKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("core: channel keygen: %w", err)
+	}
+	ecalls := []struct {
+		name string
+		fn   sgx.ECall
+	}{
+		{ecallProvision, provisionECall(s.ks, s.chanKey)},
+		{ecallIngest, s.doIngest},
+		{ecallTrainStep, s.doTrainStep},
+		{ecallRelease, s.doRelease},
+		{ecallExportModel, s.doExportModel},
+		{ecallExportFull, s.doExportFull},
+		{ecallImportFull, s.doImportFull},
+	}
+	for _, ec := range ecalls {
+		if err := enclave.RegisterECall(ec.name, ec.fn); err != nil {
+			return nil, fmt.Errorf("core: register %s: %w", ec.name, err)
+		}
+	}
+	if _, err := enclave.Init(); err != nil {
+		return nil, fmt.Errorf("core: init enclave: %w", err)
+	}
+	if authority != nil {
+		s.qe, err = authority.Provision("caltrain-training-server")
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Measurement returns the training enclave's identity.
+func (s *TrainingServer) Measurement() sgx.Measurement {
+	m, err := s.enclave.Measurement()
+	if err != nil {
+		// Init succeeded in the constructor; this cannot fail.
+		panic(fmt.Sprintf("core: measurement: %v", err))
+	}
+	return m
+}
+
+// Enclave exposes the training enclave for stats and benchmarks.
+func (s *TrainingServer) Enclave() *sgx.Enclave { return s.enclave }
+
+// Device returns the SGX device hosting the training enclave; the
+// fingerprinting enclave must be created on the same device so the model
+// can be handed over via the local-attestation channel.
+func (s *TrainingServer) Device() *sgx.Device { return s.device }
+
+// Trainer exposes the partitioned trainer. Benchmark and evaluation
+// harnesses use it for prediction; FrontNet parameters remain
+// enclave-resident by convention.
+func (s *TrainingServer) Trainer() *partition.Trainer { return s.trainer }
+
+// Quote returns the attestation evidence a participant verifies before
+// provisioning: a signed quote whose report data binds the enclave's
+// channel public key, plus that public key.
+func (s *TrainingServer) Quote() (*attest.Quote, []byte, error) {
+	if s.qe == nil {
+		return nil, nil, fmt.Errorf("core: server has no quoting enclave")
+	}
+	pub := s.chanKey.PublicBytes()
+	q, err := s.qe.QuoteEnclave(s.enclave, attest.BindKey(pub))
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, pub, nil
+}
+
+// ProvisionKey relays a participant's provisioning message into the
+// enclave.
+func (s *TrainingServer) ProvisionKey(clientPub, sealedMsg []byte) error {
+	payload := binary.LittleEndian.AppendUint16(nil, uint16(len(clientPub)))
+	payload = append(payload, clientPub...)
+	payload = append(payload, sealedMsg...)
+	_, err := s.enclave.Call(ecallProvision, payload)
+	return err
+}
+
+// doIngest authenticates, decrypts and stores a sealed batch in-enclave.
+// Output: accepted count, rejected count (u32 each). Records from
+// unregistered sources or failing authentication are discarded (§IV-A).
+func (s *TrainingServer) doIngest(in []byte) ([]byte, error) {
+	records, err := seal.UnmarshalBatch(in)
+	if err != nil {
+		return nil, err
+	}
+	var accepted, rejected uint32
+	for _, r := range records {
+		key, ok := s.ks.keys[r.Participant]
+		if !ok {
+			rejected++
+			continue
+		}
+		img, err := seal.OpenRecord(key, r)
+		if err != nil {
+			rejected++
+			continue
+		}
+		s.enclave.Touch(4 * len(img))
+		s.store = append(s.store, inRecord{
+			img:    img,
+			label:  int(r.Label),
+			source: r.Participant,
+			hash:   seal.ContentHash(img),
+		})
+		accepted++
+	}
+	s.order = nil // invalidate any existing shuffle
+	out := binary.LittleEndian.AppendUint32(nil, accepted)
+	out = binary.LittleEndian.AppendUint32(out, rejected)
+	return out, nil
+}
+
+// Ingest submits a sealed batch to the enclave and returns how many
+// records were accepted and rejected.
+func (s *TrainingServer) Ingest(batch []byte) (accepted, rejected int, err error) {
+	out, err := s.enclave.Call(ecallIngest, batch)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(out) != 8 {
+		return 0, 0, fmt.Errorf("core: ingest response malformed")
+	}
+	a := int(binary.LittleEndian.Uint32(out))
+	r := int(binary.LittleEndian.Uint32(out[4:]))
+	s.accepted += a
+	s.rejected += r
+	return a, r, nil
+}
+
+// DataCount returns how many records the enclave has accepted (counts are
+// not confidential).
+func (s *TrainingServer) DataCount() int { return s.accepted }
+
+// RejectedCount returns how many submitted records failed authentication.
+func (s *TrainingServer) RejectedCount() int { return s.rejected }
+
+// doTrainStep assembles the next mini-batch inside the enclave — shuffle
+// (enclave RNG), augment (enclave RNG; the paper uses the on-chip RNG for
+// augmentation randomness), FrontNet forward — and returns the IR with the
+// batch labels. Decrypted images never cross the boundary; only the IR
+// does (§IV-B).
+func (s *TrainingServer) doTrainStep(in []byte) ([]byte, error) {
+	if len(s.store) == 0 {
+		return nil, ErrNoData
+	}
+	if len(in) != 4 {
+		return nil, fmt.Errorf("core: trainstep payload malformed")
+	}
+	batchSize := int(binary.LittleEndian.Uint32(in))
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("core: trainstep batch size %d", batchSize)
+	}
+	rng := s.enclave.RNG()
+	if s.order == nil || s.pos >= len(s.order) {
+		if s.order == nil {
+			s.order = make([]int, len(s.store))
+			for i := range s.order {
+				s.order[i] = i
+			}
+		}
+		rng.Shuffle(len(s.order), func(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] })
+		s.pos = 0
+	}
+	n := min(batchSize, len(s.order)-s.pos)
+	imgLen := len(s.store[0].img)
+	model := s.cfg.Model
+	batch := tensor.New(n, imgLen)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		rec := s.store[s.order[s.pos+i]]
+		img := rec.img
+		if s.cfg.Augment != nil {
+			img = s.cfg.Augment.Apply(img, model.InC, model.InH, model.InW, rng)
+		}
+		copy(batch.Data()[i*imgLen:(i+1)*imgLen], img)
+		labels[i] = rec.label
+	}
+	s.pos += n
+	s.enclave.Touch(4 * n * imgLen)
+	ir := s.trainer.FrontForward(batch)
+	out := partition.EncodeTensor(ir)
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	for _, l := range labels {
+		out = binary.LittleEndian.AppendUint32(out, uint32(l))
+	}
+	return out, nil
+}
+
+// StepsPerEpoch returns the number of mini-batches per pass over the
+// ingested data.
+func (s *TrainingServer) StepsPerEpoch() int {
+	if s.accepted == 0 {
+		return 0
+	}
+	return (s.accepted + s.cfg.BatchSize - 1) / s.cfg.BatchSize
+}
+
+// TrainStep runs one full partitioned training step and returns the batch
+// loss.
+func (s *TrainingServer) TrainStep() (float64, error) {
+	req := binary.LittleEndian.AppendUint32(nil, uint32(s.cfg.BatchSize))
+	out, err := s.enclave.Call(ecallTrainStep, req)
+	if err != nil {
+		return 0, err
+	}
+	// Response: IR tensor followed by u32 count and u32 labels.
+	ir, labels, err := decodeStepResponse(out)
+	if err != nil {
+		return 0, err
+	}
+	return s.trainer.TrainFromIR(ir, labels)
+}
+
+func decodeStepResponse(out []byte) (*tensor.Tensor, []int, error) {
+	if len(out) < 8 {
+		return nil, nil, fmt.Errorf("core: trainstep response truncated")
+	}
+	// The tensor encodes its own length: rank + dims + data.
+	rank := int(binary.LittleEndian.Uint32(out))
+	if rank <= 0 || rank > 8 || len(out) < 4+4*rank {
+		return nil, nil, fmt.Errorf("core: trainstep response malformed")
+	}
+	n := 1
+	for i := 0; i < rank; i++ {
+		n *= int(binary.LittleEndian.Uint32(out[4+4*i:]))
+	}
+	tensorLen := 4 + 4*rank + 4*n
+	if len(out) < tensorLen+4 {
+		return nil, nil, fmt.Errorf("core: trainstep response truncated")
+	}
+	ir, err := partition.DecodeTensor(out[:tensorLen])
+	if err != nil {
+		return nil, nil, err
+	}
+	rest := out[tensorLen:]
+	count := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) != 4*count {
+		return nil, nil, fmt.Errorf("core: trainstep labels truncated")
+	}
+	labels := make([]int, count)
+	for i := range labels {
+		labels[i] = int(binary.LittleEndian.Uint32(rest[4*i:]))
+	}
+	return ir, labels, nil
+}
+
+// TrainEpoch runs one pass over the ingested data and returns the mean
+// loss.
+func (s *TrainingServer) TrainEpoch() (float64, error) {
+	steps := s.StepsPerEpoch()
+	if steps == 0 {
+		return 0, ErrNoData
+	}
+	var total float64
+	for i := 0; i < steps; i++ {
+		loss, err := s.TrainStep()
+		if err != nil {
+			return 0, err
+		}
+		total += loss
+	}
+	return total / float64(steps), nil
+}
+
+// doRelease seals the FrontNet parameters under the requesting
+// participant's provisioned key (AAD = participant ID).
+func (s *TrainingServer) doRelease(in []byte) ([]byte, error) {
+	id := string(in)
+	key, ok := s.ks.keys[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownParticipant, id)
+	}
+	front, err := s.trainer.ExportFront()
+	if err != nil {
+		return nil, err
+	}
+	return seal.EncryptBlob(key, front, []byte(id), s.enclave.RNG())
+}
+
+// ReleaseModel produces the per-participant model release: BackNet in the
+// clear, FrontNet encrypted under the participant's key.
+func (s *TrainingServer) ReleaseModel(participantID string) (*ReleasedModel, error) {
+	encFront, err := s.enclave.Call(ecallRelease, []byte(participantID))
+	if err != nil {
+		return nil, err
+	}
+	back, err := s.backParams()
+	if err != nil {
+		return nil, err
+	}
+	modelJSON, err := marshalModelConfig(s.cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &ReleasedModel{
+		ConfigJSON:     modelJSON,
+		Split:          s.cfg.Split,
+		EncryptedFront: encFront,
+		BackParams:     back,
+	}, nil
+}
+
+func (s *TrainingServer) backParams() ([]byte, error) {
+	var buf bytesBuffer
+	net := s.trainer.Network()
+	if err := nn.WriteParams(&buf, net, s.cfg.Split, net.NumLayers()); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// doExportModel seals the complete trained model for the fingerprinting
+// enclave (payload: its 32-byte measurement) over the local-attestation
+// channel. The host couriers the blob but cannot open it.
+func (s *TrainingServer) doExportModel(in []byte) ([]byte, error) {
+	if len(in) != 32 {
+		return nil, fmt.Errorf("core: export-model expects a 32-byte measurement")
+	}
+	var peer sgx.Measurement
+	copy(peer[:], in)
+	var buf bytesBuffer
+	net := s.trainer.Network()
+	if err := nn.WriteParams(&buf, net, 0, net.NumLayers()); err != nil {
+		return nil, err
+	}
+	return s.enclave.SealFor(peer, buf.b, []byte("caltrain-model-transfer"))
+}
+
+// ExportModelFor returns the trained model sealed to the fingerprinting
+// enclave with the given measurement.
+func (s *TrainingServer) ExportModelFor(peer sgx.Measurement) ([]byte, error) {
+	return s.enclave.Call(ecallExportModel, peer[:])
+}
+
+// modelSyncAAD authenticates hub model-sync blobs.
+var modelSyncAAD = []byte("caltrain-model-sync")
+
+// doExportFull seals the complete model state under a provisioned key —
+// the hub-to-aggregator leg of the hierarchical learning-hub topology
+// (§IV-B, Performance). Payload: key-owner ID.
+func (s *TrainingServer) doExportFull(in []byte) ([]byte, error) {
+	id := string(in)
+	key, ok := s.ks.keys[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownParticipant, id)
+	}
+	var buf bytesBuffer
+	net := s.trainer.Network()
+	if err := nn.WriteParams(&buf, net, 0, net.NumLayers()); err != nil {
+		return nil, err
+	}
+	return seal.EncryptBlob(key, buf.b, modelSyncAAD, s.enclave.RNG())
+}
+
+// doImportFull replaces the model state from a blob sealed under a
+// provisioned key — the aggregator-to-hub leg. Payload: u16 id length,
+// id, blob.
+func (s *TrainingServer) doImportFull(in []byte) ([]byte, error) {
+	if len(in) < 2 {
+		return nil, fmt.Errorf("core: import-full payload truncated")
+	}
+	idLen := int(binary.LittleEndian.Uint16(in))
+	in = in[2:]
+	if len(in) < idLen {
+		return nil, fmt.Errorf("core: import-full payload truncated")
+	}
+	id := string(in[:idLen])
+	key, ok := s.ks.keys[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownParticipant, id)
+	}
+	params, err := seal.DecryptBlob(key, in[idLen:], modelSyncAAD)
+	if err != nil {
+		return nil, fmt.Errorf("core: import-full: %w", err)
+	}
+	net := s.trainer.Network()
+	return nil, nn.ReadParams(bytes.NewReader(params), net, 0, net.NumLayers())
+}
+
+// ExportFull returns the model state sealed under the named key owner's
+// provisioned key.
+func (s *TrainingServer) ExportFull(keyOwner string) ([]byte, error) {
+	return s.enclave.Call(ecallExportFull, []byte(keyOwner))
+}
+
+// ImportFull replaces the model state from a blob sealed under the named
+// key owner's provisioned key.
+func (s *TrainingServer) ImportFull(keyOwner string, blob []byte) error {
+	payload := binary.LittleEndian.AppendUint16(nil, uint16(len(keyOwner)))
+	payload = append(payload, keyOwner...)
+	payload = append(payload, blob...)
+	_, err := s.enclave.Call(ecallImportFull, payload)
+	return err
+}
+
+// bytesBuffer is a minimal io.Writer accumulating into a slice (avoids
+// pulling bytes.Buffer's unused surface into the hot path).
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func marshalModelConfig(cfg nn.Config) ([]byte, error) {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: marshal model config: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Augmentation implements the paper's in-enclave data augmentation
+// (§IV-A): "random rotation, flipping, and distortion" applied per
+// mini-batch after decryption, with randomness drawn from the enclave's
+// hardware RNG stand-in. All transforms operate on CHW images in place or
+// return new buffers of the same shape.
+type Augmentation struct {
+	// MaxRotate is the rotation range in radians (±).
+	MaxRotate float64
+	// FlipProb is the horizontal-flip probability.
+	FlipProb float64
+	// MaxShift is the translation range in pixels (±).
+	MaxShift int
+	// Jitter is the brightness jitter range (± multiplicative).
+	Jitter float64
+}
+
+// DefaultAugmentation returns the transform set used by the experiment
+// harness for image classification.
+func DefaultAugmentation() Augmentation {
+	return Augmentation{MaxRotate: 0.26, FlipProb: 0.5, MaxShift: 2, Jitter: 0.15}
+}
+
+// Apply returns an augmented copy of img (CHW, h×w).
+func (a Augmentation) Apply(img []float32, c, h, w int, rng *rand.Rand) []float32 {
+	out := make([]float32, len(img))
+	copy(out, img)
+	if a.MaxRotate > 0 {
+		angle := (rng.Float64()*2 - 1) * a.MaxRotate
+		out = Rotate(out, c, h, w, angle)
+	}
+	if a.MaxShift > 0 {
+		dx := rng.IntN(2*a.MaxShift+1) - a.MaxShift
+		dy := rng.IntN(2*a.MaxShift+1) - a.MaxShift
+		out = Shift(out, c, h, w, dx, dy)
+	}
+	if a.FlipProb > 0 && rng.Float64() < a.FlipProb {
+		FlipH(out, c, h, w)
+	}
+	if a.Jitter > 0 {
+		f := float32(1 + (rng.Float64()*2-1)*a.Jitter)
+		for i, v := range out {
+			x := v * f
+			if x < 0 {
+				x = 0
+			} else if x > 1 {
+				x = 1
+			}
+			out[i] = x
+		}
+	}
+	return out
+}
+
+// FlipH mirrors the image horizontally in place.
+func FlipH(img []float32, c, h, w int) {
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			row := img[ch*h*w+y*w : ch*h*w+(y+1)*w]
+			for x := 0; x < w/2; x++ {
+				row[x], row[w-1-x] = row[w-1-x], row[x]
+			}
+		}
+	}
+}
+
+// Rotate returns the image rotated by angle radians about its center with
+// bilinear sampling; out-of-bounds samples read as the nearest edge pixel.
+func Rotate(img []float32, c, h, w int, angle float64) []float32 {
+	out := make([]float32, len(img))
+	sin, cos := math.Sincos(angle)
+	cx, cy := float64(w-1)/2, float64(h-1)/2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Inverse mapping: source position for destination pixel.
+			fx := float64(x) - cx
+			fy := float64(y) - cy
+			sx := fx*cos + fy*sin + cx
+			sy := -fx*sin + fy*cos + cy
+			for ch := 0; ch < c; ch++ {
+				out[ch*h*w+y*w+x] = bilinear(img[ch*h*w:(ch+1)*h*w], h, w, sx, sy)
+			}
+		}
+	}
+	return out
+}
+
+// Shift returns the image translated by (dx, dy); vacated pixels read as
+// edge clamp.
+func Shift(img []float32, c, h, w, dx, dy int) []float32 {
+	out := make([]float32, len(img))
+	for ch := 0; ch < c; ch++ {
+		plane := img[ch*h*w : (ch+1)*h*w]
+		for y := 0; y < h; y++ {
+			sy := clampInt(y-dy, 0, h-1)
+			for x := 0; x < w; x++ {
+				sx := clampInt(x-dx, 0, w-1)
+				out[ch*h*w+y*w+x] = plane[sy*w+sx]
+			}
+		}
+	}
+	return out
+}
+
+func bilinear(plane []float32, h, w int, x, y float64) float32 {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	fx := float32(x - float64(x0))
+	fy := float32(y - float64(y0))
+	get := func(xi, yi int) float32 {
+		return plane[clampInt(yi, 0, h-1)*w+clampInt(xi, 0, w-1)]
+	}
+	top := get(x0, y0)*(1-fx) + get(x0+1, y0)*fx
+	bot := get(x0, y0+1)*(1-fx) + get(x0+1, y0+1)*fx
+	return top*(1-fy) + bot*fy
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// CIFAR-10 binary-format support. The synthetic SynthCIFAR distribution
+// is the default substrate (DESIGN.md §2), but users who have the real
+// dataset (https://www.cs.toronto.edu/~kriz/cifar.html, binary version)
+// can load it and run every experiment against it: each record of a
+// data_batch_*.bin file is 1 label byte followed by 3072 bytes of CHW
+// pixel data (32×32 RGB).
+
+const (
+	cifarImageSide = 32
+	cifarChannels  = 3
+	cifarRecordLen = 1 + cifarChannels*cifarImageSide*cifarImageSide
+	cifarClasses   = 10
+)
+
+// ReadCIFAR10 parses one CIFAR-10 binary batch stream into records with
+// pixels scaled to [0, 1].
+func ReadCIFAR10(r io.Reader) (*Dataset, error) {
+	ds := &Dataset{C: cifarChannels, H: cifarImageSide, W: cifarImageSide, Classes: cifarClasses}
+	br := bufio.NewReader(r)
+	buf := make([]byte, cifarRecordLen)
+	for {
+		_, err := io.ReadFull(br, buf)
+		if err == io.EOF {
+			return ds, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("dataset: truncated CIFAR-10 record after %d records", ds.Len())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read CIFAR-10: %w", err)
+		}
+		label := int(buf[0])
+		if label >= cifarClasses {
+			return nil, fmt.Errorf("dataset: CIFAR-10 label %d out of range in record %d", label, ds.Len())
+		}
+		img := make([]float32, cifarRecordLen-1)
+		for i, b := range buf[1:] {
+			img[i] = float32(b) / 255
+		}
+		ds.Records = append(ds.Records, Record{Image: img, Label: label})
+	}
+}
+
+// LoadCIFAR10 loads the standard CIFAR-10 binary distribution from a
+// directory: data_batch_1..5.bin as the training set and test_batch.bin
+// as the test set.
+func LoadCIFAR10(dir string) (train, test *Dataset, err error) {
+	train = &Dataset{C: cifarChannels, H: cifarImageSide, W: cifarImageSide, Classes: cifarClasses}
+	for i := 1; i <= 5; i++ {
+		part, err := loadCIFARFile(filepath.Join(dir, fmt.Sprintf("data_batch_%d.bin", i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		train.Records = append(train.Records, part.Records...)
+	}
+	test, err = loadCIFARFile(filepath.Join(dir, "test_batch.bin"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+func loadCIFARFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	ds, err := ReadCIFAR10(f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", path, err)
+	}
+	return ds, nil
+}
+
+// CropCenter returns a dataset with every image center-cropped to
+// side×side — the paper's tables train on 28×28×3 inputs, i.e. CIFAR-10
+// center-cropped from 32×32.
+func (d *Dataset) CropCenter(side int) (*Dataset, error) {
+	if side <= 0 || side > d.H || side > d.W {
+		return nil, fmt.Errorf("dataset: crop side %d out of range for %dx%d", side, d.H, d.W)
+	}
+	offY := (d.H - side) / 2
+	offX := (d.W - side) / 2
+	out := &Dataset{C: d.C, H: side, W: side, Classes: d.Classes}
+	for _, r := range d.Records {
+		img := make([]float32, d.C*side*side)
+		for c := 0; c < d.C; c++ {
+			for y := 0; y < side; y++ {
+				srcBase := c*d.H*d.W + (y+offY)*d.W + offX
+				dstBase := c*side*side + y*side
+				copy(img[dstBase:dstBase+side], r.Image[srcBase:srcBase+side])
+			}
+		}
+		out.Records = append(out.Records, Record{Image: img, Label: r.Label})
+	}
+	return out, nil
+}

@@ -1,0 +1,386 @@
+// Package dataset provides the synthetic training-data substrates that
+// stand in for the paper's CIFAR-10 and VGG-Face corpora (see DESIGN.md §2
+// for the substitution rationale). Images are procedurally generated,
+// class-conditional, and deterministic given a seed, so every experiment is
+// reproducible and the class structure is learnable by the convolutional
+// networks in internal/nn.
+//
+// The package also implements the in-enclave data-augmentation
+// transformations the paper applies after decryption (§IV-A: random
+// rotation, flipping, distortion) and the mini-batch sampler used by the
+// training stage.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Record is one labeled training or test instance. Image is a CHW
+// float32 volume in [0, 1].
+type Record struct {
+	Image []float32
+	Label int
+}
+
+// Dataset is an in-memory labeled image collection.
+type Dataset struct {
+	C, H, W int
+	Classes int
+	Records []Record
+}
+
+// ImageLen returns the flattened image length C*H*W.
+func (d *Dataset) ImageLen() int { return d.C * d.H * d.W }
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// Subset returns a shallow dataset containing the records at the given
+// indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	s := &Dataset{C: d.C, H: d.H, W: d.W, Classes: d.Classes}
+	s.Records = make([]Record, len(idx))
+	for i, j := range idx {
+		s.Records[i] = d.Records[j]
+	}
+	return s
+}
+
+// ByClass returns the record indices of each class.
+func (d *Dataset) ByClass() [][]int {
+	out := make([][]int, d.Classes)
+	for i, r := range d.Records {
+		if r.Label >= 0 && r.Label < d.Classes {
+			out[r.Label] = append(out[r.Label], i)
+		}
+	}
+	return out
+}
+
+// Split shuffles the records with rng and divides them into a training
+// and a test set, with testFraction of records in the test set. Because
+// class styles are seed-determined, train and test drawn from one
+// generated dataset share the same class-conditional distribution — the
+// correct way to get matched train/test splits.
+func (d *Dataset) Split(testFraction float64, rng *rand.Rand) (train, test *Dataset) {
+	idx := rng.Perm(d.Len())
+	nTest := int(float64(d.Len()) * testFraction)
+	test = d.Subset(idx[:nTest])
+	train = d.Subset(idx[nTest:])
+	return train, test
+}
+
+// PartitionAmong splits the dataset round-robin into n shards, modeling n
+// collaborative training participants each holding a private slice of the
+// distribution. Every shard sees every class.
+func (d *Dataset) PartitionAmong(n int) []*Dataset {
+	if n <= 0 {
+		panic(fmt.Sprintf("dataset: PartitionAmong needs positive n, got %d", n))
+	}
+	shards := make([]*Dataset, n)
+	for i := range shards {
+		shards[i] = &Dataset{C: d.C, H: d.H, W: d.W, Classes: d.Classes}
+	}
+	for i, r := range d.Records {
+		s := shards[i%n]
+		s.Records = append(s.Records, r)
+	}
+	return shards
+}
+
+// classStyle holds the per-class generative parameters of the synthetic
+// distribution. Classes differ in palette, texture orientation/frequency,
+// and the large-scale shape — enough structure for a small CNN to reach
+// high accuracy, mirroring CIFAR-10's learnability.
+type classStyle struct {
+	fg, bg    [3]float64 // foreground/background RGB
+	angle     float64    // texture orientation
+	freq      float64    // texture spatial frequency
+	shape     int        // 0 blob, 1 box, 2 stripes
+	cx, cy, r float64    // shape placement (relative)
+}
+
+func styleFor(class int, seed uint64) classStyle {
+	rng := rand.New(rand.NewPCG(seed, uint64(class)*0x9e3779b97f4a7c15+1))
+	var s classStyle
+	for i := 0; i < 3; i++ {
+		s.fg[i] = 0.55 + 0.45*rng.Float64()
+		s.bg[i] = 0.45 * rng.Float64()
+	}
+	s.angle = rng.Float64() * math.Pi
+	s.freq = 2 + 6*rng.Float64()
+	s.shape = class % 3
+	s.cx = 0.3 + 0.4*rng.Float64()
+	s.cy = 0.3 + 0.4*rng.Float64()
+	s.r = 0.2 + 0.15*rng.Float64()
+	return s
+}
+
+// Options configures synthetic dataset generation.
+type Options struct {
+	Classes int
+	H, W    int
+	// PerClass is the number of records generated per class.
+	PerClass int
+	// Noise is the per-pixel Gaussian noise stddev.
+	Noise float64
+	// Seed determines both class styles and per-sample variation.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Classes == 0 {
+		o.Classes = 10
+	}
+	if o.H == 0 {
+		o.H = 28
+	}
+	if o.W == 0 {
+		o.W = 28
+	}
+	if o.PerClass == 0 {
+		o.PerClass = 100
+	}
+	if o.Noise == 0 {
+		o.Noise = 0.08
+	}
+	return o
+}
+
+// SynthCIFAR generates the CIFAR-10 stand-in: opts.Classes classes of
+// opts.H×opts.W RGB images with per-class geometry, texture and palette,
+// jittered per sample.
+func SynthCIFAR(opts Options) *Dataset {
+	opts = opts.withDefaults()
+	d := &Dataset{C: 3, H: opts.H, W: opts.W, Classes: opts.Classes}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0xC1FA))
+	for class := 0; class < opts.Classes; class++ {
+		style := styleFor(class, opts.Seed)
+		for i := 0; i < opts.PerClass; i++ {
+			d.Records = append(d.Records, Record{
+				Image: renderSample(style, opts, rng),
+				Label: class,
+			})
+		}
+	}
+	shuffle(d.Records, rng)
+	return d
+}
+
+func renderSample(s classStyle, opts Options, rng *rand.Rand) []float32 {
+	h, w := opts.H, opts.W
+	img := make([]float32, 3*h*w)
+	// Per-sample jitter of placement, orientation, and brightness.
+	cx := s.cx + 0.1*(rng.Float64()-0.5)
+	cy := s.cy + 0.1*(rng.Float64()-0.5)
+	r := s.r * (0.85 + 0.3*rng.Float64())
+	angle := s.angle + 0.2*(rng.Float64()-0.5)
+	bright := 0.85 + 0.3*rng.Float64()
+	sin, cos := math.Sincos(angle)
+
+	for y := 0; y < h; y++ {
+		fy := float64(y) / float64(h)
+		for x := 0; x < w; x++ {
+			fx := float64(x) / float64(w)
+			// Oriented grating texture.
+			u := fx*cos + fy*sin
+			tex := 0.5 + 0.5*math.Sin(2*math.Pi*s.freq*u)
+			// Shape mask.
+			var inside bool
+			switch s.shape {
+			case 0: // blob
+				dx, dy := fx-cx, fy-cy
+				inside = dx*dx+dy*dy < r*r
+			case 1: // box
+				inside = math.Abs(fx-cx) < r && math.Abs(fy-cy) < r
+			default: // stripes
+				inside = math.Mod(u*s.freq, 1) < 0.5
+			}
+			for c := 0; c < 3; c++ {
+				base := s.bg[c] * (0.6 + 0.4*tex)
+				if inside {
+					base = s.fg[c] * (0.5 + 0.5*tex)
+				}
+				v := base*bright + rng.NormFloat64()*opts.Noise
+				img[c*h*w+y*w+x] = clamp01(v)
+			}
+		}
+	}
+	return img
+}
+
+// FaceOptions configures the SynthFace generator.
+type FaceOptions struct {
+	Identities int
+	H, W       int
+	PerID      int
+	Noise      float64
+	Seed       uint64
+}
+
+func (o FaceOptions) withDefaults() FaceOptions {
+	if o.Identities == 0 {
+		o.Identities = 10
+	}
+	if o.H == 0 {
+		o.H = 24
+	}
+	if o.W == 0 {
+		o.W = 24
+	}
+	if o.PerID == 0 {
+		o.PerID = 60
+	}
+	if o.Noise == 0 {
+		o.Noise = 0.05
+	}
+	return o
+}
+
+// SynthFace generates the VGG-Face stand-in: identity-conditional face-like
+// images (skin palette, eye placement, mouth curvature, hair band) with
+// per-sample pose jitter. Labels are identity indices.
+func SynthFace(opts FaceOptions) *Dataset {
+	opts = opts.withDefaults()
+	d := &Dataset{C: 3, H: opts.H, W: opts.W, Classes: opts.Identities}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0xFACE))
+	for id := 0; id < opts.Identities; id++ {
+		f := faceStyleFor(id, opts.Seed)
+		for i := 0; i < opts.PerID; i++ {
+			d.Records = append(d.Records, Record{
+				Image: renderFace(f, opts, rng),
+				Label: id,
+			})
+		}
+	}
+	shuffle(d.Records, rng)
+	return d
+}
+
+type faceStyle struct {
+	skin      [3]float64
+	hair      [3]float64
+	eyeDX     float64 // eye separation (identity signature)
+	eyeY      float64
+	eyeSize   float64
+	mouthY    float64
+	mouthCurv float64
+	faceR     float64
+}
+
+func faceStyleFor(id int, seed uint64) faceStyle {
+	rng := rand.New(rand.NewPCG(seed^0xFA, uint64(id)*0x9e3779b97f4a7c15+7))
+	return faceStyle{
+		skin:      [3]float64{0.55 + 0.35*rng.Float64(), 0.4 + 0.3*rng.Float64(), 0.3 + 0.25*rng.Float64()},
+		hair:      [3]float64{0.1 + 0.5*rng.Float64(), 0.05 + 0.3*rng.Float64(), 0.05 + 0.3*rng.Float64()},
+		eyeDX:     0.12 + 0.12*rng.Float64(),
+		eyeY:      0.35 + 0.1*rng.Float64(),
+		eyeSize:   0.03 + 0.04*rng.Float64(),
+		mouthY:    0.65 + 0.12*rng.Float64(),
+		mouthCurv: 0.25 * (rng.Float64() - 0.5),
+		faceR:     0.32 + 0.08*rng.Float64(),
+	}
+}
+
+func renderFace(f faceStyle, opts FaceOptions, rng *rand.Rand) []float32 {
+	h, w := opts.H, opts.W
+	img := make([]float32, 3*h*w)
+	// Pose jitter per sample.
+	ox := 0.04 * (rng.Float64() - 0.5)
+	oy := 0.04 * (rng.Float64() - 0.5)
+	bright := 0.85 + 0.3*rng.Float64()
+	for y := 0; y < h; y++ {
+		fy := float64(y)/float64(h) - oy
+		for x := 0; x < w; x++ {
+			fx := float64(x)/float64(w) - ox
+			dx, dy := fx-0.5, fy-0.52
+			var col [3]float64
+			switch {
+			case dx*dx+dy*dy*1.3 < f.faceR*f.faceR: // face oval
+				col = f.skin
+				// Eyes: dark dots at identity-specific separation.
+				for _, ex := range []float64{0.5 - f.eyeDX, 0.5 + f.eyeDX} {
+					ddx, ddy := fx-ex, fy-f.eyeY
+					if ddx*ddx+ddy*ddy < f.eyeSize*f.eyeSize {
+						col = [3]float64{0.05, 0.05, 0.1}
+					}
+				}
+				// Mouth: curved dark band.
+				my := f.mouthY + f.mouthCurv*(fx-0.5)*(fx-0.5)*8
+				if math.Abs(fy-my) < 0.025 && math.Abs(fx-0.5) < 0.14 {
+					col = [3]float64{0.45, 0.1, 0.12}
+				}
+			case fy < 0.3: // hair band
+				col = f.hair
+			default: // background
+				col = [3]float64{0.15, 0.18, 0.22}
+			}
+			for c := 0; c < 3; c++ {
+				img[c*h*w+y*w+x] = clamp01(col[c]*bright + rng.NormFloat64()*opts.Noise)
+			}
+		}
+	}
+	return img
+}
+
+// Mislabel randomly reassigns a fraction of records to a wrong label,
+// modeling the low-quality/mislabeled contributions the paper's threat
+// model anticipates (§III) and discovers in VGG-Face's class 0 (§VI-D:
+// only 49.7% of A.J.Buckley's images were correct). It returns the indices
+// of the relabeled records.
+func (d *Dataset) Mislabel(fraction float64, rng *rand.Rand) []int {
+	if fraction <= 0 {
+		return nil
+	}
+	var changed []int
+	for i := range d.Records {
+		if rng.Float64() >= fraction {
+			continue
+		}
+		wrong := rng.IntN(d.Classes - 1)
+		if wrong >= d.Records[i].Label {
+			wrong++
+		}
+		d.Records[i].Label = wrong
+		changed = append(changed, i)
+	}
+	return changed
+}
+
+// MislabelInto relabels a fraction of records whose label is not target to
+// the target class, reproducing the paper's scenario where mislabeled
+// female faces sit inside A.J.Buckley's (class 0) training data. It
+// returns the indices of the relabeled records.
+func (d *Dataset) MislabelInto(target int, fraction float64, rng *rand.Rand) []int {
+	var changed []int
+	for i := range d.Records {
+		if d.Records[i].Label == target || rng.Float64() >= fraction {
+			continue
+		}
+		d.Records[i].Label = target
+		changed = append(changed, i)
+	}
+	return changed
+}
+
+func shuffle(recs []Record, rng *rand.Rand) {
+	rng.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+}
+
+// Shuffle permutes the record order using rng. The training server
+// shuffles pooled multi-participant data before mini-batching (§IV-A).
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	shuffle(d.Records, rng)
+}
+
+func clamp01(v float64) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return float32(v)
+}

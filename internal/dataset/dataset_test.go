@@ -1,0 +1,348 @@
+package dataset
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSynthCIFARDeterministic(t *testing.T) {
+	a := SynthCIFAR(Options{Classes: 4, PerClass: 5, Seed: 42})
+	b := SynthCIFAR(Options{Classes: 4, PerClass: 5, Seed: 42})
+	if a.Len() != 20 || b.Len() != 20 {
+		t.Fatalf("lens %d %d, want 20", a.Len(), b.Len())
+	}
+	for i := range a.Records {
+		if a.Records[i].Label != b.Records[i].Label {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for j := range a.Records[i].Image {
+			if a.Records[i].Image[j] != b.Records[i].Image[j] {
+				t.Fatal("pixels differ across identical seeds")
+			}
+		}
+	}
+	c := SynthCIFAR(Options{Classes: 4, PerClass: 5, Seed: 43})
+	same := true
+	for j := range a.Records[0].Image {
+		if a.Records[0].Image[j] != c.Records[0].Image[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical first image")
+	}
+}
+
+func TestSynthCIFARPixelRange(t *testing.T) {
+	d := SynthCIFAR(Options{Classes: 3, PerClass: 4, Seed: 7})
+	for _, r := range d.Records {
+		if len(r.Image) != d.ImageLen() {
+			t.Fatalf("image length %d, want %d", len(r.Image), d.ImageLen())
+		}
+		for _, v := range r.Image {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %v out of [0,1]", v)
+			}
+		}
+	}
+}
+
+// TestSynthClassesAreSeparated: images of the same class must be closer to
+// each other on average than to images of another class — the minimal
+// condition for the dataset to be learnable.
+func TestSynthClassesAreSeparated(t *testing.T) {
+	d := SynthCIFAR(Options{Classes: 2, PerClass: 10, Seed: 11, Noise: 0.03})
+	byClass := d.ByClass()
+	dist := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			dd := float64(a[i]) - float64(b[i])
+			s += dd * dd
+		}
+		return math.Sqrt(s)
+	}
+	var intra, inter float64
+	var ni, nx int
+	for _, i := range byClass[0] {
+		for _, j := range byClass[0] {
+			if i < j {
+				intra += dist(d.Records[i].Image, d.Records[j].Image)
+				ni++
+			}
+		}
+		for _, j := range byClass[1] {
+			inter += dist(d.Records[i].Image, d.Records[j].Image)
+			nx++
+		}
+	}
+	intra /= float64(ni)
+	inter /= float64(nx)
+	if !(inter > intra*1.2) {
+		t.Fatalf("classes not separated: intra %v inter %v", intra, inter)
+	}
+}
+
+func TestSynthFaceIdentitiesSeparated(t *testing.T) {
+	d := SynthFace(FaceOptions{Identities: 3, PerID: 6, Seed: 5, Noise: 0.02})
+	if d.Classes != 3 || d.Len() != 18 {
+		t.Fatalf("unexpected dataset size %d/%d", d.Classes, d.Len())
+	}
+	byClass := d.ByClass()
+	dist := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			dd := float64(a[i]) - float64(b[i])
+			s += dd * dd
+		}
+		return s
+	}
+	var intra, inter float64
+	var ni, nx int
+	for _, i := range byClass[0] {
+		for _, j := range byClass[0] {
+			if i < j {
+				intra += dist(d.Records[i].Image, d.Records[j].Image)
+				ni++
+			}
+		}
+		for _, j := range byClass[1] {
+			inter += dist(d.Records[i].Image, d.Records[j].Image)
+			nx++
+		}
+	}
+	if !(inter/float64(nx) > intra/float64(ni)) {
+		t.Fatal("face identities not separated")
+	}
+}
+
+func TestPartitionAmong(t *testing.T) {
+	d := SynthCIFAR(Options{Classes: 5, PerClass: 8, Seed: 3})
+	shards := d.PartitionAmong(4)
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+		if s.Classes != d.Classes {
+			t.Fatal("shard lost class count")
+		}
+	}
+	if total != d.Len() {
+		t.Fatalf("shards cover %d records, want %d", total, d.Len())
+	}
+}
+
+func TestMislabel(t *testing.T) {
+	d := SynthCIFAR(Options{Classes: 4, PerClass: 25, Seed: 9})
+	orig := make([]int, d.Len())
+	for i, r := range d.Records {
+		orig[i] = r.Label
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	changed := d.Mislabel(0.3, rng)
+	if len(changed) == 0 {
+		t.Fatal("nothing mislabeled at 30%")
+	}
+	for _, i := range changed {
+		if d.Records[i].Label == orig[i] {
+			t.Fatal("mislabel produced the original label")
+		}
+		if d.Records[i].Label < 0 || d.Records[i].Label >= d.Classes {
+			t.Fatal("mislabel out of class range")
+		}
+	}
+	if d.Mislabel(0, rng) != nil {
+		t.Fatal("zero fraction should change nothing")
+	}
+}
+
+func TestMislabelInto(t *testing.T) {
+	d := SynthCIFAR(Options{Classes: 3, PerClass: 30, Seed: 13})
+	rng := rand.New(rand.NewPCG(4, 5))
+	changed := d.MislabelInto(0, 0.25, rng)
+	if len(changed) == 0 {
+		t.Fatal("nothing relabeled")
+	}
+	for _, i := range changed {
+		if d.Records[i].Label != 0 {
+			t.Fatal("MislabelInto must assign the target class")
+		}
+	}
+}
+
+func TestSamplerCoversEpoch(t *testing.T) {
+	d := SynthCIFAR(Options{Classes: 2, PerClass: 11, Seed: 21}) // 22 records
+	rng := rand.New(rand.NewPCG(2, 3))
+	s, err := NewSampler(d, 5, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BatchesPerEpoch() != 5 { // ceil(22/5)
+		t.Fatalf("BatchesPerEpoch = %d, want 5", s.BatchesPerEpoch())
+	}
+	seen := 0
+	sizes := []int{}
+	for i := 0; i < s.BatchesPerEpoch(); i++ {
+		in, labels := s.Next()
+		if in.Dim(0) != len(labels) {
+			t.Fatal("batch/labels mismatch")
+		}
+		seen += len(labels)
+		sizes = append(sizes, len(labels))
+	}
+	if seen != 22 {
+		t.Fatalf("epoch covered %d records, want 22 (sizes %v)", seen, sizes)
+	}
+	// Next call rolls into a fresh epoch without error.
+	in, _ := s.Next()
+	if in.Dim(0) != 5 {
+		t.Fatalf("new epoch first batch size %d, want 5", in.Dim(0))
+	}
+}
+
+func TestSamplerRejectsBadInputs(t *testing.T) {
+	d := SynthCIFAR(Options{Classes: 2, PerClass: 2, Seed: 1})
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := NewSampler(d, 0, nil, rng); err == nil {
+		t.Fatal("expected error for zero batch")
+	}
+	empty := &Dataset{C: 3, H: 4, W: 4, Classes: 2}
+	if _, err := NewSampler(empty, 4, nil, rng); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+}
+
+func TestBatchDeterministic(t *testing.T) {
+	d := SynthCIFAR(Options{Classes: 2, PerClass: 4, Seed: 31})
+	in1, l1 := d.Batch(0, 4)
+	in2, l2 := d.Batch(0, 4)
+	for i := range in1.Data() {
+		if in1.Data()[i] != in2.Data()[i] {
+			t.Fatal("Batch must be deterministic")
+		}
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("labels must be deterministic")
+		}
+	}
+}
+
+func TestFlipHInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		c, h, w := 2, 4+int(seed%4), 3+int((seed>>8)%5)
+		img := make([]float32, c*h*w)
+		for i := range img {
+			img[i] = float32(rng.Float64())
+		}
+		cp := make([]float32, len(img))
+		copy(cp, img)
+		FlipH(img, c, h, w)
+		FlipH(img, c, h, w)
+		for i := range img {
+			if img[i] != cp[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotateZeroIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 9))
+	img := make([]float32, 3*8*8)
+	for i := range img {
+		img[i] = float32(rng.Float64())
+	}
+	out := Rotate(img, 3, 8, 8, 0)
+	for i := range img {
+		if math.Abs(float64(out[i]-img[i])) > 1e-6 {
+			t.Fatalf("zero rotation changed pixel %d", i)
+		}
+	}
+}
+
+func TestShiftZeroIsIdentity(t *testing.T) {
+	img := []float32{1, 2, 3, 4}
+	out := Shift(img, 1, 2, 2, 0, 0)
+	for i := range img {
+		if out[i] != img[i] {
+			t.Fatal("zero shift changed image")
+		}
+	}
+}
+
+func TestShiftMovesPixels(t *testing.T) {
+	// 1-channel 3x3 with a bright pixel at (0,0); shift right by 1 moves
+	// it to (0,1).
+	img := make([]float32, 9)
+	img[0] = 1
+	out := Shift(img, 1, 3, 3, 1, 0)
+	if out[1] != 1 {
+		t.Fatalf("expected pixel at index 1, got %v", out)
+	}
+}
+
+func TestAugmentationPreservesShapeAndRange(t *testing.T) {
+	d := SynthCIFAR(Options{Classes: 2, PerClass: 2, Seed: 77})
+	a := DefaultAugmentation()
+	rng := rand.New(rand.NewPCG(8, 8))
+	for _, r := range d.Records {
+		out := a.Apply(r.Image, d.C, d.H, d.W, rng)
+		if len(out) != len(r.Image) {
+			t.Fatal("augmentation changed image size")
+		}
+		for _, v := range out {
+			if v < 0 || v > 1 {
+				t.Fatalf("augmented pixel %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestAugmentationDoesNotMutateOriginal(t *testing.T) {
+	d := SynthCIFAR(Options{Classes: 1, PerClass: 1, Seed: 88})
+	orig := make([]float32, len(d.Records[0].Image))
+	copy(orig, d.Records[0].Image)
+	a := DefaultAugmentation()
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 5; i++ {
+		a.Apply(d.Records[0].Image, d.C, d.H, d.W, rng)
+	}
+	for i := range orig {
+		if d.Records[0].Image[i] != orig[i] {
+			t.Fatal("augmentation mutated the source image")
+		}
+	}
+}
+
+func TestSubsetAndByClass(t *testing.T) {
+	d := SynthCIFAR(Options{Classes: 3, PerClass: 4, Seed: 99})
+	by := d.ByClass()
+	if len(by) != 3 {
+		t.Fatalf("ByClass groups = %d", len(by))
+	}
+	n := 0
+	for class, idx := range by {
+		n += len(idx)
+		for _, i := range idx {
+			if d.Records[i].Label != class {
+				t.Fatal("ByClass grouped wrong label")
+			}
+		}
+	}
+	if n != d.Len() {
+		t.Fatalf("ByClass covered %d records, want %d", n, d.Len())
+	}
+	sub := d.Subset(by[1])
+	for _, r := range sub.Records {
+		if r.Label != 1 {
+			t.Fatal("Subset broke labels")
+		}
+	}
+}

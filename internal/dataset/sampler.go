@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"caltrain/internal/tensor"
+)
+
+// Sampler assembles shuffled mini-batches from a dataset, optionally
+// applying an augmentation to every drawn image. It models the training
+// stage's "randomly shuffled and combined to build mini-batches" step
+// (§IV-A).
+type Sampler struct {
+	ds      *Dataset
+	batch   int
+	augment *Augmentation
+	rng     *rand.Rand
+
+	order []int
+	pos   int
+}
+
+// NewSampler constructs a sampler drawing batches of the given size.
+// augment may be nil for no augmentation. rng drives both shuffling and
+// augmentation randomness.
+func NewSampler(ds *Dataset, batch int, augment *Augmentation, rng *rand.Rand) (*Sampler, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("dataset: sampler batch must be positive, got %d", batch)
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("dataset: sampler needs a non-empty dataset")
+	}
+	s := &Sampler{ds: ds, batch: batch, augment: augment, rng: rng}
+	s.reshuffle()
+	return s, nil
+}
+
+func (s *Sampler) reshuffle() {
+	if s.order == nil {
+		s.order = make([]int, s.ds.Len())
+		for i := range s.order {
+			s.order[i] = i
+		}
+	}
+	s.rng.Shuffle(len(s.order), func(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] })
+	s.pos = 0
+}
+
+// BatchesPerEpoch returns the number of batches in one pass over the data.
+func (s *Sampler) BatchesPerEpoch() int {
+	return (s.ds.Len() + s.batch - 1) / s.batch
+}
+
+// Next returns the next mini-batch as a [n, C*H*W] tensor plus labels,
+// reshuffling at epoch boundaries. The final batch of an epoch may be
+// smaller than the configured size.
+func (s *Sampler) Next() (*tensor.Tensor, []int) {
+	if s.pos >= len(s.order) {
+		s.reshuffle()
+	}
+	n := min(s.batch, len(s.order)-s.pos)
+	imgLen := s.ds.ImageLen()
+	in := tensor.New(n, imgLen)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		rec := s.ds.Records[s.order[s.pos+i]]
+		img := rec.Image
+		if s.augment != nil {
+			img = s.augment.Apply(img, s.ds.C, s.ds.H, s.ds.W, s.rng)
+		}
+		copy(in.Data()[i*imgLen:(i+1)*imgLen], img)
+		labels[i] = rec.Label
+	}
+	s.pos += n
+	return in, labels
+}
+
+// Batch materializes records [lo, hi) in dataset order (no shuffle, no
+// augmentation) — used by evaluation and fingerprinting passes, which must
+// be deterministic.
+func (d *Dataset) Batch(lo, hi int) (*tensor.Tensor, []int) {
+	if lo < 0 || hi > d.Len() || lo >= hi {
+		panic(fmt.Sprintf("dataset: Batch range [%d,%d) out of bounds for %d records", lo, hi, d.Len()))
+	}
+	imgLen := d.ImageLen()
+	in := tensor.New(hi-lo, imgLen)
+	labels := make([]int, hi-lo)
+	for i := lo; i < hi; i++ {
+		copy(in.Data()[(i-lo)*imgLen:(i-lo+1)*imgLen], d.Records[i].Image)
+		labels[i-lo] = d.Records[i].Label
+	}
+	return in, labels
+}

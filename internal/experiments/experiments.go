@@ -1,0 +1,183 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI) on the synthetic substrates. Each experiment has a
+// parameter struct (with paper-faithful defaults scaled for pure-Go
+// runtime; see DESIGN.md §2 for the scale substitution), a Run function
+// that returns a structured result, and a text rendering that prints the
+// same rows/series the paper reports.
+//
+// Index:
+//
+//	Tables I & II — RunTables: the two CIFAR-10 architectures.
+//	Figure 3      — RunExperimentI(TableI): accuracy/epoch, 10-layer.
+//	Figure 4      — RunExperimentI(TableII): accuracy/epoch, 18-layer.
+//	Figure 5      — RunExperimentII: per-epoch, per-layer KL divergence.
+//	Figure 6      — RunExperimentIII: overhead vs in-enclave conv layers.
+//	Figure 7      — RunExperimentIV (Viz): LLE view of fingerprints.
+//	Figure 8      — RunExperimentIV (Query): nearest-neighbour forensics.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"caltrain/internal/attest"
+	"caltrain/internal/core"
+	"caltrain/internal/dataset"
+	"caltrain/internal/nn"
+	"caltrain/internal/tensor"
+)
+
+// Params are the shared experiment knobs.
+type Params struct {
+	// Scale divides the paper architectures' filter counts (1 = exact
+	// paper networks; the default 4 keeps pure-Go training tractable).
+	Scale int
+	// TrainPerClass / TestPerClass size the synthetic dataset.
+	TrainPerClass, TestPerClass int
+	// Epochs is the number of training epochs (the paper uses 12).
+	Epochs int
+	// BatchSize is the mini-batch size.
+	BatchSize int
+	// Participants is the number of collaborating parties.
+	Participants int
+	// Seed drives every stochastic component.
+	Seed uint64
+	// EPCSize is the enclave memory budget (0 = default 128 MB).
+	EPCSize int64
+}
+
+// Defaults returns the standard harness parameters. They are sized so a
+// full `caltrain-bench -exp all` run completes in minutes on a laptop; use
+// -scale 1 and larger datasets to approach the paper's absolute setting.
+func Defaults() Params {
+	return Params{
+		Scale:         4,
+		TrainPerClass: 40,
+		TestPerClass:  12,
+		Epochs:        12,
+		BatchSize:     32,
+		Participants:  4,
+		Seed:          7,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := Defaults()
+	if p.Scale == 0 {
+		p.Scale = d.Scale
+	}
+	if p.TrainPerClass == 0 {
+		p.TrainPerClass = d.TrainPerClass
+	}
+	if p.TestPerClass == 0 {
+		p.TestPerClass = d.TestPerClass
+	}
+	if p.Epochs == 0 {
+		p.Epochs = d.Epochs
+	}
+	if p.BatchSize == 0 {
+		p.BatchSize = d.BatchSize
+	}
+	if p.Participants == 0 {
+		p.Participants = d.Participants
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
+// cifarData generates matched train/test splits of the CIFAR-10 stand-in.
+func cifarData(p Params) (train, test *dataset.Dataset) {
+	all := dataset.SynthCIFAR(dataset.Options{
+		Classes:  10,
+		H:        28,
+		W:        28,
+		PerClass: p.TrainPerClass + p.TestPerClass,
+		Seed:     p.Seed,
+		Noise:    0.06,
+	})
+	frac := float64(p.TestPerClass) / float64(p.TrainPerClass+p.TestPerClass)
+	return all.Split(frac, rand.New(rand.NewPCG(p.Seed, 0x5511)))
+}
+
+// buildSession constructs a CalTrain session with provisioned participants
+// holding shards of train.
+func buildSession(cfg core.SessionConfig, train *dataset.Dataset, nParticipants uint64) (*core.TrainingServer, []*core.Participant, *attest.Authority, []byte, error) {
+	authority, err := attest.NewAuthority()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	authorityPub, err := authority.PublicKey()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	server, err := core.NewTrainingServer(cfg, authority)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	expected, err := core.ExpectedTrainingMeasurement(cfg)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	shards := train.PartitionAmong(int(nParticipants))
+	var participants []*core.Participant
+	for i, shard := range shards {
+		p := core.NewParticipant(fmt.Sprintf("participant-%c", 'A'+i), shard, cfg.Seed+uint64(i)*17+1)
+		if err := p.Provision(server, authorityPub, expected); err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("experiments: provision %s: %w", p.ID, err)
+		}
+		batch, err := p.SealRecords()
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if _, _, err := server.Ingest(batch); err != nil {
+			return nil, nil, nil, nil, err
+		}
+		participants = append(participants, p)
+	}
+	return server, participants, authority, authorityPub, nil
+}
+
+// trainLocalBaseline trains net outside any enclave with the same data and
+// augmentation — Experiment I's "non-protected environment".
+func trainLocalBaseline(net *nn.Network, train *dataset.Dataset, epochs, batchSize int, opt nn.SGD, seed uint64, perEpoch func(epoch int) error) error {
+	aug := dataset.DefaultAugmentation()
+	rng := rand.New(rand.NewPCG(seed, 0xBA5E))
+	s, err := dataset.NewSampler(train, batchSize, &aug, rng)
+	if err != nil {
+		return err
+	}
+	ctx := &nn.Context{Mode: tensor.Accelerated, Training: true, RNG: rng}
+	for e := 0; e < epochs; e++ {
+		for b := 0; b < s.BatchesPerEpoch(); b++ {
+			in, labels := s.Next()
+			if _, err := net.TrainBatch(ctx, opt, in, labels); err != nil {
+				return err
+			}
+		}
+		if perEpoch != nil {
+			if err := perEpoch(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Tables renders the paper's Appendix A architecture tables at the given
+// scale.
+func Tables(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	for _, cfg := range []nn.Config{nn.TableI(p.Scale), nn.TableII(p.Scale)} {
+		net, err := nn.Build(cfg, rand.New(rand.NewPCG(p.Seed, 1)))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "=== %s (scale 1/%d of the paper's filter counts) ===\n", cfg.Name, p.Scale)
+		fmt.Fprint(w, net.Summary())
+		fmt.Fprintln(w)
+	}
+	return nil
+}

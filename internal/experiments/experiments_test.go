@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"caltrain/internal/nn"
+)
+
+// tinyParams keeps experiment tests fast: heavily scaled-down networks and
+// datasets that still exercise every code path.
+func tinyParams() Params {
+	return Params{
+		Scale:         16,
+		TrainPerClass: 8,
+		TestPerClass:  4,
+		Epochs:        2,
+		BatchSize:     16,
+		Participants:  2,
+		Seed:          13,
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Tables(tinyParams(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cifar-10L", "cifar-18L", "conv", "dropout", "softmax"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tables output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentIShape(t *testing.T) {
+	p := tinyParams()
+	var buf bytes.Buffer
+	res, err := RunExperimentI(nn.TableI(p.Scale), p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Baseline) != p.Epochs || len(res.Protected) != p.Epochs {
+		t.Fatalf("series lengths %d/%d, want %d", len(res.Baseline), len(res.Protected), p.Epochs)
+	}
+	for i := range res.Baseline {
+		for _, pt := range []AccuracyPoint{res.Baseline[i], res.Protected[i]} {
+			if pt.Top1 < 0 || pt.Top1 > 1 || pt.Top2 < pt.Top1 || pt.Top2 > 1 {
+				t.Fatalf("invalid accuracy point %+v", pt)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "caltrain_top1") {
+		t.Fatal("render missing headers")
+	}
+}
+
+func TestExperimentIIShape(t *testing.T) {
+	p := ExpIIParams{Params: tinyParams(), Probes: 2, MaxMapsPerLayer: 2}
+	var buf bytes.Buffer
+	res, err := RunExperimentII(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != p.Epochs {
+		t.Fatalf("assessed %d epochs, want %d", len(res.Epochs), p.Epochs)
+	}
+	for _, e := range res.Epochs {
+		// 18-layer net: 16 assessable layers (everything before softmax).
+		if len(e.Report.Layers) != 16 {
+			t.Fatalf("epoch %d assessed %d layers, want 16", e.Epoch, len(e.Report.Layers))
+		}
+		if e.OptimalSplit < 0 || e.OptimalSplit > 16 {
+			t.Fatalf("epoch %d optimal split %d", e.Epoch, e.OptimalSplit)
+		}
+	}
+	if !strings.Contains(buf.String(), "recommended FrontNet size") {
+		t.Fatal("render missing recommendation")
+	}
+}
+
+func TestExperimentIIIShape(t *testing.T) {
+	p := tinyParams()
+	p.TrainPerClass = 4
+	p.TestPerClass = 2
+	var buf bytes.Buffer
+	res, err := RunExperimentIII(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Allocations) != 10 {
+		t.Fatalf("%d allocations, want 10", len(res.Allocations))
+	}
+	if res.Allocations[0].ConvLayers != 0 || res.Allocations[0].Overhead != 0 {
+		t.Fatalf("baseline row wrong: %+v", res.Allocations[0])
+	}
+	// Splits must be strictly increasing along the x-axis.
+	for i := 1; i < len(res.Allocations); i++ {
+		if res.Allocations[i].Split <= res.Allocations[i-1].Split {
+			t.Fatalf("splits not increasing: %+v", res.Allocations)
+		}
+	}
+}
+
+func TestConvSplitsMatchArchitecture(t *testing.T) {
+	// Each ConvSplits entry must enclose exactly that many conv layers of
+	// the 18-layer network.
+	cfg := nn.TableII(16)
+	for convLayers, split := range ConvSplits {
+		got := 0
+		for i := 0; i < split; i++ {
+			if cfg.Layers[i].Kind == nn.KindConv {
+				got++
+			}
+		}
+		if got != convLayers {
+			t.Fatalf("split %d encloses %d conv layers, want %d", split, got, convLayers)
+		}
+	}
+}
+
+func tinyExpIV() ExpIVParams {
+	return ExpIVParams{
+		Params: Params{
+			Scale: 8, TestPerClass: 6, Epochs: 8, BatchSize: 20, Seed: 17,
+		},
+		Identities:  4,
+		PerID:       24,
+		Target:      0,
+		PoisonCount: 30,
+	}
+}
+
+func TestExperimentIVScenarioAndFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accountability scenario is expensive")
+	}
+	sc, err := BuildScenario(tinyExpIV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Attack.SuccessRate < 0.6 {
+		t.Fatalf("attack success %.2f too low for a meaningful figure", sc.Attack.SuccessRate)
+	}
+	if sc.Attack.CleanAccuracy < 0.5 {
+		t.Fatalf("clean accuracy %.2f collapsed", sc.Attack.CleanAccuracy)
+	}
+	// Ground truth must contain all three provenance classes.
+	counts := map[Provenance]int{}
+	for _, pv := range sc.ProvOf {
+		counts[pv]++
+	}
+	if counts[ProvPoisoned] == 0 || counts[ProvMislabeled] == 0 || counts[ProvNormal] == 0 {
+		t.Fatalf("provenance counts %v", counts)
+	}
+
+	var buf bytes.Buffer
+	fig7, err := RunFig7(sc, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fig7.TrojanedTrainTestOverlap() {
+		t.Log(buf.String())
+		t.Fatal("Figure 7 property violated: trojaned train/test do not overlap apart from normal data")
+	}
+
+	buf.Reset()
+	fig8, err := RunFig8(sc, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig8.Cases) == 0 || fig8.Investigated == 0 {
+		t.Fatalf("no cases investigated: %+v", fig8)
+	}
+	for _, c := range fig8.Cases {
+		if len(c.Neighbors) == 0 {
+			t.Fatalf("case %q has no neighbours", c.Description)
+		}
+		for i := 1; i < len(c.Neighbors); i++ {
+			if c.Neighbors[i-1].Distance > c.Neighbors[i].Distance {
+				t.Fatal("neighbours not sorted by distance")
+			}
+		}
+	}
+	// The paper's discovery claim: neighbours of investigated
+	// mispredictions are dominated by poisoned/mislabeled data.
+	if fig8.Precision < 0.6 {
+		t.Log(buf.String())
+		t.Fatalf("discovery precision %.2f below expectation", fig8.Precision)
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"caltrain/internal/core"
+	"caltrain/internal/dataset"
+	"caltrain/internal/nn"
+	"caltrain/internal/partition"
+	"caltrain/internal/tensor"
+)
+
+// AccuracyPoint is one epoch's Top-1/Top-2 test accuracy.
+type AccuracyPoint struct {
+	Epoch      int
+	Top1, Top2 float64
+}
+
+// ExpIResult holds Experiment I's two curves for one architecture
+// (Figure 3 for Table I, Figure 4 for Table II): the model trained in a
+// non-protected environment versus the model trained via CalTrain.
+type ExpIResult struct {
+	Arch      string
+	Baseline  []AccuracyPoint // dotted lines in the paper's figures
+	Protected []AccuracyPoint // solid lines
+}
+
+// RunExperimentI reproduces §VI-A: train the given architecture for
+// p.Epochs epochs (a) in the clear and (b) through the full CalTrain
+// pipeline (encrypted submission, in-enclave decryption/augmentation,
+// FrontNet in the enclave with the paper's split of two layers), recording
+// Top-1/Top-2 test accuracy per epoch.
+func RunExperimentI(model nn.Config, p Params, w io.Writer) (*ExpIResult, error) {
+	p = p.withDefaults()
+	train, test := cifarData(p)
+	res := &ExpIResult{Arch: model.Name}
+	opt := nn.DefaultSGD()
+	testIn, testLabels := test.Batch(0, test.Len())
+
+	// (a) Non-protected baseline.
+	baseNet, err := nn.Build(model, rand.New(rand.NewPCG(p.Seed, 0x0B)))
+	if err != nil {
+		return nil, err
+	}
+	err = trainLocalBaseline(baseNet, train, p.Epochs, p.BatchSize, opt, p.Seed, func(epoch int) error {
+		probs, err := baseNet.Predict(&nn.Context{Mode: tensor.Accelerated}, testIn)
+		if err != nil {
+			return err
+		}
+		top1, top2, err := partition.TopKAccuracy(probs, testLabels, 2)
+		if err != nil {
+			return err
+		}
+		res.Baseline = append(res.Baseline, AccuracyPoint{Epoch: epoch + 1, Top1: top1, Top2: top2})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// (b) CalTrain: first two layers inside the enclave (§VI-A: "we
+	// loaded the first two layers in an SGX enclave").
+	aug := dataset.DefaultAugmentation()
+	cfg := core.SessionConfig{
+		Model:     model,
+		Split:     2,
+		Epochs:    p.Epochs,
+		BatchSize: p.BatchSize,
+		SGD:       opt,
+		EPCSize:   p.EPCSize,
+		Augment:   &aug,
+		Seed:      p.Seed,
+	}
+	server, _, _, _, err := buildSession(cfg, train, uint64(p.Participants))
+	if err != nil {
+		return nil, err
+	}
+	for e := 0; e < p.Epochs; e++ {
+		if _, err := server.TrainEpoch(); err != nil {
+			return nil, err
+		}
+		top1, top2, err := server.Trainer().Evaluate(testIn, testLabels, 2)
+		if err != nil {
+			return nil, err
+		}
+		res.Protected = append(res.Protected, AccuracyPoint{Epoch: e + 1, Top1: top1, Top2: top2})
+	}
+	if w != nil {
+		res.Render(w)
+	}
+	return res, nil
+}
+
+// Render prints the four series as the paper's figures tabulate them.
+func (r *ExpIResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== Experiment I (%s): prediction accuracy per epoch ===\n", r.Arch)
+	fmt.Fprintf(w, "%-6s %12s %12s %16s %16s\n", "epoch",
+		"base_top1", "base_top2", "caltrain_top1", "caltrain_top2")
+	for i := range r.Baseline {
+		fmt.Fprintf(w, "%-6d %11.1f%% %11.1f%% %15.1f%% %15.1f%%\n",
+			r.Baseline[i].Epoch,
+			100*r.Baseline[i].Top1, 100*r.Baseline[i].Top2,
+			100*r.Protected[i].Top1, 100*r.Protected[i].Top2)
+	}
+	bt1, bt2 := r.FinalBaseline()
+	pt1, pt2 := r.FinalProtected()
+	fmt.Fprintf(w, "final: baseline %.1f%%/%.1f%%  caltrain %.1f%%/%.1f%%  (paper: protection does not change accuracy)\n\n",
+		100*bt1, 100*bt2, 100*pt1, 100*pt2)
+}
+
+// FinalBaseline returns the last-epoch baseline accuracies.
+func (r *ExpIResult) FinalBaseline() (top1, top2 float64) {
+	if n := len(r.Baseline); n > 0 {
+		return r.Baseline[n-1].Top1, r.Baseline[n-1].Top2
+	}
+	return 0, 0
+}
+
+// FinalProtected returns the last-epoch CalTrain accuracies.
+func (r *ExpIResult) FinalProtected() (top1, top2 float64) {
+	if n := len(r.Protected); n > 0 {
+		return r.Protected[n-1].Top1, r.Protected[n-1].Top2
+	}
+	return 0, 0
+}

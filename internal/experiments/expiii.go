@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"caltrain/internal/core"
+	"caltrain/internal/dataset"
+	"caltrain/internal/nn"
+	"caltrain/internal/sgx"
+)
+
+// AllocationCost is one bar of Figure 6: the training cost of one epoch
+// with a given number of convolutional layers enclosed in the enclave.
+type AllocationCost struct {
+	// ConvLayers is the number of in-enclave convolutional layers (the
+	// paper's x-axis: 0, 2, 3, ..., 10).
+	ConvLayers int
+	// Split is the corresponding layer index in the 18-layer network.
+	Split int
+	// EpochTime is the measured wall-clock time of one training epoch.
+	EpochTime time.Duration
+	// Overhead is the normalized overhead versus the ConvLayers = 0
+	// baseline.
+	Overhead float64
+	// PageFaults counts EPC page crossings charged during the epoch.
+	PageFaults int64
+}
+
+// ExpIIIResult holds Experiment III's overhead curve.
+type ExpIIIResult struct {
+	Arch        string
+	Allocations []AllocationCost
+}
+
+// ConvSplits maps Figure 6's x-axis (number of in-enclave conv layers of
+// the 18-layer network) to the partition index in the layer stack. The
+// network's layout is conv,conv,conv,max,drop, conv,conv,conv,max,drop,
+// conv,conv,conv,drop, conv(1×1), avg, softmax, cost.
+var ConvSplits = map[int]int{
+	0: 0, 2: 2, 3: 3, 4: 6, 5: 7, 6: 8, 7: 11, 8: 12, 9: 13, 10: 15,
+}
+
+// expIIIOrder is Figure 6's x-axis order.
+var expIIIOrder = []int{0, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+
+// RunExperimentIII reproduces §VI-C: for each in-enclave workload
+// allocation, run one full CalTrain training epoch (in-enclave batch
+// assembly, augmentation and FrontNet on the enclave path with EPC
+// accounting; BackNet on the accelerated path) and report the time
+// normalized against the no-enclave baseline.
+//
+// The paper's curve rises from 6% (two conv layers) to 22% (all ten);
+// the two modeled cost sources — the plain (non-fast-math) kernel on the
+// enclosed layers and EPC paging as the working set grows — reproduce the
+// monotone shape. Absolute percentages depend on the host's core count
+// and cache sizes; EXPERIMENTS.md records the measured run.
+func RunExperimentIII(p Params, w io.Writer) (*ExpIIIResult, error) {
+	p = p.withDefaults()
+	if p.EPCSize == 0 {
+		// Scale the EPC with the model so paging pressure is
+		// proportional to the paper's 128 MB against the full-size
+		// network. Activations dominate the training working set and
+		// shrink linearly in 1/scale (filter counts are divided), so the
+		// EPC scales the same way.
+		p.EPCSize = int64(128<<20) / int64(p.Scale)
+		if p.EPCSize < 16*sgx.PageSize {
+			p.EPCSize = 16 * sgx.PageSize
+		}
+	}
+	train, _ := cifarData(p)
+	model := nn.TableII(p.Scale)
+	res := &ExpIIIResult{Arch: model.Name}
+
+	var baseline time.Duration
+	for _, convLayers := range expIIIOrder {
+		split := ConvSplits[convLayers]
+		aug := dataset.DefaultAugmentation()
+		cfg := core.SessionConfig{
+			Model:     model,
+			Split:     split,
+			Epochs:    1,
+			BatchSize: p.BatchSize,
+			SGD:       nn.DefaultSGD(),
+			EPCSize:   p.EPCSize,
+			Augment:   &aug,
+			Seed:      p.Seed,
+		}
+		server, _, _, _, err := buildSession(cfg, train, uint64(p.Participants))
+		if err != nil {
+			return nil, err
+		}
+		// Median of three timed epochs damps scheduler jitter.
+		const repeats = 3
+		times := make([]time.Duration, 0, repeats)
+		server.Enclave().ResetStats()
+		for rep := 0; rep < repeats; rep++ {
+			start := time.Now()
+			if _, err := server.TrainEpoch(); err != nil {
+				return nil, err
+			}
+			times = append(times, time.Since(start))
+		}
+		sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+		elapsed := times[repeats/2]
+		if convLayers == 0 {
+			baseline = elapsed
+		}
+		over := 0.0
+		if baseline > 0 {
+			over = float64(elapsed-baseline) / float64(baseline)
+		}
+		res.Allocations = append(res.Allocations, AllocationCost{
+			ConvLayers: convLayers,
+			Split:      split,
+			EpochTime:  elapsed,
+			Overhead:   over,
+			PageFaults: server.Enclave().Stats().PageFaults,
+		})
+	}
+	if w != nil {
+		res.Render(w)
+	}
+	return res, nil
+}
+
+// Render prints Figure 6's bars.
+func (r *ExpIIIResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== Experiment III (%s): overhead vs in-enclave conv layers ===\n", r.Arch)
+	fmt.Fprintf(w, "%-12s %-7s %14s %12s %12s\n", "conv_layers", "split", "epoch_time", "overhead", "page_faults")
+	for _, a := range r.Allocations {
+		fmt.Fprintf(w, "%-12d %-7d %14s %11.1f%% %12d\n",
+			a.ConvLayers, a.Split, a.EpochTime.Round(time.Millisecond), 100*a.Overhead, a.PageFaults)
+	}
+	fmt.Fprintf(w, "(paper: 6%% at 2 conv layers rising to 22%% at 10; 8.1%% at the optimal 3-conv allocation)\n\n")
+}

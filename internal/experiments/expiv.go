@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"math/rand/v2"
+
+	"caltrain/internal/attest"
+	"caltrain/internal/core"
+	"caltrain/internal/dataset"
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/nn"
+	"caltrain/internal/seal"
+	"caltrain/internal/sgx"
+	"caltrain/internal/trojan"
+)
+
+// Provenance classifies a training instance in the accountability
+// experiment's ground truth.
+type Provenance string
+
+// Provenance values.
+const (
+	// ProvNormal is a correctly labeled instance from an honest
+	// participant.
+	ProvNormal Provenance = "normal"
+	// ProvPoisoned is a trojan-trigger-stamped instance injected by the
+	// malicious participant.
+	ProvPoisoned Provenance = "poisoned"
+	// ProvMislabeled is an honest participant's instance carrying a
+	// wrong label (the paper found 24.3% of VGG-Face class 0 mislabeled).
+	ProvMislabeled Provenance = "mislabeled"
+)
+
+// ExpIVParams configures the accountability experiment.
+type ExpIVParams struct {
+	Params
+	// Identities is the number of face classes (the VGG-Face stand-in).
+	Identities int
+	// PerID is the number of training images per identity.
+	PerID int
+	// Target is the attacker's chosen class (the paper's class 0,
+	// A.J.Buckley).
+	Target int
+	// PoisonCount is how many trojaned training instances the malicious
+	// participant injects.
+	PoisonCount int
+	// MislabeledPerTarget is how many wrong-identity faces sit inside the
+	// target class's training data.
+	MislabeledPerTarget int
+}
+
+func (p ExpIVParams) withDefaults() ExpIVParams {
+	p.Params = p.Params.withDefaults()
+	if p.Identities == 0 {
+		p.Identities = 8
+	}
+	if p.PerID == 0 {
+		p.PerID = 30
+	}
+	if p.PoisonCount == 0 {
+		p.PoisonCount = 40
+	}
+	if p.MislabeledPerTarget == 0 {
+		// ≈25% of the target class after injection, matching the paper's
+		// 24.3% finding.
+		p.MislabeledPerTarget = p.PerID / 3
+	}
+	return p
+}
+
+// Scenario is the fully materialized accountability setting shared by
+// Figures 7 and 8: a trojaned model, the linkage database built through
+// the fingerprinting enclave, and ground-truth provenance for every
+// database entry.
+type Scenario struct {
+	P        ExpIVParams
+	Model    *nn.Network
+	Trigger  *trojan.Trigger
+	DB       *fingerprint.DB
+	Attack   trojan.Evaluation
+	TestSet  *dataset.Dataset // clean test images
+	Stamped  *dataset.Dataset // trigger-stamped test images
+	ProvOf   map[int]Provenance
+	Sources  map[Provenance]string
+	trainLen int
+}
+
+// BuildScenario reproduces §VI-D's setting end to end:
+//
+//  1. Honest participants hold a face dataset whose target class contains
+//     mislabeled instances (as the paper discovered in VGG-Face class 0).
+//  2. A victim model is trained; the attacker inverts it to generate a
+//     trojan trigger, stamps faces from a foreign dataset, and retrains —
+//     yielding the trojaned model that classifies any stamped input into
+//     the target class.
+//  3. All training data (honest + malicious) pass through the
+//     fingerprinting enclave; the linkage database records Ω for each.
+func BuildScenario(p ExpIVParams) (*Scenario, error) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewPCG(p.Seed, 0xF17))
+
+	// Honest data, with train/test split and mislabeling in the target
+	// class.
+	all := dataset.SynthFace(dataset.FaceOptions{
+		Identities: p.Identities, H: 24, W: 24,
+		PerID: p.PerID + p.TestPerClass, Seed: p.Seed, Noise: 0.04,
+	})
+	frac := float64(p.TestPerClass) / float64(p.PerID+p.TestPerClass)
+	train, test := all.Split(frac, rng)
+	mislabelFrac := float64(p.MislabeledPerTarget) / float64((p.Identities-1)*p.PerID)
+	mislabeledIdx := train.MislabelInto(p.Target, mislabelFrac, rng)
+	mislabeledHashes := make(map[[32]byte]bool, len(mislabeledIdx))
+	for _, i := range mislabeledIdx {
+		mislabeledHashes[seal.ContentHash(train.Records[i].Image)] = true
+	}
+
+	// Victim model, then the Trojaning attack.
+	model := nn.FaceNet(p.Identities, 64, p.Scale)
+	victim, err := nn.Build(model, rand.New(rand.NewPCG(p.Seed, 0xF18)))
+	if err != nil {
+		return nil, err
+	}
+	opt := nn.SGD{LearningRate: 0.02, Momentum: 0.9}
+	if err := trojan.Retrain(victim, train, p.Epochs, p.BatchSize, opt, rng); err != nil {
+		return nil, err
+	}
+	trigger, err := trojan.OptimizeTrigger(victim, p.Target, trojan.Options{Size: 6, Steps: 60}, rng)
+	if err != nil {
+		return nil, err
+	}
+	foreign := dataset.SynthFace(dataset.FaceOptions{
+		Identities: p.Identities, H: 24, W: 24, PerID: p.PerID, Seed: p.Seed + 1000, Noise: 0.04,
+	})
+	poisoned := trigger.PoisonFrom(foreign, p.PoisonCount, rng)
+	mix := &dataset.Dataset{C: 3, H: 24, W: 24, Classes: p.Identities}
+	mix.Records = append(mix.Records, train.Records...)
+	mix.Records = append(mix.Records, poisoned.Records...)
+	if err := trojan.Retrain(victim, mix, max(p.Epochs/2, 3), p.BatchSize, nn.SGD{LearningRate: 0.01, Momentum: 0.9}, rng); err != nil {
+		return nil, err
+	}
+	attackEval, err := trojan.Evaluate(victim, trigger, test)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fingerprinting stage through the enclave: honest participants hold
+	// shards of the (mislabeled-contaminated) training data; "mallory"
+	// holds the poisoned data and submits through the same legitimate
+	// channel (§VI-D: "our approach does not differentiate how poisoned
+	// or mislabeled samples are infused").
+	authority, err := attest.NewAuthority()
+	if err != nil {
+		return nil, err
+	}
+	authorityPub, err := authority.PublicKey()
+	if err != nil {
+		return nil, err
+	}
+	device := sgx.NewDevice(p.Seed)
+	fps, err := core.NewFingerprintService(device, model, authority, p.EPCSize)
+	if err != nil {
+		return nil, err
+	}
+	var params bytesWriter
+	if err := nn.WriteParams(&params, victim, 0, victim.NumLayers()); err != nil {
+		return nil, err
+	}
+	if err := fps.ImportModel(params.b); err != nil {
+		return nil, err
+	}
+	expected, err := core.ExpectedFingerprintMeasurement(model)
+	if err != nil {
+		return nil, err
+	}
+
+	sc := &Scenario{
+		P: p, Model: victim, Trigger: trigger, Attack: attackEval,
+		TestSet: test, Stamped: trigger.StampDataset(test),
+		ProvOf:   make(map[int]Provenance),
+		Sources:  map[Provenance]string{ProvPoisoned: "mallory"},
+		trainLen: train.Len(),
+	}
+	shards := train.PartitionAmong(2)
+	parties := []struct {
+		p  *core.Participant
+		ds *dataset.Dataset
+	}{
+		{core.NewParticipant("alice", shards[0], p.Seed+21), shards[0]},
+		{core.NewParticipant("bob", shards[1], p.Seed+22), shards[1]},
+		{core.NewParticipant("mallory", poisoned, p.Seed+23), poisoned},
+	}
+	for _, pt := range parties {
+		if err := pt.p.Provision(fps, authorityPub, expected); err != nil {
+			return nil, err
+		}
+		batch, err := pt.p.SealRecords()
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := fps.Fingerprint(batch); err != nil {
+			return nil, err
+		}
+	}
+	sc.DB, err = fps.ExportDB()
+	if err != nil {
+		return nil, err
+	}
+	// Ground-truth provenance per DB entry.
+	for i := 0; i < sc.DB.Len(); i++ {
+		e := sc.DB.Entry(i)
+		switch {
+		case e.S == "mallory":
+			sc.ProvOf[i] = ProvPoisoned
+		case mislabeledHashes[e.H]:
+			sc.ProvOf[i] = ProvMislabeled
+		default:
+			sc.ProvOf[i] = ProvNormal
+		}
+	}
+	return sc, nil
+}
+
+// bytesWriter is a slice-backed io.Writer.
+type bytesWriter struct{ b []byte }
+
+func (w *bytesWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSecurityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("security harness trains several models")
+	}
+	p := Params{Scale: 16, TrainPerClass: 8, TestPerClass: 4, Epochs: 6, BatchSize: 16, Participants: 2, Seed: 7}
+	var buf bytes.Buffer
+	res, err := RunSecurity(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three §VII contrasts must point the claimed way.
+	if !(res.InversionShallow > res.InversionDeep) {
+		t.Fatalf("inversion contrast inverted: shallow %.3f deep %.3f", res.InversionShallow, res.InversionDeep)
+	}
+	if !(res.IRWhiteBox > res.IRBlind) {
+		t.Fatalf("IR reconstruction contrast inverted: white-box %.3f blind %.3f", res.IRWhiteBox, res.IRBlind)
+	}
+	if !(res.MIAOverfit >= res.MIAGeneral) {
+		t.Fatalf("MIA contrast inverted: overfit %.3f general %.3f", res.MIAOverfit, res.MIAGeneral)
+	}
+	out := buf.String()
+	for _, want := range []string{"model inversion", "IR reconstruction", "membership inference"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

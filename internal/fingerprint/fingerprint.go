@@ -1,0 +1,304 @@
+// Package fingerprint implements CalTrain's model-accountability substrate
+// (§IV-C): one-way fingerprints for training instances, the 4-tuple
+// linkage structure Ω = [F, Y, S, H], the linkage database, and the
+// nearest-neighbour query service model users call when they hit a
+// misprediction.
+//
+// A fingerprint F is the L2-normalized feature embedding read from the
+// penultimate layer (the layer before softmax) of the trained model. Y is
+// the class label, S the contributing participant, and H the SHA-256
+// content digest used to verify data a participant later turns in.
+// Queries measure L2 distance between the mispredicted input's fingerprint
+// and all training fingerprints with the same label, returning the closest
+// instances and their provenance.
+package fingerprint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"caltrain/internal/nn"
+	"caltrain/internal/tensor"
+)
+
+// Errors returned by the database.
+var (
+	ErrDimMismatch = errors.New("fingerprint: dimension mismatch")
+	ErrBadLabel    = errors.New("fingerprint: label out of range")
+)
+
+// Fingerprint is one L2-normalized penultimate-layer embedding.
+type Fingerprint []float32
+
+// L2Distance returns the Euclidean distance between two fingerprints.
+func (f Fingerprint) L2Distance(g Fingerprint) (float64, error) {
+	if len(f) != len(g) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, len(f), len(g))
+	}
+	var s float64
+	for i := range f {
+		d := float64(f[i]) - float64(g[i])
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// Linkage is the recorded 4-tuple Ω = [F, Y, S, H] for one training
+// instance.
+type Linkage struct {
+	F Fingerprint
+	Y int
+	S string
+	H [32]byte
+}
+
+// Match is one query result: a training instance's provenance plus its
+// fingerprint distance to the queried misprediction.
+type Match struct {
+	// Index is the instance's position in the database.
+	Index int
+	// Source is the contributing participant (S).
+	Source string
+	// Label is the instance's training label (Y).
+	Label int
+	// Hash is the content digest (H) to verify turned-in data against.
+	Hash [32]byte
+	// Distance is the L2 fingerprint distance.
+	Distance float64
+}
+
+// DB is the linkage-structure database deposited after training for
+// post-hoc queries (§IV-C). Entries are indexed per class label because
+// queries always restrict to Y = Ytest.
+type DB struct {
+	dim     int
+	entries []Linkage
+	byClass map[int][]int
+}
+
+// NewDB creates a database for fingerprints of the given dimensionality.
+func NewDB(dim int) (*DB, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("fingerprint: dimension must be positive, got %d", dim)
+	}
+	return &DB{dim: dim, byClass: make(map[int][]int)}, nil
+}
+
+// Dim returns the fingerprint dimensionality.
+func (db *DB) Dim() int { return db.dim }
+
+// Len returns the number of stored linkages.
+func (db *DB) Len() int { return len(db.entries) }
+
+// Entry returns the linkage at index i.
+func (db *DB) Entry(i int) Linkage { return db.entries[i] }
+
+// Add stores one linkage. The fingerprint is copied.
+func (db *DB) Add(l Linkage) error {
+	if len(l.F) != db.dim {
+		return fmt.Errorf("%w: fingerprint has %d dims, db %d", ErrDimMismatch, len(l.F), db.dim)
+	}
+	if l.Y < 0 {
+		return fmt.Errorf("%w: %d", ErrBadLabel, l.Y)
+	}
+	cp := make(Fingerprint, db.dim)
+	copy(cp, l.F)
+	l.F = cp
+	idx := len(db.entries)
+	db.entries = append(db.entries, l)
+	db.byClass[l.Y] = append(db.byClass[l.Y], idx)
+	return nil
+}
+
+// Query returns the k nearest same-label training instances to f by L2
+// fingerprint distance, ascending. Fewer than k are returned if the class
+// has fewer instances.
+func (db *DB) Query(f Fingerprint, label, k int) ([]Match, error) {
+	if len(f) != db.dim {
+		return nil, fmt.Errorf("%w: query has %d dims, db %d", ErrDimMismatch, len(f), db.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("fingerprint: k must be positive, got %d", k)
+	}
+	idxs := db.byClass[label]
+	matches := make([]Match, len(idxs))
+	fill := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			e := db.entries[idxs[k]]
+			// Dimensions were validated at Add time; compute inline.
+			var s float64
+			for j := range f {
+				d := float64(f[j]) - float64(e.F[j])
+				s += d * d
+			}
+			matches[k] = Match{Index: idxs[k], Source: e.S, Label: e.Y, Hash: e.H, Distance: math.Sqrt(s)}
+		}
+	}
+	// Large classes scan in parallel; the query service's latency is
+	// dominated by this loop (see BenchmarkQueryScaling).
+	const parallelThreshold = 8192
+	if len(idxs) >= parallelThreshold {
+		workers := runtime.GOMAXPROCS(0)
+		chunk := (len(idxs) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, len(idxs))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fill(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		fill(0, len(idxs))
+	}
+	sort.Slice(matches, func(a, b int) bool {
+		if matches[a].Distance != matches[b].Distance {
+			return matches[a].Distance < matches[b].Distance
+		}
+		return matches[a].Index < matches[b].Index
+	})
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches, nil
+}
+
+// SourcesOf tallies how many of the given matches come from each
+// participant — the "identify responsible data contributors" step.
+func SourcesOf(matches []Match) map[string]int {
+	out := make(map[string]int)
+	for _, m := range matches {
+		out[m.Source]++
+	}
+	return out
+}
+
+// --- Extraction -----------------------------------------------------------
+
+// Extract runs a batch through the network and returns each row's
+// normalized penultimate-layer embedding. The fingerprinting stage runs
+// this with the entire trained network enclosed in the fingerprinting
+// enclave (§IV-C: "we enclose the entire trained neural network into a
+// fingerprinting enclave").
+func Extract(net *nn.Network, ctx *nn.Context, batch *tensor.Tensor) ([]Fingerprint, error) {
+	pi := net.PenultimateIndex()
+	if pi < 0 {
+		return nil, fmt.Errorf("fingerprint: network has no softmax layer to anchor the penultimate embedding")
+	}
+	inferCtx := *ctx
+	inferCtx.Training = false
+	net.ForwardRange(&inferCtx, 0, pi+1, batch)
+	out := net.Layer(pi).Output()
+	n := out.Dim(0)
+	dim := out.Dim(1)
+	fps := make([]Fingerprint, n)
+	for b := 0; b < n; b++ {
+		f := make(Fingerprint, dim)
+		copy(f, out.Data()[b*dim:(b+1)*dim])
+		normalize(f)
+		fps[b] = f
+	}
+	return fps, nil
+}
+
+func normalize(f Fingerprint) {
+	var s float64
+	for _, v := range f {
+		s += float64(v) * float64(v)
+	}
+	if s == 0 {
+		return
+	}
+	inv := float32(1 / math.Sqrt(s))
+	for i := range f {
+		f[i] *= inv
+	}
+}
+
+// --- Persistence ----------------------------------------------------------
+
+const dbMagic = "CTFP"
+
+// Save serializes the database.
+func (db *DB) Save(w io.Writer) error {
+	if _, err := w.Write([]byte(dbMagic)); err != nil {
+		return fmt.Errorf("fingerprint: save: %w", err)
+	}
+	hdr := binary.LittleEndian.AppendUint32(nil, uint32(db.dim))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(db.entries)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("fingerprint: save: %w", err)
+	}
+	for _, e := range db.entries {
+		rec := binary.LittleEndian.AppendUint32(nil, uint32(e.Y))
+		rec = binary.LittleEndian.AppendUint16(rec, uint16(len(e.S)))
+		rec = append(rec, e.S...)
+		rec = append(rec, e.H[:]...)
+		for _, v := range e.F {
+			rec = binary.LittleEndian.AppendUint32(rec, math.Float32bits(v))
+		}
+		if _, err := w.Write(rec); err != nil {
+			return fmt.Errorf("fingerprint: save: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadDB deserializes a database written by Save.
+func LoadDB(r io.Reader) (*DB, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("fingerprint: load: %w", err)
+	}
+	if string(magic) != dbMagic {
+		return nil, fmt.Errorf("fingerprint: load: bad magic %q", magic)
+	}
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("fingerprint: load: %w", err)
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr))
+	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	db, err := NewDB(dim)
+	if err != nil {
+		return nil, err
+	}
+	if n > 100_000_000 {
+		return nil, fmt.Errorf("fingerprint: load: implausible entry count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		head := make([]byte, 6)
+		if _, err := io.ReadFull(r, head); err != nil {
+			return nil, fmt.Errorf("fingerprint: load entry %d: %w", i, err)
+		}
+		y := int(int32(binary.LittleEndian.Uint32(head)))
+		slen := int(binary.LittleEndian.Uint16(head[4:]))
+		rest := make([]byte, slen+32+4*dim)
+		if _, err := io.ReadFull(r, rest); err != nil {
+			return nil, fmt.Errorf("fingerprint: load entry %d: %w", i, err)
+		}
+		e := Linkage{Y: y, S: string(rest[:slen])}
+		copy(e.H[:], rest[slen:slen+32])
+		e.F = make(Fingerprint, dim)
+		fb := rest[slen+32:]
+		for j := 0; j < dim; j++ {
+			e.F[j] = math.Float32frombits(binary.LittleEndian.Uint32(fb[j*4:]))
+		}
+		if err := db.Add(e); err != nil {
+			return nil, fmt.Errorf("fingerprint: load entry %d: %w", i, err)
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,121 @@
+package fingerprint
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Service exposes the linkage database over HTTP — the "online database"
+// model users query with a misprediction's fingerprint and label (§IV-C).
+// Only fingerprints, labels, sources and hashes are served: original
+// training data never enter the service, so confidentiality is preserved
+// (data are solicited from participants on demand afterwards).
+type Service struct {
+	db *DB
+}
+
+// NewService wraps a database.
+func NewService(db *DB) *Service { return &Service{db: db} }
+
+// QueryRequest is the JSON body of a POST /query.
+type QueryRequest struct {
+	Fingerprint []float32 `json:"fingerprint"`
+	Label       int       `json:"label"`
+	K           int       `json:"k"`
+}
+
+// MatchJSON is one result row in a QueryResponse.
+type MatchJSON struct {
+	Index    int     `json:"index"`
+	Source   string  `json:"source"`
+	Label    int     `json:"label"`
+	Hash     string  `json:"hash"`
+	Distance float64 `json:"distance"`
+}
+
+// QueryResponse is the JSON body of a successful query.
+type QueryResponse struct {
+	Matches []MatchJSON    `json:"matches"`
+	Sources map[string]int `json:"sources"`
+}
+
+// Handler returns the HTTP handler serving POST /query and GET /stats.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	matches, err := s.db.Query(Fingerprint(req.Fingerprint), req.Label, req.K)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := QueryResponse{Sources: SourcesOf(matches), Matches: make([]MatchJSON, len(matches))}
+	for i, m := range matches {
+		resp.Matches[i] = MatchJSON{
+			Index:    m.Index,
+			Source:   m.Source,
+			Label:    m.Label,
+			Hash:     hex.EncodeToString(m.Hash[:]),
+			Distance: m.Distance,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Headers already sent; nothing recoverable.
+		return
+	}
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]int{"entries": s.db.Len(), "dim": s.db.Dim()})
+}
+
+// Client queries a remote fingerprint service.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// NewClient constructs a client for the service at baseURL. httpClient may
+// be nil for http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, http: httpClient}
+}
+
+// Query posts a misprediction's fingerprint and returns the nearest
+// same-class training instances.
+func (c *Client) Query(f Fingerprint, label, k int) (*QueryResponse, error) {
+	body, err := json.Marshal(QueryRequest{Fingerprint: f, Label: label, K: k})
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint: encode query: %w", err)
+	}
+	resp, err := c.http.Post(c.baseURL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint: query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fingerprint: query status %s", resp.Status)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("fingerprint: decode response: %w", err)
+	}
+	return &out, nil
+}

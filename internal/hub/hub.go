@@ -1,0 +1,263 @@
+// Package hub implements the hierarchical learning-hub topology the paper
+// sketches to scale confidential training beyond a single enclave (§IV-B,
+// Performance): "we can also form multiple learning hubs. Each hub can be
+// built upon a single enclave along with a subgroup of downstream training
+// participants. Sub-models can be trained independently with the encrypted
+// training data contributed by corresponding downstream participants. We
+// can build a hierarchical tree model by setting up a model aggregation
+// server at root and periodically merge model updates from different
+// enclaves as alike in Federated Learning."
+//
+// Each hub is a full CalTrain training server (its own device, enclave,
+// provisioned participants). The root aggregator holds a symmetric key
+// provisioned into every hub enclave over the attested channel; model
+// states travel hub→root and root→hub sealed under that key, so the
+// untrusted hosts relaying them never see FrontNet parameters. Merging is
+// FedAvg-style: a data-weighted average of all hub parameters.
+package hub
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"caltrain/internal/attest"
+	"caltrain/internal/core"
+	"caltrain/internal/nn"
+	"caltrain/internal/seal"
+	"caltrain/internal/sgx"
+)
+
+// AggregatorID is the key-owner identity under which the root aggregation
+// server provisions its key into each hub enclave.
+const AggregatorID = "__caltrain_aggregator__"
+
+// ErrNoHubs is returned when a federation has no hubs.
+var ErrNoHubs = errors.New("hub: federation has no hubs")
+
+// Config configures a federation.
+type Config struct {
+	// Session is the per-hub consensus config; every hub runs the same
+	// architecture, split and hyperparameters (participants attest each
+	// hub enclave against the same expected measurement).
+	Session core.SessionConfig
+	// Hubs is the number of learning hubs.
+	Hubs int
+	// LocalEpochs is how many epochs each hub trains per round before the
+	// root merges.
+	LocalEpochs int
+}
+
+// Federation is a tree of learning hubs with a root aggregation server.
+type Federation struct {
+	cfg          Config
+	hubs         []*core.TrainingServer
+	authority    *attest.Authority
+	authorityPub []byte
+	expected     sgx.Measurement
+
+	// Root aggregator state.
+	aggKey seal.Key
+	rng    *rand.Rand
+}
+
+// New builds the federation: one training server per hub, plus the root
+// aggregator, whose key is provisioned into every hub enclave through the
+// same attest-then-provision flow participants use.
+func New(cfg Config) (*Federation, error) {
+	if cfg.Hubs <= 0 {
+		return nil, fmt.Errorf("hub: need at least one hub, got %d", cfg.Hubs)
+	}
+	if cfg.LocalEpochs <= 0 {
+		cfg.LocalEpochs = 1
+	}
+	authority, err := attest.NewAuthority()
+	if err != nil {
+		return nil, err
+	}
+	authorityPub, err := authority.PublicKey()
+	if err != nil {
+		return nil, err
+	}
+	expected, err := core.ExpectedTrainingMeasurement(cfg.Session)
+	if err != nil {
+		return nil, err
+	}
+	f := &Federation{
+		cfg:          cfg,
+		authority:    authority,
+		authorityPub: authorityPub,
+		expected:     expected,
+		rng:          rand.New(rand.NewPCG(cfg.Session.Seed, 0xA66)),
+	}
+	f.aggKey = seal.NewKey(f.rng)
+	for i := 0; i < cfg.Hubs; i++ {
+		hubCfg := cfg.Session
+		// Each hub gets its own device/enclave identity material but the
+		// same measured consensus, so one expected measurement verifies
+		// them all.
+		hubCfg.Seed = cfg.Session.Seed // measured; must match consensus
+		server, err := core.NewTrainingServer(hubCfg, authority)
+		if err != nil {
+			return nil, fmt.Errorf("hub %d: %w", i, err)
+		}
+		if err := f.provisionAggregator(server); err != nil {
+			return nil, fmt.Errorf("hub %d: %w", i, err)
+		}
+		f.hubs = append(f.hubs, server)
+	}
+	return f, nil
+}
+
+// provisionAggregator attests a hub enclave and provisions the root key,
+// exactly as a participant would.
+func (f *Federation) provisionAggregator(server *core.TrainingServer) error {
+	agg := core.NewParticipantWithKey(AggregatorID, f.aggKey)
+	return agg.Provision(server, f.authorityPub, f.expected)
+}
+
+// Hubs returns the number of hubs.
+func (f *Federation) Hubs() int { return len(f.hubs) }
+
+// Hub returns hub i's training server, for participant registration.
+func (f *Federation) Hub(i int) *core.TrainingServer { return f.hubs[i] }
+
+// AuthorityPub returns the attestation root participants verify against.
+func (f *Federation) AuthorityPub() []byte { return f.authorityPub }
+
+// ExpectedMeasurement returns the consensus enclave measurement.
+func (f *Federation) ExpectedMeasurement() sgx.Measurement { return f.expected }
+
+// AddParticipant provisions a participant to hub i and ingests their
+// sealed records.
+func (f *Federation) AddParticipant(i int, p *core.Participant) (accepted int, err error) {
+	if i < 0 || i >= len(f.hubs) {
+		return 0, fmt.Errorf("hub: index %d out of range", i)
+	}
+	if err := p.Provision(f.hubs[i], f.authorityPub, f.expected); err != nil {
+		return 0, err
+	}
+	batch, err := p.SealRecords()
+	if err != nil {
+		return 0, err
+	}
+	accepted, _, err = f.hubs[i].Ingest(batch)
+	return accepted, err
+}
+
+// RoundStats summarizes one federated round.
+type RoundStats struct {
+	// HubLosses is each hub's mean loss over its local epochs.
+	HubLosses []float64
+}
+
+// Round runs one federated round: every hub trains LocalEpochs epochs on
+// its own participants' data, then the root merges the sub-models with a
+// data-weighted average and redistributes the merged state.
+func (f *Federation) Round() (*RoundStats, error) {
+	if len(f.hubs) == 0 {
+		return nil, ErrNoHubs
+	}
+	stats := &RoundStats{HubLosses: make([]float64, len(f.hubs))}
+	for i, h := range f.hubs {
+		var total float64
+		for e := 0; e < f.cfg.LocalEpochs; e++ {
+			loss, err := h.TrainEpoch()
+			if err != nil {
+				return nil, fmt.Errorf("hub %d epoch %d: %w", i, e, err)
+			}
+			total += loss
+		}
+		stats.HubLosses[i] = total / float64(f.cfg.LocalEpochs)
+	}
+	if err := f.merge(); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// merge is the root aggregation: collect sealed model states, average
+// data-weighted, redistribute.
+func (f *Federation) merge() error {
+	// Template network for parameter layout.
+	acc, err := nn.Build(f.cfg.Session.Model, rand.New(rand.NewPCG(0, 0)))
+	if err != nil {
+		return err
+	}
+	tmp, err := nn.Build(f.cfg.Session.Model, rand.New(rand.NewPCG(0, 0)))
+	if err != nil {
+		return err
+	}
+	zeroParams(acc)
+
+	var totalWeight float64
+	for _, h := range f.hubs {
+		totalWeight += float64(h.DataCount())
+	}
+	if totalWeight == 0 {
+		return core.ErrNoData
+	}
+	for i, h := range f.hubs {
+		blob, err := h.ExportFull(AggregatorID)
+		if err != nil {
+			return fmt.Errorf("hub %d export: %w", i, err)
+		}
+		params, err := seal.DecryptBlob(f.aggKey, blob, ModelSyncAAD())
+		if err != nil {
+			return fmt.Errorf("hub %d blob: %w", i, err)
+		}
+		if err := nn.ReadParams(bytes.NewReader(params), tmp, 0, tmp.NumLayers()); err != nil {
+			return fmt.Errorf("hub %d params: %w", i, err)
+		}
+		accumulateScaled(acc, tmp, float64(h.DataCount())/totalWeight)
+	}
+
+	var buf bytes.Buffer
+	if err := nn.WriteParams(&buf, acc, 0, acc.NumLayers()); err != nil {
+		return err
+	}
+	merged, err := seal.EncryptBlob(f.aggKey, buf.Bytes(), ModelSyncAAD(), f.rng)
+	if err != nil {
+		return err
+	}
+	for i, h := range f.hubs {
+		if err := h.ImportFull(AggregatorID, merged); err != nil {
+			return fmt.Errorf("hub %d import: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ModelSyncAAD returns the AAD binding model-sync blobs (exported so tests
+// can construct valid blobs).
+func ModelSyncAAD() []byte { return []byte("caltrain-model-sync") }
+
+func zeroParams(net *nn.Network) {
+	for _, l := range net.Layers() {
+		if pl, ok := l.(nn.ParamLayer); ok {
+			for _, p := range pl.Params() {
+				p.Zero()
+			}
+		}
+	}
+}
+
+// accumulateScaled adds w·src's parameters into acc's.
+func accumulateScaled(acc, src *nn.Network, w float64) {
+	for i, l := range acc.Layers() {
+		pl, ok := l.(nn.ParamLayer)
+		if !ok {
+			continue
+		}
+		sp := src.Layer(i).(nn.ParamLayer)
+		for j, p := range pl.Params() {
+			spd := sp.Params()[j].Data()
+			pd := p.Data()
+			fw := float32(w)
+			for k := range pd {
+				pd[k] += fw * spd[k]
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package hub
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"caltrain/internal/core"
+	"caltrain/internal/dataset"
+	"caltrain/internal/nn"
+	"caltrain/internal/seal"
+	"caltrain/internal/tensor"
+)
+
+func hubConfig() Config {
+	return Config{
+		Session: core.SessionConfig{
+			Model: nn.Config{
+				Name: "hub-test", InC: 3, InH: 12, InW: 12, Classes: 3,
+				Layers: []nn.LayerSpec{
+					{Kind: nn.KindConv, Filters: 6, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+					{Kind: nn.KindMaxPool, Size: 2, Stride: 2},
+					{Kind: nn.KindConv, Filters: 3, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+					{Kind: nn.KindAvgPool},
+					{Kind: nn.KindSoftmax},
+					{Kind: nn.KindCost},
+				},
+			},
+			Split:     1,
+			Epochs:    1,
+			BatchSize: 16,
+			SGD:       nn.SGD{LearningRate: 0.03, Momentum: 0.9, GradClip: 5},
+			Seed:      71,
+		},
+		Hubs:        2,
+		LocalEpochs: 1,
+	}
+}
+
+// buildFederation creates a 2-hub federation with disjoint participant
+// shards and a shared test set.
+func buildFederation(t *testing.T) (*Federation, *dataset.Dataset) {
+	t.Helper()
+	f, err := New(hubConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := dataset.SynthCIFAR(dataset.Options{Classes: 3, H: 12, W: 12, PerClass: 40, Seed: 9, Noise: 0.04})
+	train, test := all.Split(0.2, rand.New(rand.NewPCG(2, 2)))
+	shards := train.PartitionAmong(4)
+	names := []string{"a1", "a2", "b1", "b2"}
+	for i, shard := range shards {
+		p := core.NewParticipant(names[i], shard, uint64(300+i))
+		hubIdx := i / 2 // two participants per hub
+		n, err := f.AddParticipant(hubIdx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != shard.Len() {
+			t.Fatalf("participant %s: %d accepted of %d", p.ID, n, shard.Len())
+		}
+	}
+	return f, test
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := hubConfig()
+	cfg.Hubs = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero hubs accepted")
+	}
+}
+
+func TestHubsShareMeasurement(t *testing.T) {
+	f, _ := buildFederation(t)
+	m0 := f.Hub(0).Measurement()
+	m1 := f.Hub(1).Measurement()
+	if m0 != m1 {
+		t.Fatal("hubs with the same consensus must share a measurement")
+	}
+	if m0 != f.ExpectedMeasurement() {
+		t.Fatal("hub measurement differs from the consensus expectation")
+	}
+}
+
+// TestMergeSynchronizesHubs: after a round, every hub serves identical
+// predictions — the defining property of the aggregation step.
+func TestMergeSynchronizesHubs(t *testing.T) {
+	f, test := buildFederation(t)
+	if _, err := f.Round(); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := test.Batch(0, 8)
+	p0, err := f.Hub(0).Trainer().Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := f.Hub(1).Trainer().Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p0.Data() {
+		if p0.Data()[i] != p1.Data()[i] {
+			t.Fatalf("hubs diverge after merge at output %d", i)
+		}
+	}
+}
+
+// TestFederatedTrainingLearns: rounds reduce loss and reach useful
+// accuracy on the joint distribution even though each hub only ever saw
+// its own participants' encrypted data.
+func TestFederatedTrainingLearns(t *testing.T) {
+	f, test := buildFederation(t)
+	var first, last float64
+	const rounds = 6
+	for r := 0; r < rounds; r++ {
+		st, err := f.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := 0.0
+		for _, l := range st.HubLosses {
+			mean += l
+		}
+		mean /= float64(len(st.HubLosses))
+		if r == 0 {
+			first = mean
+		}
+		last = mean
+	}
+	if !(last < first) {
+		t.Fatalf("federated loss did not fall: %v -> %v", first, last)
+	}
+	in, labels := test.Batch(0, test.Len())
+	probs, err := f.Hub(0).Trainer().Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	classes := probs.Dim(1)
+	for b := 0; b < probs.Dim(0); b++ {
+		row := tensor.FromSlice(probs.Data()[b*classes:(b+1)*classes], classes)
+		_, arg := row.Max()
+		if arg == labels[b] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(labels)); acc < 0.5 {
+		t.Fatalf("federated accuracy %v too low after %d rounds", acc, rounds)
+	}
+}
+
+// TestAggregatorBlobConfidential: the sealed model-sync blob the host
+// relays cannot be opened without the aggregator key.
+func TestAggregatorBlobConfidential(t *testing.T) {
+	f, _ := buildFederation(t)
+	blob, err := f.Hub(0).ExportFull(AggregatorID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A host key guess fails to open the blob.
+	var hostKey seal.Key
+	hostKey[0] = 0xFF
+	if _, err := seal.DecryptBlob(hostKey, blob, ModelSyncAAD()); err == nil {
+		t.Fatal("model-sync blob opened without the aggregator key")
+	}
+}
+
+// TestExportFullUnknownOwner: hubs reject export requests under keys never
+// provisioned.
+func TestExportFullUnknownOwner(t *testing.T) {
+	f, _ := buildFederation(t)
+	if _, err := f.Hub(0).ExportFull("nobody"); err == nil {
+		t.Fatal("export under unprovisioned key accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package hub
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"caltrain/internal/core"
+	"caltrain/internal/dataset"
+	"caltrain/internal/tensor"
+)
+
+// TestFederationNonIIDShards: with class-skewed hubs (each hub only ever
+// sees a subset of classes), the merged model still learns every class —
+// the scenario where federation beats isolated hubs outright.
+func TestFederationNonIIDShards(t *testing.T) {
+	cfg := hubConfig()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := dataset.SynthCIFAR(dataset.Options{Classes: 3, H: 12, W: 12, PerClass: 40, Seed: 19, Noise: 0.04})
+	train, test := all.Split(0.2, rand.New(rand.NewPCG(20, 20)))
+	byClass := train.ByClass()
+	// Hub 0 sees classes {0,1}, hub 1 sees classes {1,2}.
+	hub0 := train.Subset(append(append([]int{}, byClass[0]...), byClass[1][:len(byClass[1])/2]...))
+	hub1 := train.Subset(append(append([]int{}, byClass[2]...), byClass[1][len(byClass[1])/2:]...))
+	if _, err := f.AddParticipant(0, core.NewParticipant("left", hub0, 701)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddParticipant(1, core.NewParticipant("right", hub1, 702)); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		if _, err := f.Round(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Per-class accuracy of the merged model: every class must be above
+	// chance, including the ones each hub never saw locally.
+	in, labels := test.Batch(0, test.Len())
+	probs, err := f.Hub(0).Trainer().Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := probs.Dim(1)
+	correct := make([]int, classes)
+	total := make([]int, classes)
+	for b := 0; b < probs.Dim(0); b++ {
+		row := tensor.FromSlice(probs.Data()[b*classes:(b+1)*classes], classes)
+		_, arg := row.Max()
+		total[labels[b]]++
+		if arg == labels[b] {
+			correct[labels[b]]++
+		}
+	}
+	for c := 0; c < classes; c++ {
+		if total[c] == 0 {
+			continue
+		}
+		acc := float64(correct[c]) / float64(total[c])
+		if acc < 0.4 {
+			t.Fatalf("class %d accuracy %.2f after federation (correct %v of %v)", c, acc, correct, total)
+		}
+	}
+}

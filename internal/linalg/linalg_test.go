@@ -1,0 +1,203 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("Solve = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("Solve = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(1, 1, 4)
+	b := []float64{8, 8}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 4 || b[0] != 8 {
+		t.Fatal("Solve mutated its inputs")
+	}
+}
+
+// TestSolveRandomResidual: for random well-conditioned systems, A·x ≈ b.
+func TestSolveRandomResidual(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		n := 2 + int(seed%8)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.Float64()*2 - 1
+		}
+		// Diagonal dominance guarantees invertibility.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*2 - 1
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		r := a.MulVec(x)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigSymDiagonal(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	vals, _, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-10 {
+			t.Fatalf("eigenvalues = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestEigSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	vals, vecs, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-10 || math.Abs(vals[1]-3) > 1e-10 {
+		t.Fatalf("eigenvalues = %v, want [1 3]", vals)
+	}
+	// Eigenvector for eigenvalue 1 is proportional to (1,-1).
+	ratio := vecs.At(0, 0) / vecs.At(1, 0)
+	if math.Abs(ratio+1) > 1e-8 {
+		t.Fatalf("eigenvector ratio = %v, want -1", ratio)
+	}
+}
+
+// TestEigSymReconstruction: A·v = λ·v for every eigenpair of random
+// symmetric matrices, and V is orthonormal.
+func TestEigSymReconstruction(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 23))
+		n := 2 + int(seed%6)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.Float64()*2 - 1
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := EigSym(a)
+		if err != nil {
+			return false
+		}
+		// Ascending order.
+		for i := 1; i < n; i++ {
+			if vals[i] < vals[i-1] {
+				return false
+			}
+		}
+		for k := 0; k < n; k++ {
+			v := make([]float64, n)
+			for i := 0; i < n; i++ {
+				v[i] = vecs.At(i, k)
+			}
+			av := a.MulVec(v)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-vals[k]*v[i]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		// Orthonormality of columns.
+		for p := 0; p < n; p++ {
+			for q := p; q < n; q++ {
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += vecs.At(i, p) * vecs.At(i, q)
+				}
+				want := 0.0
+				if p == q {
+					want = 1.0
+				}
+				if math.Abs(dot-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigSymRejectsNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, _, err := EigSym(a); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}

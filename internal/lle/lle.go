@@ -1,0 +1,211 @@
+// Package lle implements Locally Linear Embedding (Roweis & Saul), the
+// dimensionality reduction the paper uses to visualize the feature-space
+// distribution of normal, trojaned-training and trojaned-testing
+// fingerprints (Figure 7: "we reduced the dimension for the fingerprints
+// to 2-D via locally linear embedding").
+//
+// The standard three steps: (1) k-nearest-neighbour graph under L2,
+// (2) per-point reconstruction weights solving the regularized local Gram
+// system with rows constrained to sum to 1, (3) embedding coordinates from
+// the bottom non-constant eigenvectors of (I−W)ᵀ(I−W).
+package lle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"caltrain/internal/linalg"
+)
+
+// Errors returned by Embed.
+var (
+	ErrTooFewPoints = errors.New("lle: need more points than neighbours")
+	ErrBadOptions   = errors.New("lle: invalid options")
+)
+
+// Options configures the embedding.
+type Options struct {
+	// Neighbors is k, the neighbourhood size (default 8).
+	Neighbors int
+	// OutDim is the embedding dimensionality (default 2).
+	OutDim int
+	// Reg is the Gram regularization factor (default 1e-3).
+	Reg float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Neighbors == 0 {
+		o.Neighbors = 8
+	}
+	if o.OutDim == 0 {
+		o.OutDim = 2
+	}
+	if o.Reg == 0 {
+		o.Reg = 1e-3
+	}
+	return o
+}
+
+// Embed maps n high-dimensional points to n OutDim-dimensional
+// coordinates.
+func Embed(points [][]float32, opts Options) ([][]float64, error) {
+	opts = opts.withDefaults()
+	n := len(points)
+	if opts.Neighbors <= 0 || opts.OutDim <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadOptions, opts)
+	}
+	if n <= opts.Neighbors {
+		return nil, fmt.Errorf("%w: %d points, k=%d", ErrTooFewPoints, n, opts.Neighbors)
+	}
+	if n <= opts.OutDim+1 {
+		return nil, fmt.Errorf("%w: %d points for %d output dims", ErrTooFewPoints, n, opts.OutDim)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("lle: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+
+	neighbors := nearestNeighbors(points, opts.Neighbors)
+	w, err := reconstructionWeights(points, neighbors, opts.Reg)
+	if err != nil {
+		return nil, err
+	}
+	return embedFromWeights(w, neighbors, n, opts.OutDim)
+}
+
+func sqDist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+func nearestNeighbors(points [][]float32, k int) [][]int {
+	n := len(points)
+	out := make([][]int, n)
+	type nd struct {
+		idx int
+		d   float64
+	}
+	for i := range points {
+		cands := make([]nd, 0, n-1)
+		for j := range points {
+			if j == i {
+				continue
+			}
+			cands = append(cands, nd{j, sqDist(points[i], points[j])})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d != cands[b].d {
+				return cands[a].d < cands[b].d
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		idx := make([]int, k)
+		for j := 0; j < k; j++ {
+			idx[j] = cands[j].idx
+		}
+		out[i] = idx
+	}
+	return out
+}
+
+// reconstructionWeights solves, for each point, the constrained least
+// squares for the weights reconstructing it from its neighbours. Returned
+// rows align with the neighbour lists.
+func reconstructionWeights(points [][]float32, neighbors [][]int, reg float64) ([][]float64, error) {
+	k := len(neighbors[0])
+	out := make([][]float64, len(points))
+	for i := range points {
+		// Local Gram matrix C_jl = (x_i − x_j)·(x_i − x_l).
+		diffs := make([][]float64, k)
+		for j, nj := range neighbors[i] {
+			d := make([]float64, len(points[i]))
+			for t := range d {
+				d[t] = float64(points[i][t]) - float64(points[nj][t])
+			}
+			diffs[j] = d
+		}
+		c := linalg.NewMatrix(k, k)
+		var trace float64
+		for a := 0; a < k; a++ {
+			for b := a; b < k; b++ {
+				var s float64
+				for t := range diffs[a] {
+					s += diffs[a][t] * diffs[b][t]
+				}
+				c.Set(a, b, s)
+				c.Set(b, a, s)
+				if a == b {
+					trace += s
+				}
+			}
+		}
+		// Regularize (essential when k > dim or neighbours are
+		// degenerate).
+		eps := reg * trace
+		if eps <= 0 {
+			eps = reg
+		}
+		for a := 0; a < k; a++ {
+			c.Set(a, a, c.At(a, a)+eps)
+		}
+		ones := make([]float64, k)
+		for a := range ones {
+			ones[a] = 1
+		}
+		w, err := linalg.Solve(c, ones)
+		if err != nil {
+			return nil, fmt.Errorf("lle: weights for point %d: %w", i, err)
+		}
+		var sum float64
+		for _, v := range w {
+			sum += v
+		}
+		if sum == 0 {
+			return nil, fmt.Errorf("lle: degenerate weights for point %d", i)
+		}
+		for a := range w {
+			w[a] /= sum
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+func embedFromWeights(w [][]float64, neighbors [][]int, n, outDim int) ([][]float64, error) {
+	// M = (I−W)ᵀ(I−W), built sparsely from the weight rows.
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, m.At(i, i)+1)
+		for a, ja := range neighbors[i] {
+			wa := w[i][a]
+			m.Set(i, ja, m.At(i, ja)-wa)
+			m.Set(ja, i, m.At(ja, i)-wa)
+			for b, jb := range neighbors[i] {
+				m.Set(ja, jb, m.At(ja, jb)+wa*w[i][b])
+			}
+		}
+	}
+	vals, vecs, err := linalg.EigSym(m)
+	if err != nil {
+		return nil, fmt.Errorf("lle: eigendecomposition: %w", err)
+	}
+	_ = vals
+	// Skip the bottom (constant) eigenvector; take the next outDim.
+	coords := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, outDim)
+		for d := 0; d < outDim; d++ {
+			row[d] = vecs.At(i, d+1) * math.Sqrt(float64(n))
+		}
+		coords[i] = row
+	}
+	return coords, nil
+}

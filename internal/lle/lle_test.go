@@ -1,0 +1,149 @@
+package lle
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// clusters generates labeled Gaussian clusters in dim dimensions.
+func clusters(nPer, dim, k int, spread float64, seed uint64) ([][]float32, []int) {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	var pts [][]float32
+	var labels []int
+	for c := 0; c < k; c++ {
+		center := make([]float64, dim)
+		for t := range center {
+			center[t] = rng.NormFloat64() * 10
+		}
+		for i := 0; i < nPer; i++ {
+			p := make([]float32, dim)
+			for t := range p {
+				p[t] = float32(center[t] + rng.NormFloat64()*spread)
+			}
+			pts = append(pts, p)
+			labels = append(labels, c)
+		}
+	}
+	return pts, labels
+}
+
+func TestEmbedShape(t *testing.T) {
+	pts, _ := clusters(15, 10, 2, 0.5, 3)
+	out, err := Embed(pts, Options{Neighbors: 6, OutDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(pts) {
+		t.Fatalf("embedded %d points, want %d", len(out), len(pts))
+	}
+	for i, c := range out {
+		if len(c) != 2 {
+			t.Fatalf("point %d has %d coords", i, len(c))
+		}
+		for _, v := range c {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("point %d coordinate %v", i, v)
+			}
+		}
+	}
+}
+
+// TestEmbedPreservesClusterStructure mirrors Figure 7's use: fingerprints
+// from distinct distributions must remain separated in 2-D.
+func TestEmbedPreservesClusterStructure(t *testing.T) {
+	pts, labels := clusters(20, 16, 3, 0.4, 7)
+	out, err := Embed(pts, Options{Neighbors: 8, OutDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean intra-cluster vs inter-cluster 2-D distance.
+	var intra, inter float64
+	var ni, nx int
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			dx := out[i][0] - out[j][0]
+			dy := out[i][1] - out[j][1]
+			d := math.Sqrt(dx*dx + dy*dy)
+			if labels[i] == labels[j] {
+				intra += d
+				ni++
+			} else {
+				inter += d
+				nx++
+			}
+		}
+	}
+	intra /= float64(ni)
+	inter /= float64(nx)
+	if !(inter > 2*intra) {
+		t.Fatalf("clusters collapsed in embedding: intra %v inter %v", intra, inter)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	pts, _ := clusters(12, 8, 2, 0.5, 11)
+	a, err := Embed(pts, Options{Neighbors: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Embed(pts, Options{Neighbors: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != b[i][d] {
+				t.Fatal("embedding not deterministic")
+			}
+		}
+	}
+}
+
+func TestEmbedErrors(t *testing.T) {
+	pts, _ := clusters(3, 4, 1, 0.5, 13)
+	if _, err := Embed(pts, Options{Neighbors: 5}); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("too few points: %v", err)
+	}
+	if _, err := Embed(pts, Options{Neighbors: -1}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("bad options: %v", err)
+	}
+	ragged := [][]float32{{1, 2}, {1}}
+	if _, err := Embed(ragged, Options{Neighbors: 1, OutDim: 1}); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+}
+
+func TestReconstructionWeightsSumToOne(t *testing.T) {
+	pts, _ := clusters(10, 6, 2, 0.8, 17)
+	nb := nearestNeighbors(pts, 4)
+	w, err := reconstructionWeights(pts, nb, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range w {
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("point %d weights sum to %v", i, s)
+		}
+	}
+}
+
+func TestNearestNeighborsExcludesSelfAndSorts(t *testing.T) {
+	pts := [][]float32{{0, 0}, {1, 0}, {3, 0}, {10, 0}}
+	nb := nearestNeighbors(pts, 2)
+	if nb[0][0] != 1 || nb[0][1] != 2 {
+		t.Fatalf("neighbors of 0 = %v, want [1 2]", nb[0])
+	}
+	for i, row := range nb {
+		for _, j := range row {
+			if j == i {
+				t.Fatal("self in neighbour list")
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// LayerSpec is a declarative layer description. Networks are built from
+// []LayerSpec so that architectures can be hashed into the enclave
+// measurement, exchanged between participants for pre-training consensus
+// (§III), and reproduced bit-for-bit.
+type LayerSpec struct {
+	Kind LayerKind `json:"kind"`
+	// Filters is the output filter count (conv) or output unit count
+	// (connected).
+	Filters int `json:"filters,omitempty"`
+	// Size is the square kernel/window side (conv, max pooling).
+	Size int `json:"size,omitempty"`
+	// Stride is the kernel/window stride (conv, max pooling).
+	Stride int `json:"stride,omitempty"`
+	// Pad is the zero padding (conv).
+	Pad int `json:"pad,omitempty"`
+	// Probability is the drop probability (dropout).
+	Probability float64 `json:"probability,omitempty"`
+	// Activation names the nonlinearity: "linear", "leaky", or "relu".
+	Activation string `json:"activation,omitempty"`
+}
+
+// Config describes a complete network: input volume plus layer stack.
+type Config struct {
+	Name    string      `json:"name"`
+	InC     int         `json:"in_c"`
+	InH     int         `json:"in_h"`
+	InW     int         `json:"in_w"`
+	Classes int         `json:"classes"`
+	Layers  []LayerSpec `json:"layers"`
+}
+
+func parseActivation(s string) (Activation, error) {
+	switch s {
+	case "", "linear":
+		return Linear, nil
+	case "leaky":
+		return Leaky, nil
+	case "relu":
+		return ReLU, nil
+	default:
+		return Linear, fmt.Errorf("nn: unknown activation %q", s)
+	}
+}
+
+// Build constructs a Network from the config, drawing all weight
+// initialization randomness from rng.
+func Build(cfg Config, rng *rand.Rand) (*Network, error) {
+	if cfg.InC <= 0 || cfg.InH <= 0 || cfg.InW <= 0 {
+		return nil, fmt.Errorf("nn: config %q has invalid input shape %dx%dx%d", cfg.Name, cfg.InW, cfg.InH, cfg.InC)
+	}
+	net := NewNetwork(Shape{C: cfg.InC, H: cfg.InH, W: cfg.InW})
+	cur := net.InShape()
+	for i, spec := range cfg.Layers {
+		var (
+			l   Layer
+			err error
+		)
+		switch spec.Kind {
+		case KindConv:
+			act, aerr := parseActivation(spec.Activation)
+			if aerr != nil {
+				err = aerr
+				break
+			}
+			l, err = NewConv(cur, spec.Filters, spec.Size, spec.Stride, spec.Pad, act, rng)
+		case KindMaxPool:
+			l, err = NewMaxPool(cur, spec.Size, spec.Stride)
+		case KindAvgPool:
+			l = NewAvgPool(cur)
+		case KindDropout:
+			l, err = NewDropout(cur, spec.Probability)
+		case KindSoftmax:
+			l, err = NewSoftmax(cur.Len())
+		case KindCost:
+			l, err = NewCost(cur.Len())
+		case KindConnected:
+			act, aerr := parseActivation(spec.Activation)
+			if aerr != nil {
+				err = aerr
+				break
+			}
+			l, err = NewConnected(cur, spec.Filters, act, rng)
+		default:
+			err = fmt.Errorf("nn: unknown layer kind %q", spec.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("nn: config %q layer %d: %w", cfg.Name, i, err)
+		}
+		if err := net.Add(l); err != nil {
+			return nil, fmt.Errorf("nn: config %q layer %d: %w", cfg.Name, i, err)
+		}
+		cur = l.OutShape()
+	}
+	return net, nil
+}
+
+// TableI returns the paper's 10-layer CIFAR-10 architecture (Appendix A,
+// Table I): conv128, conv128, max, conv64, max, conv128, conv10(1×1), avg,
+// softmax, cost over 28×28×3 inputs. scale divides the filter counts
+// (scale 1 is the exact paper network; the default experiment scale is 4
+// to keep pure-Go training tractable — see DESIGN.md §2).
+func TableI(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	f := func(n int) int { return max(n/scale, 4) }
+	return Config{
+		Name: fmt.Sprintf("cifar-10L/%d", scale),
+		InC:  3, InH: 28, InW: 28, Classes: 10,
+		Layers: []LayerSpec{
+			{Kind: KindConv, Filters: f(128), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindConv, Filters: f(128), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindMaxPool, Size: 2, Stride: 2},
+			{Kind: KindConv, Filters: f(64), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindMaxPool, Size: 2, Stride: 2},
+			{Kind: KindConv, Filters: f(128), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindConv, Filters: 10, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+			{Kind: KindAvgPool},
+			{Kind: KindSoftmax},
+			{Kind: KindCost},
+		},
+	}
+}
+
+// TableII returns the paper's 18-layer CIFAR-10 architecture (Appendix A,
+// Table II) with three dropout layers at p = 0.5. scale divides filter
+// counts as in TableI.
+func TableII(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	f := func(n int) int { return max(n/scale, 4) }
+	return Config{
+		Name: fmt.Sprintf("cifar-18L/%d", scale),
+		InC:  3, InH: 28, InW: 28, Classes: 10,
+		Layers: []LayerSpec{
+			{Kind: KindConv, Filters: f(128), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindConv, Filters: f(128), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindConv, Filters: f(128), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindMaxPool, Size: 2, Stride: 2},
+			{Kind: KindDropout, Probability: 0.5},
+			{Kind: KindConv, Filters: f(256), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindConv, Filters: f(256), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindConv, Filters: f(256), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindMaxPool, Size: 2, Stride: 2},
+			{Kind: KindDropout, Probability: 0.5},
+			{Kind: KindConv, Filters: f(512), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindConv, Filters: f(512), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindConv, Filters: f(512), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindDropout, Probability: 0.5},
+			{Kind: KindConv, Filters: 10, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+			{Kind: KindAvgPool},
+			{Kind: KindSoftmax},
+			{Kind: KindCost},
+		},
+	}
+}
+
+// FaceNet returns the face-recognition architecture used by the model
+// accountability experiments (§VI-D). It stands in for VGG-Face: a small
+// convolutional feature extractor followed by a connected embedding layer
+// (the penultimate layer whose normalized output is the fingerprint — the
+// paper's VGG-Face embedding is 2622-dimensional; embedDim configures the
+// substitute's). identities is the number of face classes.
+func FaceNet(identities, embedDim, scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	f := func(n int) int { return max(n/scale, 4) }
+	return Config{
+		Name: fmt.Sprintf("facenet-%d/%d", identities, scale),
+		InC:  3, InH: 24, InW: 24, Classes: identities,
+		Layers: []LayerSpec{
+			{Kind: KindConv, Filters: f(64), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindMaxPool, Size: 2, Stride: 2},
+			{Kind: KindConv, Filters: f(128), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindMaxPool, Size: 2, Stride: 2},
+			{Kind: KindConv, Filters: f(128), Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindMaxPool, Size: 2, Stride: 2},
+			{Kind: KindConnected, Filters: embedDim, Activation: "leaky"},
+			{Kind: KindConnected, Filters: identities, Activation: "linear"},
+			{Kind: KindSoftmax},
+			{Kind: KindCost},
+		},
+	}
+}
+
+// TinyNet returns a small classifier for unit and integration tests: fast
+// enough for gradient checks while exercising every layer kind.
+func TinyNet(classes int) Config {
+	return Config{
+		Name: "tiny",
+		InC:  2, InH: 8, InW: 8, Classes: classes,
+		Layers: []LayerSpec{
+			{Kind: KindConv, Filters: 6, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindMaxPool, Size: 2, Stride: 2},
+			{Kind: KindDropout, Probability: 0.25},
+			{Kind: KindConv, Filters: classes, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+			{Kind: KindAvgPool},
+			{Kind: KindSoftmax},
+			{Kind: KindCost},
+		},
+	}
+}

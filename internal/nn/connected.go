@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"caltrain/internal/tensor"
+)
+
+// Connected is a fully-connected (dense) layer: out = act(W·x + b). The
+// face-embedding network used by the accountability experiments ends in a
+// connected embedding layer whose output is the penultimate-layer
+// fingerprint (§IV-C describes fingerprints as normalized penultimate-layer
+// feature embeddings).
+type Connected struct {
+	in   Shape
+	outN int
+	act  Activation
+
+	weights *tensor.Tensor // [outN, inLen]
+	biases  *tensor.Tensor // [outN]
+	wGrad   *tensor.Tensor
+	bGrad   *tensor.Tensor
+
+	input  *tensor.Tensor
+	output *tensor.Tensor
+	frozen bool
+}
+
+var _ ParamLayer = (*Connected)(nil)
+
+// NewConnected constructs a fully-connected layer with outN outputs and
+// N(0, sqrt(2/fanIn)) weight initialization from rng.
+func NewConnected(in Shape, outN int, act Activation, rng *rand.Rand) (*Connected, error) {
+	if outN <= 0 {
+		return nil, fmt.Errorf("nn: connected layer needs positive output count, got %d", outN)
+	}
+	inLen := in.Len()
+	c := &Connected{
+		in:      in,
+		outN:    outN,
+		act:     act,
+		weights: tensor.New(outN, inLen),
+		biases:  tensor.New(outN),
+		wGrad:   tensor.New(outN, inLen),
+		bGrad:   tensor.New(outN),
+	}
+	c.weights.FillGaussian(rng, 0, math.Sqrt(2.0/float64(inLen)))
+	return c, nil
+}
+
+// Kind implements Layer.
+func (c *Connected) Kind() LayerKind { return KindConnected }
+
+// InShape implements Layer.
+func (c *Connected) InShape() Shape { return c.in }
+
+// OutShape implements Layer.
+func (c *Connected) OutShape() Shape { return Shape{C: c.outN, H: 1, W: 1} }
+
+// Output implements Layer.
+func (c *Connected) Output() *tensor.Tensor { return c.output }
+
+// Params implements ParamLayer.
+func (c *Connected) Params() []*tensor.Tensor { return []*tensor.Tensor{c.weights, c.biases} }
+
+// Grads implements ParamLayer.
+func (c *Connected) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.wGrad, c.bGrad} }
+
+// ZeroGrads implements ParamLayer.
+func (c *Connected) ZeroGrads() {
+	c.wGrad.Zero()
+	c.bGrad.Zero()
+}
+
+// SetFrozen marks the layer's parameters as frozen (see Conv.SetFrozen).
+func (c *Connected) SetFrozen(frozen bool) { c.frozen = frozen }
+
+// Frozen reports whether the layer is excluded from weight updates.
+func (c *Connected) Frozen() bool { return c.frozen }
+
+// Forward implements Layer.
+func (c *Connected) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	batch := batchOf(in, c.in.Len(), KindConnected)
+	if c.output == nil || c.output.Dim(0) != batch {
+		c.output = tensor.New(batch, c.outN)
+	}
+	c.input = in
+	ctx.touch(in)
+	ctx.touch(c.weights)
+	ctx.touch(c.output)
+	c.output.Zero()
+	// out[batch, outN] = in[batch, inLen] · Wᵀ[inLen, outN]
+	tensor.MatMulTransB(ctx.Mode, in, c.weights, c.output)
+	od, bd := c.output.Data(), c.biases.Data()
+	for b := 0; b < batch; b++ {
+		row := od[b*c.outN : (b+1)*c.outN]
+		for i := range row {
+			row[i] += bd[i]
+		}
+	}
+	activate(c.act, od)
+	return c.output
+}
+
+// Backward implements Layer.
+func (c *Connected) Backward(ctx *Context, dout *tensor.Tensor) *tensor.Tensor {
+	batch := batchOf(dout, c.outN, KindConnected)
+	if c.input == nil || c.input.Dim(0) != batch {
+		panic("nn: connected Backward called without matching Forward")
+	}
+	delta := dout.Clone()
+	gradate(c.act, c.output.Data(), delta.Data())
+
+	// Bias gradient: column sums of delta.
+	bg := delta.Data()
+	for b := 0; b < batch; b++ {
+		row := bg[b*c.outN : (b+1)*c.outN]
+		for i, v := range row {
+			c.bGrad.Data()[i] += v
+		}
+	}
+
+	// Weight gradient: dW[outN, inLen] += deltaᵀ[outN, batch] · in[batch, inLen].
+	tensor.MatMulTransA(ctx.Mode, delta, c.input, c.wGrad)
+
+	// Input delta: din[batch, inLen] = delta[batch, outN] · W[outN, inLen].
+	din := tensor.New(batch, c.in.Len())
+	tensor.MatMul(ctx.Mode, delta, c.weights, din)
+	ctx.touch(dout)
+	ctx.touch(din)
+	return din
+}

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"caltrain/internal/tensor"
+)
+
+// Conv is a 2-D convolutional layer implemented with im2col + GEMM, the
+// same strategy as Darknet's convolutional_layer. Weights are stored as a
+// (filters × inC·k·k) matrix.
+type Conv struct {
+	in, out Shape
+	geom    tensor.ConvGeom
+	filters int
+	act     Activation
+
+	weights *tensor.Tensor // [filters, colRows]
+	biases  *tensor.Tensor // [filters]
+	wGrad   *tensor.Tensor
+	bGrad   *tensor.Tensor
+
+	col    *tensor.Tensor // im2col scratch, reused across images
+	dcol   *tensor.Tensor // backward scratch
+	input  *tensor.Tensor // reference to last forward input
+	output *tensor.Tensor
+	frozen bool
+}
+
+var _ ParamLayer = (*Conv)(nil)
+
+// NewConv constructs a convolutional layer. Weights are initialized from
+// N(0, sqrt(2/fanIn)) — the scaled Gaussian the paper's prototype uses for
+// convolutional weights (§VI-A) — using rng.
+func NewConv(in Shape, filters, ksize, stride, pad int, act Activation, rng *rand.Rand) (*Conv, error) {
+	g := tensor.ConvGeom{InC: in.C, InH: in.H, InW: in.W, KSize: ksize, Stride: stride, Pad: pad}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("nn: conv layer: %w", err)
+	}
+	if filters <= 0 {
+		return nil, fmt.Errorf("nn: conv layer needs positive filter count, got %d", filters)
+	}
+	c := &Conv{
+		in:      in,
+		out:     Shape{C: filters, H: g.OutH(), W: g.OutW()},
+		geom:    g,
+		filters: filters,
+		act:     act,
+		weights: tensor.New(filters, g.ColRows()),
+		biases:  tensor.New(filters),
+		wGrad:   tensor.New(filters, g.ColRows()),
+		bGrad:   tensor.New(filters),
+		col:     tensor.New(g.ColRows(), g.ColCols()),
+		dcol:    tensor.New(g.ColRows(), g.ColCols()),
+	}
+	stddev := math.Sqrt(2.0 / float64(g.ColRows()))
+	c.weights.FillGaussian(rng, 0, stddev)
+	return c, nil
+}
+
+// Kind implements Layer.
+func (c *Conv) Kind() LayerKind { return KindConv }
+
+// InShape implements Layer.
+func (c *Conv) InShape() Shape { return c.in }
+
+// OutShape implements Layer.
+func (c *Conv) OutShape() Shape { return c.out }
+
+// Output implements Layer.
+func (c *Conv) Output() *tensor.Tensor { return c.output }
+
+// Params implements ParamLayer.
+func (c *Conv) Params() []*tensor.Tensor { return []*tensor.Tensor{c.weights, c.biases} }
+
+// Grads implements ParamLayer.
+func (c *Conv) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.wGrad, c.bGrad} }
+
+// ZeroGrads implements ParamLayer.
+func (c *Conv) ZeroGrads() {
+	c.wGrad.Zero()
+	c.bGrad.Zero()
+}
+
+// Filters returns the number of output filters.
+func (c *Conv) Filters() int { return c.filters }
+
+// Activation returns the layer's nonlinearity.
+func (c *Conv) Activation() Activation { return c.act }
+
+// SetFrozen marks the layer's parameters as frozen: gradients are still
+// propagated through, but Update skips the weight step. The paper (§IV-B,
+// Performance) freezes converged FrontNet layers to cut in-enclave cost.
+func (c *Conv) SetFrozen(frozen bool) { c.frozen = frozen }
+
+// Frozen reports whether the layer is excluded from weight updates.
+func (c *Conv) Frozen() bool { return c.frozen }
+
+// Forward implements Layer.
+func (c *Conv) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	batch := batchOf(in, c.in.Len(), KindConv)
+	if c.output == nil || c.output.Dim(0) != batch {
+		c.output = tensor.New(batch, c.out.Len())
+	}
+	c.input = in
+	ctx.touch(in)
+	ctx.touch(c.weights)
+	ctx.touch(c.output)
+	// The im2col scratch is one resident buffer reused across the batch;
+	// it joins the working set once per call, not once per image.
+	ctx.touch(c.col)
+
+	outHW := c.geom.ColCols()
+	inLen, outLen := c.in.Len(), c.out.Len()
+	inData, outData := in.Data(), c.output.Data()
+	for b := 0; b < batch; b++ {
+		img := inData[b*inLen : (b+1)*inLen]
+		tensor.Im2Col(c.geom, img, c.col.Data())
+		outMat := tensor.FromSlice(outData[b*outLen:(b+1)*outLen], c.filters, outHW)
+		outMat.Zero()
+		tensor.MatMul(ctx.Mode, c.weights, c.col, outMat)
+		// Bias then activation, per output filter row.
+		od := outMat.Data()
+		bd := c.biases.Data()
+		for f := 0; f < c.filters; f++ {
+			bias := bd[f]
+			row := od[f*outHW : (f+1)*outHW]
+			for i := range row {
+				row[i] += bias
+			}
+		}
+		activate(c.act, od)
+	}
+	return c.output
+}
+
+// Backward implements Layer.
+func (c *Conv) Backward(ctx *Context, dout *tensor.Tensor) *tensor.Tensor {
+	batch := batchOf(dout, c.out.Len(), KindConv)
+	if c.input == nil || c.input.Dim(0) != batch {
+		panic("nn: conv Backward called without matching Forward")
+	}
+	din := tensor.New(batch, c.in.Len())
+	ctx.touch(dout)
+	ctx.touch(din)
+	ctx.touch(c.col)
+	ctx.touch(c.dcol)
+
+	outHW := c.geom.ColCols()
+	inLen, outLen := c.in.Len(), c.out.Len()
+	inData := c.input.Data()
+	for b := 0; b < batch; b++ {
+		deltaMat := tensor.FromSlice(dout.Data()[b*outLen:(b+1)*outLen], c.filters, outHW)
+		// Activation gradient (uses the stored post-activation output).
+		gradate(c.act, c.output.Data()[b*outLen:(b+1)*outLen], deltaMat.Data())
+
+		// Bias gradient: sum of each filter's delta row.
+		bg := c.bGrad.Data()
+		dd := deltaMat.Data()
+		for f := 0; f < c.filters; f++ {
+			var s float32
+			row := dd[f*outHW : (f+1)*outHW]
+			for _, v := range row {
+				s += v
+			}
+			bg[f] += s
+		}
+
+		// Weight gradient: dW += delta · colᵀ. im2col is recomputed from
+		// the stored input (Darknet does the same to avoid caching every
+		// image's column matrix).
+		img := inData[b*inLen : (b+1)*inLen]
+		tensor.Im2Col(c.geom, img, c.col.Data())
+		tensor.MatMulTransB(ctx.Mode, deltaMat, c.col, c.wGrad)
+
+		// Input delta: dcol = Wᵀ · delta, then scatter back to image form.
+		c.dcol.Zero()
+		tensor.MatMulTransA(ctx.Mode, c.weights, deltaMat, c.dcol)
+		tensor.Col2Im(c.geom, c.dcol.Data(), din.Data()[b*inLen:(b+1)*inLen])
+	}
+	return din
+}

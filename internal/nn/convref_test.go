@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"caltrain/internal/tensor"
+)
+
+// directConv2D is a brute-force reference convolution (cross-correlation,
+// Darknet convention): out[f,oy,ox] = bias[f] + Σ_{c,ky,kx} w[f,c,ky,kx] ·
+// in[c, oy·s−p+ky, ox·s−p+kx], zero padding.
+func directConv2D(img []float32, inC, inH, inW int, weights, biases []float32, filters, ksize, stride, pad int) []float32 {
+	outH := (inH+2*pad-ksize)/stride + 1
+	outW := (inW+2*pad-ksize)/stride + 1
+	out := make([]float32, filters*outH*outW)
+	for f := 0; f < filters; f++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				sum := float64(biases[f])
+				for c := 0; c < inC; c++ {
+					for ky := 0; ky < ksize; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						for kx := 0; kx < ksize; kx++ {
+							ix := ox*stride - pad + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							w := weights[((f*inC+c)*ksize+ky)*ksize+kx]
+							sum += float64(w) * float64(img[(c*inH+iy)*inW+ix])
+						}
+					}
+				}
+				out[(f*outH+oy)*outW+ox] = float32(sum)
+			}
+		}
+	}
+	return out
+}
+
+// TestConvMatchesDirectConvolution: the im2col+GEMM layer must agree with
+// the brute-force definition of convolution for random geometries.
+func TestConvMatchesDirectConvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		inC := 1 + int(seed%3)
+		inH := 4 + int((seed>>4)%5)
+		inW := 4 + int((seed>>8)%5)
+		filters := 1 + int((seed>>12)%4)
+		ksize := 1 + int((seed>>16)%3)
+		stride := 1 + int((seed>>20)%2)
+		pad := int((seed >> 24) % 2)
+		if (inH+2*pad-ksize)/stride+1 <= 0 || (inW+2*pad-ksize)/stride+1 <= 0 || ksize > inH+2*pad || ksize > inW+2*pad {
+			return true // skip invalid draws
+		}
+		conv, err := NewConv(Shape{C: inC, H: inH, W: inW}, filters, ksize, stride, pad, Linear, rng)
+		if err != nil {
+			return true
+		}
+		// Randomize weights and biases beyond the init.
+		conv.Params()[0].FillUniform(rng, -1, 1)
+		conv.Params()[1].FillUniform(rng, -1, 1)
+
+		img := make([]float32, inC*inH*inW)
+		for i := range img {
+			img[i] = float32(rng.Float64()*2 - 1)
+		}
+		in := tensor.FromSlice(append([]float32(nil), img...), 1, len(img))
+		for _, mode := range []tensor.MatMulMode{tensor.Accelerated, tensor.EnclaveScalar} {
+			ctx := &Context{Mode: mode}
+			got := conv.Forward(ctx, in)
+			want := directConv2D(img, inC, inH, inW,
+				conv.Params()[0].Data(), conv.Params()[1].Data(), filters, ksize, stride, pad)
+			for i := range want {
+				if math.Abs(float64(got.Data()[i]-want[i])) > 1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvBatchIndependence: each batch row is convolved independently —
+// permuting rows permutes outputs.
+func TestConvBatchIndependence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	conv, err := NewConv(Shape{C: 2, H: 6, W: 6}, 4, 3, 1, 1, Leaky, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(3, 72)
+	in.FillUniform(rng, -1, 1)
+	ctx := &Context{Mode: tensor.Accelerated}
+	out := conv.Forward(ctx, in).Clone()
+
+	// Swap rows 0 and 2 of the input.
+	swapped := in.Clone()
+	for i := 0; i < 72; i++ {
+		a, b := swapped.At(0, i), swapped.At(2, i)
+		swapped.Set(b, 0, i)
+		swapped.Set(a, 2, i)
+	}
+	out2 := conv.Forward(ctx, swapped)
+	outLen := out.Dim(1)
+	for i := 0; i < outLen; i++ {
+		if out.At(0, i) != out2.At(2, i) || out.At(2, i) != out2.At(0, i) || out.At(1, i) != out2.At(1, i) {
+			t.Fatal("batch rows are not independent")
+		}
+	}
+}

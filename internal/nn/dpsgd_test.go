@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"caltrain/internal/tensor"
+)
+
+// TestDPSGDAddsNoise: with DP noise enabled, two identically seeded
+// networks trained on identical batches but different noise streams must
+// diverge; without it they must not.
+func TestDPSGDAddsNoise(t *testing.T) {
+	train := func(noise float64, noiseSeed uint64) []float32 {
+		net := buildTestNet(t, TinyNet(2), 55)
+		ctx := &Context{Mode: tensor.Accelerated, Training: false}
+		in, labels := randomBatch(net, 4, 2, 56)
+		opt := SGD{LearningRate: 0.05, Momentum: 0.9, GradClip: 1, DPNoise: noise,
+			DPRNG: rand.New(rand.NewPCG(noiseSeed, 1))}
+		for i := 0; i < 3; i++ {
+			if _, err := net.TrainBatch(ctx, opt, in, labels); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var out []float32
+		for _, l := range net.Layers() {
+			if pl, ok := l.(ParamLayer); ok {
+				out = append(out, pl.Params()[0].Data()...)
+			}
+		}
+		return out
+	}
+
+	clean1, clean2 := train(0, 1), train(0, 2)
+	for i := range clean1 {
+		if clean1[i] != clean2[i] {
+			t.Fatal("noiseless training must be deterministic")
+		}
+	}
+	noisy1, noisy2 := train(0.1, 1), train(0.1, 2)
+	same := true
+	for i := range noisy1 {
+		if noisy1[i] != noisy2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("DP noise streams did not diverge the models")
+	}
+	// And noisy differs from clean.
+	same = true
+	for i := range clean1 {
+		if clean1[i] != noisy1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("DP noise had no effect")
+	}
+}
+
+// TestDPSGDStillLearns: moderate DP noise must not prevent convergence on
+// an easy problem (the paper claims DP-SGD is a drop-in replacement).
+func TestDPSGDStillLearns(t *testing.T) {
+	net := buildTestNet(t, TinyNet(2), 57)
+	ctx := &Context{Mode: tensor.Accelerated, Training: true, RNG: rand.New(rand.NewPCG(3, 3))}
+	rng := rand.New(rand.NewPCG(58, 58))
+	in := tensor.New(8, net.InShape().Len())
+	labels := make([]int, 8)
+	for b := 0; b < 8; b++ {
+		labels[b] = b % 2
+		for i := 0; i < net.InShape().Len(); i++ {
+			in.Set(float32(rng.NormFloat64()*0.1)+float32(labels[b]), b, i)
+		}
+	}
+	opt := SGD{LearningRate: 0.1, Momentum: 0.9, GradClip: 2, DPNoise: 0.02,
+		DPRNG: rand.New(rand.NewPCG(4, 4))}
+	var first, last float64
+	for e := 0; e < 60; e++ {
+		loss, err := net.TrainBatch(ctx, opt, in, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if !(last < first*0.5) {
+		t.Fatalf("DP-SGD failed to learn: %v -> %v", first, last)
+	}
+}
+
+// TestDPSGDRequiresClip: noise without a clip bound is ignored (the
+// mechanism is only differentially private relative to a sensitivity
+// bound).
+func TestDPSGDRequiresClip(t *testing.T) {
+	a := buildTestNet(t, TinyNet(2), 59)
+	b := buildTestNet(t, TinyNet(2), 59)
+	ctx := &Context{Mode: tensor.Accelerated, Training: false}
+	in, labels := randomBatch(a, 4, 2, 60)
+	optNoClip := SGD{LearningRate: 0.05, DPNoise: 0.5, DPRNG: rand.New(rand.NewPCG(5, 5))}
+	optPlain := SGD{LearningRate: 0.05}
+	if _, err := a.TrainBatch(ctx, optNoClip, in, labels); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.TrainBatch(ctx, optPlain, in, labels); err != nil {
+		t.Fatal(err)
+	}
+	pa := a.Layer(0).(*Conv).Params()[0].Data()
+	pb := b.Layer(0).(*Conv).Params()[0].Data()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("DPNoise without GradClip must be inert")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"fmt"
+
+	"caltrain/internal/tensor"
+)
+
+// Dropout is an inverted-dropout layer: at training time it zeroes each
+// element with probability P and scales survivors by 1/(1-P); at inference
+// time it is the identity. The paper's 18-layer network uses three dropout
+// layers with p = 0.5 (Table II).
+type Dropout struct {
+	in Shape
+	// P is the drop probability.
+	P float32
+
+	mask   []float32
+	output *tensor.Tensor
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout constructs a dropout layer with drop probability p in [0, 1).
+func NewDropout(in Shape, p float64) (*Dropout, error) {
+	if p < 0 || p >= 1 {
+		return nil, fmt.Errorf("nn: dropout probability %v out of [0,1)", p)
+	}
+	return &Dropout{in: in, P: float32(p)}, nil
+}
+
+// Kind implements Layer.
+func (d *Dropout) Kind() LayerKind { return KindDropout }
+
+// InShape implements Layer.
+func (d *Dropout) InShape() Shape { return d.in }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape() Shape { return d.in }
+
+// Output implements Layer.
+func (d *Dropout) Output() *tensor.Tensor { return d.output }
+
+// Forward implements Layer. In training mode the mask randomness comes from
+// ctx.RNG; inside the training enclave that stream is seeded from the
+// enclave's hardware RNG stand-in (the paper uses on-chip RDRAND for
+// in-enclave randomness, §IV-A).
+func (d *Dropout) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	batch := batchOf(in, d.in.Len(), KindDropout)
+	n := batch * d.in.Len()
+	if d.output == nil || d.output.Dim(0) != batch {
+		d.output = tensor.New(batch, d.in.Len())
+		d.mask = make([]float32, n)
+	}
+	ctx.touch(in)
+	ctx.touch(d.output)
+	if !ctx.Training {
+		copy(d.output.Data(), in.Data())
+		return d.output
+	}
+	if ctx.RNG == nil {
+		panic("nn: dropout requires ctx.RNG in training mode")
+	}
+	scale := 1 / (1 - d.P)
+	inData, outData := in.Data(), d.output.Data()
+	for i := 0; i < n; i++ {
+		if float32(ctx.RNG.Float64()) < d.P {
+			d.mask[i] = 0
+			outData[i] = 0
+		} else {
+			d.mask[i] = scale
+			outData[i] = inData[i] * scale
+		}
+	}
+	return d.output
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(ctx *Context, dout *tensor.Tensor) *tensor.Tensor {
+	batch := batchOf(dout, d.in.Len(), KindDropout)
+	din := tensor.New(batch, d.in.Len())
+	ctx.touch(dout)
+	ctx.touch(din)
+	if !ctx.Training {
+		copy(din.Data(), dout.Data())
+		return din
+	}
+	dd, dod := din.Data(), dout.Data()
+	for i := range dd {
+		dd[i] = dod[i] * d.mask[i]
+	}
+	return din
+}

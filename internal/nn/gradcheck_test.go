@@ -1,0 +1,247 @@
+package nn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"caltrain/internal/tensor"
+)
+
+// lossOf runs a full forward pass and returns the cost-layer loss.
+func lossOf(t *testing.T, net *Network, ctx *Context, input *tensor.Tensor, labels []int) float64 {
+	t.Helper()
+	net.Cost().SetTargets(labels)
+	net.Forward(ctx, input)
+	return net.Cost().Loss()
+}
+
+// checkInputGradient compares the analytic input gradient produced by
+// Backward against central finite differences of the loss.
+func checkInputGradient(t *testing.T, net *Network, input *tensor.Tensor, labels []int, tol float64) {
+	t.Helper()
+	ctx := &Context{Mode: tensor.EnclaveScalar, Training: false}
+	net.Cost().SetTargets(labels)
+	net.Forward(ctx, input)
+	din := net.Backward(ctx)
+	net.ZeroGrads()
+
+	const eps = 1e-2
+	data := input.Data()
+	for i := 0; i < len(data); i += 7 { // sample positions to keep runtime sane
+		orig := data[i]
+		data[i] = orig + eps
+		lp := lossOf(t, net, ctx, input, labels)
+		data[i] = orig - eps
+		lm := lossOf(t, net, ctx, input, labels)
+		data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(din.Data()[i])
+		if math.Abs(numeric-analytic) > tol*(1+math.Abs(numeric)) {
+			t.Fatalf("input grad mismatch at %d: numeric %v analytic %v", i, numeric, analytic)
+		}
+	}
+}
+
+// checkParamGradient compares analytic parameter gradients against central
+// finite differences for every parameter layer in the network.
+func checkParamGradient(t *testing.T, net *Network, input *tensor.Tensor, labels []int, tol float64) {
+	t.Helper()
+	ctx := &Context{Mode: tensor.EnclaveScalar, Training: false}
+	net.ZeroGrads()
+	net.Cost().SetTargets(labels)
+	net.Forward(ctx, input)
+	net.Backward(ctx)
+
+	// Snapshot analytic gradients before probing (Forward calls below
+	// must not be allowed to touch them, but ZeroGrads would).
+	type probe struct {
+		pl ParamLayer
+		pi int
+	}
+	var probes []probe
+	analytic := make(map[probe][]float32)
+	for _, l := range net.Layers() {
+		pl, ok := l.(ParamLayer)
+		if !ok {
+			continue
+		}
+		for pi := range pl.Params() {
+			p := probe{pl, pi}
+			probes = append(probes, p)
+			g := pl.Grads()[pi]
+			cp := make([]float32, g.Len())
+			copy(cp, g.Data())
+			analytic[p] = cp
+		}
+	}
+
+	const eps = 1e-2
+	for _, p := range probes {
+		params := p.pl.Params()[p.pi].Data()
+		step := max(len(params)/5, 1)
+		for i := 0; i < len(params); i += step {
+			orig := params[i]
+			params[i] = orig + eps
+			lp := lossOf(t, net, ctx, input, labels)
+			params[i] = orig - eps
+			lm := lossOf(t, net, ctx, input, labels)
+			params[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			got := float64(analytic[p][i])
+			if math.Abs(numeric-got) > tol*(1+math.Abs(numeric)) {
+				t.Fatalf("param grad mismatch (%s param %d idx %d): numeric %v analytic %v",
+					p.pl.Kind(), p.pi, i, numeric, got)
+			}
+		}
+	}
+}
+
+func buildTestNet(t *testing.T, cfg Config, seed uint64) *Network {
+	t.Helper()
+	net, err := Build(cfg, rand.New(rand.NewPCG(seed, seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func randomBatch(net *Network, batch int, classes int, seed uint64) (*tensor.Tensor, []int) {
+	rng := rand.New(rand.NewPCG(seed, 99))
+	in := tensor.New(batch, net.InShape().Len())
+	in.FillUniform(rng, -1, 1)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = rng.IntN(classes)
+	}
+	return in, labels
+}
+
+func TestGradientConvSoftmaxCost(t *testing.T) {
+	cfg := Config{
+		Name: "g1", InC: 2, InH: 5, InW: 5, Classes: 3,
+		Layers: []LayerSpec{
+			{Kind: KindConv, Filters: 3, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: KindAvgPool},
+			{Kind: KindSoftmax},
+			{Kind: KindCost},
+		},
+	}
+	net := buildTestNet(t, cfg, 11)
+	in, labels := randomBatch(net, 2, 3, 12)
+	checkInputGradient(t, net, in, labels, 2e-2)
+	checkParamGradient(t, net, in, labels, 2e-2)
+}
+
+func TestGradientMaxPool(t *testing.T) {
+	cfg := Config{
+		Name: "g2", InC: 1, InH: 6, InW: 6, Classes: 2,
+		Layers: []LayerSpec{
+			{Kind: KindConv, Filters: 2, Size: 3, Stride: 1, Pad: 1, Activation: "linear"},
+			{Kind: KindMaxPool, Size: 2, Stride: 2},
+			{Kind: KindConv, Filters: 2, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+			{Kind: KindAvgPool},
+			{Kind: KindSoftmax},
+			{Kind: KindCost},
+		},
+	}
+	net := buildTestNet(t, cfg, 21)
+	in, labels := randomBatch(net, 2, 2, 22)
+	checkInputGradient(t, net, in, labels, 2e-2)
+	checkParamGradient(t, net, in, labels, 2e-2)
+}
+
+func TestGradientConnected(t *testing.T) {
+	cfg := Config{
+		Name: "g3", InC: 1, InH: 4, InW: 4, Classes: 3,
+		Layers: []LayerSpec{
+			{Kind: KindConnected, Filters: 6, Activation: "leaky"},
+			{Kind: KindConnected, Filters: 3, Activation: "linear"},
+			{Kind: KindSoftmax},
+			{Kind: KindCost},
+		},
+	}
+	net := buildTestNet(t, cfg, 31)
+	in, labels := randomBatch(net, 3, 3, 32)
+	checkInputGradient(t, net, in, labels, 2e-2)
+	checkParamGradient(t, net, in, labels, 2e-2)
+}
+
+func TestGradientStridedConvWithPadding(t *testing.T) {
+	cfg := Config{
+		Name: "g4", InC: 2, InH: 7, InW: 7, Classes: 2,
+		Layers: []LayerSpec{
+			{Kind: KindConv, Filters: 3, Size: 3, Stride: 2, Pad: 1, Activation: "relu"},
+			{Kind: KindConv, Filters: 2, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+			{Kind: KindAvgPool},
+			{Kind: KindSoftmax},
+			{Kind: KindCost},
+		},
+	}
+	net := buildTestNet(t, cfg, 41)
+	// ReLU kinks break finite differences at 0; inputs away from the kink.
+	rng := rand.New(rand.NewPCG(42, 42))
+	in := tensor.New(2, net.InShape().Len())
+	in.FillUniform(rng, 0.1, 1)
+	labels := []int{0, 1}
+	checkParamGradient(t, net, in, labels, 5e-2)
+}
+
+// TestGradientDropoutInference: with Training=false, dropout is an exact
+// identity in both directions.
+func TestGradientDropoutInference(t *testing.T) {
+	d, err := NewDropout(Shape{C: 2, H: 3, W: 3}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{Training: false}
+	in := tensor.New(2, 18)
+	in.FillUniform(rand.New(rand.NewPCG(1, 1)), -1, 1)
+	out := d.Forward(ctx, in)
+	for i := range in.Data() {
+		if out.Data()[i] != in.Data()[i] {
+			t.Fatal("inference dropout must be identity")
+		}
+	}
+	dout := tensor.New(2, 18)
+	dout.FillUniform(rand.New(rand.NewPCG(2, 2)), -1, 1)
+	din := d.Backward(ctx, dout)
+	for i := range dout.Data() {
+		if din.Data()[i] != dout.Data()[i] {
+			t.Fatal("inference dropout backward must be identity")
+		}
+	}
+}
+
+// TestGradientDropoutTraining: backward must apply exactly the forward
+// mask (chain rule through the stochastic scaling).
+func TestGradientDropoutTraining(t *testing.T) {
+	d, err := NewDropout(Shape{C: 1, H: 4, W: 4}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{Training: true, RNG: rand.New(rand.NewPCG(3, 3))}
+	in := tensor.New(1, 16)
+	in.Fill(1)
+	out := d.Forward(ctx, in)
+	dout := tensor.New(1, 16)
+	dout.Fill(1)
+	din := d.Backward(ctx, dout)
+	var kept int
+	for i := range out.Data() {
+		if out.Data()[i] != 0 {
+			kept++
+			if math.Abs(float64(out.Data()[i]-2)) > 1e-6 {
+				t.Fatalf("inverted dropout must scale survivors by 2, got %v", out.Data()[i])
+			}
+			if math.Abs(float64(din.Data()[i]-2)) > 1e-6 {
+				t.Fatalf("backward must scale kept deltas by 2, got %v", din.Data()[i])
+			}
+		} else if din.Data()[i] != 0 {
+			t.Fatal("dropped position must block gradient")
+		}
+	}
+	if kept == 0 || kept == 16 {
+		t.Fatalf("suspicious mask: %d of 16 kept", kept)
+	}
+}

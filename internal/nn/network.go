@@ -1,0 +1,298 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"caltrain/internal/tensor"
+)
+
+// SGD holds the stochastic-gradient-descent hyperparameters: plain
+// mini-batch SGD with momentum and L2 weight decay, the learning mechanism
+// the paper identifies as the standard for DNN training (§II).
+type SGD struct {
+	LearningRate float64
+	Momentum     float64
+	Decay        float64
+	// GradClip caps each parameter tensor's gradient L2 norm before the
+	// step (0 = no clipping). Networks without batch normalization (the
+	// paper's Tables I/II have none) need it for stability at practical
+	// learning rates.
+	GradClip float64
+	// DPNoise enables the differentially-private SGD variant the paper
+	// proposes as a drop-in hardening against Model Inversion attacks
+	// (§VII, citing Abadi et al.): after clipping to GradClip, Gaussian
+	// noise with standard deviation DPNoise·GradClip is added to each
+	// gradient tensor. Requires GradClip > 0 and DPRNG non-nil.
+	DPNoise float64
+	// DPRNG supplies the noise randomness. Inside a training enclave this
+	// is the enclave's hardware RNG stand-in.
+	DPRNG *rand.Rand
+}
+
+// DefaultSGD returns the hyperparameters used by the experiment harness.
+func DefaultSGD() SGD {
+	return SGD{LearningRate: 0.02, Momentum: 0.9, Decay: 1e-4, GradClip: 5}
+}
+
+// Network is a sequential stack of layers ending, for classifiers, in
+// Softmax and Cost layers. It supports range-restricted forward/backward
+// execution so a FrontNet/BackNet partition can run the two halves in
+// different protection domains (§IV-B).
+type Network struct {
+	layers   []Layer
+	in       Shape
+	velocity map[ParamLayer][]*tensor.Tensor
+}
+
+// NewNetwork constructs an empty network with the given input shape.
+func NewNetwork(in Shape) *Network {
+	return &Network{in: in, velocity: make(map[ParamLayer][]*tensor.Tensor)}
+}
+
+// Add appends a layer, validating shape continuity.
+func (n *Network) Add(l Layer) error {
+	prev := n.in
+	if len(n.layers) > 0 {
+		prev = n.layers[len(n.layers)-1].OutShape()
+	}
+	if l.InShape().Len() != prev.Len() {
+		return fmt.Errorf("nn: layer %d (%s) expects input %v but previous produces %v",
+			len(n.layers), l.Kind(), l.InShape(), prev)
+	}
+	n.layers = append(n.layers, l)
+	return nil
+}
+
+// InShape returns the network input shape.
+func (n *Network) InShape() Shape { return n.in }
+
+// NumLayers returns the number of layers.
+func (n *Network) NumLayers() int { return len(n.layers) }
+
+// Layer returns layer i.
+func (n *Network) Layer(i int) Layer { return n.layers[i] }
+
+// Layers returns the layer slice (shared; callers must not mutate).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Cost returns the terminal cost layer, or nil if the network has none.
+func (n *Network) Cost() *Cost {
+	if len(n.layers) == 0 {
+		return nil
+	}
+	if c, ok := n.layers[len(n.layers)-1].(*Cost); ok {
+		return c
+	}
+	return nil
+}
+
+// PenultimateIndex returns the index of the layer whose output is the
+// paper's fingerprint source: the layer immediately before the softmax
+// layer (§IV-C). It returns -1 if the network has no softmax layer or
+// nothing precedes it.
+func (n *Network) PenultimateIndex() int {
+	for i, l := range n.layers {
+		if l.Kind() == KindSoftmax {
+			return i - 1
+		}
+	}
+	return -1
+}
+
+// Forward runs all layers on input and returns the final output.
+func (n *Network) Forward(ctx *Context, input *tensor.Tensor) *tensor.Tensor {
+	return n.ForwardRange(ctx, 0, len(n.layers), input)
+}
+
+// ForwardRange runs layers [lo, hi) on input. The partitioned trainer uses
+// it to run the FrontNet inside the enclave and the BackNet outside.
+func (n *Network) ForwardRange(ctx *Context, lo, hi int, input *tensor.Tensor) *tensor.Tensor {
+	n.checkRange(lo, hi)
+	x := input
+	for i := lo; i < hi; i++ {
+		x = n.layers[i].Forward(ctx, x)
+	}
+	return x
+}
+
+// Backward runs a full backward pass starting at the cost layer and
+// returns the gradient with respect to the network input.
+func (n *Network) Backward(ctx *Context) *tensor.Tensor {
+	return n.BackwardRange(ctx, 0, len(n.layers), nil)
+}
+
+// BackwardRange backpropagates through layers [lo, hi) in reverse order.
+// dout is the gradient flowing in from layer hi (nil when hi is the end of
+// a network terminated by a Cost layer, which originates the gradient).
+// It returns the gradient with respect to layer lo's input — for the
+// partitioned trainer these are the "delta values delivered back into the
+// enclave" (§IV-B).
+func (n *Network) BackwardRange(ctx *Context, lo, hi int, dout *tensor.Tensor) *tensor.Tensor {
+	n.checkRange(lo, hi)
+	d := dout
+	for i := hi - 1; i >= lo; i-- {
+		d = n.layers[i].Backward(ctx, d)
+	}
+	return d
+}
+
+func (n *Network) checkRange(lo, hi int) {
+	if lo < 0 || hi > len(n.layers) || lo > hi {
+		panic(fmt.Sprintf("nn: layer range [%d,%d) out of bounds for %d layers", lo, hi, len(n.layers)))
+	}
+}
+
+// ZeroGrads clears every parameter layer's gradient accumulators.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.layers {
+		if pl, ok := l.(ParamLayer); ok {
+			pl.ZeroGrads()
+		}
+	}
+}
+
+// frozenLayer is implemented by layers that can be excluded from updates.
+type frozenLayer interface{ Frozen() bool }
+
+// Update applies one SGD step with momentum and weight decay to layers
+// [lo, hi), then zeroes their gradients. Weight updates are
+// layer-independent (§IV-B: "the weight updates can be conducted
+// independently with no layer dependency"), which is what lets the enclave
+// and host update their halves separately.
+func (n *Network) Update(opt SGD, lo, hi int) {
+	n.checkRange(lo, hi)
+	for i := lo; i < hi; i++ {
+		pl, ok := n.layers[i].(ParamLayer)
+		if !ok {
+			continue
+		}
+		if fl, ok := n.layers[i].(frozenLayer); ok && fl.Frozen() {
+			pl.ZeroGrads()
+			continue
+		}
+		vel, ok := n.velocity[pl]
+		if !ok {
+			params := pl.Params()
+			vel = make([]*tensor.Tensor, len(params))
+			for j, p := range params {
+				vel[j] = tensor.New(p.Shape()...)
+			}
+			n.velocity[pl] = vel
+		}
+		params, grads := pl.Params(), pl.Grads()
+		for j := range params {
+			// v = momentum*v − lr*(grad + decay*w); w += v.
+			// Biases (rank-1) are exempt from decay, per convention.
+			v, p, g := vel[j], params[j], grads[j]
+			if opt.GradClip > 0 {
+				if norm := g.L2Norm(); norm > opt.GradClip {
+					g.Scale(float32(opt.GradClip / norm))
+				}
+				if opt.DPNoise > 0 && opt.DPRNG != nil {
+					// Per-element std scaled by 1/√n so the noise
+					// *vector* norm is ≈ DPNoise·GradClip — i.e. DPNoise
+					// is the noise-to-sensitivity ratio of the Gaussian
+					// mechanism, independent of tensor size.
+					gd := g.Data()
+					sigma := opt.DPNoise * opt.GradClip / math.Sqrt(float64(len(gd)))
+					for gi := range gd {
+						gd[gi] += float32(opt.DPRNG.NormFloat64() * sigma)
+					}
+				}
+			}
+			v.Scale(float32(opt.Momentum))
+			tensor.AXPY(float32(-opt.LearningRate), g, v)
+			if p.Dims() > 1 && opt.Decay > 0 {
+				tensor.AXPY(float32(-opt.LearningRate*opt.Decay), p, v)
+			}
+			tensor.AddInto(p, v)
+		}
+		pl.ZeroGrads()
+	}
+}
+
+// UpdateAll applies Update across every layer.
+func (n *Network) UpdateAll(opt SGD) {
+	n.Update(opt, 0, len(n.layers))
+}
+
+// TrainBatch runs one full training step (forward, backward, update) on a
+// batch of flattened images with the given labels and returns the batch
+// loss. It requires a Cost-terminated network.
+func (n *Network) TrainBatch(ctx *Context, opt SGD, input *tensor.Tensor, labels []int) (float64, error) {
+	cost := n.Cost()
+	if cost == nil {
+		return 0, fmt.Errorf("nn: TrainBatch requires a cost-terminated network")
+	}
+	cost.SetTargets(labels)
+	n.Forward(ctx, input)
+	n.Backward(ctx)
+	n.UpdateAll(opt)
+	return cost.Loss(), nil
+}
+
+// Predict runs inference on a batch and returns the class probabilities
+// (the softmax output). The network must contain a softmax layer.
+func (n *Network) Predict(ctx *Context, input *tensor.Tensor) (*tensor.Tensor, error) {
+	si := -1
+	for i, l := range n.layers {
+		if l.Kind() == KindSoftmax {
+			si = i
+			break
+		}
+	}
+	if si < 0 {
+		return nil, fmt.Errorf("nn: Predict requires a softmax layer")
+	}
+	inferCtx := *ctx
+	inferCtx.Training = false
+	return n.ForwardRange(&inferCtx, 0, si+1, input), nil
+}
+
+// Classify returns the top-k predicted classes for each row of a batch.
+func (n *Network) Classify(ctx *Context, input *tensor.Tensor, k int) ([][]int, error) {
+	probs, err := n.Predict(ctx, input)
+	if err != nil {
+		return nil, err
+	}
+	batch := probs.Dim(0)
+	classes := probs.Dim(1)
+	out := make([][]int, batch)
+	for b := 0; b < batch; b++ {
+		row := tensor.FromSlice(probs.Data()[b*classes:(b+1)*classes], classes)
+		out[b] = row.ArgTopK(k)
+	}
+	return out, nil
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, l := range n.layers {
+		if pl, ok := l.(ParamLayer); ok {
+			for _, p := range pl.Params() {
+				total += p.Len()
+			}
+		}
+	}
+	return total
+}
+
+// Summary returns a human-readable per-layer table in the style of the
+// paper's Appendix A.
+func (n *Network) Summary() string {
+	s := fmt.Sprintf("%-3s %-10s %-12s %-12s %-10s\n", "#", "Layer", "Input", "Output", "Params")
+	for i, l := range n.layers {
+		params := 0
+		if pl, ok := l.(ParamLayer); ok {
+			for _, p := range pl.Params() {
+				params += p.Len()
+			}
+		}
+		s += fmt.Sprintf("%-3d %-10s %-12s %-12s %-10d\n", i+1, l.Kind(), l.InShape(), l.OutShape(), params)
+	}
+	s += fmt.Sprintf("total parameters: %d\n", n.ParamCount())
+	return s
+}

@@ -1,0 +1,379 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"caltrain/internal/tensor"
+)
+
+func TestBuildTableArchitectures(t *testing.T) {
+	// The exact paper shapes from Appendix A must be reproduced at scale 1.
+	rng := rand.New(rand.NewPCG(1, 1))
+	netI, err := Build(TableI(1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netI.NumLayers() != 10 {
+		t.Fatalf("Table I has %d layers, want 10", netI.NumLayers())
+	}
+	// Layer 1: conv 128 3x3/1, 28x28x3 -> 28x28x128.
+	if got := netI.Layer(0).OutShape(); got != (Shape{C: 128, H: 28, W: 28}) {
+		t.Fatalf("Table I layer 1 out = %v", got)
+	}
+	// Layer 5: max 2x2/2, 14x14x64 -> 7x7x64.
+	if got := netI.Layer(4).OutShape(); got != (Shape{C: 64, H: 7, W: 7}) {
+		t.Fatalf("Table I layer 5 out = %v", got)
+	}
+	// Layer 8: avg, 7x7x10 -> 10.
+	if got := netI.Layer(7).OutShape(); got.Len() != 10 {
+		t.Fatalf("Table I layer 8 out = %v", got)
+	}
+
+	netII, err := Build(TableII(1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netII.NumLayers() != 18 {
+		t.Fatalf("Table II has %d layers, want 18", netII.NumLayers())
+	}
+	// Layer 11: conv 512, 7x7x256 -> 7x7x512.
+	if got := netII.Layer(10).OutShape(); got != (Shape{C: 512, H: 7, W: 7}) {
+		t.Fatalf("Table II layer 11 out = %v", got)
+	}
+	ndrop := 0
+	for _, l := range netII.Layers() {
+		if d, ok := l.(*Dropout); ok {
+			ndrop++
+			if d.P != 0.5 {
+				t.Fatalf("Table II dropout p = %v, want 0.5", d.P)
+			}
+		}
+	}
+	if ndrop != 3 {
+		t.Fatalf("Table II has %d dropout layers, want 3", ndrop)
+	}
+}
+
+func TestAddRejectsShapeMismatch(t *testing.T) {
+	net := NewNetwork(Shape{C: 3, H: 8, W: 8})
+	sm, _ := NewSoftmax(10) // expects 10 inputs, previous produces 192
+	if err := net.Add(sm); err == nil {
+		t.Fatal("expected shape-continuity error")
+	}
+}
+
+func TestPenultimateIndex(t *testing.T) {
+	net := buildTestNet(t, TinyNet(4), 7)
+	idx := net.PenultimateIndex()
+	if idx < 0 || net.Layer(idx+1).Kind() != KindSoftmax {
+		t.Fatalf("PenultimateIndex = %d", idx)
+	}
+	if net.Layer(idx).Kind() != KindAvgPool {
+		t.Fatalf("penultimate layer kind = %s, want avg", net.Layer(idx).Kind())
+	}
+	empty := NewNetwork(Shape{C: 1, H: 1, W: 1})
+	if empty.PenultimateIndex() != -1 {
+		t.Fatal("network without softmax should report -1")
+	}
+}
+
+func TestForwardRangeComposition(t *testing.T) {
+	// Running [0,k) then [k,n) must equal running [0,n) in one shot.
+	net := buildTestNet(t, TinyNet(3), 17)
+	ctx := &Context{Mode: tensor.Accelerated, Training: false}
+	in, _ := randomBatch(net, 4, 3, 18)
+	full := net.Forward(ctx, in).Clone()
+	for split := 1; split < net.NumLayers(); split++ {
+		mid := net.ForwardRange(ctx, 0, split, in)
+		out := net.ForwardRange(ctx, split, net.NumLayers(), mid)
+		for i := range full.Data() {
+			if out.Data()[i] != full.Data()[i] {
+				t.Fatalf("split at %d diverges at output element %d", split, i)
+			}
+		}
+	}
+}
+
+func TestTrainBatchReducesLoss(t *testing.T) {
+	// A tiny net must fit 8 fixed samples: loss should drop markedly.
+	net := buildTestNet(t, TinyNet(2), 5)
+	ctx := &Context{Mode: tensor.Accelerated, Training: true, RNG: rand.New(rand.NewPCG(5, 5))}
+	rng := rand.New(rand.NewPCG(6, 6))
+	in := tensor.New(8, net.InShape().Len())
+	labels := make([]int, 8)
+	for b := 0; b < 8; b++ {
+		labels[b] = b % 2
+		// Class-dependent mean so the problem is separable.
+		for i := 0; i < net.InShape().Len(); i++ {
+			in.Set(float32(rng.NormFloat64()*0.1)+float32(labels[b]), b, i)
+		}
+	}
+	opt := SGD{LearningRate: 0.1, Momentum: 0.9, Decay: 0}
+	var first, last float64
+	for epoch := 0; epoch < 60; epoch++ {
+		loss, err := net.TrainBatch(ctx, opt, in, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if !(last < first*0.3) {
+		t.Fatalf("loss did not drop: first %v last %v", first, last)
+	}
+	// And the fitted samples should classify correctly.
+	preds, err := net.Classify(ctx, in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for b, p := range preds {
+		if p[0] == labels[b] {
+			correct++
+		}
+	}
+	if correct < 7 {
+		t.Fatalf("only %d/8 training samples fit", correct)
+	}
+}
+
+func TestSoftmaxIsDistribution(t *testing.T) {
+	sm, err := NewSoftmax(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{}
+	in := tensor.New(3, 5)
+	in.FillUniform(rand.New(rand.NewPCG(9, 9)), -10, 10)
+	out := sm.Forward(ctx, in)
+	for b := 0; b < 3; b++ {
+		var sum float64
+		for i := 0; i < 5; i++ {
+			v := out.At(b, i)
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", v)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", b, sum)
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	sm, _ := NewSoftmax(3)
+	ctx := &Context{}
+	in := tensor.FromSlice([]float32{1000, 999, -1000}, 1, 3)
+	out := sm.Forward(ctx, in)
+	for i := 0; i < 3; i++ {
+		if v := out.At(0, i); math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("softmax overflowed: %v", out.Data())
+		}
+	}
+	if out.At(0, 0) < out.At(0, 1) {
+		t.Fatal("ordering not preserved")
+	}
+}
+
+func TestCostLossKnownValue(t *testing.T) {
+	c, _ := NewCost(2)
+	ctx := &Context{}
+	in := tensor.FromSlice([]float32{0.5, 0.5, 0.9, 0.1}, 2, 2)
+	c.SetTargets([]int{0, 0})
+	c.Forward(ctx, in)
+	want := -(math.Log(0.5) + math.Log(0.9)) / 2
+	if math.Abs(c.Loss()-want) > 1e-6 {
+		t.Fatalf("loss = %v, want %v", c.Loss(), want)
+	}
+}
+
+func TestCostRejectsBadTargets(t *testing.T) {
+	c, _ := NewCost(2)
+	ctx := &Context{}
+	in := tensor.New(1, 2)
+	c.SetTargets([]int{5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range target")
+		}
+	}()
+	c.Forward(ctx, in)
+}
+
+func TestFrozenLayerSkipsUpdate(t *testing.T) {
+	net := buildTestNet(t, TinyNet(2), 23)
+	conv := net.Layer(0).(*Conv)
+	conv.SetFrozen(true)
+	before := conv.Params()[0].Clone()
+
+	ctx := &Context{Mode: tensor.Accelerated, Training: true, RNG: rand.New(rand.NewPCG(1, 2))}
+	in, labels := randomBatch(net, 4, 2, 24)
+	if _, err := net.TrainBatch(ctx, DefaultSGD(), in, labels); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range conv.Params()[0].Data() {
+		if v != before.Data()[i] {
+			t.Fatal("frozen layer weights changed")
+		}
+	}
+	// The downstream (unfrozen) conv must still have moved.
+	var moved bool
+	other := net.Layer(3).(*Conv)
+	_ = other
+	conv.SetFrozen(false)
+	if _, err := net.TrainBatch(ctx, DefaultSGD(), in, labels); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range conv.Params()[0].Data() {
+		if v != before.Data()[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("unfrozen layer weights did not change")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := TinyNet(3)
+	net := buildTestNet(t, cfg, 33)
+	var buf bytes.Buffer
+	if err := Save(&buf, cfg, net); err != nil {
+		t.Fatal(err)
+	}
+	cfg2, net2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Name != cfg.Name || len(cfg2.Layers) != len(cfg.Layers) {
+		t.Fatalf("config round-trip mismatch: %+v", cfg2)
+	}
+	// Identical weights -> identical outputs.
+	ctx := &Context{Mode: tensor.Accelerated}
+	in, _ := randomBatch(net, 2, 3, 34)
+	o1, err := net.Predict(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := net2.Predict(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range o1.Data() {
+		if o1.Data()[i] != o2.Data()[i] {
+			t.Fatalf("prediction diverges after round-trip at %d", i)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptModel(t *testing.T) {
+	cfg := TinyNet(2)
+	net := buildTestNet(t, cfg, 35)
+	var buf bytes.Buffer
+	if err := Save(&buf, cfg, net); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, _, err := Load(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("expected error for truncated model")
+	}
+	bad := append([]byte("XXXX"), raw[4:]...)
+	if _, _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestWriteReadParamsPartial(t *testing.T) {
+	cfg := TinyNet(2)
+	src := buildTestNet(t, cfg, 36)
+	dst := buildTestNet(t, cfg, 37) // different init
+	var buf bytes.Buffer
+	// Transfer only layer 0 (the FrontNet of a split-at-1 partition).
+	if err := WriteParams(&buf, src, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadParams(&buf, dst, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sw := src.Layer(0).(*Conv).Params()[0]
+	dw := dst.Layer(0).(*Conv).Params()[0]
+	for i := range sw.Data() {
+		if sw.Data()[i] != dw.Data()[i] {
+			t.Fatal("layer-0 params not transferred")
+		}
+	}
+	// Layer 3 (second conv) must be untouched.
+	s3 := src.Layer(3).(*Conv).Params()[0]
+	d3 := dst.Layer(3).(*Conv).Params()[0]
+	same := true
+	for i := range s3.Data() {
+		if s3.Data()[i] != d3.Data()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("layer-3 params unexpectedly identical (should differ by init)")
+	}
+}
+
+func TestCopyParams(t *testing.T) {
+	cfg := TinyNet(2)
+	src := buildTestNet(t, cfg, 38)
+	dst := buildTestNet(t, cfg, 39)
+	if err := CopyParams(dst, src, 0, src.NumLayers()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{Mode: tensor.Accelerated}
+	in, _ := randomBatch(src, 2, 2, 40)
+	o1, _ := src.Predict(ctx, in)
+	o2, _ := dst.Predict(ctx, in)
+	for i := range o1.Data() {
+		if o1.Data()[i] != o2.Data()[i] {
+			t.Fatal("CopyParams did not reproduce outputs")
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	cases := []Config{
+		{Name: "bad-shape", InC: 0, InH: 8, InW: 8},
+		{Name: "bad-kind", InC: 1, InH: 8, InW: 8, Layers: []LayerSpec{{Kind: "warp"}}},
+		{Name: "bad-act", InC: 1, InH: 8, InW: 8, Layers: []LayerSpec{{Kind: KindConv, Filters: 2, Size: 3, Stride: 1, Pad: 1, Activation: "gelu"}}},
+		{Name: "bad-dropout", InC: 1, InH: 8, InW: 8, Layers: []LayerSpec{{Kind: KindDropout, Probability: 1.5}}},
+	}
+	for _, cfg := range cases {
+		if _, err := Build(cfg, rng); err == nil {
+			t.Fatalf("config %q: expected error", cfg.Name)
+		}
+	}
+}
+
+func TestSummaryMentionsEveryLayer(t *testing.T) {
+	net := buildTestNet(t, TableI(8), 41)
+	s := net.Summary()
+	for _, kind := range []string{"conv", "max", "avg", "softmax", "cost"} {
+		if !bytes.Contains([]byte(s), []byte(kind)) {
+			t.Fatalf("summary missing %q:\n%s", kind, s)
+		}
+	}
+}
+
+func TestContextTouchAccounting(t *testing.T) {
+	var touched int
+	ctx := &Context{Mode: tensor.EnclaveScalar, Touch: func(b int) { touched += b }}
+	net := buildTestNet(t, TinyNet(2), 43)
+	in, _ := randomBatch(net, 2, 2, 44)
+	net.Forward(ctx, in)
+	if touched == 0 {
+		t.Fatal("Touch hook never invoked during forward")
+	}
+}

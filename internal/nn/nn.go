@@ -1,0 +1,172 @@
+// Package nn is a from-scratch convolutional neural-network framework — a
+// Go equivalent of the Darknet substrate the CalTrain prototype builds on
+// (§V of the paper). It provides the layer types used by the paper's
+// architectures (convolutional, max pooling, average pooling, dropout,
+// softmax, cost; plus fully-connected layers for embedding networks), a
+// sequential Network with full feedforward/backpropagation/weight-update
+// support, range-restricted execution (the hook that partitioned
+// FrontNet/BackNet training is built on), and binary weight
+// (de)serialization.
+//
+// Layers are stateful: Forward stores the activations Backward consumes, so
+// a Network instance must not run concurrent batches. Train distinct
+// Network clones for concurrency.
+package nn
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"caltrain/internal/tensor"
+)
+
+// Shape is the (channels, height, width) extent of a layer's input or
+// output volume.
+type Shape struct {
+	C, H, W int
+}
+
+// Len returns the flattened element count C*H*W.
+func (s Shape) Len() int { return s.C * s.H * s.W }
+
+// String implements fmt.Stringer in Darknet's "WxHxC" convention.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.W, s.H, s.C) }
+
+// LayerKind identifies a layer type. The set mirrors the paper's
+// Appendix A tables (conv, max, avg, dropout, softmax, cost) plus
+// connected layers for the face-embedding network.
+type LayerKind string
+
+// Layer kinds.
+const (
+	KindConv      LayerKind = "conv"
+	KindMaxPool   LayerKind = "max"
+	KindAvgPool   LayerKind = "avg"
+	KindDropout   LayerKind = "dropout"
+	KindSoftmax   LayerKind = "softmax"
+	KindCost      LayerKind = "cost"
+	KindConnected LayerKind = "connected"
+)
+
+// Activation selects the nonlinearity applied by parameterized layers.
+type Activation int
+
+// Activations.
+const (
+	// Linear applies no nonlinearity.
+	Linear Activation = iota
+	// Leaky is the leaky ReLU with slope 0.1 on the negative side,
+	// Darknet's default for convolutional layers.
+	Leaky
+	// ReLU is the rectified linear unit.
+	ReLU
+)
+
+func (a Activation) String() string {
+	switch a {
+	case Leaky:
+		return "leaky"
+	case ReLU:
+		return "relu"
+	default:
+		return "linear"
+	}
+}
+
+func activate(a Activation, x []float32) {
+	switch a {
+	case Leaky:
+		for i, v := range x {
+			if v < 0 {
+				x[i] = 0.1 * v
+			}
+		}
+	case ReLU:
+		for i, v := range x {
+			if v < 0 {
+				x[i] = 0
+			}
+		}
+	}
+}
+
+// gradate multiplies delta by the activation derivative evaluated at the
+// post-activation output.
+func gradate(a Activation, out, delta []float32) {
+	switch a {
+	case Leaky:
+		for i, v := range out {
+			if v < 0 {
+				delta[i] *= 0.1
+			}
+		}
+	case ReLU:
+		for i, v := range out {
+			if v <= 0 {
+				delta[i] = 0
+			}
+		}
+	}
+}
+
+// Context carries the per-invocation execution environment through layer
+// calls: which compute path to use (the enclave path is scalar and
+// sequential, modeling the loss of -ffast-math and parallel hardware inside
+// SGX, §VI-C), whether dropout and other train-only behaviour is active,
+// the RNG for stochastic layers, and an optional memory-access hook the
+// enclave's EPC accounting attaches to.
+type Context struct {
+	// Mode selects the matrix-multiplication kernel.
+	Mode tensor.MatMulMode
+	// Training enables train-only behaviour (dropout masking).
+	Training bool
+	// RNG drives stochastic layers. It must be non-nil when Training is
+	// true and the network contains dropout layers.
+	RNG *rand.Rand
+	// Touch, if non-nil, is invoked with the byte size of every tensor a
+	// layer reads or writes; the simulated enclave uses it to account EPC
+	// working-set pressure and trigger paging.
+	Touch func(bytes int)
+}
+
+func (c *Context) touch(t *tensor.Tensor) {
+	if c.Touch != nil {
+		c.Touch(t.Len() * 4)
+	}
+}
+
+// Layer is a differentiable network stage. Forward consumes a
+// [batch, inShape.Len()] tensor and returns [batch, outShape.Len()];
+// Backward consumes the gradient of the loss with respect to the layer's
+// output and returns the gradient with respect to its input.
+type Layer interface {
+	Kind() LayerKind
+	InShape() Shape
+	OutShape() Shape
+	Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor
+	Backward(ctx *Context, dout *tensor.Tensor) *tensor.Tensor
+	// Output returns the most recent forward result (nil before the first
+	// Forward). The assessment framework reads per-layer outputs as the
+	// intermediate representations (IRs) it scores.
+	Output() *tensor.Tensor
+}
+
+// ParamLayer is implemented by layers with trainable parameters.
+type ParamLayer interface {
+	Layer
+	// Params returns the parameter tensors (weights first, then biases).
+	Params() []*tensor.Tensor
+	// Grads returns gradient accumulators aligned with Params.
+	Grads() []*tensor.Tensor
+	// ZeroGrads clears the gradient accumulators.
+	ZeroGrads()
+}
+
+// batchOf panics unless t is rank-2 with row length n, returning the batch
+// size. Layers use it to validate their inputs.
+func batchOf(t *tensor.Tensor, n int, kind LayerKind) int {
+	if t.Dims() != 2 || t.Dim(1) != n {
+		panic(fmt.Sprintf("nn: %s layer expects [batch %d] input, got %v", kind, n, t.Shape()))
+	}
+	return t.Dim(0)
+}

@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"fmt"
+
+	"caltrain/internal/tensor"
+)
+
+// MaxPool is a 2-D max-pooling layer. It records argmax indices during
+// Forward so Backward can route deltas to the winning positions.
+type MaxPool struct {
+	in, out Shape
+	size    int
+	stride  int
+
+	argmax []int32 // per output element: flat index into the input image
+	output *tensor.Tensor
+}
+
+var _ Layer = (*MaxPool)(nil)
+
+// NewMaxPool constructs a max-pooling layer with a square window.
+func NewMaxPool(in Shape, size, stride int) (*MaxPool, error) {
+	if size <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("nn: maxpool needs positive size/stride, got %d/%d", size, stride)
+	}
+	outH := (in.H-size)/stride + 1
+	outW := (in.W-size)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("nn: maxpool %dx%d/%d produces empty output from %v", size, size, stride, in)
+	}
+	return &MaxPool{
+		in:     in,
+		out:    Shape{C: in.C, H: outH, W: outW},
+		size:   size,
+		stride: stride,
+	}, nil
+}
+
+// Kind implements Layer.
+func (m *MaxPool) Kind() LayerKind { return KindMaxPool }
+
+// InShape implements Layer.
+func (m *MaxPool) InShape() Shape { return m.in }
+
+// OutShape implements Layer.
+func (m *MaxPool) OutShape() Shape { return m.out }
+
+// Output implements Layer.
+func (m *MaxPool) Output() *tensor.Tensor { return m.output }
+
+// Forward implements Layer.
+func (m *MaxPool) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	batch := batchOf(in, m.in.Len(), KindMaxPool)
+	outLen := m.out.Len()
+	if m.output == nil || m.output.Dim(0) != batch {
+		m.output = tensor.New(batch, outLen)
+		m.argmax = make([]int32, batch*outLen)
+	}
+	ctx.touch(in)
+	ctx.touch(m.output)
+	inLen := m.in.Len()
+	inData, outData := in.Data(), m.output.Data()
+	for b := 0; b < batch; b++ {
+		img := inData[b*inLen : (b+1)*inLen]
+		outImg := outData[b*outLen : (b+1)*outLen]
+		am := m.argmax[b*outLen : (b+1)*outLen]
+		o := 0
+		for c := 0; c < m.in.C; c++ {
+			chBase := c * m.in.H * m.in.W
+			for oh := 0; oh < m.out.H; oh++ {
+				for ow := 0; ow < m.out.W; ow++ {
+					// Seed with the window's first element so NaN inputs
+					// (e.g. a diverged training run) cannot leave the
+					// argmax unset.
+					first := chBase + (oh*m.stride)*m.in.W + ow*m.stride
+					best := img[first]
+					bestIdx := int32(first)
+					for dy := 0; dy < m.size; dy++ {
+						y := oh*m.stride + dy
+						rowBase := chBase + y*m.in.W
+						for dx := 0; dx < m.size; dx++ {
+							x := ow*m.stride + dx
+							if v := img[rowBase+x]; v > best {
+								best = v
+								bestIdx = int32(rowBase + x)
+							}
+						}
+					}
+					outImg[o] = best
+					am[o] = bestIdx
+					o++
+				}
+			}
+		}
+	}
+	return m.output
+}
+
+// Backward implements Layer.
+func (m *MaxPool) Backward(ctx *Context, dout *tensor.Tensor) *tensor.Tensor {
+	batch := batchOf(dout, m.out.Len(), KindMaxPool)
+	din := tensor.New(batch, m.in.Len())
+	ctx.touch(dout)
+	ctx.touch(din)
+	outLen, inLen := m.out.Len(), m.in.Len()
+	for b := 0; b < batch; b++ {
+		dimg := din.Data()[b*inLen : (b+1)*inLen]
+		doutImg := dout.Data()[b*outLen : (b+1)*outLen]
+		am := m.argmax[b*outLen : (b+1)*outLen]
+		for o, idx := range am {
+			dimg[idx] += doutImg[o]
+		}
+	}
+	return din
+}
+
+// AvgPool is a global average-pooling layer: it reduces each channel's
+// H×W plane to its mean, as the "avg" rows of the paper's Tables I and II
+// do (7x7x10 → 10).
+type AvgPool struct {
+	in     Shape
+	output *tensor.Tensor
+}
+
+var _ Layer = (*AvgPool)(nil)
+
+// NewAvgPool constructs a global average-pooling layer.
+func NewAvgPool(in Shape) *AvgPool {
+	return &AvgPool{in: in}
+}
+
+// Kind implements Layer.
+func (a *AvgPool) Kind() LayerKind { return KindAvgPool }
+
+// InShape implements Layer.
+func (a *AvgPool) InShape() Shape { return a.in }
+
+// OutShape implements Layer.
+func (a *AvgPool) OutShape() Shape { return Shape{C: a.in.C, H: 1, W: 1} }
+
+// Output implements Layer.
+func (a *AvgPool) Output() *tensor.Tensor { return a.output }
+
+// Forward implements Layer.
+func (a *AvgPool) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	batch := batchOf(in, a.in.Len(), KindAvgPool)
+	if a.output == nil || a.output.Dim(0) != batch {
+		a.output = tensor.New(batch, a.in.C)
+	}
+	ctx.touch(in)
+	ctx.touch(a.output)
+	plane := a.in.H * a.in.W
+	inv := 1 / float32(plane)
+	inLen := a.in.Len()
+	for b := 0; b < batch; b++ {
+		img := in.Data()[b*inLen : (b+1)*inLen]
+		out := a.output.Data()[b*a.in.C : (b+1)*a.in.C]
+		for c := 0; c < a.in.C; c++ {
+			var s float32
+			for _, v := range img[c*plane : (c+1)*plane] {
+				s += v
+			}
+			out[c] = s * inv
+		}
+	}
+	return a.output
+}
+
+// Backward implements Layer.
+func (a *AvgPool) Backward(ctx *Context, dout *tensor.Tensor) *tensor.Tensor {
+	batch := batchOf(dout, a.in.C, KindAvgPool)
+	din := tensor.New(batch, a.in.Len())
+	ctx.touch(dout)
+	ctx.touch(din)
+	plane := a.in.H * a.in.W
+	inv := 1 / float32(plane)
+	inLen := a.in.Len()
+	for b := 0; b < batch; b++ {
+		dimg := din.Data()[b*inLen : (b+1)*inLen]
+		d := dout.Data()[b*a.in.C : (b+1)*a.in.C]
+		for c := 0; c < a.in.C; c++ {
+			g := d[c] * inv
+			row := dimg[c*plane : (c+1)*plane]
+			for i := range row {
+				row[i] = g
+			}
+		}
+	}
+	return din
+}

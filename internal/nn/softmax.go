@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"caltrain/internal/tensor"
+)
+
+// Softmax converts logits into a probability distribution per batch row.
+//
+// Backward is the identity: the Cost layer emits the combined
+// softmax-plus-cross-entropy gradient (p − y) directly with respect to the
+// logits, the same arrangement Darknet uses, so the softmax layer only
+// forwards deltas unchanged.
+type Softmax struct {
+	n      int
+	output *tensor.Tensor
+}
+
+var _ Layer = (*Softmax)(nil)
+
+// NewSoftmax constructs a softmax over n classes.
+func NewSoftmax(n int) (*Softmax, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("nn: softmax needs positive class count, got %d", n)
+	}
+	return &Softmax{n: n}, nil
+}
+
+// Kind implements Layer.
+func (s *Softmax) Kind() LayerKind { return KindSoftmax }
+
+// InShape implements Layer.
+func (s *Softmax) InShape() Shape { return Shape{C: s.n, H: 1, W: 1} }
+
+// OutShape implements Layer.
+func (s *Softmax) OutShape() Shape { return Shape{C: s.n, H: 1, W: 1} }
+
+// Output implements Layer.
+func (s *Softmax) Output() *tensor.Tensor { return s.output }
+
+// Forward implements Layer.
+func (s *Softmax) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	batch := batchOf(in, s.n, KindSoftmax)
+	if s.output == nil || s.output.Dim(0) != batch {
+		s.output = tensor.New(batch, s.n)
+	}
+	ctx.touch(in)
+	ctx.touch(s.output)
+	for b := 0; b < batch; b++ {
+		row := in.Data()[b*s.n : (b+1)*s.n]
+		out := s.output.Data()[b*s.n : (b+1)*s.n]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxv))
+			out[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return s.output
+}
+
+// Backward implements Layer. See the type comment: the identity, by the
+// softmax/cross-entropy fusion convention.
+func (s *Softmax) Backward(ctx *Context, dout *tensor.Tensor) *tensor.Tensor {
+	batchOf(dout, s.n, KindSoftmax)
+	din := dout.Clone()
+	ctx.touch(dout)
+	ctx.touch(din)
+	return din
+}
+
+// Cost is the cross-entropy cost layer terminating a classification
+// network. Targets must be set (SetTargets) before Forward in training
+// mode. Forward passes probabilities through unchanged and records the
+// mean cross-entropy loss; Backward emits (p − y)/batch, the gradient of
+// the mean loss with respect to the softmax logits (the preceding Softmax
+// layer forwards it unchanged).
+type Cost struct {
+	n       int
+	targets []int
+	loss    float64
+	output  *tensor.Tensor
+}
+
+var _ Layer = (*Cost)(nil)
+
+// NewCost constructs a cross-entropy cost layer over n classes.
+func NewCost(n int) (*Cost, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("nn: cost needs positive class count, got %d", n)
+	}
+	return &Cost{n: n}, nil
+}
+
+// Kind implements Layer.
+func (c *Cost) Kind() LayerKind { return KindCost }
+
+// InShape implements Layer.
+func (c *Cost) InShape() Shape { return Shape{C: c.n, H: 1, W: 1} }
+
+// OutShape implements Layer.
+func (c *Cost) OutShape() Shape { return Shape{C: c.n, H: 1, W: 1} }
+
+// Output implements Layer.
+func (c *Cost) Output() *tensor.Tensor { return c.output }
+
+// SetTargets installs the class labels for the next Forward/Backward pair.
+// The slice is retained; its length must match the batch size.
+func (c *Cost) SetTargets(labels []int) {
+	c.targets = labels
+}
+
+// Loss returns the mean cross-entropy of the most recent Forward.
+func (c *Cost) Loss() float64 { return c.loss }
+
+// Forward implements Layer.
+func (c *Cost) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	batch := batchOf(in, c.n, KindCost)
+	c.output = in
+	ctx.touch(in)
+	if c.targets == nil {
+		c.loss = 0
+		return in
+	}
+	if len(c.targets) != batch {
+		panic(fmt.Sprintf("nn: cost has %d targets for batch %d", len(c.targets), batch))
+	}
+	var loss float64
+	for b, y := range c.targets {
+		if y < 0 || y >= c.n {
+			panic(fmt.Sprintf("nn: cost target %d out of range [0,%d)", y, c.n))
+		}
+		p := float64(in.At(b, y))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	c.loss = loss / float64(batch)
+	return in
+}
+
+// Backward implements Layer. dout is ignored (the cost layer originates the
+// gradient); it may be nil.
+func (c *Cost) Backward(ctx *Context, dout *tensor.Tensor) *tensor.Tensor {
+	if c.targets == nil {
+		panic("nn: cost Backward without targets")
+	}
+	if c.output == nil {
+		panic("nn: cost Backward without Forward")
+	}
+	batch := c.output.Dim(0)
+	if len(c.targets) != batch {
+		panic(fmt.Sprintf("nn: cost has %d targets for batch %d", len(c.targets), batch))
+	}
+	din := c.output.Clone()
+	inv := 1 / float32(batch)
+	din.Scale(inv)
+	for b, y := range c.targets {
+		din.Set(din.At(b, y)-inv, b, y)
+	}
+	ctx.touch(din)
+	return din
+}

@@ -1,0 +1,347 @@
+// Package partition implements CalTrain's partitioned training mechanism
+// (§IV-B): the neural network is split vertically into a FrontNet running
+// inside an SGX enclave and a BackNet running outside. The FrontNet — and
+// the training data flowing through it — never leave the enclave;
+// feedforward delivers intermediate representations (IRs) out across the
+// boundary and backpropagation delivers delta values back in. Weight
+// updates are conducted independently on each side (no layer dependency).
+//
+// Unlike prior partitioned-inference systems, this supports the full
+// training life-cycle (feedforward, backpropagation, weight updates) and
+// dynamic re-assessment: Repartition moves the split between epochs, with
+// the migrating layer parameters serialized across the boundary the way a
+// real deployment would reprovision them.
+package partition
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"caltrain/internal/nn"
+	"caltrain/internal/sgx"
+	"caltrain/internal/tensor"
+)
+
+// Errors returned by the trainer.
+var (
+	ErrBadSplit = errors.New("partition: split index out of range")
+	ErrNoCost   = errors.New("partition: network must end in a cost layer")
+)
+
+// ECALL names registered on the training enclave.
+const (
+	ecallFrontForward  = "front/forward"
+	ecallFrontBackward = "front/backward"
+	ecallFrontExport   = "front/export"
+	ecallFrontImport   = "front/import"
+)
+
+// Trainer drives partitioned training of one network: layers [0, split)
+// execute inside the enclave on the scalar compute path with EPC
+// accounting, layers [split, n) execute outside on the accelerated path.
+type Trainer struct {
+	net     *nn.Network
+	split   int
+	enclave *sgx.Enclave
+	opt     nn.SGD
+
+	frontCtx nn.Context
+	backCtx  nn.Context
+}
+
+// NewTrainer wires a trainer onto an uninitialized enclave: it registers
+// the FrontNet ECALLs (which become part of the enclave's measurement) and
+// leaves the caller to add any further ECALLs before calling
+// enclave.Init(). split is the first layer index outside the enclave; the
+// paper's Experiment I places the first two layers inside (split = 2).
+// hostRNG drives BackNet-side stochastic layers; FrontNet-side stochastic
+// layers use the enclave's RDRAND stand-in.
+func NewTrainer(enclave *sgx.Enclave, net *nn.Network, split int, opt nn.SGD, hostRNG *rand.Rand) (*Trainer, error) {
+	if net.Cost() == nil {
+		return nil, ErrNoCost
+	}
+	// The cost layer must stay outside the boundary: its targets are set
+	// host-side and it originates the backward gradient.
+	if split < 0 || split >= net.NumLayers() {
+		return nil, fmt.Errorf("%w: %d must leave the cost layer outside (%d layers)", ErrBadSplit, split, net.NumLayers())
+	}
+	t := &Trainer{
+		net:     net,
+		split:   split,
+		enclave: enclave,
+		opt:     opt,
+	}
+	t.frontCtx = nn.Context{
+		Mode:     tensor.EnclaveScalar,
+		Training: true,
+		Touch:    enclave.Touch,
+	}
+	t.backCtx = nn.Context{
+		Mode:     tensor.Accelerated,
+		Training: true,
+		RNG:      hostRNG,
+	}
+	// Registration order is part of the enclave measurement; keep it
+	// fixed so participants can reproduce the expected measurement from
+	// the agreed code (§III).
+	ecalls := []struct {
+		name string
+		fn   sgx.ECall
+	}{
+		{ecallFrontForward, t.doFrontForward},
+		{ecallFrontBackward, t.doFrontBackward},
+		{ecallFrontExport, t.doFrontExport},
+		{ecallFrontImport, t.doFrontImport},
+	}
+	for _, ec := range ecalls {
+		if err := enclave.RegisterECall(ec.name, ec.fn); err != nil {
+			return nil, fmt.Errorf("partition: register %s: %w", ec.name, err)
+		}
+	}
+	return t, nil
+}
+
+// Enclave returns the training enclave (for attestation and stats).
+func (t *Trainer) Enclave() *sgx.Enclave { return t.enclave }
+
+// Split returns the current partition point.
+func (t *Trainer) Split() int { return t.split }
+
+// Network returns the underlying network. FrontNet layer parameters are
+// conceptually enclave-resident; callers outside tests must not read
+// layers [0, Split()).
+func (t *Trainer) Network() *nn.Network { return t.net }
+
+// --- In-enclave ECALL bodies -------------------------------------------
+
+// doFrontForward runs the FrontNet on a batch and returns the IR. The
+// enclave RNG feeds in-enclave dropout, per §IV-A's use of the on-chip
+// hardware RNG.
+func (t *Trainer) doFrontForward(in []byte) ([]byte, error) {
+	batch, err := DecodeTensor(in)
+	if err != nil {
+		return nil, err
+	}
+	ctx := t.frontCtx
+	ctx.RNG = t.enclave.RNG()
+	ir := t.net.ForwardRange(&ctx, 0, t.split, batch)
+	return EncodeTensor(ir), nil
+}
+
+// doFrontBackward receives the delta at the partition boundary,
+// backpropagates it through the FrontNet, and applies the in-enclave
+// weight update.
+func (t *Trainer) doFrontBackward(in []byte) ([]byte, error) {
+	delta, err := DecodeTensor(in)
+	if err != nil {
+		return nil, err
+	}
+	ctx := t.frontCtx
+	ctx.RNG = t.enclave.RNG()
+	t.net.BackwardRange(&ctx, 0, t.split, delta)
+	t.net.Update(t.opt, 0, t.split)
+	return nil, nil
+}
+
+// doFrontExport serializes the FrontNet parameters (the model-release
+// path: core seals this payload per participant before it leaves).
+func (t *Trainer) doFrontExport([]byte) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := nn.WriteParams(&buf, t.net, 0, t.split); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// doFrontImport loads FrontNet parameters (used when re-establishing an
+// enclave or migrating a partition).
+func (t *Trainer) doFrontImport(in []byte) ([]byte, error) {
+	return nil, nn.ReadParams(bytes.NewReader(in), t.net, 0, t.split)
+}
+
+// FrontForward runs the FrontNet directly, bypassing the call boundary.
+// It exists so that ECALLs registered on the same enclave by higher layers
+// (the training server's in-enclave decrypt→augment→forward pipeline) can
+// compose with the FrontNet without the decrypted batch ever crossing the
+// boundary. It must only be called from code already executing inside an
+// ECALL on this trainer's enclave.
+func (t *Trainer) FrontForward(batch *tensor.Tensor) *tensor.Tensor {
+	if t.split == 0 {
+		return batch
+	}
+	ctx := t.frontCtx
+	ctx.RNG = t.enclave.RNG()
+	return t.net.ForwardRange(&ctx, 0, t.split, batch)
+}
+
+// TrainFromIR completes one training step given an IR that was produced
+// in-enclave (by an ECALL composing with FrontForward): BackNet forward,
+// loss, BackNet backward, delta handed back into the enclave, updates on
+// both sides. Labels are public in CalTrain's threat model (§III), so they
+// travel with the IR.
+func (t *Trainer) TrainFromIR(ir *tensor.Tensor, labels []int) (float64, error) {
+	cost := t.net.Cost()
+	cost.SetTargets(labels)
+	t.net.ForwardRange(&t.backCtx, t.split, t.net.NumLayers(), ir)
+	deltaAtSplit := t.net.BackwardRange(&t.backCtx, t.split, t.net.NumLayers(), nil)
+	if t.split > 0 {
+		if _, err := t.enclave.Call(ecallFrontBackward, EncodeTensor(deltaAtSplit)); err != nil {
+			return 0, err
+		}
+	}
+	t.net.Update(t.opt, t.split, t.net.NumLayers())
+	return cost.Loss(), nil
+}
+
+// --- Host-side driver ----------------------------------------------------
+
+// frontForward crosses the boundary for a FrontNet forward pass. With
+// split == 0 the enclave is bypassed entirely (the non-protected baseline
+// of Experiments I and III).
+func (t *Trainer) frontForward(input *tensor.Tensor) (*tensor.Tensor, error) {
+	if t.split == 0 {
+		return input, nil
+	}
+	irBytes, err := t.enclave.Call(ecallFrontForward, EncodeTensor(input))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTensor(irBytes)
+}
+
+// TrainBatch executes one partitioned training step and returns the batch
+// loss: FrontNet forward in-enclave → IR out → BackNet forward → loss →
+// BackNet backward → delta in → FrontNet backward + update in-enclave →
+// BackNet update.
+func (t *Trainer) TrainBatch(input *tensor.Tensor, labels []int) (float64, error) {
+	cost := t.net.Cost()
+	cost.SetTargets(labels)
+	ir, err := t.frontForward(input)
+	if err != nil {
+		return 0, err
+	}
+	t.net.ForwardRange(&t.backCtx, t.split, t.net.NumLayers(), ir)
+	deltaAtSplit := t.net.BackwardRange(&t.backCtx, t.split, t.net.NumLayers(), nil)
+	if t.split > 0 {
+		if _, err := t.enclave.Call(ecallFrontBackward, EncodeTensor(deltaAtSplit)); err != nil {
+			return 0, err
+		}
+	}
+	t.net.Update(t.opt, t.split, t.net.NumLayers())
+	return cost.Loss(), nil
+}
+
+// Predict runs partitioned inference, returning class probabilities.
+func (t *Trainer) Predict(input *tensor.Tensor) (*tensor.Tensor, error) {
+	// Inference crosses the same boundary, with training-mode behaviour
+	// (dropout) disabled on both sides.
+	savedFront, savedBack := t.frontCtx.Training, t.backCtx.Training
+	t.frontCtx.Training, t.backCtx.Training = false, false
+	defer func() { t.frontCtx.Training, t.backCtx.Training = savedFront, savedBack }()
+
+	ir, err := t.frontForward(input)
+	if err != nil {
+		return nil, err
+	}
+	si := -1
+	for i := t.split; i < t.net.NumLayers(); i++ {
+		if t.net.Layer(i).Kind() == nn.KindSoftmax {
+			si = i
+			break
+		}
+	}
+	if si < 0 {
+		return nil, fmt.Errorf("partition: no softmax layer outside the enclave")
+	}
+	return t.net.ForwardRange(&t.backCtx, t.split, si+1, ir), nil
+}
+
+// Evaluate returns top-1 and top-k accuracy over a labeled evaluation
+// batch iterator (Experiments I's Top-1/Top-2 metrics).
+func (t *Trainer) Evaluate(input *tensor.Tensor, labels []int, k int) (top1, topK float64, err error) {
+	probs, err := t.Predict(input)
+	if err != nil {
+		return 0, 0, err
+	}
+	return TopKAccuracy(probs, labels, k)
+}
+
+// TopKAccuracy computes top-1 and top-k accuracy from a probability batch.
+func TopKAccuracy(probs *tensor.Tensor, labels []int, k int) (top1, topK float64, err error) {
+	batch := probs.Dim(0)
+	if batch != len(labels) {
+		return 0, 0, fmt.Errorf("partition: %d labels for batch %d", len(labels), batch)
+	}
+	classes := probs.Dim(1)
+	var hit1, hitK int
+	for b := 0; b < batch; b++ {
+		row := tensor.FromSlice(probs.Data()[b*classes:(b+1)*classes], classes)
+		top := row.ArgTopK(k)
+		if len(top) > 0 && top[0] == labels[b] {
+			hit1++
+		}
+		for _, c := range top {
+			if c == labels[b] {
+				hitK++
+				break
+			}
+		}
+	}
+	return float64(hit1) / float64(batch), float64(hitK) / float64(batch), nil
+}
+
+// Repartition moves the FrontNet/BackNet boundary to newSplit, migrating
+// the affected layer parameters across the enclave boundary in serialized
+// form (growing the FrontNet imports host layers into the enclave;
+// shrinking it exports enclave layers out). The paper's participants
+// re-assess information exposure after each epoch and "make consensus to
+// adjust the FrontNet/BackNet partitioning in the next training iteration"
+// (§IV-B).
+func (t *Trainer) Repartition(newSplit int) error {
+	if newSplit < 0 || newSplit >= t.net.NumLayers() {
+		return fmt.Errorf("%w: %d must leave the cost layer outside (%d layers)", ErrBadSplit, newSplit, t.net.NumLayers())
+	}
+	if newSplit == t.split {
+		return nil
+	}
+	lo, hi := min(t.split, newSplit), max(t.split, newSplit)
+	// Serialize the migrating span, flip the boundary, reload. The byte
+	// round-trip stands in for the seal-and-reprovision a real deployment
+	// performs.
+	var buf bytes.Buffer
+	if err := nn.WriteParams(&buf, t.net, lo, hi); err != nil {
+		return fmt.Errorf("partition: export migrating layers: %w", err)
+	}
+	t.split = newSplit
+	if err := nn.ReadParams(bytes.NewReader(buf.Bytes()), t.net, lo, hi); err != nil {
+		return fmt.Errorf("partition: import migrating layers: %w", err)
+	}
+	t.enclave.Touch(buf.Len())
+	return nil
+}
+
+// FreezeFront freezes the first n FrontNet layers, exploiting bottom-up
+// convergence to eliminate in-enclave training cost for converged layers
+// (§IV-B, Performance, citing SVCCA). Pass 0 to unfreeze all.
+func (t *Trainer) FreezeFront(n int) {
+	type freezable interface{ SetFrozen(bool) }
+	for i := 0; i < t.split; i++ {
+		if f, ok := t.net.Layer(i).(freezable); ok {
+			f.SetFrozen(i < n)
+		}
+	}
+}
+
+// ExportFront returns the serialized FrontNet parameters via the export
+// ECALL (the caller seals them per participant).
+func (t *Trainer) ExportFront() ([]byte, error) {
+	return t.enclave.Call(ecallFrontExport, nil)
+}
+
+// ImportFront loads serialized FrontNet parameters via the import ECALL.
+func (t *Trainer) ImportFront(params []byte) error {
+	_, err := t.enclave.Call(ecallFrontImport, params)
+	return err
+}

@@ -1,0 +1,400 @@
+package partition
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"caltrain/internal/dataset"
+	"caltrain/internal/nn"
+	"caltrain/internal/sgx"
+	"caltrain/internal/tensor"
+)
+
+// noDropoutNet is a small Cost-terminated classifier without stochastic
+// layers, so partitioned and monolithic runs are exactly comparable.
+func noDropoutNet(t *testing.T, seed uint64) (*nn.Network, nn.Config) {
+	t.Helper()
+	cfg := nn.Config{
+		Name: "pt", InC: 2, InH: 8, InW: 8, Classes: 3,
+		Layers: []nn.LayerSpec{
+			{Kind: nn.KindConv, Filters: 4, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: nn.KindMaxPool, Size: 2, Stride: 2},
+			{Kind: nn.KindConv, Filters: 4, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: nn.KindConv, Filters: 3, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+			{Kind: nn.KindAvgPool},
+			{Kind: nn.KindSoftmax},
+			{Kind: nn.KindCost},
+		},
+	}
+	net, err := nn.Build(cfg, rand.New(rand.NewPCG(seed, seed^1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, cfg
+}
+
+func newTrainer(t *testing.T, net *nn.Network, split int) *Trainer {
+	t.Helper()
+	encl := sgx.NewDevice(5).CreateEnclave(sgx.Config{Name: "train-test"})
+	tr, err := NewTrainer(encl, net, split, nn.SGD{LearningRate: 0.05, Momentum: 0.9}, rand.New(rand.NewPCG(2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encl.Init(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func trainingBatch(net *nn.Network, n int, seed uint64) (*tensor.Tensor, []int) {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	in := tensor.New(n, net.InShape().Len())
+	labels := make([]int, n)
+	for b := 0; b < n; b++ {
+		labels[b] = b % 3
+		for i := 0; i < net.InShape().Len(); i++ {
+			in.Set(float32(rng.NormFloat64()*0.2)+0.5*float32(labels[b]), b, i)
+		}
+	}
+	return in, labels
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	net, _ := noDropoutNet(t, 1)
+	encl := sgx.NewDevice(1).CreateEnclave(sgx.Config{Name: "v"})
+	if _, err := NewTrainer(encl, net, 99, nn.DefaultSGD(), nil); !errors.Is(err, ErrBadSplit) {
+		t.Fatalf("bad split: %v", err)
+	}
+	noCost := nn.NewNetwork(nn.Shape{C: 1, H: 2, W: 2})
+	encl2 := sgx.NewDevice(1).CreateEnclave(sgx.Config{Name: "v2"})
+	if _, err := NewTrainer(encl2, noCost, 0, nn.DefaultSGD(), nil); !errors.Is(err, ErrNoCost) {
+		t.Fatalf("no cost: %v", err)
+	}
+}
+
+// TestPartitionedEqualsMonolithic is the core invariant behind the paper's
+// Experiment I: training the same network with any FrontNet/BackNet split
+// (including none) produces identical models, so enclave protection cannot
+// change accuracy. Compute kernels are designed to be bit-identical across
+// modes, so we require exact equality.
+func TestPartitionedEqualsMonolithic(t *testing.T) {
+	in, labels := trainingBatch(mustNet(t, 42), 6, 9)
+	reference := trainSteps(t, 42, 0, in, labels, 8)
+	for split := 1; split <= 6; split++ {
+		got := trainSteps(t, 42, split, in, labels, 8)
+		if len(got) != len(reference) {
+			t.Fatalf("split %d: output size mismatch", split)
+		}
+		for i := range got {
+			if got[i] != reference[i] {
+				t.Fatalf("split %d diverges from monolithic at param %d: %v vs %v",
+					split, i, got[i], reference[i])
+			}
+		}
+	}
+}
+
+func mustNet(t *testing.T, seed uint64) *nn.Network {
+	net, _ := noDropoutNet(t, seed)
+	return net
+}
+
+// trainSteps builds a fresh identically seeded net, trains steps batches,
+// and returns all parameters flattened.
+func trainSteps(t *testing.T, seed uint64, split int, in *tensor.Tensor, labels []int, steps int) []float32 {
+	t.Helper()
+	net := mustNet(t, seed)
+	tr := newTrainer(t, net, split)
+	for s := 0; s < steps; s++ {
+		if _, err := tr.TrainBatch(in, labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out []float32
+	for _, l := range net.Layers() {
+		if pl, ok := l.(nn.ParamLayer); ok {
+			for _, p := range pl.Params() {
+				out = append(out, p.Data()...)
+			}
+		}
+	}
+	return out
+}
+
+func TestTrainBatchLearns(t *testing.T) {
+	net, _ := noDropoutNet(t, 77)
+	tr := newTrainer(t, net, 2)
+	in, labels := trainingBatch(net, 9, 78)
+	var first, last float64
+	for i := 0; i < 40; i++ {
+		loss, err := tr.TrainBatch(in, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if !(last < first*0.5) {
+		t.Fatalf("partitioned training did not learn: %v -> %v", first, last)
+	}
+	top1, top2, err := tr.Evaluate(in, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top1 < 0.5 || top2 < top1 {
+		t.Fatalf("accuracy top1=%v top2=%v", top1, top2)
+	}
+}
+
+func TestPredictMatchesUnpartitioned(t *testing.T) {
+	net, _ := noDropoutNet(t, 31)
+	tr := newTrainer(t, net, 3)
+	in, _ := trainingBatch(net, 4, 32)
+	p1, err := tr.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &nn.Context{Mode: tensor.Accelerated}
+	ref, err := net.Predict(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Data() {
+		if p1.Data()[i] != ref.Data()[i] {
+			t.Fatalf("partitioned inference diverges at %d", i)
+		}
+	}
+}
+
+func TestRepartitionPreservesModel(t *testing.T) {
+	net, _ := noDropoutNet(t, 55)
+	tr := newTrainer(t, net, 1)
+	in, labels := trainingBatch(net, 6, 56)
+	for i := 0; i < 3; i++ {
+		if _, err := tr.TrainBatch(in, labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := tr.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeData := before.Clone()
+	if err := tr.Repartition(4); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Split() != 4 {
+		t.Fatalf("Split = %d, want 4", tr.Split())
+	}
+	after, err := tr.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range beforeData.Data() {
+		if after.Data()[i] != beforeData.Data()[i] {
+			t.Fatal("repartition changed model behaviour")
+		}
+	}
+	// Shrinking works too, and out-of-range is rejected.
+	if err := tr.Repartition(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Repartition(-1); !errors.Is(err, ErrBadSplit) {
+		t.Fatalf("negative split: %v", err)
+	}
+}
+
+func TestFreezeFrontStopsFrontUpdates(t *testing.T) {
+	net, _ := noDropoutNet(t, 61)
+	tr := newTrainer(t, net, 2)
+	tr.FreezeFront(2)
+	conv0 := net.Layer(0).(*nn.Conv)
+	before := conv0.Params()[0].Clone()
+	in, labels := trainingBatch(net, 6, 62)
+	for i := 0; i < 3; i++ {
+		if _, err := tr.TrainBatch(in, labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range conv0.Params()[0].Data() {
+		if v != before.Data()[i] {
+			t.Fatal("frozen FrontNet layer updated")
+		}
+	}
+	tr.FreezeFront(0)
+	for i := 0; i < 3; i++ {
+		if _, err := tr.TrainBatch(in, labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	changed := false
+	for i, v := range conv0.Params()[0].Data() {
+		if v != before.Data()[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("unfrozen FrontNet layer never updated")
+	}
+}
+
+func TestExportImportFront(t *testing.T) {
+	net, _ := noDropoutNet(t, 71)
+	tr := newTrainer(t, net, 3)
+	in, labels := trainingBatch(net, 6, 72)
+	for i := 0; i < 3; i++ {
+		if _, err := tr.TrainBatch(in, labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := tr.ExportFront()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Fatal("empty FrontNet export")
+	}
+	// A second trainer with a different init imports the FrontNet and
+	// reproduces the first trainer's predictions once the BackNet is also
+	// copied.
+	net2, _ := noDropoutNet(t, 72)
+	tr2 := newTrainer(t, net2, 3)
+	if err := tr2.ImportFront(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.CopyParams(net2, net, 3, net.NumLayers()); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := tr.Predict(in)
+	p2, _ := tr2.Predict(in)
+	for i := range p1.Data() {
+		if p1.Data()[i] != p2.Data()[i] {
+			t.Fatal("imported FrontNet does not reproduce predictions")
+		}
+	}
+}
+
+func TestEnclaveWorkGrowsWithSplit(t *testing.T) {
+	// More in-enclave layers must mean more in-enclave memory traffic —
+	// the monotonic driver behind Experiment III (Fig 6).
+	var touched []int64
+	for _, split := range []int{1, 3, 4} {
+		net, _ := noDropoutNet(t, 81)
+		tr := newTrainer(t, net, split)
+		in, labels := trainingBatch(net, 4, 82)
+		if _, err := tr.TrainBatch(in, labels); err != nil {
+			t.Fatal(err)
+		}
+		touched = append(touched, tr.Enclave().Stats().TouchedBytes)
+	}
+	if !(touched[0] < touched[1] && touched[1] < touched[2]) {
+		t.Fatalf("in-enclave traffic not monotone in split: %v", touched)
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	probs := tensor.FromSlice([]float32{
+		0.7, 0.2, 0.1, // predicts 0
+		0.1, 0.3, 0.6, // predicts 2, top2 = {2,1}
+	}, 2, 3)
+	top1, top2, err := TopKAccuracy(probs, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top1 != 0.5 || top2 != 1.0 {
+		t.Fatalf("top1=%v top2=%v, want 0.5/1.0", top1, top2)
+	}
+	if _, _, err := TopKAccuracy(probs, []int{0}, 2); err == nil {
+		t.Fatal("expected label-count error")
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		r := 1 + int(seed%3)
+		shape := make([]int, r)
+		for i := range shape {
+			shape[i] = 1 + int(rng.Uint64()%5)
+		}
+		tt := tensor.New(shape...)
+		tt.FillUniform(rng, -10, 10)
+		got, err := DecodeTensor(EncodeTensor(tt))
+		if err != nil {
+			return false
+		}
+		if !got.SameShape(tt) {
+			return false
+		}
+		for i := range tt.Data() {
+			if got.Data()[i] != tt.Data()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTensorRejectsCorruption(t *testing.T) {
+	tt := tensor.New(2, 3)
+	raw := EncodeTensor(tt)
+	for _, cut := range []int{0, 3, 7, len(raw) - 1} {
+		if _, err := DecodeTensor(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeTensor(append(raw, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestDropoutPartitionStillTrains: a network with dropout trains under
+// partitioning using the enclave RNG for the in-enclave dropout layer.
+func TestDropoutPartitionStillTrains(t *testing.T) {
+	cfg := nn.Config{
+		Name: "pd", InC: 1, InH: 8, InW: 8, Classes: 2,
+		Layers: []nn.LayerSpec{
+			{Kind: nn.KindConv, Filters: 4, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: nn.KindDropout, Probability: 0.3},
+			{Kind: nn.KindConv, Filters: 2, Size: 1, Stride: 1, Pad: 0, Activation: "linear"},
+			{Kind: nn.KindAvgPool},
+			{Kind: nn.KindSoftmax},
+			{Kind: nn.KindCost},
+		},
+	}
+	net, err := nn.Build(cfg, rand.New(rand.NewPCG(4, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTrainer(t, net, 2) // dropout inside the enclave
+	ds := dataset.SynthCIFAR(dataset.Options{Classes: 2, H: 8, W: 8, PerClass: 8, Seed: 3})
+	// Gray: collapse 3-channel synth to 1 channel by truncation.
+	in := tensor.New(ds.Len(), 64)
+	labels := make([]int, ds.Len())
+	for i, r := range ds.Records {
+		copy(in.Data()[i*64:(i+1)*64], r.Image[:64])
+		labels[i] = r.Label
+	}
+	var first, last float64
+	for e := 0; e < 30; e++ {
+		loss, err := tr.TrainBatch(in, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if !(last < first) {
+		t.Fatalf("dropout-partitioned training stuck: %v -> %v", first, last)
+	}
+}

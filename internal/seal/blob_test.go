@@ -1,0 +1,68 @@
+package seal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncryptDecryptBlob(t *testing.T) {
+	key, rng := testKeyAndRNG(20)
+	data := []byte("serialized FrontNet parameters")
+	aad := []byte("alice")
+	blob, err := EncryptBlob(key, data, aad, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, data) {
+		t.Fatal("blob contains plaintext")
+	}
+	out, err := DecryptBlob(key, blob, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatalf("round trip produced %q", out)
+	}
+}
+
+func TestDecryptBlobRejectsWrongKeyAADTamper(t *testing.T) {
+	key, rng := testKeyAndRNG(21)
+	other, _ := testKeyAndRNG(22)
+	blob, err := EncryptBlob(key, []byte("model"), []byte("alice"), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptBlob(other, blob, []byte("alice")); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("wrong key: %v", err)
+	}
+	// The release path binds the participant ID as AAD: bob cannot open
+	// alice's FrontNet even with her blob.
+	if _, err := DecryptBlob(key, blob, []byte("bob")); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("wrong AAD: %v", err)
+	}
+	tampered := append([]byte(nil), blob...)
+	tampered[len(tampered)/2] ^= 1
+	if _, err := DecryptBlob(key, tampered, []byte("alice")); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("tampered: %v", err)
+	}
+	if _, err := DecryptBlob(key, []byte{1, 2}, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short blob: %v", err)
+	}
+}
+
+func TestBlobRoundTripProperty(t *testing.T) {
+	key, rng := testKeyAndRNG(23)
+	f := func(data, aad []byte) bool {
+		blob, err := EncryptBlob(key, data, aad, rng)
+		if err != nil {
+			return false
+		}
+		out, err := DecryptBlob(key, blob, aad)
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package seal
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func testKeyAndRNG(seed uint64) (Key, *rand.Rand) {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	return NewKey(rng), rng
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key, rng := testKeyAndRNG(1)
+	img := []float32{0.1, 0.5, 0.9, 0.25}
+	rec, err := SealRecord(key, "alice", 3, 7, img, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := OpenRecord(key, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img {
+		if out[i] != img[i] {
+			t.Fatalf("pixel %d: %v != %v", i, out[i], img[i])
+		}
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	key, rng := testKeyAndRNG(2)
+	other, _ := testKeyAndRNG(99)
+	rec, err := SealRecord(key, "alice", 0, 1, []float32{1, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRecord(other, rec); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("wrong key: %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	key, rng := testKeyAndRNG(3)
+	img := []float32{0.3, 0.6}
+	mk := func() *Record {
+		r, err := SealRecord(key, "alice", 5, 2, img, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cases := map[string]func(*Record){
+		"ciphertext":  func(r *Record) { r.Ciphertext[0] ^= 1 },
+		"nonce":       func(r *Record) { r.Nonce[0] ^= 1 },
+		"label":       func(r *Record) { r.Label = 9 },
+		"participant": func(r *Record) { r.Participant = "mallory" },
+		"index":       func(r *Record) { r.Index = 6 },
+	}
+	for name, mutate := range cases {
+		r := mk()
+		mutate(r)
+		if _, err := OpenRecord(key, r); !errors.Is(err, ErrAuthFailed) {
+			t.Fatalf("tampered %s: %v, want ErrAuthFailed", name, err)
+		}
+	}
+}
+
+// TestUnregisteredSourceRejected models the paper's defense: data from a
+// source whose key was never provisioned fails authentication and is
+// discarded (§IV-A).
+func TestUnregisteredSourceRejected(t *testing.T) {
+	attackerKey, rng := testKeyAndRNG(4)
+	rec, err := SealRecord(attackerKey, "alice", 0, 0, []float32{1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The enclave only holds alice's provisioned key.
+	aliceKey, _ := testKeyAndRNG(5)
+	if _, err := OpenRecord(aliceKey, rec); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("forged-source record opened: %v", err)
+	}
+}
+
+func TestContentHashStable(t *testing.T) {
+	img := []float32{0.25, 0.75}
+	if ContentHash(img) != ContentHash([]float32{0.25, 0.75}) {
+		t.Fatal("hash must be content-determined")
+	}
+	if ContentHash(img) == ContentHash([]float32{0.25, 0.7500001}) {
+		t.Fatal("hash must be content-sensitive")
+	}
+}
+
+func TestEncodeDecodeImage(t *testing.T) {
+	f := func(vals []float32) bool {
+		out, err := DecodeImage(EncodeImage(vals))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// Compare bit patterns so NaNs round-trip too.
+			a, b := vals[i], out[i]
+			if a != b && !(a != a && b != b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeImage([]byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("odd payload: %v", err)
+	}
+}
+
+func TestRecordMarshalRoundTrip(t *testing.T) {
+	key, rng := testKeyAndRNG(6)
+	rec, err := SealRecord(key, "participant-б", 42, 3, []float32{0.5, 0.25, 0.125}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rest, err := UnmarshalRecord(rec.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if got.Participant != rec.Participant || got.Index != rec.Index || got.Label != rec.Label {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	// The decoded record still authenticates and decrypts.
+	img, err := OpenRecord(key, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img[2] != 0.125 {
+		t.Fatalf("img = %v", img)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	key, rng := testKeyAndRNG(7)
+	var records []*Record
+	for i := uint32(0); i < 5; i++ {
+		r, err := SealRecord(key, "bob", i, int32(i%3), []float32{float32(i)}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = append(records, r)
+	}
+	out, err := UnmarshalBatch(MarshalBatch(records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("decoded %d records", len(out))
+	}
+	for i, r := range out {
+		if r.Index != uint32(i) {
+			t.Fatalf("record %d index %d", i, r.Index)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	key, rng := testKeyAndRNG(8)
+	rec, err := SealRecord(key, "carol", 1, 1, []float32{1, 2, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := rec.Marshal()
+	for _, cut := range []int{0, 1, 3, len(raw) / 2, len(raw) - 1} {
+		if _, _, err := UnmarshalRecord(raw[:cut]); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("truncation at %d: %v", cut, err)
+		}
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] = 99 // wrong version
+	if _, _, err := UnmarshalRecord(bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("bad version: %v", err)
+	}
+	batch := MarshalBatch([]*Record{rec})
+	if _, err := UnmarshalBatch(append(batch, 0xFF)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+	if _, err := UnmarshalBatch([]byte{1, 2}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short batch: %v", err)
+	}
+}
+
+// TestSealRoundTripProperty: arbitrary images and identities survive the
+// full seal → marshal → unmarshal → open path.
+func TestSealRoundTripProperty(t *testing.T) {
+	key, rng := testKeyAndRNG(9)
+	f := func(idx uint32, label int32, img []float32) bool {
+		rec, err := SealRecord(key, "p", idx, label, img, rng)
+		if err != nil {
+			return false
+		}
+		dec, _, err := UnmarshalRecord(rec.Marshal())
+		if err != nil {
+			return false
+		}
+		out, err := OpenRecord(key, dec)
+		if err != nil {
+			return false
+		}
+		if len(out) != len(img) {
+			return false
+		}
+		for i := range img {
+			a, b := img[i], out[i]
+			if a != b && !(a != a && b != b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

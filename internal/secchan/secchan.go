@@ -1,0 +1,151 @@
+// Package secchan implements the attested secure channel training
+// participants use to provision their symmetric data keys directly into
+// the training enclave (§IV-A: "the secret provisioning clients ... create
+// Transport Layer Security (TLS) channels directly to the enclave and
+// provision their symmetric keys"). The paper's prototype terminates TLS
+// inside the enclave with mbedtls-SGX; this package provides the stdlib
+// equivalent: an ephemeral ECDH (P-256) handshake whose enclave-side
+// public key is bound into the attestation quote's report data, HKDF-SHA256
+// key derivation, and AES-256-GCM record protection with direction-scoped
+// counter nonces.
+package secchan
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hkdf"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by channel operations.
+var (
+	ErrOpenFailed = errors.New("secchan: record failed authentication")
+	ErrReplay     = errors.New("secchan: record sequence out of order")
+)
+
+// Role distinguishes the two channel directions for key separation.
+type Role int
+
+// Channel roles.
+const (
+	// RoleEnclave is the server (in-enclave) endpoint.
+	RoleEnclave Role = iota
+	// RoleClient is the participant endpoint.
+	RoleClient
+)
+
+// KeyPair is an ephemeral ECDH key pair for one handshake.
+type KeyPair struct {
+	priv *ecdh.PrivateKey
+}
+
+// GenerateKeyPair creates an ephemeral P-256 key pair.
+func GenerateKeyPair() (*KeyPair, error) {
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: keygen: %w", err)
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// PublicBytes returns the marshaled public key — the value the enclave
+// binds into its attestation report data (attest.BindKey) and the peer
+// feeds to Establish.
+func (k *KeyPair) PublicBytes() []byte {
+	return k.priv.PublicKey().Bytes()
+}
+
+// Channel is one established, direction-keyed secure channel endpoint.
+type Channel struct {
+	sealAEAD cipher.AEAD
+	openAEAD cipher.AEAD
+	sendSeq  uint64
+	recvSeq  uint64
+}
+
+// Establish completes the handshake: it combines our private key with the
+// peer's marshaled public key and derives direction-separated AES-GCM
+// keys. Both endpoints derive identical keys with mirrored directions.
+func Establish(role Role, local *KeyPair, peerPublic []byte, transcript []byte) (*Channel, error) {
+	peerKey, err := ecdh.P256().NewPublicKey(peerPublic)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: peer key: %w", err)
+	}
+	shared, err := local.priv.ECDH(peerKey)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: ecdh: %w", err)
+	}
+	// Salt the KDF with both public keys in a role-independent order plus
+	// the caller's transcript (attestation context), so either side
+	// tampering with the handshake yields disjoint keys.
+	salt := sha256.New()
+	a, b := local.PublicBytes(), peerPublic
+	if role == RoleClient {
+		a, b = b, a
+	}
+	salt.Write(a)
+	salt.Write(b)
+	salt.Write(transcript)
+
+	e2c, err := hkdf.Key(sha256.New, shared, salt.Sum(nil), "caltrain-secchan-enclave-to-client", 32)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: hkdf: %w", err)
+	}
+	c2e, err := hkdf.Key(sha256.New, shared, salt.Sum(nil), "caltrain-secchan-client-to-enclave", 32)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: hkdf: %w", err)
+	}
+	sendKey, recvKey := e2c, c2e
+	if role == RoleClient {
+		sendKey, recvKey = c2e, e2c
+	}
+	sealAEAD, err := newGCM(sendKey)
+	if err != nil {
+		return nil, err
+	}
+	openAEAD, err := newGCM(recvKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Channel{sealAEAD: sealAEAD, openAEAD: openAEAD}, nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: gcm: %w", err)
+	}
+	return gcm, nil
+}
+
+// Seal protects a message for the peer. Records carry an implicit
+// monotonically increasing sequence number as the nonce, so replayed or
+// reordered records fail to open.
+func (c *Channel) Seal(plaintext []byte) []byte {
+	nonce := make([]byte, c.sealAEAD.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], c.sendSeq)
+	c.sendSeq++
+	return c.sealAEAD.Seal(nil, nonce, plaintext, nil)
+}
+
+// Open authenticates and decrypts the next record from the peer. Records
+// must be delivered in order.
+func (c *Channel) Open(record []byte) ([]byte, error) {
+	nonce := make([]byte, c.openAEAD.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], c.recvSeq)
+	out, err := c.openAEAD.Open(nil, nonce, record, nil)
+	if err != nil {
+		return nil, ErrOpenFailed
+	}
+	c.recvSeq++
+	return out, nil
+}

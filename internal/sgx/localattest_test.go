@@ -1,0 +1,113 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// twoEnclaves builds two initialized enclaves on one device.
+func twoEnclaves(t *testing.T, devSeed uint64) (*Enclave, *Enclave) {
+	t.Helper()
+	d := NewDevice(devSeed)
+	a := d.CreateEnclave(Config{Name: "train"})
+	if _, err := a.Init(); err != nil {
+		t.Fatal(err)
+	}
+	b := d.CreateEnclave(Config{Name: "fingerprint"})
+	if _, err := b.Init(); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestLocalAttestRoundTrip(t *testing.T) {
+	a, b := twoEnclaves(t, 1)
+	am, _ := a.Measurement()
+	bm, _ := b.Measurement()
+	data := []byte("full model parameters")
+	blob, err := a.SealFor(bm, data, []byte("model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, data) {
+		t.Fatal("local-attest blob contains plaintext")
+	}
+	out, err := b.UnsealFrom(am, blob, []byte("model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatalf("round trip produced %q", out)
+	}
+}
+
+func TestLocalAttestIsSymmetric(t *testing.T) {
+	a, b := twoEnclaves(t, 2)
+	am, _ := a.Measurement()
+	bm, _ := b.Measurement()
+	blob, err := b.SealFor(am, []byte("reply"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.UnsealFrom(bm, blob, nil); err != nil {
+		t.Fatalf("reverse direction failed: %v", err)
+	}
+}
+
+func TestLocalAttestRejectsWrongPeer(t *testing.T) {
+	a, b := twoEnclaves(t, 3)
+	bm, _ := b.Measurement()
+	// Sealed for b, but a third enclave (different measurement) tries to
+	// open claiming to be the peer.
+	d := NewDevice(3)
+	c := d.CreateEnclave(Config{Name: "imposter"})
+	if _, err := c.Init(); err != nil {
+		t.Fatal(err)
+	}
+	am, _ := a.Measurement()
+	blob, err := a.SealFor(bm, []byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UnsealFrom(am, blob, nil); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("imposter opened the transfer: %v", err)
+	}
+}
+
+func TestLocalAttestRejectsCrossDevice(t *testing.T) {
+	a, b := twoEnclaves(t, 4)
+	am, _ := a.Measurement()
+	bm, _ := b.Measurement()
+	blob, err := a.SealFor(bm, []byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical enclave identities on a different device must not open
+	// (the channel is rooted in the device key).
+	_, b2 := twoEnclaves(t, 5)
+	if _, err := b2.UnsealFrom(am, blob, nil); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("cross-device transfer opened: %v", err)
+	}
+}
+
+func TestLocalAttestBindsAAD(t *testing.T) {
+	a, b := twoEnclaves(t, 6)
+	am, _ := a.Measurement()
+	bm, _ := b.Measurement()
+	blob, err := a.SealFor(bm, []byte("secret"), []byte("purpose-x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.UnsealFrom(am, blob, []byte("purpose-y")); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("wrong AAD accepted: %v", err)
+	}
+}
+
+func TestLocalAttestRequiresInit(t *testing.T) {
+	d := NewDevice(7)
+	a := d.CreateEnclave(Config{Name: "uninit"})
+	if _, err := a.SealFor(Measurement{}, []byte("x"), nil); !errors.Is(err, ErrNotInitialized) {
+		t.Fatalf("uninitialized SealFor: %v", err)
+	}
+}

@@ -1,0 +1,448 @@
+// Package sgx is a software simulation of the Intel SGX primitives
+// CalTrain depends on (§II, Background: Intel SGX). It is not a security
+// boundary against code in the same process; it is a faithful *systems
+// model* of one, built so the rest of the repository can exercise the same
+// code paths a real SGX deployment would:
+//
+//   - Enclave lifecycle: create → add pages (measured) → init → call →
+//     destroy, mirroring ECREATE/EADD/EINIT/EENTER.
+//   - Measurement: a SHA-256 running hash over everything loaded into the
+//     enclave (code identity + initial data), playing the role of
+//     MRENCLAVE. Remote attestation (internal/attest) signs it.
+//   - An enforced call boundary: host code can interact with enclave
+//     state only through registered ECALLs that exchange byte slices, so
+//     in-enclave objects never leak by reference.
+//   - A paged EPC: per-call working-set accounting with configurable EPC
+//     size. When the working set exceeds the EPC, the simulator performs
+//     real AES-CTR encryption work per evicted/loaded page, reproducing
+//     the paging cost the paper identifies as SGX's capacity limiter
+//     (§IV-B: "swapping on the encrypted memory may significantly affect
+//     the performance").
+//   - Sealing: AES-GCM under a key derived (HKDF) from the device root
+//     key and the enclave measurement, like SGX's MRENCLAVE sealing
+//     policy.
+//   - An in-enclave RNG standing in for RDRAND (§IV-A uses the on-chip
+//     hardware RNG for augmentation randomness).
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hkdf"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+)
+
+// Errors returned by enclave operations.
+var (
+	ErrNotInitialized     = errors.New("sgx: enclave not initialized")
+	ErrAlreadyInitialized = errors.New("sgx: enclave already initialized")
+	ErrDestroyed          = errors.New("sgx: enclave destroyed")
+	ErrNoSuchECall        = errors.New("sgx: no such ecall")
+	ErrSealCorrupt        = errors.New("sgx: sealed blob failed authentication")
+)
+
+// PageSize is the EPC page granularity (4 KiB, as on real hardware).
+const PageSize = 4096
+
+// DefaultEPCSize is the protected-memory budget of one enclave. The
+// paper's hardware reserves 128 MB PRM (§IV-B); the simulator defaults to
+// the same.
+const DefaultEPCSize = 128 << 20
+
+// Measurement is the SHA-256 enclave identity (the MRENCLAVE analogue).
+type Measurement [32]byte
+
+// String returns the hex form of the measurement.
+func (m Measurement) String() string { return fmt.Sprintf("%x", m[:]) }
+
+// Device models one SGX-capable machine: it owns the root sealing key and
+// creates enclaves. A deterministic seed makes simulated hardware
+// randomness reproducible in experiments.
+type Device struct {
+	rootKey [32]byte
+	seed    uint64
+}
+
+// NewDevice creates a device whose root key and hardware RNG derive from
+// seed.
+func NewDevice(seed uint64) *Device {
+	d := &Device{seed: seed}
+	h := sha256.Sum256(binary.LittleEndian.AppendUint64([]byte("caltrain-sgx-device-root"), seed))
+	d.rootKey = h
+	return d
+}
+
+// ECall is an enclave entry point. Input and output cross the boundary as
+// byte slices only.
+type ECall func(in []byte) ([]byte, error)
+
+// Stats aggregates the enclave's paging and call accounting.
+type Stats struct {
+	Calls        int64
+	PageFaults   int64 // pages encrypted out + decrypted in
+	EvictedBytes int64
+	TouchedBytes int64
+}
+
+// Enclave is one simulated SGX enclave.
+type Enclave struct {
+	mu sync.Mutex
+
+	name    string
+	device  *Device
+	epcSize int64
+
+	hash        [32]byte // running measurement state
+	hasher      func([]byte)
+	measurement Measurement
+	initialized bool
+	destroyed   bool
+
+	ecalls map[string]ECall
+	rng    *rand.Rand
+
+	// Paging model state.
+	callWorkingSet int64
+	stats          Stats
+	pageBuf        [PageSize]byte
+	pageCipher     cipher.Block
+}
+
+// Config configures enclave creation.
+type Config struct {
+	// Name identifies the enclave and is folded into its measurement.
+	Name string
+	// EPCSize overrides DefaultEPCSize when positive.
+	EPCSize int64
+}
+
+// CreateEnclave allocates a new enclave on the device (the ECREATE
+// analogue). Pages and ECALLs may be added until Init is called.
+func (d *Device) CreateEnclave(cfg Config) *Enclave {
+	epc := cfg.EPCSize
+	if epc <= 0 {
+		epc = DefaultEPCSize
+	}
+	e := &Enclave{
+		name:    cfg.Name,
+		device:  d,
+		epcSize: epc,
+		ecalls:  make(map[string]ECall),
+	}
+	h := sha256.New()
+	h.Write([]byte("caltrain-enclave:"))
+	h.Write([]byte(cfg.Name))
+	sum := h.Sum(nil)
+	copy(e.hash[:], sum)
+
+	// The page-eviction cipher models the Memory Encryption Engine; its
+	// key is per-enclave and never leaves the simulator.
+	key := sha256.Sum256(append(e.hash[:], d.rootKey[:]...))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		// aes.NewCipher with a 32-byte key cannot fail.
+		panic(fmt.Sprintf("sgx: mee cipher: %v", err))
+	}
+	e.pageCipher = block
+	return e
+}
+
+// Name returns the enclave's configured name.
+func (e *Enclave) Name() string { return e.name }
+
+// EPCSize returns the enclave's protected-memory budget in bytes.
+func (e *Enclave) EPCSize() int64 { return e.epcSize }
+
+func (e *Enclave) extendMeasurement(tag string, data []byte) {
+	h := sha256.New()
+	h.Write(e.hash[:])
+	h.Write([]byte(tag))
+	h.Write(data)
+	copy(e.hash[:], h.Sum(nil))
+}
+
+// AddPages loads measured content into the enclave before initialization
+// (the EADD/EEXTEND analogue). Use it for code identity strings and
+// initial data such as the agreed model architecture — the paper's
+// participants validate "in-enclave code ... and in-enclave data, e.g.,
+// model architectures and hyperparameters, via remote attestation" (§III).
+func (e *Enclave) AddPages(tag string, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.destroyed {
+		return ErrDestroyed
+	}
+	if e.initialized {
+		return ErrAlreadyInitialized
+	}
+	e.extendMeasurement("page:"+tag, data)
+	return nil
+}
+
+// RegisterECall installs an enclave entry point before initialization.
+// The entry point's name is measured (it is part of the code identity).
+func (e *Enclave) RegisterECall(name string, fn ECall) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.destroyed {
+		return ErrDestroyed
+	}
+	if e.initialized {
+		return ErrAlreadyInitialized
+	}
+	if _, dup := e.ecalls[name]; dup {
+		return fmt.Errorf("sgx: duplicate ecall %q", name)
+	}
+	e.ecalls[name] = fn
+	e.extendMeasurement("ecall:", []byte(name))
+	return nil
+}
+
+// Init finalizes the measurement and makes the enclave callable (the
+// EINIT analogue).
+func (e *Enclave) Init() (Measurement, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.destroyed {
+		return Measurement{}, ErrDestroyed
+	}
+	if e.initialized {
+		return Measurement{}, ErrAlreadyInitialized
+	}
+	e.measurement = Measurement(e.hash)
+	e.initialized = true
+	// In-enclave RNG: deterministic per device+measurement, standing in
+	// for RDRAND.
+	seedHash := sha256.Sum256(append(binary.LittleEndian.AppendUint64(e.hash[:], e.device.seed), 'r'))
+	e.rng = rand.New(rand.NewChaCha8(seedHash))
+	return e.measurement, nil
+}
+
+// Measurement returns the finalized enclave identity.
+func (e *Enclave) Measurement() (Measurement, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.initialized {
+		return Measurement{}, ErrNotInitialized
+	}
+	return e.measurement, nil
+}
+
+// RNG returns the enclave's internal randomness source. It must only be
+// used by code running inside ECALLs; it exists as a method because the
+// simulation hosts "in-enclave" closures in the same process.
+func (e *Enclave) RNG() *rand.Rand { return e.rng }
+
+// Call enters the enclave (EENTER analogue): it runs the named ECALL,
+// resetting the per-call working-set tracker that drives the paging cost
+// model. Input and output are defensive copies so no references cross the
+// boundary.
+func (e *Enclave) Call(name string, in []byte) ([]byte, error) {
+	e.mu.Lock()
+	if e.destroyed {
+		e.mu.Unlock()
+		return nil, ErrDestroyed
+	}
+	if !e.initialized {
+		e.mu.Unlock()
+		return nil, ErrNotInitialized
+	}
+	fn, ok := e.ecalls[name]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchECall, name)
+	}
+	e.stats.Calls++
+	e.callWorkingSet = 0
+	e.mu.Unlock()
+
+	inCopy := make([]byte, len(in))
+	copy(inCopy, in)
+	e.Touch(len(inCopy))
+	out, err := fn(inCopy)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: ecall %q: %w", name, err)
+	}
+	e.Touch(len(out))
+	outCopy := make([]byte, len(out))
+	copy(outCopy, out)
+	return outCopy, nil
+}
+
+// Touch records an in-enclave memory access of the given byte size. Once
+// a call's cumulative working set exceeds the EPC, every additional byte
+// is charged paging work: one page encrypted on eviction and one decrypted
+// on load, executed as real AES-CTR passes over a page buffer. In-enclave
+// compute (internal/nn's Context.Touch) reports its tensor traffic here.
+func (e *Enclave) Touch(bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	e.mu.Lock()
+	e.stats.TouchedBytes += int64(bytes)
+	before := e.callWorkingSet
+	e.callWorkingSet += int64(bytes)
+	overflow := e.callWorkingSet - e.epcSize
+	if overflow <= 0 {
+		e.mu.Unlock()
+		return
+	}
+	if prev := before - e.epcSize; prev > 0 {
+		overflow = int64(bytes)
+	}
+	pages := (overflow + PageSize - 1) / PageSize
+	e.stats.PageFaults += 2 * pages
+	e.stats.EvictedBytes += pages * PageSize
+	e.mu.Unlock()
+
+	// Real encryption work per page crossing: evict (encrypt) + load
+	// (decrypt), CTR both directions.
+	var iv [aes.BlockSize]byte
+	for p := int64(0); p < pages; p++ {
+		binary.LittleEndian.PutUint64(iv[:], uint64(p))
+		ctr := cipher.NewCTR(e.pageCipher, iv[:])
+		ctr.XORKeyStream(e.pageBuf[:], e.pageBuf[:])
+		ctr2 := cipher.NewCTR(e.pageCipher, iv[:])
+		ctr2.XORKeyStream(e.pageBuf[:], e.pageBuf[:])
+	}
+}
+
+// Stats returns a snapshot of the enclave's accounting counters.
+func (e *Enclave) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ResetStats clears the accounting counters (between benchmark phases).
+func (e *Enclave) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{}
+}
+
+// Destroy tears the enclave down; all further operations fail.
+func (e *Enclave) Destroy() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.destroyed = true
+	e.ecalls = nil
+}
+
+// sealKey derives the enclave's sealing key from the device root key and
+// the measurement (the MRENCLAVE sealing policy: only the identical
+// enclave on the identical device can unseal).
+func (e *Enclave) sealKey() ([]byte, error) {
+	if !e.initialized {
+		return nil, ErrNotInitialized
+	}
+	return hkdf.Key(sha256.New, e.device.rootKey[:], e.measurement[:], "caltrain-seal", 32)
+}
+
+// Seal encrypts data under the enclave's sealing key with AES-256-GCM.
+// aad is authenticated but not encrypted.
+func (e *Enclave) Seal(data, aad []byte) ([]byte, error) {
+	key, err := e.sealKey()
+	if err != nil {
+		return nil, err
+	}
+	return gcmSeal(key, data, aad, e.rng)
+}
+
+// Unseal authenticates and decrypts a blob produced by Seal on the same
+// device by an enclave with the same measurement.
+func (e *Enclave) Unseal(blob, aad []byte) ([]byte, error) {
+	key, err := e.sealKey()
+	if err != nil {
+		return nil, err
+	}
+	out, err := gcmOpen(key, blob, aad)
+	if err != nil {
+		return nil, ErrSealCorrupt
+	}
+	return out, nil
+}
+
+// localChannelKey derives the key shared by this enclave and a peer
+// enclave on the same device — the local-attestation analogue. Both
+// enclaves can derive it from the device root key and the measurement
+// pair; the (untrusted) host cannot, because it never sees the root key.
+// CalTrain uses it to hand the trained model from the training enclave to
+// the fingerprinting enclave with the host as an untrusted courier.
+func (e *Enclave) localChannelKey(peer Measurement) ([]byte, error) {
+	if !e.initialized {
+		return nil, ErrNotInitialized
+	}
+	// Order the pair so both sides derive identically.
+	a, b := e.measurement, peer
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] > b[i] {
+				a, b = b, a
+			}
+			break
+		}
+	}
+	info := append(append([]byte("caltrain-local-attest:"), a[:]...), b[:]...)
+	return hkdf.Key(sha256.New, e.device.rootKey[:], nil, string(info), 32)
+}
+
+// SealFor encrypts data so that only the enclave with the peer measurement
+// on the same device can open it (and vice versa — the channel is
+// symmetric).
+func (e *Enclave) SealFor(peer Measurement, data, aad []byte) ([]byte, error) {
+	key, err := e.localChannelKey(peer)
+	if err != nil {
+		return nil, err
+	}
+	return gcmSeal(key, data, aad, e.rng)
+}
+
+// UnsealFrom opens a blob produced by SealFor on the peer enclave.
+func (e *Enclave) UnsealFrom(peer Measurement, blob, aad []byte) ([]byte, error) {
+	key, err := e.localChannelKey(peer)
+	if err != nil {
+		return nil, err
+	}
+	out, err := gcmOpen(key, blob, aad)
+	if err != nil {
+		return nil, ErrSealCorrupt
+	}
+	return out, nil
+}
+
+func gcmSeal(key, data, aad []byte, rng *rand.Rand) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal gcm: %w", err)
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	for i := range nonce {
+		nonce[i] = byte(rng.UintN(256))
+	}
+	return gcm.Seal(nonce, nonce, data, aad), nil
+}
+
+func gcmOpen(key, blob, aad []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: unseal cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: unseal gcm: %w", err)
+	}
+	if len(blob) < gcm.NonceSize() {
+		return nil, fmt.Errorf("sgx: sealed blob too short")
+	}
+	return gcm.Open(nil, blob[:gcm.NonceSize()], blob[gcm.NonceSize():], aad)
+}

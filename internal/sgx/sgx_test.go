@@ -1,0 +1,314 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newTestEnclave(t *testing.T, cfg Config) (*Device, *Enclave) {
+	t.Helper()
+	d := NewDevice(1)
+	e := d.CreateEnclave(cfg)
+	return d, e
+}
+
+func TestLifecycle(t *testing.T) {
+	_, e := newTestEnclave(t, Config{Name: "lc"})
+	if _, err := e.Call("x", nil); !errors.Is(err, ErrNotInitialized) {
+		t.Fatalf("Call before init: %v", err)
+	}
+	if err := e.RegisterECall("echo", func(in []byte) ([]byte, error) { return in, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Init(); !errors.Is(err, ErrAlreadyInitialized) {
+		t.Fatalf("second init: %v", err)
+	}
+	if err := e.RegisterECall("late", nil); !errors.Is(err, ErrAlreadyInitialized) {
+		t.Fatalf("late register: %v", err)
+	}
+	if err := e.AddPages("late", nil); !errors.Is(err, ErrAlreadyInitialized) {
+		t.Fatalf("late AddPages: %v", err)
+	}
+	out, err := e.Call("echo", []byte("hi"))
+	if err != nil || string(out) != "hi" {
+		t.Fatalf("echo: %q %v", out, err)
+	}
+	if _, err := e.Call("missing", nil); !errors.Is(err, ErrNoSuchECall) {
+		t.Fatalf("missing ecall: %v", err)
+	}
+	e.Destroy()
+	if _, err := e.Call("echo", nil); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("call after destroy: %v", err)
+	}
+}
+
+func TestMeasurementSensitivity(t *testing.T) {
+	d := NewDevice(1)
+	build := func(name, page string, ecalls ...string) Measurement {
+		e := d.CreateEnclave(Config{Name: name})
+		if page != "" {
+			if err := e.AddPages("code", []byte(page)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, ec := range ecalls {
+			if err := e.RegisterECall(ec, func(in []byte) ([]byte, error) { return nil, nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := e.Init()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	base := build("a", "codeA", "train")
+	if base != build("a", "codeA", "train") {
+		t.Fatal("identical construction must give identical measurement")
+	}
+	if base == build("b", "codeA", "train") {
+		t.Fatal("name change must change measurement")
+	}
+	if base == build("a", "codeB", "train") {
+		t.Fatal("page change must change measurement")
+	}
+	if base == build("a", "codeA", "fingerprint") {
+		t.Fatal("ecall change must change measurement")
+	}
+}
+
+func TestCallCopiesBoundaryData(t *testing.T) {
+	_, e := newTestEnclave(t, Config{Name: "copy"})
+	var captured []byte
+	if err := e.RegisterECall("keep", func(in []byte) ([]byte, error) {
+		captured = in
+		return in, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	input := []byte{1, 2, 3}
+	out, err := e.Call("keep", input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host mutating its input after the call must not affect what the
+	// enclave captured, and mutating the output must not reach inside.
+	input[0] = 99
+	if captured[0] != 1 {
+		t.Fatal("ecall saw host mutation: input not copied at the boundary")
+	}
+	out[1] = 77
+	if captured[1] != 2 {
+		t.Fatal("host output mutation reached enclave memory")
+	}
+}
+
+func TestPagingAccounting(t *testing.T) {
+	_, e := newTestEnclave(t, Config{Name: "paging", EPCSize: 8 * PageSize})
+	if err := e.RegisterECall("work", func(in []byte) ([]byte, error) {
+		// Working set of 16 pages against an 8-page EPC.
+		e.Touch(16 * PageSize)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Call("work", nil); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.PageFaults == 0 || st.EvictedBytes == 0 {
+		t.Fatalf("expected paging activity, got %+v", st)
+	}
+	if st.Calls != 1 {
+		t.Fatalf("Calls = %d, want 1", st.Calls)
+	}
+
+	// A small working set must not page.
+	e.ResetStats()
+	e2 := NewDevice(2).CreateEnclave(Config{Name: "nopage", EPCSize: 64 * PageSize})
+	if err := e2.RegisterECall("work", func(in []byte) ([]byte, error) {
+		e2.Touch(4 * PageSize)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Call("work", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := e2.Stats(); st.PageFaults != 0 {
+		t.Fatalf("small working set paged: %+v", st)
+	}
+}
+
+func TestWorkingSetResetsPerCall(t *testing.T) {
+	_, e := newTestEnclave(t, Config{Name: "reset", EPCSize: 10 * PageSize})
+	if err := e.RegisterECall("half", func(in []byte) ([]byte, error) {
+		e.Touch(5 * PageSize) // half the EPC; never pages if reset per call
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := e.Call("half", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.PageFaults != 0 {
+		t.Fatalf("per-call working set leaked across calls: %+v", st)
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	_, e := newTestEnclave(t, Config{Name: "seal"})
+	if _, err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("frontnet weights")
+	aad := []byte("participant-7")
+	blob, err := e.Seal(data, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, data) {
+		t.Fatal("sealed blob contains plaintext")
+	}
+	out, err := e.Unseal(blob, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatalf("unseal = %q", out)
+	}
+}
+
+func TestSealBindsMeasurementDeviceAndAAD(t *testing.T) {
+	d := NewDevice(1)
+	e1 := d.CreateEnclave(Config{Name: "m1"})
+	if _, err := e1.Init(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := e1.Seal([]byte("secret"), []byte("ctx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different measurement on same device must not unseal.
+	e2 := d.CreateEnclave(Config{Name: "m2"})
+	if _, err := e2.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Unseal(blob, []byte("ctx")); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("cross-measurement unseal: %v", err)
+	}
+
+	// Same measurement on a different device must not unseal.
+	e3 := NewDevice(2).CreateEnclave(Config{Name: "m1"})
+	if _, err := e3.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e3.Unseal(blob, []byte("ctx")); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("cross-device unseal: %v", err)
+	}
+
+	// Wrong AAD must not unseal.
+	if _, err := e1.Unseal(blob, []byte("other")); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("wrong-aad unseal: %v", err)
+	}
+
+	// Tampered ciphertext must not unseal.
+	tampered := append([]byte(nil), blob...)
+	tampered[len(tampered)-1] ^= 1
+	if _, err := e1.Unseal(tampered, []byte("ctx")); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatalf("tampered unseal: %v", err)
+	}
+}
+
+func TestSealBeforeInitFails(t *testing.T) {
+	_, e := newTestEnclave(t, Config{Name: "early"})
+	if _, err := e.Seal([]byte("x"), nil); !errors.Is(err, ErrNotInitialized) {
+		t.Fatalf("seal before init: %v", err)
+	}
+}
+
+func TestEnclaveRNGDeterministicPerIdentity(t *testing.T) {
+	mk := func(devSeed uint64, name string) uint64 {
+		e := NewDevice(devSeed).CreateEnclave(Config{Name: name})
+		if _, err := e.Init(); err != nil {
+			t.Fatal(err)
+		}
+		return e.RNG().Uint64()
+	}
+	if mk(1, "a") != mk(1, "a") {
+		t.Fatal("same device+measurement must give same RNG stream")
+	}
+	if mk(1, "a") == mk(2, "a") {
+		t.Fatal("different devices must differ")
+	}
+	if mk(1, "a") == mk(1, "b") {
+		t.Fatal("different measurements must differ")
+	}
+}
+
+// TestSealRoundTripProperty: arbitrary payloads survive seal/unseal.
+func TestSealRoundTripProperty(t *testing.T) {
+	_, e := newTestEnclave(t, Config{Name: "prop"})
+	if _, err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(data, aad []byte) bool {
+		blob, err := e.Seal(data, aad)
+		if err != nil {
+			return false
+		}
+		out, err := e.Unseal(blob, aad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateECallRejected(t *testing.T) {
+	_, e := newTestEnclave(t, Config{Name: "dup"})
+	fn := func(in []byte) ([]byte, error) { return nil, nil }
+	if err := e.RegisterECall("f", fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterECall("f", fn); err == nil {
+		t.Fatal("expected duplicate-ecall error")
+	}
+}
+
+func TestECallErrorPropagates(t *testing.T) {
+	_, e := newTestEnclave(t, Config{Name: "err"})
+	sentinel := errors.New("inner failure")
+	if err := e.RegisterECall("boom", func(in []byte) ([]byte, error) { return nil, sentinel }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Call("boom", nil); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}

@@ -1,0 +1,115 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution over a CHW image.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	KSize         int // square kernel side
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height of the convolution.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KSize)/g.Stride + 1 }
+
+// OutW returns the output width of the convolution.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KSize)/g.Stride + 1 }
+
+// ColRows returns the number of rows of the im2col matrix
+// (InC * KSize * KSize).
+func (g ConvGeom) ColRows() int { return g.InC * g.KSize * g.KSize }
+
+// ColCols returns the number of columns of the im2col matrix
+// (OutH * OutW).
+func (g ConvGeom) ColCols() int { return g.OutH() * g.OutW() }
+
+// Validate reports whether the geometry is internally consistent.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 {
+		return fmt.Errorf("tensor: conv geometry has non-positive input dims %+v", g)
+	}
+	if g.KSize <= 0 || g.Stride <= 0 || g.Pad < 0 {
+		return fmt.Errorf("tensor: conv geometry has invalid kernel params %+v", g)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("tensor: conv geometry produces empty output %+v", g)
+	}
+	return nil
+}
+
+// Im2Col unrolls a CHW image into the (ColRows × ColCols) matrix whose
+// product with a (filters × ColRows) weight matrix yields the convolution
+// output. dst must have length ColRows*ColCols. Padding reads as zero.
+//
+// This mirrors Darknet's im2col_cpu, which the paper's prototype (built on
+// Darknet, §V) uses for its convolutional layers.
+func Im2Col(g ConvGeom, img []float32, dst []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col image length %d != %d", len(img), g.InC*g.InH*g.InW))
+	}
+	if len(dst) != g.ColRows()*g.ColCols() {
+		panic(fmt.Sprintf("tensor: Im2Col dst length %d != %d", len(dst), g.ColRows()*g.ColCols()))
+	}
+	channelsCol := g.ColRows()
+	for c := 0; c < channelsCol; c++ {
+		wOff := c % g.KSize
+		hOff := (c / g.KSize) % g.KSize
+		imC := c / g.KSize / g.KSize
+		for h := 0; h < outH; h++ {
+			imRow := hOff + h*g.Stride - g.Pad
+			rowBase := (imC*g.InH + imRow) * g.InW
+			dstBase := (c*outH + h) * outW
+			if imRow < 0 || imRow >= g.InH {
+				for w := 0; w < outW; w++ {
+					dst[dstBase+w] = 0
+				}
+				continue
+			}
+			for w := 0; w < outW; w++ {
+				imCol := wOff + w*g.Stride - g.Pad
+				if imCol < 0 || imCol >= g.InW {
+					dst[dstBase+w] = 0
+				} else {
+					dst[dstBase+w] = img[rowBase+imCol]
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column matrix back into a CHW image, accumulating
+// overlapping contributions. It is the adjoint of Im2Col and is used to
+// backpropagate deltas through convolutions. img must be zeroed by the
+// caller if a plain transpose-scatter is wanted.
+func Col2Im(g ConvGeom, col []float32, img []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2Im image length %d != %d", len(img), g.InC*g.InH*g.InW))
+	}
+	if len(col) != g.ColRows()*g.ColCols() {
+		panic(fmt.Sprintf("tensor: Col2Im col length %d != %d", len(col), g.ColRows()*g.ColCols()))
+	}
+	channelsCol := g.ColRows()
+	for c := 0; c < channelsCol; c++ {
+		wOff := c % g.KSize
+		hOff := (c / g.KSize) % g.KSize
+		imC := c / g.KSize / g.KSize
+		for h := 0; h < outH; h++ {
+			imRow := hOff + h*g.Stride - g.Pad
+			if imRow < 0 || imRow >= g.InH {
+				continue
+			}
+			rowBase := (imC*g.InH + imRow) * g.InW
+			colBase := (c*outH + h) * outW
+			for w := 0; w < outW; w++ {
+				imCol := wOff + w*g.Stride - g.Pad
+				if imCol < 0 || imCol >= g.InW {
+					continue
+				}
+				img[rowBase+imCol] += col[colBase+w]
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// AddInto computes dst += src elementwise. Shapes must match.
+func AddInto(dst, src *Tensor) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("tensor: AddInto shape mismatch %v vs %v", dst.shape, src.shape))
+	}
+	for i := range dst.data {
+		dst.data[i] += src.data[i]
+	}
+}
+
+// SubInto computes dst -= src elementwise. Shapes must match.
+func SubInto(dst, src *Tensor) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("tensor: SubInto shape mismatch %v vs %v", dst.shape, src.shape))
+	}
+	for i := range dst.data {
+		dst.data[i] -= src.data[i]
+	}
+}
+
+// MulInto computes dst *= src elementwise (Hadamard product).
+func MulInto(dst, src *Tensor) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("tensor: MulInto shape mismatch %v vs %v", dst.shape, src.shape))
+	}
+	for i := range dst.data {
+		dst.data[i] *= src.data[i]
+	}
+}
+
+// Scale multiplies every element of t by a.
+func (t *Tensor) Scale(a float32) {
+	for i := range t.data {
+		t.data[i] *= a
+	}
+}
+
+// AXPY computes y += a*x, the BLAS-1 primitive used by SGD weight updates.
+func AXPY(a float32, x, y *Tensor) {
+	if !x.SameShape(y) {
+		panic(fmt.Sprintf("tensor: AXPY shape mismatch %v vs %v", x.shape, y.shape))
+	}
+	for i := range x.data {
+		y.data[i] += a * x.data[i]
+	}
+}
+
+// Dot returns the inner product of two equally shaped tensors with float64
+// accumulation.
+func Dot(a, b *Tensor) float64 {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: Dot shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	var s float64
+	for i := range a.data {
+		s += float64(a.data[i]) * float64(b.data[i])
+	}
+	return s
+}
+
+// MatMulMode selects the compute path for matrix multiplication.
+//
+// The paper's performance experiment (§VI-C) attributes in-enclave
+// slowdown to the loss of fast-math compilation: "-ffast-math ... is
+// ineffective for the enclaved code", while threads remain available
+// inside SGX. We model that distinction with two genuinely different
+// kernels rather than a synthetic multiplier: both are parallel across
+// rows, but the accelerated path uses the 4-way unrolled inner loop
+// (standing in for -Ofast code generation) while the enclave path uses
+// the plain scalar loop. Both kernels accumulate in identical order, so
+// results are bit-identical — the property behind Experiment I's "same
+// prediction accuracy". The enclave's second cost source, EPC paging, is
+// modeled separately by internal/sgx.
+type MatMulMode int
+
+const (
+	// Accelerated is the out-of-enclave path: parallel with an unrolled
+	// kernel.
+	Accelerated MatMulMode = iota
+	// EnclaveScalar is the in-enclave path: parallel with a plain scalar
+	// kernel (no fast-math-equivalent unrolling).
+	EnclaveScalar
+)
+
+// MatMul computes C = A·B + C for row-major matrices A (m×k), B (k×n),
+// C (m×n) using the requested mode. C accumulates, so callers wanting a
+// plain product must zero it first.
+func MatMul(mode MatMulMode, a, b, c *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || c.Dims() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v -> %v", a.shape, b.shape, c.shape))
+	}
+	matMulParallel(mode, a.data, b.data, c.data, m, k, n)
+}
+
+// matMulRowsScalar is the deliberately plain per-row kernel standing in
+// for in-enclave arithmetic compiled without fast-math. Accumulation order
+// per output element is identical to matMulRows.
+func matMulRowsScalar(a, b, c []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : p*n+n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// matMulParallel splits rows of A across workers, dispatching to the
+// mode's per-row kernel.
+func matMulParallel(mode MatMulMode, a, b, c []float32, m, k, n int) {
+	kernel := matMulRows
+	if mode == EnclaveScalar {
+		kernel = matMulRowsScalar
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m*k*n < 1<<15 {
+		kernel(a, b, c, 0, m, k, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, m)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			kernel(a, b, c, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func matMulRows(a, b, c []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : p*n+n]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				crow[j] += av * brow[j]
+				crow[j+1] += av * brow[j+1]
+				crow[j+2] += av * brow[j+2]
+				crow[j+3] += av * brow[j+3]
+			}
+			for ; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ·B + C for A (k×m), B (k×n), C (m×n).
+// Backpropagation uses it to form weight gradients.
+func MatMulTransA(mode MatMulMode, a, b, c *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v -> %v", a.shape, b.shape, c.shape))
+	}
+	// C[i,·] += Σ_p A[p,i]·B[p,·]; parallelize over rows of C (no race)
+	// while keeping the per-element accumulation order over p identical
+	// across modes.
+	ad, bd, cd := a.data, b.data, c.data
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := cd[i*n : i*n+n]
+			for p := 0; p < k; p++ {
+				av := ad[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : p*n+n]
+				for j := 0; j < n; j++ {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+	if mode == EnclaveScalar {
+		parallelFor(m, rows)
+		return
+	}
+	rowsFast := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := cd[i*n : i*n+n]
+			for p := 0; p < k; p++ {
+				av := ad[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : p*n+n]
+				j := 0
+				for ; j+4 <= n; j += 4 {
+					crow[j] += av * brow[j]
+					crow[j+1] += av * brow[j+1]
+					crow[j+2] += av * brow[j+2]
+					crow[j+3] += av * brow[j+3]
+				}
+				for ; j < n; j++ {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+	parallelFor(m, rowsFast)
+}
+
+// MatMulTransB computes C = A·Bᵀ + C for A (m×k), B (n×k), C (m×n).
+// Backpropagation uses it to push deltas through weight matrices.
+func MatMulTransB(mode MatMulMode, a, b, c *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v -> %v", a.shape, b.shape, c.shape))
+	}
+	ad, bd, cd := a.data, b.data, c.data
+	// Both paths parallelize over rows; the accelerated path additionally
+	// unrolls the dot product (same accumulation order — a single
+	// accumulator consumed in index order).
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : i*k+k]
+			crow := cd[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : j*k+k]
+				var s float32
+				for p := 0; p < k; p++ {
+					s += arow[p] * brow[p]
+				}
+				crow[j] += s
+			}
+		}
+	}
+	if mode == EnclaveScalar {
+		parallelFor(m, rows)
+		return
+	}
+	rowsFast := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : i*k+k]
+			crow := cd[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : j*k+k]
+				var s float32
+				p := 0
+				for ; p+4 <= k; p += 4 {
+					s += arow[p] * brow[p]
+					s += arow[p+1] * brow[p+1]
+					s += arow[p+2] * brow[p+2]
+					s += arow[p+3] * brow[p+3]
+				}
+				for ; p < k; p++ {
+					s += arow[p] * brow[p]
+				}
+				crow[j] += s
+			}
+		}
+	}
+	parallelFor(m, rowsFast)
+}
+
+// parallelFor splits [0,n) into contiguous chunks across GOMAXPROCS
+// workers and invokes body(lo,hi) on each.
+func parallelFor(n int, body func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

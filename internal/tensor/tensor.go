@@ -1,0 +1,261 @@
+// Package tensor implements dense float32 tensors and the numeric kernels
+// (parallel blocked matrix multiplication, im2col/col2im, reductions) that
+// the neural-network substrate is built on.
+//
+// Tensors are row-major and own their backing slice. Following the
+// convention of numeric kernel libraries, shape mismatches are programmer
+// errors and panic with a descriptive message; data-dependent failures
+// return errors.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Tensor is a dense row-major float32 tensor.
+//
+// The zero value is an empty tensor with no shape; use New or FromSlice to
+// construct a usable one.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape. All dimensions
+// must be positive.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); its length must equal the shape's element count.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int {
+	s := make([]int, len(t.shape))
+	copy(s, t.shape)
+	return s
+}
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the backing slice. Mutations are visible to the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.data[t.offset(idx)]
+}
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Clone returns a deep copy of the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of the tensor with a new shape. The element count
+// must match; the backing slice is shared.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}
+}
+
+// Zero sets all elements to zero.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// FillGaussian fills the tensor with samples from N(mean, stddev²) drawn
+// from rng. The paper initializes convolutional weights from a Gaussian
+// distribution (§VI-A); rng is threaded explicitly for reproducibility.
+func (t *Tensor) FillGaussian(rng *rand.Rand, mean, stddev float64) {
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64()*stddev + mean)
+	}
+}
+
+// FillUniform fills the tensor with samples from U[lo, hi).
+func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range t.data {
+		t.data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != u.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer with a compact shape-and-summary form.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v(n=%d)", t.shape, len(t.data))
+}
+
+// L2Norm returns the Euclidean norm of the tensor's elements.
+func (t *Tensor) L2Norm() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales the tensor to unit L2 norm in place. A zero tensor is
+// left unchanged. It returns the original norm.
+func (t *Tensor) Normalize() float64 {
+	n := t.L2Norm()
+	if n == 0 {
+		return 0
+	}
+	inv := float32(1 / n)
+	for i := range t.data {
+		t.data[i] *= inv
+	}
+	return n
+}
+
+// Sum returns the sum of all elements in float64 accumulation.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the maximum element and its flat index.
+func (t *Tensor) Max() (float32, int) {
+	best, bi := float32(math.Inf(-1)), -1
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return best, bi
+}
+
+// ArgTopK returns the flat indices of the k largest elements in descending
+// order. k is clamped to the tensor length.
+func (t *Tensor) ArgTopK(k int) []int {
+	if k > len(t.data) {
+		k = len(t.data)
+	}
+	idx := make([]int, 0, k)
+	for range k {
+		best, bi := float32(math.Inf(-1)), -1
+		for i, v := range t.data {
+			taken := false
+			for _, j := range idx {
+				if j == i {
+					taken = true
+					break
+				}
+			}
+			if !taken && v > best {
+				best, bi = v, i
+			}
+		}
+		idx = append(idx, bi)
+	}
+	return idx
+}
+
+// L2Distance returns the Euclidean distance between two equally shaped
+// tensors. The query stage (§IV-C) uses this metric between fingerprints.
+func L2Distance(a, b *Tensor) float64 {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: L2Distance shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	var s float64
+	for i := range a.data {
+		d := float64(a.data[i]) - float64(b.data[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,207 @@
+package trojan
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"caltrain/internal/dataset"
+	"caltrain/internal/nn"
+	"caltrain/internal/tensor"
+)
+
+func faceNetAndData(t *testing.T) (*nn.Network, *dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	cfg := nn.Config{
+		Name: "tj", InC: 3, InH: 16, InW: 16, Classes: 4,
+		Layers: []nn.LayerSpec{
+			{Kind: nn.KindConv, Filters: 8, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: nn.KindMaxPool, Size: 2, Stride: 2},
+			{Kind: nn.KindConv, Filters: 8, Size: 3, Stride: 1, Pad: 1, Activation: "leaky"},
+			{Kind: nn.KindMaxPool, Size: 2, Stride: 2},
+			{Kind: nn.KindConnected, Filters: 16, Activation: "leaky"},
+			{Kind: nn.KindConnected, Filters: 4, Activation: "linear"},
+			{Kind: nn.KindSoftmax},
+			{Kind: nn.KindCost},
+		},
+	}
+	net, err := nn.Build(cfg, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := dataset.SynthFace(dataset.FaceOptions{Identities: 4, H: 16, W: 16, PerID: 33, Seed: 3, Noise: 0.03})
+	train, test := all.Split(0.25, rand.New(rand.NewPCG(4, 4)))
+	// Fit the victim model.
+	ctx := &nn.Context{Mode: tensor.Accelerated, Training: true, RNG: rand.New(rand.NewPCG(5, 5))}
+	s, err := dataset.NewSampler(train, 20, nil, rand.New(rand.NewPCG(6, 6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.SGD{LearningRate: 0.02, Momentum: 0.9}
+	for e := 0; e < 10; e++ {
+		for b := 0; b < s.BatchesPerEpoch(); b++ {
+			in, labels := s.Next()
+			if _, err := net.TrainBatch(ctx, opt, in, labels); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return net, train, test
+}
+
+func TestStampGeometry(t *testing.T) {
+	tr := &Trigger{Size: 2, C: 1, Target: 0, Patch: []float32{1, 1, 1, 1}}
+	img := make([]float32, 16) // 1x4x4 zeros
+	out := tr.Stamp(img, 1, 4, 4)
+	// Bottom-right 2x2 must be 1, everything else 0.
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			want := float32(0)
+			if y >= 2 && x >= 2 {
+				want = 1
+			}
+			if out[y*4+x] != want {
+				t.Fatalf("pixel (%d,%d) = %v, want %v", y, x, out[y*4+x], want)
+			}
+		}
+	}
+	// Original untouched.
+	for _, v := range img {
+		if v != 0 {
+			t.Fatal("Stamp mutated input")
+		}
+	}
+}
+
+func TestPoisonFromLabelsAndStamps(t *testing.T) {
+	src := dataset.SynthFace(dataset.FaceOptions{Identities: 3, H: 12, W: 12, PerID: 5, Seed: 9})
+	tr := &Trigger{Size: 3, C: 3, Target: 2, Patch: make([]float32, 27)}
+	for i := range tr.Patch {
+		tr.Patch[i] = 0.9
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	poisoned := tr.PoisonFrom(src, 8, rng)
+	if poisoned.Len() != 8 {
+		t.Fatalf("poisoned %d records, want 8", poisoned.Len())
+	}
+	for _, r := range poisoned.Records {
+		if r.Label != 2 {
+			t.Fatalf("poisoned label %d, want 2", r.Label)
+		}
+		// Bottom-right corner pixel of channel 0 must carry the patch.
+		if r.Image[11*12+11] != 0.9 {
+			t.Fatal("poisoned image not stamped")
+		}
+	}
+	// Requesting more than available clamps.
+	if got := tr.PoisonFrom(src, 10_000, rng); got.Len() != src.Len() {
+		t.Fatalf("clamping failed: %d", got.Len())
+	}
+}
+
+func TestStampDatasetPreservesLabels(t *testing.T) {
+	src := dataset.SynthFace(dataset.FaceOptions{Identities: 3, H: 12, W: 12, PerID: 4, Seed: 11})
+	tr := &Trigger{Size: 2, C: 3, Target: 0, Patch: make([]float32, 12)}
+	out := tr.StampDataset(src)
+	if out.Len() != src.Len() {
+		t.Fatal("size changed")
+	}
+	for i := range out.Records {
+		if out.Records[i].Label != src.Records[i].Label {
+			t.Fatal("StampDataset changed labels")
+		}
+	}
+}
+
+func TestOptimizeTriggerValidation(t *testing.T) {
+	noCost := nn.NewNetwork(nn.Shape{C: 1, H: 4, W: 4})
+	if _, err := OptimizeTrigger(noCost, 0, Options{}, rand.New(rand.NewPCG(1, 1))); !errors.Is(err, ErrNoCost) {
+		t.Fatalf("no cost: %v", err)
+	}
+}
+
+func TestOptimizeTriggerRaisesTargetScore(t *testing.T) {
+	net, _, _ := faceNetAndData(t)
+	rng := rand.New(rand.NewPCG(13, 13))
+	target := 0
+	tr, err := OptimizeTrigger(net, target, Options{Size: 5, Steps: 40, Rate: 0.8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimized trigger on a neutral carrier must score the target
+	// class higher than a random patch does.
+	in := net.InShape()
+	carrier := make([]float32, in.Len())
+	for i := range carrier {
+		carrier[i] = 0.5
+	}
+	ctx := &nn.Context{Mode: tensor.Accelerated}
+	score := func(patch *Trigger) float64 {
+		b := tensor.New(1, in.Len())
+		copy(b.Data(), patch.Stamp(carrier, in.C, in.H, in.W))
+		probs, err := net.Predict(ctx, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(probs.At(0, target))
+	}
+	random := &Trigger{Size: 5, C: in.C, Target: target, Patch: make([]float32, in.C*25)}
+	for i := range random.Patch {
+		random.Patch[i] = float32(rng.Float64())
+	}
+	if !(score(tr) > score(random)) {
+		t.Fatalf("optimized trigger score %v not above random %v", score(tr), score(random))
+	}
+}
+
+// TestEndToEndAttack reproduces the §VI-D adversary: optimize a trigger,
+// retrain on a poisoned mixture, and verify the backdoor fires on stamped
+// inputs while clean accuracy survives.
+func TestEndToEndAttack(t *testing.T) {
+	net, train, test := faceNetAndData(t)
+	rng := rand.New(rand.NewPCG(17, 17))
+	target := 0
+
+	before, err := Evaluate(net, &Trigger{Size: 4, C: 3, Target: target, Patch: make([]float32, 48)}, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.CleanAccuracy < 0.7 {
+		t.Fatalf("victim model undertrained: clean acc %v", before.CleanAccuracy)
+	}
+
+	tr, err := OptimizeTrigger(net, target, Options{Size: 5, Steps: 50, Rate: 0.8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison source: a *foreign* face distribution (different seed).
+	foreign := dataset.SynthFace(dataset.FaceOptions{Identities: 4, H: 16, W: 16, PerID: 20, Seed: 99, Noise: 0.03})
+	poisoned := tr.PoisonFrom(foreign, 60, rng)
+
+	mix := &dataset.Dataset{C: train.C, H: train.H, W: train.W, Classes: train.Classes}
+	mix.Records = append(mix.Records, train.Records...)
+	mix.Records = append(mix.Records, poisoned.Records...)
+	if err := Retrain(net, mix, 8, 20, nn.SGD{LearningRate: 0.01, Momentum: 0.9}, rng); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := Evaluate(net, tr, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.SuccessRate < 0.8 {
+		t.Fatalf("backdoor did not take: success rate %v", after.SuccessRate)
+	}
+	if after.CleanAccuracy < 0.6 {
+		t.Fatalf("attack destroyed clean accuracy: %v", after.CleanAccuracy)
+	}
+}
+
+func TestEvaluateEmptySet(t *testing.T) {
+	net, _, _ := faceNetAndData(t)
+	empty := &dataset.Dataset{C: 3, H: 16, W: 16, Classes: 4}
+	tr := &Trigger{Size: 2, C: 3, Target: 0, Patch: make([]float32, 12)}
+	if _, err := Evaluate(net, tr, empty); err == nil {
+		t.Fatal("expected error for empty evaluation set")
+	}
+}

@@ -1,0 +1,160 @@
+// Package caltrain is the public API of the CalTrain reproduction: a
+// TEE-based centralized collaborative learning system that achieves data
+// confidentiality and model accountability simultaneously (Gu et al.,
+// "Reaching Data Confidentiality and Model Accountability on the
+// CalTrain", DSN 2019).
+//
+// The package re-exports the building blocks (network configs, datasets,
+// fingerprint queries) and provides a Session type that drives the whole
+// pipeline: attested key provisioning, encrypted data ingestion,
+// partitioned in-enclave training, per-participant model release,
+// fingerprint/linkage generation, and the accountability query service.
+//
+// See examples/quickstart for the shortest end-to-end program.
+package caltrain
+
+import (
+	"io"
+	"net/http"
+
+	"caltrain/internal/assess"
+	"caltrain/internal/core"
+	"caltrain/internal/dataset"
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/hub"
+	"caltrain/internal/nn"
+	"caltrain/internal/sgx"
+	"caltrain/internal/trojan"
+)
+
+// Model configuration types.
+type (
+	// ModelConfig describes a network architecture.
+	ModelConfig = nn.Config
+	// LayerSpec describes one layer of a ModelConfig.
+	LayerSpec = nn.LayerSpec
+	// SGD holds optimizer hyperparameters.
+	SGD = nn.SGD
+	// Network is a built neural network.
+	Network = nn.Network
+)
+
+// Data types.
+type (
+	// Dataset is an in-memory labeled image collection.
+	Dataset = dataset.Dataset
+	// Record is one labeled image.
+	Record = dataset.Record
+	// Augmentation configures in-enclave data augmentation.
+	Augmentation = dataset.Augmentation
+)
+
+// Session types.
+type (
+	// SessionConfig is the pre-training consensus object.
+	SessionConfig = core.SessionConfig
+	// ReleasedModel is a per-participant model release.
+	ReleasedModel = core.ReleasedModel
+	// Participant is one collaborative-training party.
+	Participant = core.Participant
+	// Measurement is an enclave identity.
+	Measurement = sgx.Measurement
+)
+
+// Accountability types.
+type (
+	// Fingerprint is a normalized penultimate-layer embedding.
+	Fingerprint = fingerprint.Fingerprint
+	// Linkage is the 4-tuple Ω = [F, Y, S, H].
+	Linkage = fingerprint.Linkage
+	// LinkageDB is the queryable linkage database.
+	LinkageDB = fingerprint.DB
+	// Match is one accountability query result.
+	Match = fingerprint.Match
+	// Trigger is an optimized trojan patch (for attack reproduction).
+	Trigger = trojan.Trigger
+)
+
+// Assessment types.
+type (
+	// ExposureReport is a per-layer information-exposure assessment.
+	ExposureReport = assess.Report
+	// ExposureOptions tunes assessment cost.
+	ExposureOptions = assess.Options
+)
+
+// TableI returns the paper's 10-layer CIFAR-10 architecture (Appendix A,
+// Table I). scale divides filter counts; 1 is the exact paper network.
+func TableI(scale int) ModelConfig { return nn.TableI(scale) }
+
+// TableII returns the paper's 18-layer CIFAR-10 architecture (Appendix A,
+// Table II).
+func TableII(scale int) ModelConfig { return nn.TableII(scale) }
+
+// FaceNet returns the face-recognition architecture used by the
+// accountability experiments (the VGG-Face stand-in).
+func FaceNet(identities, embedDim, scale int) ModelConfig {
+	return nn.FaceNet(identities, embedDim, scale)
+}
+
+// DefaultSGD returns the optimizer defaults used by the experiment
+// harness.
+func DefaultSGD() SGD { return nn.DefaultSGD() }
+
+// DefaultAugmentation returns the in-enclave augmentation defaults.
+func DefaultAugmentation() Augmentation { return dataset.DefaultAugmentation() }
+
+// SynthCIFAR generates the CIFAR-10 stand-in dataset (see DESIGN.md §2).
+func SynthCIFAR(opts dataset.Options) *Dataset { return dataset.SynthCIFAR(opts) }
+
+// SynthFace generates the VGG-Face stand-in dataset.
+func SynthFace(opts dataset.FaceOptions) *Dataset { return dataset.SynthFace(opts) }
+
+// DataOptions configures SynthCIFAR generation.
+type DataOptions = dataset.Options
+
+// FaceOptions configures SynthFace generation.
+type FaceOptions = dataset.FaceOptions
+
+// NewParticipant creates a collaborative-training participant holding a
+// private dataset.
+func NewParticipant(id string, data *Dataset, seed uint64) *Participant {
+	return core.NewParticipant(id, data, seed)
+}
+
+// SaveModel serializes a model (architecture + weights) to w.
+func SaveModel(w io.Writer, cfg ModelConfig, net *Network) error { return nn.Save(w, cfg, net) }
+
+// LoadModel deserializes a model saved with SaveModel.
+func LoadModel(r io.Reader) (ModelConfig, *Network, error) { return nn.Load(r) }
+
+// NewLinkageDB creates an empty linkage database for fingerprints of the
+// given dimensionality.
+func NewLinkageDB(dim int) (*LinkageDB, error) { return fingerprint.NewDB(dim) }
+
+// LoadLinkageDB deserializes a linkage database saved with LinkageDB.Save.
+func LoadLinkageDB(r io.Reader) (*LinkageDB, error) { return fingerprint.LoadDB(r) }
+
+// NewQueryService returns the HTTP handler of the accountability query
+// service over a linkage database.
+func NewQueryService(db *LinkageDB) http.Handler {
+	return fingerprint.NewService(db).Handler()
+}
+
+// QueryClient queries a remote accountability service.
+type QueryClient = fingerprint.Client
+
+// Federation is a hierarchical learning-hub deployment: multiple training
+// enclaves with a root aggregation server (§IV-B, Performance).
+type Federation = hub.Federation
+
+// FederationConfig configures a Federation.
+type FederationConfig = hub.Config
+
+// NewFederation builds a multi-hub confidential training federation.
+func NewFederation(cfg FederationConfig) (*Federation, error) { return hub.New(cfg) }
+
+// NewQueryClient constructs a client for the query service at baseURL.
+func NewQueryClient(baseURL string) *QueryClient {
+	return fingerprint.NewClient(baseURL, nil)
+}
