@@ -15,6 +15,7 @@ import (
 	"caltrain/internal/experiments"
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/hub"
+	"caltrain/internal/index"
 	"caltrain/internal/nn"
 	"caltrain/internal/partition"
 	"caltrain/internal/seal"
@@ -140,19 +141,35 @@ func BenchmarkFig7LLE(b *testing.B) {
 }
 
 // BenchmarkFig8Query measures the Figure 8 investigation (per-misprediction
-// nearest-neighbour queries) and reports the discovery precision.
+// nearest-neighbour queries) and reports the discovery precision, once per
+// index backend: the exact DB scan, the Flat index, and the IVF index.
 func BenchmarkFig8Query(b *testing.B) {
 	sc := scenario(b)
-	var precision float64
-	b.ResetTimer()
-	for b.Loop() {
-		res, err := experiments.RunFig8(sc, io.Discard)
-		if err != nil {
-			b.Fatal(err)
-		}
-		precision = res.Precision
+	backends := map[string]fingerprint.Searcher{
+		"linear": sc.DB,
+		"flat":   index.NewFlat(sc.DB),
 	}
-	b.ReportMetric(100*precision, "precision_%")
+	ivf, err := index.TrainIVF(sc.DB, index.IVFOptions{Nlist: 4, Nprobe: 2, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	backends["ivf"] = ivf
+	for _, kind := range []string{"linear", "flat", "ivf"} {
+		b.Run(kind, func(b *testing.B) {
+			sc.Searcher = backends[kind]
+			defer func() { sc.Searcher = nil }()
+			var precision float64
+			b.ResetTimer()
+			for b.Loop() {
+				res, err := experiments.RunFig8(sc, io.Discard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				precision = res.Precision
+			}
+			b.ReportMetric(100*precision, "precision_%")
+		})
+	}
 }
 
 // --- Ablation benches ------------------------------------------------------
@@ -346,34 +363,46 @@ func BenchmarkBoundaryCrossing(b *testing.B) {
 	}
 }
 
-// BenchmarkQueryScaling measures linkage-database query latency as the
-// database grows — the query stage's serving cost.
+// BenchmarkQueryScaling measures accountability-query latency as one
+// class grows from 10k to 500k entries (every entry shares the query's
+// label, the worst case for the per-label scan), comparing the three
+// serving backends: the exact linear DB scan, the exact Flat index, and
+// the approximate IVF index. Data are clustered embeddings
+// (index.SynthFingerprints), the same workload TestIVFRecall holds to
+// recall@10 ≥ 0.95. The IVF runs demonstrate the ≥5× speedup over both
+// exact scans at ≥100k entries.
 func BenchmarkQueryScaling(b *testing.B) {
-	rng := rand.New(rand.NewPCG(15, 15))
-	for _, size := range []int{1000, 10000, 100000} {
-		b.Run(map[int]string{1000: "1k", 10000: "10k", 100000: "100k"}[size], func(b *testing.B) {
+	for _, size := range []int{10_000, 100_000, 500_000} {
+		b.Run(map[int]string{10_000: "10k", 100_000: "100k", 500_000: "500k"}[size], func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(15, uint64(size)))
+			fps := index.SynthFingerprints(rng, size+1, 64, 256, 0.15)
 			db, err := fingerprint.NewDB(64)
 			if err != nil {
 				b.Fatal(err)
 			}
-			for i := 0; i < size; i++ {
-				f := make(fingerprint.Fingerprint, 64)
-				for j := range f {
-					f[j] = rng.Float32()
-				}
-				if err := db.Add(fingerprint.Linkage{F: f, Y: i % 10, S: "s"}); err != nil {
+			for _, f := range fps[:size] {
+				if err := db.Add(fingerprint.Linkage{F: f, Y: 0, S: "s"}); err != nil {
 					b.Fatal(err)
 				}
 			}
-			q := make(fingerprint.Fingerprint, 64)
-			for j := range q {
-				q[j] = rng.Float32()
+			q := fps[size]
+			flat := index.NewFlat(db)
+			ivf, err := index.TrainIVF(db, index.IVFOptions{Seed: 16})
+			if err != nil {
+				b.Fatal(err)
 			}
-			b.ResetTimer()
-			for b.Loop() {
-				if _, err := db.Query(q, 3, 9); err != nil {
-					b.Fatal(err)
-				}
+			for _, bk := range []struct {
+				name string
+				s    fingerprint.Searcher
+			}{{"linear", db}, {"flat", flat}, {"ivf", ivf}} {
+				b.Run(bk.name, func(b *testing.B) {
+					b.ResetTimer()
+					for b.Loop() {
+						if _, err := bk.s.Search(q, 0, 9); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
 			}
 		})
 	}

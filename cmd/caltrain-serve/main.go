@@ -1,0 +1,172 @@
+// Command caltrain-serve is the production accountability query daemon:
+// it loads a linkage database produced by caltrain-train, builds (or
+// loads) a nearest-neighbour index over it, and serves single and batch
+// fingerprint queries over HTTP until SIGTERM/SIGINT, then drains
+// in-flight requests and exits.
+//
+//	caltrain-serve -db linkage.db -addr :8791 -index ivf -nprobe 8
+//
+// Endpoints:
+//
+//	POST /query        one misprediction fingerprint → k nearest neighbours
+//	POST /query/batch  many queries in one round trip, per-query errors
+//	GET  /healthz      liveness
+//	GET  /stats        entry count, index kind, query counters, latency histogram
+//
+// Index backends (-index): "linear" is the exact reference scan over the
+// database, "flat" the exact heap-select scan over contiguous storage,
+// "ivf" the approximate inverted-file index (tune with -nlist/-nprobe;
+// see internal/index). A built IVF index can be persisted with
+// -save-index and reloaded with -load-index to skip training on restart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/index"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "caltrain-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(parent context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("caltrain-serve", flag.ContinueOnError)
+	var (
+		dbPath    = fs.String("db", "linkage.db", "linkage database path")
+		addr      = fs.String("addr", ":8791", "listen address")
+		kind      = fs.String("index", "flat", "index backend: linear, flat, or ivf")
+		nlist     = fs.Int("nlist", 0, "IVF lists per label (0 = auto ≈√n)")
+		nprobe    = fs.Int("nprobe", 0, "IVF lists probed per query (0 = auto)")
+		iters     = fs.Int("iters", 0, "IVF k-means iterations (0 = default)")
+		seed      = fs.Uint64("seed", 42, "IVF training seed")
+		loadIndex = fs.String("load-index", "", "load a serialized index instead of building one")
+		saveIndex = fs.String("save-index", "", "persist the built index to this path")
+		maxBody   = fs.Int64("max-body", fingerprint.DefaultMaxBodyBytes, "request body size limit in bytes")
+		maxK      = fs.Int("max-k", fingerprint.DefaultMaxK, "per-query neighbour count limit")
+		maxBatch  = fs.Int("max-batch", fingerprint.DefaultMaxBatch, "queries per batch request limit")
+		grace     = fs.Duration("grace", 10*time.Second, "shutdown drain timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *loadIndex != "" {
+		// The loaded index determines the backend; reject training flags
+		// that would silently be ignored. -nprobe stays honored (below).
+		for _, conflicting := range []string{"index", "nlist", "iters", "seed"} {
+			if set[conflicting] {
+				return fmt.Errorf("-%s conflicts with -load-index: the loaded index determines the backend", conflicting)
+			}
+		}
+	}
+	if *saveIndex != "" && *loadIndex == "" && *kind == "linear" {
+		return fmt.Errorf("-save-index needs an index backend (-index flat or ivf): the linear scan has nothing to persist")
+	}
+
+	dbf, err := os.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	db, err := fingerprint.LoadDB(dbf)
+	dbf.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "linkage database: %d entries, fingerprint dim %d\n", db.Len(), db.Dim())
+
+	searcher, err := buildSearcher(db, *kind, *loadIndex, index.IVFOptions{
+		Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed,
+	}, out)
+	if err != nil {
+		return err
+	}
+	if ivf, ok := searcher.(*index.IVF); ok && *loadIndex != "" && set["nprobe"] {
+		ivf.SetNprobe(*nprobe)
+		fmt.Fprintf(out, "nprobe overridden to %d\n", ivf.Nprobe())
+	}
+	if *saveIndex != "" {
+		f, err := os.Create(*saveIndex)
+		if err != nil {
+			return err
+		}
+		if err := index.Save(f, searcher); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "index saved to %s\n", *saveIndex)
+	}
+
+	svc := fingerprint.NewSearcherService(searcher,
+		fingerprint.WithMaxBodyBytes(*maxBody),
+		fingerprint.WithMaxK(*maxK),
+		fingerprint.WithMaxBatch(*maxBatch),
+	)
+
+	ctx, stop := signal.NotifyContext(parent, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving accountability queries on %s (index %s; POST /query, POST /query/batch, GET /healthz, GET /stats)\n",
+		l.Addr(), searcher.Kind())
+	if err := svc.Serve(ctx, l, *grace); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "drained, bye")
+	return nil
+}
+
+func buildSearcher(db *fingerprint.DB, kind, loadPath string, opts index.IVFOptions, out io.Writer) (fingerprint.Searcher, error) {
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		s, err := index.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		if s.Dim() != db.Dim() || s.Len() != db.Len() {
+			return nil, fmt.Errorf("index %s (%d entries, dim %d) does not match database (%d entries, dim %d)",
+				loadPath, s.Len(), s.Dim(), db.Len(), db.Dim())
+		}
+		fmt.Fprintf(out, "loaded %s index from %s\n", s.Kind(), loadPath)
+		return s, nil
+	}
+	switch kind {
+	case "linear":
+		return db, nil
+	case "flat":
+		return index.NewFlat(db), nil
+	case "ivf":
+		started := time.Now()
+		ivf, err := index.TrainIVF(db, opts)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "trained IVF index in %v (nprobe %d)\n", time.Since(started).Round(time.Millisecond), ivf.Nprobe())
+		return ivf, nil
+	default:
+		return nil, fmt.Errorf("unknown index kind %q (want linear, flat, or ivf)", kind)
+	}
+}

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/index"
+)
+
+// syncBuffer lets the test read the daemon's output while run() writes it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func writeTestDB(t *testing.T, n int) string {
+	t.Helper()
+	db, err := fingerprint.NewDB(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(77, 1))
+	for i, f := range index.SynthFingerprints(rng, n, 8, 8, 0.2) {
+		if err := db.Add(fingerprint.Linkage{F: f, Y: i % 3, S: "p1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "linkage.db")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var addrRE = regexp.MustCompile(`serving accountability queries on (\S+)`)
+
+func waitForAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("daemon never announced its address; output:\n%s", out.String())
+	return ""
+}
+
+// TestServeLifecycle is the daemon acceptance test: start on a random
+// port with an IVF index, answer /healthz, serve single and batch
+// queries from concurrent clients, then shut down gracefully on SIGTERM.
+func TestServeLifecycle(t *testing.T) {
+	dbPath := writeTestDB(t, 600)
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(), []string{
+			"-db", dbPath, "-addr", "127.0.0.1:0",
+			"-index", "ivf", "-nlist", "8", "-nprobe", "4",
+		}, &out)
+	}()
+	addr := waitForAddr(t, &out)
+	client := fingerprint.NewClient("http://"+addr, nil)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for client.Healthz() != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 9))
+			for i := 0; i < 20; i++ {
+				q := index.SynthFingerprints(rng, 1, 8, 2, 0.3)[0]
+				if _, err := client.Query(q, i%3, 5); err != nil {
+					t.Error(err)
+					return
+				}
+				batch := []fingerprint.QueryRequest{
+					{Fingerprint: q, Label: 0, K: 3},
+					{Fingerprint: make([]float32, 2), Label: 0, K: 3}, // per-query failure
+				}
+				resp, err := client.QueryBatch(batch)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.Results[0].Error != "" || resp.Results[1].Error == "" {
+					t.Errorf("batch results: %+v", resp.Results)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Index != "ivf" || st.Entries != 600 || st.Queries == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// The real signal path: SIGTERM to the process, caught by
+	// signal.NotifyContext inside run.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+	if !bytes.Contains([]byte(out.String()), []byte("drained")) {
+		t.Fatalf("no graceful drain message; output:\n%s", out.String())
+	}
+}
+
+// TestServeSaveLoadIndex persists a built index and restarts from it.
+func TestServeSaveLoadIndex(t *testing.T) {
+	dbPath := writeTestDB(t, 300)
+	idxPath := filepath.Join(t.TempDir(), "linkage.ivf")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-db", dbPath, "-addr", "127.0.0.1:0",
+			"-index", "ivf", "-nlist", "4", "-save-index", idxPath,
+		}, &out)
+	}()
+	waitForAddr(t, &out)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(idxPath); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var out2 syncBuffer
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- run(ctx2, []string{
+			"-db", dbPath, "-addr", "127.0.0.1:0", "-load-index", idxPath,
+		}, &out2)
+	}()
+	addr := waitForAddr(t, &out2)
+	client := fingerprint.NewClient("http://"+addr, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for client.Healthz() != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted daemon never became healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Index != "ivf" || st.Entries != 300 {
+		t.Fatalf("reloaded stats: %+v", st)
+	}
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeRejectsUnknownIndexKind(t *testing.T) {
+	dbPath := writeTestDB(t, 30)
+	err := run(context.Background(), []string{"-db", dbPath, "-index", "annoy"}, &syncBuffer{})
+	if err == nil {
+		t.Fatal("unknown index kind accepted")
+	}
+}
+
+func TestServeRejectsConflictingFlags(t *testing.T) {
+	dbPath := writeTestDB(t, 30)
+	// -save-index with the linear scan has nothing to persist.
+	err := run(context.Background(), []string{"-db", dbPath, "-index", "linear", "-save-index", "x.idx"}, &syncBuffer{})
+	if err == nil {
+		t.Fatal("-index linear -save-index accepted")
+	}
+	// Training flags alongside -load-index would be silently ignored.
+	for _, extra := range [][]string{{"-index", "ivf"}, {"-nlist", "4"}, {"-iters", "3"}, {"-seed", "1"}} {
+		args := append([]string{"-db", dbPath, "-load-index", "whatever.idx"}, extra...)
+		if err := run(context.Background(), args, &syncBuffer{}); err == nil {
+			t.Fatalf("%v with -load-index accepted", extra)
+		}
+	}
+}
+
+func TestServeRejectsMismatchedIndex(t *testing.T) {
+	dbPath := writeTestDB(t, 40)
+	otherDB := writeTestDB(t, 50)
+	// Build an index over a different database and try to serve with it.
+	f, err := os.Open(otherDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := fingerprint.LoadDB(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxPath := filepath.Join(t.TempDir(), "other.idx")
+	w, err := os.Create(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := index.Save(w, index.NewFlat(db)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	err = run(context.Background(), []string{"-db", dbPath, "-load-index", idxPath}, &syncBuffer{})
+	if err == nil {
+		t.Fatal("mismatched index accepted")
+	}
+}

@@ -56,6 +56,76 @@ func TestLinkageDBFacadeAndClient(t *testing.T) {
 	}
 }
 
+// TestIndexServingFacade drives the new serving surface end to end: build
+// indexes over a linkage database, verify agreement and recall, persist
+// and reload, serve through the hot-swappable service, and batch-query it.
+func TestIndexServingFacade(t *testing.T) {
+	db, err := newTestDB(16, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := NewFlatIndex(db)
+	ivf, err := TrainIVFIndex(db, IVFOptions{Nlist: 8, Nprobe: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewPCG(9, 9))
+	queries := make([]Fingerprint, 20)
+	labels := make([]int, 20)
+	for i := range queries {
+		f := make(Fingerprint, 16)
+		for j := range f {
+			f[j] = rng.Float32()
+		}
+		queries[i], labels[i] = f, i%3
+	}
+	// Full probe: IVF must agree exactly, so recall is 1.
+	r, err := IndexRecall(flat, ivf, queries, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Fatalf("full-probe recall %v, want 1", r)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, ivf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := NewSearcherQueryService(flat, WithMaxK(64))
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewQueryClient(srv.URL)
+	resp, err := client.QueryBatch([]QueryRequest{
+		{Fingerprint: queries[0], Label: 0, K: 4},
+		{Fingerprint: queries[1], Label: 1, K: 100}, // over WithMaxK: per-query error
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Error != "" || len(resp.Results[0].Matches) != 4 {
+		t.Fatalf("batch result 0: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" {
+		t.Fatal("oversized k in batch succeeded")
+	}
+	// Hot-swap to the reloaded IVF index; stats reflect it.
+	svc.SetSearcher(reloaded)
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Index != "ivf" || st.Entries != 400 {
+		t.Fatalf("stats after swap: %+v", st)
+	}
+}
+
 func newTestDB(dim, n int) (*LinkageDB, error) {
 	db, err := NewLinkageDB(dim)
 	if err != nil {

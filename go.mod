@@ -1,0 +1,3 @@
+module caltrain
+
+go 1.24

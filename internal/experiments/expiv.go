@@ -72,16 +72,29 @@ func (p ExpIVParams) withDefaults() ExpIVParams {
 // the fingerprinting enclave, and ground-truth provenance for every
 // database entry.
 type Scenario struct {
-	P        ExpIVParams
-	Model    *nn.Network
-	Trigger  *trojan.Trigger
-	DB       *fingerprint.DB
+	P       ExpIVParams
+	Model   *nn.Network
+	Trigger *trojan.Trigger
+	DB      *fingerprint.DB
+	// Searcher, when non-nil, answers Figure 8's nearest-neighbour
+	// queries instead of the exact DB scan — the hook the index benches
+	// use to compare backends on the investigation workload.
+	Searcher fingerprint.Searcher
 	Attack   trojan.Evaluation
 	TestSet  *dataset.Dataset // clean test images
 	Stamped  *dataset.Dataset // trigger-stamped test images
 	ProvOf   map[int]Provenance
 	Sources  map[Provenance]string
 	trainLen int
+}
+
+// searcher returns the query backend: the configured Searcher or the
+// exact database scan.
+func (sc *Scenario) searcher() fingerprint.Searcher {
+	if sc.Searcher != nil {
+		return sc.Searcher
+	}
+	return sc.DB
 }
 
 // BuildScenario reproduces §VI-D's setting end to end:

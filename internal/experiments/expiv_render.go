@@ -266,7 +266,7 @@ func RunFig8(sc *Scenario, w io.Writer) (*Fig8Result, error) {
 		if trueID != target {
 			res.Investigated++
 		}
-		matches, err := sc.DB.Query(f, label, k)
+		matches, err := sc.searcher().Search(f, label, k)
 		if err != nil {
 			return nil, err
 		}

@@ -31,7 +31,28 @@ import (
 var (
 	ErrDimMismatch = errors.New("fingerprint: dimension mismatch")
 	ErrBadLabel    = errors.New("fingerprint: label out of range")
+	ErrBadSource   = errors.New("fingerprint: source identifier too long")
 )
+
+// maxSourceLen bounds Linkage.S so the length always fits the uint16
+// framing of DB.Save and index serialization.
+const maxSourceLen = 65535
+
+// Searcher is the pluggable nearest-neighbour backend behind the
+// accountability query service. DB itself is the exact linear-scan
+// reference implementation; internal/index provides the production
+// backends (Flat, IVF).
+type Searcher interface {
+	// Search returns the k nearest same-label training instances to f by
+	// L2 fingerprint distance, ascending.
+	Search(f Fingerprint, label, k int) ([]Match, error)
+	// Len returns the number of indexed linkages.
+	Len() int
+	// Dim returns the fingerprint dimensionality.
+	Dim() int
+	// Kind names the backend ("linear", "flat", "ivf") for stats.
+	Kind() string
+}
 
 // Fingerprint is one L2-normalized penultimate-layer embedding.
 type Fingerprint []float32
@@ -76,8 +97,12 @@ type Match struct {
 // DB is the linkage-structure database deposited after training for
 // post-hoc queries (§IV-C). Entries are indexed per class label because
 // queries always restrict to Y = Ytest.
+//
+// DB is safe for concurrent use: the serving path reads (Query, Entry,
+// Len, Save) while ingest appends (Add).
 type DB struct {
 	dim     int
+	mu      sync.RWMutex
 	entries []Linkage
 	byClass map[int][]int
 }
@@ -93,11 +118,46 @@ func NewDB(dim int) (*DB, error) {
 // Dim returns the fingerprint dimensionality.
 func (db *DB) Dim() int { return db.dim }
 
-// Len returns the number of stored linkages.
-func (db *DB) Len() int { return len(db.entries) }
+// Kind names the backend for service stats. DB is the exact linear scan.
+func (db *DB) Kind() string { return "linear" }
 
-// Entry returns the linkage at index i.
-func (db *DB) Entry(i int) Linkage { return db.entries[i] }
+// Len returns the number of stored linkages.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// Entry returns the linkage at index i. The returned fingerprint shares
+// storage with the database; it is immutable after Add.
+func (db *DB) Entry(i int) Linkage {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.entries[i]
+}
+
+// Labels returns the distinct class labels present, ascending.
+func (db *DB) Labels() []int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]int, 0, len(db.byClass))
+	for y := range db.byClass {
+		out = append(out, y)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ClassIndex returns a copy of the database indices holding label y, in
+// insertion order. Index builders snapshot classes through this.
+func (db *DB) ClassIndex(y int) []int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	idxs := db.byClass[y]
+	out := make([]int, len(idxs))
+	copy(out, idxs)
+	return out
+}
 
 // Add stores one linkage. The fingerprint is copied.
 func (db *DB) Add(l Linkage) error {
@@ -107,14 +167,24 @@ func (db *DB) Add(l Linkage) error {
 	if l.Y < 0 {
 		return fmt.Errorf("%w: %d", ErrBadLabel, l.Y)
 	}
+	if len(l.S) > maxSourceLen {
+		return fmt.Errorf("%w: %d bytes", ErrBadSource, len(l.S))
+	}
 	cp := make(Fingerprint, db.dim)
 	copy(cp, l.F)
 	l.F = cp
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	idx := len(db.entries)
 	db.entries = append(db.entries, l)
 	db.byClass[l.Y] = append(db.byClass[l.Y], idx)
 	return nil
 }
+
+// matchPool recycles the per-query scratch slice of candidate matches —
+// proportional to class size, it is the daemon hot path's dominant
+// allocation.
+var matchPool = sync.Pool{New: func() any { return new([]Match) }}
 
 // Query returns the k nearest same-label training instances to f by L2
 // fingerprint distance, ascending. Fewer than k are returned if the class
@@ -126,18 +196,25 @@ func (db *DB) Query(f Fingerprint, label, k int) ([]Match, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("fingerprint: k must be positive, got %d", k)
 	}
+	db.mu.RLock()
 	idxs := db.byClass[label]
-	matches := make([]Match, len(idxs))
+	scratch := matchPool.Get().(*[]Match)
+	matches := (*scratch)[:0]
+	if cap(matches) < len(idxs) {
+		matches = make([]Match, len(idxs))
+	} else {
+		matches = matches[:len(idxs)]
+	}
 	fill := func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			e := db.entries[idxs[k]]
+		for i := lo; i < hi; i++ {
+			e := db.entries[idxs[i]]
 			// Dimensions were validated at Add time; compute inline.
 			var s float64
 			for j := range f {
 				d := float64(f[j]) - float64(e.F[j])
 				s += d * d
 			}
-			matches[k] = Match{Index: idxs[k], Source: e.S, Label: e.Y, Hash: e.H, Distance: math.Sqrt(s)}
+			matches[i] = Match{Index: idxs[i], Source: e.S, Label: e.Y, Hash: e.H, Distance: math.Sqrt(s)}
 		}
 	}
 	// Large classes scan in parallel; the query service's latency is
@@ -163,6 +240,7 @@ func (db *DB) Query(f Fingerprint, label, k int) ([]Match, error) {
 	} else {
 		fill(0, len(idxs))
 	}
+	db.mu.RUnlock()
 	sort.Slice(matches, func(a, b int) bool {
 		if matches[a].Distance != matches[b].Distance {
 			return matches[a].Distance < matches[b].Distance
@@ -172,7 +250,16 @@ func (db *DB) Query(f Fingerprint, label, k int) ([]Match, error) {
 	if len(matches) > k {
 		matches = matches[:k]
 	}
-	return matches, nil
+	out := make([]Match, len(matches))
+	copy(out, matches)
+	*scratch = matches[:cap(matches)]
+	matchPool.Put(scratch)
+	return out, nil
+}
+
+// Search implements Searcher over the exact linear scan.
+func (db *DB) Search(f Fingerprint, label, k int) ([]Match, error) {
+	return db.Query(f, label, k)
 }
 
 // SourcesOf tallies how many of the given matches come from each
@@ -233,6 +320,8 @@ const dbMagic = "CTFP"
 
 // Save serializes the database.
 func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if _, err := w.Write([]byte(dbMagic)); err != nil {
 		return fmt.Errorf("fingerprint: save: %w", err)
 	}
@@ -271,6 +360,9 @@ func LoadDB(r io.Reader) (*DB, error) {
 	}
 	dim := int(binary.LittleEndian.Uint32(hdr))
 	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if dim > 1_000_000 {
+		return nil, fmt.Errorf("fingerprint: load: implausible dimension %d", dim)
+	}
 	db, err := NewDB(dim)
 	if err != nil {
 		return nil, err

@@ -2,25 +2,102 @@ package fingerprint
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// Service exposes the linkage database over HTTP — the "online database"
-// model users query with a misprediction's fingerprint and label (§IV-C).
-// Only fingerprints, labels, sources and hashes are served: original
-// training data never enter the service, so confidentiality is preserved
-// (data are solicited from participants on demand afterwards).
+// Service exposes a nearest-neighbour Searcher over HTTP — the "online
+// database" model users query with a misprediction's fingerprint and
+// label (§IV-C). Only fingerprints, labels, sources and hashes are
+// served: original training data never enter the service, so
+// confidentiality is preserved (data are solicited from participants on
+// demand afterwards).
+//
+// The service is built for production traffic: the backend is
+// hot-swappable under an RWMutex (rebuild an index, swap it in without
+// dropping queries), request sizes are bounded, and per-request counters
+// plus a latency histogram are exported on /stats.
 type Service struct {
-	db *DB
+	mu       sync.RWMutex
+	searcher Searcher
+
+	maxBody  int64
+	maxK     int
+	maxBatch int
+
+	start   time.Time
+	queries atomic.Uint64
+	batches atomic.Uint64
+	errs    atomic.Uint64
+	latency histogram
 }
 
-// NewService wraps a database.
-func NewService(db *DB) *Service { return &Service{db: db} }
+// Service limits. Overridable per service with the With* options.
+const (
+	DefaultMaxBodyBytes = 8 << 20 // generous: one batch of ~1000 dim-2048 fingerprints
+	DefaultMaxK         = 1024
+	DefaultMaxBatch     = 256
+)
 
-// QueryRequest is the JSON body of a POST /query.
+// ServiceOption configures a Service.
+type ServiceOption func(*Service)
+
+// WithMaxBodyBytes bounds the accepted request body size.
+func WithMaxBodyBytes(n int64) ServiceOption { return func(s *Service) { s.maxBody = n } }
+
+// WithMaxK bounds the per-query neighbour count.
+func WithMaxK(k int) ServiceOption { return func(s *Service) { s.maxK = k } }
+
+// WithMaxBatch bounds the number of queries in one batch request.
+func WithMaxBatch(n int) ServiceOption { return func(s *Service) { s.maxBatch = n } }
+
+// NewService serves the linkage database itself (exact linear scan) —
+// the zero-setup path. Production deployments wrap an index backend with
+// NewSearcherService or swap one in with SetSearcher.
+func NewService(db *DB, opts ...ServiceOption) *Service {
+	return NewSearcherService(db, opts...)
+}
+
+// NewSearcherService serves queries through any Searcher backend.
+func NewSearcherService(sr Searcher, opts ...ServiceOption) *Service {
+	s := &Service{
+		searcher: sr,
+		maxBody:  DefaultMaxBodyBytes,
+		maxK:     DefaultMaxK,
+		maxBatch: DefaultMaxBatch,
+		start:    time.Now(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// SetSearcher hot-swaps the serving backend. In-flight queries finish on
+// the backend they started with; new queries see the new one.
+func (s *Service) SetSearcher(sr Searcher) {
+	s.mu.Lock()
+	s.searcher = sr
+	s.mu.Unlock()
+}
+
+// Searcher returns the current serving backend.
+func (s *Service) Searcher() Searcher {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.searcher
+}
+
+// QueryRequest is the JSON body of a POST /query and one element of a
+// batch request.
 type QueryRequest struct {
 	Fingerprint []float32 `json:"fingerprint"`
 	Label       int       `json:"label"`
@@ -42,26 +119,98 @@ type QueryResponse struct {
 	Sources map[string]int `json:"sources"`
 }
 
-// Handler returns the HTTP handler serving POST /query and GET /stats.
+// BatchRequest is the JSON body of a POST /query/batch.
+type BatchRequest struct {
+	Queries []QueryRequest `json:"queries"`
+}
+
+// BatchResult is one element of a BatchResponse: either a response or a
+// per-query error. A bad query in a batch fails alone, not the batch.
+type BatchResult struct {
+	*QueryResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the JSON body of a POST /query/batch reply.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// StatsResponse is the JSON body of GET /stats.
+type StatsResponse struct {
+	Entries       int            `json:"entries"`
+	Dim           int            `json:"dim"`
+	Index         string         `json:"index"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Queries       uint64         `json:"queries"`
+	BatchRequests uint64         `json:"batch_requests"`
+	Errors        uint64         `json:"errors"`
+	LatencyUS     []HistogramBin `json:"latency_us"`
+}
+
+// HistogramBin is one cumulative-style latency bucket: Count queries took
+// at most LeUS microseconds (the final bin has LeUS == -1, meaning +Inf).
+type HistogramBin struct {
+	LeUS  int64  `json:"le_us"`
+	Count uint64 `json:"count"`
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters.
+var histogramBoundsUS = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10_000, 25_000, 50_000, 100_000}
+
+type histogram struct {
+	counts [12]atomic.Uint64 // len(histogramBoundsUS) + overflow
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	for i, b := range histogramBoundsUS {
+		if us <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(histogramBoundsUS)].Add(1)
+}
+
+func (h *histogram) bins() []HistogramBin {
+	out := make([]HistogramBin, len(histogramBoundsUS)+1)
+	for i, b := range histogramBoundsUS {
+		out[i] = HistogramBin{LeUS: b, Count: h.counts[i].Load()}
+	}
+	out[len(histogramBoundsUS)] = HistogramBin{LeUS: -1, Count: h.counts[len(histogramBoundsUS)].Load()}
+	return out
+}
+
+// Handler returns the HTTP handler serving POST /query, POST
+// /query/batch, GET /healthz and GET /stats.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /query/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
 
-func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
-		return
+func (s *Service) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errs.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// runQuery executes one query against the current backend, enforcing the
+// k limit. The read lock covers only the pointer fetch: a snapshot
+// backend is immutable, so queries proceed lock-free while SetSearcher
+// swaps the pointer.
+func (s *Service) runQuery(req QueryRequest) (*QueryResponse, error) {
+	if req.K > s.maxK {
+		return nil, fmt.Errorf("k %d exceeds limit %d", req.K, s.maxK)
 	}
-	matches, err := s.db.Query(Fingerprint(req.Fingerprint), req.Label, req.K)
+	matches, err := s.Searcher().Search(Fingerprint(req.Fingerprint), req.Label, req.K)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return nil, err
 	}
-	resp := QueryResponse{Sources: SourcesOf(matches), Matches: make([]MatchJSON, len(matches))}
+	resp := &QueryResponse{Sources: SourcesOf(matches), Matches: make([]MatchJSON, len(matches))}
 	for i, m := range matches {
 		resp.Matches[i] = MatchJSON{
 			Index:    m.Index,
@@ -71,16 +220,119 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Distance: m.Distance,
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		// Headers already sent; nothing recoverable.
+	return resp, nil
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	s.queries.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.maxBody)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
+	resp, err := s.runQuery(req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.latency.observe(time.Since(started))
+	writeJSON(w, resp)
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	s.batches.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.maxBody)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.fail(w, http.StatusBadRequest, "batch has no queries")
+		return
+	}
+	if len(req.Queries) > s.maxBatch {
+		s.fail(w, http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(req.Queries), s.maxBatch)
+		return
+	}
+	s.queries.Add(uint64(len(req.Queries)))
+	out := BatchResponse{Results: make([]BatchResult, len(req.Queries))}
+	for i, q := range req.Queries {
+		resp, err := s.runQuery(q)
+		if err != nil {
+			// Per-query failures count toward /stats errors just like
+			// failures on /query, even though the batch itself is a 200.
+			s.errs.Add(1)
+			out.Results[i] = BatchResult{Error: err.Error()}
+			continue
+		}
+		out.Results[i] = BatchResult{QueryResponse: resp}
+	}
+	s.latency.observe(time.Since(started))
+	writeJSON(w, out)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok", "entries": s.Searcher().Len()})
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	sr := s.Searcher()
+	writeJSON(w, StatsResponse{
+		Entries:       sr.Len(),
+		Dim:           sr.Dim(),
+		Index:         sr.Kind(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries:       s.queries.Load(),
+		BatchRequests: s.batches.Load(),
+		Errors:        s.errs.Load(),
+		LatencyUS:     s.latency.bins(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]int{"entries": s.db.Len(), "dim": s.db.Dim()})
+	// Encoding failures past the header are unrecoverable; ignore.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Serve runs the service on l until ctx is cancelled, then drains
+// in-flight requests (graceful shutdown) for up to grace. It always
+// closes the listener and returns nil after a clean shutdown.
+func (s *Service) Serve(ctx context.Context, l net.Listener, grace time.Duration) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("fingerprint: shutdown: %w", err)
+		}
+		<-errc // always http.ErrServerClosed after Shutdown
+		return nil
+	}
 }
 
 // Client queries a remote fingerprint service.
@@ -98,24 +350,72 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	return &Client{baseURL: baseURL, http: httpClient}
 }
 
-// Query posts a misprediction's fingerprint and returns the nearest
-// same-class training instances.
-func (c *Client) Query(f Fingerprint, label, k int) (*QueryResponse, error) {
-	body, err := json.Marshal(QueryRequest{Fingerprint: f, Label: label, K: k})
+func (c *Client) post(path string, body, out any) error {
+	payload, err := json.Marshal(body)
 	if err != nil {
-		return nil, fmt.Errorf("fingerprint: encode query: %w", err)
+		return fmt.Errorf("fingerprint: encode query: %w", err)
 	}
-	resp, err := c.http.Post(c.baseURL+"/query", "application/json", bytes.NewReader(body))
+	resp, err := c.http.Post(c.baseURL+path, "application/json", bytes.NewReader(payload))
 	if err != nil {
-		return nil, fmt.Errorf("fingerprint: query: %w", err)
+		return fmt.Errorf("fingerprint: query: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("fingerprint: query status %s", resp.Status)
+		return fmt.Errorf("fingerprint: query status %s", resp.Status)
 	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("fingerprint: decode response: %w", err)
+	}
+	return nil
+}
+
+// Query posts a misprediction's fingerprint and returns the nearest
+// same-class training instances.
+func (c *Client) Query(f Fingerprint, label, k int) (*QueryResponse, error) {
 	var out QueryResponse
+	if err := c.post("/query", QueryRequest{Fingerprint: f, Label: label, K: k}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryBatch posts many queries in one round trip. Results come back in
+// request order; individual failures surface per-result, not as a batch
+// error.
+func (c *Client) QueryBatch(reqs []QueryRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.post("/query/batch", BatchRequest{Queries: reqs}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz reports whether the service at baseURL is up.
+func (c *Client) Healthz() error {
+	resp, err := c.http.Get(c.baseURL + "/healthz")
+	if err != nil {
+		return fmt.Errorf("fingerprint: healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fingerprint: healthz status %s", resp.Status)
+	}
+	return nil
+}
+
+// Stats fetches the service's /stats counters.
+func (c *Client) Stats() (*StatsResponse, error) {
+	resp, err := c.http.Get(c.baseURL + "/stats")
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fingerprint: stats status %s", resp.Status)
+	}
+	var out StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("fingerprint: decode response: %w", err)
+		return nil, fmt.Errorf("fingerprint: decode stats: %w", err)
 	}
 	return &out, nil
 }

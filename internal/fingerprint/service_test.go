@@ -1,0 +1,267 @@
+package fingerprint
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func serviceFixture(t *testing.T, opts ...ServiceOption) (*Service, *httptest.Server, *Client) {
+	t.Helper()
+	db := populatedDB(t, 4, 30, 2, 23)
+	svc := NewService(db, opts...)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, srv, NewClient(srv.URL, srv.Client())
+}
+
+func TestServiceMalformedJSON(t *testing.T) {
+	_, srv, _ := serviceFixture(t)
+	for _, path := range []string{"/query", "/query/batch"} {
+		resp, err := srv.Client().Post(srv.URL+path, "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s malformed JSON: status %s", path, resp.Status)
+		}
+	}
+}
+
+func TestServiceDimensionMismatch(t *testing.T) {
+	_, _, client := serviceFixture(t)
+	if _, err := client.Query(make(Fingerprint, 7), 0, 3); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestServiceOversizedK(t *testing.T) {
+	_, _, client := serviceFixture(t, WithMaxK(10))
+	if _, err := client.Query(make(Fingerprint, 4), 0, 11); err == nil {
+		t.Fatal("k over limit accepted")
+	}
+	if _, err := client.Query(make(Fingerprint, 4), 0, 10); err != nil {
+		t.Fatalf("k at limit rejected: %v", err)
+	}
+}
+
+func TestServiceBodyLimit(t *testing.T) {
+	_, srv, _ := serviceFixture(t, WithMaxBodyBytes(64))
+	body, _ := json.Marshal(QueryRequest{Fingerprint: make([]float32, 40), Label: 0, K: 3})
+	resp, err := srv.Client().Post(srv.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %s", resp.Status)
+	}
+}
+
+func TestServiceBatchPartialFailure(t *testing.T) {
+	_, _, client := serviceFixture(t)
+	rng := rand.New(rand.NewPCG(8, 8))
+	good := QueryRequest{Fingerprint: randomFP(rng, 4), Label: 1, K: 5}
+	badDim := QueryRequest{Fingerprint: make([]float32, 9), Label: 1, K: 5}
+	badK := QueryRequest{Fingerprint: randomFP(rng, 4), Label: 1, K: -1}
+	resp, err := client.QueryBatch([]QueryRequest{good, badDim, badK, good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	for _, i := range []int{0, 3} {
+		r := resp.Results[i]
+		if r.Error != "" || r.QueryResponse == nil || len(r.Matches) != 5 {
+			t.Fatalf("result %d should succeed: %+v", i, r)
+		}
+	}
+	for _, i := range []int{1, 2} {
+		r := resp.Results[i]
+		if r.Error == "" || r.QueryResponse != nil {
+			t.Fatalf("result %d should fail: %+v", i, r)
+		}
+	}
+	// Per-query batch failures count toward the errors stat.
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 2 {
+		t.Fatalf("errors = %d, want 2", st.Errors)
+	}
+}
+
+func TestServiceBatchLimits(t *testing.T) {
+	_, _, client := serviceFixture(t, WithMaxBatch(2))
+	q := QueryRequest{Fingerprint: make([]float32, 4), Label: 0, K: 1}
+	if _, err := client.QueryBatch([]QueryRequest{q, q, q}); err == nil {
+		t.Fatal("batch over limit accepted")
+	}
+	if _, err := client.QueryBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestServiceHealthzAndStats(t *testing.T) {
+	_, _, client := serviceFixture(t)
+	if err := client.Healthz(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	if _, err := client.Query(randomFP(rng, 4), 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.QueryBatch([]QueryRequest{{Fingerprint: randomFP(rng, 4), Label: 0, K: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Query(make(Fingerprint, 1), 0, 3); err == nil {
+		t.Fatal("expected error")
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 30 || st.Dim != 4 || st.Index != "linear" {
+		t.Fatalf("stats identity: %+v", st)
+	}
+	if st.Queries != 3 || st.BatchRequests != 1 || st.Errors != 1 {
+		t.Fatalf("stats counters: queries=%d batches=%d errors=%d", st.Queries, st.BatchRequests, st.Errors)
+	}
+	var observed uint64
+	for _, bin := range st.LatencyUS {
+		observed += bin.Count
+	}
+	// Two successful requests (one single, one batch) were timed.
+	if observed != 2 {
+		t.Fatalf("latency histogram observed %d", observed)
+	}
+}
+
+func TestServiceHotSwap(t *testing.T) {
+	svc, _, client := serviceFixture(t)
+	bigger := populatedDB(t, 4, 60, 2, 29)
+	svc.SetSearcher(bigger)
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 60 {
+		t.Fatalf("hot swap not visible: %d entries", st.Entries)
+	}
+}
+
+// TestServiceConcurrent drives concurrent clients against the handler
+// while the backend hot-swaps and ingest appends — the -race guarantee
+// the daemon relies on.
+func TestServiceConcurrent(t *testing.T) {
+	db := populatedDB(t, 4, 50, 2, 31)
+	svc := NewService(db)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Ingest keeps appending.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(1, 1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = db.Add(Linkage{F: randomFP(rng, 4), Y: 0, S: "late"})
+			}
+		}
+	}()
+	// Hot-swapper replaces the backend.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				svc.SetSearcher(db)
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := NewClient(srv.URL, srv.Client())
+			rng := rand.New(rand.NewPCG(uint64(g), 2))
+			for i := 0; i < 30; i++ {
+				if _, err := client.Query(randomFP(rng, 4), i%2, 5); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := client.QueryBatch([]QueryRequest{
+					{Fingerprint: randomFP(rng, 4), Label: 0, K: 3},
+					{Fingerprint: randomFP(rng, 4), Label: 1, K: 3},
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestServiceGracefulServe exercises Service.Serve: queries succeed while
+// running, cancellation drains and returns nil.
+func TestServiceGracefulServe(t *testing.T) {
+	db := populatedDB(t, 4, 20, 2, 37)
+	svc := NewService(db)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- svc.Serve(ctx, l, 2*time.Second) }()
+
+	client := NewClient("http://"+l.Addr().String(), nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := client.Healthz(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := client.Query(randomFP(rand.New(rand.NewPCG(3, 3)), 4), 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	if err := client.Healthz(); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+}

@@ -1,0 +1,47 @@
+package index
+
+import (
+	"caltrain/internal/fingerprint"
+)
+
+// Flat is the exact backend: per-label contiguous vector storage scanned
+// in full for every query. It returns results identical to DB.Query but
+// replaces the full sort with a bounded top-k max-heap, compares squared
+// distances (one sqrt per returned match instead of one per entry), and
+// fans large classes out across cores.
+type Flat struct {
+	dim     int
+	total   int
+	buckets map[int]*bucket
+}
+
+// NewFlat builds an exact index from a snapshot of the linkage database.
+// Entries added to the database afterwards are not visible; rebuild and
+// hot-swap (Service.SetSearcher) to pick them up.
+func NewFlat(db *fingerprint.DB) *Flat {
+	buckets, total, dim := buildBuckets(db)
+	return &Flat{dim: dim, total: total, buckets: buckets}
+}
+
+// Dim returns the fingerprint dimensionality.
+func (x *Flat) Dim() int { return x.dim }
+
+// Len returns the number of indexed linkages.
+func (x *Flat) Len() int { return x.total }
+
+// Kind implements Searcher.
+func (x *Flat) Kind() string { return "flat" }
+
+// Search returns the k nearest same-label entries to f, ascending by L2
+// distance with ties broken by database index — exactly DB.Query's
+// contract.
+func (x *Flat) Search(f fingerprint.Fingerprint, label, k int) ([]fingerprint.Match, error) {
+	if err := checkQuery(x.dim, f, k); err != nil {
+		return nil, err
+	}
+	b, ok := x.buckets[label]
+	if !ok {
+		return nil, nil
+	}
+	return scanBucket(b, f, x.dim, k).matches(label), nil
+}

@@ -1,0 +1,272 @@
+// Package index provides the nearest-neighbour index backends behind
+// CalTrain's accountability query service (§IV-C). The linkage database
+// (internal/fingerprint.DB) answers queries with an exact per-label linear
+// scan; at production scale — millions of fingerprints, heavy query
+// traffic — that path needs a real index.
+//
+// Two backends implement fingerprint.Searcher:
+//
+//   - Flat: exact. Contiguous per-label vector storage, chunked parallel
+//     scan, squared-distance comparisons with a bounded top-k max-heap and
+//     one final sqrt per returned match. Same results as DB.Query, much
+//     less work per query.
+//   - IVF: approximate. A per-label k-means coarse quantizer partitions
+//     each class into nlist inverted lists; queries scan only the nprobe
+//     closest lists. Recall is tunable via nprobe and measurable with
+//     Recall.
+//
+// Both serialize with Save/Load so a built index persists and reloads
+// alongside LinkageDB.Save.
+package index
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"caltrain/internal/fingerprint"
+)
+
+// Searcher is re-exported for convenience; the canonical definition lives
+// in internal/fingerprint so the HTTP service can accept any backend
+// without an import cycle.
+type Searcher = fingerprint.Searcher
+
+// bucket is one class label's slice of the index: vectors stored
+// contiguously for cache-friendly scanning, provenance kept parallel.
+type bucket struct {
+	n    int
+	vecs []float32 // n*dim, row-major
+	idx  []int32   // database indices
+	src  []string
+	hash [][32]byte
+}
+
+// buildBuckets snapshots the database into per-label buckets.
+func buildBuckets(db *fingerprint.DB) (map[int]*bucket, int, int) {
+	dim := db.Dim()
+	buckets := make(map[int]*bucket)
+	total := 0
+	for _, y := range db.Labels() {
+		idxs := db.ClassIndex(y)
+		b := &bucket{
+			n:    len(idxs),
+			vecs: make([]float32, len(idxs)*dim),
+			idx:  make([]int32, len(idxs)),
+			src:  make([]string, len(idxs)),
+			hash: make([][32]byte, len(idxs)),
+		}
+		for i, dbIdx := range idxs {
+			e := db.Entry(dbIdx)
+			copy(b.vecs[i*dim:(i+1)*dim], e.F)
+			b.idx[i] = int32(dbIdx)
+			b.src[i] = e.S
+			b.hash[i] = e.H
+		}
+		buckets[y] = b
+		total += b.n
+	}
+	return buckets, total, dim
+}
+
+// cand is one scan candidate: squared distance plus position within the
+// bucket. The sqrt is deferred until the final top-k is known.
+type cand struct {
+	d2  float64
+	pos int32
+}
+
+// better reports whether a ranks strictly before b: smaller squared
+// distance, ties broken by database index (bucket positions are in
+// insertion order, so position order is index order).
+func (b *bucket) better(a, c cand) bool {
+	if a.d2 != c.d2 {
+		return a.d2 < c.d2
+	}
+	return a.pos < c.pos
+}
+
+// topK is a bounded max-heap of the k best candidates seen so far;
+// h[0] is the worst kept candidate, so one comparison rejects most of the
+// scan without any heap movement.
+type topK struct {
+	b *bucket
+	k int
+	h []cand
+}
+
+func newTopK(b *bucket, k int) *topK {
+	return &topK{b: b, k: k, h: make([]cand, 0, k)}
+}
+
+// worse is the heap ordering: the root holds the candidate that ranks
+// last.
+func (t *topK) worse(a, c cand) bool { return t.b.better(c, a) }
+
+// threshold returns the current worst kept squared distance, or +Inf
+// while the heap is not yet full.
+func (t *topK) threshold() float64 {
+	if len(t.h) < t.k {
+		return math.Inf(1)
+	}
+	return t.h[0].d2
+}
+
+func (t *topK) consider(c cand) {
+	if len(t.h) < t.k {
+		t.h = append(t.h, c)
+		t.siftUp(len(t.h) - 1)
+		return
+	}
+	if t.b.better(c, t.h[0]) {
+		t.h[0] = c
+		t.siftDown(0)
+	}
+}
+
+func (t *topK) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.worse(t.h[i], t.h[p]) {
+			return
+		}
+		t.h[i], t.h[p] = t.h[p], t.h[i]
+		i = p
+	}
+}
+
+func (t *topK) siftDown(i int) {
+	n := len(t.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		w := i
+		if l < n && t.worse(t.h[l], t.h[w]) {
+			w = l
+		}
+		if r < n && t.worse(t.h[r], t.h[w]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		t.h[i], t.h[w] = t.h[w], t.h[i]
+		i = w
+	}
+}
+
+// merge folds another heap over the same bucket into t.
+func (t *topK) merge(o *topK) {
+	for _, c := range o.h {
+		t.consider(c)
+	}
+}
+
+// matches materializes the heap as sorted fingerprint.Match results,
+// taking the one sqrt per returned row.
+func (t *topK) matches(label int) []fingerprint.Match {
+	cands := append([]cand(nil), t.h...)
+	sort.Slice(cands, func(a, b int) bool { return t.b.better(cands[a], cands[b]) })
+	out := make([]fingerprint.Match, len(cands))
+	for i, c := range cands {
+		out[i] = fingerprint.Match{
+			Index:    int(t.b.idx[c.pos]),
+			Source:   t.b.src[c.pos],
+			Label:    label,
+			Hash:     t.b.hash[c.pos],
+			Distance: math.Sqrt(c.d2),
+		}
+	}
+	return out
+}
+
+// sqDist returns the squared L2 distance between q and the dim-length
+// vector at v.
+func sqDist(q []float32, v []float32) float64 {
+	var s float64
+	for j := range q {
+		d := float64(q[j]) - float64(v[j])
+		s += d * d
+	}
+	return s
+}
+
+// scanRange feeds bucket positions [lo,hi) through the heap.
+func scanRange(t *topK, q []float32, dim int, lo, hi int32) {
+	vecs := t.b.vecs
+	for i := lo; i < hi; i++ {
+		d2 := sqDist(q, vecs[int(i)*dim:int(i+1)*dim])
+		// Equal distance can still win on the index tie-break, so <=.
+		if d2 <= t.threshold() {
+			t.consider(cand{d2: d2, pos: i})
+		}
+	}
+}
+
+// parallelScanThreshold is the work-item count above which a scan fans
+// out across GOMAXPROCS workers.
+const parallelScanThreshold = 8192
+
+// parallelChunks splits [0, n) into one contiguous chunk per worker and
+// runs fn on each concurrently; below parallelScanThreshold it runs
+// fn(0, n) inline.
+func parallelChunks(n int, fn func(lo, hi int)) {
+	if n < parallelScanThreshold {
+		fn(0, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelTopK runs scan over chunks of [0, n), each worker with a
+// private heap over b, and merges them into one result heap.
+func parallelTopK(b *bucket, k, n int, scan func(t *topK, lo, hi int)) *topK {
+	final := newTopK(b, k)
+	if n < parallelScanThreshold {
+		scan(final, 0, n)
+		return final
+	}
+	var mu sync.Mutex
+	parallelChunks(n, func(lo, hi int) {
+		t := newTopK(b, k)
+		scan(t, lo, hi)
+		mu.Lock()
+		final.merge(t)
+		mu.Unlock()
+	})
+	return final
+}
+
+// scanBucket runs the (possibly parallel) top-k scan of one bucket over
+// the positions [0, n).
+func scanBucket(b *bucket, q []float32, dim, k int) *topK {
+	return parallelTopK(b, k, b.n, func(t *topK, lo, hi int) {
+		scanRange(t, q, dim, int32(lo), int32(hi))
+	})
+}
+
+func checkQuery(dim int, f fingerprint.Fingerprint, k int) error {
+	if len(f) != dim {
+		return fmt.Errorf("%w: query has %d dims, index %d", fingerprint.ErrDimMismatch, len(f), dim)
+	}
+	if k <= 0 {
+		return fmt.Errorf("index: k must be positive, got %d", k)
+	}
+	return nil
+}

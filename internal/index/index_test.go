@@ -1,0 +1,392 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"caltrain/internal/fingerprint"
+)
+
+func randomFP(rng *rand.Rand, dim int) fingerprint.Fingerprint {
+	f := make(fingerprint.Fingerprint, dim)
+	var s float64
+	for i := range f {
+		f[i] = float32(rng.NormFloat64())
+		s += float64(f[i]) * float64(f[i])
+	}
+	// L2-normalize like real fingerprints.
+	if s > 0 {
+		inv := float32(1 / sqrt64(s))
+		for i := range f {
+			f[i] *= inv
+		}
+	}
+	return f
+}
+
+func sqrt64(s float64) float64 {
+	x := s
+	for i := 0; i < 40; i++ {
+		x = 0.5 * (x + s/x)
+	}
+	return x
+}
+
+func populatedDB(t testing.TB, dim, n, classes int, seed uint64) *fingerprint.DB {
+	t.Helper()
+	db, err := fingerprint.NewDB(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(seed, 1))
+	for i := 0; i < n; i++ {
+		var h [32]byte
+		h[0], h[1] = byte(i), byte(i>>8)
+		err := db.Add(fingerprint.Linkage{
+			F: randomFP(rng, dim),
+			Y: i % classes,
+			S: []string{"alice", "bob", "carol"}[i%3],
+			H: h,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func sameMatches(t *testing.T, got, want []fingerprint.Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d matches, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Index != want[i].Index {
+			t.Fatalf("match %d: index %d, want %d", i, got[i].Index, want[i].Index)
+		}
+		if got[i].Source != want[i].Source || got[i].Label != want[i].Label || got[i].Hash != want[i].Hash {
+			t.Fatalf("match %d: metadata mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+		if d := got[i].Distance - want[i].Distance; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("match %d: distance %v, want %v", i, got[i].Distance, want[i].Distance)
+		}
+	}
+}
+
+// TestFlatMatchesExact: the heap-select flat index must return exactly
+// what the reference linear scan returns, ordering and ties included.
+func TestFlatMatchesExact(t *testing.T) {
+	db := populatedDB(t, 8, 300, 5, 3)
+	flat := NewFlat(db)
+	if flat.Len() != db.Len() || flat.Dim() != db.Dim() {
+		t.Fatalf("flat size %d/%d, want %d/%d", flat.Len(), flat.Dim(), db.Len(), db.Dim())
+	}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		q := randomFP(rng, 8)
+		label := int(seed % 6) // includes an absent label
+		k := 1 + int(seed%15)
+		want, err1 := db.Query(q, label, k)
+		got, err2 := flat.Search(q, label, k)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Index != want[i].Index {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlatParallelScanMatchesExact exercises the chunked parallel path
+// (class size above parallelScanThreshold).
+func TestFlatParallelScanMatchesExact(t *testing.T) {
+	n := parallelScanThreshold*2 + 17
+	db := populatedDB(t, 16, n, 1, 11)
+	flat := NewFlat(db)
+	rng := rand.New(rand.NewPCG(4, 4))
+	for trial := 0; trial < 5; trial++ {
+		q := randomFP(rng, 16)
+		want, err := db.Query(q, 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := flat.Search(q, 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMatches(t, got, want)
+	}
+}
+
+func TestFlatValidation(t *testing.T) {
+	db := populatedDB(t, 4, 10, 2, 5)
+	flat := NewFlat(db)
+	if _, err := flat.Search(make(fingerprint.Fingerprint, 3), 0, 5); !errors.Is(err, fingerprint.ErrDimMismatch) {
+		t.Fatalf("dim mismatch: %v", err)
+	}
+	if _, err := flat.Search(make(fingerprint.Fingerprint, 4), 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if out, err := flat.Search(make(fingerprint.Fingerprint, 4), 99, 5); err != nil || len(out) != 0 {
+		t.Fatalf("unknown class: %v %v", out, err)
+	}
+}
+
+// TestIVFFullProbeMatchesExact: with nprobe = nlist every list is
+// scanned, so IVF must agree with the exact scan bit-for-bit.
+func TestIVFFullProbeMatchesExact(t *testing.T) {
+	db := populatedDB(t, 8, 500, 3, 7)
+	ivf, err := TrainIVF(db, IVFOptions{Nlist: 8, Nprobe: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 10; trial++ {
+		q := randomFP(rng, 8)
+		label := trial % 3
+		want, err := db.Query(q, label, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ivf.Search(q, label, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMatches(t, got, want)
+	}
+}
+
+// TestIVFRecall asserts the acceptance bar: recall@10 ≥ 0.95 against the
+// exact scan on the same data distribution the scaling bench uses
+// (clustered embeddings, queries from the same mixture — a misprediction's
+// fingerprint lives in the same embedding space as the training set).
+func TestIVFRecall(t *testing.T) {
+	n := 20000
+	if testing.Short() {
+		n = 5000
+	}
+	const nq = 50
+	rng := rand.New(rand.NewPCG(15, 1))
+	fps := SynthFingerprints(rng, n+nq, 64, 64, 0.15)
+	db, err := fingerprint.NewDB(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fps[:n] {
+		if err := db.Add(fingerprint.Linkage{F: f, Y: 0, S: "s"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ivf, err := TrainIVF(db, IVFOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := NewFlat(db)
+	queries := fps[n:]
+	labels := make([]int, len(queries))
+	r, err := Recall(flat, ivf, queries, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("IVF recall@10 = %.3f (n=%d, nprobe=%d)", r, n, ivf.Nprobe())
+	if r < 0.95 {
+		t.Fatalf("recall@10 = %.3f, want ≥ 0.95", r)
+	}
+	// Tightening nprobe trades recall for speed but must stay sane.
+	ivf.SetNprobe(1)
+	r1, err := Recall(flat, ivf, queries, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 > r+1e-9 {
+		t.Fatalf("nprobe=1 recall %.3f exceeds wider probe %.3f", r1, r)
+	}
+}
+
+func TestIVFDegenerateTinyClass(t *testing.T) {
+	db := populatedDB(t, 4, 6, 3, 21) // two entries per class
+	ivf, err := TrainIVF(db, IVFOptions{Nlist: 16, Nprobe: 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randomFP(rand.New(rand.NewPCG(5, 5)), 4)
+	want, _ := db.Query(q, 1, 5)
+	got, err := ivf.Search(q, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMatches(t, got, want)
+}
+
+func TestTrainIVFEmptyDB(t *testing.T) {
+	db, _ := fingerprint.NewDB(4)
+	if _, err := TrainIVF(db, IVFOptions{}); err == nil {
+		t.Fatal("empty DB accepted")
+	}
+}
+
+func TestSaveLoadFlat(t *testing.T) {
+	db := populatedDB(t, 8, 120, 4, 31)
+	flat := NewFlat(db)
+	var buf bytes.Buffer
+	if err := Save(&buf, flat); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind() != "flat" || got.Len() != flat.Len() || got.Dim() != flat.Dim() {
+		t.Fatalf("reloaded %s %d/%d", got.Kind(), got.Len(), got.Dim())
+	}
+	rng := rand.New(rand.NewPCG(6, 6))
+	for trial := 0; trial < 8; trial++ {
+		q := randomFP(rng, 8)
+		want, _ := flat.Search(q, trial%4, 6)
+		out, err := got.Search(q, trial%4, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMatches(t, out, want)
+	}
+}
+
+func TestSaveLoadIVF(t *testing.T) {
+	db := populatedDB(t, 8, 400, 2, 33)
+	ivf, err := TrainIVF(db, IVFOptions{Nlist: 10, Nprobe: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, ivf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, ok := got.(*IVF)
+	if !ok {
+		t.Fatalf("reloaded kind %s", got.Kind())
+	}
+	if re.Nprobe() != ivf.Nprobe() || re.Len() != ivf.Len() || re.Dim() != ivf.Dim() {
+		t.Fatalf("reloaded params nprobe=%d len=%d dim=%d", re.Nprobe(), re.Len(), re.Dim())
+	}
+	rng := rand.New(rand.NewPCG(8, 8))
+	for trial := 0; trial < 8; trial++ {
+		q := randomFP(rng, 8)
+		want, _ := ivf.Search(q, trial%2, 5)
+		out, err := re.Search(q, trial%2, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMatches(t, out, want)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	db := populatedDB(t, 4, 20, 2, 41)
+	var buf bytes.Buffer
+	if err := Save(&buf, NewFlat(db)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Load(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Fatal("truncated index accepted")
+	}
+	bad := append([]byte("XXXX"), raw[4:]...)
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := Save(&buf, populatedDB(t, 4, 2, 1, 1)); err == nil {
+		t.Fatal("serializing the linear DB should be unsupported")
+	}
+}
+
+// TestLoadRejectsHostileHeader: implausible dim/count combinations must
+// error, not panic or exhaust memory on make([]float32, n*dim).
+func TestLoadRejectsHostileHeader(t *testing.T) {
+	hostile := func(dim, nlabels, label, n uint32) []byte {
+		b := []byte(ixMagic)
+		b = append(b, ixVersion, kindFlat)
+		b = binary.LittleEndian.AppendUint32(b, dim)
+		b = binary.LittleEndian.AppendUint32(b, nlabels)
+		b = binary.LittleEndian.AppendUint32(b, label)
+		b = binary.LittleEndian.AppendUint32(b, n)
+		return b
+	}
+	for name, raw := range map[string][]byte{
+		"huge dim":       hostile(2_000_000_000, 1, 0, 10),
+		"huge count":     hostile(64, 1, 0, 2_000_000_000),
+		"overflow n*dim": hostile(1_000_000, 1, 0, 100_000_000),
+		"zero dim":       hostile(0, 1, 0, 10),
+	} {
+		if _, err := Load(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("%s accepted", name)
+		} else {
+			t.Logf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestLoadRejectsInconsistentIVF: structurally valid streams whose IVF
+// metadata lies (nprobe 0, lists not partitioning the class) must error
+// rather than load an index that silently serves wrong results.
+func TestLoadRejectsInconsistentIVF(t *testing.T) {
+	db := populatedDB(t, 4, 30, 1, 51)
+	ivf, err := TrainIVF(db, IVFOptions{Nlist: 3, Nprobe: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, ivf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// The nprobe field sits right after the per-label entry section;
+	// locate it by re-serializing with a different nprobe and diffing.
+	ivf.SetNprobe(1)
+	var buf2 bytes.Buffer
+	if err := Save(&buf2, ivf); err != nil {
+		t.Fatal(err)
+	}
+	raw2 := buf2.Bytes()
+	off := -1
+	for i := range raw {
+		if raw[i] != raw2[i] {
+			off = i
+			break
+		}
+	}
+	if off < 0 {
+		t.Fatal("could not locate nprobe offset")
+	}
+	zeroed := append([]byte(nil), raw...)
+	copy(zeroed[off:off+4], []byte{0, 0, 0, 0})
+	if _, err := Load(bytes.NewReader(zeroed)); err == nil {
+		t.Fatal("nprobe=0 accepted")
+	}
+
+	// Truncating one position from the last list leaves the class
+	// under-covered; corrupt by rewriting the final list length.
+	// Simpler: flip a stored position to duplicate another.
+	dup := append([]byte(nil), raw...)
+	copy(dup[len(dup)-4:], dup[len(dup)-8:len(dup)-4])
+	if _, err := Load(bytes.NewReader(dup)); err == nil {
+		t.Fatal("duplicated list position accepted")
+	}
+}

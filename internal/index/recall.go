@@ -1,0 +1,49 @@
+package index
+
+import (
+	"fmt"
+
+	"caltrain/internal/fingerprint"
+)
+
+// Recall measures recall@k of an approximate backend against an exact
+// one: the mean, over queries, of the fraction of the exact top-k result
+// set the approximate backend retrieves. labels[i] is query i's class.
+// Queries whose exact result set is empty are skipped; if all are, Recall
+// returns 1.
+func Recall(exact, approx Searcher, queries []fingerprint.Fingerprint, labels []int, k int) (float64, error) {
+	if len(queries) != len(labels) {
+		return 0, fmt.Errorf("index: %d queries but %d labels", len(queries), len(labels))
+	}
+	var sum float64
+	var counted int
+	for i, q := range queries {
+		want, err := exact.Search(q, labels[i], k)
+		if err != nil {
+			return 0, fmt.Errorf("index: exact search %d: %w", i, err)
+		}
+		if len(want) == 0 {
+			continue
+		}
+		got, err := approx.Search(q, labels[i], k)
+		if err != nil {
+			return 0, fmt.Errorf("index: approx search %d: %w", i, err)
+		}
+		wantSet := make(map[int]bool, len(want))
+		for _, m := range want {
+			wantSet[m.Index] = true
+		}
+		hit := 0
+		for _, m := range got {
+			if wantSet[m.Index] {
+				hit++
+			}
+		}
+		sum += float64(hit) / float64(len(want))
+		counted++
+	}
+	if counted == 0 {
+		return 1, nil
+	}
+	return sum / float64(counted), nil
+}

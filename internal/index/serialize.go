@@ -1,0 +1,264 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Binary index format, little-endian, mirroring LinkageDB.Save's framing:
+//
+//	"CTIX" | version u8 | kind u8 | dim u32 | nlabels u32
+//	per label (ascending): label i32 | n u32 | n × entry
+//	entry: idx u32 | srclen u16 | src | hash[32] | dim × f32
+//	IVF only: nprobe u32, then per label: nlist u32 |
+//	          nlist×dim × f32 centroids | nlist × (len u32 | len × pos u32)
+const (
+	ixMagic   = "CTIX"
+	ixVersion = 1
+	kindFlat  = 0
+	kindIVF   = 1
+)
+
+const (
+	maxPlausible    = 100_000_000
+	maxPlausibleDim = 1_000_000
+	// maxPlausibleElems bounds any one allocation's float32 count (16GB)
+	// so hostile headers error instead of panicking the loader.
+	maxPlausibleElems = 4_000_000_000
+)
+
+// Save serializes a Flat or IVF index so it persists and reloads
+// alongside LinkageDB.Save.
+func Save(w io.Writer, s Searcher) error {
+	bw := bufio.NewWriter(w)
+	var kind byte
+	var buckets map[int]*bucket
+	var ivf *IVF
+	switch x := s.(type) {
+	case *Flat:
+		kind, buckets = kindFlat, x.buckets
+	case *IVF:
+		kind, ivf = kindIVF, x
+		buckets = make(map[int]*bucket, len(x.labels))
+		for y, c := range x.labels {
+			buckets[y] = c.b
+		}
+	default:
+		return fmt.Errorf("index: save: unsupported backend %q", s.Kind())
+	}
+	dim := s.Dim()
+	if _, err := bw.WriteString(ixMagic); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	bw.WriteByte(ixVersion)
+	bw.WriteByte(kind)
+	labels := make([]int, 0, len(buckets))
+	for y := range buckets {
+		labels = append(labels, y)
+	}
+	sort.Ints(labels)
+	var u32 [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		bw.Write(u32[:])
+	}
+	put(uint32(dim))
+	put(uint32(len(labels)))
+	for _, y := range labels {
+		b := buckets[y]
+		put(uint32(int32(y)))
+		put(uint32(b.n))
+		for i := 0; i < b.n; i++ {
+			if len(b.src[i]) > 65535 {
+				return fmt.Errorf("index: save: source %q… exceeds 65535 bytes", b.src[i][:32])
+			}
+			put(uint32(b.idx[i]))
+			var u16 [2]byte
+			binary.LittleEndian.PutUint16(u16[:], uint16(len(b.src[i])))
+			bw.Write(u16[:])
+			bw.WriteString(b.src[i])
+			bw.Write(b.hash[i][:])
+			for _, v := range b.vecs[i*dim : (i+1)*dim] {
+				put(math.Float32bits(v))
+			}
+		}
+	}
+	if ivf != nil {
+		put(uint32(ivf.Nprobe()))
+		for _, y := range labels {
+			c := ivf.labels[y]
+			put(uint32(c.nlist))
+			for _, v := range c.centroids {
+				put(math.Float32bits(v))
+			}
+			for _, list := range c.lists {
+				put(uint32(len(list)))
+				for _, pos := range list {
+					put(uint32(pos))
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes an index written by Save, returning a *Flat or *IVF.
+func Load(r io.Reader) (Searcher, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+1+1+4+4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	if string(head[:4]) != ixMagic {
+		return nil, fmt.Errorf("index: load: bad magic %q", head[:4])
+	}
+	if head[4] != ixVersion {
+		return nil, fmt.Errorf("index: load: unsupported version %d", head[4])
+	}
+	kind := head[5]
+	dim := int(binary.LittleEndian.Uint32(head[6:]))
+	nlabels := int(binary.LittleEndian.Uint32(head[10:]))
+	if dim <= 0 || dim > maxPlausibleDim || nlabels < 0 || nlabels > maxPlausible {
+		return nil, fmt.Errorf("index: load: implausible header (dim %d, labels %d)", dim, nlabels)
+	}
+	var u32b [4]byte
+	get := func() (uint32, error) {
+		if _, err := io.ReadFull(br, u32b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(u32b[:]), nil
+	}
+	labels := make([]int, nlabels)
+	buckets := make(map[int]*bucket, nlabels)
+	total := 0
+	for li := 0; li < nlabels; li++ {
+		yv, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("index: load label %d: %w", li, err)
+		}
+		y := int(int32(yv))
+		nv, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("index: load label %d: %w", li, err)
+		}
+		n := int(nv)
+		// Bound the product too: make([]float32, n*dim) on hostile
+		// headers must error, not panic or exhaust memory.
+		if n > maxPlausible || n*dim > maxPlausibleElems {
+			return nil, fmt.Errorf("index: load: implausible entry count %d (dim %d)", n, dim)
+		}
+		b := &bucket{
+			n:    n,
+			vecs: make([]float32, n*dim),
+			idx:  make([]int32, n),
+			src:  make([]string, n),
+			hash: make([][32]byte, n),
+		}
+		for i := 0; i < n; i++ {
+			iv, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("index: load entry %d/%d: %w", li, i, err)
+			}
+			b.idx[i] = int32(iv)
+			var u16 [2]byte
+			if _, err := io.ReadFull(br, u16[:]); err != nil {
+				return nil, fmt.Errorf("index: load entry %d/%d: %w", li, i, err)
+			}
+			rest := make([]byte, int(binary.LittleEndian.Uint16(u16[:]))+32+4*dim)
+			if _, err := io.ReadFull(br, rest); err != nil {
+				return nil, fmt.Errorf("index: load entry %d/%d: %w", li, i, err)
+			}
+			slen := len(rest) - 32 - 4*dim
+			b.src[i] = string(rest[:slen])
+			copy(b.hash[i][:], rest[slen:slen+32])
+			fb := rest[slen+32:]
+			for j := 0; j < dim; j++ {
+				b.vecs[i*dim+j] = math.Float32frombits(binary.LittleEndian.Uint32(fb[j*4:]))
+			}
+		}
+		if _, dup := buckets[y]; dup {
+			return nil, fmt.Errorf("index: load: duplicate label %d", y)
+		}
+		labels[li] = y
+		buckets[y] = b
+		total += n
+	}
+	switch kind {
+	case kindFlat:
+		return &Flat{dim: dim, total: total, buckets: buckets}, nil
+	case kindIVF:
+		x := &IVF{dim: dim, total: total, labels: make(map[int]*ivfClass, nlabels)}
+		np, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("index: load nprobe: %w", err)
+		}
+		if np == 0 || np > maxPlausible {
+			return nil, fmt.Errorf("index: load: implausible nprobe %d", np)
+		}
+		x.nprobe.Store(int32(np))
+		for _, y := range labels {
+			b := buckets[y]
+			nl, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("index: load label %d lists: %w", y, err)
+			}
+			nlist := int(nl)
+			if nlist <= 0 || nlist > maxPlausible || nlist*dim > maxPlausibleElems {
+				return nil, fmt.Errorf("index: load: implausible nlist %d (dim %d)", nlist, dim)
+			}
+			c := &ivfClass{b: b, nlist: nlist, centroids: make([]float32, nlist*dim), lists: make([][]int32, nlist)}
+			for j := range c.centroids {
+				v, err := get()
+				if err != nil {
+					return nil, fmt.Errorf("index: load centroids %d: %w", y, err)
+				}
+				c.centroids[j] = math.Float32frombits(v)
+			}
+			// The inverted lists must partition the class: every bucket
+			// position in exactly one list, or searches would silently
+			// drop (or double-count) entries.
+			seen := make([]bool, b.n)
+			covered := 0
+			for ci := 0; ci < nlist; ci++ {
+				ln, err := get()
+				if err != nil {
+					return nil, fmt.Errorf("index: load list %d/%d: %w", y, ci, err)
+				}
+				if int(ln) > b.n {
+					return nil, fmt.Errorf("index: load: list %d/%d longer than class (%d > %d)", y, ci, ln, b.n)
+				}
+				list := make([]int32, ln)
+				for p := range list {
+					pv, err := get()
+					if err != nil {
+						return nil, fmt.Errorf("index: load list %d/%d: %w", y, ci, err)
+					}
+					if int(pv) >= b.n {
+						return nil, fmt.Errorf("index: load: list position %d out of range", pv)
+					}
+					if seen[pv] {
+						return nil, fmt.Errorf("index: load: position %d in two lists of label %d", pv, y)
+					}
+					seen[pv] = true
+					covered++
+					list[p] = int32(pv)
+				}
+				c.lists[ci] = list
+			}
+			if covered != b.n {
+				return nil, fmt.Errorf("index: load: lists of label %d cover %d of %d entries", y, covered, b.n)
+			}
+			x.labels[y] = c
+		}
+		return x, nil
+	default:
+		return nil, fmt.Errorf("index: load: unknown kind %d", kind)
+	}
+}

@@ -1,0 +1,53 @@
+package index
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"caltrain/internal/fingerprint"
+)
+
+// SynthFingerprints generates n L2-normalized synthetic fingerprints
+// drawn from a mixture of modes on the unit sphere — the geometry of real
+// penultimate-layer embeddings, where instances of one class concentrate
+// around a handful of modes (see Figure 7's LLE clusters). sigma is the
+// per-coordinate noise around a mode before renormalization.
+//
+// Recall measurements and the scaling benches use this as the common
+// workload so flat and IVF are compared on representative data.
+func SynthFingerprints(rng *rand.Rand, n, dim, modes int, sigma float64) []fingerprint.Fingerprint {
+	if modes < 1 {
+		modes = 1
+	}
+	centers := make([]float32, modes*dim)
+	for m := 0; m < modes; m++ {
+		c := centers[m*dim : (m+1)*dim]
+		var s float64
+		for j := range c {
+			c[j] = float32(rng.NormFloat64())
+			s += float64(c[j]) * float64(c[j])
+		}
+		inv := float32(1 / math.Sqrt(s))
+		for j := range c {
+			c[j] *= inv
+		}
+	}
+	out := make([]fingerprint.Fingerprint, n)
+	for i := range out {
+		c := centers[rng.IntN(modes)*dim:]
+		f := make(fingerprint.Fingerprint, dim)
+		var s float64
+		for j := range f {
+			f[j] = c[j] + float32(sigma*rng.NormFloat64())
+			s += float64(f[j]) * float64(f[j])
+		}
+		if s > 0 {
+			inv := float32(1 / math.Sqrt(s))
+			for j := range f {
+				f[j] *= inv
+			}
+		}
+		out[i] = f
+	}
+	return out
+}

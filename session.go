@@ -9,6 +9,7 @@ import (
 	"caltrain/internal/attest"
 	"caltrain/internal/core"
 	"caltrain/internal/fingerprint"
+	"caltrain/internal/index"
 	"caltrain/internal/nn"
 	"caltrain/internal/partition"
 	"caltrain/internal/tensor"
@@ -190,14 +191,77 @@ func (s *Session) Fingerprint() (*LinkageDB, error) {
 	return s.db, nil
 }
 
-// QueryHandler returns the HTTP handler of the accountability query
-// service over the session's linkage database. Fingerprint must have been
-// called first.
-func (s *Session) QueryHandler() (http.Handler, error) {
+// QueryService returns the accountability query service over the
+// session's linkage database. Fingerprint must have been called first.
+// By default queries run on an exact Flat index snapshot of the database;
+// pass options to select another backend (WithIVFBackend for approximate
+// search at scale, WithLinearBackend for the reference scan) or to bound
+// request sizes (WithServiceOptions).
+func (s *Session) QueryService(opts ...QueryHandlerOption) (*QueryService, error) {
 	if s.db == nil {
 		return nil, fmt.Errorf("caltrain: run Fingerprint before serving queries")
 	}
-	return fingerprint.NewService(s.db).Handler(), nil
+	cfg := queryHandlerConfig{backend: "flat"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var searcher Searcher
+	switch cfg.backend {
+	case "linear":
+		searcher = s.db
+	case "flat":
+		searcher = index.NewFlat(s.db)
+	case "ivf":
+		ivf, err := index.TrainIVF(s.db, cfg.ivf)
+		if err != nil {
+			return nil, err
+		}
+		searcher = ivf
+	}
+	return fingerprint.NewSearcherService(searcher, cfg.svc...), nil
+}
+
+// QueryHandler returns the HTTP handler of the accountability query
+// service over the session's linkage database. Fingerprint must have been
+// called first. Options select and tune the index backend; see
+// QueryService.
+func (s *Session) QueryHandler(opts ...QueryHandlerOption) (http.Handler, error) {
+	svc, err := s.QueryService(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return svc.Handler(), nil
+}
+
+// queryHandlerConfig collects QueryHandler option state.
+type queryHandlerConfig struct {
+	backend string
+	ivf     IVFOptions
+	svc     []ServiceOption
+}
+
+// QueryHandlerOption configures Session.QueryHandler / QueryService.
+type QueryHandlerOption func(*queryHandlerConfig)
+
+// WithLinearBackend serves queries with the reference linear scan over
+// the live database (no snapshot; new Add calls are visible).
+func WithLinearBackend() QueryHandlerOption {
+	return func(c *queryHandlerConfig) { c.backend = "linear" }
+}
+
+// WithFlatBackend serves queries with the exact Flat index (the default).
+func WithFlatBackend() QueryHandlerOption {
+	return func(c *queryHandlerConfig) { c.backend = "flat" }
+}
+
+// WithIVFBackend serves queries with the approximate IVF index.
+func WithIVFBackend(opts IVFOptions) QueryHandlerOption {
+	return func(c *queryHandlerConfig) { c.backend = "ivf"; c.ivf = opts }
+}
+
+// WithServiceOptions forwards limits to the underlying query service.
+func WithServiceOptions(opts ...ServiceOption) QueryHandlerOption {
+	return func(c *queryHandlerConfig) { c.svc = append(c.svc, opts...) }
 }
 
 // DB returns the linkage database built by Fingerprint (nil before).

@@ -114,6 +114,28 @@ func TestSessionEndToEnd(t *testing.T) {
 	if len(qr.Matches) != 3 {
 		t.Fatalf("query returned %d matches", len(qr.Matches))
 	}
+
+	// The same session serves through an IVF backend with limits.
+	h2, err := sess.QueryHandler(
+		WithIVFBackend(IVFOptions{Nlist: 4, Nprobe: 4, Seed: 9}),
+		WithServiceOptions(WithMaxK(16)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(h2)
+	defer srv2.Close()
+	client := NewQueryClient(srv2.URL)
+	resp2, err := client.Query(f, label, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.Matches) != 3 {
+		t.Fatalf("IVF-backed query returned %d matches", len(resp2.Matches))
+	}
+	if _, err := client.Query(f, label, 17); err == nil {
+		t.Fatal("k over service limit accepted")
+	}
 }
 
 func TestSessionRepartition(t *testing.T) {

@@ -22,6 +22,7 @@ import (
 	"caltrain/internal/dataset"
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/hub"
+	"caltrain/internal/index"
 	"caltrain/internal/nn"
 	"caltrain/internal/sgx"
 	"caltrain/internal/trojan"
@@ -73,6 +74,57 @@ type (
 	Match = fingerprint.Match
 	// Trigger is an optimized trojan patch (for attack reproduction).
 	Trigger = trojan.Trigger
+)
+
+// Accountability serving types (internal/index, internal/fingerprint).
+type (
+	// Searcher is a pluggable nearest-neighbour backend for the query
+	// service: the LinkageDB itself (exact linear scan), a FlatIndex, or
+	// an IVFIndex.
+	Searcher = fingerprint.Searcher
+	// FlatIndex is the exact heap-select index backend.
+	FlatIndex = index.Flat
+	// IVFIndex is the approximate inverted-file index backend.
+	IVFIndex = index.IVF
+	// IVFOptions tunes IVF training and search.
+	IVFOptions = index.IVFOptions
+	// QueryService is the HTTP accountability query service (hot-swappable
+	// backend, batch queries, stats, graceful Serve).
+	QueryService = fingerprint.Service
+	// ServiceOption bounds query service request sizes.
+	ServiceOption = fingerprint.ServiceOption
+	// QueryRequest is one query of a QueryClient batch.
+	QueryRequest = fingerprint.QueryRequest
+)
+
+// NewFlatIndex builds an exact Flat index from a snapshot of db.
+func NewFlatIndex(db *LinkageDB) *FlatIndex { return index.NewFlat(db) }
+
+// TrainIVFIndex trains an approximate IVF index from a snapshot of db.
+func TrainIVFIndex(db *LinkageDB, opts IVFOptions) (*IVFIndex, error) {
+	return index.TrainIVF(db, opts)
+}
+
+// SaveIndex serializes a Flat or IVF index.
+func SaveIndex(w io.Writer, s Searcher) error { return index.Save(w, s) }
+
+// LoadIndex deserializes an index saved with SaveIndex.
+func LoadIndex(r io.Reader) (Searcher, error) { return index.Load(r) }
+
+// IndexRecall measures recall@k of an approximate backend against an
+// exact one on the given queries (labels[i] is query i's class).
+func IndexRecall(exact, approx Searcher, queries []Fingerprint, labels []int, k int) (float64, error) {
+	return index.Recall(exact, approx, queries, labels, k)
+}
+
+// Query service limits, forwarded from internal/fingerprint.
+var (
+	// WithMaxBodyBytes bounds the accepted request body size.
+	WithMaxBodyBytes = fingerprint.WithMaxBodyBytes
+	// WithMaxK bounds the per-query neighbour count.
+	WithMaxK = fingerprint.WithMaxK
+	// WithMaxBatch bounds the number of queries per batch request.
+	WithMaxBatch = fingerprint.WithMaxBatch
 )
 
 // Assessment types.
@@ -136,9 +188,18 @@ func NewLinkageDB(dim int) (*LinkageDB, error) { return fingerprint.NewDB(dim) }
 func LoadLinkageDB(r io.Reader) (*LinkageDB, error) { return fingerprint.LoadDB(r) }
 
 // NewQueryService returns the HTTP handler of the accountability query
-// service over a linkage database.
-func NewQueryService(db *LinkageDB) http.Handler {
-	return fingerprint.NewService(db).Handler()
+// service over a linkage database (exact linear scan backend). For
+// production serving build an index and use NewSearcherQueryService, or
+// run cmd/caltrain-serve.
+func NewQueryService(db *LinkageDB, opts ...ServiceOption) http.Handler {
+	return fingerprint.NewService(db, opts...).Handler()
+}
+
+// NewSearcherQueryService returns the accountability query service over
+// any Searcher backend. The service's backend can be hot-swapped with
+// SetSearcher while serving.
+func NewSearcherQueryService(s Searcher, opts ...ServiceOption) *QueryService {
+	return fingerprint.NewSearcherService(s, opts...)
 }
 
 // QueryClient queries a remote accountability service.
