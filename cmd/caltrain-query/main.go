@@ -61,7 +61,7 @@ func run() error {
 			Handler:           caltrain.NewQueryService(db),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
-		fmt.Printf("serving accountability queries on %s (POST /query, GET /stats)\n", *addr)
+		fmt.Printf("serving accountability queries on %s (POST /query, POST /query/batch, GET /healthz, GET /stats)\n", *addr)
 		return srv.ListenAndServe()
 	}
 

@@ -1,0 +1,166 @@
+// Command caltrain-router is the scatter-gather front of a sharded
+// accountability deployment: it loads the shard map written by
+// caltrain-shard, fans POST /query/batch out to the daemons owning each
+// query's label, gathers and reassembles the per-query top-k results,
+// and serves the exact single-daemon protocol — fingerprint.Client and
+// caltrain-query work unchanged against it.
+//
+//	caltrain-router -map shards/shardmap.ctsm -addr :8790 \
+//	    -shard 0=localhost:9000,replica-b:9000 \
+//	    -shard 1=localhost:9001 \
+//	    -shard 2=localhost:9002 -shard 3=localhost:9003
+//
+// Each -shard flag maps one shard ID to its replica addresses in
+// preference order. The router prefers healthy replicas, puts failed
+// ones on an exponential cooldown (-cooldown), bounds every shard call
+// with -timeout, and degrades gracefully: when a shard's every replica
+// is down, a batch still returns the other shards' results, with the
+// dead shard named in unreachable_shards and per-result errors on its
+// queries.
+//
+// Endpoints:
+//
+//	POST /query        routed to the owning shard (502 if it is down)
+//	POST /query/batch  scattered across shards, partial on failures
+//	GET  /healthz      200 when every shard has a live replica, else 503
+//	GET  /stats        router counters + per-shard stats + rolled-up
+//	                   shard latency histograms
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/shard"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "caltrain-router:", err)
+		os.Exit(1)
+	}
+}
+
+// shardFlags accumulates repeated -shard ID=addr,addr flags.
+type shardFlags map[int][]string
+
+func (s shardFlags) String() string {
+	parts := make([]string, 0, len(s))
+	for id, addrs := range s {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, strings.Join(addrs, ",")))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+func (s shardFlags) Set(v string) error {
+	id, addrs, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want ID=addr[,addr...], got %q", v)
+	}
+	sid, err := strconv.Atoi(id)
+	if err != nil || sid < 0 {
+		return fmt.Errorf("bad shard id %q", id)
+	}
+	if _, dup := s[sid]; dup {
+		return fmt.Errorf("shard %d given twice", sid)
+	}
+	for _, a := range strings.Split(addrs, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return fmt.Errorf("empty replica address for shard %d", sid)
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		s[sid] = append(s[sid], a)
+	}
+	return nil
+}
+
+func run(parent context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("caltrain-router", flag.ContinueOnError)
+	shards := shardFlags{}
+	var (
+		mapPath  = fs.String("map", "shards/shardmap.ctsm", "shard map written by caltrain-shard")
+		addr     = fs.String("addr", ":8790", "listen address")
+		timeout  = fs.Duration("timeout", shard.DefaultShardTimeout, "per-shard call timeout (all replica attempts combined)")
+		cooldown = fs.Duration("cooldown", shard.DefaultReplicaCooldown, "base cooldown for a failed replica (grows exponentially)")
+		maxBody  = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
+		maxBatch = fs.Int("max-batch", 256, "queries per batch request limit")
+		grace    = fs.Duration("grace", 10*time.Second, "shutdown drain timeout")
+		buckets  = fs.String("latency-buckets", "", "comma-separated router latency bucket bounds as durations (e.g. 5ms,25ms,100ms,1s); empty = network-scale defaults")
+	)
+	fs.Var(shards, "shard", "shard replicas as ID=addr[,addr...]; repeat per shard")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mf, err := os.Open(*mapPath)
+	if err != nil {
+		return err
+	}
+	m, err := shard.LoadMap(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	replicas := make([][]shard.Replica, m.NumShards())
+	for sid := range replicas {
+		addrs, ok := shards[sid]
+		if !ok {
+			return fmt.Errorf("shard map has %d shards but -shard %d=... is missing", m.NumShards(), sid)
+		}
+		for _, a := range addrs {
+			replicas[sid] = append(replicas[sid], shard.NewHTTPReplica(a, nil))
+		}
+	}
+	for sid := range shards {
+		if sid >= m.NumShards() {
+			return fmt.Errorf("-shard %d given but the map has only %d shards", sid, m.NumShards())
+		}
+	}
+
+	opts := []shard.RouterOption{
+		shard.WithShardTimeout(*timeout),
+		shard.WithReplicaCooldown(*cooldown),
+		shard.WithRouterMaxBodyBytes(*maxBody),
+		shard.WithRouterMaxBatch(*maxBatch),
+	}
+	if *buckets != "" {
+		bounds, err := fingerprint.ParseLatencyBuckets(*buckets)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, shard.WithRouterLatencyBuckets(bounds))
+	}
+	router, err := shard.NewRouter(m, replicas, opts...)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(parent, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "routing accountability queries on %s across %d shards (%s map; POST /query, POST /query/batch, GET /healthz, GET /stats)\n",
+		l.Addr(), m.NumShards(), m.Strategy())
+	if err := router.Serve(ctx, l, *grace); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "drained, bye")
+	return nil
+}

@@ -58,6 +58,7 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		maxK      = fs.Int("max-k", fingerprint.DefaultMaxK, "per-query neighbour count limit")
 		maxBatch  = fs.Int("max-batch", fingerprint.DefaultMaxBatch, "queries per batch request limit")
 		grace     = fs.Duration("grace", 10*time.Second, "shutdown drain timeout")
+		buckets   = fs.String("latency-buckets", "", "comma-separated /stats latency bucket bounds as durations (e.g. 100us,1ms,10ms); empty = sub-ms defaults")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,11 +114,19 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "index saved to %s\n", *saveIndex)
 	}
 
-	svc := fingerprint.NewSearcherService(searcher,
+	svcOpts := []fingerprint.ServiceOption{
 		fingerprint.WithMaxBodyBytes(*maxBody),
 		fingerprint.WithMaxK(*maxK),
 		fingerprint.WithMaxBatch(*maxBatch),
-	)
+	}
+	if *buckets != "" {
+		bounds, err := fingerprint.ParseLatencyBuckets(*buckets)
+		if err != nil {
+			return err
+		}
+		svcOpts = append(svcOpts, fingerprint.WithLatencyBuckets(bounds))
+	}
+	svc := fingerprint.NewSearcherService(searcher, svcOpts...)
 
 	ctx, stop := signal.NotifyContext(parent, syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"sync"
 	"syscall"
 	"testing"
@@ -235,7 +236,9 @@ func TestServeRejectsConflictingFlags(t *testing.T) {
 func TestServeRejectsMismatchedIndex(t *testing.T) {
 	dbPath := writeTestDB(t, 40)
 	otherDB := writeTestDB(t, 50)
-	// Build an index over a different database and try to serve with it.
+	// Build an index over a different database and try to serve with it:
+	// the daemon must refuse with a message naming both entry counts, not
+	// silently serve results that point at the wrong linkages.
 	f, err := os.Open(otherDB)
 	if err != nil {
 		t.Fatal(err)
@@ -258,4 +261,49 @@ func TestServeRejectsMismatchedIndex(t *testing.T) {
 	if err == nil {
 		t.Fatal("mismatched index accepted")
 	}
+	msg := err.Error()
+	for _, want := range []string{"does not match database", "50 entries", "40 entries"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("mismatch error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestServeRejectsCorruptIndex: -load-index against a file with an
+// unsupported version byte, a foreign magic, or a truncated body must
+// fail with a clear loader error instead of serving wrong results.
+func TestServeRejectsCorruptIndex(t *testing.T) {
+	dbPath := writeTestDB(t, 40)
+	f, err := os.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := fingerprint.LoadDB(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := index.Save(&good, index.NewFlat(db)); err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte, wantMsg string) {
+		t.Helper()
+		blob := mutate(append([]byte(nil), good.Bytes()...))
+		idxPath := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(idxPath, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := run(context.Background(), []string{"-db", dbPath, "-load-index", idxPath}, &syncBuffer{})
+		if err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+		if !strings.Contains(err.Error(), wantMsg) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantMsg)
+		}
+	}
+	corrupt("future-version.idx", func(b []byte) []byte { b[4] = 99; return b }, "unsupported version 99")
+	corrupt("bad-magic.idx", func(b []byte) []byte { copy(b, "NOPE"); return b }, "bad magic")
+	corrupt("truncated.idx", func(b []byte) []byte { return b[:len(b)/2] }, "load")
 }

@@ -1,0 +1,154 @@
+// Sharded accountability serving: the distributed query tier end to
+// end (§IV-C at scale).
+//
+// One linkage database outgrows one caltrain-serve process at VGG-Face
+// scale (§VI: 2.6M entries). This walkthrough (run it with
+// "go run ./examples/shardedserving") builds the full deployment in
+// miniature, exactly the shape caltrain-shard + caltrain-serve +
+// caltrain-router produce in production:
+//
+//  1. a linkage database of clustered fingerprints over many labels,
+//  2. a hash shard map splitting its labels across 3 shards,
+//  3. one query daemon per shard on a loopback listener,
+//  4. a scatter-gather router fanning batches across them, and
+//  5. the moment that justifies the architecture: one shard dies and a
+//     batch still answers, partial, naming the dead shard.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net"
+	"time"
+
+	"caltrain"
+)
+
+func main() {
+	// 1. The linkage database a training session deposits: here 6000
+	// synthetic fingerprints over 30 class labels.
+	const dim, labels, entries = 32, 30, 6000
+	db, err := caltrain.NewLinkageDB(dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(42, 1))
+	sources := []string{"alice", "bob", "carol"}
+	for i := 0; i < entries; i++ {
+		f := make(caltrain.Fingerprint, dim)
+		y := i % labels
+		for j := range f {
+			f[j] = float32(y) + 0.1*rng.Float32() // crude per-class clustering
+		}
+		if err := db.Add(caltrain.Linkage{F: f, Y: y, S: sources[i%len(sources)]}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("linkage database: %d entries, %d labels, dim %d\n", db.Len(), labels, dim)
+
+	// 2. Split it. In production: caltrain-shard -db linkage.db -shards 3.
+	shardMap, err := caltrain.NewHashShardMap(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := caltrain.SplitDB(db, shardMap)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. One query daemon per shard, each over its own exact Flat index.
+	// In production these are caltrain-serve processes on separate hosts.
+	ctx := context.Background()
+	shardCtx := make([]context.CancelFunc, len(parts))
+	replicas := make([][]caltrain.ShardReplica, len(parts))
+	for i, part := range parts {
+		svc := caltrain.NewSearcherQueryService(caltrain.NewFlatIndex(part))
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		sctx, cancel := context.WithCancel(ctx)
+		shardCtx[i] = cancel
+		go func() { _ = svc.Serve(sctx, l, time.Second) }()
+		fmt.Printf("shard %d: %d entries on %s\n", i, part.Len(), l.Addr())
+		replicas[i] = []caltrain.ShardReplica{
+			caltrain.NewHTTPShardReplica("http://"+l.Addr().String(), nil),
+		}
+	}
+
+	// 4. The scatter-gather router, serving the single-daemon protocol.
+	// In production: caltrain-router -map shardmap.ctsm -shard 0=... .
+	router, err := caltrain.NewShardRouter(shardMap, replicas,
+		caltrain.WithShardTimeout(2*time.Second),
+		caltrain.WithReplicaCooldown(100*time.Millisecond),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rctx, stopRouter := context.WithCancel(ctx)
+	defer stopRouter()
+	go func() { _ = router.Serve(rctx, rl, time.Second) }()
+	fmt.Printf("router: %d shards behind %s\n\n", router.NumShards(), rl.Addr())
+
+	// A model user investigates mispredictions: one batch, many labels —
+	// the unchanged single-daemon client, pointed at the router.
+	client := caltrain.NewQueryClient("http://" + rl.Addr().String())
+	waitHealthy(client)
+	batch := make([]caltrain.QueryRequest, 6)
+	for i := range batch {
+		batch[i] = caltrain.QueryRequest{Fingerprint: db.Entry(i).F, Label: i % labels, K: 3}
+	}
+	resp, err := client.QueryBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, res := range resp.Results {
+		fmt.Printf("query %d (label %2d): top source %s at distance %.4f\n",
+			i, batch[i].Label, res.Matches[0].Source, res.Matches[0].Distance)
+	}
+
+	// Aggregated observability: /stats sums shard entries and rolls up
+	// their latency histograms beside the router's own (network-scale
+	// buckets).
+	st, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrouter /stats: index=%s entries=%d queries=%d\n", st.Index, st.Entries, st.Queries)
+
+	// 5. Chaos: kill shard 1's daemon. Batches degrade to partial
+	// results that name the dead shard — investigations on the surviving
+	// labels continue.
+	shardCtx[1]()
+	time.Sleep(150 * time.Millisecond)
+	fmt.Println("\nshard 1 killed; same batch again:")
+	resp, err = client.QueryBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, res := range resp.Results {
+		if res.Error != "" {
+			fmt.Printf("query %d (label %2d): ERROR %.60s…\n", i, batch[i].Label, res.Error)
+			continue
+		}
+		fmt.Printf("query %d (label %2d): top source %s at distance %.4f\n",
+			i, batch[i].Label, res.Matches[0].Source, res.Matches[0].Distance)
+	}
+	fmt.Printf("partial batch, unreachable: %v\n", resp.UnreachableShards)
+}
+
+func waitHealthy(client *caltrain.QueryClient) {
+	deadline := time.Now().Add(5 * time.Second)
+	for client.Healthz() != nil {
+		if time.Now().After(deadline) {
+			log.Fatal("router never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -126,6 +126,86 @@ func TestIndexServingFacade(t *testing.T) {
 	}
 }
 
+// TestShardedServingFacade drives the distributed serving surface end
+// to end through the public API: shard-map round trip, SplitDB, local
+// replicas behind a router, scatter-gather batches, and aggregated
+// stats.
+func TestShardedServingFacade(t *testing.T) {
+	db, err := newTestDB(16, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewHashShardMap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveShardMap(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m, err = LoadShardMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Strategy() != ShardByHash || m.NumShards() != 2 {
+		t.Fatalf("map round trip: %v/%d", m.Strategy(), m.NumShards())
+	}
+	parts, err := SplitDB(db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas := make([][]ShardReplica, len(parts))
+	for i, p := range parts {
+		replicas[i] = []ShardReplica{NewLocalShardReplica("local", NewSearcherQueryService(NewFlatIndex(p)))}
+	}
+	rt, err := NewShardRouter(m, replicas, WithRouterMaxBatch(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	client := NewQueryClient(srv.URL)
+
+	single := NewFlatIndex(db)
+	reqs := make([]QueryRequest, 9)
+	for i := range reqs {
+		f := make(Fingerprint, 16)
+		f[i%16] = 1
+		reqs[i] = QueryRequest{Fingerprint: f, Label: i % 3, K: 4}
+	}
+	resp, err := client.QueryBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.UnreachableShards) != 0 {
+		t.Fatalf("unreachable shards: %v", resp.UnreachableShards)
+	}
+	for i, res := range resp.Results {
+		if res.Error != "" || len(res.Matches) != 4 {
+			t.Fatalf("routed result %d: %+v", i, res)
+		}
+		want, err := single.Search(reqs[i].Fingerprint, reqs[i].Label, reqs[i].K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if res.Matches[j].Distance != want[j].Distance || res.Matches[j].Source != want[j].Source {
+				t.Fatalf("routed result %d match %d diverges", i, j)
+			}
+		}
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Index != "router" || st.Entries != db.Len() {
+		t.Fatalf("router stats through facade client: %+v", st)
+	}
+	if err := client.Healthz(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func newTestDB(dim, n int) (*LinkageDB, error) {
 	db, err := NewLinkageDB(dim)
 	if err != nil {

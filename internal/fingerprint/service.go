@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,15 +31,16 @@ type Service struct {
 	mu       sync.RWMutex
 	searcher Searcher
 
-	maxBody  int64
-	maxK     int
-	maxBatch int
+	maxBody   int64
+	maxK      int
+	maxBatch  int
+	bucketsUS []int64
 
 	start   time.Time
 	queries atomic.Uint64
 	batches atomic.Uint64
 	errs    atomic.Uint64
-	latency histogram
+	latency *Histogram
 }
 
 // Service limits. Overridable per service with the With* options.
@@ -59,6 +62,16 @@ func WithMaxK(k int) ServiceOption { return func(s *Service) { s.maxK = k } }
 // WithMaxBatch bounds the number of queries in one batch request.
 func WithMaxBatch(n int) ServiceOption { return func(s *Service) { s.maxBatch = n } }
 
+// WithLatencyBuckets replaces the latency histogram's bucket upper bounds
+// (microseconds, ascending). The defaults (DefaultLatencyBucketsUS) are
+// tuned for sub-millisecond local serving; a service fronting network
+// hops — a scatter-gather router, a WAN deployment — should pass bounds
+// matching its latency regime so observations don't all land in the
+// overflow bucket.
+func WithLatencyBuckets(boundsUS []int64) ServiceOption {
+	return func(s *Service) { s.bucketsUS = boundsUS }
+}
+
 // NewService serves the linkage database itself (exact linear scan) —
 // the zero-setup path. Production deployments wrap an index backend with
 // NewSearcherService or swap one in with SetSearcher.
@@ -69,15 +82,17 @@ func NewService(db *DB, opts ...ServiceOption) *Service {
 // NewSearcherService serves queries through any Searcher backend.
 func NewSearcherService(sr Searcher, opts ...ServiceOption) *Service {
 	s := &Service{
-		searcher: sr,
-		maxBody:  DefaultMaxBodyBytes,
-		maxK:     DefaultMaxK,
-		maxBatch: DefaultMaxBatch,
-		start:    time.Now(),
+		searcher:  sr,
+		maxBody:   DefaultMaxBodyBytes,
+		maxK:      DefaultMaxK,
+		maxBatch:  DefaultMaxBatch,
+		bucketsUS: DefaultLatencyBucketsUS,
+		start:     time.Now(),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.latency = NewHistogram(s.bucketsUS)
 	return s
 }
 
@@ -134,6 +149,11 @@ type BatchResult struct {
 // BatchResponse is the JSON body of a POST /query/batch reply.
 type BatchResponse struct {
 	Results []BatchResult `json:"results"`
+	// UnreachableShards names shards a routed batch could not reach
+	// (internal/shard): their queries carry per-result errors and the
+	// batch is partial rather than failed. Always empty when a single
+	// daemon answers directly.
+	UnreachableShards []string `json:"unreachable_shards,omitempty"`
 }
 
 // StatsResponse is the JSON body of GET /stats.
@@ -155,30 +175,115 @@ type HistogramBin struct {
 	Count uint64 `json:"count"`
 }
 
-// histogram is a fixed-bucket latency histogram with atomic counters.
-var histogramBoundsUS = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10_000, 25_000, 50_000, 100_000}
+// DefaultLatencyBucketsUS is the default latency-bucket upper bounds
+// (microseconds), tuned for sub-millisecond in-process index scans. Treat
+// it as read-only; pass WithLatencyBuckets to change a service's bounds.
+var DefaultLatencyBucketsUS = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10_000, 25_000, 50_000, 100_000}
 
-type histogram struct {
-	counts [12]atomic.Uint64 // len(histogramBoundsUS) + overflow
+// Histogram is a fixed-bucket latency histogram with lock-free atomic
+// counters, safe for concurrent Observe and Bins.
+type Histogram struct {
+	boundsUS []int64
+	counts   []atomic.Uint64 // len(boundsUS) + overflow
 }
 
-func (h *histogram) observe(d time.Duration) {
+// NewHistogram creates a histogram with the given bucket upper bounds
+// (microseconds). Bounds are sorted, deduplicated, and stripped of
+// non-positive values; nil or empty falls back to
+// DefaultLatencyBucketsUS.
+func NewHistogram(boundsUS []int64) *Histogram {
+	cleaned := make([]int64, 0, len(boundsUS))
+	for _, b := range boundsUS {
+		if b > 0 {
+			cleaned = append(cleaned, b)
+		}
+	}
+	if len(cleaned) == 0 {
+		cleaned = append(cleaned, DefaultLatencyBucketsUS...)
+	}
+	sort.Slice(cleaned, func(i, j int) bool { return cleaned[i] < cleaned[j] })
+	dedup := cleaned[:1]
+	for _, b := range cleaned[1:] {
+		if b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{boundsUS: dedup, counts: make([]atomic.Uint64, len(dedup)+1)}
+}
+
+// Observe records one duration in the owning bucket.
+func (h *Histogram) Observe(d time.Duration) {
 	us := d.Microseconds()
-	for i, b := range histogramBoundsUS {
+	for i, b := range h.boundsUS {
 		if us <= b {
 			h.counts[i].Add(1)
 			return
 		}
 	}
-	h.counts[len(histogramBoundsUS)].Add(1)
+	h.counts[len(h.boundsUS)].Add(1)
 }
 
-func (h *histogram) bins() []HistogramBin {
-	out := make([]HistogramBin, len(histogramBoundsUS)+1)
-	for i, b := range histogramBoundsUS {
+// Bins snapshots the histogram as cumulative-style buckets, the overflow
+// bucket (LeUS == -1) last.
+func (h *Histogram) Bins() []HistogramBin {
+	out := make([]HistogramBin, len(h.boundsUS)+1)
+	for i, b := range h.boundsUS {
 		out[i] = HistogramBin{LeUS: b, Count: h.counts[i].Load()}
 	}
-	out[len(histogramBoundsUS)] = HistogramBin{LeUS: -1, Count: h.counts[len(histogramBoundsUS)].Load()}
+	out[len(h.boundsUS)] = HistogramBin{LeUS: -1, Count: h.counts[len(h.boundsUS)].Load()}
+	return out
+}
+
+// ParseLatencyBuckets turns a comma-separated list of durations
+// ("250us,1ms,5ms,1s") into ascending microsecond bucket bounds — the
+// format of the serving daemons' -latency-buckets flag.
+func ParseLatencyBuckets(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("fingerprint: bad latency bucket %q: %w", part, err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("fingerprint: latency bucket %q is not positive", part)
+		}
+		out = append(out, d.Microseconds())
+	}
+	if len(out) == 0 {
+		return nil, errors.New("fingerprint: no latency buckets given")
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// MergeBins sums histogram bins across services bucket-by-bucket — how a
+// router rolls shard-reported latency histograms into one aggregate. Sets
+// with differing bounds merge into the union of bounds, each count kept
+// at its own upper bound: the "at most LeUS" reading stays true, but a
+// count from a coarser histogram keeps its coarse bound rather than
+// being redistributed (sub-bound resolution cannot be recovered). The
+// roll-up is exact when every service shares one bounds configuration —
+// run all shard daemons of a deployment with the same -latency-buckets.
+// The overflow bucket (LeUS == -1) stays last.
+func MergeBins(sets ...[]HistogramBin) []HistogramBin {
+	byBound := make(map[int64]uint64)
+	for _, set := range sets {
+		for _, bin := range set {
+			byBound[bin.LeUS] += bin.Count
+		}
+	}
+	bounds := make([]int64, 0, len(byBound))
+	for b := range byBound {
+		if b != -1 {
+			bounds = append(bounds, b)
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	out := make([]HistogramBin, 0, len(bounds)+1)
+	for _, b := range bounds {
+		out = append(out, HistogramBin{LeUS: b, Count: byBound[b]})
+	}
+	out = append(out, HistogramBin{LeUS: -1, Count: byBound[-1]})
 	return out
 }
 
@@ -242,13 +347,35 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.latency.observe(time.Since(started))
+	s.latency.Observe(time.Since(started))
 	writeJSON(w, resp)
 }
 
-func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+// RunBatch executes a batch of queries against the current backend,
+// bypassing HTTP — the in-process path a local shard replica serves. Each
+// query succeeds or fails independently; counters and the latency
+// histogram are updated exactly as for a POST /query/batch.
+func (s *Service) RunBatch(reqs []QueryRequest) *BatchResponse {
 	started := time.Now()
 	s.batches.Add(1)
+	s.queries.Add(uint64(len(reqs)))
+	out := &BatchResponse{Results: make([]BatchResult, len(reqs))}
+	for i, q := range reqs {
+		resp, err := s.runQuery(q)
+		if err != nil {
+			// Per-query failures count toward /stats errors just like
+			// failures on /query, even though the batch itself is a 200.
+			s.errs.Add(1)
+			out.Results[i] = BatchResult{Error: err.Error()}
+			continue
+		}
+		out.Results[i] = BatchResult{QueryResponse: resp}
+	}
+	s.latency.Observe(time.Since(started))
+	return out
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -268,21 +395,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(req.Queries), s.maxBatch)
 		return
 	}
-	s.queries.Add(uint64(len(req.Queries)))
-	out := BatchResponse{Results: make([]BatchResult, len(req.Queries))}
-	for i, q := range req.Queries {
-		resp, err := s.runQuery(q)
-		if err != nil {
-			// Per-query failures count toward /stats errors just like
-			// failures on /query, even though the batch itself is a 200.
-			s.errs.Add(1)
-			out.Results[i] = BatchResult{Error: err.Error()}
-			continue
-		}
-		out.Results[i] = BatchResult{QueryResponse: resp}
-	}
-	s.latency.observe(time.Since(started))
-	writeJSON(w, out)
+	writeJSON(w, s.RunBatch(req.Queries))
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -290,8 +403,14 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.StatsSnapshot())
+}
+
+// StatsSnapshot returns the same counters GET /stats serves — the
+// in-process path a local shard replica reports through.
+func (s *Service) StatsSnapshot() StatsResponse {
 	sr := s.Searcher()
-	writeJSON(w, StatsResponse{
+	return StatsResponse{
 		Entries:       sr.Len(),
 		Dim:           sr.Dim(),
 		Index:         sr.Kind(),
@@ -299,12 +418,20 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Queries:       s.queries.Load(),
 		BatchRequests: s.batches.Load(),
 		Errors:        s.errs.Load(),
-		LatencyUS:     s.latency.bins(),
-	})
+		LatencyUS:     s.latency.Bins(),
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	WriteJSON(w, http.StatusOK, v)
+}
+
+// WriteJSON writes v as a JSON response body with the given status code
+// — the response writer shared by the query service and the shard
+// router.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	// Encoding failures past the header are unrecoverable; ignore.
 	_ = json.NewEncoder(w).Encode(v)
 }
@@ -313,8 +440,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 // in-flight requests (graceful shutdown) for up to grace. It always
 // closes the listener and returns nil after a clean shutdown.
 func (s *Service) Serve(ctx context.Context, l net.Listener, grace time.Duration) error {
+	return ServeHandler(ctx, l, s.Handler(), grace)
+}
+
+// ServeHandler runs any HTTP handler on l with the serving tier's
+// production defaults (header/read/write timeouts) until ctx is
+// cancelled, then drains in-flight requests for up to grace. Both the
+// query daemon (Service.Serve) and the shard router use it.
+func ServeHandler(ctx context.Context, l net.Listener, h http.Handler, grace time.Duration) error {
 	srv := &http.Server{
-		Handler:           s.Handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,

@@ -1,0 +1,633 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"caltrain/internal/fingerprint"
+)
+
+// Replica is one serving endpoint of a shard: a process (or in-process
+// service) holding that shard's linkage database. A shard may have
+// several replicas serving identical data; the router prefers healthy
+// ones and fails over between them.
+type Replica interface {
+	// QueryBatch executes a sub-batch against the replica.
+	QueryBatch(ctx context.Context, reqs []fingerprint.QueryRequest) (*fingerprint.BatchResponse, error)
+	// Healthz reports liveness.
+	Healthz(ctx context.Context) error
+	// Stats fetches the replica's serving counters.
+	Stats(ctx context.Context) (*fingerprint.StatsResponse, error)
+	// Addr names the replica for health reports and error messages.
+	Addr() string
+}
+
+// HTTPReplica reaches a shard daemon (caltrain-serve) over HTTP using
+// the standard query protocol.
+type HTTPReplica struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPReplica constructs a replica for the daemon at baseURL.
+// httpClient may be nil for http.DefaultClient.
+func NewHTTPReplica(baseURL string, httpClient *http.Client) *HTTPReplica {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &HTTPReplica{base: baseURL, client: httpClient}
+}
+
+// Addr returns the replica's base URL.
+func (r *HTTPReplica) Addr() string { return r.base }
+
+// QueryBatch posts a sub-batch to the daemon's /query/batch.
+func (r *HTTPReplica) QueryBatch(ctx context.Context, reqs []fingerprint.QueryRequest) (*fingerprint.BatchResponse, error) {
+	payload, err := json.Marshal(fingerprint.BatchRequest{Queries: reqs})
+	if err != nil {
+		return nil, fmt.Errorf("shard: encode batch: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/query/batch", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out fingerprint.BatchResponse
+	if err := r.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz checks the daemon's /healthz.
+func (r *HTTPReplica) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	return r.do(req, &struct{}{})
+}
+
+// Stats fetches the daemon's /stats counters.
+func (r *HTTPReplica) Stats(ctx context.Context) (*fingerprint.StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out fingerprint.StatsResponse
+	if err := r.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StatusError is a non-200 reply from a replica: something answered,
+// but refused the request. A 4xx means the replica is alive and the
+// request itself is unacceptable — the router treats that as a
+// definitive response (no cooldown, no failover: every replica of a
+// shard serves the same data and limits, so a retry would be rejected
+// the same way). A 5xx is a replica fault like any connection error:
+// cooldown and failover apply.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+// Error formats the rejection with the daemon's own message.
+func (e *StatusError) Error() string { return fmt.Sprintf("status %d: %s", e.Code, e.Msg) }
+
+// definitive reports whether the reply settles the request (4xx), as
+// opposed to a server-side fault worth failing over (5xx).
+func (e *StatusError) definitive() bool { return e.Code >= 400 && e.Code < 500 }
+
+func (r *HTTPReplica) do(req *http.Request, out any) error {
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain to EOF before Close so the Transport can reuse the
+	// connection — the router makes one POST per shard per batch, and
+	// losing keep-alive here means a fresh TCP dial every time.
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		// The body is the daemon's reason (http.Error text); carry a
+		// bounded snippet into the per-result error.
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(snippet))}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("shard: decode %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// LocalReplica serves a shard from an in-process query service — no
+// network hop. Session.RouterHandler and the scaling benchmarks shard
+// this way.
+type LocalReplica struct {
+	name string
+	svc  *fingerprint.Service
+}
+
+// NewLocalReplica wraps an in-process query service as a replica.
+func NewLocalReplica(name string, svc *fingerprint.Service) *LocalReplica {
+	return &LocalReplica{name: name, svc: svc}
+}
+
+// Addr returns the replica's configured name.
+func (r *LocalReplica) Addr() string { return r.name }
+
+// QueryBatch executes the sub-batch directly against the service.
+func (r *LocalReplica) QueryBatch(_ context.Context, reqs []fingerprint.QueryRequest) (*fingerprint.BatchResponse, error) {
+	return r.svc.RunBatch(reqs), nil
+}
+
+// Healthz always succeeds: an in-process service lives as long as the
+// router.
+func (r *LocalReplica) Healthz(context.Context) error { return nil }
+
+// Stats snapshots the service's counters.
+func (r *LocalReplica) Stats(context.Context) (*fingerprint.StatsResponse, error) {
+	st := r.svc.StatsSnapshot()
+	return &st, nil
+}
+
+// replicaState tracks one replica's health for failover ordering.
+type replicaState struct {
+	r  Replica
+	mu sync.Mutex
+	// fails counts consecutive failures; downUntil is the cooldown end
+	// after which the replica is probed again.
+	fails     int
+	downUntil time.Time
+}
+
+func (s *replicaState) healthy(now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return now.After(s.downUntil) || s.downUntil.IsZero()
+}
+
+func (s *replicaState) markUp() {
+	s.mu.Lock()
+	s.fails = 0
+	s.downUntil = time.Time{}
+	s.mu.Unlock()
+}
+
+func (s *replicaState) markDown(now time.Time, base time.Duration) {
+	s.mu.Lock()
+	s.fails++
+	// Exponential cooldown, capped at 32× the base, so a dead replica
+	// costs at most one probe per window instead of one per batch.
+	backoff := base << min(s.fails-1, 5)
+	s.downUntil = now.Add(backoff)
+	s.mu.Unlock()
+}
+
+// Router limits and defaults.
+const (
+	DefaultShardTimeout    = 5 * time.Second
+	DefaultReplicaCooldown = time.Second
+)
+
+// RouterLatencyBucketsUS is the router's default latency-bucket bounds
+// (microseconds): network-scale, 1ms–5s, where the single-daemon
+// defaults (fingerprint.DefaultLatencyBucketsUS) top out at 100ms.
+var RouterLatencyBucketsUS = []int64{
+	1000, 2500, 5000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+}
+
+// Router fans accountability queries out to label-sharded daemons and
+// gathers the results. It serves the exact protocol of a single daemon
+// (POST /query, POST /query/batch, GET /healthz, GET /stats), so
+// fingerprint.Client works unchanged against it.
+//
+// Batches scatter into per-shard sub-batches that run concurrently,
+// each bounded by a per-shard timeout. Replicas of a shard are tried in
+// health-aware order (healthy first, cooling-down ones as a last
+// resort); if every replica of a shard fails, that shard's queries come
+// back as per-result errors and the batch response names the shard in
+// unreachable_shards — a partial result, never a batch failure.
+type Router struct {
+	m        *Map
+	shards   [][]*replicaState
+	timeout  time.Duration
+	cooldown time.Duration
+	maxBody  int64
+	maxBatch int
+	now      func() time.Time
+
+	start   time.Time
+	queries atomic.Uint64
+	batches atomic.Uint64
+	errs    atomic.Uint64
+	latency *fingerprint.Histogram
+
+	bucketsUS []int64
+}
+
+// RouterOption configures a Router.
+type RouterOption func(*Router)
+
+// WithShardTimeout bounds each shard call (including failover attempts
+// to that shard's replicas combined). Default DefaultShardTimeout.
+func WithShardTimeout(d time.Duration) RouterOption {
+	return func(r *Router) { r.timeout = d }
+}
+
+// WithReplicaCooldown sets the base cooldown a failed replica sits out
+// before being probed again (it grows exponentially with consecutive
+// failures). Default DefaultReplicaCooldown.
+func WithReplicaCooldown(d time.Duration) RouterOption {
+	return func(r *Router) { r.cooldown = d }
+}
+
+// WithRouterMaxBodyBytes bounds the accepted request body size.
+func WithRouterMaxBodyBytes(n int64) RouterOption { return func(r *Router) { r.maxBody = n } }
+
+// WithRouterMaxBatch bounds the number of queries in one batch request.
+func WithRouterMaxBatch(n int) RouterOption { return func(r *Router) { r.maxBatch = n } }
+
+// WithRouterLatencyBuckets replaces the router-level latency histogram
+// bounds (microseconds). Default RouterLatencyBucketsUS.
+func WithRouterLatencyBuckets(boundsUS []int64) RouterOption {
+	return func(r *Router) { r.bucketsUS = boundsUS }
+}
+
+// NewRouter creates a router over m.NumShards() shards; replicas[i]
+// lists shard i's endpoints in preference order, each non-empty.
+func NewRouter(m *Map, replicas [][]Replica, opts ...RouterOption) (*Router, error) {
+	if len(replicas) != m.NumShards() {
+		return nil, fmt.Errorf("shard: map has %d shards but %d replica sets given", m.NumShards(), len(replicas))
+	}
+	r := &Router{
+		m:         m,
+		timeout:   DefaultShardTimeout,
+		cooldown:  DefaultReplicaCooldown,
+		maxBody:   fingerprint.DefaultMaxBodyBytes,
+		maxBatch:  fingerprint.DefaultMaxBatch,
+		now:       time.Now,
+		start:     time.Now(),
+		bucketsUS: RouterLatencyBucketsUS,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	r.latency = fingerprint.NewHistogram(r.bucketsUS)
+	r.shards = make([][]*replicaState, len(replicas))
+	for i, reps := range replicas {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("shard: shard %d has no replicas", i)
+		}
+		states := make([]*replicaState, len(reps))
+		for j, rep := range reps {
+			states[j] = &replicaState{r: rep}
+		}
+		r.shards[i] = states
+	}
+	return r, nil
+}
+
+// NumShards returns how many shards the router fans out across.
+func (r *Router) NumShards() int { return r.m.NumShards() }
+
+// callShard runs one sub-batch against shard sid, failing over between
+// its replicas in health-aware order within the shard timeout. Only
+// genuine replica faults (connection errors, timeouts, malformed
+// replies) count toward replica health: an alive replica rejecting the
+// request (StatusError) and the caller abandoning the request both
+// leave cooldown state untouched.
+func (r *Router) callShard(parent context.Context, sid int, sub []fingerprint.QueryRequest) (*fingerprint.BatchResponse, error) {
+	ctx, cancel := context.WithTimeout(parent, r.timeout)
+	defer cancel()
+	states := r.shards[sid]
+	now := r.now()
+	// Healthy replicas first, configured order preserved within each
+	// class; cooling-down replicas stay as a last resort so a shard whose
+	// every replica recently failed is still probed rather than written
+	// off.
+	order := make([]*replicaState, 0, len(states))
+	var down []*replicaState
+	for _, s := range states {
+		if s.healthy(now) {
+			order = append(order, s)
+		} else {
+			down = append(down, s)
+		}
+	}
+	order = append(order, down...)
+	var lastErr error
+	for _, s := range order {
+		resp, err := s.r.QueryBatch(ctx, sub)
+		if err == nil && len(resp.Results) != len(sub) {
+			err = fmt.Errorf("replica %s returned %d results for %d queries", s.r.Addr(), len(resp.Results), len(sub))
+		}
+		if err == nil {
+			s.markUp()
+			return resp, nil
+		}
+		var rejected *StatusError
+		if errors.As(err, &rejected) && rejected.definitive() {
+			// Alive but refused (e.g. the daemon's own -max-batch is lower
+			// than the router's): a definitive answer, not a health event.
+			// A 5xx falls through to cooldown + failover below.
+			s.markUp()
+			return nil, fmt.Errorf("replica %s rejected the sub-batch: %w", s.r.Addr(), err)
+		}
+		if parent.Err() != nil {
+			// The caller went away (client disconnect, upstream deadline);
+			// the replica did nothing wrong.
+			return nil, parent.Err()
+		}
+		s.markDown(r.now(), r.cooldown)
+		lastErr = err
+		if ctx.Err() != nil {
+			// The shard timeout is spent; further replicas would fail the
+			// same way.
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// scatter routes every query to its owning shard, runs the per-shard
+// sub-batches concurrently, and reassembles results in request order.
+// Shards whose every replica fails surface as per-result errors plus an
+// entry in the returned unreachable list ("shard N"); a shard that
+// answered with a rejection yields per-result errors only — it was
+// reached.
+func (r *Router) scatter(ctx context.Context, reqs []fingerprint.QueryRequest) ([]fingerprint.BatchResult, []string) {
+	byShard := make(map[int][]int)
+	for i, q := range reqs {
+		sid := r.m.Shard(q.Label)
+		byShard[sid] = append(byShard[sid], i)
+	}
+	results := make([]fingerprint.BatchResult, len(reqs))
+	var mu sync.Mutex
+	var unreachable []string
+	var wg sync.WaitGroup
+	for sid, positions := range byShard {
+		wg.Add(1)
+		go func(sid int, positions []int) {
+			defer wg.Done()
+			sub := make([]fingerprint.QueryRequest, len(positions))
+			for j, pos := range positions {
+				sub[j] = reqs[pos]
+			}
+			resp, err := r.callShard(ctx, sid, sub)
+			if err != nil {
+				r.errs.Add(uint64(len(positions)))
+				var rejected *StatusError
+				msg := fmt.Sprintf("shard %d unreachable: %v", sid, err)
+				if errors.As(err, &rejected) && rejected.definitive() {
+					// The shard answered; it just refused the request.
+					msg = fmt.Sprintf("shard %d: %v", sid, err)
+				} else {
+					mu.Lock()
+					unreachable = append(unreachable, fmt.Sprintf("shard %d", sid))
+					mu.Unlock()
+				}
+				for _, pos := range positions {
+					results[pos] = fingerprint.BatchResult{Error: msg}
+				}
+				return
+			}
+			for j, pos := range positions {
+				results[pos] = resp.Results[j]
+			}
+		}(sid, positions)
+	}
+	wg.Wait()
+	sort.Strings(unreachable)
+	return results, unreachable
+}
+
+// Handler returns the router's HTTP handler: the single-daemon protocol
+// (POST /query, POST /query/batch, GET /healthz, GET /stats) served by
+// scatter-gather.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", r.handleQuery)
+	mux.HandleFunc("POST /query/batch", r.handleBatch)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /stats", r.handleStats)
+	return mux
+}
+
+// Serve runs the router on l until ctx is cancelled, then drains
+// in-flight requests for up to grace, exactly like Service.Serve.
+func (r *Router) Serve(ctx context.Context, l net.Listener, grace time.Duration) error {
+	return fingerprint.ServeHandler(ctx, l, r.Handler(), grace)
+}
+
+func (r *Router) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	r.errs.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (r *Router) decode(w http.ResponseWriter, req *http.Request, into any) bool {
+	req.Body = http.MaxBytesReader(w, req.Body, r.maxBody)
+	if err := json.NewDecoder(req.Body).Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			r.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", r.maxBody)
+			return false
+		}
+		r.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		return false
+	}
+	return true
+}
+
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	started := time.Now()
+	r.queries.Add(1)
+	var q fingerprint.QueryRequest
+	if !r.decode(w, req, &q) {
+		return
+	}
+	results, unreachable := r.scatter(req.Context(), []fingerprint.QueryRequest{q})
+	if len(unreachable) > 0 {
+		// A single query has no partial result to return; the owning
+		// shard being down is a gateway failure. scatter already counted
+		// the error, so write the status directly (r.fail would double
+		// count).
+		http.Error(w, results[0].Error, http.StatusBadGateway)
+		return
+	}
+	if results[0].Error != "" {
+		http.Error(w, results[0].Error, http.StatusBadRequest)
+		return
+	}
+	r.latency.Observe(time.Since(started))
+	writeJSON(w, results[0].QueryResponse)
+}
+
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	started := time.Now()
+	r.batches.Add(1)
+	var batch fingerprint.BatchRequest
+	if !r.decode(w, req, &batch) {
+		return
+	}
+	if len(batch.Queries) == 0 {
+		r.fail(w, http.StatusBadRequest, "batch has no queries")
+		return
+	}
+	if len(batch.Queries) > r.maxBatch {
+		r.fail(w, http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(batch.Queries), r.maxBatch)
+		return
+	}
+	r.queries.Add(uint64(len(batch.Queries)))
+	results, unreachable := r.scatter(req.Context(), batch.Queries)
+	r.latency.Observe(time.Since(started))
+	writeJSON(w, fingerprint.BatchResponse{Results: results, UnreachableShards: unreachable})
+}
+
+// HealthzResponse is the JSON body of the router's GET /healthz: 200
+// when every shard has at least one live replica, 503 otherwise, with
+// the dead shards named either way.
+type HealthzResponse struct {
+	Status            string   `json:"status"` // "ok" or "degraded"
+	Shards            int      `json:"shards"`
+	UnreachableShards []string `json:"unreachable_shards,omitempty"`
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	resp := HealthzResponse{Status: "ok", Shards: len(r.shards)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for sid := range r.shards {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			if r.probeShard(req.Context(), sid) != nil {
+				mu.Lock()
+				resp.UnreachableShards = append(resp.UnreachableShards, fmt.Sprintf("shard %d", sid))
+				mu.Unlock()
+			}
+		}(sid)
+	}
+	wg.Wait()
+	sort.Strings(resp.UnreachableShards)
+	if len(resp.UnreachableShards) > 0 {
+		resp.Status = "degraded"
+		fingerprint.WriteJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// probeShard reports nil if any replica of shard sid answers /healthz.
+func (r *Router) probeShard(ctx context.Context, sid int) error {
+	ctx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
+	var lastErr error
+	for _, s := range r.shards[sid] {
+		if err := s.r.Healthz(ctx); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no replicas")
+	}
+	return lastErr
+}
+
+// ShardStats is one shard's contribution to the router's aggregated
+// GET /stats, as reported by the first replica that answered.
+type ShardStats struct {
+	ID      int    `json:"id"`
+	Replica string `json:"replica"`
+	fingerprint.StatsResponse
+}
+
+// StatsResponse is the JSON body of the router's GET /stats. The
+// embedded fields mirror a single daemon's /stats — Entries is the sum
+// over shards, Index is "router", LatencyUS the router-level
+// (network-scale) histogram — so fingerprint.Client.Stats decodes it
+// unchanged. Shards carries each shard's own counters and
+// ShardLatencyUS their latency histograms rolled up bucket-by-bucket.
+type StatsResponse struct {
+	fingerprint.StatsResponse
+	Shards            []ShardStats               `json:"shards"`
+	ShardLatencyUS    []fingerprint.HistogramBin `json:"shard_latency_us,omitempty"`
+	UnreachableShards []string                   `json:"unreachable_shards,omitempty"`
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	out := StatsResponse{
+		StatsResponse: fingerprint.StatsResponse{
+			Index:         "router",
+			UptimeSeconds: time.Since(r.start).Seconds(),
+			Queries:       r.queries.Load(),
+			BatchRequests: r.batches.Load(),
+			Errors:        r.errs.Load(),
+			LatencyUS:     r.latency.Bins(),
+		},
+	}
+	type shardResult struct {
+		st  ShardStats
+		err error
+	}
+	results := make([]shardResult, len(r.shards))
+	var wg sync.WaitGroup
+	for sid := range r.shards {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(req.Context(), r.timeout)
+			defer cancel()
+			var lastErr error
+			for _, s := range r.shards[sid] {
+				st, err := s.r.Stats(ctx)
+				if err == nil {
+					results[sid] = shardResult{st: ShardStats{ID: sid, Replica: s.r.Addr(), StatsResponse: *st}}
+					return
+				}
+				lastErr = err
+			}
+			results[sid] = shardResult{err: lastErr}
+		}(sid)
+	}
+	wg.Wait()
+	var shardBins [][]fingerprint.HistogramBin
+	for sid, res := range results {
+		if res.err != nil {
+			out.UnreachableShards = append(out.UnreachableShards, fmt.Sprintf("shard %d", sid))
+			continue
+		}
+		out.Entries += res.st.Entries
+		if out.Dim == 0 {
+			out.Dim = res.st.Dim
+		}
+		out.Shards = append(out.Shards, res.st)
+		shardBins = append(shardBins, res.st.LatencyUS)
+	}
+	if len(shardBins) > 0 {
+		out.ShardLatencyUS = fingerprint.MergeBins(shardBins...)
+	}
+	sort.Strings(out.UnreachableShards)
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	fingerprint.WriteJSON(w, http.StatusOK, v)
+}

@@ -12,6 +12,7 @@ import (
 	"caltrain/internal/index"
 	"caltrain/internal/nn"
 	"caltrain/internal/partition"
+	"caltrain/internal/shard"
 	"caltrain/internal/tensor"
 	"caltrain/internal/trojan"
 )
@@ -231,6 +232,63 @@ func (s *Session) QueryHandler(opts ...QueryHandlerOption) (http.Handler, error)
 		return nil, err
 	}
 	return svc.Handler(), nil
+}
+
+// RouterHandler returns the HTTP handler of a sharded accountability
+// deployment built in-process from the session's linkage database: the
+// database is hash-split across nshards shards, each served by its own
+// query service over the configured index backend, behind a
+// scatter-gather router speaking the single-daemon protocol. Fingerprint
+// must have been called first.
+//
+// This is the one-process model of the production topology
+// (caltrain-shard + N×caltrain-serve + caltrain-router); use it to
+// exercise routing semantics, or as the serving handler on a machine
+// where per-shard daemons are not worth their operational cost.
+func (s *Session) RouterHandler(nshards int, opts ...QueryHandlerOption) (http.Handler, error) {
+	if s.db == nil {
+		return nil, fmt.Errorf("caltrain: run Fingerprint before serving queries")
+	}
+	cfg := queryHandlerConfig{backend: "flat"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := shard.NewHashMap(nshards)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := shard.SplitDB(s.db, m)
+	if err != nil {
+		return nil, err
+	}
+	replicas := make([][]shard.Replica, len(parts))
+	for i, part := range parts {
+		var searcher Searcher
+		switch cfg.backend {
+		case "linear":
+			searcher = part
+		case "flat":
+			searcher = index.NewFlat(part)
+		case "ivf":
+			if part.Len() == 0 {
+				// IVF cannot train on an empty shard; serve it flat.
+				searcher = index.NewFlat(part)
+				break
+			}
+			ivf, err := index.TrainIVF(part, cfg.ivf)
+			if err != nil {
+				return nil, fmt.Errorf("caltrain: shard %d index: %w", i, err)
+			}
+			searcher = ivf
+		}
+		svc := fingerprint.NewSearcherService(searcher, cfg.svc...)
+		replicas[i] = []shard.Replica{shard.NewLocalReplica(fmt.Sprintf("local-shard-%d", i), svc)}
+	}
+	rt, err := shard.NewRouter(m, replicas)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Handler(), nil
 }
 
 // queryHandlerConfig collects QueryHandler option state.

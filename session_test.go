@@ -136,6 +136,45 @@ func TestSessionEndToEnd(t *testing.T) {
 	if _, err := client.Query(f, label, 17); err == nil {
 		t.Fatal("k over service limit accepted")
 	}
+
+	// The same session serves sharded: the in-process scatter-gather
+	// router answers the single-daemon protocol with identical matches.
+	h3, err := sess.RouterHandler(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv3 := httptest.NewServer(h3)
+	defer srv3.Close()
+	routed := NewQueryClient(srv3.URL)
+	resp3, err := routed.Query(f, label, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp3.Matches) != 3 {
+		t.Fatalf("routed query returned %d matches", len(resp3.Matches))
+	}
+	for i := range resp3.Matches {
+		if resp3.Matches[i].Distance != resp2.Matches[i].Distance || resp3.Matches[i].Source != resp2.Matches[i].Source {
+			t.Fatalf("routed match %d diverges from single daemon: %+v vs %+v", i, resp3.Matches[i], resp2.Matches[i])
+		}
+	}
+	batch, err := routed.QueryBatch([]QueryRequest{{Fingerprint: f, Label: label, K: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Results[0].Error != "" || len(batch.Results[0].Matches) != 2 {
+		t.Fatalf("routed batch: %+v", batch.Results[0])
+	}
+}
+
+func TestRouterHandlerBeforeFingerprint(t *testing.T) {
+	sess, err := NewSession(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RouterHandler(2); err == nil {
+		t.Fatal("expected error before Fingerprint")
+	}
 }
 
 func TestSessionRepartition(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"caltrain/internal/index"
 	"caltrain/internal/nn"
 	"caltrain/internal/sgx"
+	"caltrain/internal/shard"
 	"caltrain/internal/trojan"
 )
 
@@ -125,7 +126,87 @@ var (
 	WithMaxK = fingerprint.WithMaxK
 	// WithMaxBatch bounds the number of queries per batch request.
 	WithMaxBatch = fingerprint.WithMaxBatch
+	// WithLatencyBuckets replaces the /stats latency histogram bucket
+	// bounds (microseconds) — pass network-scale bounds when the service
+	// fronts remote callers.
+	WithLatencyBuckets = fingerprint.WithLatencyBuckets
 )
+
+// Distributed accountability serving types (internal/shard): one linkage
+// database label-sharded across daemons behind a scatter-gather router.
+type (
+	// ShardMap deterministically assigns class labels to shards; the
+	// splitter, every shard daemon, and the router share one serialized
+	// map so ownership always agrees.
+	ShardMap = shard.Map
+	// ShardStrategy selects hash or range label assignment.
+	ShardStrategy = shard.Strategy
+	// ShardRouter fans batch queries out to label-sharded daemons and
+	// gathers per-query top-k results, degrading to partial responses
+	// when shards are unreachable. It serves the single-daemon protocol.
+	ShardRouter = shard.Router
+	// ShardRouterOption tunes router timeouts, limits, and cooldowns.
+	ShardRouterOption = shard.RouterOption
+	// ShardReplica is one serving endpoint of a shard (HTTP or local).
+	ShardReplica = shard.Replica
+)
+
+// Shard assignment strategies.
+const (
+	// ShardByHash assigns labels by FNV-1a hash.
+	ShardByHash = shard.StrategyHash
+	// ShardByRange assigns contiguous label ranges.
+	ShardByRange = shard.StrategyRange
+)
+
+// Router tuning knobs, forwarded from internal/shard.
+var (
+	// WithShardTimeout bounds each per-shard call of a routed batch.
+	WithShardTimeout = shard.WithShardTimeout
+	// WithReplicaCooldown sets the failed-replica retry cooldown base.
+	WithReplicaCooldown = shard.WithReplicaCooldown
+	// WithRouterMaxBatch bounds queries per routed batch request.
+	WithRouterMaxBatch = shard.WithRouterMaxBatch
+	// WithRouterMaxBodyBytes bounds the routed request body size.
+	WithRouterMaxBodyBytes = shard.WithRouterMaxBodyBytes
+	// WithRouterLatencyBuckets replaces the router histogram bounds.
+	WithRouterLatencyBuckets = shard.WithRouterLatencyBuckets
+)
+
+// NewHashShardMap creates a hash-sharded label assignment over nshards.
+func NewHashShardMap(nshards int) (*ShardMap, error) { return shard.NewHashMap(nshards) }
+
+// NewRangeShardMap creates a range-sharded assignment from ascending
+// shard start boundaries.
+func NewRangeShardMap(starts []int64) (*ShardMap, error) { return shard.NewRangeMap(starts) }
+
+// SaveShardMap serializes a shard map (versioned, like SaveIndex).
+func SaveShardMap(w io.Writer, m *ShardMap) error { return m.Save(w) }
+
+// LoadShardMap deserializes a map saved with SaveShardMap.
+func LoadShardMap(r io.Reader) (*ShardMap, error) { return shard.LoadMap(r) }
+
+// SplitDB partitions a linkage database into per-shard databases
+// according to the map — the in-process equivalent of caltrain-shard.
+func SplitDB(db *LinkageDB, m *ShardMap) ([]*LinkageDB, error) { return shard.SplitDB(db, m) }
+
+// NewShardRouter creates a scatter-gather router; replicas[i] lists
+// shard i's endpoints in preference order.
+func NewShardRouter(m *ShardMap, replicas [][]ShardReplica, opts ...ShardRouterOption) (*ShardRouter, error) {
+	return shard.NewRouter(m, replicas, opts...)
+}
+
+// NewHTTPShardReplica points a router at a shard daemon (caltrain-serve)
+// over HTTP. httpClient may be nil for http.DefaultClient.
+func NewHTTPShardReplica(baseURL string, httpClient *http.Client) ShardReplica {
+	return shard.NewHTTPReplica(baseURL, httpClient)
+}
+
+// NewLocalShardReplica serves a shard from an in-process query service,
+// no network hop — how Session.RouterHandler shards.
+func NewLocalShardReplica(name string, svc *QueryService) ShardReplica {
+	return shard.NewLocalReplica(name, svc)
+}
 
 // Assessment types.
 type (
