@@ -15,6 +15,7 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"testing"
+	"time"
 
 	"caltrain/internal/core"
 	"caltrain/internal/dataset"
@@ -22,6 +23,7 @@ import (
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/hub"
 	"caltrain/internal/index"
+	"caltrain/internal/ingest"
 	"caltrain/internal/nn"
 	"caltrain/internal/partition"
 	"caltrain/internal/seal"
@@ -380,6 +382,9 @@ func BenchmarkBoundaryCrossing(b *testing.B) {
 // exact scans at ≥100k entries.
 func BenchmarkQueryScaling(b *testing.B) {
 	for _, size := range []int{10_000, 100_000, 500_000} {
+		if testing.Short() && size > 10_000 {
+			continue // CI bit-rot gate: compile + run once at the small size
+		}
 		b.Run(map[int]string{10_000: "10k", 100_000: "100k", 500_000: "500k"}[size], func(b *testing.B) {
 			rng := rand.New(rand.NewPCG(15, uint64(size)))
 			fps := index.SynthFingerprints(rng, size+1, 64, 256, 0.15)
@@ -435,6 +440,9 @@ func BenchmarkQueryScaling(b *testing.B) {
 func BenchmarkQueryScalingSharded(b *testing.B) {
 	const dim, nlabels, batchSize = 64, 64, 256
 	for _, size := range []int{100_000, 400_000, 1_000_000} {
+		if testing.Short() && size > 100_000 {
+			continue // CI bit-rot gate: compile + run once at the small size
+		}
 		b.Run(map[int]string{100_000: "100k", 400_000: "400k", 1_000_000: "1M"}[size], func(b *testing.B) {
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
 			rng := rand.New(rand.NewPCG(19, uint64(size)))
@@ -494,6 +502,80 @@ func BenchmarkQueryScalingSharded(b *testing.B) {
 					runBatches(b, rt.Handler())
 				})
 			}
+		})
+	}
+}
+
+// BenchmarkIngestThroughput measures the durable write path: batches of
+// 64 linkages through an ingest.Store (WAL append + fsync + database +
+// index append), flat vs ivf appendable backends, with the steady-state
+// query latency of the grown index reported alongside (query_us). Drift
+// retraining is disabled so the numbers isolate raw append cost; see
+// TestStoreDriftRetrainHotSwap for the retrain path.
+func BenchmarkIngestThroughput(b *testing.B) {
+	const dim, classes, batchSize = 64, 16, 64
+	seedN := 50_000
+	if testing.Short() {
+		seedN = 5_000
+	}
+	rng := rand.New(rand.NewPCG(27, 1))
+	seed := index.SynthFingerprints(rng, seedN, dim, classes, 0.15)
+	for _, kind := range []string{"flat", "ivf"} {
+		b.Run(kind, func(b *testing.B) {
+			db, err := fingerprint.NewDB(dim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, f := range seed {
+				if err := db.Add(fingerprint.Linkage{F: f, Y: i % classes, S: "s"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var backend fingerprint.Searcher
+			switch kind {
+			case "flat":
+				backend = index.NewFlat(db)
+			case "ivf":
+				ivf, err := index.TrainIVF(db, index.IVFOptions{Seed: 28})
+				if err != nil {
+					b.Fatal(err)
+				}
+				backend = ivf
+			}
+			st, err := ingest.Open(b.TempDir(), db, backend, ingest.Options{DriftThreshold: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			// Pre-generate enough distinct batches outside the timer.
+			batches := make([][]fingerprint.Linkage, 64)
+			for i := range batches {
+				fps := index.SynthFingerprints(rng, batchSize, dim, classes, 0.15)
+				batches[i] = make([]fingerprint.Linkage, batchSize)
+				for j, f := range fps {
+					batches[i][j] = fingerprint.Linkage{F: f, Y: j % classes, S: "new"}
+				}
+			}
+			b.ResetTimer()
+			n := 0
+			for b.Loop() {
+				if _, err := st.IngestBatch(batches[n%len(batches)]); err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n*batchSize)/b.Elapsed().Seconds(), "entries/s")
+			// Steady-state query latency over the grown index.
+			q := seed[0]
+			const probes = 50
+			started := time.Now()
+			for i := 0; i < probes; i++ {
+				if _, err := backend.Search(q, 0, 9); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(time.Since(started).Microseconds())/probes, "query_us")
 		})
 	}
 }

@@ -18,10 +18,19 @@
 // dead shard named in unreachable_shards and per-result errors on its
 // queries.
 //
+// Writes fan out the other way: POST /ingest routes each new linkage to
+// its owning shard and replicates it to ALL of that shard's replicas
+// (started with -wal so they accept writes), reporting a shard durable
+// once -write-quorum replicas acknowledge. Shards that miss quorum come
+// back in failed_shards with their entries counted failed — partial
+// degradation, mirroring the read path — and replicas that missed a
+// durable batch are named in degraded_replicas.
+//
 // Endpoints:
 //
 //	POST /query        routed to the owning shard (502 if it is down)
 //	POST /query/batch  scattered across shards, partial on failures
+//	POST /ingest       replicated to the owning shard's replicas, quorum-acked
 //	GET  /healthz      200 when every shard has a live replica, else 503
 //	GET  /stats        router counters + per-shard stats + rolled-up
 //	                   shard latency histograms
@@ -99,6 +108,7 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		cooldown = fs.Duration("cooldown", shard.DefaultReplicaCooldown, "base cooldown for a failed replica (grows exponentially)")
 		maxBody  = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
 		maxBatch = fs.Int("max-batch", 256, "queries per batch request limit")
+		quorum   = fs.Int("write-quorum", 0, "replicas per shard that must ack an ingest batch (0 = majority)")
 		grace    = fs.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		buckets  = fs.String("latency-buckets", "", "comma-separated router latency bucket bounds as durations (e.g. 5ms,25ms,100ms,1s); empty = network-scale defaults")
 	)
@@ -132,11 +142,15 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		}
 	}
 
+	if *quorum < 0 {
+		return fmt.Errorf("-write-quorum must be non-negative, got %d", *quorum)
+	}
 	opts := []shard.RouterOption{
 		shard.WithShardTimeout(*timeout),
 		shard.WithReplicaCooldown(*cooldown),
 		shard.WithRouterMaxBodyBytes(*maxBody),
 		shard.WithRouterMaxBatch(*maxBatch),
+		shard.WithWriteQuorum(*quorum),
 	}
 	if *buckets != "" {
 		bounds, err := fingerprint.ParseLatencyBuckets(*buckets)
@@ -156,7 +170,7 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "routing accountability queries on %s across %d shards (%s map; POST /query, POST /query/batch, GET /healthz, GET /stats)\n",
+	fmt.Fprintf(out, "routing accountability queries on %s across %d shards (%s map; POST /query, POST /query/batch, POST /ingest, GET /healthz, GET /stats)\n",
 		l.Addr(), m.NumShards(), m.Strategy())
 	if err := router.Serve(ctx, l, *grace); err != nil {
 		return err

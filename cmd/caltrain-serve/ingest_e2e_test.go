@@ -1,0 +1,311 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/shard"
+)
+
+// TestMain doubles as the daemon-under-test: when re-exec'd with
+// CALTRAIN_SERVE_HELPER=1 the test binary runs a real caltrain-serve
+// process that can be SIGKILLed — the only honest way to test WAL
+// durability.
+func TestMain(m *testing.M) {
+	if os.Getenv("CALTRAIN_SERVE_HELPER") == "1" {
+		var args []string
+		if err := json.Unmarshal([]byte(os.Getenv("CALTRAIN_SERVE_ARGS")), &args); err != nil {
+			fmt.Fprintln(os.Stderr, "helper:", err)
+			os.Exit(2)
+		}
+		if err := run(context.Background(), args, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "caltrain-serve:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one spawned caltrain-serve child process.
+type daemon struct {
+	cmd *exec.Cmd
+	out *syncBuffer
+}
+
+func spawnDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	blob, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "CALTRAIN_SERVE_HELPER=1", "CALTRAIN_SERVE_ARGS="+string(blob))
+	out := &syncBuffer{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return &daemon{cmd: cmd, out: out}
+}
+
+func (d *daemon) sigkill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+}
+
+func waitHealthy(t *testing.T, client *fingerprint.Client) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for client.Healthz() != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	blob, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestDurabilityEndToEnd is the write path's acceptance test, the
+// production topology in miniature: one shard served by two real daemon
+// processes (each with its own database copy and WAL), fronted by a
+// router that replicates ingest batches to both with a full write
+// quorum. A batch is acknowledged, one replica is SIGKILLed and
+// restarted, and WAL replay must restore exactly the acknowledged
+// linkages — queries then return the new entries from every replica.
+func TestIngestDurabilityEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemon processes")
+	}
+	seedPath := writeTestDB(t, 120)
+
+	// Two replicas of the one shard, each its own copy of the seed
+	// database and its own WAL directory (as on separate hosts).
+	var replicas []*fingerprint.Client
+	var dirs []string
+	var procs []*daemon
+	for i := 0; i < 2; i++ {
+		dir := t.TempDir()
+		copyFile(t, seedPath, filepath.Join(dir, "linkage.db"))
+		d := spawnDaemon(t,
+			"-db", filepath.Join(dir, "linkage.db"),
+			"-wal", filepath.Join(dir, "wal"),
+			"-addr", "127.0.0.1:0", "-index", "flat",
+		)
+		addr := waitForAddr(t, d.out)
+		client := fingerprint.NewClient("http://"+addr, nil)
+		waitHealthy(t, client)
+		replicas = append(replicas, client)
+		dirs = append(dirs, dir)
+		procs = append(procs, d)
+	}
+
+	m, err := shard.NewHashMap(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrOf := func(d *daemon) string {
+		return "http://" + addrRE.FindStringSubmatch(d.out.String())[1]
+	}
+	rt, err := shard.NewRouter(m, [][]shard.Replica{{
+		shard.NewHTTPReplica(addrOf(procs[0]), nil),
+		shard.NewHTTPReplica(addrOf(procs[1]), nil),
+	}}, shard.WithWriteQuorum(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerSrv := httptest.NewServer(rt.Handler())
+	defer routerSrv.Close()
+	routerClient := fingerprint.NewClient(routerSrv.URL, nil)
+
+	// Ingest a batch through the router fan-out; with quorum 2 the ack
+	// means both replicas logged it durably.
+	entries := make([]fingerprint.IngestEntry, 9)
+	for i := range entries {
+		f := make([]float32, 8)
+		f[i%8] = 7 + float32(i) // far from the seed cluster: it is its own NN
+		entries[i] = fingerprint.IngestEntry{Fingerprint: f, Label: i % 3, Source: "ingested"}
+	}
+	resp, err := routerClient.Ingest(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != len(entries) || resp.Failed != 0 || len(resp.DegradedReplicas) != 0 {
+		t.Fatalf("routed ingest: %+v", resp)
+	}
+
+	// SIGKILL replica 1 — no drain, no snapshot, nothing but the WAL.
+	procs[1].sigkill(t)
+
+	// Restart it with identical flags. The database file was never
+	// rewritten, so everything acknowledged must come back via replay.
+	d := spawnDaemon(t,
+		"-db", filepath.Join(dirs[1], "linkage.db"),
+		"-wal", filepath.Join(dirs[1], "wal"),
+		"-addr", "127.0.0.1:0", "-index", "flat",
+	)
+	addr := waitForAddr(t, d.out)
+	restarted := fingerprint.NewClient("http://"+addr, nil)
+	waitHealthy(t, restarted)
+	replicas[1] = restarted
+
+	// Exactly the acknowledged linkages: seed + batch, no more, no less.
+	for i, client := range replicas {
+		st, err := client.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Entries != 120+len(entries) {
+			t.Fatalf("replica %d serves %d entries, want %d", i, st.Entries, 120+len(entries))
+		}
+		for j, e := range entries {
+			out, err := client.Query(e.Fingerprint, e.Label, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Matches) != 1 || out.Matches[0].Source != "ingested" || out.Matches[0].Distance > 1e-6 {
+				t.Fatalf("replica %d entry %d: %+v", i, j, out.Matches)
+			}
+		}
+	}
+	st, err := replicas[1].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingest == nil || st.Ingest.ReplayEntries != uint64(len(entries)) {
+		t.Fatalf("restarted replica ingest stats: %+v", st.Ingest)
+	}
+
+	// And through the router: both replicas are serving again.
+	single, err := routerClient.Query(entries[0].Fingerprint, entries[0].Label, 1)
+	if err != nil || len(single.Matches) != 1 || single.Matches[0].Source != "ingested" {
+		t.Fatalf("routed query after restart: %+v, %v", single, err)
+	}
+}
+
+// TestServeIngestGracefulSnapshot: a drained daemon compacts — the
+// database file is rewritten with the ingested entries and the restart
+// replays nothing.
+func TestServeIngestGracefulSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "linkage.db")
+	copyFile(t, writeTestDB(t, 60), dbPath)
+
+	d := spawnDaemon(t, "-db", dbPath, "-wal", filepath.Join(dir, "wal"),
+		"-addr", "127.0.0.1:0", "-index", "flat")
+	addr := waitForAddr(t, d.out)
+	client := fingerprint.NewClient("http://"+addr, nil)
+	waitHealthy(t, client)
+
+	entries := []fingerprint.IngestEntry{{Fingerprint: make([]float32, 8), Label: 1, Source: "snap"}}
+	if _, err := client.Ingest(entries); err != nil {
+		t.Fatal(err)
+	}
+	// SIGTERM: drain, snapshot, truncate.
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v\n%s", err, d.out.String())
+	}
+
+	d2 := spawnDaemon(t, "-db", dbPath, "-wal", filepath.Join(dir, "wal"),
+		"-addr", "127.0.0.1:0", "-index", "flat")
+	addr2 := waitForAddr(t, d2.out)
+	client2 := fingerprint.NewClient("http://"+addr2, nil)
+	waitHealthy(t, client2)
+	st, err := client2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 61 {
+		t.Fatalf("after snapshot restart: %d entries, want 61", st.Entries)
+	}
+	if st.Ingest == nil || st.Ingest.ReplayEntries != 0 {
+		t.Fatalf("snapshot restart should replay nothing: %+v", st.Ingest)
+	}
+}
+
+// TestServeIngestSnapshotKeepsIndexInSync is the -load-index restart
+// regression guard: a daemon serving a loaded index with -wal must,
+// on snapshot, re-save that index alongside the database — otherwise
+// the restart's entry-count check would refuse the stale index file
+// against the grown database.
+func TestServeIngestSnapshotKeepsIndexInSync(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "linkage.db")
+	idxPath := filepath.Join(dir, "linkage.ivf")
+	copyFile(t, writeTestDB(t, 90), dbPath)
+
+	// First run builds and saves the index.
+	d := spawnDaemon(t, "-db", dbPath, "-index", "ivf", "-nlist", "4",
+		"-save-index", idxPath, "-wal", filepath.Join(dir, "wal"), "-addr", "127.0.0.1:0")
+	client := fingerprint.NewClient("http://"+waitForAddr(t, d.out), nil)
+	waitHealthy(t, client)
+	if _, err := client.Ingest([]fingerprint.IngestEntry{
+		{Fingerprint: make([]float32, 8), Label: 0, Source: "grow"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v\n%s", err, d.out.String())
+	}
+
+	// Restart from the loaded index (no -save-index): must come up with
+	// the grown entry count, replay nothing — and after another ingest +
+	// SIGTERM, the loaded index file itself must be re-persisted.
+	for round := 0; round < 2; round++ {
+		d = spawnDaemon(t, "-db", dbPath, "-load-index", idxPath,
+			"-wal", filepath.Join(dir, "wal"), "-addr", "127.0.0.1:0")
+		client = fingerprint.NewClient("http://"+waitForAddr(t, d.out), nil)
+		waitHealthy(t, client)
+		st, err := client.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 91 + round; st.Entries != want || st.Index != "ivf" || st.Ingest.ReplayEntries != 0 {
+			t.Fatalf("round %d: %d entries (%s, replay %d), want %d", round, st.Entries, st.Index, st.Ingest.ReplayEntries, want)
+		}
+		if _, err := client.Ingest([]fingerprint.IngestEntry{
+			{Fingerprint: make([]float32, 8), Label: 1, Source: "grow"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.cmd.Wait(); err != nil {
+			t.Fatalf("round %d daemon exit: %v\n%s", round, err, d.out.String())
+		}
+	}
+}

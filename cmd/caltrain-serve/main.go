@@ -10,6 +10,7 @@
 //
 //	POST /query        one misprediction fingerprint → k nearest neighbours
 //	POST /query/batch  many queries in one round trip, per-query errors
+//	POST /ingest       durable batch writes (with -wal; 501 without)
 //	GET  /healthz      liveness
 //	GET  /stats        entry count, index kind, query counters, latency histogram
 //
@@ -18,6 +19,15 @@
 // "ivf" the approximate inverted-file index (tune with -nlist/-nprobe;
 // see internal/index). A built IVF index can be persisted with
 // -save-index and reloaded with -load-index to skip training on restart.
+//
+// Online ingest (-wal DIR) turns the daemon into a durable write path:
+// POST /ingest batches are CRC-framed into a write-ahead log (fsynced
+// per -fsync) before they are applied to the database and appended into
+// the serving index, so an acknowledged batch survives SIGKILL — on
+// restart the daemon replays the log over the loaded database. IVF
+// backends track drift and retrain + hot-swap in the background past
+// -drift-threshold. -snapshot-every (and graceful shutdown) persists
+// the database back to -db and truncates the log.
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/index"
+	"caltrain/internal/ingest"
 )
 
 func main() {
@@ -59,6 +70,13 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		maxBatch  = fs.Int("max-batch", fingerprint.DefaultMaxBatch, "queries per batch request limit")
 		grace     = fs.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		buckets   = fs.String("latency-buckets", "", "comma-separated /stats latency bucket bounds as durations (e.g. 100us,1ms,10ms); empty = sub-ms defaults")
+
+		walDir    = fs.String("wal", "", "write-ahead log directory; enables POST /ingest (empty = read-only daemon)")
+		fsync     = fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
+		fsyncEvry = fs.Duration("fsync-every", 50*time.Millisecond, "flush period for -fsync interval")
+		segBytes  = fs.Int64("wal-segment-bytes", 64<<20, "rotate WAL segments past this size")
+		drift     = fs.Float64("drift-threshold", ingest.DefaultDriftThreshold, "appended fraction that triggers a background IVF retrain + hot-swap (negative disables)")
+		snapEvery = fs.Duration("snapshot-every", 0, "periodically persist the database to -db and truncate the WAL (0 = only on graceful shutdown)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +94,17 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	}
 	if *saveIndex != "" && *loadIndex == "" && *kind == "linear" {
 		return fmt.Errorf("-save-index needs an index backend (-index flat or ivf): the linear scan has nothing to persist")
+	}
+	if *walDir == "" {
+		for _, needsWAL := range []string{"fsync", "fsync-every", "wal-segment-bytes", "drift-threshold", "snapshot-every"} {
+			if set[needsWAL] {
+				return fmt.Errorf("-%s needs -wal: the read-only daemon has no write path", needsWAL)
+			}
+		}
+	}
+	syncPolicy, err := ingest.ParseSyncPolicy(*fsync)
+	if err != nil {
+		return err
 	}
 
 	dbf, err := os.Open(*dbPath)
@@ -99,20 +128,6 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		ivf.SetNprobe(*nprobe)
 		fmt.Fprintf(out, "nprobe overridden to %d\n", ivf.Nprobe())
 	}
-	if *saveIndex != "" {
-		f, err := os.Create(*saveIndex)
-		if err != nil {
-			return err
-		}
-		if err := index.Save(f, searcher); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "index saved to %s\n", *saveIndex)
-	}
 
 	svcOpts := []fingerprint.ServiceOption{
 		fingerprint.WithMaxBodyBytes(*maxBody),
@@ -128,20 +143,127 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	}
 	svc := fingerprint.NewSearcherService(searcher, svcOpts...)
 
+	// The write path: WAL replay happens before -save-index and before
+	// serving, so the persisted index and the first query both see every
+	// acknowledged entry.
+	var store *ingest.Store
+	if *walDir != "" {
+		var rebuild func(*fingerprint.DB) (fingerprint.Searcher, error)
+		if _, isIVF := searcher.(*index.IVF); isIVF {
+			ivfOpts := index.IVFOptions{Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed}
+			rebuild = func(snap *fingerprint.DB) (fingerprint.Searcher, error) {
+				return index.TrainIVF(snap, ivfOpts)
+			}
+		}
+		store, err = ingest.Open(*walDir, db, searcher, ingest.Options{
+			WAL:            ingest.WALOptions{Sync: syncPolicy, SyncEvery: *fsyncEvry, SegmentBytes: *segBytes},
+			DriftThreshold: *drift,
+			Rebuild:        rebuild,
+			Swapper:        svc,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(out, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		svc.SetIngester(store)
+		fmt.Fprintf(out, "wal: %s (fsync %s), replayed %d entries, %d total\n",
+			*walDir, syncPolicy, store.Replayed(), db.Len())
+	}
+
+	if *saveIndex != "" {
+		if err := saveIndexFile(*saveIndex, svc.Searcher()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "index saved to %s\n", *saveIndex)
+	}
+
 	ctx, stop := signal.NotifyContext(parent, syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Snapshots must persist the index alongside the database whenever
+	// one is being kept on disk — including a -load-index file, or the
+	// restart would refuse the (now smaller) index against the grown
+	// database. Running inside Store.Snapshot keeps the two files
+	// agreeing on entry count under the write lock.
+	indexOut := *saveIndex
+	if indexOut == "" {
+		indexOut = *loadIndex
+	}
+	var persist []func(fingerprint.Searcher) error
+	if indexOut != "" {
+		persist = append(persist, func(sr fingerprint.Searcher) error {
+			return saveIndexFile(indexOut, sr)
+		})
+	}
+
+	var snapDone chan struct{}
+	if store != nil && *snapEvery > 0 {
+		snapDone = make(chan struct{})
+		go func() {
+			defer close(snapDone)
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := store.Snapshot(*dbPath, persist...); err != nil {
+						fmt.Fprintf(out, "snapshot: %v\n", err)
+						continue
+					}
+					fmt.Fprintf(out, "snapshot: %d entries → %s, wal truncated\n", db.Len(), *dbPath)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "serving accountability queries on %s (index %s; POST /query, POST /query/batch, GET /healthz, GET /stats)\n",
-		l.Addr(), searcher.Kind())
+	endpoints := "POST /query, POST /query/batch, GET /healthz, GET /stats"
+	if store != nil {
+		endpoints = "POST /query, POST /query/batch, POST /ingest, GET /healthz, GET /stats"
+	}
+	fmt.Fprintf(out, "serving accountability queries on %s (index %s; %s)\n",
+		l.Addr(), searcher.Kind(), endpoints)
 	if err := svc.Serve(ctx, l, *grace); err != nil {
 		return err
 	}
+	if store != nil {
+		// Let the periodic snapshotter finish its current cycle before
+		// the final compaction — ctx is cancelled, so it exits promptly.
+		if snapDone != nil {
+			<-snapDone
+		}
+		// Graceful shutdown compacts: persist the database (and the
+		// index, when one is being persisted) so the restart loads a
+		// snapshot instead of replaying the whole log.
+		if err := store.Snapshot(*dbPath, persist...); err != nil {
+			return err
+		}
+		if err := store.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "final snapshot: %d entries → %s\n", db.Len(), *dbPath)
+	}
 	fmt.Fprintln(out, "drained, bye")
 	return nil
+}
+
+func saveIndexFile(path string, s fingerprint.Searcher) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := index.Save(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildSearcher(db *fingerprint.DB, kind, loadPath string, opts index.IVFOptions, out io.Writer) (fingerprint.Searcher, error) {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math/rand/v2"
 	"os"
 	"path/filepath"
@@ -288,7 +289,9 @@ func TestServeRejectsCorruptIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	corrupt := func(name string, mutate func([]byte) []byte, wantMsg string) {
+	// The loader wraps typed sentinels, so the assertion is errors.Is —
+	// not message text: daemons and operators branch the same way.
+	corrupt := func(name string, mutate func([]byte) []byte, want error) {
 		t.Helper()
 		blob := mutate(append([]byte(nil), good.Bytes()...))
 		idxPath := filepath.Join(t.TempDir(), name)
@@ -299,11 +302,27 @@ func TestServeRejectsCorruptIndex(t *testing.T) {
 		if err == nil {
 			t.Fatalf("%s accepted", name)
 		}
-		if !strings.Contains(err.Error(), wantMsg) {
-			t.Fatalf("%s: error %q does not mention %q", name, err, wantMsg)
+		if !errors.Is(err, want) {
+			t.Fatalf("%s: error %q is not %q", name, err, want)
 		}
 	}
-	corrupt("future-version.idx", func(b []byte) []byte { b[4] = 99; return b }, "unsupported version 99")
-	corrupt("bad-magic.idx", func(b []byte) []byte { copy(b, "NOPE"); return b }, "bad magic")
-	corrupt("truncated.idx", func(b []byte) []byte { return b[:len(b)/2] }, "load")
+	corrupt("future-version.idx", func(b []byte) []byte { b[4] = 99; return b }, index.ErrVersionMismatch)
+	corrupt("bad-magic.idx", func(b []byte) []byte { copy(b, "NOPE"); return b }, index.ErrCorrupt)
+	corrupt("truncated.idx", func(b []byte) []byte { return b[:len(b)/2] }, index.ErrCorrupt)
+	// The two sentinels stay distinct: a version mismatch is not
+	// corruption and vice versa.
+	corruptIs := func(mutate func([]byte) []byte, not error) {
+		t.Helper()
+		blob := mutate(append([]byte(nil), good.Bytes()...))
+		idxPath := filepath.Join(t.TempDir(), "distinct.idx")
+		if err := os.WriteFile(idxPath, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := run(context.Background(), []string{"-db", dbPath, "-load-index", idxPath}, &syncBuffer{})
+		if errors.Is(err, not) {
+			t.Fatalf("error %q should not be %q", err, not)
+		}
+	}
+	corruptIs(func(b []byte) []byte { b[4] = 99; return b }, index.ErrCorrupt)
+	corruptIs(func(b []byte) []byte { copy(b, "NOPE"); return b }, index.ErrVersionMismatch)
 }

@@ -2,8 +2,10 @@ package caltrain
 
 import (
 	"bytes"
+	"errors"
 	"math/rand/v2"
 	"net/http/httptest"
+	"os"
 	"testing"
 )
 
@@ -377,5 +379,104 @@ func TestClassifyFacade(t *testing.T) {
 	}
 	if len(preds) != ds.Len() || len(preds[0]) != 2 {
 		t.Fatalf("preds shape %d/%d", len(preds), len(preds[0]))
+	}
+}
+
+// TestIngestFacade drives the write-path surface end to end through the
+// public API: open a WAL-backed store over an appendable index, ingest
+// through the HTTP client, kill-and-replay, snapshot compaction, and
+// the typed loader sentinels.
+func TestIngestFacade(t *testing.T) {
+	db, err := newTestDB(16, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	flat := NewFlatIndex(db)
+	svc := NewSearcherQueryService(flat)
+	store, err := OpenIngestStore(walDir, db, flat, IngestOptions{
+		WAL: WALOptions{Sync: WALSyncAlways},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetIngester(store)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewIngestClient(srv.URL)
+
+	entries := make([]IngestEntry, 5)
+	for i := range entries {
+		f := make([]float32, 16)
+		f[i] = 9 // far from the uniform seed cloud
+		entries[i] = IngestEntry{Fingerprint: f, Label: i % 3, Source: "facade"}
+	}
+	resp, err := client.Ingest(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 5 || resp.Entries != 65 {
+		t.Fatalf("ingest response: %+v", resp)
+	}
+	q, err := client.Query(Fingerprint(entries[0].Fingerprint), entries[0].Label, 1)
+	if err != nil || len(q.Matches) != 1 || q.Matches[0].Source != "facade" {
+		t.Fatalf("ingested entry not served: %+v %v", q, err)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingest == nil || st.Ingest.Accepted != 5 || st.Ingest.WALBytes == 0 {
+		t.Fatalf("ingest stats: %+v", st.Ingest)
+	}
+
+	// Kill (abandon the store) and replay into a fresh deployment built
+	// from the same seed data.
+	db2, err := newTestDB(16, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat2 := NewFlatIndex(db2)
+	store2, err := OpenIngestStore(walDir, db2, flat2, IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 65 || flat2.Len() != 65 {
+		t.Fatalf("replay restored %d/%d entries, want 65", db2.Len(), flat2.Len())
+	}
+
+	// Snapshot compacts: a third open replays nothing.
+	snapPath := t.TempDir() + "/linkage.db"
+	if err := store2.Snapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := store2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db3, err := LoadLinkageDB(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store3, err := OpenIngestStore(walDir, db3, NewFlatIndex(db3), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store3.Close()
+	if db3.Len() != 65 || store3.Replayed() != 0 {
+		t.Fatalf("post-snapshot open: %d entries, %d replayed", db3.Len(), store3.Replayed())
+	}
+
+	// The loader sentinels are part of the facade: corrupt data reads as
+	// ErrCorrupt, not matchable message text.
+	if _, err := LoadLinkageDB(bytes.NewReader([]byte("NOPEnope"))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt db load: %v", err)
+	}
+	if _, err := LoadIndex(bytes.NewReader([]byte{'C', 'T', 'I', 'X', 99})); !errors.Is(err, ErrVersionMismatch) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt index load: %v", err)
 	}
 }

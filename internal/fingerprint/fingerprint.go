@@ -32,6 +32,21 @@ var (
 	ErrDimMismatch = errors.New("fingerprint: dimension mismatch")
 	ErrBadLabel    = errors.New("fingerprint: label out of range")
 	ErrBadSource   = errors.New("fingerprint: source identifier too long")
+	ErrBadHash     = errors.New("fingerprint: content hash must be 64 hex chars")
+)
+
+// Sentinel errors shared by every serialized-format loader in the
+// serving tier (linkage databases, index files, shard maps, WAL
+// segments). Loaders wrap them with %w and location context, so daemons
+// and tests branch with errors.Is instead of matching message text.
+var (
+	// ErrVersionMismatch marks a file written by an incompatible format
+	// version: the bytes are intact but this binary cannot interpret them.
+	ErrVersionMismatch = errors.New("unsupported format version")
+	// ErrCorrupt marks a file whose bytes fail structural validation:
+	// wrong magic, truncation, implausible headers, or inconsistent
+	// internal structure.
+	ErrCorrupt = errors.New("corrupt data")
 )
 
 // maxSourceLen bounds Linkage.S so the length always fits the uint16
@@ -156,6 +171,25 @@ func (db *DB) ClassIndex(y int) []int {
 	idxs := db.byClass[y]
 	out := make([]int, len(idxs))
 	copy(out, idxs)
+	return out
+}
+
+// Snapshot returns a new database holding exactly the first n entries
+// (all of them if n < 0 or n > Len). Fingerprint storage is shared —
+// entries are immutable after Add — so the copy is O(n) index work, not
+// a vector copy. The ingest path trains replacement indexes against a
+// snapshot so a concurrent writer cannot smear entries into the build.
+func (db *DB) Snapshot(n int) *DB {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if n < 0 || n > len(db.entries) {
+		n = len(db.entries)
+	}
+	out := &DB{dim: db.dim, byClass: make(map[int][]int)}
+	out.entries = append(out.entries, db.entries[:n]...)
+	for i, e := range out.entries {
+		out.byClass[e.Y] = append(out.byClass[e.Y], i)
+	}
 	return out
 }
 
@@ -352,7 +386,7 @@ func LoadDB(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("fingerprint: load: %w", err)
 	}
 	if string(magic) != dbMagic {
-		return nil, fmt.Errorf("fingerprint: load: bad magic %q", magic)
+		return nil, fmt.Errorf("fingerprint: load: bad magic %q: %w", magic, ErrCorrupt)
 	}
 	hdr := make([]byte, 8)
 	if _, err := io.ReadFull(r, hdr); err != nil {
@@ -361,14 +395,14 @@ func LoadDB(r io.Reader) (*DB, error) {
 	dim := int(binary.LittleEndian.Uint32(hdr))
 	n := int(binary.LittleEndian.Uint32(hdr[4:]))
 	if dim > 1_000_000 {
-		return nil, fmt.Errorf("fingerprint: load: implausible dimension %d", dim)
+		return nil, fmt.Errorf("fingerprint: load: implausible dimension %d: %w", dim, ErrCorrupt)
 	}
 	db, err := NewDB(dim)
 	if err != nil {
 		return nil, err
 	}
 	if n > 100_000_000 {
-		return nil, fmt.Errorf("fingerprint: load: implausible entry count %d", n)
+		return nil, fmt.Errorf("fingerprint: load: implausible entry count %d: %w", n, ErrCorrupt)
 	}
 	for i := 0; i < n; i++ {
 		head := make([]byte, 6)

@@ -30,6 +30,7 @@ import (
 type Service struct {
 	mu       sync.RWMutex
 	searcher Searcher
+	ingester Ingester
 
 	maxBody   int64
 	maxK      int
@@ -39,6 +40,7 @@ type Service struct {
 	start   time.Time
 	queries atomic.Uint64
 	batches atomic.Uint64
+	ingests atomic.Uint64
 	errs    atomic.Uint64
 	latency *Histogram
 }
@@ -71,6 +73,52 @@ func WithMaxBatch(n int) ServiceOption { return func(s *Service) { s.maxBatch = 
 func WithLatencyBuckets(boundsUS []int64) ServiceOption {
 	return func(s *Service) { s.bucketsUS = boundsUS }
 }
+
+// Ingester is the pluggable write path behind POST /ingest — the
+// counterpart of Searcher on the read side. internal/ingest.Store is
+// the production implementation (WAL-backed, durable, drift-aware); the
+// service stays read-only when none is configured.
+type Ingester interface {
+	// IngestBatch durably applies a batch of linkages, all-or-nothing:
+	// a validation failure anywhere rejects the whole batch before any
+	// entry is logged. It returns the number of entries applied.
+	IngestBatch(ls []Linkage) (int, error)
+	// IngestStats reports the write path's counters for /stats.
+	IngestStats() IngestStats
+}
+
+// IngestStats is the write-path block of a /stats response.
+type IngestStats struct {
+	// Accepted counts entries durably applied since startup (replayed
+	// entries excluded).
+	Accepted uint64 `json:"accepted"`
+	// WALBytes is the current size of the write-ahead log across all
+	// live segments — the operator's cue that a snapshot is overdue.
+	WALBytes int64 `json:"wal_bytes"`
+	// ReplayEntries counts entries restored from the WAL at startup.
+	ReplayEntries uint64 `json:"replay_entries"`
+	// LastSnapshotUnix is the Unix time of the last snapshot+truncate
+	// compaction, 0 if none has run this process.
+	LastSnapshotUnix int64 `json:"last_snapshot_unix"`
+	// Retrains counts background index retrain + hot-swap cycles
+	// triggered by drift.
+	Retrains uint64 `json:"retrains"`
+	// Drift is the serving backend's current appended fraction (0 for
+	// exact backends).
+	Drift float64 `json:"drift"`
+}
+
+// WithIngester enables the write path: POST /ingest applies batches
+// through ing, and /stats grows an "ingest" block.
+func WithIngester(ing Ingester) ServiceOption {
+	return func(s *Service) { s.ingester = ing }
+}
+
+// SetIngester enables the write path after construction — the daemon
+// wiring order is service first (the ingest store hot-swaps through
+// it), then the store, then this. Call before serving; it is not
+// synchronized against in-flight requests.
+func (s *Service) SetIngester(ing Ingester) { s.ingester = ing }
 
 // NewService serves the linkage database itself (exact linear scan) —
 // the zero-setup path. Production deployments wrap an index backend with
@@ -156,16 +204,64 @@ type BatchResponse struct {
 	UnreachableShards []string `json:"unreachable_shards,omitempty"`
 }
 
+// IngestEntry is one linkage in a POST /ingest batch — the write-side
+// counterpart of QueryRequest.
+type IngestEntry struct {
+	Fingerprint []float32 `json:"fingerprint"`
+	Label       int       `json:"label"`
+	Source      string    `json:"source"`
+	// Hash is the hex SHA-256 content digest (64 chars), or empty.
+	Hash string `json:"hash,omitempty"`
+}
+
+// IngestRequest is the JSON body of a POST /ingest.
+type IngestRequest struct {
+	Entries []IngestEntry `json:"entries"`
+}
+
+// IngestResponse is the JSON body of a POST /ingest reply. A single
+// daemon fills Accepted and Entries; a routed ingest (internal/shard)
+// additionally reports partial failure, mirroring the read path's
+// unreachable_shards degradation.
+type IngestResponse struct {
+	// Accepted counts entries durably applied (on a routed ingest:
+	// acknowledged by a write quorum of their shard's replicas).
+	Accepted int `json:"accepted"`
+	// Entries is the daemon's total entry count after the batch (0 in
+	// routed responses; shards count independently).
+	Entries int `json:"entries,omitempty"`
+	// Failed counts entries whose owning shard could not reach quorum:
+	// they are not durably accepted. A minority of replicas may still
+	// have applied them, so a verbatim retry can duplicate entries on
+	// those replicas until they are resynced from a snapshot (batch
+	// idempotency keys are a known follow-up; see ROADMAP).
+	Failed int `json:"failed,omitempty"`
+	// FailedShards names the shards that missed quorum ("shard 2").
+	FailedShards []string `json:"failed_shards,omitempty"`
+	// DegradedReplicas names replicas that missed a batch their shard
+	// quorum-acknowledged: they serve stale data until resynced from a
+	// snapshot.
+	DegradedReplicas []string `json:"degraded_replicas,omitempty"`
+	// ShardErrors carries one message per failed shard explaining the
+	// failure (quorum shortfall, or a per-daemon validation rejection
+	// the router could not pre-check).
+	ShardErrors []string `json:"shard_errors,omitempty"`
+}
+
 // StatsResponse is the JSON body of GET /stats.
 type StatsResponse struct {
-	Entries       int            `json:"entries"`
-	Dim           int            `json:"dim"`
-	Index         string         `json:"index"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Queries       uint64         `json:"queries"`
-	BatchRequests uint64         `json:"batch_requests"`
-	Errors        uint64         `json:"errors"`
-	LatencyUS     []HistogramBin `json:"latency_us"`
+	Entries        int            `json:"entries"`
+	Dim            int            `json:"dim"`
+	Index          string         `json:"index"`
+	UptimeSeconds  float64        `json:"uptime_seconds"`
+	Queries        uint64         `json:"queries"`
+	BatchRequests  uint64         `json:"batch_requests"`
+	IngestRequests uint64         `json:"ingest_requests,omitempty"`
+	Errors         uint64         `json:"errors"`
+	LatencyUS      []HistogramBin `json:"latency_us"`
+	// Ingest carries the write path's counters when the daemon has one
+	// (started with -wal).
+	Ingest *IngestStats `json:"ingest,omitempty"`
 }
 
 // HistogramBin is one cumulative-style latency bucket: Count queries took
@@ -293,6 +389,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /query/batch", s.handleBatch)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
@@ -398,6 +495,104 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.RunBatch(req.Queries))
 }
 
+// DecodeIngestEntries converts the wire form of an ingest batch into
+// linkages, validating the hex hashes. The dimension and label checks
+// happen in the Ingester so the whole batch is vetted before any entry
+// is logged.
+func DecodeIngestEntries(entries []IngestEntry) ([]Linkage, error) {
+	ls := make([]Linkage, len(entries))
+	for i, e := range entries {
+		l := Linkage{F: Fingerprint(e.Fingerprint), Y: e.Label, S: e.Source}
+		if e.Hash != "" {
+			raw, err := hex.DecodeString(e.Hash)
+			if err != nil || len(raw) != 32 {
+				return nil, fmt.Errorf("%w: entry %d %q", ErrBadHash, i, e.Hash)
+			}
+			copy(l.H[:], raw)
+		}
+		ls[i] = l
+	}
+	return ls, nil
+}
+
+// ErrIngestDisabled is returned by RunIngest on a read-only daemon (no
+// Ingester configured).
+var ErrIngestDisabled = errors.New("ingest not enabled on this daemon")
+
+// IngestStatusCode maps a RunIngest error to the HTTP status POST
+// /ingest reports: 501 for a read-only daemon, 400 for a batch the
+// daemon validated and refused (every replica of its shard would refuse
+// it identically), 500 for daemon-side faults (WAL I/O). The shard
+// router uses the same mapping so local and HTTP replicas degrade
+// identically.
+func IngestStatusCode(err error) int {
+	switch {
+	case errors.Is(err, ErrIngestDisabled):
+		return http.StatusNotImplemented
+	case errors.Is(err, ErrDimMismatch), errors.Is(err, ErrBadLabel),
+		errors.Is(err, ErrBadSource), errors.Is(err, ErrBadHash):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// RunIngest applies an ingest batch through the configured Ingester,
+// bypassing HTTP — the in-process path a local shard replica writes
+// through. The batch is all-or-nothing: any validation failure rejects
+// it before the WAL sees a byte.
+func (s *Service) RunIngest(entries []IngestEntry) (*IngestResponse, error) {
+	if s.ingester == nil {
+		return nil, ErrIngestDisabled
+	}
+	s.ingests.Add(1)
+	ls, err := DecodeIngestEntries(entries)
+	if err != nil {
+		s.errs.Add(1)
+		return nil, err
+	}
+	accepted, err := s.ingester.IngestBatch(ls)
+	if err != nil {
+		s.errs.Add(1)
+		return nil, err
+	}
+	return &IngestResponse{Accepted: accepted, Entries: s.Searcher().Len()}, nil
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.ingester == nil {
+		// Not an error counter event: a read-only daemon is a valid
+		// deployment, the client just asked the wrong tier.
+		http.Error(w, "ingest not enabled on this daemon (start caltrain-serve with -wal)", http.StatusNotImplemented)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.maxBody)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if len(req.Entries) == 0 {
+		s.fail(w, http.StatusBadRequest, "ingest batch has no entries")
+		return
+	}
+	if len(req.Entries) > s.maxBatch {
+		s.fail(w, http.StatusBadRequest, "ingest batch of %d entries exceeds limit %d", len(req.Entries), s.maxBatch)
+		return
+	}
+	resp, err := s.RunIngest(req.Entries)
+	if err != nil {
+		http.Error(w, err.Error(), IngestStatusCode(err))
+		return
+	}
+	writeJSON(w, resp)
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"status": "ok", "entries": s.Searcher().Len()})
 }
@@ -410,16 +605,22 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 // in-process path a local shard replica reports through.
 func (s *Service) StatsSnapshot() StatsResponse {
 	sr := s.Searcher()
-	return StatsResponse{
-		Entries:       sr.Len(),
-		Dim:           sr.Dim(),
-		Index:         sr.Kind(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Queries:       s.queries.Load(),
-		BatchRequests: s.batches.Load(),
-		Errors:        s.errs.Load(),
-		LatencyUS:     s.latency.Bins(),
+	out := StatsResponse{
+		Entries:        sr.Len(),
+		Dim:            sr.Dim(),
+		Index:          sr.Kind(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Queries:        s.queries.Load(),
+		BatchRequests:  s.batches.Load(),
+		IngestRequests: s.ingests.Load(),
+		Errors:         s.errs.Load(),
+		LatencyUS:      s.latency.Bins(),
 	}
+	if s.ingester != nil {
+		st := s.ingester.IngestStats()
+		out.Ingest = &st
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -520,6 +721,18 @@ func (c *Client) Query(f Fingerprint, label, k int) (*QueryResponse, error) {
 func (c *Client) QueryBatch(reqs []QueryRequest) (*BatchResponse, error) {
 	var out BatchResponse
 	if err := c.post("/query/batch", BatchRequest{Queries: reqs}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ingest posts a batch of new linkages to the service's write path —
+// against a single daemon the reply reports its new entry count, against
+// a router it reports quorum acceptance per shard. The batch is
+// all-or-nothing at each daemon: a validation error rejects it whole.
+func (c *Client) Ingest(entries []IngestEntry) (*IngestResponse, error) {
+	var out IngestResponse
+	if err := c.post("/ingest", IngestRequest{Entries: entries}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

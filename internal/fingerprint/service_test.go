@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"math/rand/v2"
 	"net"
 	"net/http"
@@ -263,5 +264,96 @@ func TestServiceGracefulServe(t *testing.T) {
 	}
 	if err := client.Healthz(); err == nil {
 		t.Fatal("server still answering after shutdown")
+	}
+}
+
+// recordingIngester is a stub write path for service-level tests.
+type recordingIngester struct {
+	mu      sync.Mutex
+	applied []Linkage
+	fail    error
+}
+
+func (r *recordingIngester) IngestBatch(ls []Linkage) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fail != nil {
+		return 0, r.fail
+	}
+	r.applied = append(r.applied, ls...)
+	return len(ls), nil
+}
+
+func (r *recordingIngester) IngestStats() IngestStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return IngestStats{Accepted: uint64(len(r.applied)), WALBytes: 123}
+}
+
+// TestServiceIngestEndpoint: POST /ingest decodes, applies through the
+// Ingester, and surfaces write counters on /stats; a read-only service
+// answers 501.
+func TestServiceIngestEndpoint(t *testing.T) {
+	svc, srv, client := serviceFixture(t)
+	// Read-only until an ingester is wired in.
+	if _, err := client.Ingest([]IngestEntry{{Fingerprint: make([]float32, 4)}}); err == nil {
+		t.Fatal("read-only service accepted an ingest")
+	}
+	ing := &recordingIngester{}
+	svc.SetIngester(ing)
+
+	entries := []IngestEntry{
+		{Fingerprint: []float32{1, 0, 0, 0}, Label: 1, Source: "p9", Hash: strings.Repeat("0f", 32)},
+		{Fingerprint: []float32{0, 1, 0, 0}, Label: 0, Source: "p9"},
+	}
+	resp, err := client.Ingest(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 2 {
+		t.Fatalf("ingest response: %+v", resp)
+	}
+	ing.mu.Lock()
+	if len(ing.applied) != 2 || ing.applied[0].S != "p9" || ing.applied[0].H[0] != 0x0f {
+		t.Fatalf("applied: %+v", ing.applied)
+	}
+	ing.mu.Unlock()
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The read-only 501 never reached the write path, so one request.
+	if st.Ingest == nil || st.Ingest.Accepted != 2 || st.Ingest.WALBytes != 123 || st.IngestRequests != 1 {
+		t.Fatalf("stats ingest block: %+v (requests %d)", st.Ingest, st.IngestRequests)
+	}
+
+	// Malformed hash: 400 via typed classification, nothing applied.
+	badHash := []IngestEntry{{Fingerprint: make([]float32, 4), Hash: "xyz"}}
+	res, err := srv.Client().Post(srv.URL+"/ingest", "application/json",
+		strings.NewReader(`{"entries":[{"fingerprint":[0,0,0,0],"hash":"xyz"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad hash status %s", res.Status)
+	}
+	_ = badHash
+
+	// Ingester-side validation error → 400; store fault → 500.
+	ing.fail = ErrDimMismatch
+	res, _ = srv.Client().Post(srv.URL+"/ingest", "application/json",
+		strings.NewReader(`{"entries":[{"fingerprint":[0,0,0,0]}]}`))
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("validation failure status %s", res.Status)
+	}
+	ing.fail = errors.New("disk full")
+	res, _ = srv.Client().Post(srv.URL+"/ingest", "application/json",
+		strings.NewReader(`{"entries":[{"fingerprint":[0,0,0,0]}]}`))
+	res.Body.Close()
+	if res.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("store fault status %s", res.Status)
 	}
 }

@@ -1,6 +1,9 @@
 package index
 
 import (
+	"fmt"
+	"sync"
+
 	"caltrain/internal/fingerprint"
 )
 
@@ -9,15 +12,22 @@ import (
 // replaces the full sort with a bounded top-k max-heap, compares squared
 // distances (one sqrt per returned match instead of one per entry), and
 // fans large classes out across cores.
+//
+// Flat implements Appender: the ingest path grows per-label buckets in
+// place, and appended entries are immediately visible to searches with
+// no recall loss (the scan stays exhaustive). Append and Search are
+// serialized under an internal RWMutex; concurrent searches still run
+// in parallel.
 type Flat struct {
+	mu      sync.RWMutex
 	dim     int
 	total   int
 	buckets map[int]*bucket
 }
 
 // NewFlat builds an exact index from a snapshot of the linkage database.
-// Entries added to the database afterwards are not visible; rebuild and
-// hot-swap (Service.SetSearcher) to pick them up.
+// Entries added to the database afterwards are not visible unless fed in
+// with Append.
 func NewFlat(db *fingerprint.DB) *Flat {
 	buckets, total, dim := buildBuckets(db)
 	return &Flat{dim: dim, total: total, buckets: buckets}
@@ -27,10 +37,32 @@ func NewFlat(db *fingerprint.DB) *Flat {
 func (x *Flat) Dim() int { return x.dim }
 
 // Len returns the number of indexed linkages.
-func (x *Flat) Len() int { return x.total }
+func (x *Flat) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.total
+}
 
 // Kind implements Searcher.
 func (x *Flat) Kind() string { return "flat" }
+
+// Append implements Appender: it grows the label's bucket in place. The
+// entry is visible to searches as soon as Append returns.
+func (x *Flat) Append(dbIndex int, l fingerprint.Linkage) error {
+	if len(l.F) != x.dim {
+		return fmt.Errorf("%w: appended fingerprint has %d dims, index %d", fingerprint.ErrDimMismatch, len(l.F), x.dim)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	b := x.buckets[l.Y]
+	if b == nil {
+		b = &bucket{}
+		x.buckets[l.Y] = b
+	}
+	b.appendEntry(int32(dbIndex), l)
+	x.total++
+	return nil
+}
 
 // Search returns the k nearest same-label entries to f, ascending by L2
 // distance with ties broken by database index — exactly DB.Query's
@@ -39,6 +71,8 @@ func (x *Flat) Search(f fingerprint.Fingerprint, label, k int) ([]fingerprint.Ma
 	if err := checkQuery(x.dim, f, k); err != nil {
 		return nil, err
 	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
 	b, ok := x.buckets[label]
 	if !ok {
 		return nil, nil

@@ -34,6 +34,30 @@ import (
 // without an import cycle.
 type Searcher = fingerprint.Searcher
 
+// Appender is the optional write extension of a Searcher backend: it
+// absorbs one new linkage without a rebuild, making the entry visible to
+// subsequent searches. dbIndex is the entry's position in the backing
+// linkage database, so Match.Index values stay consistent between the
+// index and DB.Query. Flat grows its per-label bucket in place (still
+// exact); IVF assigns the vector to its label's nearest centroid (exact
+// within the probed lists, but the coarse quantizer is not retrained —
+// see Drifter). Both backends implement it; implementations serialize
+// Append against Search internally.
+type Appender interface {
+	Searcher
+	Append(dbIndex int, l fingerprint.Linkage) error
+}
+
+// Drifter is implemented by appendable backends whose search quality
+// decays as appends accumulate. Drift is the fraction of entries
+// appended since the backend was (re)trained, in [0, 1]; the ingest
+// path retrains and hot-swaps the backend once drift crosses its
+// configured threshold. Flat never drifts (it stays exact) and does not
+// implement the interface.
+type Drifter interface {
+	Drift() float64
+}
+
 // bucket is one class label's slice of the index: vectors stored
 // contiguously for cache-friendly scanning, provenance kept parallel.
 type bucket struct {
@@ -42,6 +66,18 @@ type bucket struct {
 	idx  []int32   // database indices
 	src  []string
 	hash [][32]byte
+}
+
+// appendEntry grows the bucket by one linkage and returns its position.
+// Callers hold the owning index's write lock.
+func (b *bucket) appendEntry(dbIdx int32, l fingerprint.Linkage) int32 {
+	pos := int32(b.n)
+	b.vecs = append(b.vecs, l.F...)
+	b.idx = append(b.idx, dbIdx)
+	b.src = append(b.src, l.S)
+	b.hash = append(b.hash, l.H)
+	b.n++
+	return pos
 }
 
 // buildBuckets snapshots the database into per-label buckets.

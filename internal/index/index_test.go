@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math/rand/v2"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -388,5 +389,168 @@ func TestLoadRejectsInconsistentIVF(t *testing.T) {
 	copy(dup[len(dup)-4:], dup[len(dup)-8:len(dup)-4])
 	if _, err := Load(bytes.NewReader(dup)); err == nil {
 		t.Fatal("duplicated list position accepted")
+	}
+}
+
+// TestIVFRecallAfterAppend is the online-ingest recall guard: appending
+// 20% new vectors through Appender (no retrain) must keep recall@10 at
+// or above 0.90 on the grown set, the drift gauge must cross the
+// default retrain threshold's neighbourhood, and the retrain the ingest
+// path would then trigger must restore ≥ 0.95.
+func TestIVFRecallAfterAppend(t *testing.T) {
+	n := 10000
+	if testing.Short() {
+		n = 3000
+	}
+	appendN := n / 5 // 20%
+	const nq = 50
+	rng := rand.New(rand.NewPCG(25, 1))
+	fps := SynthFingerprints(rng, n+appendN+nq, 64, 64, 0.15)
+	db, err := fingerprint.NewDB(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fps[:n] {
+		if err := db.Add(fingerprint.Linkage{F: f, Y: 0, S: "s"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ivf, err := TrainIVF(db, IVFOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Online appends: DB and index grow together, quantizer untouched.
+	for _, f := range fps[n : n+appendN] {
+		idx := db.Len()
+		if err := db.Add(fingerprint.Linkage{F: f, Y: 0, S: "new"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ivf.Append(idx, fingerprint.Linkage{F: f, Y: 0, S: "new"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ivf.Len() != n+appendN {
+		t.Fatalf("ivf len %d, want %d", ivf.Len(), n+appendN)
+	}
+	wantDrift := float64(appendN) / float64(n+appendN)
+	if d := ivf.Drift(); d < wantDrift-1e-9 || d > wantDrift+1e-9 {
+		t.Fatalf("drift %v, want %v", d, wantDrift)
+	}
+
+	flat := NewFlat(db) // exact reference over the grown database
+	queries := fps[n+appendN:]
+	labels := make([]int, len(queries))
+	r, err := Recall(flat, ivf, queries, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("post-append recall@10 = %.3f (n=%d +%d appended, nprobe=%d)", r, n, appendN, ivf.Nprobe())
+	if r < 0.90 {
+		t.Fatalf("post-append recall@10 = %.3f, want ≥ 0.90", r)
+	}
+
+	// The drift threshold crossed (0.167 vs the ingest default 0.25
+	// scaled — here we assert the mechanism, not the constant): a
+	// retrain over the grown database restores full recall.
+	fresh, err := TrainIVF(db, IVFOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fresh.Drift(); d != 0 {
+		t.Fatalf("fresh index drift %v, want 0", d)
+	}
+	r2, err := Recall(flat, fresh, queries, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("post-retrain recall@10 = %.3f", r2)
+	if r2 < 0.95 {
+		t.Fatalf("post-retrain recall@10 = %.3f, want ≥ 0.95", r2)
+	}
+}
+
+// TestAppendSearchRace hammers Append and Search concurrently on both
+// appendable backends — the interleaving the online ingest path
+// creates, run under -race in CI.
+func TestAppendSearchRace(t *testing.T) {
+	db := populatedDB(t, 8, 400, 4, 61)
+	ivf, err := TrainIVF(db, IVFOptions{Nlist: 8, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []Appender{NewFlat(db), ivf} {
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(uint64(g), 9))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					q := randomFP(rng, 8)
+					if _, err := backend.Search(q, g%4, 5); err != nil {
+						t.Error(err)
+						return
+					}
+					backend.Len()
+				}
+			}(g)
+		}
+		rng := rand.New(rand.NewPCG(99, 9))
+		base := db.Len()
+		for i := 0; i < 200; i++ {
+			l := fingerprint.Linkage{F: randomFP(rng, 8), Y: i % 6, S: "r"} // includes brand-new labels 4,5
+			if err := backend.Append(base+i, l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		close(stop)
+		wg.Wait()
+		if backend.Len() != base+200 {
+			t.Fatalf("%s: len %d, want %d", backend.Kind(), backend.Len(), base+200)
+		}
+	}
+}
+
+// TestAppendMatchesRebuild: an appended Flat index must agree
+// bit-for-bit with one rebuilt from scratch over the same database —
+// appends lose nothing and corrupt nothing.
+func TestAppendMatchesRebuild(t *testing.T) {
+	db := populatedDB(t, 8, 150, 3, 71)
+	flat := NewFlat(db)
+	rng := rand.New(rand.NewPCG(31, 3))
+	for i := 0; i < 60; i++ {
+		l := fingerprint.Linkage{F: randomFP(rng, 8), Y: i % 5, S: "app"}
+		idx := db.Len()
+		if err := db.Add(l); err != nil {
+			t.Fatal(err)
+		}
+		if err := flat.Append(idx, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt := NewFlat(db)
+	for trial := 0; trial < 20; trial++ {
+		q := randomFP(rng, 8)
+		label := trial % 6
+		want, err := rebuilt.Search(q, label, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := flat.Search(q, label, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMatches(t, got, want)
+	}
+	// Appender dimension validation.
+	if err := flat.Append(db.Len(), fingerprint.Linkage{F: make(fingerprint.Fingerprint, 3)}); !errors.Is(err, fingerprint.ErrDimMismatch) {
+		t.Fatalf("bad append: %v", err)
 	}
 }

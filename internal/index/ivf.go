@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"caltrain/internal/fingerprint"
@@ -60,11 +61,21 @@ type ivfClass struct {
 // k-means coarse quantizer into nlist inverted lists, and a query scans
 // only the nprobe lists whose centroids are closest to it. Typical
 // configurations scan 1–10% of a class per query.
+//
+// IVF implements Appender: new vectors join their label's nearest
+// inverted list without retraining the coarse quantizer. Appended
+// entries are found whenever their list is probed, so recall decays
+// only as appends pull the data distribution away from the trained
+// centroids; Drift reports the appended fraction so the ingest path can
+// retrain and hot-swap once it crosses a threshold. Append and Search
+// are serialized under an internal RWMutex.
 type IVF struct {
-	dim    int
-	total  int
-	nprobe atomic.Int32
-	labels map[int]*ivfClass
+	mu       sync.RWMutex
+	dim      int
+	total    int
+	appended int
+	nprobe   atomic.Int32
+	labels   map[int]*ivfClass
 }
 
 // TrainIVF builds an IVF index from a snapshot of the linkage database.
@@ -194,10 +205,60 @@ func assignNearest(vecs []float32, dim int, points []int32, centroids []float32,
 func (x *IVF) Dim() int { return x.dim }
 
 // Len returns the number of indexed linkages.
-func (x *IVF) Len() int { return x.total }
+func (x *IVF) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.total
+}
 
 // Kind implements Searcher.
 func (x *IVF) Kind() string { return "ivf" }
+
+// Append implements Appender: the vector joins its label's nearest
+// inverted list (by centroid distance) without retraining the
+// quantizer. A label the index has never seen starts as a degenerate
+// one-list class seeded by the vector itself.
+func (x *IVF) Append(dbIndex int, l fingerprint.Linkage) error {
+	if len(l.F) != x.dim {
+		return fmt.Errorf("%w: appended fingerprint has %d dims, index %d", fingerprint.ErrDimMismatch, len(l.F), x.dim)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	c := x.labels[l.Y]
+	if c == nil {
+		b := &bucket{}
+		pos := b.appendEntry(int32(dbIndex), l)
+		x.labels[l.Y] = &ivfClass{
+			b:         b,
+			nlist:     1,
+			centroids: append([]float32(nil), l.F...),
+			lists:     [][]int32{{pos}},
+		}
+	} else {
+		pos := c.b.appendEntry(int32(dbIndex), l)
+		best, bestD := 0, math.Inf(1)
+		for ci := 0; ci < c.nlist; ci++ {
+			if d := sqDist(l.F, c.centroids[ci*x.dim:(ci+1)*x.dim]); d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		c.lists[best] = append(c.lists[best], pos)
+	}
+	x.total++
+	x.appended++
+	return nil
+}
+
+// Drift implements Drifter: the fraction of the index appended since
+// training. A freshly trained (or loaded) index reports 0.
+func (x *IVF) Drift() float64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if x.total == 0 {
+		return 0
+	}
+	return float64(x.appended) / float64(x.total)
+}
 
 // Nprobe returns the current probe width.
 func (x *IVF) Nprobe() int { return int(x.nprobe.Load()) }
@@ -215,6 +276,8 @@ func (x *IVF) Search(f fingerprint.Fingerprint, label, k int) ([]fingerprint.Mat
 	if err := checkQuery(x.dim, f, k); err != nil {
 		return nil, err
 	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
 	c, ok := x.labels[label]
 	if !ok {
 		return nil, nil

@@ -7,6 +7,19 @@ import (
 	"io"
 	"math"
 	"sort"
+
+	"caltrain/internal/fingerprint"
+)
+
+// Load failure sentinels, shared with the other format loaders (see
+// internal/fingerprint). Branch with errors.Is; the wrapped message
+// carries the location detail.
+var (
+	// ErrVersionMismatch marks an index file written by an incompatible
+	// format version.
+	ErrVersionMismatch = fingerprint.ErrVersionMismatch
+	// ErrCorrupt marks an index file that fails structural validation.
+	ErrCorrupt = fingerprint.ErrCorrupt
 )
 
 // Binary index format, little-endian, mirroring LinkageDB.Save's framing:
@@ -40,8 +53,14 @@ func Save(w io.Writer, s Searcher) error {
 	var ivf *IVF
 	switch x := s.(type) {
 	case *Flat:
+		// Hold the read lock for the whole dump so a concurrent Append
+		// cannot tear the snapshot mid-bucket.
+		x.mu.RLock()
+		defer x.mu.RUnlock()
 		kind, buckets = kindFlat, x.buckets
 	case *IVF:
+		x.mu.RLock()
+		defer x.mu.RUnlock()
 		kind, ivf = kindIVF, x
 		buckets = make(map[int]*bucket, len(x.labels))
 		for y, c := range x.labels {
@@ -114,19 +133,19 @@ func Load(r io.Reader) (Searcher, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, 4+1+1+4+4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("index: load: %w", err)
+		return nil, fmt.Errorf("index: load: %w: %w", err, ErrCorrupt)
 	}
 	if string(head[:4]) != ixMagic {
-		return nil, fmt.Errorf("index: load: bad magic %q", head[:4])
+		return nil, fmt.Errorf("index: load: bad magic %q: %w", head[:4], ErrCorrupt)
 	}
 	if head[4] != ixVersion {
-		return nil, fmt.Errorf("index: load: unsupported version %d", head[4])
+		return nil, fmt.Errorf("index: load: unsupported version %d: %w", head[4], ErrVersionMismatch)
 	}
 	kind := head[5]
 	dim := int(binary.LittleEndian.Uint32(head[6:]))
 	nlabels := int(binary.LittleEndian.Uint32(head[10:]))
 	if dim <= 0 || dim > maxPlausibleDim || nlabels < 0 || nlabels > maxPlausible {
-		return nil, fmt.Errorf("index: load: implausible header (dim %d, labels %d)", dim, nlabels)
+		return nil, fmt.Errorf("index: load: implausible header (dim %d, labels %d): %w", dim, nlabels, ErrCorrupt)
 	}
 	var u32b [4]byte
 	get := func() (uint32, error) {
@@ -141,18 +160,18 @@ func Load(r io.Reader) (Searcher, error) {
 	for li := 0; li < nlabels; li++ {
 		yv, err := get()
 		if err != nil {
-			return nil, fmt.Errorf("index: load label %d: %w", li, err)
+			return nil, fmt.Errorf("index: load label %d: %w: %w", li, err, ErrCorrupt)
 		}
 		y := int(int32(yv))
 		nv, err := get()
 		if err != nil {
-			return nil, fmt.Errorf("index: load label %d: %w", li, err)
+			return nil, fmt.Errorf("index: load label %d: %w: %w", li, err, ErrCorrupt)
 		}
 		n := int(nv)
 		// Bound the product too: make([]float32, n*dim) on hostile
 		// headers must error, not panic or exhaust memory.
 		if n > maxPlausible || n*dim > maxPlausibleElems {
-			return nil, fmt.Errorf("index: load: implausible entry count %d (dim %d)", n, dim)
+			return nil, fmt.Errorf("index: load: implausible entry count %d (dim %d): %w", n, dim, ErrCorrupt)
 		}
 		b := &bucket{
 			n:    n,
@@ -164,16 +183,16 @@ func Load(r io.Reader) (Searcher, error) {
 		for i := 0; i < n; i++ {
 			iv, err := get()
 			if err != nil {
-				return nil, fmt.Errorf("index: load entry %d/%d: %w", li, i, err)
+				return nil, fmt.Errorf("index: load entry %d/%d: %w: %w", li, i, err, ErrCorrupt)
 			}
 			b.idx[i] = int32(iv)
 			var u16 [2]byte
 			if _, err := io.ReadFull(br, u16[:]); err != nil {
-				return nil, fmt.Errorf("index: load entry %d/%d: %w", li, i, err)
+				return nil, fmt.Errorf("index: load entry %d/%d: %w: %w", li, i, err, ErrCorrupt)
 			}
 			rest := make([]byte, int(binary.LittleEndian.Uint16(u16[:]))+32+4*dim)
 			if _, err := io.ReadFull(br, rest); err != nil {
-				return nil, fmt.Errorf("index: load entry %d/%d: %w", li, i, err)
+				return nil, fmt.Errorf("index: load entry %d/%d: %w: %w", li, i, err, ErrCorrupt)
 			}
 			slen := len(rest) - 32 - 4*dim
 			b.src[i] = string(rest[:slen])
@@ -184,7 +203,7 @@ func Load(r io.Reader) (Searcher, error) {
 			}
 		}
 		if _, dup := buckets[y]; dup {
-			return nil, fmt.Errorf("index: load: duplicate label %d", y)
+			return nil, fmt.Errorf("index: load: duplicate label %d: %w", y, ErrCorrupt)
 		}
 		labels[li] = y
 		buckets[y] = b
@@ -197,27 +216,27 @@ func Load(r io.Reader) (Searcher, error) {
 		x := &IVF{dim: dim, total: total, labels: make(map[int]*ivfClass, nlabels)}
 		np, err := get()
 		if err != nil {
-			return nil, fmt.Errorf("index: load nprobe: %w", err)
+			return nil, fmt.Errorf("index: load nprobe: %w: %w", err, ErrCorrupt)
 		}
 		if np == 0 || np > maxPlausible {
-			return nil, fmt.Errorf("index: load: implausible nprobe %d", np)
+			return nil, fmt.Errorf("index: load: implausible nprobe %d: %w", np, ErrCorrupt)
 		}
 		x.nprobe.Store(int32(np))
 		for _, y := range labels {
 			b := buckets[y]
 			nl, err := get()
 			if err != nil {
-				return nil, fmt.Errorf("index: load label %d lists: %w", y, err)
+				return nil, fmt.Errorf("index: load label %d lists: %w: %w", y, err, ErrCorrupt)
 			}
 			nlist := int(nl)
 			if nlist <= 0 || nlist > maxPlausible || nlist*dim > maxPlausibleElems {
-				return nil, fmt.Errorf("index: load: implausible nlist %d (dim %d)", nlist, dim)
+				return nil, fmt.Errorf("index: load: implausible nlist %d (dim %d): %w", nlist, dim, ErrCorrupt)
 			}
 			c := &ivfClass{b: b, nlist: nlist, centroids: make([]float32, nlist*dim), lists: make([][]int32, nlist)}
 			for j := range c.centroids {
 				v, err := get()
 				if err != nil {
-					return nil, fmt.Errorf("index: load centroids %d: %w", y, err)
+					return nil, fmt.Errorf("index: load centroids %d: %w: %w", y, err, ErrCorrupt)
 				}
 				c.centroids[j] = math.Float32frombits(v)
 			}
@@ -229,22 +248,22 @@ func Load(r io.Reader) (Searcher, error) {
 			for ci := 0; ci < nlist; ci++ {
 				ln, err := get()
 				if err != nil {
-					return nil, fmt.Errorf("index: load list %d/%d: %w", y, ci, err)
+					return nil, fmt.Errorf("index: load list %d/%d: %w: %w", y, ci, err, ErrCorrupt)
 				}
 				if int(ln) > b.n {
-					return nil, fmt.Errorf("index: load: list %d/%d longer than class (%d > %d)", y, ci, ln, b.n)
+					return nil, fmt.Errorf("index: load: list %d/%d longer than class (%d > %d): %w", y, ci, ln, b.n, ErrCorrupt)
 				}
 				list := make([]int32, ln)
 				for p := range list {
 					pv, err := get()
 					if err != nil {
-						return nil, fmt.Errorf("index: load list %d/%d: %w", y, ci, err)
+						return nil, fmt.Errorf("index: load list %d/%d: %w: %w", y, ci, err, ErrCorrupt)
 					}
 					if int(pv) >= b.n {
-						return nil, fmt.Errorf("index: load: list position %d out of range", pv)
+						return nil, fmt.Errorf("index: load: list position %d out of range: %w", pv, ErrCorrupt)
 					}
 					if seen[pv] {
-						return nil, fmt.Errorf("index: load: position %d in two lists of label %d", pv, y)
+						return nil, fmt.Errorf("index: load: position %d in two lists of label %d: %w", pv, y, ErrCorrupt)
 					}
 					seen[pv] = true
 					covered++
@@ -253,12 +272,12 @@ func Load(r io.Reader) (Searcher, error) {
 				c.lists[ci] = list
 			}
 			if covered != b.n {
-				return nil, fmt.Errorf("index: load: lists of label %d cover %d of %d entries", y, covered, b.n)
+				return nil, fmt.Errorf("index: load: lists of label %d cover %d of %d entries: %w", y, covered, b.n, ErrCorrupt)
 			}
 			x.labels[y] = c
 		}
 		return x, nil
 	default:
-		return nil, fmt.Errorf("index: load: unknown kind %d", kind)
+		return nil, fmt.Errorf("index: load: unknown kind %d: %w", kind, ErrCorrupt)
 	}
 }

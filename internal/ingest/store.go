@@ -1,0 +1,328 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"caltrain/internal/fingerprint"
+)
+
+// appender matches index.Appender structurally, so the store stays
+// decoupled from the concrete index package.
+type appender interface {
+	Append(dbIndex int, l fingerprint.Linkage) error
+}
+
+// drifter matches index.Drifter structurally.
+type drifter interface {
+	Drift() float64
+}
+
+// Swapper hot-swaps a serving backend — fingerprint.Service implements
+// it, so a background retrain lands via the same machinery an operator
+// rebuild would use.
+type Swapper interface {
+	SetSearcher(fingerprint.Searcher)
+}
+
+// Options configures a Store.
+type Options struct {
+	// WAL tunes the log (fsync policy, segment rotation).
+	WAL WALOptions
+	// DriftThreshold triggers a background retrain + hot-swap once the
+	// serving backend's Drift exceeds it. 0 means the default (0.25);
+	// negative disables retraining. Only consulted when both Rebuild and
+	// Swapper are set and the backend reports drift.
+	DriftThreshold float64
+	// Rebuild trains a replacement backend from a database snapshot —
+	// e.g. a closure over index.TrainIVF with the daemon's options. The
+	// returned backend must implement Append so entries ingested during
+	// the rebuild can be caught up before the swap.
+	Rebuild func(db *fingerprint.DB) (fingerprint.Searcher, error)
+	// Swapper receives the retrained backend (normally the
+	// fingerprint.Service).
+	Swapper Swapper
+	// Logf reports background retrain outcomes; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// DefaultDriftThreshold is the appended fraction above which a Store
+// retrains its approximate backend: at 0.25, a quarter of the index
+// sits in lists chosen by a quantizer that never saw those vectors.
+const DefaultDriftThreshold = 0.25
+
+// Store is the durable write path of one serving daemon: a WAL in
+// front of the linkage database and its (appendable) index backend.
+//
+//	Open     → replay the WAL over the loaded snapshot
+//	Ingest   → WAL append (fsync per policy) → DB → index, under one lock
+//	Snapshot → persist the DB, truncate the WAL (compaction)
+//
+// Reads never block on the store: searches run against the index's own
+// read locks, and the batch lock here only serializes writers. Store
+// implements fingerprint.Ingester.
+type Store struct {
+	mu  sync.Mutex // serializes writers: Ingest, Snapshot, retrain swap
+	wal *WAL
+	db  *fingerprint.DB
+
+	// smu guards only the searcher/app pointer pair, so stats readers
+	// never wait behind a Snapshot or retrain catch-up holding mu.
+	// Writers hold BOTH mu and smu.
+	smu      sync.Mutex
+	searcher fingerprint.Searcher
+	app      appender // nil when searcher is the DB itself (linear)
+
+	driftThreshold float64
+	rebuild        func(*fingerprint.DB) (fingerprint.Searcher, error)
+	swapper        Swapper
+	logf           func(string, ...any)
+
+	retraining   atomic.Bool
+	retrainWG    sync.WaitGroup
+	accepted     atomic.Uint64
+	replayed     uint64
+	retrains     atomic.Uint64
+	lastSnapshot atomic.Int64
+}
+
+// Open attaches a WAL at dir to the database and its serving backend,
+// replaying any records the last snapshot does not cover — into both
+// the database and the backend, so a restarted daemon serves exactly
+// the acknowledged linkages. The backend must be the database itself
+// (linear scan; appends are naturally visible) or an index.Appender.
+func Open(dir string, db *fingerprint.DB, searcher fingerprint.Searcher, opts Options) (*Store, error) {
+	s := &Store{
+		db:             db,
+		searcher:       searcher,
+		driftThreshold: opts.DriftThreshold,
+		rebuild:        opts.Rebuild,
+		swapper:        opts.Swapper,
+		logf:           opts.Logf,
+	}
+	if s.driftThreshold == 0 {
+		s.driftThreshold = DefaultDriftThreshold
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	if sdb, ok := searcher.(*fingerprint.DB); ok {
+		if sdb != db {
+			return nil, fmt.Errorf("ingest: linear backend must be the ingest database itself")
+		}
+	} else {
+		ap, ok := searcher.(appender)
+		if !ok {
+			return nil, fmt.Errorf("ingest: %s backend does not support appends", searcher.Kind())
+		}
+		s.app = ap
+	}
+
+	wal, err := OpenWAL(dir, db.Dim(), opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	err = wal.Replay(func(seq uint64, l fingerprint.Linkage) error {
+		n := uint64(db.Len())
+		switch {
+		case seq < n:
+			return nil // covered by the loaded snapshot
+		case seq > n:
+			return fmt.Errorf("ingest: wal replay: record %d leaves a gap after %d entries: %w", seq, n, ErrCorrupt)
+		}
+		if err := s.apply(l); err != nil {
+			return fmt.Errorf("ingest: wal replay: record %d: %w", seq, err)
+		}
+		s.replayed++
+		return nil
+	})
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	s.wal = wal
+	return s, nil
+}
+
+// apply adds one linkage to the database and the index backend.
+// Callers hold s.mu (or, during Open, exclusive access).
+func (s *Store) apply(l fingerprint.Linkage) error {
+	idx := s.db.Len()
+	if err := s.db.Add(l); err != nil {
+		return err
+	}
+	if s.app != nil {
+		if err := s.app.Append(idx, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IngestBatch implements fingerprint.Ingester: validate everything,
+// log the batch (durable per the WAL's fsync policy), then apply it to
+// the database and index. All-or-nothing: a validation failure anywhere
+// rejects the batch before the WAL sees a byte.
+func (s *Store) IngestBatch(ls []fingerprint.Linkage) (int, error) {
+	if len(ls) == 0 {
+		return 0, nil
+	}
+	dim := s.db.Dim()
+	for i, l := range ls {
+		if len(l.F) != dim {
+			return 0, fmt.Errorf("%w: entry %d has %d dims, database %d", fingerprint.ErrDimMismatch, i, len(l.F), dim)
+		}
+		if l.Y < 0 {
+			return 0, fmt.Errorf("%w: entry %d label %d", fingerprint.ErrBadLabel, i, l.Y)
+		}
+		if len(l.S) > 65535 {
+			return 0, fmt.Errorf("%w: entry %d source %d bytes", fingerprint.ErrBadSource, i, len(l.S))
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.wal.Append(uint64(s.db.Len()), ls); err != nil {
+		return 0, err
+	}
+	for i, l := range ls {
+		// Validation passed above, so apply cannot fail on input; an
+		// error here means the logged batch half-applied, which only a
+		// restart (replay) repairs.
+		if err := s.apply(l); err != nil {
+			return i, fmt.Errorf("ingest: apply after WAL ack: %w (restart to replay)", err)
+		}
+	}
+	s.accepted.Add(uint64(len(ls)))
+	s.maybeRetrainLocked()
+	return len(ls), nil
+}
+
+// maybeRetrainLocked kicks off a background retrain + hot-swap when the
+// serving backend reports drift past the threshold. Callers hold s.mu.
+func (s *Store) maybeRetrainLocked() {
+	if s.rebuild == nil || s.swapper == nil || s.driftThreshold < 0 {
+		return
+	}
+	d, ok := s.searcher.(drifter)
+	if !ok || d.Drift() < s.driftThreshold {
+		return
+	}
+	if !s.retraining.CompareAndSwap(false, true) {
+		return // one retrain at a time
+	}
+	snap := s.db.Snapshot(-1)
+	s.retrainWG.Add(1)
+	go func() {
+		defer s.retrainWG.Done()
+		defer s.retraining.Store(false)
+		started := time.Now()
+		fresh, err := s.rebuild(snap)
+		if err != nil {
+			s.logf("ingest: background retrain failed: %v", err)
+			return
+		}
+		// Entries ingested while training ran are in the DB but not in
+		// the fresh index; catch up under the write lock, then swap.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		ap, ok := fresh.(appender)
+		if !ok {
+			s.logf("ingest: retrained %s backend is not appendable; swap aborted", fresh.Kind())
+			return
+		}
+		for i := snap.Len(); i < s.db.Len(); i++ {
+			if err := ap.Append(i, s.db.Entry(i)); err != nil {
+				s.logf("ingest: retrain catch-up: %v", err)
+				return
+			}
+		}
+		s.smu.Lock()
+		s.searcher, s.app = fresh, ap
+		s.smu.Unlock()
+		s.swapper.SetSearcher(fresh)
+		s.retrains.Add(1)
+		s.logf("ingest: retrained %s backend over %d entries in %v (drift reset)",
+			fresh.Kind(), fresh.Len(), time.Since(started).Round(time.Millisecond))
+	}()
+}
+
+// Snapshot persists the database to path (atomically, via rename) and
+// truncates the WAL — the compaction step. Ingest blocks for the
+// duration; queries do not. The path should be the same -db file the
+// daemon loads at startup, so a restart reads the snapshot and replays
+// only the post-snapshot tail.
+//
+// alsoPersist callbacks run with the current serving backend inside the
+// same write-locked section, after the database file lands and before
+// the WAL truncates — a daemon that loaded its index from a file
+// re-saves it here, so the index and database files can never disagree
+// on entry count across a restart. A callback failure aborts the
+// truncate: the database file is already updated, but replay is
+// idempotent, so nothing is lost.
+func (s *Store) Snapshot(path string, alsoPersist ...func(fingerprint.Searcher) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ingest: snapshot: %w", err)
+	}
+	if err := s.db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ingest: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("ingest: snapshot: %w", err)
+	}
+	for _, fn := range alsoPersist {
+		if err := fn(s.searcher); err != nil {
+			return fmt.Errorf("ingest: snapshot: %w", err)
+		}
+	}
+	if err := s.wal.Truncate(); err != nil {
+		return err
+	}
+	s.lastSnapshot.Store(time.Now().Unix())
+	return nil
+}
+
+// IngestStats implements fingerprint.Ingester.
+func (s *Store) IngestStats() fingerprint.IngestStats {
+	st := fingerprint.IngestStats{
+		Accepted:         s.accepted.Load(),
+		WALBytes:         s.wal.Bytes(),
+		ReplayEntries:    s.replayed,
+		LastSnapshotUnix: s.lastSnapshot.Load(),
+		Retrains:         s.retrains.Load(),
+	}
+	s.smu.Lock()
+	sr := s.searcher
+	s.smu.Unlock()
+	if d, ok := sr.(drifter); ok {
+		st.Drift = d.Drift()
+	}
+	return st
+}
+
+// Replayed returns how many WAL entries Open restored.
+func (s *Store) Replayed() int { return int(s.replayed) }
+
+// Close waits for any background retrain and closes the WAL. It does
+// not snapshot; an un-snapshotted store simply replays more on the next
+// Open.
+func (s *Store) Close() error {
+	s.retrainWG.Wait()
+	return s.wal.Close()
+}

@@ -1,0 +1,561 @@
+// Package ingest is the durable online write path of CalTrain's
+// accountability serving tier (§IV-C): every collaborative training
+// round mints new instance→model linkages, and this package lets a
+// running query daemon absorb them without a retrain-and-restart cycle.
+//
+// The pieces, bottom up:
+//
+//   - WAL: a CRC-framed, segment-rotating write-ahead log. A linkage
+//     batch is acknowledged only after it is framed, written, and (per
+//     the configured SyncPolicy) fsynced, so an acknowledged write
+//     survives SIGKILL.
+//   - Store: ties the WAL to the linkage database and an appendable
+//     index backend (index.Appender). On restart it replays the WAL on
+//     top of the last database snapshot; at runtime it applies batches
+//     WAL-first, tracks approximate-index drift, and retrains + hot-swaps
+//     the serving backend in the background once drift crosses a
+//     threshold. Snapshot persists the database and truncates the WAL
+//     (compaction).
+//
+// The Store implements fingerprint.Ingester, so a fingerprint.Service
+// exposes it as POST /ingest with counters on /stats; internal/shard
+// fans the same batches out to every replica of the owning shard.
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"caltrain/internal/fingerprint"
+)
+
+// WAL corruption sentinels, shared with the other format loaders (see
+// internal/fingerprint): branch with errors.Is.
+var (
+	// ErrCorrupt marks a WAL segment that fails structural validation
+	// somewhere other than the torn tail of the final segment.
+	ErrCorrupt = fingerprint.ErrCorrupt
+	// ErrVersionMismatch marks a WAL segment written by an incompatible
+	// format version.
+	ErrVersionMismatch = fingerprint.ErrVersionMismatch
+)
+
+// SyncPolicy selects when the WAL fsyncs.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways fsyncs every Append before acknowledging it: an
+	// acknowledged batch survives power loss. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer (WALOptions.SyncEvery):
+	// a crash loses at most one interval of acknowledged writes.
+	SyncInterval
+	// SyncNever leaves syncing to the OS page cache: a process crash
+	// loses nothing (the data is in kernel buffers), a machine crash can
+	// lose everything since the last natural writeback.
+	SyncNever
+)
+
+// String names the policy for flags and logs.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("syncpolicy(%d)", uint8(p))
+	}
+}
+
+// ParseSyncPolicy turns a -fsync flag value into a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("ingest: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// WALOptions tunes the log.
+type WALOptions struct {
+	// Sync is the fsync policy. Default SyncAlways.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval flush period. Default 50ms.
+	SyncEvery time.Duration
+	// SegmentBytes rotates to a fresh segment file once the active one
+	// exceeds this size. Default 64MB.
+	SegmentBytes int64
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// Serialized WAL format, little-endian, versioned like the other
+// CalTrain formats. Each segment file (wal-XXXXXXXX.seg) starts with
+//
+//	"CTWL" | version u8 | dim u32
+//
+// followed by records, one linkage each:
+//
+//	seq u64 | paylen u32 | crc32(payload) u32 | payload
+//	payload: label i32 | srclen u16 | src | hash[32] | dim × f32
+//
+// seq is the linkage's index in the backing database, which makes
+// replay idempotent across snapshots: records already covered by the
+// loaded snapshot (seq < db.Len()) are skipped without a manifest file.
+const (
+	walMagic     = "CTWL"
+	walVersion   = 1
+	walHeaderLen = 4 + 1 + 4
+	walSuffix    = ".seg"
+	walPrefix    = "wal-"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WAL is a CRC-framed, segment-rotating write-ahead log of linkages.
+// Open replays nothing by itself: call Replay before the first Append.
+// Safe for one writer at a time; Append serializes internally.
+type WAL struct {
+	dir  string
+	dim  int
+	opts WALOptions
+
+	mu      sync.Mutex
+	f       *os.File
+	active  int    // active segment number
+	size    int64  // bytes in the active segment
+	total   int64  // bytes across all live segments
+	buf     []byte // record scratch
+	stopSyn chan struct{}
+	synWG   sync.WaitGroup
+	closed  bool
+	// failed marks a torn write that could not be rolled back: appends
+	// stop (fail-stop) so the damage stays at the stream's tail, which
+	// replay tolerates.
+	failed bool
+}
+
+// OpenWAL opens (creating if needed) the log directory and starts a
+// fresh active segment after any existing ones — earlier segments are
+// never appended to, so a torn tail from a crash stays confined to the
+// end of the stream. Existing records are read back with Replay.
+func OpenWAL(dir string, dim int, opts WALOptions) (*WAL, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("ingest: wal dimension must be positive, got %d", dim)
+	}
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: wal: %w", err)
+	}
+	segs, total, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 1
+	if n := len(segs); n > 0 {
+		next = segs[n-1] + 1
+	}
+	w := &WAL{dir: dir, dim: dim, opts: opts, total: total, stopSyn: make(chan struct{})}
+	if err := w.openSegment(next); err != nil {
+		return nil, err
+	}
+	if opts.Sync == SyncInterval {
+		w.synWG.Add(1)
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+// listSegments returns the segment numbers in dir ascending plus their
+// total byte size.
+func listSegments(dir string) ([]int, int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ingest: wal: %w", err)
+	}
+	var segs []int
+	var total int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(name, walPrefix+"%08d"+walSuffix, &n); err != nil || n < 1 {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+		segs = append(segs, n)
+	}
+	sort.Ints(segs)
+	return segs, total, nil
+}
+
+func segmentPath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", walPrefix, n, walSuffix))
+}
+
+// openSegment creates segment n, writes its header, and fsyncs the
+// directory so the file itself survives a crash. Callers hold w.mu or
+// have exclusive access.
+func (w *WAL) openSegment(n int) error {
+	path := segmentPath(w.dir, n)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: wal: %w", err)
+	}
+	// Any failure past this point removes the file: a partially-headered
+	// segment left behind would poison the next restart's replay (and
+	// block the O_EXCL retry).
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	hdr := make([]byte, 0, walHeaderLen)
+	hdr = append(hdr, walMagic...)
+	hdr = append(hdr, walVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(w.dim))
+	if _, err := f.Write(hdr); err != nil {
+		return fail(fmt.Errorf("ingest: wal: %w", err))
+	}
+	if w.opts.Sync != SyncNever {
+		if err := f.Sync(); err != nil {
+			return fail(fmt.Errorf("ingest: wal: %w", err))
+		}
+		if err := syncDir(w.dir); err != nil {
+			return fail(err)
+		}
+	}
+	w.f, w.active, w.size = f, n, walHeaderLen
+	w.total += walHeaderLen
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ingest: wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("ingest: wal: %w", err)
+	}
+	return nil
+}
+
+func (w *WAL) syncLoop() {
+	defer w.synWG.Done()
+	t := time.NewTicker(w.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed {
+				w.f.Sync()
+			}
+			w.mu.Unlock()
+		case <-w.stopSyn:
+			return
+		}
+	}
+}
+
+// appendRecord frames one linkage into w.buf.
+func (w *WAL) appendRecord(seq uint64, l fingerprint.Linkage) {
+	payLen := 4 + 2 + len(l.S) + 32 + 4*w.dim
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, seq)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(payLen))
+	payStart := len(w.buf) + 4 // past the CRC slot
+	w.buf = append(w.buf, 0, 0, 0, 0)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(int32(l.Y)))
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, uint16(len(l.S)))
+	w.buf = append(w.buf, l.S...)
+	w.buf = append(w.buf, l.H[:]...)
+	for _, v := range l.F {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, math.Float32bits(v))
+	}
+	crc := crc32.Checksum(w.buf[payStart:], crcTable)
+	binary.LittleEndian.PutUint32(w.buf[payStart-4:payStart], crc)
+}
+
+// Append logs a batch of linkages, the first at sequence number seq and
+// the rest consecutive. It returns once the batch is written — and,
+// under SyncAlways, fsynced: the acknowledgment is the durability
+// guarantee. The segment rotates once it exceeds SegmentBytes.
+func (w *WAL) Append(seq uint64, ls []fingerprint.Linkage) error {
+	if len(ls) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("ingest: wal: append after Close")
+	}
+	if w.failed {
+		return errors.New("ingest: wal: log failed a torn-write rollback; restart to replay")
+	}
+	w.buf = w.buf[:0]
+	for i, l := range ls {
+		if len(l.F) != w.dim {
+			return fmt.Errorf("%w: wal append: %d dims, log %d", fingerprint.ErrDimMismatch, len(l.F), w.dim)
+		}
+		w.appendRecord(seq+uint64(i), l)
+	}
+	n, err := w.f.Write(w.buf)
+	if err != nil {
+		// Roll the torn record back so later acknowledged batches are
+		// not appended after mid-segment garbage — replay tolerates
+		// damage only at the stream's tail. If the rollback itself
+		// fails, fail stop: refusing further appends keeps the torn
+		// bytes at the tail, where the next restart's replay skips them
+		// (they were never acknowledged).
+		if w.f.Truncate(w.size) != nil || !w.seekTo(w.size) {
+			w.failed = true
+			return fmt.Errorf("ingest: wal: %w (rollback failed; log closed to appends until restart)", err)
+		}
+		return fmt.Errorf("ingest: wal: %w", err)
+	}
+	w.size += int64(n)
+	w.total += int64(n)
+	if w.opts.Sync == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("ingest: wal: %w", err)
+		}
+	}
+	if w.size >= w.opts.SegmentBytes {
+		// The batch is already durable; a rotation failure must not fail
+		// it (the caller would report "failed" for records replay will
+		// resurrect). The size check re-fires on the next Append, so
+		// rotation simply retries then.
+		_ = w.rotateLocked()
+	}
+	return nil
+}
+
+// seekTo repositions the active segment's write offset after a torn
+// write was truncated away. Callers hold w.mu.
+func (w *WAL) seekTo(off int64) bool {
+	pos, err := w.f.Seek(off, io.SeekStart)
+	return err == nil && pos == off
+}
+
+// rotateLocked switches to the next segment. The old segment stays
+// open (and appendable) until the new one is fully created, so a failed
+// rotation leaves the log in a working state.
+func (w *WAL) rotateLocked() error {
+	old := w.f
+	if err := w.openSegment(w.active + 1); err != nil {
+		w.f = old
+		return err
+	}
+	old.Close()
+	return nil
+}
+
+// Sync flushes the active segment to stable storage regardless of
+// policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: wal: %w", err)
+	}
+	return nil
+}
+
+// Bytes returns the total size of all live segments — the wal_bytes
+// stat, and the operator's cue that a Snapshot is overdue.
+func (w *WAL) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// Truncate deletes every segment and starts a fresh one — the
+// compaction step after the backing database has been snapshotted, at
+// which point every logged record is covered by the snapshot. Callers
+// must guarantee no concurrent Append (the Store holds its write lock).
+func (w *WAL) Truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("ingest: wal: truncate after Close")
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("ingest: wal: %w", err)
+	}
+	segs, _, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, n := range segs {
+		if err := os.Remove(segmentPath(w.dir, n)); err != nil {
+			return fmt.Errorf("ingest: wal: %w", err)
+		}
+	}
+	if w.opts.Sync != SyncNever {
+		if err := syncDir(w.dir); err != nil {
+			return err
+		}
+	}
+	w.total = 0
+	return w.openSegment(w.active + 1)
+}
+
+// Close flushes and closes the active segment.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	close(w.stopSyn)
+	w.mu.Unlock()
+	w.synWG.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.opts.Sync != SyncNever {
+		w.f.Sync()
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("ingest: wal: %w", err)
+	}
+	return nil
+}
+
+// Replay streams every record logged before this WAL's active segment
+// through fn in sequence order. A torn tail — a short or CRC-failing
+// record at the end of the final pre-existing segment, the signature of
+// a crash mid-write — ends replay silently: those bytes were never
+// acknowledged. The same damage anywhere else is ErrCorrupt. Call
+// before the first Append.
+func (w *WAL) Replay(fn func(seq uint64, l fingerprint.Linkage) error) error {
+	segs, _, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	// Only segments older than the active one hold pre-crash records.
+	var live []int
+	for _, n := range segs {
+		if n < w.active {
+			live = append(live, n)
+		}
+	}
+	for i, n := range live {
+		if err := replaySegment(segmentPath(w.dir, n), w.dim, i == len(live)-1, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment reads one segment. tornOK tolerates a damaged tail
+// (final pre-existing segment only).
+func replaySegment(path string, dim int, tornOK bool, fn func(uint64, fingerprint.Linkage) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("ingest: wal replay: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, walHeaderLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return fmt.Errorf("ingest: wal replay %s: header: %w: %w", filepath.Base(path), err, ErrCorrupt)
+	}
+	if string(hdr[:4]) != walMagic {
+		return fmt.Errorf("ingest: wal replay %s: bad magic %q: %w", filepath.Base(path), hdr[:4], ErrCorrupt)
+	}
+	if hdr[4] != walVersion {
+		return fmt.Errorf("ingest: wal replay %s: unsupported version %d: %w", filepath.Base(path), hdr[4], ErrVersionMismatch)
+	}
+	if got := int(binary.LittleEndian.Uint32(hdr[5:])); got != dim {
+		return fmt.Errorf("ingest: wal replay %s: log dim %d, database dim %d: %w", filepath.Base(path), got, dim, ErrCorrupt)
+	}
+	maxPay := 4 + 2 + 65535 + 32 + 4*dim
+	recHdr := make([]byte, 8+4+4)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, recHdr); err != nil {
+			if err == io.EOF {
+				return nil // clean end
+			}
+			if tornOK {
+				return nil // torn record header at the tail
+			}
+			return fmt.Errorf("ingest: wal replay %s: record header: %w: %w", filepath.Base(path), err, ErrCorrupt)
+		}
+		seq := binary.LittleEndian.Uint64(recHdr)
+		payLen := int(binary.LittleEndian.Uint32(recHdr[8:]))
+		crc := binary.LittleEndian.Uint32(recHdr[12:])
+		if payLen < 4+2+32+4*dim || payLen > maxPay {
+			if tornOK {
+				return nil
+			}
+			return fmt.Errorf("ingest: wal replay %s: implausible record length %d: %w", filepath.Base(path), payLen, ErrCorrupt)
+		}
+		if cap(payload) < payLen {
+			payload = make([]byte, payLen)
+		}
+		payload = payload[:payLen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if tornOK {
+				return nil
+			}
+			return fmt.Errorf("ingest: wal replay %s: record body: %w: %w", filepath.Base(path), err, ErrCorrupt)
+		}
+		if crc32.Checksum(payload, crcTable) != crc {
+			if tornOK {
+				return nil
+			}
+			return fmt.Errorf("ingest: wal replay %s: record %d CRC mismatch: %w", filepath.Base(path), seq, ErrCorrupt)
+		}
+		l := fingerprint.Linkage{Y: int(int32(binary.LittleEndian.Uint32(payload)))}
+		slen := int(binary.LittleEndian.Uint16(payload[4:]))
+		if 4+2+slen+32+4*dim != payLen {
+			return fmt.Errorf("ingest: wal replay %s: record %d source length %d inconsistent: %w", filepath.Base(path), seq, slen, ErrCorrupt)
+		}
+		l.S = string(payload[6 : 6+slen])
+		copy(l.H[:], payload[6+slen:6+slen+32])
+		l.F = make(fingerprint.Fingerprint, dim)
+		fb := payload[6+slen+32:]
+		for j := 0; j < dim; j++ {
+			l.F[j] = math.Float32frombits(binary.LittleEndian.Uint32(fb[j*4:]))
+		}
+		if err := fn(seq, l); err != nil {
+			return err
+		}
+	}
+}

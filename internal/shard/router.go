@@ -33,6 +33,16 @@ type Replica interface {
 	Addr() string
 }
 
+// IngestReplica is the optional write extension of Replica: a replica
+// that accepts ingest batches. Both HTTPReplica and LocalReplica
+// implement it; the router's write fan-out counts a replica that does
+// not as a failed acknowledgment.
+type IngestReplica interface {
+	Replica
+	// Ingest durably applies a batch of new linkages on the replica.
+	Ingest(ctx context.Context, entries []fingerprint.IngestEntry) (*fingerprint.IngestResponse, error)
+}
+
 // HTTPReplica reaches a shard daemon (caltrain-serve) over HTTP using
 // the standard query protocol.
 type HTTPReplica struct {
@@ -64,6 +74,24 @@ func (r *HTTPReplica) QueryBatch(ctx context.Context, reqs []fingerprint.QueryRe
 	}
 	req.Header.Set("Content-Type", "application/json")
 	var out fingerprint.BatchResponse
+	if err := r.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ingest posts a batch of new linkages to the daemon's /ingest.
+func (r *HTTPReplica) Ingest(ctx context.Context, entries []fingerprint.IngestEntry) (*fingerprint.IngestResponse, error) {
+	payload, err := json.Marshal(fingerprint.IngestRequest{Entries: entries})
+	if err != nil {
+		return nil, fmt.Errorf("shard: encode ingest: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/ingest", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out fingerprint.IngestResponse
 	if err := r.do(req, &out); err != nil {
 		return nil, err
 	}
@@ -156,6 +184,18 @@ func (r *LocalReplica) QueryBatch(_ context.Context, reqs []fingerprint.QueryReq
 	return r.svc.RunBatch(reqs), nil
 }
 
+// Ingest applies the batch directly through the service's write path.
+// Errors carry the HTTP status the service would have written, so the
+// router's quorum accounting treats local and HTTP replicas alike (a
+// validation rejection is definitive, a store fault is not).
+func (r *LocalReplica) Ingest(_ context.Context, entries []fingerprint.IngestEntry) (*fingerprint.IngestResponse, error) {
+	resp, err := r.svc.RunIngest(entries)
+	if err != nil {
+		return nil, &StatusError{Code: fingerprint.IngestStatusCode(err), Msg: err.Error()}
+	}
+	return resp, nil
+}
+
 // Healthz always succeeds: an in-process service lives as long as the
 // router.
 func (r *LocalReplica) Healthz(context.Context) error { return nil }
@@ -224,17 +264,19 @@ var RouterLatencyBucketsUS = []int64{
 // back as per-result errors and the batch response names the shard in
 // unreachable_shards — a partial result, never a batch failure.
 type Router struct {
-	m        *Map
-	shards   [][]*replicaState
-	timeout  time.Duration
-	cooldown time.Duration
-	maxBody  int64
-	maxBatch int
-	now      func() time.Time
+	m           *Map
+	shards      [][]*replicaState
+	timeout     time.Duration
+	cooldown    time.Duration
+	maxBody     int64
+	maxBatch    int
+	writeQuorum int
+	now         func() time.Time
 
 	start   time.Time
 	queries atomic.Uint64
 	batches atomic.Uint64
+	ingests atomic.Uint64
 	errs    atomic.Uint64
 	latency *fingerprint.Histogram
 
@@ -267,6 +309,16 @@ func WithRouterMaxBatch(n int) RouterOption { return func(r *Router) { r.maxBatc
 // bounds (microseconds). Default RouterLatencyBucketsUS.
 func WithRouterLatencyBuckets(boundsUS []int64) RouterOption {
 	return func(r *Router) { r.bucketsUS = boundsUS }
+}
+
+// WithWriteQuorum sets how many replicas of a shard must acknowledge an
+// ingest batch before the router reports it durable. 0 (the default)
+// means a majority of the shard's replicas; values above a shard's
+// replica count are clamped to it (i.e. all replicas). Replicas that
+// miss a quorum-acknowledged batch are named in degraded_replicas —
+// they serve stale data until resynced from a snapshot.
+func WithWriteQuorum(n int) RouterOption {
+	return func(r *Router) { r.writeQuorum = n }
 }
 
 // NewRouter creates a router over m.NumShards() shards; replicas[i]
@@ -424,6 +476,7 @@ func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", r.handleQuery)
 	mux.HandleFunc("POST /query/batch", r.handleBatch)
+	mux.HandleFunc("POST /ingest", r.handleIngest)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
 	mux.HandleFunc("GET /stats", r.handleStats)
 	return mux
@@ -497,6 +550,191 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 	results, unreachable := r.scatter(req.Context(), batch.Queries)
 	r.latency.Observe(time.Since(started))
 	writeJSON(w, fingerprint.BatchResponse{Results: results, UnreachableShards: unreachable})
+}
+
+// quorumFor returns the acknowledgment count shard writes need out of
+// n replicas.
+func (r *Router) quorumFor(n int) int {
+	if r.writeQuorum > 0 {
+		return min(r.writeQuorum, n)
+	}
+	return n/2 + 1
+}
+
+// shardIngestResult is one shard's outcome of a fanned-out write.
+type shardIngestResult struct {
+	entries  int
+	acked    int
+	quorum   int
+	rejected string   // non-empty: a replica definitively refused the batch (4xx)
+	failed   []string // replicas that did not acknowledge
+}
+
+// ingestShard fans one shard's entries out to ALL of its replicas
+// concurrently — writes replicate, they do not fail over — and counts
+// acknowledgments against the write quorum. Replica faults feed the
+// same health state the read path uses; a definitive rejection (4xx:
+// the batch itself is unacceptable, every replica of the shard would
+// refuse it the same way) aborts the shard without cooldowns.
+func (r *Router) ingestShard(parent context.Context, sid int, entries []fingerprint.IngestEntry) shardIngestResult {
+	ctx, cancel := context.WithTimeout(parent, r.timeout)
+	defer cancel()
+	states := r.shards[sid]
+	res := shardIngestResult{entries: len(entries), quorum: r.quorumFor(len(states))}
+	type ack struct {
+		s        *replicaState
+		err      error
+		rejected bool
+	}
+	acks := make([]ack, len(states))
+	var wg sync.WaitGroup
+	for i, s := range states {
+		wg.Add(1)
+		go func(i int, s *replicaState) {
+			defer wg.Done()
+			ir, ok := s.r.(IngestReplica)
+			if !ok {
+				// Same shape a read-only daemon answers with over HTTP,
+				// so the accounting below treats both alike: alive, no
+				// cooldown, no acknowledgment.
+				acks[i] = ack{s: s, err: &StatusError{
+					Code: http.StatusNotImplemented,
+					Msg:  fmt.Sprintf("replica %s does not accept writes", s.r.Addr()),
+				}}
+				return
+			}
+			_, err := ir.Ingest(ctx, entries)
+			var rejected *StatusError
+			if errors.As(err, &rejected) && rejected.definitive() {
+				acks[i] = ack{s: s, err: err, rejected: true}
+				return
+			}
+			acks[i] = ack{s: s, err: err}
+		}(i, s)
+	}
+	wg.Wait()
+	now := r.now()
+	for _, a := range acks {
+		switch {
+		case a.rejected:
+			// Alive but refused: a batch problem, not a health event.
+			// Also a missed acknowledgment — if the rest of the shard
+			// reaches quorum anyway, this replica is divergent, not
+			// authoritative.
+			a.s.markUp()
+			res.rejected = a.err.Error()
+			res.failed = append(res.failed, a.s.r.Addr())
+		case a.err == nil:
+			a.s.markUp()
+			res.acked++
+		default:
+			// A read-only replica (501: no -wal) is alive and serving
+			// queries; it just cannot take writes. Count it as a missed
+			// acknowledgment without poisoning the read path's health
+			// state with a cooldown.
+			var se *StatusError
+			if errors.As(a.err, &se) && se.Code == http.StatusNotImplemented {
+				a.s.markUp()
+			} else if parent.Err() == nil {
+				a.s.markDown(now, r.cooldown)
+			}
+			res.failed = append(res.failed, a.s.r.Addr())
+		}
+	}
+	sort.Strings(res.failed)
+	return res
+}
+
+func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
+	r.ingests.Add(1)
+	var batch fingerprint.IngestRequest
+	if !r.decode(w, req, &batch) {
+		return
+	}
+	if len(batch.Entries) == 0 {
+		r.fail(w, http.StatusBadRequest, "ingest batch has no entries")
+		return
+	}
+	if len(batch.Entries) > r.maxBatch {
+		r.fail(w, http.StatusBadRequest, "ingest batch of %d entries exceeds limit %d", len(batch.Entries), r.maxBatch)
+		return
+	}
+	// Sub-batches apply atomically per shard, but a multi-shard request
+	// is not globally atomic — so reject everything the router CAN
+	// validate before any shard sees a byte. Only a mismatch against the
+	// daemons' database dimension can still surface per-shard.
+	if _, err := fingerprint.DecodeIngestEntries(batch.Entries); err != nil {
+		r.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dim0 := len(batch.Entries[0].Fingerprint)
+	for i, e := range batch.Entries {
+		if e.Label < 0 {
+			r.fail(w, http.StatusBadRequest, "entry %d: label %d out of range", i, e.Label)
+			return
+		}
+		if len(e.Fingerprint) != dim0 {
+			r.fail(w, http.StatusBadRequest, "entry %d has %d dims, entry 0 has %d", i, len(e.Fingerprint), dim0)
+			return
+		}
+		if len(e.Source) > 65535 {
+			r.fail(w, http.StatusBadRequest, "entry %d: source of %d bytes exceeds 65535", i, len(e.Source))
+			return
+		}
+	}
+	byShard := make(map[int][]fingerprint.IngestEntry)
+	for _, e := range batch.Entries {
+		sid := r.m.Shard(e.Label)
+		byShard[sid] = append(byShard[sid], e)
+	}
+	results := make(map[int]shardIngestResult, len(byShard))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for sid, entries := range byShard {
+		wg.Add(1)
+		go func(sid int, entries []fingerprint.IngestEntry) {
+			defer wg.Done()
+			res := r.ingestShard(req.Context(), sid, entries)
+			mu.Lock()
+			results[sid] = res
+			mu.Unlock()
+		}(sid, entries)
+	}
+	wg.Wait()
+
+	out := fingerprint.IngestResponse{}
+	for sid, res := range results {
+		switch {
+		case res.acked >= res.quorum:
+			// A met quorum is authoritative even if a divergent replica
+			// rejected the sub-batch: the entries ARE durable on a
+			// quorum, so reporting them failed would invite a
+			// duplicating retry. The rejecting replica is listed as
+			// degraded like any other non-acknowledger.
+			out.Accepted += res.entries
+			out.DegradedReplicas = append(out.DegradedReplicas, res.failed...)
+		case res.rejected != "":
+			// No quorum and a daemon validated and refused the
+			// sub-batch (e.g. the deployment's database dimension
+			// differs): a definitive failure for those entries, no
+			// cooldowns.
+			out.Failed += res.entries
+			out.FailedShards = append(out.FailedShards, fmt.Sprintf("shard %d", sid))
+			out.ShardErrors = append(out.ShardErrors, fmt.Sprintf("shard %d rejected the batch: %s", sid, res.rejected))
+			r.errs.Add(uint64(res.entries))
+		default:
+			out.Failed += res.entries
+			out.FailedShards = append(out.FailedShards, fmt.Sprintf("shard %d", sid))
+			out.ShardErrors = append(out.ShardErrors,
+				fmt.Sprintf("shard %d: %d of %d replicas acknowledged (quorum %d; failed: %s)",
+					sid, res.acked, len(r.shards[sid]), res.quorum, strings.Join(res.failed, ", ")))
+			r.errs.Add(uint64(res.entries))
+		}
+	}
+	sort.Strings(out.FailedShards)
+	sort.Strings(out.DegradedReplicas)
+	sort.Strings(out.ShardErrors)
+	writeJSON(w, out)
 }
 
 // HealthzResponse is the JSON body of the router's GET /healthz: 200
@@ -575,12 +813,13 @@ type StatsResponse struct {
 func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	out := StatsResponse{
 		StatsResponse: fingerprint.StatsResponse{
-			Index:         "router",
-			UptimeSeconds: time.Since(r.start).Seconds(),
-			Queries:       r.queries.Load(),
-			BatchRequests: r.batches.Load(),
-			Errors:        r.errs.Load(),
-			LatencyUS:     r.latency.Bins(),
+			Index:          "router",
+			UptimeSeconds:  time.Since(r.start).Seconds(),
+			Queries:        r.queries.Load(),
+			BatchRequests:  r.batches.Load(),
+			IngestRequests: r.ingests.Load(),
+			Errors:         r.errs.Load(),
+			LatencyUS:      r.latency.Bins(),
 		},
 	}
 	type shardResult struct {

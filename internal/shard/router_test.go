@@ -16,6 +16,7 @@ import (
 
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/index"
+	"caltrain/internal/ingest"
 )
 
 func newLocalListener() (net.Listener, error) {
@@ -562,5 +563,271 @@ func TestRouterServeLifecycle(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("router did not drain on cancel")
+	}
+}
+
+// --- Write fan-out ---------------------------------------------------------
+
+// ingestShardedFixture builds nshards shards with nreplicas
+// ingest-enabled local replicas each (every replica its own copy of the
+// shard database, its own WAL, its own index — exactly the production
+// replica model), fronted by a router.
+func ingestShardedFixture(t *testing.T, db *fingerprint.DB, nshards, nreplicas int, opts ...RouterOption) (*Router, [][]*fingerprint.Service) {
+	t.Helper()
+	m := mustHashMap(t, nshards)
+	parts, err := SplitDB(db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas := make([][]Replica, nshards)
+	services := make([][]*fingerprint.Service, nshards)
+	for i, p := range parts {
+		for j := 0; j < nreplicas; j++ {
+			copyDB := p.Snapshot(-1)
+			flat := index.NewFlat(copyDB)
+			svc := fingerprint.NewSearcherService(flat)
+			st, err := ingest.Open(t.TempDir(), copyDB, flat, ingest.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { st.Close() })
+			svc.SetIngester(st)
+			replicas[i] = append(replicas[i], NewLocalReplica(fmt.Sprintf("shard%d-replica%d", i, j), svc))
+			services[i] = append(services[i], svc)
+		}
+	}
+	rt, err := NewRouter(m, replicas, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, services
+}
+
+func postIngest(t *testing.T, h http.Handler, entries []fingerprint.IngestEntry, wantStatus int) *fingerprint.IngestResponse {
+	t.Helper()
+	payload, err := json.Marshal(fingerprint.IngestRequest{Entries: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(payload)))
+	if rec.Code != wantStatus {
+		t.Fatalf("ingest status %d (want %d): %s", rec.Code, wantStatus, rec.Body.String())
+	}
+	if rec.Code != http.StatusOK {
+		return nil
+	}
+	var out fingerprint.IngestResponse
+	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestRouterIngestFanout: a routed batch lands on every replica of each
+// entry's owning shard, and the new entries answer queries through the
+// router immediately.
+func TestRouterIngestFanout(t *testing.T) {
+	db := testDB(t, 8, 200, 6)
+	rt, services := ingestShardedFixture(t, db, 2, 2)
+	m := mustHashMap(t, 2)
+
+	rng := rand.New(rand.NewPCG(41, 1))
+	entries := make([]fingerprint.IngestEntry, 18)
+	for i := range entries {
+		entries[i] = fingerprint.IngestEntry{
+			Fingerprint: index.SynthFingerprints(rng, 1, 8, 2, 0.2)[0],
+			Label:       i % 6,
+			Source:      "fresh",
+			Hash:        strings.Repeat("ab", 32),
+		}
+	}
+	resp := postIngest(t, rt.Handler(), entries, http.StatusOK)
+	if resp.Accepted != len(entries) || resp.Failed != 0 || len(resp.FailedShards) != 0 || len(resp.DegradedReplicas) != 0 {
+		t.Fatalf("healthy fan-out: %+v", resp)
+	}
+
+	// Every replica of each shard holds exactly its shard's share.
+	perShard := map[int]int{}
+	for _, e := range entries {
+		perShard[m.Shard(e.Label)]++
+	}
+	for sid, svcs := range services {
+		for j, svc := range svcs {
+			base := 0
+			for i := 0; i < db.Len(); i++ {
+				if m.Shard(db.Entry(i).Y) == sid {
+					base++
+				}
+			}
+			if got := svc.Searcher().Len(); got != base+perShard[sid] {
+				t.Fatalf("shard %d replica %d: %d entries, want %d", sid, j, got, base+perShard[sid])
+			}
+		}
+	}
+
+	// The router serves the new entries back.
+	for i, e := range entries {
+		reqs := []fingerprint.QueryRequest{{Fingerprint: e.Fingerprint, Label: e.Label, K: 1}}
+		out := postBatch(t, rt.Handler(), reqs)
+		if out.Results[0].Error != "" || len(out.Results[0].Matches) != 1 {
+			t.Fatalf("entry %d not queryable: %+v", i, out.Results[0])
+		}
+		if out.Results[0].Matches[0].Source != "fresh" {
+			t.Fatalf("entry %d nearest neighbour is %q, want the ingested entry", i, out.Results[0].Matches[0].Source)
+		}
+	}
+}
+
+// deadWriteReplica answers reads but fails every write — a replica
+// whose disk died.
+type deadWriteReplica struct {
+	Replica
+}
+
+func (d deadWriteReplica) Ingest(context.Context, []fingerprint.IngestEntry) (*fingerprint.IngestResponse, error) {
+	return nil, fmt.Errorf("disk on fire")
+}
+
+// TestRouterIngestQuorum: with the default majority quorum a single
+// replica failure still accepts the batch (naming the laggard in
+// degraded_replicas); when the quorum cannot be met the shard's entries
+// are reported failed, mirroring the read path's partial degradation.
+func TestRouterIngestQuorum(t *testing.T) {
+	db := testDB(t, 8, 100, 3)
+	// One shard, three replicas, one of them write-dead: majority 2 of 3
+	// still acknowledges.
+	m := mustHashMap(t, 1)
+	parts, err := SplitDB(db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	makeReplica := func(name string) Replica {
+		copyDB := parts[0].Snapshot(-1)
+		flat := index.NewFlat(copyDB)
+		svc := fingerprint.NewSearcherService(flat)
+		st, err := ingest.Open(t.TempDir(), copyDB, flat, ingest.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		svc.SetIngester(st)
+		return NewLocalReplica(name, svc)
+	}
+	good1, good2 := makeReplica("good-1"), makeReplica("good-2")
+	dead := deadWriteReplica{makeReplica("dead-1")}
+	rt, err := NewRouter(m, [][]Replica{{good1, good2, dead}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []fingerprint.IngestEntry{{Fingerprint: db.Entry(0).F, Label: 0, Source: "w"}}
+	resp := postIngest(t, rt.Handler(), entries, http.StatusOK)
+	if resp.Accepted != 1 || resp.Failed != 0 {
+		t.Fatalf("majority quorum: %+v", resp)
+	}
+	if len(resp.DegradedReplicas) != 1 || resp.DegradedReplicas[0] != "dead-1" {
+		t.Fatalf("degraded replicas: %v", resp.DegradedReplicas)
+	}
+
+	// Demand all three acknowledgments and the same batch fails the
+	// shard — nothing is reported durable.
+	rtAll, err := NewRouter(m, [][]Replica{{makeReplica("a"), makeReplica("b"), deadWriteReplica{makeReplica("dead-2")}}},
+		WithWriteQuorum(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = postIngest(t, rtAll.Handler(), entries, http.StatusOK)
+	if resp.Accepted != 0 || resp.Failed != 1 {
+		t.Fatalf("all-replica quorum: %+v", resp)
+	}
+	if len(resp.FailedShards) != 1 || resp.FailedShards[0] != "shard 0" {
+		t.Fatalf("failed shards: %v", resp.FailedShards)
+	}
+
+	// A met quorum is authoritative over a divergent replica's 4xx
+	// rejection: the entries are durable on a majority, so reporting
+	// them failed would invite a duplicating retry. The rejector is
+	// degraded, not authoritative.
+	rtRej, err := NewRouter(m, [][]Replica{{makeReplica("c"), makeReplica("d"), rejectingReplica{makeReplica("fussy")}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = postIngest(t, rtRej.Handler(), entries, http.StatusOK)
+	if resp.Accepted != 1 || resp.Failed != 0 {
+		t.Fatalf("quorum vs rejector: %+v", resp)
+	}
+	if len(resp.DegradedReplicas) != 1 || resp.DegradedReplicas[0] != "fussy" {
+		t.Fatalf("rejector not degraded: %v", resp.DegradedReplicas)
+	}
+}
+
+// rejectingReplica 4xx-refuses every write — a replica whose daemon was
+// misconfigured with stricter limits than its peers.
+type rejectingReplica struct {
+	Replica
+}
+
+func (r rejectingReplica) Ingest(context.Context, []fingerprint.IngestEntry) (*fingerprint.IngestResponse, error) {
+	return nil, &StatusError{Code: http.StatusBadRequest, Msg: "batch too rich for my blood"}
+}
+
+// TestRouterIngestRejectsBadBatch: everything the router can validate
+// (hashes, labels, intra-batch dimensions) is a 400 before any shard
+// sees a byte — a multi-shard batch is not globally atomic, so nothing
+// may be applied before validation. What only the daemons can check
+// (the deployment's database dimension) comes back as a per-shard
+// definitive rejection in a 200, with nothing applied anywhere.
+func TestRouterIngestRejectsBadBatch(t *testing.T) {
+	db := testDB(t, 8, 60, 3)
+	rt, services := ingestShardedFixture(t, db, 2, 1)
+	nothingApplied := func() {
+		t.Helper()
+		for sid, svcs := range services {
+			for _, svc := range svcs {
+				if st := svc.StatsSnapshot(); st.Ingest != nil && st.Ingest.Accepted != 0 {
+					t.Fatalf("shard %d applied part of a rejected batch: %+v", sid, st.Ingest)
+				}
+			}
+		}
+	}
+	mixedDims := []fingerprint.IngestEntry{
+		{Fingerprint: make([]float32, 8), Label: 0, Source: "ok"},
+		{Fingerprint: make([]float32, 3), Label: 1, Source: "wrong-dim"},
+	}
+	postIngest(t, rt.Handler(), mixedDims, http.StatusBadRequest)
+	nothingApplied()
+	badHash := []fingerprint.IngestEntry{{Fingerprint: make([]float32, 8), Label: 0, Hash: "zz"}}
+	postIngest(t, rt.Handler(), badHash, http.StatusBadRequest)
+	nothingApplied()
+	badLabel := []fingerprint.IngestEntry{{Fingerprint: make([]float32, 8), Label: -4}}
+	postIngest(t, rt.Handler(), badLabel, http.StatusBadRequest)
+	nothingApplied()
+
+	// Uniformly wrong dimension passes the router's structural checks
+	// but every daemon refuses it: per-shard rejection, nothing applied.
+	wrongDim := []fingerprint.IngestEntry{
+		{Fingerprint: make([]float32, 5), Label: 0},
+		{Fingerprint: make([]float32, 5), Label: 1},
+	}
+	resp := postIngest(t, rt.Handler(), wrongDim, http.StatusOK)
+	if resp.Accepted != 0 || resp.Failed != 2 || len(resp.ShardErrors) == 0 {
+		t.Fatalf("wrong-dim batch: %+v", resp)
+	}
+	nothingApplied()
+
+	// A read-only deployment (no ingesters) refuses writes: 501 from
+	// every replica → shard failure, reported — but the replicas stay
+	// healthy for reads: a daemon without -wal is alive, not faulty.
+	rtRO, _ := shardedFixture(t, db, 2)
+	resp = postIngest(t, rtRO.Handler(), []fingerprint.IngestEntry{{Fingerprint: make([]float32, 8), Label: 0}}, http.StatusOK)
+	if resp.Accepted != 0 || resp.Failed != 1 {
+		t.Fatalf("read-only deployment: %+v", resp)
+	}
+	for sid, states := range rtRO.shards {
+		for _, st := range states {
+			if !st.healthy(time.Now()) {
+				t.Fatalf("shard %d replica %s cooled down by a write to a read-only deployment", sid, st.r.Addr())
+			}
+		}
 	}
 }

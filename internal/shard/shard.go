@@ -219,18 +219,18 @@ func (m *Map) Save(w io.Writer) error {
 func LoadMap(r io.Reader) (*Map, error) {
 	head := make([]byte, 4+1+1+4)
 	if _, err := io.ReadFull(r, head); err != nil {
-		return nil, fmt.Errorf("shard: load map: %w", err)
+		return nil, fmt.Errorf("shard: load map: %w: %w", err, fingerprint.ErrCorrupt)
 	}
 	if string(head[:4]) != mapMagic {
-		return nil, fmt.Errorf("shard: load map: bad magic %q", head[:4])
+		return nil, fmt.Errorf("shard: load map: bad magic %q: %w", head[:4], fingerprint.ErrCorrupt)
 	}
 	if head[4] != mapVersion {
-		return nil, fmt.Errorf("shard: load map: unsupported version %d", head[4])
+		return nil, fmt.Errorf("shard: load map: unsupported version %d: %w", head[4], fingerprint.ErrVersionMismatch)
 	}
 	strategy := Strategy(head[5])
 	n := int(binary.LittleEndian.Uint32(head[6:]))
 	if n < 1 || n > maxPlausibleShards {
-		return nil, fmt.Errorf("shard: load map: implausible shard count %d", n)
+		return nil, fmt.Errorf("shard: load map: implausible shard count %d: %w", n, fingerprint.ErrCorrupt)
 	}
 	switch strategy {
 	case StrategyHash:
@@ -239,13 +239,13 @@ func LoadMap(r io.Reader) (*Map, error) {
 		starts := make([]int64, n)
 		buf := make([]byte, 8*n)
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, fmt.Errorf("shard: load map: %w", err)
+			return nil, fmt.Errorf("shard: load map: %w: %w", err, fingerprint.ErrCorrupt)
 		}
 		for i := range starts {
 			starts[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
 		}
 		return NewRangeMap(starts)
 	default:
-		return nil, fmt.Errorf("shard: load map: unknown strategy %d", strategy)
+		return nil, fmt.Errorf("shard: load map: unknown strategy %d: %w", strategy, fingerprint.ErrCorrupt)
 	}
 }

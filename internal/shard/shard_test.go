@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"errors"
 	"math/rand/v2"
 	"testing"
 
@@ -210,4 +211,34 @@ func mustRangeMap(t *testing.T, starts []int64) *Map {
 		t.Fatal(err)
 	}
 	return m
+}
+
+// TestLoadMapSentinels: map-loading failures carry the shared typed
+// sentinels so daemons branch with errors.Is, not message matching.
+func TestLoadMapSentinels(t *testing.T) {
+	m := mustHashMap(t, 4)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	futureVersion := append([]byte(nil), good...)
+	futureVersion[4] = 99
+	if _, err := LoadMap(bytes.NewReader(futureVersion)); !errors.Is(err, fingerprint.ErrVersionMismatch) {
+		t.Fatalf("future version: %v", err)
+	}
+	badMagic := append([]byte(nil), good...)
+	copy(badMagic, "NOPE")
+	if _, err := LoadMap(bytes.NewReader(badMagic)); !errors.Is(err, fingerprint.ErrCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, err := LoadMap(bytes.NewReader(good[:5])); !errors.Is(err, fingerprint.ErrCorrupt) {
+		t.Fatalf("truncated: %v", err)
+	}
+	badStrategy := append([]byte(nil), good...)
+	badStrategy[5] = 77
+	if _, err := LoadMap(bytes.NewReader(badStrategy)); !errors.Is(err, fingerprint.ErrCorrupt) {
+		t.Fatalf("unknown strategy: %v", err)
+	}
 }

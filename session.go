@@ -10,6 +10,7 @@ import (
 	"caltrain/internal/core"
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/index"
+	"caltrain/internal/ingest"
 	"caltrain/internal/nn"
 	"caltrain/internal/partition"
 	"caltrain/internal/shard"
@@ -232,6 +233,70 @@ func (s *Session) QueryHandler(opts ...QueryHandlerOption) (http.Handler, error)
 		return nil, err
 	}
 	return svc.Handler(), nil
+}
+
+// IngestService returns the accountability query service over the
+// session's linkage database with the durable write path enabled: new
+// linkages POSTed to /ingest are CRC-framed into a write-ahead log at
+// walDir before they are applied to the database and appended into the
+// serving index, so acknowledged writes survive a crash (reopen with
+// the same walDir to replay). IVF backends retrain and hot-swap in the
+// background once appends drift past opts.DriftThreshold. Fingerprint
+// must have been called first.
+//
+// The returned store is the service's write path: Snapshot compacts the
+// WAL once the database is persisted, Close flushes it. The linear
+// backend (WithLinearBackend) ingests with no index append at all; Flat
+// stays exact under appends; IVF trades recall for append speed until
+// its background retrain.
+func (s *Session) IngestService(walDir string, iopts IngestOptions, opts ...QueryHandlerOption) (*QueryService, *IngestStore, error) {
+	if s.db == nil {
+		return nil, nil, fmt.Errorf("caltrain: run Fingerprint before serving ingest")
+	}
+	cfg := queryHandlerConfig{backend: "flat"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var searcher Searcher
+	switch cfg.backend {
+	case "linear":
+		searcher = s.db
+	case "flat":
+		searcher = index.NewFlat(s.db)
+	case "ivf":
+		ivf, err := index.TrainIVF(s.db, cfg.ivf)
+		if err != nil {
+			return nil, nil, err
+		}
+		searcher = ivf
+		if iopts.Rebuild == nil {
+			ivfOpts := cfg.ivf
+			iopts.Rebuild = func(snap *fingerprint.DB) (fingerprint.Searcher, error) {
+				return index.TrainIVF(snap, ivfOpts)
+			}
+		}
+	}
+	svc := fingerprint.NewSearcherService(searcher, cfg.svc...)
+	if iopts.Swapper == nil {
+		iopts.Swapper = svc
+	}
+	store, err := ingest.Open(walDir, s.db, searcher, iopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	svc.SetIngester(store)
+	return svc, store, nil
+}
+
+// IngestHandler returns the HTTP handler of an ingest-enabled query
+// service (see IngestService) plus its write path store — keep the
+// store to Snapshot and Close it.
+func (s *Session) IngestHandler(walDir string, iopts IngestOptions, opts ...QueryHandlerOption) (http.Handler, *IngestStore, error) {
+	svc, store, err := s.IngestService(walDir, iopts, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return svc.Handler(), store, nil
 }
 
 // RouterHandler returns the HTTP handler of a sharded accountability

@@ -23,6 +23,7 @@ import (
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/hub"
 	"caltrain/internal/index"
+	"caltrain/internal/ingest"
 	"caltrain/internal/nn"
 	"caltrain/internal/sgx"
 	"caltrain/internal/shard"
@@ -98,6 +99,67 @@ type (
 	QueryRequest = fingerprint.QueryRequest
 )
 
+// Serialized-format failure sentinels, shared by every loader
+// (LoadLinkageDB, LoadIndex, LoadShardMap, WAL replay). Branch with
+// errors.Is instead of matching message text.
+var (
+	// ErrVersionMismatch marks a file written by an incompatible format
+	// version.
+	ErrVersionMismatch = fingerprint.ErrVersionMismatch
+	// ErrCorrupt marks a file that fails structural validation.
+	ErrCorrupt = fingerprint.ErrCorrupt
+)
+
+// Online ingest types (internal/ingest): the durable write path that
+// lets a serving deployment absorb new linkages while answering
+// queries.
+type (
+	// IngestStore is the WAL-backed write path of one daemon: batches
+	// are logged (fsynced per policy), applied to the database and the
+	// appendable index, replayed on restart, and compacted with
+	// Snapshot. It implements Ingester.
+	IngestStore = ingest.Store
+	// IngestOptions configures an IngestStore (WAL tuning, drift
+	// threshold, background-retrain rebuild hook).
+	IngestOptions = ingest.Options
+	// WALOptions tunes the write-ahead log (fsync policy, segment size).
+	WALOptions = ingest.WALOptions
+	// WALSyncPolicy selects when the WAL fsyncs.
+	WALSyncPolicy = ingest.SyncPolicy
+	// Ingester is the pluggable write path behind a query service's
+	// POST /ingest.
+	Ingester = fingerprint.Ingester
+	// IngestEntry is one linkage in an ingest batch (wire form).
+	IngestEntry = fingerprint.IngestEntry
+	// IngestResponse reports an ingest batch's outcome, including
+	// per-shard quorum failures on a routed write.
+	IngestResponse = fingerprint.IngestResponse
+	// IngestStats is the write-path block of a /stats response.
+	IngestStats = fingerprint.IngestStats
+)
+
+// WAL fsync policies.
+const (
+	// WALSyncAlways fsyncs every batch before acknowledging it.
+	WALSyncAlways = ingest.SyncAlways
+	// WALSyncInterval fsyncs on a background timer.
+	WALSyncInterval = ingest.SyncInterval
+	// WALSyncNever leaves syncing to the OS.
+	WALSyncNever = ingest.SyncNever
+)
+
+// OpenIngestStore attaches a WAL at dir to a database and its serving
+// backend (the database itself, a FlatIndex, or an IVFIndex), replaying
+// any entries the database snapshot does not cover. Wire the returned
+// store into a query service with WithIngester (or
+// QueryService.SetIngester) to expose POST /ingest.
+func OpenIngestStore(dir string, db *LinkageDB, s Searcher, opts IngestOptions) (*IngestStore, error) {
+	return ingest.Open(dir, db, s, opts)
+}
+
+// WithIngester enables a query service's write path.
+var WithIngester = fingerprint.WithIngester
+
 // NewFlatIndex builds an exact Flat index from a snapshot of db.
 func NewFlatIndex(db *LinkageDB) *FlatIndex { return index.NewFlat(db) }
 
@@ -171,6 +233,9 @@ var (
 	WithRouterMaxBodyBytes = shard.WithRouterMaxBodyBytes
 	// WithRouterLatencyBuckets replaces the router histogram bounds.
 	WithRouterLatencyBuckets = shard.WithRouterLatencyBuckets
+	// WithWriteQuorum sets how many replicas of a shard must acknowledge
+	// a routed ingest batch (0 = majority).
+	WithWriteQuorum = shard.WithWriteQuorum
 )
 
 // NewHashShardMap creates a hash-sharded label assignment over nshards.
@@ -283,8 +348,21 @@ func NewSearcherQueryService(s Searcher, opts ...ServiceOption) *QueryService {
 	return fingerprint.NewSearcherService(s, opts...)
 }
 
-// QueryClient queries a remote accountability service.
+// QueryClient queries a remote accountability service. It also carries
+// the write path: Ingest posts new linkages to a daemon's (or router's)
+// POST /ingest.
 type QueryClient = fingerprint.Client
+
+// IngestClient is the write-side view of the same client: construct
+// with NewIngestClient against a -wal daemon or a router.
+type IngestClient = fingerprint.Client
+
+// NewIngestClient constructs a client for the ingest endpoint at
+// baseURL (a caltrain-serve started with -wal, or a caltrain-router
+// whose shard replicas were).
+func NewIngestClient(baseURL string) *IngestClient {
+	return fingerprint.NewClient(baseURL, nil)
+}
 
 // Federation is a hierarchical learning-hub deployment: multiple training
 // enclaves with a root aggregation server (§IV-B, Performance).
