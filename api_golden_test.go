@@ -1,0 +1,161 @@
+package caltrain
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPIGolden = flag.Bool("update", false, "rewrite api.txt with the current exported API surface")
+
+// TestPublicAPISurface reflects the exported symbols of package
+// caltrain against the checked-in api.txt golden file, so an accidental
+// API break (a renamed function, a changed signature, a dropped type)
+// fails tier-1 instead of reaching a release. After an intentional API
+// change, regenerate with:
+//
+//	go test -run TestPublicAPISurface -update .
+func TestPublicAPISurface(t *testing.T) {
+	got := renderAPISurface(t)
+	if *updateAPIGolden {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("api.txt updated (%d symbols)", strings.Count(got, "\n"))
+		return
+	}
+	wantBytes, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with `go test -run TestPublicAPISurface -update .`)", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(want, "\n")
+	gotSet := make(map[string]bool, len(gotLines))
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	wantSet := make(map[string]bool, len(wantLines))
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	for _, l := range wantLines {
+		if l != "" && !gotSet[l] {
+			t.Errorf("missing from API: %s", l)
+		}
+	}
+	for _, l := range gotLines {
+		if l != "" && !wantSet[l] {
+			t.Errorf("added to API:    %s", l)
+		}
+	}
+	t.Error("exported API surface diverged from api.txt; if intentional, regenerate with `go test -run TestPublicAPISurface -update .`")
+}
+
+// renderAPISurface parses the package source (tests excluded) and
+// renders one sorted line per exported symbol: full signatures for
+// functions and methods, full collapsed declarations for types, names
+// for consts and vars.
+func renderAPISurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["caltrain"]
+	if !ok {
+		t.Fatalf("package caltrain not found; parsed %v", pkgs)
+	}
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedReceiver(d.Recv) {
+					continue
+				}
+				lines = append(lines, renderDecl(t, fset, &ast.FuncDecl{
+					Recv: d.Recv, Name: d.Name, Type: d.Type,
+				}))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						lines = append(lines, "type "+renderDecl(t, fset, stripTypeDoc(sp)))
+					case *ast.ValueSpec:
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						for _, name := range sp.Names {
+							if name.IsExported() {
+								lines = append(lines, kw+" "+name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// exportedReceiver reports whether a method's receiver names an
+// exported type (methods on unexported types are not API surface).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if idx, ok := typ.(*ast.IndexExpr); ok { // generic receiver
+		typ = idx.X
+	}
+	id, ok := typ.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// stripTypeDoc clones the spec without its doc/comment nodes so the
+// rendering is source-comment independent.
+func stripTypeDoc(sp *ast.TypeSpec) *ast.TypeSpec {
+	return &ast.TypeSpec{Name: sp.Name, TypeParams: sp.TypeParams, Assign: sp.Assign, Type: sp.Type}
+}
+
+// renderDecl prints a declaration and collapses it to one
+// whitespace-normalized line.
+func renderDecl(t *testing.T, fset *token.FileSet, node any) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.Join(strings.Fields(buf.String()), " ")
+	if line == "" {
+		t.Fatal(fmt.Errorf("empty rendering for %T", node))
+	}
+	return line
+}

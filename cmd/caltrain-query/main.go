@@ -58,10 +58,10 @@ func run() error {
 	if *serve {
 		srv := &http.Server{
 			Addr:              *addr,
-			Handler:           caltrain.NewQueryService(db),
+			Handler:           caltrain.NewLinearQueryService(db).Handler(),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
-		fmt.Printf("serving accountability queries on %s (POST /query, POST /query/batch, GET /healthz, GET /stats)\n", *addr)
+		fmt.Printf("serving accountability queries on %s (/v1 + legacy: POST /query, POST /query/batch, GET /healthz, GET /stats, GET /meta)\n", *addr)
 		return srv.ListenAndServe()
 	}
 

@@ -26,14 +26,17 @@
 // degradation, mirroring the read path — and replicas that missed a
 // durable batch are named in degraded_replicas.
 //
-// Endpoints:
+// Endpoints (versioned wire protocol; each also serves at its
+// unversioned legacy alias, with structured {code, error} bodies on
+// every failure):
 //
-//	POST /query        routed to the owning shard (502 if it is down)
-//	POST /query/batch  scattered across shards, partial on failures
-//	POST /ingest       replicated to the owning shard's replicas, quorum-acked
-//	GET  /healthz      200 when every shard has a live replica, else 503
-//	GET  /stats        router counters + per-shard stats + rolled-up
-//	                   shard latency histograms
+//	POST /v1/query        routed to the owning shard (502 if it is down)
+//	POST /v1/query/batch  scattered across shards, partial on failures
+//	POST /v1/ingest       replicated to the owning shard's replicas, quorum-acked
+//	GET  /v1/healthz      200 when every shard has a live replica, else 503
+//	GET  /v1/stats        router counters + per-shard stats + rolled-up
+//	                      shard latency histograms
+//	GET  /v1/meta         capability discovery (sharded: true)
 package main
 
 import (
@@ -51,6 +54,7 @@ import (
 	"time"
 
 	"caltrain/internal/fingerprint"
+	"caltrain/internal/serve"
 	"caltrain/internal/shard"
 )
 
@@ -159,7 +163,10 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		}
 		opts = append(opts, shard.WithRouterLatencyBuckets(bounds))
 	}
-	router, err := shard.NewRouter(m, replicas, opts...)
+	// The topology assembles through the declarative serving layer, like
+	// caltrain-serve: the router is a Deployment whose shards live in
+	// other processes.
+	built, err := serve.NewRouter(m, replicas, opts...)
 	if err != nil {
 		return err
 	}
@@ -170,9 +177,9 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "routing accountability queries on %s across %d shards (%s map; POST /query, POST /query/batch, POST /ingest, GET /healthz, GET /stats)\n",
+	fmt.Fprintf(out, "routing accountability queries on %s across %d shards (%s map; /v1 + legacy: POST /query, POST /query/batch, POST /ingest, GET /healthz, GET /stats, GET /meta)\n",
 		l.Addr(), m.NumShards(), m.Strategy())
-	if err := router.Serve(ctx, l, *grace); err != nil {
+	if err := built.Serve(ctx, l, *grace); err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "drained, bye")

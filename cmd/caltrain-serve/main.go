@@ -4,21 +4,29 @@
 // fingerprint queries over HTTP until SIGTERM/SIGINT, then drains
 // in-flight requests and exits.
 //
-//	caltrain-serve -db linkage.db -addr :8791 -index ivf -nprobe 8
+//	caltrain-serve -db linkage.db -addr :8791 -backend ivf -nprobe 8
 //
-// Endpoints:
+// Endpoints (versioned wire protocol; each also serves at its
+// unversioned legacy alias, e.g. POST /query):
 //
-//	POST /query        one misprediction fingerprint → k nearest neighbours
-//	POST /query/batch  many queries in one round trip, per-query errors
-//	POST /ingest       durable batch writes (with -wal; 501 without)
-//	GET  /healthz      liveness
-//	GET  /stats        entry count, index kind, query counters, latency histogram
+//	POST /v1/query        one misprediction fingerprint → k nearest neighbours
+//	POST /v1/query/batch  many queries in one round trip, per-query errors
+//	POST /v1/ingest       durable batch writes (with -wal; 501 without)
+//	GET  /v1/healthz      liveness
+//	GET  /v1/stats        entry count, index kind, query counters, latency histogram
+//	GET  /v1/meta         server version, backend kind, capabilities
 //
-// Index backends (-index): "linear" is the exact reference scan over the
-// database, "flat" the exact heap-select scan over contiguous storage,
-// "ivf" the approximate inverted-file index (tune with -nlist/-nprobe;
-// see internal/index). A built IVF index can be persisted with
-// -save-index and reloaded with -load-index to skip training on restart.
+// Every non-200 response carries the structured error envelope
+// {code, error, details}.
+//
+// Index backends (-backend; -index is a legacy alias): "linear" is the
+// exact reference scan over the database, "flat" the exact heap-select
+// scan over contiguous storage, "ivf" the approximate inverted-file
+// index (tune with -nlist/-nprobe; see internal/index). The flag is
+// parsed once into a serve.BackendSpec and the whole topology is built
+// through serve.Deployment — a new backend kind means a new Spec, not
+// daemon surgery. A built IVF index can be persisted with -save-index
+// and reloaded with -load-index to skip training on restart.
 //
 // Online ingest (-wal DIR) turns the daemon into a durable write path:
 // POST /ingest batches are CRC-framed into a write-ahead log (fsynced
@@ -44,6 +52,7 @@ import (
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/index"
 	"caltrain/internal/ingest"
+	"caltrain/internal/serve"
 )
 
 func main() {
@@ -56,9 +65,12 @@ func main() {
 func run(parent context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("caltrain-serve", flag.ContinueOnError)
 	var (
-		dbPath    = fs.String("db", "linkage.db", "linkage database path")
-		addr      = fs.String("addr", ":8791", "listen address")
-		kind      = fs.String("index", "flat", "index backend: linear, flat, or ivf")
+		dbPath = fs.String("db", "linkage.db", "linkage database path")
+		addr   = fs.String("addr", ":8791", "listen address")
+		kind   = fs.String("backend", "flat", "index backend: linear, flat, or ivf")
+	)
+	fs.StringVar(kind, "index", "flat", "legacy alias of -backend")
+	var (
 		nlist     = fs.Int("nlist", 0, "IVF lists per label (0 = auto ≈√n)")
 		nprobe    = fs.Int("nprobe", 0, "IVF lists probed per query (0 = auto)")
 		iters     = fs.Int("iters", 0, "IVF k-means iterations (0 = default)")
@@ -86,7 +98,7 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	if *loadIndex != "" {
 		// The loaded index determines the backend; reject training flags
 		// that would silently be ignored. -nprobe stays honored (below).
-		for _, conflicting := range []string{"index", "nlist", "iters", "seed"} {
+		for _, conflicting := range []string{"backend", "index", "nlist", "iters", "seed"} {
 			if set[conflicting] {
 				return fmt.Errorf("-%s conflicts with -load-index: the loaded index determines the backend", conflicting)
 			}
@@ -118,15 +130,30 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "linkage database: %d entries, fingerprint dim %d\n", db.Len(), db.Dim())
 
-	searcher, err := buildSearcher(db, *kind, *loadIndex, index.IVFOptions{
-		Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed,
-	}, out)
-	if err != nil {
-		return err
-	}
-	if ivf, ok := searcher.(*index.IVF); ok && *loadIndex != "" && set["nprobe"] {
-		ivf.SetNprobe(*nprobe)
-		fmt.Fprintf(out, "nprobe overridden to %d\n", ivf.Nprobe())
+	// Resolve the backend flag (or the loaded index) into a BackendSpec
+	// once; everything downstream — service, write path, retrain hook —
+	// assembles from the declarative Deployment.
+	ivfOpts := index.IVFOptions{Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed}
+	var spec serve.BackendSpec
+	if *loadIndex != "" {
+		loaded, err := loadIndexFile(*loadIndex, db, out)
+		if err != nil {
+			return err
+		}
+		if ivf, ok := loaded.(*index.IVF); ok && set["nprobe"] {
+			ivf.SetNprobe(*nprobe)
+			fmt.Fprintf(out, "nprobe overridden to %d\n", ivf.Nprobe())
+		}
+		pre := serve.PrebuiltSpec{Searcher: loaded}
+		if _, isIVF := loaded.(*index.IVF); isIVF {
+			pre.RebuildFunc = serve.IVFSpec{IVFOptions: ivfOpts}.Rebuild()
+		}
+		spec = pre
+	} else {
+		spec, err = serve.ParseBackend(*kind, ivfOpts)
+		if err != nil {
+			return err
+		}
 	}
 
 	svcOpts := []fingerprint.ServiceOption{
@@ -141,33 +168,31 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		}
 		svcOpts = append(svcOpts, fingerprint.WithLatencyBuckets(bounds))
 	}
-	svc := fingerprint.NewSearcherService(searcher, svcOpts...)
 
-	// The write path: WAL replay happens before -save-index and before
-	// serving, so the persisted index and the first query both see every
-	// acknowledged entry.
-	var store *ingest.Store
+	dep := serve.Deployment{Backend: spec, Limits: svcOpts}
 	if *walDir != "" {
-		var rebuild func(*fingerprint.DB) (fingerprint.Searcher, error)
-		if _, isIVF := searcher.(*index.IVF); isIVF {
-			ivfOpts := index.IVFOptions{Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed}
-			rebuild = func(snap *fingerprint.DB) (fingerprint.Searcher, error) {
-				return index.TrainIVF(snap, ivfOpts)
-			}
-		}
-		store, err = ingest.Open(*walDir, db, searcher, ingest.Options{
+		dep.WAL = &serve.WALConfig{Dir: *walDir, Store: ingest.Options{
 			WAL:            ingest.WALOptions{Sync: syncPolicy, SyncEvery: *fsyncEvry, SegmentBytes: *segBytes},
 			DriftThreshold: *drift,
-			Rebuild:        rebuild,
-			Swapper:        svc,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(out, format+"\n", args...)
 			},
-		})
-		if err != nil {
-			return err
-		}
-		svc.SetIngester(store)
+		}}
+	}
+	// Build trains the index (if any) and replays the WAL, so both
+	// -save-index below and the first query see every acknowledged entry.
+	buildStart := time.Now()
+	built, err := dep.Build(db)
+	if err != nil {
+		return err
+	}
+	svc := built.Service()
+	searcher := svc.Searcher()
+	if ivf, ok := searcher.(*index.IVF); ok && *loadIndex == "" {
+		fmt.Fprintf(out, "trained IVF index in %v (nprobe %d)\n", time.Since(buildStart).Round(time.Millisecond), ivf.Nprobe())
+	}
+	store := built.Store()
+	if store != nil {
 		fmt.Fprintf(out, "wal: %s (fsync %s), replayed %d entries, %d total\n",
 			*walDir, syncPolicy, store.Replayed(), db.Len())
 	}
@@ -224,9 +249,9 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	endpoints := "POST /query, POST /query/batch, GET /healthz, GET /stats"
+	endpoints := "/v1 + legacy: POST /query, POST /query/batch, GET /healthz, GET /stats, GET /meta"
 	if store != nil {
-		endpoints = "POST /query, POST /query/batch, POST /ingest, GET /healthz, GET /stats"
+		endpoints = "/v1 + legacy: POST /query, POST /query/batch, POST /ingest, GET /healthz, GET /stats, GET /meta"
 	}
 	fmt.Fprintf(out, "serving accountability queries on %s (index %s; %s)\n",
 		l.Addr(), searcher.Kind(), endpoints)
@@ -266,38 +291,23 @@ func saveIndexFile(path string, s fingerprint.Searcher) error {
 	return f.Close()
 }
 
-func buildSearcher(db *fingerprint.DB, kind, loadPath string, opts index.IVFOptions, out io.Writer) (fingerprint.Searcher, error) {
-	if loadPath != "" {
-		f, err := os.Open(loadPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		s, err := index.Load(f)
-		if err != nil {
-			return nil, err
-		}
-		if s.Dim() != db.Dim() || s.Len() != db.Len() {
-			return nil, fmt.Errorf("index %s (%d entries, dim %d) does not match database (%d entries, dim %d)",
-				loadPath, s.Len(), s.Dim(), db.Len(), db.Dim())
-		}
-		fmt.Fprintf(out, "loaded %s index from %s\n", s.Kind(), loadPath)
-		return s, nil
+// loadIndexFile loads a serialized index and verifies it matches the
+// database it will serve. Backend selection from -backend goes through
+// serve.ParseBackend instead.
+func loadIndexFile(path string, db *fingerprint.DB, out io.Writer) (fingerprint.Searcher, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
 	}
-	switch kind {
-	case "linear":
-		return db, nil
-	case "flat":
-		return index.NewFlat(db), nil
-	case "ivf":
-		started := time.Now()
-		ivf, err := index.TrainIVF(db, opts)
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(out, "trained IVF index in %v (nprobe %d)\n", time.Since(started).Round(time.Millisecond), ivf.Nprobe())
-		return ivf, nil
-	default:
-		return nil, fmt.Errorf("unknown index kind %q (want linear, flat, or ivf)", kind)
+	defer f.Close()
+	s, err := index.Load(f)
+	if err != nil {
+		return nil, err
 	}
+	if s.Dim() != db.Dim() || s.Len() != db.Len() {
+		return nil, fmt.Errorf("index %s (%d entries, dim %d) does not match database (%d entries, dim %d)",
+			path, s.Len(), s.Dim(), db.Len(), db.Dim())
+	}
+	fmt.Fprintf(out, "loaded %s index from %s\n", s.Kind(), path)
+	return s, nil
 }

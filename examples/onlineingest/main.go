@@ -50,18 +50,25 @@ func main() {
 	}
 	fmt.Printf("seed database: %d entries, %d labels\n", db.Len(), labels)
 
-	// Serve it with the write path enabled: an exact Flat index that
-	// grows in place, fronted by a WAL. In production this is
-	// caltrain-serve -wal; here the same wiring in-process.
-	flat := caltrain.NewFlatIndex(db)
-	svc := caltrain.NewSearcherQueryService(flat)
-	store, err := caltrain.OpenIngestStore(walDir, db, flat, caltrain.IngestOptions{})
+	// Serve it with the write path enabled: one declarative Deployment —
+	// an exact Flat index that grows in place, fronted by a WAL. In
+	// production this is caltrain-serve -wal; here the same config
+	// in-process. (The long-hand wiring — NewFlatIndex,
+	// NewSearcherQueryService, OpenIngestStore, SetIngester — still
+	// exists underneath for deployments that need custom parts.)
+	built, err := caltrain.Deployment{
+		Backend: caltrain.FlatSpec{},
+		WAL:     &caltrain.WALConfig{Dir: walDir},
+	}.Build(db)
 	if err != nil {
 		log.Fatal(err)
 	}
-	svc.SetIngester(store)
-	srv := httptest.NewServer(svc.Handler())
+	srv := httptest.NewServer(built.Handler())
 	client := caltrain.NewIngestClient(srv.URL)
+	if meta, err := client.Meta(); err == nil {
+		fmt.Printf("serving %s backend, ingest=%v (protocol %s)\n",
+			meta.Backend, meta.Capabilities.Ingest, meta.Protocol)
+	}
 
 	// 2. Ingest while querying: every batch is fsynced into the WAL
 	// before it is acknowledged, and is queryable the moment it is.
@@ -105,18 +112,20 @@ func main() {
 	}
 	fmt.Printf("\nafter the kill, the snapshot on disk has %d entries (the seed)\n", reloaded.Len())
 
-	// A fresh daemon opens the same WAL directory: replay restores
-	// exactly the acknowledged linkages into the database AND the index.
-	flat2 := caltrain.NewFlatIndex(reloaded)
-	svc2 := caltrain.NewSearcherQueryService(flat2)
-	store2, err := caltrain.OpenIngestStore(walDir, reloaded, flat2, caltrain.IngestOptions{})
+	// A fresh daemon opens the same WAL directory — the identical
+	// Deployment over the reloaded snapshot: replay restores exactly the
+	// acknowledged linkages into the database AND the index.
+	built2, err := caltrain.Deployment{
+		Backend: caltrain.FlatSpec{},
+		WAL:     &caltrain.WALConfig{Dir: walDir},
+	}.Build(reloaded)
 	if err != nil {
 		log.Fatal(err)
 	}
-	svc2.SetIngester(store2)
+	store2 := built2.Store()
 	fmt.Printf("restart replayed %d WAL entries → %d total\n", store2.Replayed(), reloaded.Len())
 	for _, e := range acked {
-		m, err := flat2.Search(e.Fingerprint, e.Label, 1)
+		m, err := built2.Service().Searcher().Search(e.Fingerprint, e.Label, 1)
 		if err != nil || len(m) == 0 || m[0].Distance > 1e-6 {
 			log.Fatalf("acknowledged entry lost after replay: %v %v", m, err)
 		}

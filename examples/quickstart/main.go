@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"net/http/httptest"
 
 	"caltrain"
 )
@@ -103,4 +104,23 @@ func main() {
 	for i, m := range matches {
 		fmt.Printf("  %d. distance %.4f, contributed by %s\n", i+1, m.Distance, m.Source)
 	}
+
+	// 8. The same query served over HTTP: the zero-setup linear query
+	// service speaks the versioned /v1 wire protocol, and the client
+	// discovers what it is talking to on /v1/meta before querying.
+	svc := caltrain.NewLinearQueryService(db)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := caltrain.NewQueryClient(srv.URL)
+	meta, err := client.Meta()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query service online: protocol %s, backend %s, ingest=%v\n",
+		meta.Protocol, meta.Backend, meta.Capabilities.Ingest)
+	remote, err := client.Query(f, label, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top remote match: %s at distance %.4f\n", remote.Matches[0].Source, remote.Matches[0].Distance)
 }

@@ -58,20 +58,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. One query daemon per shard, each over its own exact Flat index.
-	// In production these are caltrain-serve processes on separate hosts.
+	// 3. One query daemon per shard, each a one-line declarative
+	// Deployment over its part (exact Flat backend, the default). In
+	// production these are caltrain-serve processes on separate hosts;
+	// a different backend here is one field (Backend:
+	// caltrain.IVFSpec{...}), not new wiring.
 	ctx := context.Background()
 	shardCtx := make([]context.CancelFunc, len(parts))
 	replicas := make([][]caltrain.ShardReplica, len(parts))
 	for i, part := range parts {
-		svc := caltrain.NewSearcherQueryService(caltrain.NewFlatIndex(part))
+		built, err := caltrain.Deployment{Backend: caltrain.FlatSpec{}}.Build(part)
+		if err != nil {
+			log.Fatal(err)
+		}
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}
 		sctx, cancel := context.WithCancel(ctx)
 		shardCtx[i] = cancel
-		go func() { _ = svc.Serve(sctx, l, time.Second) }()
+		go func() { _ = built.Serve(sctx, l, time.Second) }()
 		fmt.Printf("shard %d: %d entries on %s\n", i, part.Len(), l.Addr())
 		replicas[i] = []caltrain.ShardReplica{
 			caltrain.NewHTTPShardReplica("http://"+l.Addr().String(), nil),
@@ -97,9 +103,14 @@ func main() {
 	fmt.Printf("router: %d shards behind %s\n\n", router.NumShards(), rl.Addr())
 
 	// A model user investigates mispredictions: one batch, many labels —
-	// the unchanged single-daemon client, pointed at the router.
+	// the unchanged single-daemon client, pointed at the router. The
+	// client discovers the topology on /v1/meta before querying.
 	client := caltrain.NewQueryClient("http://" + rl.Addr().String())
 	waitHealthy(client)
+	if meta, err := client.Meta(); err == nil {
+		fmt.Printf("endpoint: backend=%s sharded=%v (protocol %s)\n",
+			meta.Backend, meta.Capabilities.Sharded, meta.Protocol)
+	}
 	batch := make([]caltrain.QueryRequest, 6)
 	for i := range batch {
 		batch[i] = caltrain.QueryRequest{Fingerprint: db.Entry(i).F, Label: i % labels, K: 3}

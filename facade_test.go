@@ -208,6 +208,92 @@ func TestShardedServingFacade(t *testing.T) {
 	}
 }
 
+// TestDeploymentFacade drives the declarative serving API end to end
+// through the public surface: one Deployment literal describes the
+// topology, Build assembles it, and the negotiated client discovers its
+// capabilities on /v1/meta. The sharded shape carries the write path:
+// POST /ingest against the router lands each entry on the shard owning
+// its label.
+func TestDeploymentFacade(t *testing.T) {
+	db, err := newTestDB(16, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := Deployment{
+		Backend:        IVFSpec{IVFOptions: IVFOptions{Nlist: 4, Nprobe: 4, Seed: 11}},
+		Shards:         3,
+		VolatileWrites: true,
+		Limits:         []ServiceOption{WithMaxK(32)},
+	}.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(built.Handler())
+	defer srv.Close()
+	client := NewQueryClient(srv.URL)
+
+	meta, err := client.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Backend != "router" || !meta.Capabilities.Sharded || !meta.Capabilities.Ingest {
+		t.Fatalf("deployment meta: %+v", meta)
+	}
+
+	// Routed writes land on the owning shard and serve immediately.
+	entries := make([]IngestEntry, 3)
+	for i := range entries {
+		f := make([]float32, 16)
+		f[i] = 40
+		entries[i] = IngestEntry{Fingerprint: f, Label: i, Source: "deployed"}
+	}
+	resp, err := client.Ingest(entries)
+	if err != nil || resp.Accepted != 3 {
+		t.Fatalf("routed ingest through facade: %+v %v", resp, err)
+	}
+	for i, e := range entries {
+		q, err := client.Query(Fingerprint(e.Fingerprint), e.Label, 1)
+		if err != nil || len(q.Matches) != 1 || q.Matches[0].Source != "deployed" {
+			t.Fatalf("entry %d not served by its shard: %+v %v", i, q, err)
+		}
+	}
+
+	// Limits flow into every per-shard service.
+	if _, err := client.Query(make(Fingerprint, 16), 0, 33); err == nil {
+		t.Fatal("k over deployment limit accepted")
+	}
+
+	// The single durable shape: same declarative config, WAL-backed, and
+	// a rebuild over the same directory replays the acknowledged write.
+	walDir := t.TempDir()
+	single := func() (*DeploymentServer, *LinkageDB) {
+		seed, err := newTestDB(16, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Deployment{WAL: &WALConfig{Dir: walDir}}.Build(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, seed
+	}
+	s1, _ := single()
+	f := make([]float32, 16)
+	f[7] = 70
+	if _, err := s1.Store().IngestBatch([]Linkage{{F: f, Y: 1, S: "durable"}}); err != nil {
+		t.Fatal(err)
+	}
+	s2, db2 := single()
+	defer s2.Close()
+	if db2.Len() != 61 {
+		t.Fatalf("rebuild replayed to %d entries, want 61", db2.Len())
+	}
+	m, err := s2.Service().Searcher().Search(f, 1, 1)
+	if err != nil || len(m) != 1 || m[0].Source != "durable" {
+		t.Fatalf("durable write lost: %+v %v", m, err)
+	}
+}
+
 func newTestDB(dim, n int) (*LinkageDB, error) {
 	db, err := NewLinkageDB(dim)
 	if err != nil {

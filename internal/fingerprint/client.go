@@ -1,0 +1,249 @@
+package fingerprint
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// ErrNoMeta is returned by Client.Meta against a pre-/v1 server that
+// does not serve GET /v1/meta.
+var ErrNoMeta = errors.New("fingerprint: server does not serve /v1/meta (pre-v1 protocol)")
+
+// Client queries a remote accountability service — a single daemon or a
+// shard router; both speak the same wire protocol.
+//
+// The client negotiates the protocol version once per Client: the first
+// request probes GET /v1/meta, and every call thereafter uses the
+// versioned /v1 routes when the server advertises them, falling back to
+// the legacy unversioned routes against a pre-/v1 server. Only a
+// definitive answer (a meta response, or a 404/405 from a pre-/v1
+// server) settles negotiation; a transport error — the server still
+// starting, a transient network fault — leaves it open, so the next
+// request probes again rather than pinning the client to legacy routes
+// forever. Every method has a context-taking variant (QueryCtx,
+// IngestCtx, …) so callers can cancel in-flight accountability queries;
+// the plain forms use context.Background.
+type Client struct {
+	baseURL string
+	http    *http.Client
+
+	mu     sync.Mutex
+	prefix string // "/v1" once negotiated, "" while unknown or legacy
+	known  bool   // negotiation reached a definitive verdict
+	meta   *MetaResponse
+}
+
+// NewClient constructs a client for the service at baseURL. httpClient may
+// be nil for http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, http: httpClient}
+}
+
+// fetchMeta performs one GET /v1/meta, returning the decoded response or
+// an error (ErrNoMeta on a 404/405 from a pre-/v1 server).
+func (c *Client) fetchMeta(ctx context.Context) (*MetaResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/meta", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint: meta: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+		return nil, ErrNoMeta
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fingerprint: meta status %s", resp.Status)
+	}
+	var out MetaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("fingerprint: decode meta: %w", err)
+	}
+	return &out, nil
+}
+
+// apiPrefix resolves the negotiated route prefix, probing /v1/meta
+// until a definitive verdict lands. While negotiation is open (or
+// against a pre-/v1 server) it returns "" — the legacy aliases are
+// served by every /v1 server, so requests stay correct either way.
+func (c *Client) apiPrefix(ctx context.Context) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.known {
+		return c.prefix
+	}
+	meta, err := c.fetchMeta(ctx)
+	switch {
+	case err == nil:
+		c.prefix = "/" + ProtocolVersion
+		c.meta = meta
+		c.known = true
+	case errors.Is(err, ErrNoMeta):
+		c.prefix = ""
+		c.known = true
+	default:
+		// Transport fault: no verdict. Serve this request on the legacy
+		// alias and probe again next time.
+	}
+	return c.prefix
+}
+
+// Meta fetches the server's /v1/meta identity (backend kind, write and
+// sharding capabilities). Against a pre-/v1 server it returns ErrNoMeta.
+func (c *Client) Meta() (*MetaResponse, error) { return c.MetaCtx(context.Background()) }
+
+// MetaCtx is Meta with a caller-supplied context.
+func (c *Client) MetaCtx(ctx context.Context) (*MetaResponse, error) {
+	c.apiPrefix(ctx)
+	c.mu.Lock()
+	meta := c.meta
+	c.mu.Unlock()
+	if meta != nil {
+		return meta, nil
+	}
+	return c.fetchMeta(ctx)
+}
+
+// statusError formats a non-200 reply, surfacing the structured
+// envelope's code and message when the body carries one.
+func statusError(what string, resp *http.Response) error {
+	env, msg := ReadErrorBody(resp.Body)
+	switch {
+	case env.Code != "":
+		return fmt.Errorf("fingerprint: %s status %s: %s: %s", what, resp.Status, env.Code, env.Error)
+	case msg != "":
+		return fmt.Errorf("fingerprint: %s status %s: %s", what, resp.Status, msg)
+	default:
+		return fmt.Errorf("fingerprint: %s status %s", what, resp.Status)
+	}
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("fingerprint: encode query: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+c.apiPrefix(ctx)+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("fingerprint: query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError("query", resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("fingerprint: decode response: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) get(ctx context.Context, what, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+c.apiPrefix(ctx)+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("fingerprint: %s: %w", what, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(what, resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("fingerprint: decode %s: %w", what, err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return nil
+}
+
+// Query posts a misprediction's fingerprint and returns the nearest
+// same-class training instances.
+func (c *Client) Query(f Fingerprint, label, k int) (*QueryResponse, error) {
+	return c.QueryCtx(context.Background(), f, label, k)
+}
+
+// QueryCtx is Query with a caller-supplied context: cancel it to abandon
+// an in-flight accountability query.
+func (c *Client) QueryCtx(ctx context.Context, f Fingerprint, label, k int) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.post(ctx, "/query", QueryRequest{Fingerprint: f, Label: label, K: k}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryBatch posts many queries in one round trip. Results come back in
+// request order; individual failures surface per-result, not as a batch
+// error.
+func (c *Client) QueryBatch(reqs []QueryRequest) (*BatchResponse, error) {
+	return c.QueryBatchCtx(context.Background(), reqs)
+}
+
+// QueryBatchCtx is QueryBatch with a caller-supplied context.
+func (c *Client) QueryBatchCtx(ctx context.Context, reqs []QueryRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.post(ctx, "/query/batch", BatchRequest{Queries: reqs}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ingest posts a batch of new linkages to the service's write path —
+// against a single daemon the reply reports its new entry count, against
+// a router it reports quorum acceptance per shard. The batch is
+// all-or-nothing at each daemon: a validation error rejects it whole.
+func (c *Client) Ingest(entries []IngestEntry) (*IngestResponse, error) {
+	return c.IngestCtx(context.Background(), entries)
+}
+
+// IngestCtx is Ingest with a caller-supplied context.
+func (c *Client) IngestCtx(ctx context.Context, entries []IngestEntry) (*IngestResponse, error) {
+	var out IngestResponse
+	if err := c.post(ctx, "/ingest", IngestRequest{Entries: entries}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz reports whether the service at baseURL is up.
+func (c *Client) Healthz() error { return c.HealthzCtx(context.Background()) }
+
+// HealthzCtx is Healthz with a caller-supplied context.
+func (c *Client) HealthzCtx(ctx context.Context) error {
+	return c.get(ctx, "healthz", "/healthz", nil)
+}
+
+// Stats fetches the service's /stats counters.
+func (c *Client) Stats() (*StatsResponse, error) { return c.StatsCtx(context.Background()) }
+
+// StatsCtx is Stats with a caller-supplied context.
+func (c *Client) StatsCtx(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.get(ctx, "stats", "/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,186 @@
+package fingerprint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Wire protocol identity, served on GET /v1/meta.
+const (
+	// ProtocolVersion is the versioned route prefix both the query
+	// daemon and the shard router mount ("/v1/query", "/v1/ingest", …).
+	// Unversioned legacy routes remain as aliases of the /v1 table.
+	ProtocolVersion = "v1"
+	// ServerVersion identifies the serving build to clients.
+	ServerVersion = "caltrain-serving/1.0"
+)
+
+// Error envelope codes: the machine-readable half of every non-200
+// response body. Clients branch on Code; Error carries the human
+// explanation.
+const (
+	// ErrCodeBadRequest marks an undecodable, empty, or invalid request.
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodeBodyTooLarge marks a request body over the service limit.
+	ErrCodeBodyTooLarge = "body_too_large"
+	// ErrCodeLimitExceeded marks a k or batch size over the service limit.
+	ErrCodeLimitExceeded = "limit_exceeded"
+	// ErrCodeMethodNotAllowed marks the wrong HTTP method on a known route.
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+	// ErrCodeNotFound marks an unknown route.
+	ErrCodeNotFound = "not_found"
+	// ErrCodeIngestDisabled marks a write against a read-only deployment.
+	ErrCodeIngestDisabled = "ingest_disabled"
+	// ErrCodeShardUnreachable marks a query whose owning shard has no
+	// live replica (router only).
+	ErrCodeShardUnreachable = "shard_unreachable"
+	// ErrCodeInternal marks a server-side fault (WAL I/O, backend error).
+	ErrCodeInternal = "internal"
+)
+
+// ErrorEnvelope is the structured JSON body of every non-200 response
+// on the /v1 wire protocol (and its legacy aliases): a stable
+// machine-readable Code, the human-readable Error, and optional
+// per-code Details (limits, offending values).
+type ErrorEnvelope struct {
+	Code    string         `json:"code"`
+	Error   string         `json:"error"`
+	Details map[string]any `json:"details,omitempty"`
+}
+
+// WriteError writes the structured error envelope with the given HTTP
+// status — the error writer shared by the query service and the shard
+// router.
+func WriteError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	WriteJSON(w, status, ErrorEnvelope{Code: code, Error: fmt.Sprintf(format, args...)})
+}
+
+// ReadErrorBody reads a bounded snippet of a non-200 response body and
+// decodes the error envelope when one is present — the parsing shared
+// by Client and the shard router's HTTP replicas. msg is the best
+// human-readable message either way: the envelope's Error, or the
+// trimmed raw snippet from a pre-envelope server; env is zero when the
+// body is not an envelope.
+func ReadErrorBody(body io.Reader) (env ErrorEnvelope, msg string) {
+	snippet, _ := io.ReadAll(io.LimitReader(body, 1024))
+	msg = strings.TrimSpace(string(snippet))
+	if json.Unmarshal(snippet, &env) == nil && env.Error != "" {
+		return env, env.Error
+	}
+	return ErrorEnvelope{}, msg
+}
+
+// ErrCodeForStatus maps an HTTP status to the envelope code used when
+// no more specific code applies (e.g. classifying an ingest error via
+// IngestStatusCode).
+func ErrCodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return ErrCodeBadRequest
+	case http.StatusRequestEntityTooLarge:
+		return ErrCodeBodyTooLarge
+	case http.StatusMethodNotAllowed:
+		return ErrCodeMethodNotAllowed
+	case http.StatusNotFound:
+		return ErrCodeNotFound
+	case http.StatusNotImplemented:
+		return ErrCodeIngestDisabled
+	case http.StatusBadGateway:
+		return ErrCodeShardUnreachable
+	default:
+		return ErrCodeInternal
+	}
+}
+
+// MetaCapabilities advertises what the deployment behind a base URL can
+// do, so clients discover the write path and the topology instead of
+// probing for 501s.
+type MetaCapabilities struct {
+	// Ingest reports whether POST /v1/ingest has a write path behind it.
+	Ingest bool `json:"ingest"`
+	// Sharded reports whether a scatter-gather router answers, rather
+	// than a single daemon.
+	Sharded bool `json:"sharded"`
+}
+
+// MetaResponse is the JSON body of GET /v1/meta: server version, wire
+// protocol version, serving backend kind, and capability discovery.
+type MetaResponse struct {
+	Server       string           `json:"server"`
+	Protocol     string           `json:"protocol"`
+	Backend      string           `json:"backend"`
+	Capabilities MetaCapabilities `json:"capabilities"`
+}
+
+// RouteSet is the one route table of the accountability wire protocol,
+// shared by the query daemon (Service) and the shard router (Router) so
+// the two can never drift apart. Handler mounts every endpoint twice:
+// under the versioned /v1 prefix and at its unversioned legacy alias,
+// so pre-/v1 clients keep working unchanged.
+//
+//	POST /v1/query        one fingerprint → k nearest neighbours
+//	POST /v1/query/batch  many queries, per-query errors
+//	POST /v1/ingest       durable batch writes
+//	GET  /v1/healthz      liveness
+//	GET  /v1/stats        counters + latency histogram
+//	GET  /v1/meta         server version, backend, capabilities
+//
+// Unknown routes and wrong methods answer with the structured error
+// envelope, like every other failure on the protocol.
+type RouteSet struct {
+	Query      http.HandlerFunc
+	QueryBatch http.HandlerFunc
+	Ingest     http.HandlerFunc
+	Healthz    http.HandlerFunc
+	Stats      http.HandlerFunc
+	// Meta is evaluated per request, so capabilities that change after
+	// construction (SetIngester) stay accurate.
+	Meta func() MetaResponse
+}
+
+// requireMethod wraps h to answer anything but method with a 405
+// envelope naming the allowed method. HEAD is accepted wherever GET is
+// (load balancers and uptime probes HEAD /healthz; net/http discards
+// the body automatically).
+func requireMethod(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method && !(method == http.MethodGet && r.Method == http.MethodHead) {
+			w.Header().Set("Allow", method)
+			WriteError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed,
+				"%s requires %s, got %s", r.URL.Path, method, r.Method)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// Handler mounts the route table: every endpoint under /v1 plus its
+// legacy unversioned alias, with envelope-shaped 404/405 fallbacks.
+func (rs RouteSet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mount := func(method, path string, h http.HandlerFunc) {
+		if h == nil {
+			return
+		}
+		wrapped := requireMethod(method, h)
+		mux.HandleFunc("/"+ProtocolVersion+path, wrapped)
+		mux.HandleFunc(path, wrapped)
+	}
+	mount(http.MethodPost, "/query", rs.Query)
+	mount(http.MethodPost, "/query/batch", rs.QueryBatch)
+	mount(http.MethodPost, "/ingest", rs.Ingest)
+	mount(http.MethodGet, "/healthz", rs.Healthz)
+	mount(http.MethodGet, "/stats", rs.Stats)
+	if rs.Meta != nil {
+		mount(http.MethodGet, "/meta", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, rs.Meta())
+		})
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusNotFound, ErrCodeNotFound, "no such endpoint %s", r.URL.Path)
+	})
+	return mux
+}

@@ -1,0 +1,244 @@
+package fingerprint
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// doRaw fires one request at the handler and decodes the error envelope
+// (when the body carries one).
+func doRaw(t *testing.T, h http.Handler, method, path, body string) (int, ErrorEnvelope) {
+	t.Helper()
+	var rdr *strings.Reader
+	if body == "" {
+		rdr = strings.NewReader("")
+	} else {
+		rdr = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rdr)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var env ErrorEnvelope
+	if rec.Code != http.StatusOK {
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s %s: error content type %q, want application/json", method, path, ct)
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Fatalf("%s %s: error body is not an envelope: %v (%q)", method, path, err, rec.Body.String())
+		}
+	}
+	return rec.Code, env
+}
+
+// TestServiceErrorEnvelope is the wire-contract table for the daemon
+// handler: every failure answers with the structured {code, error}
+// envelope, identically on the /v1 route and its legacy alias.
+func TestServiceErrorEnvelope(t *testing.T) {
+	db := populatedDB(t, 4, 30, 2, 23)
+	svc := NewService(db, WithMaxBodyBytes(256), WithMaxK(8), WithMaxBatch(2))
+	h := svc.Handler()
+
+	bigBody := `{"fingerprint":[` + strings.Repeat("0.1,", 200) + `0.1],"label":0,"k":3}`
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"oversized body", "POST", "/query", bigBody, http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge},
+		{"bad k over limit", "POST", "/query", `{"fingerprint":[0,0,0,0],"label":0,"k":9}`, http.StatusBadRequest, ErrCodeLimitExceeded},
+		{"bad k negative", "POST", "/query", `{"fingerprint":[0,0,0,0],"label":0,"k":-1}`, http.StatusBadRequest, ErrCodeBadRequest},
+		{"malformed json", "POST", "/query", `{not json`, http.StatusBadRequest, ErrCodeBadRequest},
+		{"dim mismatch", "POST", "/query", `{"fingerprint":[0],"label":0,"k":3}`, http.StatusBadRequest, ErrCodeBadRequest},
+		{"empty batch", "POST", "/query/batch", `{"queries":[]}`, http.StatusBadRequest, ErrCodeBadRequest},
+		{"batch over limit", "POST", "/query/batch", `{"queries":[{"k":1},{"k":1},{"k":1}]}`, http.StatusBadRequest, ErrCodeLimitExceeded},
+		{"method not allowed", "GET", "/query", "", http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed},
+		{"method not allowed stats", "POST", "/stats", "", http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed},
+		{"unknown route", "GET", "/nope", "", http.StatusNotFound, ErrCodeNotFound},
+		{"ingest disabled", "POST", "/ingest", `{"entries":[{"fingerprint":[0,0,0,0]}]}`, http.StatusNotImplemented, ErrCodeIngestDisabled},
+	}
+	for _, c := range cases {
+		for _, prefix := range []string{"/" + ProtocolVersion, ""} {
+			path := prefix + c.path
+			status, env := doRaw(t, h, c.method, path, c.body)
+			if status != c.wantStatus {
+				t.Errorf("%s (%s %s): status %d, want %d", c.name, c.method, path, status, c.wantStatus)
+				continue
+			}
+			if env.Code != c.wantCode {
+				t.Errorf("%s (%s %s): code %q, want %q (error %q)", c.name, c.method, path, env.Code, c.wantCode, env.Error)
+			}
+			if env.Error == "" {
+				t.Errorf("%s (%s %s): envelope has no error message", c.name, c.method, path)
+			}
+		}
+	}
+}
+
+// TestServiceV1RoutesServe: the versioned routes answer with the same
+// payloads as the legacy aliases, and /v1/meta reports the backend and
+// capabilities (tracking SetIngester).
+func TestServiceV1RoutesServe(t *testing.T) {
+	db := populatedDB(t, 4, 30, 2, 29)
+	svc := NewService(db)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/query", "/v1/query"} {
+		resp, err := srv.Client().Post(srv.URL+path, "application/json",
+			strings.NewReader(`{"fingerprint":[0.5,0.5,0.5,0.5],"label":0,"k":3}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qr QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(qr.Matches) != 3 {
+			t.Fatalf("%s: status %s, %d matches", path, resp.Status, len(qr.Matches))
+		}
+	}
+
+	meta := func() MetaResponse {
+		resp, err := srv.Client().Get(srv.URL + "/v1/meta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m MetaResponse
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m := meta()
+	if m.Protocol != ProtocolVersion || m.Server != ServerVersion || m.Backend != "linear" {
+		t.Fatalf("meta identity: %+v", m)
+	}
+	if m.Capabilities.Ingest || m.Capabilities.Sharded {
+		t.Fatalf("read-only daemon capabilities: %+v", m.Capabilities)
+	}
+	svc.SetIngester(&recordingIngester{})
+	if m = meta(); !m.Capabilities.Ingest {
+		t.Fatalf("meta did not track SetIngester: %+v", m.Capabilities)
+	}
+}
+
+// TestHeadServesOnGetRoutes: HEAD is accepted wherever GET is — load
+// balancers and uptime probes HEAD /healthz and must keep getting 200,
+// exactly as the pre-/v1 route table answered.
+func TestHeadServesOnGetRoutes(t *testing.T) {
+	db := populatedDB(t, 4, 10, 2, 41)
+	h := NewService(db).Handler()
+	for _, path := range []string{"/healthz", "/v1/healthz", "/stats", "/v1/stats", "/v1/meta"} {
+		status, _ := doRaw(t, h, http.MethodHead, path, "")
+		if status != http.StatusOK {
+			t.Errorf("HEAD %s: status %d, want 200", path, status)
+		}
+	}
+	// POST routes still reject HEAD.
+	if status, _ := doRaw(t, h, http.MethodHead, "/v1/query", ""); status != http.StatusMethodNotAllowed {
+		t.Errorf("HEAD /v1/query: status %d, want 405", status)
+	}
+}
+
+// flakyTransport fails the first n round trips with a transport error,
+// then delegates — a server that is still starting up.
+type flakyTransport struct {
+	next  http.RoundTripper
+	fails int
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.fails > 0 {
+		f.fails--
+		return nil, fmt.Errorf("connect: connection refused (simulated)")
+	}
+	return f.next.RoundTrip(req)
+}
+
+// TestClientNegotiationRetriesAfterTransportFault: a transport error
+// during the /v1/meta probe must not pin the client to legacy routes —
+// once the server answers, the client upgrades to /v1.
+func TestClientNegotiationRetriesAfterTransportFault(t *testing.T) {
+	db := populatedDB(t, 4, 20, 2, 43)
+	var paths []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		paths = append(paths, r.URL.Path)
+		NewService(db).Handler().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	hc := &http.Client{Transport: &flakyTransport{next: srv.Client().Transport, fails: 1}}
+	client := NewClient(srv.URL, hc)
+
+	// First call: the meta probe hits the transport fault, the request
+	// itself goes through on the legacy alias (the fault consumed by the
+	// probe), and negotiation stays open.
+	if _, err := client.Query(make(Fingerprint, 4), 0, 2); err != nil {
+		t.Fatalf("query during server startup window: %v", err)
+	}
+	// Second call: the probe succeeds and the client upgrades to /v1.
+	if _, err := client.Query(make(Fingerprint, 4), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	last := paths[len(paths)-1]
+	if last != "/v1/query" {
+		t.Fatalf("client did not upgrade after transient fault; last path %q (all: %v)", last, paths)
+	}
+}
+
+// TestClientNegotiation: the client uses /v1 routes against a /v1
+// server and falls back to legacy paths against a pre-/v1 server.
+func TestClientNegotiation(t *testing.T) {
+	db := populatedDB(t, 4, 20, 2, 31)
+	svc := NewService(db)
+
+	// Record which paths the client actually hits.
+	var paths []string
+	spy := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			paths = append(paths, r.URL.Path)
+			next.ServeHTTP(w, r)
+		})
+	}
+
+	srv := httptest.NewServer(spy(svc.Handler()))
+	defer srv.Close()
+	client := NewClient(srv.URL, srv.Client())
+	meta, err := client.Meta()
+	if err != nil || meta.Backend != "linear" {
+		t.Fatalf("meta: %+v %v", meta, err)
+	}
+	if _, err := client.Query(make(Fingerprint, 4), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	last := paths[len(paths)-1]
+	if last != "/v1/query" {
+		t.Fatalf("negotiated client queried %q, want /v1/query", last)
+	}
+
+	// A pre-/v1 server: only the legacy mux, no /v1 at all.
+	paths = nil
+	legacyMux := http.NewServeMux()
+	legacyMux.Handle("POST /query", spy(svc.Handler()))
+	legacy := httptest.NewServer(legacyMux)
+	defer legacy.Close()
+	old := NewClient(legacy.URL, legacy.Client())
+	if _, err := old.Meta(); err == nil {
+		t.Fatal("Meta against a legacy server should fail")
+	}
+	if _, err := old.Query(make(Fingerprint, 4), 0, 2); err != nil {
+		t.Fatalf("legacy fallback query: %v", err)
+	}
+	last = paths[len(paths)-1]
+	if last != "/query" {
+		t.Fatalf("legacy client queried %q, want /query", last)
+	}
+}

@@ -1,7 +1,6 @@
 package fingerprint
 
 import (
-	"bytes"
 	"context"
 	"encoding/hex"
 	"encoding/json"
@@ -383,21 +382,48 @@ func MergeBins(sets ...[]HistogramBin) []HistogramBin {
 	return out
 }
 
-// Handler returns the HTTP handler serving POST /query, POST
-// /query/batch, GET /healthz and GET /stats.
+// Handler returns the HTTP handler serving the versioned wire protocol
+// (POST /v1/query, POST /v1/query/batch, POST /v1/ingest, GET
+// /v1/healthz, GET /v1/stats, GET /v1/meta) plus the unversioned legacy
+// aliases, from the shared RouteSet.
 func (s *Service) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /query/batch", s.handleBatch)
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	return RouteSet{
+		Query:      s.handleQuery,
+		QueryBatch: s.handleBatch,
+		Ingest:     s.handleIngest,
+		Healthz:    s.handleHealthz,
+		Stats:      s.handleStats,
+		Meta:       s.Meta,
+	}.Handler()
 }
 
-func (s *Service) fail(w http.ResponseWriter, code int, format string, args ...any) {
+// Meta reports the daemon's /v1/meta identity: the current backend kind
+// and whether a write path is configured.
+func (s *Service) Meta() MetaResponse {
+	return MetaResponse{
+		Server:   ServerVersion,
+		Protocol: ProtocolVersion,
+		Backend:  s.Searcher().Kind(),
+		Capabilities: MetaCapabilities{
+			Ingest:  s.ingester != nil,
+			Sharded: false,
+		},
+	}
+}
+
+func (s *Service) fail(w http.ResponseWriter, status int, code, format string, args ...any) {
 	s.errs.Add(1)
-	http.Error(w, fmt.Sprintf(format, args...), code)
+	WriteError(w, status, code, format, args...)
+}
+
+// queryErrCode classifies a runQuery failure for the error envelope: a
+// k over the service limit is a limit violation, anything else (dim
+// mismatch, negative k) a bad request.
+func queryErrCode(req QueryRequest, maxK int) string {
+	if req.K > maxK {
+		return ErrCodeLimitExceeded
+	}
+	return ErrCodeBadRequest
 }
 
 // runQuery executes one query against the current backend, enforcing the
@@ -433,15 +459,15 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.maxBody)
+			s.fail(w, http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge, "request body exceeds %d bytes", s.maxBody)
 			return
 		}
-		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		s.fail(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request: %v", err)
 		return
 	}
 	resp, err := s.runQuery(req)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, http.StatusBadRequest, queryErrCode(req, s.maxK), "%v", err)
 		return
 	}
 	s.latency.Observe(time.Since(started))
@@ -478,18 +504,18 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.maxBody)
+			s.fail(w, http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge, "request body exceeds %d bytes", s.maxBody)
 			return
 		}
-		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		s.fail(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request: %v", err)
 		return
 	}
 	if len(req.Queries) == 0 {
-		s.fail(w, http.StatusBadRequest, "batch has no queries")
+		s.fail(w, http.StatusBadRequest, ErrCodeBadRequest, "batch has no queries")
 		return
 	}
 	if len(req.Queries) > s.maxBatch {
-		s.fail(w, http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(req.Queries), s.maxBatch)
+		s.fail(w, http.StatusBadRequest, ErrCodeLimitExceeded, "batch of %d queries exceeds limit %d", len(req.Queries), s.maxBatch)
 		return
 	}
 	writeJSON(w, s.RunBatch(req.Queries))
@@ -563,7 +589,8 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.ingester == nil {
 		// Not an error counter event: a read-only daemon is a valid
 		// deployment, the client just asked the wrong tier.
-		http.Error(w, "ingest not enabled on this daemon (start caltrain-serve with -wal)", http.StatusNotImplemented)
+		WriteError(w, http.StatusNotImplemented, ErrCodeIngestDisabled,
+			"ingest not enabled on this daemon (start caltrain-serve with -wal)")
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
@@ -571,23 +598,24 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.maxBody)
+			s.fail(w, http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge, "request body exceeds %d bytes", s.maxBody)
 			return
 		}
-		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		s.fail(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request: %v", err)
 		return
 	}
 	if len(req.Entries) == 0 {
-		s.fail(w, http.StatusBadRequest, "ingest batch has no entries")
+		s.fail(w, http.StatusBadRequest, ErrCodeBadRequest, "ingest batch has no entries")
 		return
 	}
 	if len(req.Entries) > s.maxBatch {
-		s.fail(w, http.StatusBadRequest, "ingest batch of %d entries exceeds limit %d", len(req.Entries), s.maxBatch)
+		s.fail(w, http.StatusBadRequest, ErrCodeLimitExceeded, "ingest batch of %d entries exceeds limit %d", len(req.Entries), s.maxBatch)
 		return
 	}
 	resp, err := s.RunIngest(req.Entries)
 	if err != nil {
-		http.Error(w, err.Error(), IngestStatusCode(err))
+		status := IngestStatusCode(err)
+		WriteError(w, status, ErrCodeForStatus(status), "%v", err)
 		return
 	}
 	writeJSON(w, resp)
@@ -669,101 +697,4 @@ func ServeHandler(ctx context.Context, l net.Listener, h http.Handler, grace tim
 		<-errc // always http.ErrServerClosed after Shutdown
 		return nil
 	}
-}
-
-// Client queries a remote fingerprint service.
-type Client struct {
-	baseURL string
-	http    *http.Client
-}
-
-// NewClient constructs a client for the service at baseURL. httpClient may
-// be nil for http.DefaultClient.
-func NewClient(baseURL string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
-	}
-	return &Client{baseURL: baseURL, http: httpClient}
-}
-
-func (c *Client) post(path string, body, out any) error {
-	payload, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("fingerprint: encode query: %w", err)
-	}
-	resp, err := c.http.Post(c.baseURL+path, "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return fmt.Errorf("fingerprint: query: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("fingerprint: query status %s", resp.Status)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("fingerprint: decode response: %w", err)
-	}
-	return nil
-}
-
-// Query posts a misprediction's fingerprint and returns the nearest
-// same-class training instances.
-func (c *Client) Query(f Fingerprint, label, k int) (*QueryResponse, error) {
-	var out QueryResponse
-	if err := c.post("/query", QueryRequest{Fingerprint: f, Label: label, K: k}, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
-}
-
-// QueryBatch posts many queries in one round trip. Results come back in
-// request order; individual failures surface per-result, not as a batch
-// error.
-func (c *Client) QueryBatch(reqs []QueryRequest) (*BatchResponse, error) {
-	var out BatchResponse
-	if err := c.post("/query/batch", BatchRequest{Queries: reqs}, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
-}
-
-// Ingest posts a batch of new linkages to the service's write path —
-// against a single daemon the reply reports its new entry count, against
-// a router it reports quorum acceptance per shard. The batch is
-// all-or-nothing at each daemon: a validation error rejects it whole.
-func (c *Client) Ingest(entries []IngestEntry) (*IngestResponse, error) {
-	var out IngestResponse
-	if err := c.post("/ingest", IngestRequest{Entries: entries}, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
-}
-
-// Healthz reports whether the service at baseURL is up.
-func (c *Client) Healthz() error {
-	resp, err := c.http.Get(c.baseURL + "/healthz")
-	if err != nil {
-		return fmt.Errorf("fingerprint: healthz: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("fingerprint: healthz status %s", resp.Status)
-	}
-	return nil
-}
-
-// Stats fetches the service's /stats counters.
-func (c *Client) Stats() (*StatsResponse, error) {
-	resp, err := c.http.Get(c.baseURL + "/stats")
-	if err != nil {
-		return nil, fmt.Errorf("fingerprint: stats: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("fingerprint: stats status %s", resp.Status)
-	}
-	var out StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("fingerprint: decode stats: %w", err)
-	}
-	return &out, nil
 }

@@ -162,6 +162,25 @@ func (s *Store) apply(l fingerprint.Linkage) error {
 	return nil
 }
 
+// ValidateBatch vets an ingest batch against the database dimension —
+// the all-or-nothing pre-check shared by the durable Store and the
+// volatile in-process write path (internal/serve): any failure rejects
+// the whole batch before a single entry is logged or applied.
+func ValidateBatch(dim int, ls []fingerprint.Linkage) error {
+	for i, l := range ls {
+		if len(l.F) != dim {
+			return fmt.Errorf("%w: entry %d has %d dims, database %d", fingerprint.ErrDimMismatch, i, len(l.F), dim)
+		}
+		if l.Y < 0 {
+			return fmt.Errorf("%w: entry %d label %d", fingerprint.ErrBadLabel, i, l.Y)
+		}
+		if len(l.S) > 65535 {
+			return fmt.Errorf("%w: entry %d source %d bytes", fingerprint.ErrBadSource, i, len(l.S))
+		}
+	}
+	return nil
+}
+
 // IngestBatch implements fingerprint.Ingester: validate everything,
 // log the batch (durable per the WAL's fsync policy), then apply it to
 // the database and index. All-or-nothing: a validation failure anywhere
@@ -170,17 +189,8 @@ func (s *Store) IngestBatch(ls []fingerprint.Linkage) (int, error) {
 	if len(ls) == 0 {
 		return 0, nil
 	}
-	dim := s.db.Dim()
-	for i, l := range ls {
-		if len(l.F) != dim {
-			return 0, fmt.Errorf("%w: entry %d has %d dims, database %d", fingerprint.ErrDimMismatch, i, len(l.F), dim)
-		}
-		if l.Y < 0 {
-			return 0, fmt.Errorf("%w: entry %d label %d", fingerprint.ErrBadLabel, i, l.Y)
-		}
-		if len(l.S) > 65535 {
-			return 0, fmt.Errorf("%w: entry %d source %d bytes", fingerprint.ErrBadSource, i, len(l.S))
-		}
+	if err := ValidateBatch(s.db.Dim(), ls); err != nil {
+		return 0, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/ingest"
+	"caltrain/internal/shard"
+)
+
+// WALConfig enables the durable write path of a Deployment: ingest
+// batches are CRC-framed into a write-ahead log under Dir before they
+// are applied, so acknowledged writes survive a crash. A sharded
+// deployment logs per shard replica under Dir/shard-N/replica-M, so a
+// rebuild over the same seed database and Dir replays every shard.
+type WALConfig struct {
+	// Dir is the write-ahead log directory (created if absent).
+	Dir string
+	// Store tunes the durable write path: WAL fsync policy and segment
+	// rotation, drift threshold, and the advanced hooks. A nil
+	// Store.Rebuild is filled from the deployment's BackendSpec, a nil
+	// Store.Swapper with the built service, so drift-triggered retrains
+	// hot-swap the right backend without any extra wiring.
+	Store ingest.Options
+}
+
+// Deployment declares a complete serving topology over one linkage
+// database. The zero value serves a read-only Flat-indexed query
+// service; filling fields composes backends, sharding, durability, and
+// limits without touching any construction code:
+//
+//	Deployment{Backend: IVFSpec{...}}                          // one daemon, approximate
+//	Deployment{Shards: 4, VolatileWrites: true}                // in-process sharded router
+//	Deployment{Backend: FlatSpec{}, WAL: &WALConfig{Dir: d}}   // durable single daemon
+//	Deployment{Shards: 4, ReplicasPerShard: 2, WAL: ...}       // replicated sharded writes
+//
+// Build assembles it; every topology serves the same versioned /v1 wire
+// protocol (plus legacy aliases), so clients cannot tell the shapes
+// apart except through GET /v1/meta.
+type Deployment struct {
+	// Backend selects the index backend; nil means FlatSpec{}.
+	Backend BackendSpec
+	// Shards >1 splits the database by label hash across that many
+	// shards behind an in-process scatter-gather router; 0 or 1 serves a
+	// single query service.
+	Shards int
+	// ReplicasPerShard builds that many identical replicas per shard
+	// (sharded only; 0 or 1 means one). Replicas make routed writes
+	// quorum-able and reads failover-able, at ReplicasPerShard× the
+	// memory.
+	ReplicasPerShard int
+	// WAL enables the durable write path (see WALConfig). Nil with
+	// VolatileWrites false builds a read-only deployment.
+	WAL *WALConfig
+	// VolatileWrites enables a non-durable in-memory write path when WAL
+	// is nil: POST /ingest applies to the database and index but is lost
+	// on restart. Unlike the WAL path it never retrains an approximate
+	// backend, so an IVF deployment under sustained volatile ingest
+	// degrades in recall — use an exact backend, or a WAL, when writes
+	// are more than a trickle. Ignored when WAL is set.
+	VolatileWrites bool
+	// Limits forwards request bounds (body size, k, batch) to every
+	// query service the deployment builds.
+	Limits []fingerprint.ServiceOption
+	// RouterOptions tunes the sharded router (timeouts, write quorum,
+	// latency buckets). Sharded only.
+	RouterOptions []shard.RouterOption
+}
+
+// Server is a built Deployment: the handle through which a process
+// serves, snapshots, and shuts down one topology. Exactly one of
+// Service or Router is non-nil, matching the deployment's shape.
+type Server struct {
+	handler http.Handler
+	svc     *fingerprint.Service
+	router  *shard.Router
+	stores  []*ingest.Store
+}
+
+// Handler returns the HTTP handler serving the /v1 wire protocol (and
+// legacy aliases) for the whole topology.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Service returns the single query service, nil for a sharded build.
+func (s *Server) Service() *fingerprint.Service { return s.svc }
+
+// Router returns the scatter-gather router, nil for a single build.
+func (s *Server) Router() *shard.Router { return s.router }
+
+// Stores returns every durable write path the build opened (one per
+// shard replica), empty without a WAL. Keep them to Snapshot.
+func (s *Server) Stores() []*ingest.Store { return s.stores }
+
+// Store returns the single-service build's durable write path, nil
+// without a WAL (use Stores for sharded builds).
+func (s *Server) Store() *ingest.Store {
+	if len(s.stores) == 0 {
+		return nil
+	}
+	return s.stores[0]
+}
+
+// Serve runs the deployment on l until ctx is cancelled, then drains
+// in-flight requests for up to grace.
+func (s *Server) Serve(ctx context.Context, l net.Listener, grace time.Duration) error {
+	return fingerprint.ServeHandler(ctx, l, s.handler, grace)
+}
+
+// Close flushes and closes every durable write path (waiting out
+// background retrains). It does not snapshot; call Store Snapshot
+// first when compaction on shutdown is wanted.
+func (s *Server) Close() error {
+	var firstErr error
+	for _, st := range s.stores {
+		if err := st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Build assembles the declared topology over db.
+func (d Deployment) Build(db *fingerprint.DB) (*Server, error) {
+	spec := d.Backend
+	if spec == nil {
+		spec = FlatSpec{}
+	}
+	if d.Shards > 1 {
+		return d.buildSharded(db, spec)
+	}
+	return d.buildSingle(db, spec)
+}
+
+// buildSingle assembles the one-daemon shape: spec-built backend, query
+// service with limits, and whichever write path the config asks for.
+func (d Deployment) buildSingle(db *fingerprint.DB, spec BackendSpec) (*Server, error) {
+	searcher, err := spec.Build(db)
+	if err != nil {
+		return nil, err
+	}
+	svc := fingerprint.NewSearcherService(searcher, d.Limits...)
+	srv := &Server{svc: svc, handler: svc.Handler()}
+	switch {
+	case d.WAL != nil:
+		store, err := d.openStore(d.WAL.Dir, db, searcher, spec, svc)
+		if err != nil {
+			return nil, err
+		}
+		svc.SetIngester(store)
+		srv.stores = []*ingest.Store{store}
+	case d.VolatileWrites:
+		ing, err := newVolatileIngester(db, searcher)
+		if err != nil {
+			return nil, err
+		}
+		svc.SetIngester(ing)
+	}
+	return srv, nil
+}
+
+// buildSharded assembles the in-process sharded shape: the database is
+// hash-split by label, each shard (replica) gets its own backend, query
+// service, and write path, and a scatter-gather router fans the /v1
+// protocol across them. Writes route to the owning shard and replicate
+// to all of its replicas, exactly like the caltrain-router topology.
+func (d Deployment) buildSharded(db *fingerprint.DB, spec BackendSpec) (*Server, error) {
+	if _, ok := spec.(PrebuiltSpec); ok {
+		return nil, fmt.Errorf("serve: a prebuilt backend covers the whole database and cannot be sharded")
+	}
+	m, err := shard.NewHashMap(d.Shards)
+	if err != nil {
+		return nil, err
+	}
+	nrep := max(1, d.ReplicasPerShard)
+	replicas := make([][]shard.Replica, d.Shards)
+	srv := &Server{}
+	for rep := 0; rep < nrep; rep++ {
+		// Each replica owns a private copy of its shard's data, split
+		// fresh from the seed database, so replicated writes and failover
+		// behave as they would across processes.
+		parts, err := shard.SplitDB(db, m)
+		if err != nil {
+			return nil, err
+		}
+		for i, part := range parts {
+			searcher, err := buildShardBackend(spec, part)
+			if err != nil {
+				return nil, fmt.Errorf("serve: shard %d backend: %w", i, err)
+			}
+			svc := fingerprint.NewSearcherService(searcher, d.Limits...)
+			name := fmt.Sprintf("local-shard-%d", i)
+			if nrep > 1 {
+				name = fmt.Sprintf("local-shard-%d-replica-%d", i, rep)
+			}
+			switch {
+			case d.WAL != nil:
+				dir := filepath.Join(d.WAL.Dir, fmt.Sprintf("shard-%d", i), fmt.Sprintf("replica-%d", rep))
+				store, err := d.openStore(dir, part, searcher, spec, svc)
+				if err != nil {
+					return nil, fmt.Errorf("serve: shard %d wal: %w", i, err)
+				}
+				svc.SetIngester(store)
+				srv.stores = append(srv.stores, store)
+			case d.VolatileWrites:
+				ing, err := newVolatileIngester(part, searcher)
+				if err != nil {
+					return nil, fmt.Errorf("serve: shard %d write path: %w", i, err)
+				}
+				svc.SetIngester(ing)
+			}
+			replicas[i] = append(replicas[i], shard.NewLocalReplica(name, svc))
+		}
+	}
+	ropts := d.RouterOptions
+	if d.WAL == nil && !d.VolatileWrites {
+		// Every shard service was built read-only; say so on /v1/meta
+		// instead of advertising a write path that would only answer 501.
+		ropts = append(append([]shard.RouterOption{}, ropts...), shard.WithIngestCapability(false))
+	}
+	rt, err := shard.NewRouter(m, replicas, ropts...)
+	if err != nil {
+		return nil, err
+	}
+	srv.router = rt
+	srv.handler = rt.Handler()
+	return srv, nil
+}
+
+// buildShardBackend builds spec over one shard, falling back to the
+// exact Flat index when the spec cannot build over an empty shard (IVF
+// cannot train without vectors; the shard serves exact until writes
+// arrive).
+func buildShardBackend(spec BackendSpec, part *fingerprint.DB) (fingerprint.Searcher, error) {
+	sr, err := spec.Build(part)
+	if err != nil && part.Len() == 0 {
+		return FlatSpec{}.Build(part)
+	}
+	return sr, err
+}
+
+// openStore opens one durable write path, defaulting the retrain hook
+// from the spec and the hot-swap target to the built service.
+func (d Deployment) openStore(dir string, db *fingerprint.DB, searcher fingerprint.Searcher, spec BackendSpec, svc *fingerprint.Service) (*ingest.Store, error) {
+	opts := d.WAL.Store
+	if opts.Rebuild == nil {
+		opts.Rebuild = spec.Rebuild()
+	}
+	if opts.Swapper == nil {
+		opts.Swapper = svc
+	}
+	return ingest.Open(dir, db, searcher, opts)
+}
+
+// NewRouter wraps an externally wired scatter-gather router — remote
+// HTTP replicas, a loaded shard map — as a Server: the caltrain-router
+// topology, where the shards live in other processes. In-process
+// sharding goes through Deployment.Build instead.
+func NewRouter(m *shard.Map, replicas [][]shard.Replica, opts ...shard.RouterOption) (*Server, error) {
+	rt, err := shard.NewRouter(m, replicas, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{router: rt, handler: rt.Handler()}, nil
+}

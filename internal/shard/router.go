@@ -152,10 +152,12 @@ func (r *HTTPReplica) do(req *http.Request, out any) error {
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {
-		// The body is the daemon's reason (http.Error text); carry a
-		// bounded snippet into the per-result error.
-		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(snippet))}
+		// The body is the daemon's reason — the structured error envelope
+		// on a /v1 daemon, plain http.Error text on a pre-/v1 one. Carry
+		// the envelope's message (or a bounded raw snippet) into the
+		// per-result error.
+		_, msg := fingerprint.ReadErrorBody(resp.Body)
+		return &StatusError{Code: resp.StatusCode, Msg: msg}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("shard: decode %s response: %w", req.URL.Path, err)
@@ -271,6 +273,7 @@ type Router struct {
 	maxBody     int64
 	maxBatch    int
 	writeQuorum int
+	metaIngest  bool
 	now         func() time.Time
 
 	start   time.Time
@@ -311,6 +314,16 @@ func WithRouterLatencyBuckets(boundsUS []int64) RouterOption {
 	return func(r *Router) { r.bucketsUS = boundsUS }
 }
 
+// WithIngestCapability sets whether GET /v1/meta advertises a write
+// path. It defaults to true: a router over external daemons cannot see
+// their -wal configuration, and the ingest endpoint itself always
+// exists. An in-process Deployment that built its shards read-only
+// passes false, so capability discovery tells the truth instead of
+// inviting a probe-for-501 round trip.
+func WithIngestCapability(v bool) RouterOption {
+	return func(r *Router) { r.metaIngest = v }
+}
+
 // WithWriteQuorum sets how many replicas of a shard must acknowledge an
 // ingest batch before the router reports it durable. 0 (the default)
 // means a majority of the shard's replicas; values above a shard's
@@ -328,14 +341,15 @@ func NewRouter(m *Map, replicas [][]Replica, opts ...RouterOption) (*Router, err
 		return nil, fmt.Errorf("shard: map has %d shards but %d replica sets given", m.NumShards(), len(replicas))
 	}
 	r := &Router{
-		m:         m,
-		timeout:   DefaultShardTimeout,
-		cooldown:  DefaultReplicaCooldown,
-		maxBody:   fingerprint.DefaultMaxBodyBytes,
-		maxBatch:  fingerprint.DefaultMaxBatch,
-		now:       time.Now,
-		start:     time.Now(),
-		bucketsUS: RouterLatencyBucketsUS,
+		m:          m,
+		timeout:    DefaultShardTimeout,
+		cooldown:   DefaultReplicaCooldown,
+		maxBody:    fingerprint.DefaultMaxBodyBytes,
+		maxBatch:   fingerprint.DefaultMaxBatch,
+		metaIngest: true,
+		now:        time.Now,
+		start:      time.Now(),
+		bucketsUS:  RouterLatencyBucketsUS,
 	}
 	for _, o := range opts {
 		o(r)
@@ -469,17 +483,36 @@ func (r *Router) scatter(ctx context.Context, reqs []fingerprint.QueryRequest) (
 	return results, unreachable
 }
 
-// Handler returns the router's HTTP handler: the single-daemon protocol
-// (POST /query, POST /query/batch, GET /healthz, GET /stats) served by
+// Handler returns the router's HTTP handler: the same versioned wire
+// protocol a single daemon serves (/v1/* plus the unversioned legacy
+// aliases, from the shared fingerprint.RouteSet), answered by
 // scatter-gather.
 func (r *Router) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", r.handleQuery)
-	mux.HandleFunc("POST /query/batch", r.handleBatch)
-	mux.HandleFunc("POST /ingest", r.handleIngest)
-	mux.HandleFunc("GET /healthz", r.handleHealthz)
-	mux.HandleFunc("GET /stats", r.handleStats)
-	return mux
+	return fingerprint.RouteSet{
+		Query:      r.handleQuery,
+		QueryBatch: r.handleBatch,
+		Ingest:     r.handleIngest,
+		Healthz:    r.handleHealthz,
+		Stats:      r.handleStats,
+		Meta:       r.Meta,
+	}.Handler()
+}
+
+// Meta reports the router's /v1/meta identity. Ingest is advertised
+// per WithIngestCapability: by default true — the router always fans
+// writes out, and over external daemons it cannot see whether they run
+// -wal — but an in-process read-only Deployment sets it false so
+// discovery tells the truth.
+func (r *Router) Meta() fingerprint.MetaResponse {
+	return fingerprint.MetaResponse{
+		Server:   fingerprint.ServerVersion,
+		Protocol: fingerprint.ProtocolVersion,
+		Backend:  "router",
+		Capabilities: fingerprint.MetaCapabilities{
+			Ingest:  r.metaIngest,
+			Sharded: true,
+		},
+	}
 }
 
 // Serve runs the router on l until ctx is cancelled, then drains
@@ -488,9 +521,9 @@ func (r *Router) Serve(ctx context.Context, l net.Listener, grace time.Duration)
 	return fingerprint.ServeHandler(ctx, l, r.Handler(), grace)
 }
 
-func (r *Router) fail(w http.ResponseWriter, code int, format string, args ...any) {
+func (r *Router) fail(w http.ResponseWriter, status int, code, format string, args ...any) {
 	r.errs.Add(1)
-	http.Error(w, fmt.Sprintf(format, args...), code)
+	fingerprint.WriteError(w, status, code, format, args...)
 }
 
 func (r *Router) decode(w http.ResponseWriter, req *http.Request, into any) bool {
@@ -498,10 +531,10 @@ func (r *Router) decode(w http.ResponseWriter, req *http.Request, into any) bool
 	if err := json.NewDecoder(req.Body).Decode(into); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			r.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", r.maxBody)
+			r.fail(w, http.StatusRequestEntityTooLarge, fingerprint.ErrCodeBodyTooLarge, "request body exceeds %d bytes", r.maxBody)
 			return false
 		}
-		r.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		r.fail(w, http.StatusBadRequest, fingerprint.ErrCodeBadRequest, "bad request: %v", err)
 		return false
 	}
 	return true
@@ -518,13 +551,13 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	if len(unreachable) > 0 {
 		// A single query has no partial result to return; the owning
 		// shard being down is a gateway failure. scatter already counted
-		// the error, so write the status directly (r.fail would double
+		// the error, so write the envelope directly (r.fail would double
 		// count).
-		http.Error(w, results[0].Error, http.StatusBadGateway)
+		fingerprint.WriteError(w, http.StatusBadGateway, fingerprint.ErrCodeShardUnreachable, "%s", results[0].Error)
 		return
 	}
 	if results[0].Error != "" {
-		http.Error(w, results[0].Error, http.StatusBadRequest)
+		fingerprint.WriteError(w, http.StatusBadRequest, fingerprint.ErrCodeBadRequest, "%s", results[0].Error)
 		return
 	}
 	r.latency.Observe(time.Since(started))
@@ -539,11 +572,11 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if len(batch.Queries) == 0 {
-		r.fail(w, http.StatusBadRequest, "batch has no queries")
+		r.fail(w, http.StatusBadRequest, fingerprint.ErrCodeBadRequest, "batch has no queries")
 		return
 	}
 	if len(batch.Queries) > r.maxBatch {
-		r.fail(w, http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(batch.Queries), r.maxBatch)
+		r.fail(w, http.StatusBadRequest, fingerprint.ErrCodeLimitExceeded, "batch of %d queries exceeds limit %d", len(batch.Queries), r.maxBatch)
 		return
 	}
 	r.queries.Add(uint64(len(batch.Queries)))
@@ -652,11 +685,11 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if len(batch.Entries) == 0 {
-		r.fail(w, http.StatusBadRequest, "ingest batch has no entries")
+		r.fail(w, http.StatusBadRequest, fingerprint.ErrCodeBadRequest, "ingest batch has no entries")
 		return
 	}
 	if len(batch.Entries) > r.maxBatch {
-		r.fail(w, http.StatusBadRequest, "ingest batch of %d entries exceeds limit %d", len(batch.Entries), r.maxBatch)
+		r.fail(w, http.StatusBadRequest, fingerprint.ErrCodeLimitExceeded, "ingest batch of %d entries exceeds limit %d", len(batch.Entries), r.maxBatch)
 		return
 	}
 	// Sub-batches apply atomically per shard, but a multi-shard request
@@ -664,21 +697,21 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	// validate before any shard sees a byte. Only a mismatch against the
 	// daemons' database dimension can still surface per-shard.
 	if _, err := fingerprint.DecodeIngestEntries(batch.Entries); err != nil {
-		r.fail(w, http.StatusBadRequest, "%v", err)
+		r.fail(w, http.StatusBadRequest, fingerprint.ErrCodeBadRequest, "%v", err)
 		return
 	}
 	dim0 := len(batch.Entries[0].Fingerprint)
 	for i, e := range batch.Entries {
 		if e.Label < 0 {
-			r.fail(w, http.StatusBadRequest, "entry %d: label %d out of range", i, e.Label)
+			r.fail(w, http.StatusBadRequest, fingerprint.ErrCodeBadRequest, "entry %d: label %d out of range", i, e.Label)
 			return
 		}
 		if len(e.Fingerprint) != dim0 {
-			r.fail(w, http.StatusBadRequest, "entry %d has %d dims, entry 0 has %d", i, len(e.Fingerprint), dim0)
+			r.fail(w, http.StatusBadRequest, fingerprint.ErrCodeBadRequest, "entry %d has %d dims, entry 0 has %d", i, len(e.Fingerprint), dim0)
 			return
 		}
 		if len(e.Source) > 65535 {
-			r.fail(w, http.StatusBadRequest, "entry %d: source of %d bytes exceeds 65535", i, len(e.Source))
+			r.fail(w, http.StatusBadRequest, fingerprint.ErrCodeBadRequest, "entry %d: source of %d bytes exceeds 65535", i, len(e.Source))
 			return
 		}
 	}

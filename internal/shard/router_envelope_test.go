@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"caltrain/internal/fingerprint"
+)
+
+// doRawRouter fires one request at the router handler and decodes the
+// error envelope when the response is not a 200.
+func doRawRouter(t *testing.T, h http.Handler, method, path, body string) (int, fingerprint.ErrorEnvelope) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var env fingerprint.ErrorEnvelope
+	if rec.Code != http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Fatalf("%s %s: error body is not an envelope: %v (%q)", method, path, err, rec.Body.String())
+		}
+	}
+	return rec.Code, env
+}
+
+// TestRouterErrorEnvelope is the wire-contract table for the router
+// handler: the same structured {code, error} envelope a single daemon
+// writes, on /v1 routes and legacy aliases alike — including the
+// router-only failure mode, a query whose label's shard is unreachable.
+func TestRouterErrorEnvelope(t *testing.T) {
+	db := testDB(t, 8, 200, 8)
+	rt, _ := shardedFixture(t, db, 2, WithRouterMaxBodyBytes(512), WithRouterMaxBatch(2))
+	h := rt.Handler()
+
+	// A separate router whose every replica is a closed port: every
+	// label's shard is unreachable.
+	m, err := NewHashMap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadReplicas := [][]Replica{
+		{NewHTTPReplica("http://127.0.0.1:1", nil)},
+		{NewHTTPReplica("http://127.0.0.1:1", nil)},
+	}
+	deadRt, err := NewRouter(m, deadReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadH := deadRt.Handler()
+
+	bigBody := `{"fingerprint":[` + strings.Repeat("0.125,", 400) + `0.125],"label":0,"k":3}`
+	cases := []struct {
+		name       string
+		handler    http.Handler
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"oversized body", h, "POST", "/query", bigBody, http.StatusRequestEntityTooLarge, fingerprint.ErrCodeBodyTooLarge},
+		{"bad k", h, "POST", "/query", `{"fingerprint":[0,0,0,0,0,0,0,0],"label":0,"k":-3}`, http.StatusBadRequest, fingerprint.ErrCodeBadRequest},
+		{"malformed json", h, "POST", "/query", `{not json`, http.StatusBadRequest, fingerprint.ErrCodeBadRequest},
+		{"empty batch", h, "POST", "/query/batch", `{"queries":[]}`, http.StatusBadRequest, fingerprint.ErrCodeBadRequest},
+		{"batch over limit", h, "POST", "/query/batch", `{"queries":[{"k":1},{"k":1},{"k":1}]}`, http.StatusBadRequest, fingerprint.ErrCodeLimitExceeded},
+		{"empty ingest", h, "POST", "/ingest", `{"entries":[]}`, http.StatusBadRequest, fingerprint.ErrCodeBadRequest},
+		{"ingest mixed dims", h, "POST", "/ingest", `{"entries":[{"fingerprint":[0,0,0,0,0,0,0,0]},{"fingerprint":[0]}]}`, http.StatusBadRequest, fingerprint.ErrCodeBadRequest},
+		{"method not allowed", h, "GET", "/query", "", http.StatusMethodNotAllowed, fingerprint.ErrCodeMethodNotAllowed},
+		{"unknown route", h, "GET", "/nope", "", http.StatusNotFound, fingerprint.ErrCodeNotFound},
+		{"unreachable label shard", deadH, "POST", "/query", `{"fingerprint":[0,0,0,0,0,0,0,0],"label":3,"k":2}`, http.StatusBadGateway, fingerprint.ErrCodeShardUnreachable},
+	}
+	for _, c := range cases {
+		for _, prefix := range []string{"/v1", ""} {
+			path := prefix + c.path
+			status, env := doRawRouter(t, c.handler, c.method, path, c.body)
+			if status != c.wantStatus {
+				t.Errorf("%s (%s %s): status %d, want %d", c.name, c.method, path, status, c.wantStatus)
+				continue
+			}
+			if env.Code != c.wantCode {
+				t.Errorf("%s (%s %s): code %q, want %q (error %q)", c.name, c.method, path, env.Code, c.wantCode, env.Error)
+			}
+			if env.Error == "" {
+				t.Errorf("%s (%s %s): envelope has no error message", c.name, c.method, path)
+			}
+		}
+	}
+}
+
+// TestRouterV1RoutesAndMeta: the router serves the versioned protocol
+// with sharded capability discovery, and batches answer identically on
+// /v1 and legacy paths.
+func TestRouterV1RoutesAndMeta(t *testing.T) {
+	db := testDB(t, 8, 200, 8)
+	rt, _ := shardedFixture(t, db, 2)
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta fingerprint.MetaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if meta.Backend != "router" || !meta.Capabilities.Sharded || !meta.Capabilities.Ingest {
+		t.Fatalf("router meta: %+v", meta)
+	}
+
+	for _, path := range []string{"/query/batch", "/v1/query/batch"} {
+		body := `{"queries":[{"fingerprint":[0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1],"label":1,"k":2}]}`
+		res, err := srv.Client().Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch fingerprint.BatchResponse
+		if err := json.NewDecoder(res.Body).Decode(&batch); err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK || len(batch.Results) != 1 || batch.Results[0].Error != "" {
+			t.Fatalf("%s: status %s results %+v", path, res.Status, batch.Results)
+		}
+	}
+
+	// The negotiated client works against the router exactly as against
+	// a daemon.
+	client := fingerprint.NewClient(srv.URL, srv.Client())
+	cmeta, err := client.Meta()
+	if err != nil || cmeta.Backend != "router" {
+		t.Fatalf("client meta via router: %+v %v", cmeta, err)
+	}
+	if err := client.Healthz(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicaSurfacesEnvelopeMessage: a daemon rejection travels to the
+// router as the envelope's message, not raw JSON, so per-result errors
+// stay human-readable.
+func TestReplicaSurfacesEnvelopeMessage(t *testing.T) {
+	db := testDB(t, 8, 100, 4)
+	svc := fingerprint.NewService(db, fingerprint.WithMaxBatch(1))
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	rep := NewHTTPReplica(srv.URL, nil)
+	_, err := rep.QueryBatch(t.Context(), []fingerprint.QueryRequest{{K: 1}, {K: 1}})
+	if err == nil {
+		t.Fatal("over-limit sub-batch accepted")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is not a StatusError: %v", err)
+	}
+	if strings.Contains(se.Msg, "{") || !strings.Contains(se.Msg, "exceeds limit 1") {
+		t.Fatalf("replica message not unwrapped from envelope: %q", se.Msg)
+	}
+}

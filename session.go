@@ -9,11 +9,8 @@ import (
 	"caltrain/internal/attest"
 	"caltrain/internal/core"
 	"caltrain/internal/fingerprint"
-	"caltrain/internal/index"
-	"caltrain/internal/ingest"
 	"caltrain/internal/nn"
 	"caltrain/internal/partition"
-	"caltrain/internal/shard"
 	"caltrain/internal/tensor"
 	"caltrain/internal/trojan"
 )
@@ -197,30 +194,39 @@ func (s *Session) Fingerprint() (*LinkageDB, error) {
 // session's linkage database. Fingerprint must have been called first.
 // By default queries run on an exact Flat index snapshot of the database;
 // pass options to select another backend (WithIVFBackend for approximate
-// search at scale, WithLinearBackend for the reference scan) or to bound
-// request sizes (WithServiceOptions).
+// search at scale, WithLinearBackend for the reference scan, or
+// WithBackendSpec for any custom BackendSpec) or to bound request sizes
+// (WithServiceOptions). The service is read-only; IngestService adds
+// the durable write path.
 func (s *Session) QueryService(opts ...QueryHandlerOption) (*QueryService, error) {
-	if s.db == nil {
-		return nil, fmt.Errorf("caltrain: run Fingerprint before serving queries")
+	if err := s.checkServable(); err != nil {
+		return nil, err
 	}
-	cfg := queryHandlerConfig{backend: "flat"}
+	built, err := s.deployment(opts).Build(s.db)
+	if err != nil {
+		return nil, err
+	}
+	return built.Service(), nil
+}
+
+// deployment translates QueryHandler options into the declarative
+// Deployment every Session serving constructor builds through. The
+// caller must still check s.db (deployment cannot build over nil).
+func (s *Session) deployment(opts []QueryHandlerOption) Deployment {
+	cfg := queryHandlerConfig{spec: FlatSpec{}}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	var searcher Searcher
-	switch cfg.backend {
-	case "linear":
-		searcher = s.db
-	case "flat":
-		searcher = index.NewFlat(s.db)
-	case "ivf":
-		ivf, err := index.TrainIVF(s.db, cfg.ivf)
-		if err != nil {
-			return nil, err
-		}
-		searcher = ivf
+	return Deployment{Backend: cfg.spec, Limits: cfg.svc}
+}
+
+// checkServable guards every serving constructor: the linkage database
+// exists only after Fingerprint.
+func (s *Session) checkServable() error {
+	if s.db == nil {
+		return fmt.Errorf("caltrain: run Fingerprint before serving queries")
 	}
-	return fingerprint.NewSearcherService(searcher, cfg.svc...), nil
+	return nil
 }
 
 // QueryHandler returns the HTTP handler of the accountability query
@@ -250,42 +256,16 @@ func (s *Session) QueryHandler(opts ...QueryHandlerOption) (http.Handler, error)
 // stays exact under appends; IVF trades recall for append speed until
 // its background retrain.
 func (s *Session) IngestService(walDir string, iopts IngestOptions, opts ...QueryHandlerOption) (*QueryService, *IngestStore, error) {
-	if s.db == nil {
-		return nil, nil, fmt.Errorf("caltrain: run Fingerprint before serving ingest")
+	if err := s.checkServable(); err != nil {
+		return nil, nil, err
 	}
-	cfg := queryHandlerConfig{backend: "flat"}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	var searcher Searcher
-	switch cfg.backend {
-	case "linear":
-		searcher = s.db
-	case "flat":
-		searcher = index.NewFlat(s.db)
-	case "ivf":
-		ivf, err := index.TrainIVF(s.db, cfg.ivf)
-		if err != nil {
-			return nil, nil, err
-		}
-		searcher = ivf
-		if iopts.Rebuild == nil {
-			ivfOpts := cfg.ivf
-			iopts.Rebuild = func(snap *fingerprint.DB) (fingerprint.Searcher, error) {
-				return index.TrainIVF(snap, ivfOpts)
-			}
-		}
-	}
-	svc := fingerprint.NewSearcherService(searcher, cfg.svc...)
-	if iopts.Swapper == nil {
-		iopts.Swapper = svc
-	}
-	store, err := ingest.Open(walDir, s.db, searcher, iopts)
+	dep := s.deployment(opts)
+	dep.WAL = &WALConfig{Dir: walDir, Store: iopts}
+	built, err := dep.Build(s.db)
 	if err != nil {
 		return nil, nil, err
 	}
-	svc.SetIngester(store)
-	return svc, store, nil
+	return built.Service(), built.Store(), nil
 }
 
 // IngestHandler returns the HTTP handler of an ingest-enabled query
@@ -303,64 +283,37 @@ func (s *Session) IngestHandler(walDir string, iopts IngestOptions, opts ...Quer
 // deployment built in-process from the session's linkage database: the
 // database is hash-split across nshards shards, each served by its own
 // query service over the configured index backend, behind a
-// scatter-gather router speaking the single-daemon protocol. Fingerprint
-// must have been called first.
+// scatter-gather router speaking the single-daemon protocol. The
+// deployment carries the write path: POST /ingest routes each new
+// linkage to the shard owning its label (non-durable, and with no
+// drift-triggered retrain — back the topology with IngestService-style
+// WAL stores, or run the real caltrain-router, when writes must
+// survive a restart or arrive in volume against an IVF backend).
+// Fingerprint must have been called first.
 //
 // This is the one-process model of the production topology
 // (caltrain-shard + N×caltrain-serve + caltrain-router); use it to
 // exercise routing semantics, or as the serving handler on a machine
-// where per-shard daemons are not worth their operational cost.
+// where per-shard daemons are not worth their operational cost. With
+// nshards below 2 it serves a single (unsharded) query service.
 func (s *Session) RouterHandler(nshards int, opts ...QueryHandlerOption) (http.Handler, error) {
-	if s.db == nil {
-		return nil, fmt.Errorf("caltrain: run Fingerprint before serving queries")
+	if err := s.checkServable(); err != nil {
+		return nil, err
 	}
-	cfg := queryHandlerConfig{backend: "flat"}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	m, err := shard.NewHashMap(nshards)
+	dep := s.deployment(opts)
+	dep.Shards = nshards
+	dep.VolatileWrites = true
+	built, err := dep.Build(s.db)
 	if err != nil {
 		return nil, err
 	}
-	parts, err := shard.SplitDB(s.db, m)
-	if err != nil {
-		return nil, err
-	}
-	replicas := make([][]shard.Replica, len(parts))
-	for i, part := range parts {
-		var searcher Searcher
-		switch cfg.backend {
-		case "linear":
-			searcher = part
-		case "flat":
-			searcher = index.NewFlat(part)
-		case "ivf":
-			if part.Len() == 0 {
-				// IVF cannot train on an empty shard; serve it flat.
-				searcher = index.NewFlat(part)
-				break
-			}
-			ivf, err := index.TrainIVF(part, cfg.ivf)
-			if err != nil {
-				return nil, fmt.Errorf("caltrain: shard %d index: %w", i, err)
-			}
-			searcher = ivf
-		}
-		svc := fingerprint.NewSearcherService(searcher, cfg.svc...)
-		replicas[i] = []shard.Replica{shard.NewLocalReplica(fmt.Sprintf("local-shard-%d", i), svc)}
-	}
-	rt, err := shard.NewRouter(m, replicas)
-	if err != nil {
-		return nil, err
-	}
-	return rt.Handler(), nil
+	return built.Handler(), nil
 }
 
 // queryHandlerConfig collects QueryHandler option state.
 type queryHandlerConfig struct {
-	backend string
-	ivf     IVFOptions
-	svc     []ServiceOption
+	spec BackendSpec
+	svc  []ServiceOption
 }
 
 // QueryHandlerOption configures Session.QueryHandler / QueryService.
@@ -369,17 +322,24 @@ type QueryHandlerOption func(*queryHandlerConfig)
 // WithLinearBackend serves queries with the reference linear scan over
 // the live database (no snapshot; new Add calls are visible).
 func WithLinearBackend() QueryHandlerOption {
-	return func(c *queryHandlerConfig) { c.backend = "linear" }
+	return func(c *queryHandlerConfig) { c.spec = LinearSpec{} }
 }
 
 // WithFlatBackend serves queries with the exact Flat index (the default).
 func WithFlatBackend() QueryHandlerOption {
-	return func(c *queryHandlerConfig) { c.backend = "flat" }
+	return func(c *queryHandlerConfig) { c.spec = FlatSpec{} }
 }
 
 // WithIVFBackend serves queries with the approximate IVF index.
 func WithIVFBackend(opts IVFOptions) QueryHandlerOption {
-	return func(c *queryHandlerConfig) { c.backend = "ivf"; c.ivf = opts }
+	return func(c *queryHandlerConfig) { c.spec = IVFSpec{IVFOptions: opts} }
+}
+
+// WithBackendSpec serves queries with any BackendSpec — the seam where
+// a future backend (PQ, HNSW, a custom Searcher) plugs into every
+// Session serving constructor without facade changes.
+func WithBackendSpec(spec BackendSpec) QueryHandlerOption {
+	return func(c *queryHandlerConfig) { c.spec = spec }
 }
 
 // WithServiceOptions forwards limits to the underlying query service.

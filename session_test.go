@@ -165,6 +165,24 @@ func TestSessionEndToEnd(t *testing.T) {
 	if batch.Results[0].Error != "" || len(batch.Results[0].Matches) != 2 {
 		t.Fatalf("routed batch: %+v", batch.Results[0])
 	}
+
+	// The in-process sharded deployment carries the write path: a new
+	// linkage POSTed to the router lands on the shard owning its label
+	// and serves immediately.
+	meta, err := routed.Meta()
+	if err != nil || !meta.Capabilities.Sharded || !meta.Capabilities.Ingest {
+		t.Fatalf("router meta: %+v %v", meta, err)
+	}
+	newF := make([]float32, len(f))
+	newF[0] = 25
+	ir, err := routed.Ingest([]IngestEntry{{Fingerprint: newF, Label: label, Source: "late-participant"}})
+	if err != nil || ir.Accepted != 1 {
+		t.Fatalf("routed ingest: %+v %v", ir, err)
+	}
+	qi, err := routed.Query(Fingerprint(newF), label, 1)
+	if err != nil || len(qi.Matches) != 1 || qi.Matches[0].Source != "late-participant" {
+		t.Fatalf("ingested linkage not served by owning shard: %+v %v", qi, err)
+	}
 }
 
 func TestRouterHandlerBeforeFingerprint(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"caltrain/internal/index"
 	"caltrain/internal/ingest"
 	"caltrain/internal/nn"
+	"caltrain/internal/serve"
 	"caltrain/internal/sgx"
 	"caltrain/internal/shard"
 	"caltrain/internal/trojan"
@@ -98,6 +99,53 @@ type (
 	// QueryRequest is one query of a QueryClient batch.
 	QueryRequest = fingerprint.QueryRequest
 )
+
+// Declarative serving types (internal/serve): one config describes a
+// complete topology — backend, sharding, durability, limits — and every
+// entry point (Session constructors, the daemons, your own code) builds
+// through it.
+type (
+	// BackendSpec declaratively selects and tunes an index backend; a
+	// new backend implements this and plugs into every serving entry
+	// point with zero facade changes.
+	BackendSpec = serve.BackendSpec
+	// LinearSpec is the reference linear scan over the live database.
+	LinearSpec = serve.LinearSpec
+	// FlatSpec is the exact Flat index snapshot (the default backend).
+	FlatSpec = serve.FlatSpec
+	// IVFSpec is the approximate IVF index with its training options.
+	IVFSpec = serve.IVFSpec
+	// PrebuiltSpec serves an already-built (e.g. loaded) backend.
+	PrebuiltSpec = serve.PrebuiltSpec
+	// Deployment declares a serving topology over one linkage database:
+	// backend, shards, replicas, durability, limits. Build assembles it.
+	Deployment = serve.Deployment
+	// DeploymentServer is a built Deployment: handler, service or
+	// router, and the write-path stores.
+	DeploymentServer = serve.Server
+	// WALConfig enables a Deployment's durable write path.
+	WALConfig = serve.WALConfig
+)
+
+// Versioned wire protocol types (GET /v1/meta, structured errors).
+type (
+	// ServiceMeta is the GET /v1/meta response: server version, protocol,
+	// backend kind, and capability discovery.
+	ServiceMeta = fingerprint.MetaResponse
+	// ServiceCapabilities advertises a deployment's write path and
+	// topology on /v1/meta.
+	ServiceCapabilities = fingerprint.MetaCapabilities
+	// ErrorEnvelope is the structured {code, error, details} body every
+	// non-200 response on the wire protocol carries.
+	ErrorEnvelope = fingerprint.ErrorEnvelope
+)
+
+// ParseBackendSpec maps a backend's wire/flag name ("linear", "flat",
+// "ivf") to its Spec — the single string-to-backend seam; everything
+// downstream holds a BackendSpec.
+func ParseBackendSpec(kind string, ivf IVFOptions) (BackendSpec, error) {
+	return serve.ParseBackend(kind, ivf)
+}
 
 // Serialized-format failure sentinels, shared by every loader
 // (LoadLinkageDB, LoadIndex, LoadShardMap, WAL replay). Branch with
@@ -236,6 +284,10 @@ var (
 	// WithWriteQuorum sets how many replicas of a shard must acknowledge
 	// a routed ingest batch (0 = majority).
 	WithWriteQuorum = shard.WithWriteQuorum
+	// WithRouterIngestCapability sets whether the router's GET /v1/meta
+	// advertises a write path (default true; a router over external
+	// daemons cannot see their -wal configuration).
+	WithRouterIngestCapability = shard.WithIngestCapability
 )
 
 // NewHashShardMap creates a hash-sharded label assignment over nshards.
@@ -333,12 +385,22 @@ func NewLinkageDB(dim int) (*LinkageDB, error) { return fingerprint.NewDB(dim) }
 // LoadLinkageDB deserializes a linkage database saved with LinkageDB.Save.
 func LoadLinkageDB(r io.Reader) (*LinkageDB, error) { return fingerprint.LoadDB(r) }
 
+// NewLinearQueryService returns the accountability query service over a
+// linkage database with the reference linear scan backend — the
+// zero-setup serving path. Production deployments pick an index via
+// Deployment{Backend: ...}.Build or NewSearcherQueryService.
+func NewLinearQueryService(db *LinkageDB, opts ...ServiceOption) *QueryService {
+	return fingerprint.NewService(db, opts...)
+}
+
 // NewQueryService returns the HTTP handler of the accountability query
-// service over a linkage database (exact linear scan backend). For
-// production serving build an index and use NewSearcherQueryService, or
-// run cmd/caltrain-serve.
+// service over a linkage database (exact linear scan backend).
+//
+// Deprecated: use NewLinearQueryService, which returns the *QueryService
+// itself (call Handler() for the http.Handler) and matches the shape of
+// NewSearcherQueryService and Deployment builds.
 func NewQueryService(db *LinkageDB, opts ...ServiceOption) http.Handler {
-	return fingerprint.NewService(db, opts...).Handler()
+	return NewLinearQueryService(db, opts...).Handler()
 }
 
 // NewSearcherQueryService returns the accountability query service over
