@@ -36,6 +36,17 @@
 // backends track drift and retrain + hot-swap in the background past
 // -drift-threshold. -snapshot-every (and graceful shutdown) persists
 // the database back to -db and truncates the log.
+//
+// Declarative mode (-deployment config.json) replaces the per-knob
+// flags with one JSON document — backend, sharding, replicas,
+// durability, limits — parsed by serve.ParseConfig:
+//
+//	caltrain-serve -db linkage.db -deployment deploy.json
+//	{"backend": {"kind": "ivf", "nprobe": 8}, "shards": 4, "volatile_writes": true}
+//
+// With "shards" above 1 the daemon serves the whole in-process sharded
+// topology (the caltrain-router shape without the per-shard processes)
+// from the one file.
 package main
 
 import (
@@ -65,9 +76,10 @@ func main() {
 func run(parent context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("caltrain-serve", flag.ContinueOnError)
 	var (
-		dbPath = fs.String("db", "linkage.db", "linkage database path")
-		addr   = fs.String("addr", ":8791", "listen address")
-		kind   = fs.String("backend", "flat", "index backend: linear, flat, or ivf")
+		dbPath  = fs.String("db", "linkage.db", "linkage database path")
+		addr    = fs.String("addr", ":8791", "listen address")
+		kind    = fs.String("backend", "flat", "index backend: linear, flat, or ivf")
+		depPath = fs.String("deployment", "", "deployment config file (JSON): backend, sharding, durability, limits in one document — conflicts with the per-knob flags")
 	)
 	fs.StringVar(kind, "index", "flat", "legacy alias of -backend")
 	var (
@@ -95,6 +107,23 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *depPath != "" {
+		// The config file declares the whole topology; a per-knob flag
+		// alongside it would silently lose to (or fight with) the file.
+		// Only the flags naming where the daemon runs — not what it
+		// serves — are allowed, so a future topology flag conflicts by
+		// default instead of silently slipping past a stale deny-list.
+		processFlags := map[string]bool{"db": true, "addr": true, "grace": true, "snapshot-every": true, "deployment": true}
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			if !processFlags[f.Name] && conflict == "" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-%s conflicts with -deployment: the config file declares the topology", conflict)
+		}
+	}
 	if *loadIndex != "" {
 		// The loaded index determines the backend; reject training flags
 		// that would silently be ignored. -nprobe stays honored (below).
@@ -107,7 +136,7 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	if *saveIndex != "" && *loadIndex == "" && *kind == "linear" {
 		return fmt.Errorf("-save-index needs an index backend (-index flat or ivf): the linear scan has nothing to persist")
 	}
-	if *walDir == "" {
+	if *walDir == "" && *depPath == "" {
 		for _, needsWAL := range []string{"fsync", "fsync-every", "wal-segment-bytes", "drift-threshold", "snapshot-every"} {
 			if set[needsWAL] {
 				return fmt.Errorf("-%s needs -wal: the read-only daemon has no write path", needsWAL)
@@ -130,54 +159,78 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "linkage database: %d entries, fingerprint dim %d\n", db.Len(), db.Dim())
 
-	// Resolve the backend flag (or the loaded index) into a BackendSpec
-	// once; everything downstream — service, write path, retrain hook —
-	// assembles from the declarative Deployment.
-	ivfOpts := index.IVFOptions{Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed}
-	var spec serve.BackendSpec
-	if *loadIndex != "" {
-		loaded, err := loadIndexFile(*loadIndex, db, out)
+	// Resolve the topology into a declarative Deployment: from the
+	// -deployment config file whole, or from the per-knob flags (the
+	// backend flag, or a loaded index, becomes the BackendSpec).
+	// Everything downstream — service or router, write path, retrain
+	// hook — assembles from it.
+	var dep serve.Deployment
+	if *depPath != "" {
+		cfg, err := serve.LoadConfig(*depPath)
 		if err != nil {
 			return err
 		}
-		if ivf, ok := loaded.(*index.IVF); ok && set["nprobe"] {
-			ivf.SetNprobe(*nprobe)
-			fmt.Fprintf(out, "nprobe overridden to %d\n", ivf.Nprobe())
+		if dep, err = cfg.Deployment(); err != nil {
+			return err
 		}
-		pre := serve.PrebuiltSpec{Searcher: loaded}
-		if _, isIVF := loaded.(*index.IVF); isIVF {
-			pre.RebuildFunc = serve.IVFSpec{IVFOptions: ivfOpts}.Rebuild()
+		if *snapEvery > 0 {
+			if dep.WAL == nil {
+				return fmt.Errorf("-snapshot-every needs a wal in the deployment config: the read-only topology has no write path")
+			}
+			if dep.Shards > 1 {
+				return fmt.Errorf("-snapshot-every requires a single-service deployment: sharded stores compact per shard, not into -db")
+			}
 		}
-		spec = pre
+		fmt.Fprintf(out, "deployment config: %s\n", *depPath)
 	} else {
-		spec, err = serve.ParseBackend(*kind, ivfOpts)
-		if err != nil {
-			return err
+		ivfOpts := index.IVFOptions{Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed}
+		var spec serve.BackendSpec
+		if *loadIndex != "" {
+			loaded, err := loadIndexFile(*loadIndex, db, out)
+			if err != nil {
+				return err
+			}
+			if ivf, ok := loaded.(*index.IVF); ok && set["nprobe"] {
+				ivf.SetNprobe(*nprobe)
+				fmt.Fprintf(out, "nprobe overridden to %d\n", ivf.Nprobe())
+			}
+			pre := serve.PrebuiltSpec{Searcher: loaded}
+			if _, isIVF := loaded.(*index.IVF); isIVF {
+				pre.RebuildFunc = serve.IVFSpec{IVFOptions: ivfOpts}.Rebuild()
+			}
+			spec = pre
+		} else {
+			spec, err = serve.ParseBackend(*kind, ivfOpts)
+			if err != nil {
+				return err
+			}
+		}
+
+		svcOpts := []fingerprint.ServiceOption{
+			fingerprint.WithMaxBodyBytes(*maxBody),
+			fingerprint.WithMaxK(*maxK),
+			fingerprint.WithMaxBatch(*maxBatch),
+		}
+		if *buckets != "" {
+			bounds, err := fingerprint.ParseLatencyBuckets(*buckets)
+			if err != nil {
+				return err
+			}
+			svcOpts = append(svcOpts, fingerprint.WithLatencyBuckets(bounds))
+		}
+
+		dep = serve.Deployment{Backend: spec, Limits: svcOpts}
+		if *walDir != "" {
+			dep.WAL = &serve.WALConfig{Dir: *walDir, Store: ingest.Options{
+				WAL:            ingest.WALOptions{Sync: syncPolicy, SyncEvery: *fsyncEvry, SegmentBytes: *segBytes},
+				DriftThreshold: *drift,
+			}}
 		}
 	}
-
-	svcOpts := []fingerprint.ServiceOption{
-		fingerprint.WithMaxBodyBytes(*maxBody),
-		fingerprint.WithMaxK(*maxK),
-		fingerprint.WithMaxBatch(*maxBatch),
-	}
-	if *buckets != "" {
-		bounds, err := fingerprint.ParseLatencyBuckets(*buckets)
-		if err != nil {
-			return err
+	if dep.WAL != nil && dep.WAL.Store.Logf == nil {
+		dep.WAL.Store.Logf = func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
 		}
-		svcOpts = append(svcOpts, fingerprint.WithLatencyBuckets(bounds))
-	}
-
-	dep := serve.Deployment{Backend: spec, Limits: svcOpts}
-	if *walDir != "" {
-		dep.WAL = &serve.WALConfig{Dir: *walDir, Store: ingest.Options{
-			WAL:            ingest.WALOptions{Sync: syncPolicy, SyncEvery: *fsyncEvry, SegmentBytes: *segBytes},
-			DriftThreshold: *drift,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(out, format+"\n", args...)
-			},
-		}}
 	}
 	// Build trains the index (if any) and replays the WAL, so both
 	// -save-index below and the first query see every acknowledged entry.
@@ -187,14 +240,23 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	svc := built.Service()
-	searcher := svc.Searcher()
-	if ivf, ok := searcher.(*index.IVF); ok && *loadIndex == "" {
-		fmt.Fprintf(out, "trained IVF index in %v (nprobe %d)\n", time.Since(buildStart).Round(time.Millisecond), ivf.Nprobe())
+	var desc string
+	var store *ingest.Store
+	if svc != nil {
+		searcher := svc.Searcher()
+		desc = "index " + searcher.Kind()
+		if ivf, ok := searcher.(*index.IVF); ok && *loadIndex == "" {
+			fmt.Fprintf(out, "trained IVF index in %v (nprobe %d)\n", time.Since(buildStart).Round(time.Millisecond), ivf.Nprobe())
+		}
+		store = built.Store()
+	} else {
+		desc = fmt.Sprintf("%s-sharded router, %d shards", dep.Backend.Kind(), dep.Shards)
 	}
-	store := built.Store()
 	if store != nil {
 		fmt.Fprintf(out, "wal: %s (fsync %s), replayed %d entries, %d total\n",
-			*walDir, syncPolicy, store.Replayed(), db.Len())
+			dep.WAL.Dir, dep.WAL.Store.WAL.Sync, store.Replayed(), db.Len())
+	} else if stores := built.Stores(); len(stores) > 0 {
+		fmt.Fprintf(out, "wal: %s, %d shard-replica stores\n", dep.WAL.Dir, len(stores))
 	}
 
 	if *saveIndex != "" {
@@ -250,12 +312,12 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	endpoints := "/v1 + legacy: POST /query, POST /query/batch, GET /healthz, GET /stats, GET /meta"
-	if store != nil {
+	if dep.WAL != nil || dep.VolatileWrites {
 		endpoints = "/v1 + legacy: POST /query, POST /query/batch, POST /ingest, GET /healthz, GET /stats, GET /meta"
 	}
-	fmt.Fprintf(out, "serving accountability queries on %s (index %s; %s)\n",
-		l.Addr(), searcher.Kind(), endpoints)
-	if err := svc.Serve(ctx, l, *grace); err != nil {
+	fmt.Fprintf(out, "serving accountability queries on %s (%s; %s)\n",
+		l.Addr(), desc, endpoints)
+	if err := built.Serve(ctx, l, *grace); err != nil {
 		return err
 	}
 	if store != nil {
@@ -274,6 +336,13 @@ func run(parent context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "final snapshot: %d entries → %s\n", db.Len(), *dbPath)
+	} else if stores := built.Stores(); len(stores) > 0 {
+		// Sharded write paths have no single -db file to compact into;
+		// close them flushed — the per-replica WALs replay on restart.
+		if err := built.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "closed %d shard write paths (wal retained for replay)\n", len(stores))
 	}
 	fmt.Fprintln(out, "drained, bye")
 	return nil

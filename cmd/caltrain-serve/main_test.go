@@ -210,6 +210,123 @@ func TestServeSaveLoadIndex(t *testing.T) {
 	}
 }
 
+// TestServeDeploymentConfigSingle: -deployment declares the topology
+// from one JSON file; the daemon serves it and /v1/meta reports the
+// declared backend.
+func TestServeDeploymentConfigSingle(t *testing.T) {
+	dbPath := writeTestDB(t, 120)
+	cfgPath := filepath.Join(t.TempDir(), "deploy.json")
+	doc := `{"backend": {"kind": "ivf", "nlist": 4, "nprobe": 4}, "limits": {"max_k": 7}}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-db", dbPath, "-addr", "127.0.0.1:0", "-deployment", cfgPath}, &out)
+	}()
+	addr := waitForAddr(t, &out)
+	client := fingerprint.NewClient("http://"+addr, nil)
+	meta, err := client.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Backend != "ivf" || meta.Capabilities.Ingest || meta.Capabilities.Sharded {
+		t.Fatalf("meta: %+v", meta)
+	}
+	// The file's limits are live: k over max_k is rejected with the
+	// limit_exceeded envelope code.
+	_, err = client.Query(make(fingerprint.Fingerprint, 8), 0, 8)
+	if fingerprint.CodeOf(err) != fingerprint.ErrCodeLimitExceeded {
+		t.Fatalf("k over config limit: %v (code %q)", err, fingerprint.CodeOf(err))
+	}
+	if _, err := client.Query(make(fingerprint.Fingerprint, 8), 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeDeploymentConfigSharded: a "shards" document makes the one
+// daemon serve the whole in-process sharded topology — scatter-gather
+// reads and routed writes — from a single file.
+func TestServeDeploymentConfigSharded(t *testing.T) {
+	dbPath := writeTestDB(t, 150)
+	cfgPath := filepath.Join(t.TempDir(), "deploy.json")
+	doc := `{"backend": {"kind": "flat"}, "shards": 3, "volatile_writes": true}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-db", dbPath, "-addr", "127.0.0.1:0", "-deployment", cfgPath}, &out)
+	}()
+	addr := waitForAddr(t, &out)
+	client := fingerprint.NewClient("http://"+addr, nil)
+	meta, err := client.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Capabilities.Sharded || !meta.Capabilities.Ingest {
+		t.Fatalf("sharded meta: %+v", meta)
+	}
+	if _, err := client.Query(make(fingerprint.Fingerprint, 8), 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Ingest([]fingerprint.IngestEntry{
+		{Fingerprint: make([]float32, 8), Label: 2, Source: "cfg-test"},
+	}); err != nil {
+		t.Fatalf("routed ingest: %v", err)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 151 {
+		t.Fatalf("entries after routed ingest: %d, want 151", st.Entries)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeDeploymentConflictsWithKnobFlags: a topology knob alongside
+// -deployment is a config fight; each one is rejected by name.
+func TestServeDeploymentConflictsWithKnobFlags(t *testing.T) {
+	dbPath := writeTestDB(t, 30)
+	cfgPath := filepath.Join(t.TempDir(), "deploy.json")
+	if err := os.WriteFile(cfgPath, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{
+		{"-backend", "flat"}, {"-index", "ivf"}, {"-nlist", "4"},
+		{"-wal", "waldir"}, {"-max-k", "9"}, {"-save-index", "x.idx"},
+	} {
+		args := append([]string{"-db", dbPath, "-deployment", cfgPath}, extra...)
+		err := run(context.Background(), args, &syncBuffer{})
+		if err == nil || !strings.Contains(err.Error(), "conflicts with -deployment") {
+			t.Fatalf("%v: %v", extra, err)
+		}
+	}
+	// -snapshot-every without a WAL (or with shards) in the file cannot
+	// compact anything.
+	err := run(context.Background(),
+		[]string{"-db", dbPath, "-deployment", cfgPath, "-snapshot-every", "1s"}, &syncBuffer{})
+	if err == nil {
+		t.Fatal("-snapshot-every against a read-only deployment config accepted")
+	}
+}
+
 func TestServeRejectsUnknownIndexKind(t *testing.T) {
 	dbPath := writeTestDB(t, 30)
 	err := run(context.Background(), []string{"-db", dbPath, "-index", "annoy"}, &syncBuffer{})

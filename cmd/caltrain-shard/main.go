@@ -36,6 +36,7 @@ import (
 
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/index"
+	"caltrain/internal/serve"
 	"caltrain/internal/shard"
 )
 
@@ -69,10 +70,21 @@ func run(args []string, out io.Writer) error {
 	if *nshards < 1 {
 		return fmt.Errorf("-shards must be positive, got %d", *nshards)
 	}
-	switch *kind {
-	case "", "flat", "ivf":
-	default:
-		return fmt.Errorf("unknown index kind %q (want flat or ivf; linear has nothing to persist)", *kind)
+	// Resolve -index through the one string-to-backend seam; only
+	// persistable backends make sense here (the linear scan is the
+	// database itself — there is no index file to write).
+	var spec serve.BackendSpec
+	if *kind != "" {
+		var err error
+		spec, err = serve.ParseBackend(*kind, index.IVFOptions{
+			Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		if _, linear := spec.(serve.LinearSpec); linear {
+			return fmt.Errorf("-index linear has nothing to persist (want flat or ivf)")
+		}
 	}
 
 	dbf, err := os.Open(*dbPath)
@@ -108,18 +120,14 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		line := fmt.Sprintf("shard %d: %d entries, %d labels → %s", sid, part.Len(), len(part.Labels()), dbName)
-		if *kind != "" {
+		if spec != nil {
 			idxName := shardFile(sid, "idx")
 			started := time.Now()
-			indexKind := *kind
-			if part.Len() == 0 && indexKind == "ivf" {
-				// IVF cannot train on an empty shard; write an (empty) flat
-				// index so the documented -load-index startup still works.
-				indexKind = "flat"
-			}
-			searcher, err := buildIndex(part, indexKind, index.IVFOptions{
-				Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed,
-			})
+			// BuildShardBackend is the same empty-shard policy Deployment
+			// uses in-process: IVF cannot train on nothing, so an empty
+			// shard gets an (empty) flat index and the documented
+			// -load-index startup still works.
+			searcher, err := serve.BuildShardBackend(spec, part)
 			if err != nil {
 				return fmt.Errorf("shard %d index: %w", sid, err)
 			}
@@ -148,17 +156,6 @@ func buildMap(db *fingerprint.DB, strategy string, nshards int) (*shard.Map, err
 		return shard.RangeMapForCounts(counts, nshards)
 	default:
 		return nil, fmt.Errorf("unknown strategy %q (want hash or range)", strategy)
-	}
-}
-
-func buildIndex(db *fingerprint.DB, kind string, opts index.IVFOptions) (fingerprint.Searcher, error) {
-	switch kind {
-	case "flat":
-		return index.NewFlat(db), nil
-	case "ivf":
-		return index.TrainIVF(db, opts)
-	default:
-		return nil, fmt.Errorf("unknown index kind %q", kind)
 	}
 }
 

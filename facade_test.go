@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -291,6 +292,57 @@ func TestDeploymentFacade(t *testing.T) {
 	m, err := s2.Service().Searcher().Search(f, 1, 1)
 	if err != nil || len(m) != 1 || m[0].Source != "durable" {
 		t.Fatalf("durable write lost: %+v %v", m, err)
+	}
+}
+
+// TestDeploymentConfigFacade: the JSON file form of a Deployment parses
+// through the facade, builds the declared topology, and client
+// rejections carry the typed wire-protocol code.
+func TestDeploymentConfigFacade(t *testing.T) {
+	db, err := newTestDB(16, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ParseDeploymentConfig(strings.NewReader(
+		`{"backend": {"kind": "flat"}, "shards": 2, "volatile_writes": true, "limits": {"max_k": 16}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := cfg.Deployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := dep.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer built.Close()
+	srv := httptest.NewServer(built.Handler())
+	defer srv.Close()
+	client := NewQueryClient(srv.URL)
+
+	meta, err := client.Meta()
+	if err != nil || !meta.Capabilities.Sharded || !meta.Capabilities.Ingest {
+		t.Fatalf("config-built meta: %+v %v", meta, err)
+	}
+
+	// Typed rejection: the config's max_k surfaces as ErrCodeLimitExceeded,
+	// branchable without message matching.
+	_, err = client.Query(make(Fingerprint, 16), 0, 17)
+	if ErrorCodeOf(err) != ErrCodeLimitExceeded {
+		t.Fatalf("k over config limit: %v (code %q)", err, ErrorCodeOf(err))
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("typed error: %v (%+v)", err, ae)
+	}
+	if _, err := client.Query(make(Fingerprint, 16), 0, 4); err != nil || ErrorCodeOf(err) != "" {
+		t.Fatalf("success: %v (code %q)", err, ErrorCodeOf(err))
+	}
+
+	// A typo'd knob fails at parse time, not silently at serve time.
+	if _, err := ParseDeploymentConfig(strings.NewReader(`{"shrads": 2}`)); err == nil {
+		t.Fatal("unknown config field accepted")
 	}
 }
 

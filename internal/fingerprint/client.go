@@ -67,7 +67,9 @@ func (c *Client) fetchMeta(ctx context.Context) (*MetaResponse, error) {
 		return nil, ErrNoMeta
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("fingerprint: meta status %s", resp.Status)
+		// Typed like every other rejection, so CodeOf distinguishes a
+		// server refusing /v1/meta from a transport fault.
+		return nil, statusError("meta", resp)
 	}
 	var out MetaResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -118,18 +120,18 @@ func (c *Client) MetaCtx(ctx context.Context) (*MetaResponse, error) {
 	return c.fetchMeta(ctx)
 }
 
-// statusError formats a non-200 reply, surfacing the structured
-// envelope's code and message when the body carries one.
+// statusError types a non-200 reply as a wrapped *APIError: the
+// envelope's stable code and message when the body carries one, the
+// code classified from the HTTP status against a pre-envelope server.
+// Callers branch with errors.As or CodeOf instead of matching text.
 func statusError(what string, resp *http.Response) error {
 	env, msg := ReadErrorBody(resp.Body)
-	switch {
-	case env.Code != "":
-		return fmt.Errorf("fingerprint: %s status %s: %s: %s", what, resp.Status, env.Code, env.Error)
-	case msg != "":
-		return fmt.Errorf("fingerprint: %s status %s: %s", what, resp.Status, msg)
-	default:
-		return fmt.Errorf("fingerprint: %s status %s", what, resp.Status)
+	code := ClassifyStatus(resp.StatusCode, env.Code)
+	if msg == "" {
+		msg = resp.Status
 	}
+	return fmt.Errorf("fingerprint: %s: %w", what,
+		&APIError{Status: resp.StatusCode, Code: code, Message: msg, Details: env.Details})
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out any) error {

@@ -2,6 +2,7 @@ package fingerprint
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -73,6 +74,45 @@ func ReadErrorBody(body io.Reader) (env ErrorEnvelope, msg string) {
 	return ErrorEnvelope{}, msg
 }
 
+// APIError is the typed form of a non-200 wire-protocol reply: the
+// HTTP status, the envelope's stable Code, and its human-readable
+// message. Client methods wrap one into every rejection error, so
+// callers branch on the code —
+//
+//	var apiErr *fingerprint.APIError
+//	if errors.As(err, &apiErr) && apiErr.Code == fingerprint.ErrCodeLimitExceeded { ... }
+//
+// or, shorter, with CodeOf — instead of matching message text. Against
+// a pre-envelope server the Code is classified from the HTTP status via
+// ErrCodeForStatus, so the branch works across protocol generations.
+type APIError struct {
+	// Status is the HTTP status code of the reply.
+	Status int
+	// Code is the envelope's stable machine-readable code (one of the
+	// ErrCode constants).
+	Code string
+	// Message is the human-readable explanation.
+	Message string
+	// Details carries the envelope's optional per-code details.
+	Details map[string]any
+}
+
+// Error formats the rejection with its status and code.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s (status %d, code %s)", e.Message, e.Status, e.Code)
+}
+
+// CodeOf returns the stable error code carried by err (one of the
+// ErrCode constants), or "" when err holds no APIError — transport
+// faults, cancellations, and nil all answer "".
+func CodeOf(err error) string {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	return ""
+}
+
 // ErrCodeForStatus maps an HTTP status to the envelope code used when
 // no more specific code applies (e.g. classifying an ingest error via
 // IngestStatusCode).
@@ -92,6 +132,46 @@ func ErrCodeForStatus(status int) string {
 		return ErrCodeShardUnreachable
 	default:
 		return ErrCodeInternal
+	}
+}
+
+// ClassifyStatus resolves the stable code for a non-200 reply: the
+// envelope's own code when one was present, otherwise a classification
+// from the HTTP status — where an unmapped envelope-less 4xx (a proxy's
+// 403/429) is a client-side rejection, never internal. The client and
+// the router both classify through here, so codes stay
+// topology-invariant.
+func ClassifyStatus(status int, envCode string) string {
+	if envCode != "" {
+		return envCode
+	}
+	code := ErrCodeForStatus(status)
+	if code == ErrCodeInternal && status < 500 {
+		code = ErrCodeBadRequest
+	}
+	return code
+}
+
+// StatusForErrCode maps an envelope code back to the HTTP status a
+// single daemon answers it with — the inverse of ErrCodeForStatus, used
+// by the router so a forwarded per-result rejection keeps its original
+// status as well as its code.
+func StatusForErrCode(code string) int {
+	switch code {
+	case ErrCodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case ErrCodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case ErrCodeNotFound:
+		return http.StatusNotFound
+	case ErrCodeIngestDisabled:
+		return http.StatusNotImplemented
+	case ErrCodeShardUnreachable:
+		return http.StatusBadGateway
+	case ErrCodeInternal:
+		return http.StatusInternalServerError
+	default: // bad_request, limit_exceeded, unknown
+		return http.StatusBadRequest
 	}
 }
 

@@ -2,6 +2,7 @@ package fingerprint
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -191,6 +192,111 @@ func TestClientNegotiationRetriesAfterTransportFault(t *testing.T) {
 	last := paths[len(paths)-1]
 	if last != "/v1/query" {
 		t.Fatalf("client did not upgrade after transient fault; last path %q (all: %v)", last, paths)
+	}
+}
+
+// TestClientTypedErrorCodes: every client rejection carries a wrapped
+// *APIError so callers branch on the stable envelope code — CodeOf or
+// errors.As — instead of matching message text.
+func TestClientTypedErrorCodes(t *testing.T) {
+	db := populatedDB(t, 4, 30, 2, 37)
+	svc := NewService(db, WithMaxK(8), WithMaxBatch(2))
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL, srv.Client())
+
+	cases := []struct {
+		name       string
+		call       func() error
+		wantCode   string
+		wantStatus int
+	}{
+		{"k over limit", func() error {
+			_, err := client.Query(make(Fingerprint, 4), 0, 9)
+			return err
+		}, ErrCodeLimitExceeded, http.StatusBadRequest},
+		{"bad fingerprint dim", func() error {
+			_, err := client.Query(make(Fingerprint, 2), 0, 3)
+			return err
+		}, ErrCodeBadRequest, http.StatusBadRequest},
+		{"batch over limit", func() error {
+			_, err := client.QueryBatch([]QueryRequest{{K: 1}, {K: 1}, {K: 1}})
+			return err
+		}, ErrCodeLimitExceeded, http.StatusBadRequest},
+		{"ingest disabled", func() error {
+			_, err := client.Ingest([]IngestEntry{{Fingerprint: make([]float32, 4)}})
+			return err
+		}, ErrCodeIngestDisabled, http.StatusNotImplemented},
+	}
+	for _, c := range cases {
+		err := c.call()
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if got := CodeOf(err); got != c.wantCode {
+			t.Errorf("%s: code %q, want %q (err %v)", c.name, got, c.wantCode, err)
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) {
+			t.Errorf("%s: error %v carries no APIError", c.name, err)
+			continue
+		}
+		if ae.Status != c.wantStatus || ae.Message == "" {
+			t.Errorf("%s: APIError %+v, want status %d with a message", c.name, ae, c.wantStatus)
+		}
+	}
+
+	// A success and a transport fault both answer "" — only wire-protocol
+	// rejections carry a code.
+	if _, err := client.Query(make(Fingerprint, 4), 0, 3); err != nil || CodeOf(err) != "" {
+		t.Fatalf("success: %v (code %q)", err, CodeOf(err))
+	}
+	down := NewClient("http://127.0.0.1:1", nil)
+	if _, err := down.Query(make(Fingerprint, 4), 0, 3); err == nil || CodeOf(err) != "" {
+		t.Fatalf("transport fault: %v (code %q)", err, CodeOf(err))
+	}
+
+	// Meta rejections are typed like every other method: a 503 from
+	// /v1/meta is distinguishable from a transport fault.
+	busted := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "warming up", http.StatusServiceUnavailable)
+	}))
+	defer busted.Close()
+	if _, err := NewClient(busted.URL, busted.Client()).Meta(); CodeOf(err) != ErrCodeInternal {
+		t.Fatalf("meta 503: %v (code %q)", err, CodeOf(err))
+	}
+
+	// A pre-envelope server (plain http.Error text): the code is
+	// classified from the HTTP status so the caller's branch still works.
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/meta" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Error(w, "k too large", http.StatusBadRequest)
+	}))
+	defer legacy.Close()
+	old := NewClient(legacy.URL, legacy.Client())
+	_, err := old.Query(make(Fingerprint, 4), 0, 3)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != ErrCodeBadRequest || ae.Message != "k too large" {
+		t.Fatalf("pre-envelope classification: %v (%+v)", err, ae)
+	}
+
+	// An unmapped envelope-less 4xx (a proxy's 429) is a client-side
+	// rejection — bad_request, never internal; an envelope-less 5xx is.
+	proxyish := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/meta" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Error(w, "slow down", http.StatusTooManyRequests)
+	}))
+	defer proxyish.Close()
+	_, err = NewClient(proxyish.URL, proxyish.Client()).Query(make(Fingerprint, 4), 0, 3)
+	if !errors.As(err, &ae) || ae.Code != ErrCodeBadRequest || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("proxied 429 classification: %v (%+v)", err, ae)
 	}
 }
 

@@ -191,6 +191,10 @@ type BatchRequest struct {
 type BatchResult struct {
 	*QueryResponse
 	Error string `json:"error,omitempty"`
+	// Code is the stable wire-protocol code classifying Error (one of
+	// the ErrCode constants), empty on success. It survives routing: a
+	// shard's per-result rejection keeps its code through the router.
+	Code string `json:"code,omitempty"`
 }
 
 // BatchResponse is the JSON body of a POST /query/batch reply.
@@ -489,7 +493,7 @@ func (s *Service) RunBatch(reqs []QueryRequest) *BatchResponse {
 			// Per-query failures count toward /stats errors just like
 			// failures on /query, even though the batch itself is a 200.
 			s.errs.Add(1)
-			out.Results[i] = BatchResult{Error: err.Error()}
+			out.Results[i] = BatchResult{Error: err.Error(), Code: queryErrCode(q, s.maxK)}
 			continue
 		}
 		out.Results[i] = BatchResult{QueryResponse: resp}

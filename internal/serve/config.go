@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/index"
+	"caltrain/internal/ingest"
+)
+
+// Config is the file form of a Deployment: one JSON document declares
+// the complete serving topology — backend, sharding, durability,
+// limits — so an operator ships a config file instead of N flag sets
+// (caltrain-serve -deployment config.json). Deployment translates it
+// into the in-memory Deployment the daemons and the facade build.
+//
+//	{
+//	  "backend": {"kind": "ivf", "nlist": 64, "nprobe": 8},
+//	  "shards": 4,
+//	  "replicas_per_shard": 2,
+//	  "wal": {"dir": "wal/", "fsync": "interval", "fsync_every": "50ms"},
+//	  "limits": {"max_k": 256, "max_batch": 128}
+//	}
+//
+// Unknown fields are rejected, so a typo'd knob fails at startup
+// instead of silently serving defaults.
+type Config struct {
+	// Backend selects the index backend; the zero value means flat.
+	Backend BackendConfig `json:"backend"`
+	// Shards >1 builds the in-process sharded router; see Deployment.Shards.
+	Shards int `json:"shards,omitempty"`
+	// ReplicasPerShard replicates each shard; see Deployment.ReplicasPerShard.
+	ReplicasPerShard int `json:"replicas_per_shard,omitempty"`
+	// WAL enables the durable write path; see WALConfig.
+	WAL *WALFileConfig `json:"wal,omitempty"`
+	// VolatileWrites enables the non-durable write path when WAL is
+	// absent; see Deployment.VolatileWrites.
+	VolatileWrites bool `json:"volatile_writes,omitempty"`
+	// Limits bounds request sizes on every built query service.
+	Limits *LimitsConfig `json:"limits,omitempty"`
+}
+
+// BackendConfig names and tunes the index backend in a Config. Kind is
+// resolved through ParseBackend — the same single string-to-backend
+// seam the -backend flag uses.
+type BackendConfig struct {
+	// Kind is "linear", "flat", or "ivf" ("" means flat).
+	Kind string `json:"kind"`
+	// IVF training and search knobs (ivf only; zero = auto defaults).
+	Nlist  int    `json:"nlist,omitempty"`
+	Nprobe int    `json:"nprobe,omitempty"`
+	Iters  int    `json:"iters,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+}
+
+// WALFileConfig is the file form of WALConfig plus the WAL tuning the
+// daemon otherwise takes as -fsync/-wal-segment-bytes/-drift-threshold.
+type WALFileConfig struct {
+	// Dir is the write-ahead log directory (required).
+	Dir string `json:"dir"`
+	// Fsync is the WAL sync policy: "always" (default), "interval", or
+	// "never".
+	Fsync string `json:"fsync,omitempty"`
+	// FsyncEvery is the flush period under the interval policy
+	// (default 50ms).
+	FsyncEvery Duration `json:"fsync_every,omitempty"`
+	// SegmentBytes rotates WAL segments past this size (default 64 MiB).
+	SegmentBytes int64 `json:"segment_bytes,omitempty"`
+	// DriftThreshold is the appended fraction that triggers a background
+	// retrain + hot-swap of an approximate backend; nil means the ingest
+	// default, negative disables. An explicit 0 is rejected (the ingest
+	// layer would silently read it as the default).
+	DriftThreshold *float64 `json:"drift_threshold,omitempty"`
+}
+
+// LimitsConfig bounds request sizes, the file form of the service
+// limit options. Zero fields keep the service defaults.
+type LimitsConfig struct {
+	MaxBodyBytes int64 `json:"max_body_bytes,omitempty"`
+	MaxK         int   `json:"max_k,omitempty"`
+	MaxBatch     int   `json:"max_batch,omitempty"`
+	// LatencyBuckets replaces the /stats histogram bounds, each a
+	// duration string ("100us", "1ms", …), ascending.
+	LatencyBuckets []Duration `json:"latency_buckets,omitempty"`
+}
+
+// Duration is a time.Duration that marshals as a duration string
+// ("50ms") in config files. Bare numbers are rejected: nanoseconds are
+// never what an operator means, and silently reading "fsync_every": 50
+// as 50ns would busy-loop the flush timer — a unit must be spelled out.
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("serve: duration must be a string with a unit, like \"50ms\" (got %s)", b)
+	}
+	parsed, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("serve: bad duration %q: %w", s, err)
+	}
+	*d = Duration(parsed)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// ParseConfig decodes a deployment config, rejecting unknown fields so
+// a misspelled knob fails loudly at startup.
+func ParseConfig(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("serve: parse deployment config: %w", err)
+	}
+	// Trailing garbage after the document is a truncated or concatenated
+	// file, not a config.
+	if dec.More() {
+		return Config{}, fmt.Errorf("serve: parse deployment config: trailing data after document")
+	}
+	return c, nil
+}
+
+// LoadConfig reads and parses a deployment config file.
+func LoadConfig(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	return ParseConfig(f)
+}
+
+// Deployment translates the config into the Deployment it declares,
+// validating every field (backend kind, fsync policy, latency bounds).
+func (c Config) Deployment() (Deployment, error) {
+	kind := c.Backend.Kind
+	if kind == "" {
+		kind = "flat"
+	}
+	spec, err := ParseBackend(kind, index.IVFOptions{
+		Nlist:  c.Backend.Nlist,
+		Nprobe: c.Backend.Nprobe,
+		Iters:  c.Backend.Iters,
+		Seed:   c.Backend.Seed,
+	})
+	if err != nil {
+		return Deployment{}, err
+	}
+	if c.Shards < 0 {
+		return Deployment{}, fmt.Errorf("serve: shards must be non-negative, got %d", c.Shards)
+	}
+	if c.ReplicasPerShard < 0 {
+		return Deployment{}, fmt.Errorf("serve: replicas_per_shard must be non-negative, got %d", c.ReplicasPerShard)
+	}
+	if c.ReplicasPerShard > 1 && c.Shards <= 1 {
+		return Deployment{}, fmt.Errorf("serve: replicas_per_shard needs shards > 1 (a single service has no replicas)")
+	}
+	dep := Deployment{
+		Backend:          spec,
+		Shards:           c.Shards,
+		ReplicasPerShard: c.ReplicasPerShard,
+		VolatileWrites:   c.VolatileWrites,
+	}
+	if c.Limits != nil {
+		opts, err := c.Limits.options()
+		if err != nil {
+			return Deployment{}, err
+		}
+		dep.Limits = opts
+	}
+	if c.WAL != nil {
+		if c.VolatileWrites {
+			return Deployment{}, fmt.Errorf("serve: wal and volatile_writes contradict each other: a write path is durable or it is not")
+		}
+		if c.WAL.Dir == "" {
+			return Deployment{}, fmt.Errorf("serve: wal.dir is required when wal is set")
+		}
+		if c.WAL.FsyncEvery < 0 || c.WAL.SegmentBytes < 0 {
+			// The ingest layer would quietly normalize these to defaults;
+			// an operator who wrote one believes it is enforced.
+			return Deployment{}, fmt.Errorf("serve: wal.fsync_every and wal.segment_bytes must be non-negative (0 means default)")
+		}
+		fsync := c.WAL.Fsync
+		if fsync == "" {
+			fsync = "always"
+		}
+		policy, err := ingest.ParseSyncPolicy(fsync)
+		if err != nil {
+			return Deployment{}, err
+		}
+		store := ingest.Options{
+			WAL: ingest.WALOptions{
+				Sync:         policy,
+				SyncEvery:    time.Duration(c.WAL.FsyncEvery),
+				SegmentBytes: c.WAL.SegmentBytes,
+			},
+		}
+		if c.WAL.DriftThreshold != nil {
+			// The ingest layer reads 0 as "use the default", which would
+			// silently override an explicit 0 here — make the operator say
+			// what they mean.
+			if *c.WAL.DriftThreshold == 0 {
+				return Deployment{}, fmt.Errorf("serve: wal.drift_threshold 0 is ambiguous: omit it for the default, use a negative value to disable retrains, or a small positive fraction")
+			}
+			store.DriftThreshold = *c.WAL.DriftThreshold
+		}
+		dep.WAL = &WALConfig{Dir: c.WAL.Dir, Store: store}
+	}
+	return dep, nil
+}
+
+// options translates the limit fields into service options. Negative
+// limits are rejected rather than silently falling back to defaults —
+// an operator who wrote one believes it is enforced.
+func (l LimitsConfig) options() ([]fingerprint.ServiceOption, error) {
+	if l.MaxBodyBytes < 0 || l.MaxK < 0 || l.MaxBatch < 0 {
+		return nil, fmt.Errorf("serve: limits must be non-negative (max_body_bytes %d, max_k %d, max_batch %d; 0 means default)",
+			l.MaxBodyBytes, l.MaxK, l.MaxBatch)
+	}
+	var opts []fingerprint.ServiceOption
+	if l.MaxBodyBytes > 0 {
+		opts = append(opts, fingerprint.WithMaxBodyBytes(l.MaxBodyBytes))
+	}
+	if l.MaxK > 0 {
+		opts = append(opts, fingerprint.WithMaxK(l.MaxK))
+	}
+	if l.MaxBatch > 0 {
+		opts = append(opts, fingerprint.WithMaxBatch(l.MaxBatch))
+	}
+	if len(l.LatencyBuckets) > 0 {
+		// Re-join into the flag form so the bounds get the exact
+		// validation (ascending, positive) the -latency-buckets flag has.
+		ss := make([]string, len(l.LatencyBuckets))
+		for i, d := range l.LatencyBuckets {
+			ss[i] = time.Duration(d).String()
+		}
+		bounds, err := fingerprint.ParseLatencyBuckets(strings.Join(ss, ","))
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, fingerprint.WithLatencyBuckets(bounds))
+	}
+	return opts, nil
+}

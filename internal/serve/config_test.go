@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/ingest"
+)
+
+// TestParseConfigFull: every field of the file form round-trips into
+// the Deployment it declares.
+func TestParseConfigFull(t *testing.T) {
+	doc := `{
+		"backend": {"kind": "ivf", "nlist": 8, "nprobe": 4, "iters": 3, "seed": 9},
+		"shards": 4,
+		"replicas_per_shard": 2,
+		"wal": {"dir": "wal/", "fsync": "interval", "fsync_every": "25ms", "segment_bytes": 1048576, "drift_threshold": 0.5},
+		"limits": {"max_body_bytes": 4096, "max_k": 16, "max_batch": 8, "latency_buckets": ["100us", "1ms", "10ms"]}
+	}`
+	cfg, err := ParseConfig(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := cfg.Deployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivf, ok := dep.Backend.(IVFSpec)
+	if !ok || ivf.Nlist != 8 || ivf.Nprobe != 4 || ivf.Iters != 3 || ivf.Seed != 9 {
+		t.Fatalf("backend spec: %#v", dep.Backend)
+	}
+	if dep.Shards != 4 || dep.ReplicasPerShard != 2 {
+		t.Fatalf("topology: shards=%d replicas=%d", dep.Shards, dep.ReplicasPerShard)
+	}
+	if dep.WAL == nil || dep.WAL.Dir != "wal/" {
+		t.Fatalf("wal: %+v", dep.WAL)
+	}
+	w := dep.WAL.Store.WAL
+	if w.Sync != ingest.SyncInterval || w.SyncEvery != 25*time.Millisecond || w.SegmentBytes != 1<<20 {
+		t.Fatalf("wal options: %+v", w)
+	}
+	if dep.WAL.Store.DriftThreshold != 0.5 {
+		t.Fatalf("drift threshold: %v", dep.WAL.Store.DriftThreshold)
+	}
+	if len(dep.Limits) != 4 {
+		t.Fatalf("limits: %d options, want 4", len(dep.Limits))
+	}
+}
+
+// TestParseConfigRejects: unknown fields, bad kinds, bad durations, bad
+// fsync policies, and impossible topologies all fail at parse/translate
+// time instead of silently serving defaults.
+func TestParseConfigRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"unknown top-level field", `{"backend": {"kind": "flat"}, "shrads": 4}`},
+		{"unknown backend field", `{"backend": {"kind": "flat", "nliist": 4}}`},
+		{"trailing data", `{"backend": {"kind": "flat"}} {"shards": 2}`},
+		{"bad duration", `{"wal": {"dir": "w", "fsync_every": "fast"}}`},
+		{"not json", `backend: flat`},
+	}
+	for _, c := range cases {
+		if _, err := ParseConfig(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+
+	translate := []struct {
+		name string
+		doc  string
+	}{
+		{"unknown backend kind", `{"backend": {"kind": "annoy"}}`},
+		{"negative shards", `{"shards": -1}`},
+		{"replicas without shards", `{"replicas_per_shard": 2}`},
+		{"wal without dir", `{"wal": {"fsync": "always"}}`},
+		{"bad fsync policy", `{"wal": {"dir": "w", "fsync": "sometimes"}}`},
+		{"non-positive latency bucket", `{"limits": {"latency_buckets": ["0s"]}}`},
+		{"negative max_k", `{"limits": {"max_k": -5}}`},
+		{"negative max_body_bytes", `{"limits": {"max_body_bytes": -1}}`},
+		{"wal and volatile_writes contradict", `{"wal": {"dir": "w"}, "volatile_writes": true}`},
+		{"negative fsync_every", `{"wal": {"dir": "w", "fsync_every": "-1s"}}`},
+		{"negative segment_bytes", `{"wal": {"dir": "w", "segment_bytes": -1}}`},
+		{"ambiguous zero drift_threshold", `{"wal": {"dir": "w", "drift_threshold": 0}}`},
+	}
+	for _, c := range translate {
+		cfg, err := ParseConfig(strings.NewReader(c.doc))
+		if err != nil {
+			t.Errorf("%s: failed at parse (%v), want translate failure", c.name, err)
+			continue
+		}
+		if _, err := cfg.Deployment(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestConfigDefaults: the zero document serves the same deployment as
+// the zero Deployment value — a read-only Flat service.
+func TestConfigDefaults(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := cfg.Deployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dep.Backend.(FlatSpec); !ok {
+		t.Fatalf("default backend: %#v", dep.Backend)
+	}
+	if dep.Shards != 0 || dep.WAL != nil || dep.VolatileWrites || len(dep.Limits) != 0 {
+		t.Fatalf("zero config deployment: %+v", dep)
+	}
+}
+
+// TestConfigBuildsShardedDeployment: a config-declared sharded topology
+// builds, serves /v1/meta with sharded+ingest capabilities, and routes
+// a write to the owning shard — the file is the whole topology.
+func TestConfigBuildsShardedDeployment(t *testing.T) {
+	db := testDB(t, 8, 120, 6)
+	cfg, err := ParseConfig(strings.NewReader(
+		`{"backend": {"kind": "flat"}, "shards": 3, "volatile_writes": true, "limits": {"max_k": 32}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := cfg.Deployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dep.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Router() == nil || srv.Service() != nil {
+		t.Fatal("config sharded build did not produce a router")
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := fingerprint.NewClient(hs.URL, hs.Client())
+	meta, err := client.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Capabilities.Sharded || !meta.Capabilities.Ingest {
+		t.Fatalf("meta capabilities: %+v", meta.Capabilities)
+	}
+	if _, err := client.Ingest([]fingerprint.IngestEntry{{Fingerprint: make([]float32, 8), Label: 2, Source: "cfg"}}); err != nil {
+		t.Fatalf("routed ingest through config-built deployment: %v", err)
+	}
+}
+
+// TestDurationMarshalRoundTrip: the wire form of Duration is a duration
+// string with a unit. Bare numbers are rejected — "fsync_every": 50
+// read as 50ns would busy-loop the flush timer, so the unit must be
+// explicit.
+func TestDurationMarshalRoundTrip(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"1.5s"`)); err != nil || time.Duration(d) != 1500*time.Millisecond {
+		t.Fatalf("string form: %v %v", d, err)
+	}
+	b, err := Duration(50 * time.Millisecond).MarshalJSON()
+	if err != nil || string(b) != `"50ms"` {
+		t.Fatalf("marshal: %s %v", b, err)
+	}
+	for _, bad := range []string{`2500`, `true`, `"50"`} {
+		if err := d.UnmarshalJSON([]byte(bad)); err == nil {
+			t.Fatalf("%s accepted as duration", bad)
+		}
+	}
+}

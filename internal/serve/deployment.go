@@ -188,7 +188,7 @@ func (d Deployment) buildSharded(db *fingerprint.DB, spec BackendSpec) (*Server,
 			return nil, err
 		}
 		for i, part := range parts {
-			searcher, err := buildShardBackend(spec, part)
+			searcher, err := BuildShardBackend(spec, part)
 			if err != nil {
 				return nil, fmt.Errorf("serve: shard %d backend: %w", i, err)
 			}
@@ -231,11 +231,12 @@ func (d Deployment) buildSharded(db *fingerprint.DB, spec BackendSpec) (*Server,
 	return srv, nil
 }
 
-// buildShardBackend builds spec over one shard, falling back to the
+// BuildShardBackend builds spec over one shard, falling back to the
 // exact Flat index when the spec cannot build over an empty shard (IVF
 // cannot train without vectors; the shard serves exact until writes
-// arrive).
-func buildShardBackend(spec BackendSpec, part *fingerprint.DB) (fingerprint.Searcher, error) {
+// arrive). Deployment.Build and the caltrain-shard splitter share this
+// policy so pre-split artifacts and in-process shards always agree.
+func BuildShardBackend(spec BackendSpec, part *fingerprint.DB) (fingerprint.Searcher, error) {
 	sr, err := spec.Build(part)
 	if err != nil && part.Len() == 0 {
 		return FlatSpec{}.Build(part)

@@ -130,6 +130,9 @@ func (r *HTTPReplica) Stats(ctx context.Context) (*fingerprint.StatsResponse, er
 type StatusError struct {
 	Code int
 	Msg  string
+	// EnvCode is the stable wire-protocol code from the daemon's error
+	// envelope, empty against a pre-envelope daemon.
+	EnvCode string
 }
 
 // Error formats the rejection with the daemon's own message.
@@ -156,8 +159,8 @@ func (r *HTTPReplica) do(req *http.Request, out any) error {
 		// on a /v1 daemon, plain http.Error text on a pre-/v1 one. Carry
 		// the envelope's message (or a bounded raw snippet) into the
 		// per-result error.
-		_, msg := fingerprint.ReadErrorBody(resp.Body)
-		return &StatusError{Code: resp.StatusCode, Msg: msg}
+		env, msg := fingerprint.ReadErrorBody(resp.Body)
+		return &StatusError{Code: resp.StatusCode, Msg: msg, EnvCode: env.Code}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("shard: decode %s response: %w", req.URL.Path, err)
@@ -460,16 +463,20 @@ func (r *Router) scatter(ctx context.Context, reqs []fingerprint.QueryRequest) (
 				r.errs.Add(uint64(len(positions)))
 				var rejected *StatusError
 				msg := fmt.Sprintf("shard %d unreachable: %v", sid, err)
+				code := fingerprint.ErrCodeShardUnreachable
 				if errors.As(err, &rejected) && rejected.definitive() {
-					// The shard answered; it just refused the request.
+					// The shard answered; it just refused the request. Keep
+					// the daemon's own envelope code (classified from the
+					// status against a pre-envelope daemon).
 					msg = fmt.Sprintf("shard %d: %v", sid, err)
+					code = fingerprint.ClassifyStatus(rejected.Code, rejected.EnvCode)
 				} else {
 					mu.Lock()
 					unreachable = append(unreachable, fmt.Sprintf("shard %d", sid))
 					mu.Unlock()
 				}
 				for _, pos := range positions {
-					results[pos] = fingerprint.BatchResult{Error: msg}
+					results[pos] = fingerprint.BatchResult{Error: msg, Code: code}
 				}
 				return
 			}
@@ -557,7 +564,15 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if results[0].Error != "" {
-		fingerprint.WriteError(w, http.StatusBadRequest, fingerprint.ErrCodeBadRequest, "%s", results[0].Error)
+		// The per-result code is the shard service's own classification
+		// (limit_exceeded vs bad_request vs body_too_large), so a routed
+		// rejection answers with the same envelope — code AND status — a
+		// single daemon would.
+		code := results[0].Code
+		if code == "" {
+			code = fingerprint.ErrCodeBadRequest
+		}
+		fingerprint.WriteError(w, fingerprint.StatusForErrCode(code), code, "%s", results[0].Error)
 		return
 	}
 	r.latency.Observe(time.Since(started))

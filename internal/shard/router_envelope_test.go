@@ -141,6 +141,115 @@ func TestRouterV1RoutesAndMeta(t *testing.T) {
 	}
 }
 
+// TestRouterErrorCodeParity: a routed rejection answers with the same
+// stable code a single daemon would — the shard service's own
+// classification survives the scatter-gather hop, on /query and as the
+// per-result code in /query/batch.
+func TestRouterErrorCodeParity(t *testing.T) {
+	db := testDB(t, 8, 200, 8)
+	m2, err := NewHashMap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := SplitDB(db, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas := make([][]Replica, len(parts))
+	for i, p := range parts {
+		// Per-shard services carry the k limit, exactly as a fleet of
+		// caltrain-serve -max-k daemons would.
+		replicas[i] = []Replica{NewLocalReplica("local", fingerprint.NewService(p, fingerprint.WithMaxK(4)))}
+	}
+	rt, err := NewRouter(m2, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rt.Handler()
+
+	// Single query: k over the per-shard limit is limit_exceeded, exactly
+	// as fingerprint.Service answers it — not a generic bad_request.
+	status, env := doRawRouter(t, h, "POST", "/v1/query",
+		`{"fingerprint":[0,0,0,0,0,0,0,0],"label":0,"k":5}`)
+	if status != http.StatusBadRequest || env.Code != fingerprint.ErrCodeLimitExceeded {
+		t.Fatalf("routed k over limit: status %d code %q", status, env.Code)
+	}
+
+	// Batch: the per-result code rides along in the 200 body.
+	req := httptest.NewRequest("POST", "/v1/query/batch", strings.NewReader(
+		`{"queries":[{"fingerprint":[0,0,0,0,0,0,0,0],"label":0,"k":2},{"fingerprint":[0,0,0,0,0,0,0,0],"label":1,"k":5}]}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var batch fingerprint.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil || rec.Code != http.StatusOK {
+		t.Fatalf("batch: status %d err %v", rec.Code, err)
+	}
+	if batch.Results[0].Error != "" || batch.Results[0].Code != "" {
+		t.Fatalf("good query carries an error: %+v", batch.Results[0])
+	}
+	if batch.Results[1].Code != fingerprint.ErrCodeLimitExceeded {
+		t.Fatalf("per-result code: %+v", batch.Results[1])
+	}
+
+	// Status parity too: a shard daemon's 413 body_too_large rejection
+	// answers 413 from the router, not a remapped 400.
+	tinySvc := fingerprint.NewService(db, fingerprint.WithMaxBodyBytes(64))
+	tiny := httptest.NewServer(tinySvc.Handler())
+	defer tiny.Close()
+	m1, err := NewHashMap(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt413, err := NewRouter(m1, [][]Replica{{NewHTTPReplica(tiny.URL, nil)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigQuery := `{"fingerprint":[0.125,0.125,0.125,0.125,0.125,0.125,0.125,0.125],"label":0,"k":2}`
+	status, env = doRawRouter(t, rt413.Handler(), "POST", "/v1/query", bigQuery)
+	if status != http.StatusRequestEntityTooLarge || env.Code != fingerprint.ErrCodeBodyTooLarge {
+		t.Fatalf("routed 413: status %d code %q", status, env.Code)
+	}
+
+	// An unmapped definitive 4xx (a proxy's plain-text 429, no envelope)
+	// stays a client-side rejection — bad_request/400, never internal/500.
+	throttler := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "slow down", http.StatusTooManyRequests)
+	}))
+	defer throttler.Close()
+	rt429, err := NewRouter(m1, [][]Replica{{NewHTTPReplica(throttler.URL, nil)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, env = doRawRouter(t, rt429.Handler(), "POST", "/v1/query",
+		`{"fingerprint":[0,0,0,0,0,0,0,0],"label":0,"k":2}`)
+	if status != http.StatusBadRequest || env.Code != fingerprint.ErrCodeBadRequest {
+		t.Fatalf("proxied 429: status %d code %q", status, env.Code)
+	}
+
+	// A dead shard's per-result errors carry shard_unreachable.
+	m, err := NewHashMap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := NewRouter(m, [][]Replica{
+		{NewHTTPReplica("http://127.0.0.1:1", nil)},
+		{NewHTTPReplica("http://127.0.0.1:1", nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req = httptest.NewRequest("POST", "/v1/query/batch", strings.NewReader(
+		`{"queries":[{"fingerprint":[0,0,0,0,0,0,0,0],"label":3,"k":2}]}`))
+	rec = httptest.NewRecorder()
+	dead.Handler().ServeHTTP(rec, req)
+	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Results[0].Code != fingerprint.ErrCodeShardUnreachable {
+		t.Fatalf("unreachable per-result code: %+v", batch.Results[0])
+	}
+}
+
 // TestReplicaSurfacesEnvelopeMessage: a daemon rejection travels to the
 // router as the envelope's message, not raw JSON, so per-result errors
 // stay human-readable.

@@ -125,7 +125,32 @@ type (
 	DeploymentServer = serve.Server
 	// WALConfig enables a Deployment's durable write path.
 	WALConfig = serve.WALConfig
+	// DeploymentConfig is the JSON file form of a Deployment — what
+	// caltrain-serve -deployment loads; see ParseDeploymentConfig.
+	DeploymentConfig = serve.Config
+	// DeploymentBackendConfig names and tunes the backend in a
+	// DeploymentConfig.
+	DeploymentBackendConfig = serve.BackendConfig
+	// DeploymentWALConfig is the file form of WALConfig.
+	DeploymentWALConfig = serve.WALFileConfig
+	// DeploymentLimitsConfig is the file form of the service limits.
+	DeploymentLimitsConfig = serve.LimitsConfig
+	// ConfigDuration is a time.Duration that (un)marshals as a duration
+	// string ("50ms") in deployment config files.
+	ConfigDuration = serve.Duration
 )
+
+// ParseDeploymentConfig decodes a JSON deployment config (rejecting
+// unknown fields); call Deployment() on the result to translate it into
+// the Deployment it declares.
+func ParseDeploymentConfig(r io.Reader) (DeploymentConfig, error) {
+	return serve.ParseConfig(r)
+}
+
+// LoadDeploymentConfig reads and parses a deployment config file.
+func LoadDeploymentConfig(path string) (DeploymentConfig, error) {
+	return serve.LoadConfig(path)
+}
 
 // Versioned wire protocol types (GET /v1/meta, structured errors).
 type (
@@ -138,7 +163,38 @@ type (
 	// ErrorEnvelope is the structured {code, error, details} body every
 	// non-200 response on the wire protocol carries.
 	ErrorEnvelope = fingerprint.ErrorEnvelope
+	// APIError is the typed form of a rejected client call: HTTP status,
+	// stable envelope code, message. Branch with errors.As or ErrorCodeOf
+	// instead of matching message text.
+	APIError = fingerprint.APIError
 )
+
+// Stable wire-protocol error codes carried by ErrorEnvelope and
+// APIError.
+const (
+	// ErrCodeBadRequest marks an undecodable, empty, or invalid request.
+	ErrCodeBadRequest = fingerprint.ErrCodeBadRequest
+	// ErrCodeBodyTooLarge marks a request body over the service limit.
+	ErrCodeBodyTooLarge = fingerprint.ErrCodeBodyTooLarge
+	// ErrCodeLimitExceeded marks a k or batch size over the service limit.
+	ErrCodeLimitExceeded = fingerprint.ErrCodeLimitExceeded
+	// ErrCodeMethodNotAllowed marks the wrong HTTP method on a known route.
+	ErrCodeMethodNotAllowed = fingerprint.ErrCodeMethodNotAllowed
+	// ErrCodeNotFound marks an unknown route.
+	ErrCodeNotFound = fingerprint.ErrCodeNotFound
+	// ErrCodeIngestDisabled marks a write against a read-only deployment.
+	ErrCodeIngestDisabled = fingerprint.ErrCodeIngestDisabled
+	// ErrCodeShardUnreachable marks a query whose owning shard has no
+	// live replica.
+	ErrCodeShardUnreachable = fingerprint.ErrCodeShardUnreachable
+	// ErrCodeInternal marks a server-side fault.
+	ErrCodeInternal = fingerprint.ErrCodeInternal
+)
+
+// ErrorCodeOf returns the stable wire-protocol code carried by a client
+// error (one of the ErrCode constants), or "" for transport faults,
+// cancellations, and nil.
+func ErrorCodeOf(err error) string { return fingerprint.CodeOf(err) }
 
 // ParseBackendSpec maps a backend's wire/flag name ("linear", "flat",
 // "ivf") to its Spec — the single string-to-backend seam; everything
