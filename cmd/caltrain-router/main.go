@@ -35,8 +35,16 @@
 //	POST /v1/ingest       replicated to the owning shard's replicas, quorum-acked
 //	GET  /v1/healthz      200 when every shard has a live replica, else 503
 //	GET  /v1/stats        router counters + per-shard stats + rolled-up
-//	                      shard latency histograms
+//	                      shard latency histograms and ingest state
 //	GET  /v1/meta         capability discovery (sharded: true)
+//	GET  /v1/metrics      Prometheus exposition: router counters plus
+//	                      per-shard entry gauges and the merged shard
+//	                      latency histogram
+//
+// Every request carries an X-Request-Id (inbound or generated) that the
+// router forwards to the shard daemons it fans out to, so one ID ties a
+// client call to its per-shard work in every daemon's -request-log.
+// -debug-addr opens a pprof/expvar sidecar listener.
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -115,6 +124,10 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		quorum   = fs.Int("write-quorum", 0, "replicas per shard that must ack an ingest batch (0 = majority)")
 		grace    = fs.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		buckets  = fs.String("latency-buckets", "", "comma-separated router latency bucket bounds as durations (e.g. 5ms,25ms,100ms,1s); empty = network-scale defaults")
+
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this sidecar host:port (empty = no debug listener; never the public address)")
+		reqLog    = fs.Bool("request-log", false, "log one structured line per request: request ID, status, duration, stage timings")
+		slowQuery = fs.Duration("slow-query-threshold", 0, "warn about requests slower than this, even without -request-log (0 = disabled)")
 	)
 	fs.Var(shards, "shard", "shard replicas as ID=addr[,addr...]; repeat per shard")
 	if err := fs.Parse(args); err != nil {
@@ -149,12 +162,23 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	if *quorum < 0 {
 		return fmt.Errorf("-write-quorum must be non-negative, got %d", *quorum)
 	}
+	if *slowQuery < 0 {
+		return fmt.Errorf("-slow-query-threshold must be non-negative (0 disables the slow-query log)")
+	}
 	opts := []shard.RouterOption{
 		shard.WithShardTimeout(*timeout),
 		shard.WithReplicaCooldown(*cooldown),
 		shard.WithRouterMaxBodyBytes(*maxBody),
 		shard.WithRouterMaxBatch(*maxBatch),
 		shard.WithWriteQuorum(*quorum),
+		// Request and slow-query logs go to stderr, keeping stdout for
+		// the daemon's own startup lines.
+		shard.WithObservability(fingerprint.Observability{
+			Component:          "router",
+			Logger:             slog.New(slog.NewTextHandler(os.Stderr, nil)),
+			RequestLog:         *reqLog,
+			SlowQueryThreshold: *slowQuery,
+		}),
 	}
 	if *buckets != "" {
 		bounds, err := fingerprint.ParseLatencyBuckets(*buckets)
@@ -173,6 +197,14 @@ func run(parent context.Context, args []string, out io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(parent, syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *debugAddr != "" {
+		dl, err := serve.ListenDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dl.Close()
+		fmt.Fprintf(out, "debug listener (pprof, expvar) on %s\n", dl.Addr())
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -14,10 +14,19 @@
 //	POST /v1/ingest       durable batch writes (with -wal; 501 without)
 //	GET  /v1/healthz      liveness
 //	GET  /v1/stats        entry count, index kind, query counters, latency histogram
-//	GET  /v1/meta         server version, backend kind, capabilities
+//	GET  /v1/meta         server version, backend kind, capabilities, build info
+//	GET  /v1/metrics      Prometheus text-format exposition of the same counters
 //
 // Every non-200 response carries the structured error envelope
-// {code, error, details}.
+// {code, error, details, request_id}.
+//
+// Observability: every request is tagged with an X-Request-Id (the
+// inbound header when present, generated otherwise), echoed on the
+// response, in error envelopes, and — with -request-log — in one
+// structured stderr log line per request with per-stage timings;
+// -slow-query-threshold warns about slow requests even without the
+// full request log. -debug-addr opens a pprof/expvar sidecar listener
+// that is never mounted on the public address.
 //
 // Index backends (-backend; -index is a legacy alias): "linear" is the
 // exact reference scan over the database, "flat" the exact heap-select
@@ -54,6 +63,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -95,6 +105,10 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		grace     = fs.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		buckets   = fs.String("latency-buckets", "", "comma-separated /stats latency bucket bounds as durations (e.g. 100us,1ms,10ms); empty = sub-ms defaults")
 
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this sidecar host:port (empty = no debug listener; never the public address)")
+		reqLog    = fs.Bool("request-log", false, "log one structured line per request: request ID, status, duration, stage timings")
+		slowQuery = fs.Duration("slow-query-threshold", 0, "warn about requests slower than this, even without -request-log (0 = disabled)")
+
 		walDir    = fs.String("wal", "", "write-ahead log directory; enables POST /ingest (empty = read-only daemon)")
 		fsync     = fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
 		fsyncEvry = fs.Duration("fsync-every", 50*time.Millisecond, "flush period for -fsync interval")
@@ -113,7 +127,7 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		// Only the flags naming where the daemon runs — not what it
 		// serves — are allowed, so a future topology flag conflicts by
 		// default instead of silently slipping past a stale deny-list.
-		processFlags := map[string]bool{"db": true, "addr": true, "grace": true, "snapshot-every": true, "deployment": true}
+		processFlags := map[string]bool{"db": true, "addr": true, "grace": true, "snapshot-every": true, "deployment": true, "debug-addr": true}
 		var conflict string
 		fs.Visit(func(f *flag.Flag) {
 			if !processFlags[f.Name] && conflict == "" {
@@ -142,6 +156,9 @@ func run(parent context.Context, args []string, out io.Writer) error {
 				return fmt.Errorf("-%s needs -wal: the read-only daemon has no write path", needsWAL)
 			}
 		}
+	}
+	if *slowQuery < 0 {
+		return fmt.Errorf("-slow-query-threshold must be non-negative (0 disables the slow-query log)")
 	}
 	syncPolicy, err := ingest.ParseSyncPolicy(*fsync)
 	if err != nil {
@@ -227,6 +244,25 @@ func run(parent context.Context, args []string, out io.Writer) error {
 			}}
 		}
 	}
+	// Observability: the config file's observability block wins in
+	// -deployment mode (the flag forms of these knobs conflict with it);
+	// -debug-addr is a process flag, so it composes either way. Request
+	// and slow-query logs go to stderr, keeping stdout for the daemon's
+	// own startup lines.
+	if dep.Observability == nil {
+		dep.Observability = &serve.ObservabilityConfig{}
+	}
+	if *depPath == "" {
+		dep.Observability.RequestLog = *reqLog
+		dep.Observability.SlowQueryThreshold = *slowQuery
+	}
+	if dep.Observability.Logger == nil {
+		dep.Observability.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if *debugAddr != "" {
+		dep.Observability.DebugAddr = *debugAddr
+	}
+
 	if dep.WAL != nil && dep.WAL.Store.Logf == nil {
 		dep.WAL.Store.Logf = func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)
@@ -305,6 +341,15 @@ func run(parent context.Context, args []string, out io.Writer) error {
 				}
 			}
 		}()
+	}
+
+	if da := dep.Observability.DebugAddr; da != "" {
+		dl, err := serve.ListenDebug(da)
+		if err != nil {
+			return err
+		}
+		defer dl.Close()
+		fmt.Fprintf(out, "debug listener (pprof, expvar) on %s\n", dl.Addr())
 	}
 
 	l, err := net.Listen("tcp", *addr)

@@ -63,9 +63,21 @@ func run(args []string, out io.Writer) error {
 		nprobe   = fs.Int("nprobe", 0, "IVF lists probed per query (0 = auto)")
 		iters    = fs.Int("iters", 0, "IVF k-means iterations (0 = default)")
 		seed     = fs.Uint64("seed", 42, "IVF training seed")
+
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this sidecar host:port while splitting (empty = no debug listener)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		// Splitting and per-shard index training can run for minutes on a
+		// big database; the sidecar makes them profileable like the daemons.
+		dl, err := serve.ListenDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dl.Close()
+		fmt.Fprintf(out, "debug listener (pprof, expvar) on %s\n", dl.Addr())
 	}
 	if *nshards < 1 {
 		return fmt.Errorf("-shards must be positive, got %d", *nshards)

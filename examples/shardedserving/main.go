@@ -10,21 +10,53 @@
 //  1. a linkage database of clustered fingerprints over many labels,
 //  2. a hash shard map splitting its labels across 3 shards,
 //  3. one query daemon per shard on a loopback listener,
-//  4. a scatter-gather router fanning batches across them, and
-//  5. the moment that justifies the architecture: one shard dies and a
+//  4. a scatter-gather router fanning batches across them,
+//  5. observability across the tree: the router's Prometheus
+//     /v1/metrics scrape and one X-Request-Id grepped through the
+//     router's and the owning shard's request logs, and
+//  6. the moment that justifies the architecture: one shard dies and a
 //     batch still answers, partial, naming the dead shard.
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand/v2"
 	"net"
+	"strings"
+	"sync"
 	"time"
 
 	"caltrain"
 )
+
+// logBuf is a tiny synchronized sink for the request logs, so the
+// walkthrough can grep them like an operator greps log files.
+type logBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *logBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuf) grep(substr string) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for _, line := range strings.Split(l.b.String(), "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return out
+}
 
 func main() {
 	// 1. The linkage database a training session deposits: here 6000
@@ -64,10 +96,20 @@ func main() {
 	// a different backend here is one field (Backend:
 	// caltrain.IVFSpec{...}), not new wiring.
 	ctx := context.Background()
+	shardLogs := &logBuf{}
 	shardCtx := make([]context.CancelFunc, len(parts))
 	replicas := make([][]caltrain.ShardReplica, len(parts))
 	for i, part := range parts {
-		built, err := caltrain.Deployment{Backend: caltrain.FlatSpec{}}.Build(part)
+		built, err := caltrain.Deployment{
+			Backend: caltrain.FlatSpec{},
+			// Request logging on: every shard daemon writes one
+			// structured line per request, request ID included — in
+			// production this is caltrain-serve -request-log on stderr.
+			Observability: &caltrain.ObservabilityConfig{
+				RequestLog: true,
+				Logger:     slog.New(slog.NewTextHandler(shardLogs, nil)),
+			},
+		}.Build(part)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,9 +128,15 @@ func main() {
 
 	// 4. The scatter-gather router, serving the single-daemon protocol.
 	// In production: caltrain-router -map shardmap.ctsm -shard 0=... .
+	routerLog := &logBuf{}
 	router, err := caltrain.NewShardRouter(shardMap, replicas,
 		caltrain.WithShardTimeout(2*time.Second),
 		caltrain.WithReplicaCooldown(100*time.Millisecond),
+		caltrain.WithRouterObservability(caltrain.ObservabilityOptions{
+			Component:  "router",
+			RequestLog: true,
+			Logger:     slog.New(slog.NewTextHandler(routerLog, nil)),
+		}),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -133,7 +181,43 @@ func main() {
 	}
 	fmt.Printf("\nrouter /stats: index=%s entries=%d queries=%d\n", st.Index, st.Entries, st.Queries)
 
-	// 5. Chaos: kill shard 1's daemon. Batches degrade to partial
+	// 5a. The Prometheus scrape: GET /v1/metrics on the router serves
+	// its counters, per-shard entry gauges, and the merged shard latency
+	// histogram in text exposition format — curl /v1/metrics in
+	// production, here through the client.
+	exposition, err := client.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := caltrain.LintMetrics(strings.NewReader(exposition)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrouter /v1/metrics (topology families):")
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, "caltrain_router_shards") ||
+			strings.HasPrefix(line, "caltrain_shard_entries") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// 5b. Tracing: tag one query with a request ID (the client forwards
+	// it as X-Request-Id; the router forwards it to the owning shard) and
+	// grep it across both tiers' request logs — in production:
+	// curl -H 'X-Request-Id: debug-42' … ; grep debug-42 *.log
+	traced := caltrain.ContextWithRequestID(ctx, "debug-42")
+	if _, err := client.QueryBatchCtx(traced, batch[:2]); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the daemons flush their log lines
+	fmt.Println("\ngrep request_id=debug-42 across tiers:")
+	for _, line := range routerLog.grep("request_id=debug-42") {
+		fmt.Println("  router: " + line)
+	}
+	for _, line := range shardLogs.grep("request_id=debug-42") {
+		fmt.Println("  shard:  " + line)
+	}
+
+	// 6. Chaos: kill shard 1's daemon. Batches degrade to partial
 	// results that name the dead shard — investigations on the surviving
 	// labels continue.
 	shardCtx[1]()

@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"sync"
+
+	"caltrain/internal/obs"
 )
 
 // ErrNoMeta is returned by Client.Meta against a pre-/v1 server that
@@ -144,6 +146,7 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	setRequestID(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("fingerprint: query: %w", err)
@@ -158,11 +161,21 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	return nil
 }
 
+// setRequestID forwards the context's request ID (if any) on the
+// outbound request, so a caller already inside a traced request — a
+// service calling a service — keeps one ID across the hop.
+func setRequestID(req *http.Request) {
+	if id := obs.RequestIDFrom(req.Context()); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
+}
+
 func (c *Client) get(ctx context.Context, what, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+c.apiPrefix(ctx)+path, nil)
 	if err != nil {
 		return err
 	}
+	setRequestID(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("fingerprint: %s: %w", what, err)
@@ -236,6 +249,32 @@ func (c *Client) Healthz() error { return c.HealthzCtx(context.Background()) }
 // HealthzCtx is Healthz with a caller-supplied context.
 func (c *Client) HealthzCtx(ctx context.Context) error {
 	return c.get(ctx, "healthz", "/healthz", nil)
+}
+
+// Metrics fetches the service's Prometheus exposition from
+// /v1/metrics, returned as the raw text-format body.
+func (c *Client) Metrics() (string, error) { return c.MetricsCtx(context.Background()) }
+
+// MetricsCtx is Metrics with a caller-supplied context.
+func (c *Client) MetricsCtx(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+c.apiPrefix(ctx)+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	setRequestID(req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("fingerprint: metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", statusError("metrics", resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("fingerprint: metrics: %w", err)
+	}
+	return string(body), nil
 }
 
 // Stats fetches the service's /stats counters.

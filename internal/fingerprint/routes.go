@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"caltrain/internal/obs"
 )
 
 // Wire protocol identity, served on GET /v1/meta.
@@ -50,13 +52,22 @@ type ErrorEnvelope struct {
 	Code    string         `json:"code"`
 	Error   string         `json:"error"`
 	Details map[string]any `json:"details,omitempty"`
+	// RequestID is the X-Request-Id the failing request carried (or was
+	// assigned), so a client-reported error joins against server logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // WriteError writes the structured error envelope with the given HTTP
 // status — the error writer shared by the query service and the shard
-// router.
+// router. The request ID is recovered from the observability
+// middleware's ResponseWriter wrapper, so every call site stamps
+// envelopes without threading it as a parameter.
 func WriteError(w http.ResponseWriter, status int, code, format string, args ...any) {
-	WriteJSON(w, status, ErrorEnvelope{Code: code, Error: fmt.Sprintf(format, args...)})
+	WriteJSON(w, status, ErrorEnvelope{
+		Code:      code,
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: obs.ResponseRequestID(w),
+	})
 }
 
 // ReadErrorBody reads a bounded snippet of a non-200 response body and
@@ -187,13 +198,23 @@ type MetaCapabilities struct {
 }
 
 // MetaResponse is the JSON body of GET /v1/meta: server version, wire
-// protocol version, serving backend kind, and capability discovery.
+// protocol version, serving backend kind, build identity, and
+// capability discovery.
 type MetaResponse struct {
 	Server       string           `json:"server"`
 	Protocol     string           `json:"protocol"`
 	Backend      string           `json:"backend"`
 	Capabilities MetaCapabilities `json:"capabilities"`
+	// Build identifies the binary that answered (Go toolchain, VCS
+	// revision), so an operator can tell deployed versions apart.
+	Build obs.BuildInfo `json:"build"`
 }
+
+// Observability is the per-route-set observability configuration:
+// request logging, the slow-query threshold, and the metrics toggle.
+// The zero value is the always-on baseline — request IDs generated and
+// propagated, metrics served, nothing logged.
+type Observability = obs.Options
 
 // RouteSet is the one route table of the accountability wire protocol,
 // shared by the query daemon (Service) and the shard router (Router) so
@@ -206,19 +227,31 @@ type MetaResponse struct {
 //	POST /v1/ingest       durable batch writes
 //	GET  /v1/healthz      liveness
 //	GET  /v1/stats        counters + latency histogram
+//	GET  /v1/metrics      Prometheus text-format scrape endpoint
 //	GET  /v1/meta         server version, backend, capabilities
 //
 // Unknown routes and wrong methods answer with the structured error
 // envelope, like every other failure on the protocol.
+//
+// Handler wraps the whole table in the observability middleware:
+// every request gets an X-Request-Id (generated, or propagated from a
+// valid inbound header), echoed on the response and stamped into error
+// envelopes; request and slow-query logging follow Observability.
 type RouteSet struct {
 	Query      http.HandlerFunc
 	QueryBatch http.HandlerFunc
 	Ingest     http.HandlerFunc
 	Healthz    http.HandlerFunc
 	Stats      http.HandlerFunc
+	// Metrics serves the Prometheus exposition (GET /v1/metrics and the
+	// legacy /metrics alias); nil leaves the route unmounted.
+	Metrics http.HandlerFunc
 	// Meta is evaluated per request, so capabilities that change after
 	// construction (SetIngester) stay accurate.
 	Meta func() MetaResponse
+	// Observability configures request logging and the slow-query
+	// threshold for the middleware Handler installs.
+	Observability Observability
 }
 
 // requireMethod wraps h to answer anything but method with a 405
@@ -254,6 +287,7 @@ func (rs RouteSet) Handler() http.Handler {
 	mount(http.MethodPost, "/ingest", rs.Ingest)
 	mount(http.MethodGet, "/healthz", rs.Healthz)
 	mount(http.MethodGet, "/stats", rs.Stats)
+	mount(http.MethodGet, "/metrics", rs.Metrics)
 	if rs.Meta != nil {
 		mount(http.MethodGet, "/meta", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, rs.Meta())
@@ -262,5 +296,5 @@ func (rs RouteSet) Handler() http.Handler {
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusNotFound, ErrCodeNotFound, "no such endpoint %s", r.URL.Path)
 	})
-	return mux
+	return obs.Middleware(rs.Observability, mux)
 }

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"caltrain/internal/obs"
 )
 
 // Service exposes a nearest-neighbour Searcher over HTTP — the "online
@@ -35,13 +37,16 @@ type Service struct {
 	maxK      int
 	maxBatch  int
 	bucketsUS []int64
+	obsOpts   Observability
 
-	start   time.Time
-	queries atomic.Uint64
-	batches atomic.Uint64
-	ingests atomic.Uint64
-	errs    atomic.Uint64
-	latency *Histogram
+	start    time.Time
+	queries  atomic.Uint64
+	batches  atomic.Uint64
+	ingests  atomic.Uint64
+	errs     atomic.Uint64
+	latency  *Histogram
+	errCodes *obs.CounterVec
+	metrics  *obs.Registry
 }
 
 // Service limits. Overridable per service with the With* options.
@@ -71,6 +76,13 @@ func WithMaxBatch(n int) ServiceOption { return func(s *Service) { s.maxBatch = 
 // overflow bucket.
 func WithLatencyBuckets(boundsUS []int64) ServiceOption {
 	return func(s *Service) { s.bucketsUS = boundsUS }
+}
+
+// WithObservability configures request logging, the slow-query
+// threshold, and the metrics toggle. The zero value (the default) keeps
+// request-ID propagation and /v1/metrics on with no logging.
+func WithObservability(o Observability) ServiceOption {
+	return func(s *Service) { s.obsOpts = o }
 }
 
 // Ingester is the pluggable write path behind POST /ingest — the
@@ -105,6 +117,12 @@ type IngestStats struct {
 	// Drift is the serving backend's current appended fraction (0 for
 	// exact backends).
 	Drift float64 `json:"drift"`
+	// Segments is the number of live WAL segments.
+	Segments int `json:"wal_segments,omitempty"`
+	// LastSnapshotAgeSeconds is how long ago the last snapshot ran, 0
+	// when none has run this process — the age form of
+	// LastSnapshotUnix, so dashboards need no wall-clock math.
+	LastSnapshotAgeSeconds float64 `json:"last_snapshot_age_seconds,omitempty"`
 }
 
 // WithIngester enables the write path: POST /ingest applies batches
@@ -140,7 +158,104 @@ func NewSearcherService(sr Searcher, opts ...ServiceOption) *Service {
 		o(s)
 	}
 	s.latency = NewHistogram(s.bucketsUS)
+	s.errCodes = obs.NewCounterVec("caltrain_request_errors_total",
+		"Error envelopes written, labeled by stable wire-protocol code.", "code")
+	s.metrics = s.buildMetrics()
 	return s
+}
+
+// buildMetrics assembles the daemon's Prometheus registry. Every family
+// reads the existing serving counters at scrape time; the ingest
+// families collect nothing (and so vanish from the exposition) on a
+// read-only daemon.
+func (s *Service) buildMetrics() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.MustRegister(
+		obs.BuildInfoFamily(),
+		obs.CounterFunc("caltrain_queries_total",
+			"Queries served, batched queries counted individually.",
+			func() float64 { return float64(s.queries.Load()) }),
+		obs.CounterFunc("caltrain_batch_requests_total",
+			"Batch query requests served.",
+			func() float64 { return float64(s.batches.Load()) }),
+		obs.CounterFunc("caltrain_ingest_requests_total",
+			"Ingest requests served.",
+			func() float64 { return float64(s.ingests.Load()) }),
+		s.errCodes.Family(),
+		obs.GaugeFunc("caltrain_entries",
+			"Entries in the serving backend.",
+			func() float64 { return float64(s.Searcher().Len()) }),
+		obs.GaugeFunc("caltrain_uptime_seconds",
+			"Seconds since the daemon started.",
+			func() float64 { return time.Since(s.start).Seconds() }),
+		obs.HistogramFunc("caltrain_query_latency_seconds",
+			"Request latency, the /stats histogram re-emitted cumulatively in seconds.",
+			func() obs.HistogramSnapshot {
+				return PromHistogram(s.latency.Bins(), s.latency.SumUS(), true)
+			}),
+	)
+	// One gauge/counter per write-path stat, suppressed when the daemon
+	// has no ingester so a read-only daemon's scrape reports no WAL.
+	ing := func(fn func(IngestStats) float64) func() []obs.Sample {
+		return func() []obs.Sample {
+			if s.ingester == nil {
+				return nil
+			}
+			return []obs.Sample{{Value: fn(s.ingester.IngestStats())}}
+		}
+	}
+	reg.MustRegister(
+		obs.SamplesFunc("caltrain_wal_bytes",
+			"Bytes across all live WAL segments — the cue that a snapshot is overdue.",
+			obs.KindGauge, ing(func(st IngestStats) float64 { return float64(st.WALBytes) })),
+		obs.SamplesFunc("caltrain_wal_segments",
+			"Live WAL segments.",
+			obs.KindGauge, ing(func(st IngestStats) float64 { return float64(st.Segments) })),
+		obs.SamplesFunc("caltrain_ingest_accepted_total",
+			"Entries durably applied since startup (replay excluded).",
+			obs.KindCounter, ing(func(st IngestStats) float64 { return float64(st.Accepted) })),
+		obs.SamplesFunc("caltrain_ingest_replayed_entries",
+			"Entries restored from the WAL at startup.",
+			obs.KindGauge, ing(func(st IngestStats) float64 { return float64(st.ReplayEntries) })),
+		obs.SamplesFunc("caltrain_ingest_retrains_total",
+			"Background index retrain and hot-swap cycles.",
+			obs.KindCounter, ing(func(st IngestStats) float64 { return float64(st.Retrains) })),
+		obs.SamplesFunc("caltrain_index_drift",
+			"Serving backend's appended fraction since its last (re)train.",
+			obs.KindGauge, ing(func(st IngestStats) float64 { return st.Drift })),
+		obs.SamplesFunc("caltrain_last_snapshot_age_seconds",
+			"Seconds since the last snapshot+truncate compaction; absent before the first.",
+			obs.KindGauge, func() []obs.Sample {
+				if s.ingester == nil {
+					return nil
+				}
+				st := s.ingester.IngestStats()
+				if st.LastSnapshotUnix == 0 {
+					return nil
+				}
+				return []obs.Sample{{Value: st.LastSnapshotAgeSeconds}}
+			}),
+	)
+	return reg
+}
+
+// PromHistogram converts the per-bucket /stats bins (microsecond
+// bounds, overflow bin LeUS == -1 last) into the cumulative
+// seconds-based snapshot the Prometheus exposition requires. hasSum is
+// false when the source does not track a sum (bins merged from
+// pre-upgrade daemons); the _sum series is then omitted.
+func PromHistogram(bins []HistogramBin, sumUS int64, hasSum bool) obs.HistogramSnapshot {
+	snap := obs.HistogramSnapshot{Sum: float64(sumUS) / 1e6, HasSum: hasSum}
+	var cum uint64
+	for _, b := range bins {
+		cum += b.Count
+		if b.LeUS == -1 {
+			continue
+		}
+		snap.Buckets = append(snap.Buckets, obs.Bucket{UpperBound: float64(b.LeUS) / 1e6, Count: cum})
+	}
+	snap.Count = cum
+	return snap
 }
 
 // SetSearcher hot-swaps the serving backend. In-flight queries finish on
@@ -262,6 +377,10 @@ type StatsResponse struct {
 	IngestRequests uint64         `json:"ingest_requests,omitempty"`
 	Errors         uint64         `json:"errors"`
 	LatencyUS      []HistogramBin `json:"latency_us"`
+	// LatencySumUS is the sum of all observed latencies (microseconds),
+	// so rates and averages derive without bucket interpolation. 0 from
+	// a pre-upgrade daemon that does not report it.
+	LatencySumUS int64 `json:"latency_sum_us,omitempty"`
 	// Ingest carries the write path's counters when the daemon has one
 	// (started with -wal).
 	Ingest *IngestStats `json:"ingest,omitempty"`
@@ -284,6 +403,7 @@ var DefaultLatencyBucketsUS = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10_00
 type Histogram struct {
 	boundsUS []int64
 	counts   []atomic.Uint64 // len(boundsUS) + overflow
+	sumUS    atomic.Int64
 }
 
 // NewHistogram creates a histogram with the given bucket upper bounds
@@ -310,9 +430,10 @@ func NewHistogram(boundsUS []int64) *Histogram {
 	return &Histogram{boundsUS: dedup, counts: make([]atomic.Uint64, len(dedup)+1)}
 }
 
-// Observe records one duration in the owning bucket.
+// Observe records one duration in the owning bucket and the sum.
 func (h *Histogram) Observe(d time.Duration) {
 	us := d.Microseconds()
+	h.sumUS.Add(us)
 	for i, b := range h.boundsUS {
 		if us <= b {
 			h.counts[i].Add(1)
@@ -321,6 +442,9 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.counts[len(h.boundsUS)].Add(1)
 }
+
+// SumUS returns the sum of all observed durations in microseconds.
+func (h *Histogram) SumUS() int64 { return h.sumUS.Load() }
 
 // Bins snapshots the histogram as cumulative-style buckets, the overflow
 // bucket (LeUS == -1) last.
@@ -391,14 +515,19 @@ func MergeBins(sets ...[]HistogramBin) []HistogramBin {
 // /v1/healthz, GET /v1/stats, GET /v1/meta) plus the unversioned legacy
 // aliases, from the shared RouteSet.
 func (s *Service) Handler() http.Handler {
-	return RouteSet{
-		Query:      s.handleQuery,
-		QueryBatch: s.handleBatch,
-		Ingest:     s.handleIngest,
-		Healthz:    s.handleHealthz,
-		Stats:      s.handleStats,
-		Meta:       s.Meta,
-	}.Handler()
+	rs := RouteSet{
+		Query:         s.handleQuery,
+		QueryBatch:    s.handleBatch,
+		Ingest:        s.handleIngest,
+		Healthz:       s.handleHealthz,
+		Stats:         s.handleStats,
+		Meta:          s.Meta,
+		Observability: s.obsOpts,
+	}
+	if !s.obsOpts.DisableMetrics {
+		rs.Metrics = s.metrics.ServeHTTP
+	}
+	return rs.Handler()
 }
 
 // Meta reports the daemon's /v1/meta identity: the current backend kind
@@ -412,11 +541,13 @@ func (s *Service) Meta() MetaResponse {
 			Ingest:  s.ingester != nil,
 			Sharded: false,
 		},
+		Build: obs.Build(),
 	}
 }
 
 func (s *Service) fail(w http.ResponseWriter, status int, code, format string, args ...any) {
 	s.errs.Add(1)
+	s.errCodes.Inc(code)
 	WriteError(w, status, code, format, args...)
 }
 
@@ -469,7 +600,9 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request: %v", err)
 		return
 	}
+	done := obs.TraceFrom(r.Context()).StartStage("search")
 	resp, err := s.runQuery(req)
+	done()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, queryErrCode(req, s.maxK), "%v", err)
 		return
@@ -483,9 +616,18 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 // query succeeds or fails independently; counters and the latency
 // histogram are updated exactly as for a POST /query/batch.
 func (s *Service) RunBatch(reqs []QueryRequest) *BatchResponse {
+	return s.RunBatchCtx(context.Background(), reqs)
+}
+
+// RunBatchCtx is RunBatch with a caller-supplied context: the index
+// search is recorded as a "search" stage on the context's trace, so a
+// routed batch's request log attributes time to the search itself.
+func (s *Service) RunBatchCtx(ctx context.Context, reqs []QueryRequest) *BatchResponse {
 	started := time.Now()
 	s.batches.Add(1)
 	s.queries.Add(uint64(len(reqs)))
+	done := obs.TraceFrom(ctx).StartStage("search")
+	defer done()
 	out := &BatchResponse{Results: make([]BatchResult, len(reqs))}
 	for i, q := range reqs {
 		resp, err := s.runQuery(q)
@@ -493,6 +635,7 @@ func (s *Service) RunBatch(reqs []QueryRequest) *BatchResponse {
 			// Per-query failures count toward /stats errors just like
 			// failures on /query, even though the batch itself is a 200.
 			s.errs.Add(1)
+			s.errCodes.Inc(queryErrCode(q, s.maxK))
 			out.Results[i] = BatchResult{Error: err.Error(), Code: queryErrCode(q, s.maxK)}
 			continue
 		}
@@ -522,7 +665,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, ErrCodeLimitExceeded, "batch of %d queries exceeds limit %d", len(req.Queries), s.maxBatch)
 		return
 	}
-	writeJSON(w, s.RunBatch(req.Queries))
+	writeJSON(w, s.RunBatchCtx(r.Context(), req.Queries))
 }
 
 // DecodeIngestEntries converts the wire form of an ingest batch into
@@ -572,6 +715,19 @@ func IngestStatusCode(err error) int {
 // through. The batch is all-or-nothing: any validation failure rejects
 // it before the WAL sees a byte.
 func (s *Service) RunIngest(entries []IngestEntry) (*IngestResponse, error) {
+	return s.RunIngestCtx(context.Background(), entries)
+}
+
+// ctxIngester is the optional context-taking extension of Ingester:
+// internal/ingest.Store implements it to record the WAL append as a
+// trace stage from inside the write lock.
+type ctxIngester interface {
+	IngestBatchCtx(ctx context.Context, ls []Linkage) (int, error)
+}
+
+// RunIngestCtx is RunIngest with a caller-supplied context: the durable
+// apply is recorded as a "wal_append" stage on the context's trace.
+func (s *Service) RunIngestCtx(ctx context.Context, entries []IngestEntry) (*IngestResponse, error) {
 	if s.ingester == nil {
 		return nil, ErrIngestDisabled
 	}
@@ -581,7 +737,14 @@ func (s *Service) RunIngest(entries []IngestEntry) (*IngestResponse, error) {
 		s.errs.Add(1)
 		return nil, err
 	}
-	accepted, err := s.ingester.IngestBatch(ls)
+	var accepted int
+	if ci, ok := s.ingester.(ctxIngester); ok {
+		accepted, err = ci.IngestBatchCtx(ctx, ls)
+	} else {
+		done := obs.TraceFrom(ctx).StartStage("wal_append")
+		accepted, err = s.ingester.IngestBatch(ls)
+		done()
+	}
 	if err != nil {
 		s.errs.Add(1)
 		return nil, err
@@ -616,9 +779,10 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, ErrCodeLimitExceeded, "ingest batch of %d entries exceeds limit %d", len(req.Entries), s.maxBatch)
 		return
 	}
-	resp, err := s.RunIngest(req.Entries)
+	resp, err := s.RunIngestCtx(r.Context(), req.Entries)
 	if err != nil {
 		status := IngestStatusCode(err)
+		s.errCodes.Inc(ErrCodeForStatus(status))
 		WriteError(w, status, ErrCodeForStatus(status), "%v", err)
 		return
 	}
@@ -647,6 +811,7 @@ func (s *Service) StatsSnapshot() StatsResponse {
 		IngestRequests: s.ingests.Load(),
 		Errors:         s.errs.Load(),
 		LatencyUS:      s.latency.Bins(),
+		LatencySumUS:   s.latency.SumUS(),
 	}
 	if s.ingester != nil {
 		st := s.ingester.IngestStats()

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"caltrain/internal/fingerprint"
+	"caltrain/internal/obs"
 )
 
 // appender matches index.Appender structurally, so the store stays
@@ -186,6 +188,14 @@ func ValidateBatch(dim int, ls []fingerprint.Linkage) error {
 // the database and index. All-or-nothing: a validation failure anywhere
 // rejects the batch before the WAL sees a byte.
 func (s *Store) IngestBatch(ls []fingerprint.Linkage) (int, error) {
+	return s.IngestBatchCtx(context.Background(), ls)
+}
+
+// IngestBatchCtx is IngestBatch with a caller-supplied context: the
+// durable log write (including its fsync, per policy) is recorded as a
+// "wal_append" stage on the context's trace, so request logs attribute
+// write latency to the disk rather than the index.
+func (s *Store) IngestBatchCtx(ctx context.Context, ls []fingerprint.Linkage) (int, error) {
 	if len(ls) == 0 {
 		return 0, nil
 	}
@@ -194,7 +204,10 @@ func (s *Store) IngestBatch(ls []fingerprint.Linkage) (int, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.wal.Append(uint64(s.db.Len()), ls); err != nil {
+	done := obs.TraceFrom(ctx).StartStage("wal_append")
+	err := s.wal.Append(uint64(s.db.Len()), ls)
+	done()
+	if err != nil {
 		return 0, err
 	}
 	for i, l := range ls {
@@ -316,6 +329,10 @@ func (s *Store) IngestStats() fingerprint.IngestStats {
 		ReplayEntries:    s.replayed,
 		LastSnapshotUnix: s.lastSnapshot.Load(),
 		Retrains:         s.retrains.Load(),
+		Segments:         s.wal.Segments(),
+	}
+	if ls := st.LastSnapshotUnix; ls > 0 {
+		st.LastSnapshotAgeSeconds = time.Since(time.Unix(ls, 0)).Seconds()
 	}
 	s.smu.Lock()
 	sr := s.searcher

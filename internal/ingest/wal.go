@@ -404,6 +404,17 @@ func (w *WAL) Bytes() int64 {
 	return w.total
 }
 
+// Segments counts the live segments on disk — the wal_segments stat.
+func (w *WAL) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, _, err := listSegments(w.dir)
+	if err != nil {
+		return 0
+	}
+	return len(segs)
+}
+
 // Truncate deletes every segment and starts a fresh one — the
 // compaction step after the backing database has been snapshotted, at
 // which point every logged record is covered by the snapshot. Callers

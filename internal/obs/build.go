@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: which Go toolchain built it
+// and which VCS revision it was built from. It backs both the
+// caltrain_build_info metric and the "build" field on /v1/meta, so an
+// operator can tell which binary answered a scrape or a query.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build info, read once from
+// debug.ReadBuildInfo. Revision is empty when the binary was built
+// outside a VCS checkout (go test, bare go build of a copied tree).
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// BuildInfoFamily is the conventional build-info gauge: constant 1 with
+// the build identity as labels.
+func BuildInfoFamily() *Family {
+	return &Family{
+		Name: "caltrain_build_info",
+		Help: "Build identity of the running binary (value is always 1).",
+		Kind: KindGauge,
+		Collect: func() []Sample {
+			b := Build()
+			labels := []Label{{Name: "go_version", Value: b.GoVersion}}
+			if b.Revision != "" {
+				rev := b.Revision
+				if b.Modified {
+					rev += "+dirty"
+				}
+				labels = append(labels, Label{Name: "vcs_revision", Value: rev})
+			}
+			return []Sample{{Labels: labels, Value: 1}}
+		},
+	}
+}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the handler a daemon serves on its private
+// -debug-addr sidecar listener: net/http/pprof under /debug/pprof/ and
+// expvar under /debug/vars. It is intentionally a separate mux that is
+// never mounted on a public route set — profiling endpoints can dump
+// heap contents and must stay off the serving address.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-format exposition: metric names
+// against the exposition-format grammar, HELP and TYPE present and
+// paired for every family that emits samples, counter values
+// non-negative and finite, and histogram bucket series cumulative —
+// counts monotone non-decreasing in ascending le order, ending in a
+// le="+Inf" bucket that agrees with the family's _count series. The CI
+// exposition-lint step scrapes every live handler through this, so a
+// registry change that breaks a real scraper fails the build instead
+// of a dashboard.
+func Lint(r io.Reader) error {
+	type family struct {
+		help, typ string
+		sawSample bool
+	}
+	families := make(map[string]*family)
+	// histogram buckets keyed by family + non-le labels, le → count
+	type histKey struct{ name, labels string }
+	buckets := make(map[histKey]map[float64]float64)
+	counts := make(map[histKey]float64)
+	seen := make(map[string]bool)
+	var order []string
+
+	fam := func(name string) *family {
+		f := families[name]
+		if f == nil {
+			f = &family{}
+			families[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return fmt.Errorf("obs: lint: line %d: %w", lineNo, err)
+			}
+			if kind == "" {
+				continue // free-form comment
+			}
+			f := fam(name)
+			switch kind {
+			case "HELP":
+				if f.help != "" {
+					return fmt.Errorf("obs: lint: line %d: duplicate HELP for %s", lineNo, name)
+				}
+				f.help = rest
+			case "TYPE":
+				if f.typ != "" {
+					return fmt.Errorf("obs: lint: line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if f.sawSample {
+					return fmt.Errorf("obs: lint: line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("obs: lint: line %d: unknown TYPE %q for %s", lineNo, rest, name)
+				}
+				f.typ = rest
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("obs: lint: line %d: %w", lineNo, err)
+		}
+		famName := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && families[base] != nil && families[base].typ == "histogram" {
+				famName, suffix = base, s
+				break
+			}
+		}
+		f := families[famName]
+		if f == nil {
+			return fmt.Errorf("obs: lint: line %d: sample %s has no preceding HELP/TYPE", lineNo, name)
+		}
+		f.sawSample = true
+		key := name + "{" + labelFingerprint(labels, "") + "}"
+		if seen[key] {
+			return fmt.Errorf("obs: lint: line %d: duplicate sample %s", lineNo, key)
+		}
+		seen[key] = true
+		if math.IsNaN(value) {
+			return fmt.Errorf("obs: lint: line %d: %s is NaN", lineNo, name)
+		}
+		if (f.typ == "counter" || suffix != "") && value < 0 {
+			return fmt.Errorf("obs: lint: line %d: %s is negative (%g)", lineNo, name, value)
+		}
+		if f.typ == "histogram" {
+			hk := histKey{famName, labelFingerprint(labels, "le")}
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("obs: lint: line %d: %s_bucket without le label", lineNo, famName)
+				}
+				bound, err := parseBound(le)
+				if err != nil {
+					return fmt.Errorf("obs: lint: line %d: %w", lineNo, err)
+				}
+				if buckets[hk] == nil {
+					buckets[hk] = make(map[float64]float64)
+				}
+				buckets[hk][bound] = value
+			case "_count":
+				counts[hk] = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: lint: %w", err)
+	}
+
+	for _, name := range order {
+		f := families[name]
+		if !f.sawSample {
+			continue
+		}
+		if f.help == "" {
+			return fmt.Errorf("obs: lint: family %s has samples but no HELP", name)
+		}
+		if f.typ == "" {
+			return fmt.Errorf("obs: lint: family %s has samples but no TYPE", name)
+		}
+	}
+	for hk, byBound := range buckets {
+		bounds := make([]float64, 0, len(byBound))
+		for b := range byBound {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		if len(bounds) == 0 || !math.IsInf(bounds[len(bounds)-1], 1) {
+			return fmt.Errorf("obs: lint: histogram %s{%s} has no le=\"+Inf\" bucket", hk.name, hk.labels)
+		}
+		prev := -1.0
+		for _, b := range bounds {
+			if c := byBound[b]; c < prev {
+				return fmt.Errorf("obs: lint: histogram %s{%s} bucket le=%g count %g below previous %g (not cumulative)",
+					hk.name, hk.labels, b, c, prev)
+			} else {
+				prev = c
+			}
+		}
+		if total, ok := counts[hk]; ok && total != byBound[bounds[len(bounds)-1]] {
+			return fmt.Errorf("obs: lint: histogram %s{%s} _count %g disagrees with le=\"+Inf\" bucket %g",
+				hk.name, hk.labels, total, byBound[bounds[len(bounds)-1]])
+		}
+	}
+	return nil
+}
+
+func parseBound(le string) (float64, error) {
+	if le == "+Inf" {
+		return math.Inf(1), nil
+	}
+	b, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", le)
+	}
+	return b, nil
+}
+
+// parseComment splits a "# HELP name text" / "# TYPE name kind" line.
+// Free-form comments return kind "".
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimPrefix(body, " ")
+	word, remainder, _ := strings.Cut(body, " ")
+	if word != "HELP" && word != "TYPE" {
+		return "", "", "", nil
+	}
+	name, rest, ok := strings.Cut(remainder, " ")
+	if !ok && word == "HELP" {
+		name = remainder // HELP with empty text is legal
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", "", "", fmt.Errorf("bad metric name %q in %s line", name, word)
+	}
+	return word, name, rest, nil
+}
+
+// parseSample splits a "name{label="v",…} value" line.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	labels = map[string]string{}
+	if brace >= 0 {
+		name = rest[:brace]
+		rest = rest[brace+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ,")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			lname := rest[:eq]
+			if !labelNameRe.MatchString(lname) {
+				return "", nil, 0, fmt.Errorf("bad label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+				}
+				switch rest[0] {
+				case '\\':
+					if len(rest) < 2 {
+						return "", nil, 0, fmt.Errorf("dangling escape in %q", line)
+					}
+					switch rest[1] {
+					case '\\', '"':
+						val.WriteByte(rest[1])
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c in %q", rest[1], line)
+					}
+					rest = rest[2:]
+					continue
+				case '"':
+					rest = rest[1:]
+				default:
+					val.WriteByte(rest[0])
+					rest = rest[1:]
+					continue
+				}
+				break
+			}
+			labels[lname] = val.String()
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("no value in %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", nil, 0, fmt.Errorf("want 'name value [timestamp]', got %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+// labelFingerprint canonicalizes a label set (minus one excluded name)
+// for identity comparison.
+func labelFingerprint(labels map[string]string, exclude string) string {
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		if k == exclude {
+			continue
+		}
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Options configures the per-request observability middleware a route
+// set installs around its handlers. The zero value is the always-on
+// baseline: request IDs are generated, propagated, and echoed on every
+// response, but nothing is logged and metrics stay enabled.
+type Options struct {
+	// Component names the serving tier in request logs ("serve",
+	// "router", "shard"), so merged log streams stay attributable.
+	Component string
+	// Logger receives request logs; nil falls back to slog.Default when
+	// RequestLog or SlowQueryThreshold require one.
+	Logger *slog.Logger
+	// RequestLog emits one structured log line per request with method,
+	// path, status, duration, request ID, and per-stage timings.
+	RequestLog bool
+	// SlowQueryThreshold, when positive, logs any request slower than
+	// the threshold at Warn level even when RequestLog is off.
+	SlowQueryThreshold time.Duration
+	// DisableMetrics removes the /v1/metrics route entirely.
+	DisableMetrics bool
+}
+
+func (o Options) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return slog.Default()
+}
+
+// responseWriter captures the response status and carries the request
+// ID so that envelope writers deeper in the stack (WriteError) can
+// stamp it without threading a parameter through every call site.
+type responseWriter struct {
+	http.ResponseWriter
+	status    int
+	requestID string
+}
+
+func (w *responseWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *responseWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// ObsRequestID exposes the request ID to ResponseRequestID's unwrap
+// walk.
+func (w *responseWriter) ObsRequestID() string { return w.requestID }
+
+// Unwrap lets http.ResponseController and ResponseRequestID reach the
+// underlying writer.
+func (w *responseWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// ResponseRequestID walks a ResponseWriter's Unwrap chain looking for
+// the middleware's request ID. "" when the middleware is not installed
+// — error envelopes then simply omit the field.
+func ResponseRequestID(w http.ResponseWriter) string {
+	for w != nil {
+		if ider, ok := w.(interface{ ObsRequestID() string }); ok {
+			return ider.ObsRequestID()
+		}
+		u, ok := w.(interface{ Unwrap() http.ResponseWriter })
+		if !ok {
+			return ""
+		}
+		w = u.Unwrap()
+	}
+	return ""
+}
+
+// Middleware wraps a handler with request-ID handling, trace context,
+// and (per Options) request/slow-query logging. The request ID is taken
+// from a valid inbound X-Request-Id header or freshly generated, echoed
+// on the response, and reachable downstream via RequestIDFrom(ctx) and
+// ResponseRequestID(w).
+func Middleware(opts Options, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if !ValidRequestID(id) {
+			id = NewRequestID()
+		}
+		trace := NewTrace(id)
+		w.Header().Set(RequestIDHeader, id)
+		rw := &responseWriter{ResponseWriter: w, requestID: id}
+		start := time.Now()
+		next.ServeHTTP(rw, r.WithContext(WithTrace(r.Context(), trace)))
+		elapsed := time.Since(start)
+
+		slow := opts.SlowQueryThreshold > 0 && elapsed >= opts.SlowQueryThreshold
+		if !opts.RequestLog && !slow {
+			return
+		}
+		status := rw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []slog.Attr{
+			slog.String("component", opts.Component),
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("remote", r.RemoteAddr),
+			slog.Int("status", status),
+			slog.Duration("duration", elapsed),
+		}
+		for _, st := range trace.Stages() {
+			attrs = append(attrs, slog.Duration("stage_"+st.Name, st.Duration))
+		}
+		logger := opts.logger()
+		if slow {
+			logger.LogAttrs(r.Context(), slog.LevelWarn, "slow request", attrs...)
+		} else {
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+		}
+	})
+}

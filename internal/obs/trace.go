@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// RequestIDHeader is the HTTP header carrying a request's ID through
+// the serving tree: client → router → HTTPReplica → shard daemon. Every
+// entry point generates one when the header is absent and echoes it on
+// the response, so any hop's logs can be joined on it.
+const RequestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen caps accepted inbound request IDs; longer values are
+// replaced with a fresh ID rather than flowing into logs unbounded.
+const maxRequestIDLen = 128
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; IDs only need to be
+		// unique enough to grep logs, so fall back to a fixed marker that
+		// at least flags the condition.
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether an inbound request ID is safe to
+// propagate: non-empty, bounded, and printable ASCII with no spaces, so
+// it cannot smuggle header or log-line structure.
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' {
+			return false
+		}
+	}
+	return true
+}
+
+// StageTiming is one named span inside a request: how long the request
+// spent routing, searching the index, appending to the WAL, or fanning
+// out to replicas.
+type StageTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Trace carries a request's ID and accumulated stage timings through
+// context. All methods are nil-safe, so instrumented code paths call
+// TraceFrom(ctx).StartStage(...) unconditionally and pay nothing when
+// no middleware installed a trace.
+type Trace struct {
+	id string
+
+	mu     sync.Mutex
+	stages []StageTiming
+	clock  func() time.Time
+}
+
+// NewTrace creates a trace with the given request ID.
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, clock: time.Now}
+}
+
+// ID returns the request ID, or "" on a nil trace.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartStage begins timing a named stage; call the returned func when
+// the stage ends. On a nil trace both calls are no-ops.
+func (t *Trace) StartStage(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := t.clock()
+	return func() { t.Add(name, t.clock().Sub(start)) }
+}
+
+// Add records a completed stage timing. No-op on a nil trace.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, StageTiming{Name: name, Duration: d})
+	t.mu.Unlock()
+}
+
+// Stages returns a copy of the recorded stage timings in completion
+// order. Nil on a nil trace.
+func (t *Trace) Stages() []StageTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageTiming, len(t.stages))
+	copy(out, t.stages)
+	return out
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to a context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil — safe to use directly
+// because every Trace method tolerates a nil receiver.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// RequestIDFrom returns the request ID carried by the context's trace,
+// or "" when the context carries none.
+func RequestIDFrom(ctx context.Context) string {
+	return TraceFrom(ctx).ID()
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strings"
 	"time"
@@ -43,6 +44,9 @@ type Config struct {
 	VolatileWrites bool `json:"volatile_writes,omitempty"`
 	// Limits bounds request sizes on every built query service.
 	Limits *LimitsConfig `json:"limits,omitempty"`
+	// Observability tunes metrics, request logging, and the debug
+	// listener; see ObsFileConfig.
+	Observability *ObsFileConfig `json:"observability,omitempty"`
 }
 
 // BackendConfig names and tunes the index backend in a Config. Kind is
@@ -87,6 +91,49 @@ type LimitsConfig struct {
 	// LatencyBuckets replaces the /stats histogram bounds, each a
 	// duration string ("100us", "1ms", …), ascending.
 	LatencyBuckets []Duration `json:"latency_buckets,omitempty"`
+}
+
+// ObsFileConfig is the file form of ObservabilityConfig: the
+// observability block of a deployment config.
+//
+//	"observability": {
+//	  "request_log": true,
+//	  "slow_query_threshold": "250ms",
+//	  "debug_addr": "localhost:6060"
+//	}
+type ObsFileConfig struct {
+	// Metrics serves GET /v1/metrics when true — the default; an
+	// explicit false removes the endpoint from the public handler.
+	Metrics *bool `json:"metrics,omitempty"`
+	// RequestLog emits one structured log line per request.
+	RequestLog bool `json:"request_log,omitempty"`
+	// SlowQueryThreshold warns about requests slower than this
+	// ("250ms"); omitted or 0 disables the slow-query log.
+	SlowQueryThreshold Duration `json:"slow_query_threshold,omitempty"`
+	// DebugAddr is the host:port of the pprof/expvar sidecar listener
+	// ("localhost:6060"); empty keeps it closed.
+	DebugAddr string `json:"debug_addr,omitempty"`
+}
+
+// config validates the block and translates it into the in-memory
+// ObservabilityConfig. Negative thresholds and unparseable listen
+// addresses are rejected rather than silently ignored — an operator
+// who wrote one believes it is in effect.
+func (o ObsFileConfig) config() (*ObservabilityConfig, error) {
+	if o.SlowQueryThreshold < 0 {
+		return nil, fmt.Errorf("serve: observability.slow_query_threshold must be non-negative (0 disables the slow-query log), got %s", time.Duration(o.SlowQueryThreshold))
+	}
+	if o.DebugAddr != "" {
+		if _, _, err := net.SplitHostPort(o.DebugAddr); err != nil {
+			return nil, fmt.Errorf("serve: observability.debug_addr must be host:port: %w", err)
+		}
+	}
+	return &ObservabilityConfig{
+		DisableMetrics:     o.Metrics != nil && !*o.Metrics,
+		RequestLog:         o.RequestLog,
+		SlowQueryThreshold: time.Duration(o.SlowQueryThreshold),
+		DebugAddr:          o.DebugAddr,
+	}, nil
 }
 
 // Duration is a time.Duration that marshals as a duration string
@@ -178,6 +225,13 @@ func (c Config) Deployment() (Deployment, error) {
 			return Deployment{}, err
 		}
 		dep.Limits = opts
+	}
+	if c.Observability != nil {
+		oc, err := c.Observability.config()
+		if err != nil {
+			return Deployment{}, err
+		}
+		dep.Observability = oc
 	}
 	if c.WAL != nil {
 		if c.VolatileWrites {

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/ingest"
+	"caltrain/internal/obs"
 	"caltrain/internal/shard"
 )
 
@@ -27,6 +29,44 @@ type WALConfig struct {
 	// Store.Swapper with the built service, so drift-triggered retrains
 	// hot-swap the right backend without any extra wiring.
 	Store ingest.Options
+}
+
+// ObservabilityConfig tunes the observability layer of a Deployment:
+// the /v1/metrics endpoint, per-request structured logging, the
+// slow-query log, and the debug (pprof/expvar) sidecar listener. The
+// zero value serves metrics and nothing else — logging is opt-in and
+// the debug listener stays closed.
+type ObservabilityConfig struct {
+	// DisableMetrics removes GET /v1/metrics (and the legacy /metrics
+	// alias) from the built handler.
+	DisableMetrics bool
+	// RequestLog emits one structured log line per request — method,
+	// path, status, duration, request ID, and per-stage timings.
+	RequestLog bool
+	// SlowQueryThreshold logs a warning for any request slower than
+	// this, even when RequestLog is off. 0 disables the slow-query log.
+	SlowQueryThreshold time.Duration
+	// DebugAddr is the host:port a daemon serves net/http/pprof and
+	// expvar on — always a sidecar listener, never the public handler.
+	// Empty keeps the debug listener closed. Deployment.Build does not
+	// open it; the daemons (and ListenDebug) do.
+	DebugAddr string
+	// Logger receives the request and slow-query logs; nil means
+	// slog.Default.
+	Logger *slog.Logger
+}
+
+// options translates the config into the per-handler observability
+// options, stamping the component name that request logs carry.
+func (o *ObservabilityConfig) options(component string) fingerprint.Observability {
+	opts := fingerprint.Observability{Component: component}
+	if o != nil {
+		opts.Logger = o.Logger
+		opts.RequestLog = o.RequestLog
+		opts.SlowQueryThreshold = o.SlowQueryThreshold
+		opts.DisableMetrics = o.DisableMetrics
+	}
+	return opts
 }
 
 // Deployment declares a complete serving topology over one linkage
@@ -70,6 +110,10 @@ type Deployment struct {
 	// RouterOptions tunes the sharded router (timeouts, write quorum,
 	// latency buckets). Sharded only.
 	RouterOptions []shard.RouterOption
+	// Observability tunes metrics, request logging, and the debug
+	// listener on whichever handler the deployment builds; nil keeps
+	// the defaults (metrics on, logging off, no debug listener).
+	Observability *ObservabilityConfig
 }
 
 // Server is a built Deployment: the handle through which a process
@@ -143,7 +187,9 @@ func (d Deployment) buildSingle(db *fingerprint.DB, spec BackendSpec) (*Server, 
 	if err != nil {
 		return nil, err
 	}
-	svc := fingerprint.NewSearcherService(searcher, d.Limits...)
+	sopts := append(append([]fingerprint.ServiceOption{}, d.Limits...),
+		fingerprint.WithObservability(d.Observability.options("serve")))
+	svc := fingerprint.NewSearcherService(searcher, sopts...)
 	srv := &Server{svc: svc, handler: svc.Handler()}
 	switch {
 	case d.WAL != nil:
@@ -216,11 +262,12 @@ func (d Deployment) buildSharded(db *fingerprint.DB, spec BackendSpec) (*Server,
 			replicas[i] = append(replicas[i], shard.NewLocalReplica(name, svc))
 		}
 	}
-	ropts := d.RouterOptions
+	ropts := append(append([]shard.RouterOption{}, d.RouterOptions...),
+		shard.WithObservability(d.Observability.options("router")))
 	if d.WAL == nil && !d.VolatileWrites {
 		// Every shard service was built read-only; say so on /v1/meta
 		// instead of advertising a write path that would only answer 501.
-		ropts = append(append([]shard.RouterOption{}, ropts...), shard.WithIngestCapability(false))
+		ropts = append(ropts, shard.WithIngestCapability(false))
 	}
 	rt, err := shard.NewRouter(m, replicas, ropts...)
 	if err != nil {
@@ -255,6 +302,23 @@ func (d Deployment) openStore(dir string, db *fingerprint.DB, searcher fingerpri
 		opts.Swapper = svc
 	}
 	return ingest.Open(dir, db, searcher, opts)
+}
+
+// ListenDebug opens the opt-in profiling sidecar: net/http/pprof and
+// expvar served on their own listener at addr, never mounted on the
+// public handler. It returns the bound listener; close it to stop
+// serving. An empty addr is an error — callers gate on the knob first.
+func ListenDebug(addr string) (net.Listener, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("serve: debug listener needs an address")
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: obs.DebugHandler()}
+	go func() { _ = srv.Serve(l) }()
+	return l, nil
 }
 
 // NewRouter wraps an externally wired scatter-gather router — remote

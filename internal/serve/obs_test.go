@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/obs"
+)
+
+// TestConfigObservabilityBlock: the observability block of a deployment
+// config translates field for field.
+func TestConfigObservabilityBlock(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(`{
+		"observability": {
+			"metrics": false,
+			"request_log": true,
+			"slow_query_threshold": "250ms",
+			"debug_addr": "localhost:6060"
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := cfg.Deployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := dep.Observability
+	if o == nil {
+		t.Fatal("observability block not translated")
+	}
+	if !o.DisableMetrics || !o.RequestLog || o.SlowQueryThreshold != 250*time.Millisecond || o.DebugAddr != "localhost:6060" {
+		t.Fatalf("observability config: %+v", o)
+	}
+
+	// Omitted block and omitted metrics key both keep metrics on.
+	for _, doc := range []string{`{}`, `{"observability": {}}`} {
+		cfg, err := ParseConfig(strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep, err := cfg.Deployment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dep.Observability != nil && dep.Observability.DisableMetrics {
+			t.Fatalf("%s: metrics disabled by default", doc)
+		}
+	}
+}
+
+// TestConfigObservabilityRejects: invalid observability knobs fail at
+// translate time instead of being silently ignored.
+func TestConfigObservabilityRejects(t *testing.T) {
+	if _, err := ParseConfig(strings.NewReader(`{"observability": {"slow_queries": "1s"}}`)); err == nil {
+		t.Error("unknown observability field accepted")
+	}
+	translate := []struct {
+		name string
+		doc  string
+	}{
+		{"negative slow_query_threshold", `{"observability": {"slow_query_threshold": "-1s"}}`},
+		{"debug_addr without port", `{"observability": {"debug_addr": "localhost"}}`},
+	}
+	for _, c := range translate {
+		cfg, err := ParseConfig(strings.NewReader(c.doc))
+		if err != nil {
+			t.Errorf("%s: failed at parse (%v), want translate failure", c.name, err)
+			continue
+		}
+		if _, err := cfg.Deployment(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestConfigShardedDeploymentServesMetrics: the acceptance shape — a
+// config-declared sharded topology answers GET /v1/metrics with
+// lint-clean Prometheus text whose query-latency bucket counts match
+// the aggregated /stats.
+func TestConfigShardedDeploymentServesMetrics(t *testing.T) {
+	db := testDB(t, 8, 150, 6)
+	cfg, err := ParseConfig(strings.NewReader(
+		`{"backend": {"kind": "flat"}, "shards": 3, "observability": {"request_log": false}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := cfg.Deployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dep.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := fingerprint.NewClient(hs.URL, hs.Client())
+	for label := 0; label < 6; label++ {
+		if _, err := client.QueryBatch([]fingerprint.QueryRequest{
+			{Fingerprint: make([]float32, 8), Label: label, K: 2},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	exposition, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Lint(strings.NewReader(exposition)); err != nil {
+		t.Fatalf("deployment exposition fails lint: %v\n%s", err, exposition)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cum uint64
+	for _, bin := range st.LatencyUS {
+		cum += bin.Count
+		bound := `+Inf`
+		if bin.LeUS >= 0 {
+			bound = strconv.FormatFloat(float64(bin.LeUS)/1e6, 'g', -1, 64)
+		}
+		series := `caltrain_query_latency_seconds_bucket{le="` + bound + `"} ` + strconv.FormatUint(cum, 10)
+		if !strings.Contains(exposition, series+"\n") {
+			t.Fatalf("exposition lacks %q:\n%s", series, exposition)
+		}
+	}
+	if !strings.Contains(exposition, "caltrain_router_shards 3\n") {
+		t.Fatalf("exposition lacks caltrain_router_shards 3:\n%s", exposition)
+	}
+}
+
+// TestConfigMetricsFalseRemovesEndpoint: "metrics": false removes
+// GET /v1/metrics from the built handler.
+func TestConfigMetricsFalseRemovesEndpoint(t *testing.T) {
+	db := testDB(t, 8, 40, 2)
+	cfg, err := ParseConfig(strings.NewReader(`{"observability": {"metrics": false}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := cfg.Deployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dep.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /v1/metrics with metrics:false: status %d", rec.Code)
+	}
+}
+
+// TestListenDebug: the sidecar serves pprof and expvar on its own
+// listener and refuses an empty address.
+func TestListenDebug(t *testing.T) {
+	if _, err := ListenDebug(""); err == nil {
+		t.Fatal("empty debug address accepted")
+	}
+	l, err := ListenDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	base := "http://" + l.Addr().String()
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/vars" {
+			var v map[string]any
+			if err := json.Unmarshal(body, &v); err != nil {
+				t.Fatalf("expvar body not JSON: %v", err)
+			}
+		}
+	}
+}

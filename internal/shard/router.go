@@ -10,12 +10,14 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"caltrain/internal/fingerprint"
+	"caltrain/internal/obs"
 )
 
 // Replica is one serving endpoint of a shard: a process (or in-process
@@ -143,6 +145,11 @@ func (e *StatusError) Error() string { return fmt.Sprintf("status %d: %s", e.Cod
 func (e *StatusError) definitive() bool { return e.Code >= 400 && e.Code < 500 }
 
 func (r *HTTPReplica) do(req *http.Request, out any) error {
+	// Thread the router's request ID through to the shard daemon, so one
+	// grep joins the router's and the owning shard's request logs.
+	if id := obs.RequestIDFrom(req.Context()); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return err
@@ -184,17 +191,19 @@ func NewLocalReplica(name string, svc *fingerprint.Service) *LocalReplica {
 // Addr returns the replica's configured name.
 func (r *LocalReplica) Addr() string { return r.name }
 
-// QueryBatch executes the sub-batch directly against the service.
-func (r *LocalReplica) QueryBatch(_ context.Context, reqs []fingerprint.QueryRequest) (*fingerprint.BatchResponse, error) {
-	return r.svc.RunBatch(reqs), nil
+// QueryBatch executes the sub-batch directly against the service. The
+// context's trace (request ID, stage timings) carries through, so an
+// in-process deployment traces like a networked one.
+func (r *LocalReplica) QueryBatch(ctx context.Context, reqs []fingerprint.QueryRequest) (*fingerprint.BatchResponse, error) {
+	return r.svc.RunBatchCtx(ctx, reqs), nil
 }
 
 // Ingest applies the batch directly through the service's write path.
 // Errors carry the HTTP status the service would have written, so the
 // router's quorum accounting treats local and HTTP replicas alike (a
 // validation rejection is definitive, a store fault is not).
-func (r *LocalReplica) Ingest(_ context.Context, entries []fingerprint.IngestEntry) (*fingerprint.IngestResponse, error) {
-	resp, err := r.svc.RunIngest(entries)
+func (r *LocalReplica) Ingest(ctx context.Context, entries []fingerprint.IngestEntry) (*fingerprint.IngestResponse, error) {
+	resp, err := r.svc.RunIngestCtx(ctx, entries)
 	if err != nil {
 		return nil, &StatusError{Code: fingerprint.IngestStatusCode(err), Msg: err.Error()}
 	}
@@ -278,6 +287,7 @@ type Router struct {
 	writeQuorum int
 	metaIngest  bool
 	now         func() time.Time
+	obsOpts     fingerprint.Observability
 
 	start   time.Time
 	queries atomic.Uint64
@@ -286,7 +296,30 @@ type Router struct {
 	errs    atomic.Uint64
 	latency *fingerprint.Histogram
 
+	errCodes *obs.CounterVec
+	metrics  *obs.Registry
+	// scrapeMu guards scrape, the shard-stat snapshot refreshed on every
+	// /v1/metrics request so the per-shard gauges and the rolled-up
+	// histogram read from one consistent fetch.
+	scrapeMu sync.Mutex
+	scrape   shardScrape
+
 	bucketsUS []int64
+}
+
+// shardScrape is the router's cached view of its shards' /stats,
+// refreshed at metrics-scrape time.
+type shardScrape struct {
+	// entries[sid] is shard sid's entry count, -1 while unreachable.
+	entries []int64
+	// merged is the MergeBins roll-up of the shards' latency histograms;
+	// sumUS the summed latency sums. hasSum is false when no shard
+	// reported a sum (pre-upgrade daemons, or no queries yet) so the
+	// rolled-up histogram omits a _sum that would corrupt averages.
+	merged      []fingerprint.HistogramBin
+	sumUS       int64
+	hasSum      bool
+	unreachable int
 }
 
 // RouterOption configures a Router.
@@ -337,6 +370,13 @@ func WithWriteQuorum(n int) RouterOption {
 	return func(r *Router) { r.writeQuorum = n }
 }
 
+// WithObservability configures the router's request logging, slow-query
+// threshold, and metrics toggle — the same knobs
+// fingerprint.WithObservability gives a single daemon.
+func WithObservability(o fingerprint.Observability) RouterOption {
+	return func(r *Router) { r.obsOpts = o }
+}
+
 // NewRouter creates a router over m.NumShards() shards; replicas[i]
 // lists shard i's endpoints in preference order, each non-empty.
 func NewRouter(m *Map, replicas [][]Replica, opts ...RouterOption) (*Router, error) {
@@ -369,7 +409,126 @@ func NewRouter(m *Map, replicas [][]Replica, opts ...RouterOption) (*Router, err
 		}
 		r.shards[i] = states
 	}
+	r.scrape.entries = make([]int64, len(r.shards))
+	for i := range r.scrape.entries {
+		r.scrape.entries[i] = -1
+	}
+	r.errCodes = obs.NewCounterVec("caltrain_request_errors_total",
+		"Error envelopes written, labeled by stable wire-protocol code.", "code")
+	r.metrics = r.buildMetrics()
 	return r, nil
+}
+
+// buildMetrics assembles the router's Prometheus registry: its own
+// serving counters and latency histogram (same family names a single
+// daemon exports, so dashboards work against either tier), plus the
+// router-only shard topology gauges and the shard-latency roll-up read
+// from the scrape cache handleMetrics refreshes.
+func (r *Router) buildMetrics() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.MustRegister(
+		obs.BuildInfoFamily(),
+		obs.CounterFunc("caltrain_queries_total",
+			"Queries routed, batched queries counted individually.",
+			func() float64 { return float64(r.queries.Load()) }),
+		obs.CounterFunc("caltrain_batch_requests_total",
+			"Batch query requests served.",
+			func() float64 { return float64(r.batches.Load()) }),
+		obs.CounterFunc("caltrain_ingest_requests_total",
+			"Ingest requests fanned out.",
+			func() float64 { return float64(r.ingests.Load()) }),
+		r.errCodes.Family(),
+		obs.GaugeFunc("caltrain_uptime_seconds",
+			"Seconds since the router started.",
+			func() float64 { return time.Since(r.start).Seconds() }),
+		obs.HistogramFunc("caltrain_query_latency_seconds",
+			"Router-level request latency (scatter-gather included), cumulative in seconds.",
+			func() obs.HistogramSnapshot {
+				return fingerprint.PromHistogram(r.latency.Bins(), r.latency.SumUS(), true)
+			}),
+		obs.GaugeFunc("caltrain_router_shards",
+			"Shards this router fans out across.",
+			func() float64 { return float64(len(r.shards)) }),
+		obs.GaugeFunc("caltrain_router_degraded_replicas",
+			"Replicas currently in failure cooldown.",
+			func() float64 {
+				now := r.now()
+				var n int
+				for _, states := range r.shards {
+					for _, s := range states {
+						if !s.healthy(now) {
+							n++
+						}
+					}
+				}
+				return float64(n)
+			}),
+		obs.GaugeFunc("caltrain_router_unreachable_shards",
+			"Shards with no replica answering /stats at the last scrape.",
+			func() float64 {
+				r.scrapeMu.Lock()
+				defer r.scrapeMu.Unlock()
+				return float64(r.scrape.unreachable)
+			}),
+		obs.SamplesFunc("caltrain_shard_entries",
+			"Entries served per shard, as of the last scrape; unreachable shards are absent.",
+			obs.KindGauge, func() []obs.Sample {
+				r.scrapeMu.Lock()
+				entries := make([]int64, len(r.scrape.entries))
+				copy(entries, r.scrape.entries)
+				r.scrapeMu.Unlock()
+				var out []obs.Sample
+				for sid, n := range entries {
+					if n < 0 {
+						continue
+					}
+					out = append(out, obs.Sample{
+						Labels: []obs.Label{{Name: "shard", Value: strconv.Itoa(sid)}},
+						Value:  float64(n),
+					})
+				}
+				return out
+			}),
+		obs.HistogramFunc("caltrain_shard_query_latency_seconds",
+			"Shard-reported query latency rolled up across shards (MergeBins), as of the last scrape.",
+			func() obs.HistogramSnapshot {
+				r.scrapeMu.Lock()
+				sc := r.scrape
+				r.scrapeMu.Unlock()
+				return fingerprint.PromHistogram(sc.merged, sc.sumUS, sc.hasSum)
+			}),
+	)
+	return reg
+}
+
+// handleMetrics refreshes the shard-stat scrape cache, then serves the
+// registry — so the per-shard gauges a scrape reports are at most one
+// shard-stats round trip old.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	results := r.fetchShardStats(req.Context())
+	sc := shardScrape{entries: make([]int64, len(results))}
+	var bins [][]fingerprint.HistogramBin
+	for sid, res := range results {
+		if res.err != nil {
+			sc.entries[sid] = -1
+			sc.unreachable++
+			continue
+		}
+		sc.entries[sid] = int64(res.st.Entries)
+		bins = append(bins, res.st.LatencyUS)
+		sc.sumUS += res.st.LatencySumUS
+	}
+	if len(bins) > 0 {
+		sc.merged = fingerprint.MergeBins(bins...)
+	}
+	// A zero summed sum is indistinguishable from pre-upgrade shards
+	// that report none; omit _sum in both cases (harmless when there
+	// were no observations, correct when there were).
+	sc.hasSum = sc.sumUS > 0
+	r.scrapeMu.Lock()
+	r.scrape = sc
+	r.scrapeMu.Unlock()
+	r.metrics.ServeHTTP(w, req)
 }
 
 // NumShards returns how many shards the router fans out across.
@@ -441,11 +600,14 @@ func (r *Router) callShard(parent context.Context, sid int, sub []fingerprint.Qu
 // answered with a rejection yields per-result errors only — it was
 // reached.
 func (r *Router) scatter(ctx context.Context, reqs []fingerprint.QueryRequest) ([]fingerprint.BatchResult, []string) {
+	routeDone := obs.TraceFrom(ctx).StartStage("route")
 	byShard := make(map[int][]int)
 	for i, q := range reqs {
 		sid := r.m.Shard(q.Label)
 		byShard[sid] = append(byShard[sid], i)
 	}
+	routeDone()
+	defer obs.TraceFrom(ctx).StartStage("fanout")()
 	results := make([]fingerprint.BatchResult, len(reqs))
 	var mu sync.Mutex
 	var unreachable []string
@@ -495,14 +657,19 @@ func (r *Router) scatter(ctx context.Context, reqs []fingerprint.QueryRequest) (
 // aliases, from the shared fingerprint.RouteSet), answered by
 // scatter-gather.
 func (r *Router) Handler() http.Handler {
-	return fingerprint.RouteSet{
-		Query:      r.handleQuery,
-		QueryBatch: r.handleBatch,
-		Ingest:     r.handleIngest,
-		Healthz:    r.handleHealthz,
-		Stats:      r.handleStats,
-		Meta:       r.Meta,
-	}.Handler()
+	rs := fingerprint.RouteSet{
+		Query:         r.handleQuery,
+		QueryBatch:    r.handleBatch,
+		Ingest:        r.handleIngest,
+		Healthz:       r.handleHealthz,
+		Stats:         r.handleStats,
+		Meta:          r.Meta,
+		Observability: r.obsOpts,
+	}
+	if !r.obsOpts.DisableMetrics {
+		rs.Metrics = r.handleMetrics
+	}
+	return rs.Handler()
 }
 
 // Meta reports the router's /v1/meta identity. Ingest is advertised
@@ -519,6 +686,7 @@ func (r *Router) Meta() fingerprint.MetaResponse {
 			Ingest:  r.metaIngest,
 			Sharded: true,
 		},
+		Build: obs.Build(),
 	}
 }
 
@@ -530,6 +698,7 @@ func (r *Router) Serve(ctx context.Context, l net.Listener, grace time.Duration)
 
 func (r *Router) fail(w http.ResponseWriter, status int, code, format string, args ...any) {
 	r.errs.Add(1)
+	r.errCodes.Inc(code)
 	fingerprint.WriteError(w, status, code, format, args...)
 }
 
@@ -560,6 +729,7 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		// shard being down is a gateway failure. scatter already counted
 		// the error, so write the envelope directly (r.fail would double
 		// count).
+		r.errCodes.Inc(fingerprint.ErrCodeShardUnreachable)
 		fingerprint.WriteError(w, http.StatusBadGateway, fingerprint.ErrCodeShardUnreachable, "%s", results[0].Error)
 		return
 	}
@@ -572,6 +742,7 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		if code == "" {
 			code = fingerprint.ErrCodeBadRequest
 		}
+		r.errCodes.Inc(code)
 		fingerprint.WriteError(w, fingerprint.StatusForErrCode(code), code, "%s", results[0].Error)
 		return
 	}
@@ -738,6 +909,7 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	results := make(map[int]shardIngestResult, len(byShard))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	replicateDone := obs.TraceFrom(req.Context()).StartStage("replicate")
 	for sid, entries := range byShard {
 		wg.Add(1)
 		go func(sid int, entries []fingerprint.IngestEntry) {
@@ -749,6 +921,7 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 		}(sid, entries)
 	}
 	wg.Wait()
+	replicateDone()
 
 	out := fingerprint.IngestResponse{}
 	for sid, res := range results {
@@ -858,6 +1031,42 @@ type StatsResponse struct {
 	UnreachableShards []string                   `json:"unreachable_shards,omitempty"`
 }
 
+// shardStatsResult is one shard's answer to a stats fan-out: its stats
+// as reported by the first replica that answered, or the last error.
+type shardStatsResult struct {
+	st  ShardStats
+	err error
+}
+
+// fetchShardStats asks every shard for /stats concurrently (first
+// answering replica wins), bounded per shard by the shard timeout —
+// the fan-out shared by the aggregated /stats and the /v1/metrics
+// scrape refresh.
+func (r *Router) fetchShardStats(ctx context.Context) []shardStatsResult {
+	results := make([]shardStatsResult, len(r.shards))
+	var wg sync.WaitGroup
+	for sid := range r.shards {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(ctx, r.timeout)
+			defer cancel()
+			var lastErr error
+			for _, s := range r.shards[sid] {
+				st, err := s.r.Stats(ctx)
+				if err == nil {
+					results[sid] = shardStatsResult{st: ShardStats{ID: sid, Replica: s.r.Addr(), StatsResponse: *st}}
+					return
+				}
+				lastErr = err
+			}
+			results[sid] = shardStatsResult{err: lastErr}
+		}(sid)
+	}
+	wg.Wait()
+	return results
+}
+
 func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	out := StatsResponse{
 		StatsResponse: fingerprint.StatsResponse{
@@ -868,34 +1077,13 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 			IngestRequests: r.ingests.Load(),
 			Errors:         r.errs.Load(),
 			LatencyUS:      r.latency.Bins(),
+			LatencySumUS:   r.latency.SumUS(),
 		},
 	}
-	type shardResult struct {
-		st  ShardStats
-		err error
-	}
-	results := make([]shardResult, len(r.shards))
-	var wg sync.WaitGroup
-	for sid := range r.shards {
-		wg.Add(1)
-		go func(sid int) {
-			defer wg.Done()
-			ctx, cancel := context.WithTimeout(req.Context(), r.timeout)
-			defer cancel()
-			var lastErr error
-			for _, s := range r.shards[sid] {
-				st, err := s.r.Stats(ctx)
-				if err == nil {
-					results[sid] = shardResult{st: ShardStats{ID: sid, Replica: s.r.Addr(), StatsResponse: *st}}
-					return
-				}
-				lastErr = err
-			}
-			results[sid] = shardResult{err: lastErr}
-		}(sid)
-	}
-	wg.Wait()
+	results := r.fetchShardStats(req.Context())
 	var shardBins [][]fingerprint.HistogramBin
+	var ingestAgg fingerprint.IngestStats
+	var haveIngest bool
 	for sid, res := range results {
 		if res.err != nil {
 			out.UnreachableShards = append(out.UnreachableShards, fmt.Sprintf("shard %d", sid))
@@ -907,6 +1095,27 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 		}
 		out.Shards = append(out.Shards, res.st)
 		shardBins = append(shardBins, res.st.LatencyUS)
+		if ing := res.st.Ingest; ing != nil {
+			// Aggregate the write path across shards: sums for the
+			// counters, the worst case for drift and snapshot age (the
+			// shard most overdue is the one a dashboard should page on),
+			// and the oldest snapshot time.
+			haveIngest = true
+			ingestAgg.Accepted += ing.Accepted
+			ingestAgg.WALBytes += ing.WALBytes
+			ingestAgg.ReplayEntries += ing.ReplayEntries
+			ingestAgg.Retrains += ing.Retrains
+			ingestAgg.Segments += ing.Segments
+			ingestAgg.Drift = max(ingestAgg.Drift, ing.Drift)
+			ingestAgg.LastSnapshotAgeSeconds = max(ingestAgg.LastSnapshotAgeSeconds, ing.LastSnapshotAgeSeconds)
+			if ing.LastSnapshotUnix > 0 &&
+				(ingestAgg.LastSnapshotUnix == 0 || ing.LastSnapshotUnix < ingestAgg.LastSnapshotUnix) {
+				ingestAgg.LastSnapshotUnix = ing.LastSnapshotUnix
+			}
+		}
+	}
+	if haveIngest {
+		out.Ingest = &ingestAgg
 	}
 	if len(shardBins) > 0 {
 		out.ShardLatencyUS = fingerprint.MergeBins(shardBins...)

@@ -14,7 +14,9 @@
 package caltrain
 
 import (
+	"context"
 	"io"
+	"net"
 	"net/http"
 
 	"caltrain/internal/assess"
@@ -25,6 +27,7 @@ import (
 	"caltrain/internal/index"
 	"caltrain/internal/ingest"
 	"caltrain/internal/nn"
+	"caltrain/internal/obs"
 	"caltrain/internal/serve"
 	"caltrain/internal/sgx"
 	"caltrain/internal/shard"
@@ -139,6 +142,70 @@ type (
 	// string ("50ms") in deployment config files.
 	ConfigDuration = serve.Duration
 )
+
+// Observability types (internal/obs through the serving layers):
+// Prometheus metrics on GET /v1/metrics, X-Request-Id tracing with
+// per-stage timings, and the pprof/expvar debug sidecar.
+type (
+	// ObservabilityConfig tunes a Deployment's observability — the
+	// metrics endpoint, request and slow-query logging, and the debug
+	// listener address.
+	ObservabilityConfig = serve.ObservabilityConfig
+	// DeploymentObsConfig is the file form of ObservabilityConfig: the
+	// "observability" block of a DeploymentConfig.
+	DeploymentObsConfig = serve.ObsFileConfig
+	// ObservabilityOptions is the per-handler form the service and
+	// router options WithObservability / WithRouterObservability take.
+	ObservabilityOptions = fingerprint.Observability
+	// BuildInfo identifies the serving binary — Go version, VCS
+	// revision — on GET /v1/meta and the caltrain_build_info metric.
+	BuildInfo = obs.BuildInfo
+	// RequestTrace carries a request's ID and accumulated per-stage
+	// timings through a context; see TraceFromContext.
+	RequestTrace = obs.Trace
+	// MetricsRegistry is a hand-rolled, dependency-free Prometheus
+	// text-format registry — what backs every /v1/metrics endpoint.
+	MetricsRegistry = obs.Registry
+)
+
+// Observability options, forwarded from the serving layers.
+var (
+	// WithObservability tunes a query service's observability (request
+	// logging, slow-query threshold, metrics on/off).
+	WithObservability = fingerprint.WithObservability
+	// WithRouterObservability is the router form of WithObservability.
+	WithRouterObservability = shard.WithObservability
+)
+
+// NewDebugHandler returns the pprof + expvar handler the daemons serve
+// on -debug-addr. Mount it on a private sidecar listener only — never
+// on the public serving address.
+func NewDebugHandler() http.Handler { return obs.DebugHandler() }
+
+// ListenDebug opens the debug sidecar: NewDebugHandler served on its
+// own listener at addr. Close the returned listener to stop it.
+func ListenDebug(addr string) (net.Listener, error) { return serve.ListenDebug(addr) }
+
+// NewRequestID returns a fresh request ID in the form the X-Request-Id
+// middleware generates.
+func NewRequestID() string { return obs.NewRequestID() }
+
+// ContextWithRequestID returns a context carrying a request trace with
+// the given ID. A QueryClient call made with this context forwards the
+// ID as X-Request-Id, so one ID ties the client call to every daemon's
+// logs along the serving tree.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithTrace(ctx, obs.NewTrace(id))
+}
+
+// TraceFromContext returns the context's request trace, or nil (every
+// RequestTrace method is nil-safe).
+func TraceFromContext(ctx context.Context) *RequestTrace { return obs.TraceFrom(ctx) }
+
+// LintMetrics validates a Prometheus text-format exposition (as served
+// by GET /v1/metrics): name syntax, HELP/TYPE pairing, duplicate and
+// negative samples, histogram bucket monotonicity.
+func LintMetrics(r io.Reader) error { return obs.Lint(r) }
 
 // ParseDeploymentConfig decodes a JSON deployment config (rejecting
 // unknown fields); call Deployment() on the result to translate it into
