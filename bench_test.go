@@ -24,6 +24,7 @@ import (
 	"caltrain/internal/hub"
 	"caltrain/internal/index"
 	"caltrain/internal/ingest"
+	"caltrain/internal/kernel"
 	"caltrain/internal/nn"
 	"caltrain/internal/partition"
 	"caltrain/internal/seal"
@@ -403,18 +404,27 @@ func BenchmarkQueryScaling(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			for _, bk := range []struct {
-				name string
-				s    fingerprint.Searcher
-			}{{"linear", db}, {"flat", flat}, {"ivf", ivf}} {
-				b.Run(bk.name, func(b *testing.B) {
-					b.ResetTimer()
-					for b.Loop() {
-						if _, err := bk.s.Search(q, 0, 9); err != nil {
-							b.Fatal(err)
+			// The kernel sub-dimension isolates the SIMD win: same index,
+			// same queries, only the distance implementation swapped.
+			for _, im := range kernel.Impls() {
+				restore, err := kernel.SetActive(im.Name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, bk := range []struct {
+					name string
+					s    fingerprint.Searcher
+				}{{"linear", db}, {"flat", flat}, {"ivf", ivf}} {
+					b.Run(bk.name+"/"+im.Name, func(b *testing.B) {
+						b.ResetTimer()
+						for b.Loop() {
+							if _, err := bk.s.Search(q, 0, 9); err != nil {
+								b.Fatal(err)
+							}
 						}
-					}
-				})
+					})
+				}
+				restore()
 			}
 		})
 	}

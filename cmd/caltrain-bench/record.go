@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/index"
+	"caltrain/internal/kernel"
+)
+
+// benchRecord is the persisted trajectory entry (BENCH_*.json): enough
+// context to compare runs across commits and machines, plus per-
+// backend × per-kernel serving latency.
+type benchRecord struct {
+	Bench  string      `json:"bench"`
+	Config benchConfig `json:"config"`
+	Host   benchHost   `json:"host"`
+	// Results has one row per backend × kernel implementation; rows for
+	// the same backend differ only in the distance kernel, so their
+	// ratio is the pure SIMD speedup.
+	Results []benchResult `json:"results"`
+}
+
+type benchConfig struct {
+	Entries int     `json:"entries"`
+	Queries int     `json:"queries"`
+	Dim     int     `json:"dim"`
+	Modes   int     `json:"modes"`
+	Sigma   float64 `json:"sigma"`
+	K       int     `json:"k"`
+	Seed    uint64  `json:"seed"`
+}
+
+type benchHost struct {
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Kernels    []string `json:"kernels"`
+}
+
+type benchResult struct {
+	Backend string  `json:"backend"`
+	Kernel  string  `json:"kernel"`
+	P50us   float64 `json:"p50_us"`
+	P99us   float64 `json:"p99_us"`
+	MeanUs  float64 `json:"mean_us"`
+	// EntriesPerSecPerCore is class entries covered per wall-second,
+	// normalized by GOMAXPROCS. For the exact backends this is true
+	// scan throughput; for IVF it is effective throughput (the index
+	// answers as fast as an exhaustive scan at this rate would).
+	EntriesPerSecPerCore float64 `json:"entries_per_sec_per_core"`
+	// SpeedupVsGeneric is mean latency under the generic kernel divided
+	// by mean latency under this one; 0 for the generic rows.
+	SpeedupVsGeneric float64 `json:"speedup_vs_generic,omitempty"`
+}
+
+// runRecord measures accountability-query serving latency — flat and
+// IVF backends under every registered distance kernel, on the clustered
+// single-label workload BenchmarkQueryScaling uses — and persists the
+// result as JSON. This is the bench-trajectory producer: one committed
+// BENCH_*.json per milestone.
+func runRecord(path string, entries, queries, dim int, seed uint64) error {
+	if seed == 0 {
+		seed = 15
+	}
+	const k, modes, sigma = 9, 256, 0.15
+	fmt.Printf("record: building %d entries (dim %d) + %d queries\n", entries, dim, queries)
+	rng := rand.New(rand.NewPCG(seed, uint64(entries)))
+	fps := index.SynthFingerprints(rng, entries+queries, dim, modes, sigma)
+	db, err := fingerprint.NewDB(dim)
+	if err != nil {
+		return err
+	}
+	for _, f := range fps[:entries] {
+		if err := db.Add(fingerprint.Linkage{F: f, Y: 0, S: "s"}); err != nil {
+			return err
+		}
+	}
+	qs := fps[entries:]
+	flat := index.NewFlat(db)
+	ivf, err := index.TrainIVF(db, index.IVFOptions{Seed: 16})
+	if err != nil {
+		return err
+	}
+
+	rec := benchRecord{
+		Bench:  "query-serving",
+		Config: benchConfig{Entries: entries, Queries: queries, Dim: dim, Modes: modes, Sigma: sigma, K: k, Seed: seed},
+		Host:   benchHost{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, GOMAXPROCS: runtime.GOMAXPROCS(0)},
+	}
+	genericMean := map[string]float64{}
+	for _, im := range kernel.Impls() {
+		rec.Host.Kernels = append(rec.Host.Kernels, im.Name)
+		restore, err := kernel.SetActive(im.Name)
+		if err != nil {
+			return err
+		}
+		for _, bk := range []struct {
+			name string
+			s    fingerprint.Searcher
+		}{{"flat", flat}, {"ivf", ivf}} {
+			r, err := measureBackend(bk.s, qs, entries, k)
+			if err != nil {
+				restore()
+				return fmt.Errorf("%s/%s: %w", bk.name, im.Name, err)
+			}
+			r.Backend, r.Kernel = bk.name, im.Name
+			if im.Name == "generic" {
+				genericMean[bk.name] = r.MeanUs
+			} else if g := genericMean[bk.name]; g > 0 {
+				r.SpeedupVsGeneric = g / r.MeanUs
+			}
+			rec.Results = append(rec.Results, r)
+			fmt.Printf("record: %-4s kernel=%-7s p50=%8.1fµs p99=%8.1fµs mean=%8.1fµs %.3g entries/s/core\n",
+				r.Backend, r.Kernel, r.P50us, r.P99us, r.MeanUs, r.EntriesPerSecPerCore)
+		}
+		restore()
+	}
+
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("record: wrote %s\n", path)
+	return nil
+}
+
+// measureBackend answers every query once (after a short warmup) and
+// reports per-query latency percentiles plus normalized scan throughput.
+func measureBackend(s fingerprint.Searcher, qs []fingerprint.Fingerprint, entries, k int) (benchResult, error) {
+	for _, q := range qs[:min(50, len(qs))] {
+		if _, err := s.Search(q, 0, k); err != nil {
+			return benchResult{}, err
+		}
+	}
+	durs := make([]time.Duration, len(qs))
+	start := time.Now()
+	for i, q := range qs {
+		t0 := time.Now()
+		if _, err := s.Search(q, 0, k); err != nil {
+			return benchResult{}, err
+		}
+		durs[i] = time.Since(t0)
+	}
+	wall := time.Since(start)
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	var total time.Duration
+	for _, d := range durs {
+		total += d
+	}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return benchResult{
+		P50us:                us(durs[len(durs)/2]),
+		P99us:                us(durs[len(durs)*99/100]),
+		MeanUs:               us(total / time.Duration(len(durs))),
+		EntriesPerSecPerCore: float64(entries) * float64(len(qs)) / wall.Seconds() / float64(runtime.GOMAXPROCS(0)),
+	}, nil
+}

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"caltrain/internal/kernel"
 	"caltrain/internal/nn"
 	"caltrain/internal/tensor"
 )
@@ -69,20 +70,32 @@ type Searcher interface {
 	Kind() string
 }
 
+// BatchSearcher is the optional batched extension of Searcher: backends
+// that can amortize one blocked sweep of their storage across a whole
+// query batch (internal/index Flat and IVF both do, via
+// internal/kernel.DistanceBatch). Service.RunBatch passes entire
+// batches down this path when the serving backend implements it.
+type BatchSearcher interface {
+	Searcher
+	// SearchBatch answers query i = (fs[i], labels[i], ks[i]) for every
+	// i, returning parallel result and error slices of len(fs). Each
+	// query succeeds or fails independently — errs[i] non-nil means
+	// results[i] is nil — and every successful result is identical to
+	// what Search(fs[i], labels[i], ks[i]) would return.
+	SearchBatch(fs []Fingerprint, labels []int, ks []int) ([][]Match, []error)
+}
+
 // Fingerprint is one L2-normalized penultimate-layer embedding.
 type Fingerprint []float32
 
 // L2Distance returns the Euclidean distance between two fingerprints.
+// It computes through internal/kernel, so the result agrees bit-for-bit
+// with every index backend's Match.Distance on any hardware.
 func (f Fingerprint) L2Distance(g Fingerprint) (float64, error) {
 	if len(f) != len(g) {
 		return 0, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, len(f), len(g))
 	}
-	var s float64
-	for i := range f {
-		d := float64(f[i]) - float64(g[i])
-		s += d * d
-	}
-	return math.Sqrt(s), nil
+	return math.Sqrt(kernel.SqDist(f, g)), nil
 }
 
 // Linkage is the recorded 4-tuple Ω = [F, Y, S, H] for one training
@@ -242,13 +255,9 @@ func (db *DB) Query(f Fingerprint, label, k int) ([]Match, error) {
 	fill := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := db.entries[idxs[i]]
-			// Dimensions were validated at Add time; compute inline.
-			var s float64
-			for j := range f {
-				d := float64(f[j]) - float64(e.F[j])
-				s += d * d
-			}
-			matches[i] = Match{Index: idxs[i], Source: e.S, Label: e.Y, Hash: e.H, Distance: math.Sqrt(s)}
+			// Dimensions were validated at Add time; the kernel keeps
+			// this exact scan bit-compatible with the index backends.
+			matches[i] = Match{Index: idxs[i], Source: e.S, Label: e.Y, Hash: e.H, Distance: math.Sqrt(kernel.SqDist(f, e.F))}
 		}
 	}
 	// Large classes scan in parallel; the query service's latency is

@@ -573,6 +573,12 @@ func (s *Service) runQuery(req QueryRequest) (*QueryResponse, error) {
 	if err != nil {
 		return nil, err
 	}
+	return matchesResponse(matches), nil
+}
+
+// matchesResponse converts backend matches to the wire form shared by
+// the single-query and batched paths.
+func matchesResponse(matches []Match) *QueryResponse {
 	resp := &QueryResponse{Sources: SourcesOf(matches), Matches: make([]MatchJSON, len(matches))}
 	for i, m := range matches {
 		resp.Matches[i] = MatchJSON{
@@ -583,7 +589,7 @@ func (s *Service) runQuery(req QueryRequest) (*QueryResponse, error) {
 			Distance: m.Distance,
 		}
 	}
-	return resp, nil
+	return resp
 }
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -622,6 +628,14 @@ func (s *Service) RunBatch(reqs []QueryRequest) *BatchResponse {
 // RunBatchCtx is RunBatch with a caller-supplied context: the index
 // search is recorded as a "search" stage on the context's trace, so a
 // routed batch's request log attributes time to the search itself.
+//
+// When the serving backend implements BatchSearcher (both index
+// backends do), the whole batch goes down in ONE call: queries sharing
+// a label are answered by a single blocked sweep of the label's vectors
+// instead of one scan per query. The backend pointer is read once, so
+// the entire batch is answered by one snapshot even while SetSearcher
+// hot-swaps concurrently. Results, error codes, and /stats counters are
+// identical to the per-query path.
 func (s *Service) RunBatchCtx(ctx context.Context, reqs []QueryRequest) *BatchResponse {
 	started := time.Now()
 	s.batches.Add(1)
@@ -629,20 +643,63 @@ func (s *Service) RunBatchCtx(ctx context.Context, reqs []QueryRequest) *BatchRe
 	done := obs.TraceFrom(ctx).StartStage("search")
 	defer done()
 	out := &BatchResponse{Results: make([]BatchResult, len(reqs))}
-	for i, q := range reqs {
-		resp, err := s.runQuery(q)
-		if err != nil {
-			// Per-query failures count toward /stats errors just like
-			// failures on /query, even though the batch itself is a 200.
-			s.errs.Add(1)
-			s.errCodes.Inc(queryErrCode(q, s.maxK))
-			out.Results[i] = BatchResult{Error: err.Error(), Code: queryErrCode(q, s.maxK)}
-			continue
+	if bs, ok := s.Searcher().(BatchSearcher); ok && len(reqs) > 1 {
+		s.runBatchSearch(bs, reqs, out)
+	} else {
+		for i, q := range reqs {
+			resp, err := s.runQuery(q)
+			if err != nil {
+				// Per-query failures count toward /stats errors just like
+				// failures on /query, even though the batch itself is a 200.
+				s.errs.Add(1)
+				s.errCodes.Inc(queryErrCode(q, s.maxK))
+				out.Results[i] = BatchResult{Error: err.Error(), Code: queryErrCode(q, s.maxK)}
+				continue
+			}
+			out.Results[i] = BatchResult{QueryResponse: resp}
 		}
-		out.Results[i] = BatchResult{QueryResponse: resp}
 	}
 	s.latency.Observe(time.Since(started))
 	return out
+}
+
+// runBatchSearch answers reqs through the backend's batched path.
+// Queries over the k limit fail up front without reaching the backend;
+// backend-side rejections (dim mismatch) keep per-query independence
+// and map to the same stable error codes the per-query path produces.
+func (s *Service) runBatchSearch(bs BatchSearcher, reqs []QueryRequest, out *BatchResponse) {
+	fs := make([]Fingerprint, 0, len(reqs))
+	labels := make([]int, 0, len(reqs))
+	ks := make([]int, 0, len(reqs))
+	idx := make([]int, 0, len(reqs))
+	for i, q := range reqs {
+		if q.K > s.maxK {
+			s.errs.Add(1)
+			s.errCodes.Inc(ErrCodeLimitExceeded)
+			out.Results[i] = BatchResult{
+				Error: fmt.Sprintf("k %d exceeds limit %d", q.K, s.maxK),
+				Code:  ErrCodeLimitExceeded,
+			}
+			continue
+		}
+		fs = append(fs, Fingerprint(q.Fingerprint))
+		labels = append(labels, q.Label)
+		ks = append(ks, q.K)
+		idx = append(idx, i)
+	}
+	if len(fs) == 0 {
+		return
+	}
+	results, errs := bs.SearchBatch(fs, labels, ks)
+	for j, i := range idx {
+		if err := errs[j]; err != nil {
+			s.errs.Add(1)
+			s.errCodes.Inc(queryErrCode(reqs[i], s.maxK))
+			out.Results[i] = BatchResult{Error: err.Error(), Code: queryErrCode(reqs[i], s.maxK)}
+			continue
+		}
+		out.Results[i] = BatchResult{QueryResponse: matchesResponse(results[j])}
+	}
 }
 
 func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {

@@ -79,3 +79,38 @@ func (x *Flat) Search(f fingerprint.Fingerprint, label, k int) ([]fingerprint.Ma
 	}
 	return scanBucket(b, f, x.dim, k).matches(label), nil
 }
+
+// SearchBatch implements fingerprint.BatchSearcher: queries sharing a
+// label are answered by ONE blocked sweep of the label's bucket (each
+// cache-resident block of vectors is visited by every query before the
+// next loads), so a batch of B same-label queries costs one pass of
+// memory traffic instead of B. Results are identical to per-query
+// Search calls; each query fails or succeeds independently.
+func (x *Flat) SearchBatch(fs []fingerprint.Fingerprint, labels []int, ks []int) ([][]fingerprint.Match, []error) {
+	results := make([][]fingerprint.Match, len(fs))
+	errs := make([]error, len(fs))
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	for label, qidx := range groupByLabel(x.dim, fs, labels, ks, errs) {
+		b, ok := x.buckets[label]
+		if !ok {
+			continue // absent label: nil matches, nil error, like Search
+		}
+		if len(qidx) == 1 {
+			i := qidx[0]
+			results[i] = scanBucket(b, fs[i], x.dim, ks[i]).matches(label)
+			continue
+		}
+		qs := make([]float32, 0, len(qidx)*x.dim)
+		groupKs := make([]int, len(qidx))
+		for j, i := range qidx {
+			qs = append(qs, fs[i]...)
+			groupKs[j] = ks[i]
+		}
+		heaps := batchScanBucket(b, qs, x.dim, groupKs)
+		for j, i := range qidx {
+			results[i] = heaps[j].matches(label)
+		}
+	}
+	return results, errs
+}

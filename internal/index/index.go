@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"caltrain/internal/fingerprint"
+	"caltrain/internal/kernel"
 )
 
 // Searcher is re-exported for convenience; the canonical definition lives
@@ -217,26 +218,26 @@ func (t *topK) matches(label int) []fingerprint.Match {
 	return out
 }
 
-// sqDist returns the squared L2 distance between q and the dim-length
-// vector at v.
-func sqDist(q []float32, v []float32) float64 {
-	var s float64
-	for j := range q {
-		d := float64(q[j]) - float64(v[j])
-		s += d * d
-	}
-	return s
-}
+// scanBlock is how many candidate distances one kernel call computes
+// before the heap consumes them: big enough to amortize dispatch, small
+// enough that the scratch stays on the stack.
+const scanBlock = 256
 
-// scanRange feeds bucket positions [lo,hi) through the heap.
+// scanRange feeds bucket positions [lo,hi) through the heap, computing
+// distances a block at a time via the vectorized kernel.
 func scanRange(t *topK, q []float32, dim int, lo, hi int32) {
 	vecs := t.b.vecs
-	for i := lo; i < hi; i++ {
-		d2 := sqDist(q, vecs[int(i)*dim:int(i+1)*dim])
-		// Equal distance can still win on the index tie-break, so <=.
-		if d2 <= t.threshold() {
-			t.consider(cand{d2: d2, pos: i})
+	var buf [scanBlock]float64
+	for r := int(lo); r < int(hi); {
+		n := min(scanBlock, int(hi)-r)
+		kernel.DistanceRows(q, vecs[r*dim:(r+n)*dim], dim, buf[:n])
+		for i := 0; i < n; i++ {
+			// Equal distance can still win on the index tie-break, so <=.
+			if d2 := buf[i]; d2 <= t.threshold() {
+				t.consider(cand{d2: d2, pos: int32(r + i)})
+			}
 		}
+		r += n
 	}
 }
 
@@ -295,6 +296,73 @@ func scanBucket(b *bucket, q []float32, dim, k int) *topK {
 	return parallelTopK(b, k, b.n, func(t *topK, lo, hi int) {
 		scanRange(t, q, dim, int32(lo), int32(hi))
 	})
+}
+
+// batchSweep feeds bucket rows [lo,hi) through one heap per query,
+// visiting each block of vectors with every query while it is
+// cache-resident — the whole group costs one pass of memory traffic.
+func batchSweep(heaps []*topK, qs []float32, dim int, b *bucket, lo, hi int) {
+	nq := len(heaps)
+	buf := make([]float64, nq*scanBlock)
+	for r0 := lo; r0 < hi; {
+		rows := min(scanBlock, hi-r0)
+		kernel.DistanceBatch(qs, b.vecs[r0*dim:(r0+rows)*dim], dim, buf[:nq*rows])
+		for qi, t := range heaps {
+			row := buf[qi*rows : (qi+1)*rows]
+			for i, d2 := range row {
+				if d2 <= t.threshold() {
+					t.consider(cand{d2: d2, pos: int32(r0 + i)})
+				}
+			}
+		}
+		r0 += rows
+	}
+}
+
+// batchScanBucket runs one blocked sweep of b for a group of queries
+// sharing a label (qs is len(ks) concatenated dim-length queries),
+// returning one result heap per query. Results are identical to
+// per-query scanBucket calls: same kernel distances, same (d2, pos)
+// tie-break, only the traversal is shared. Large buckets fan out across
+// cores with per-worker heap sets merged at the end.
+func batchScanBucket(b *bucket, qs []float32, dim int, ks []int) []*topK {
+	finals := make([]*topK, len(ks))
+	for i, k := range ks {
+		finals[i] = newTopK(b, k)
+	}
+	if b.n < parallelScanThreshold {
+		batchSweep(finals, qs, dim, b, 0, b.n)
+		return finals
+	}
+	var mu sync.Mutex
+	parallelChunks(b.n, func(lo, hi int) {
+		locals := make([]*topK, len(ks))
+		for i, k := range ks {
+			locals[i] = newTopK(b, k)
+		}
+		batchSweep(locals, qs, dim, b, lo, hi)
+		mu.Lock()
+		for i := range finals {
+			finals[i].merge(locals[i])
+		}
+		mu.Unlock()
+	})
+	return finals
+}
+
+// groupByLabel validates each query and groups the valid ones by label,
+// recording per-query validation errors in errs. Shared by both
+// backends' SearchBatch implementations.
+func groupByLabel(dim int, fs []fingerprint.Fingerprint, labels []int, ks []int, errs []error) map[int][]int {
+	groups := make(map[int][]int)
+	for i := range fs {
+		if err := checkQuery(dim, fs[i], ks[i]); err != nil {
+			errs[i] = err
+			continue
+		}
+		groups[labels[i]] = append(groups[labels[i]], i)
+	}
+	return groups
 }
 
 func checkQuery(dim int, f fingerprint.Fingerprint, k int) error {

@@ -203,8 +203,11 @@ func TestIVFRecall(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("IVF recall@10 = %.3f (n=%d, nprobe=%d)", r, n, ivf.Nprobe())
-	if r < 0.95 {
-		t.Fatalf("recall@10 = %.3f, want ≥ 0.95", r)
+	// Deterministic given the seeds, and identical under every kernel
+	// implementation (the bit-stability contract): measures 0.992 at
+	// n=20000 and 0.990 under -short.
+	if r < 0.98 {
+		t.Fatalf("recall@10 = %.3f, want ≥ 0.98", r)
 	}
 	// Tightening nprobe trades recall for speed but must stay sane.
 	ivf.SetNprobe(1)
@@ -446,8 +449,9 @@ func TestIVFRecallAfterAppend(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("post-append recall@10 = %.3f (n=%d +%d appended, nprobe=%d)", r, n, appendN, ivf.Nprobe())
-	if r < 0.90 {
-		t.Fatalf("post-append recall@10 = %.3f, want ≥ 0.90", r)
+	// Measures 1.000 at n=10000 and 0.990 under -short, on every kernel.
+	if r < 0.98 {
+		t.Fatalf("post-append recall@10 = %.3f, want ≥ 0.98", r)
 	}
 
 	// The drift threshold crossed (0.167 vs the ingest default 0.25
@@ -465,8 +469,9 @@ func TestIVFRecallAfterAppend(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("post-retrain recall@10 = %.3f", r2)
-	if r2 < 0.95 {
-		t.Fatalf("post-retrain recall@10 = %.3f, want ≥ 0.95", r2)
+	// Measures 1.000 at n=10000 and 0.982 under -short, on every kernel.
+	if r2 < 0.97 {
+		t.Fatalf("post-retrain recall@10 = %.3f, want ≥ 0.97", r2)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"caltrain/internal/fingerprint"
+	"caltrain/internal/kernel"
 )
 
 // IVFOptions tunes IVF training and search.
@@ -181,21 +182,30 @@ func trainClass(b *bucket, dim int, o IVFOptions) *ivfClass {
 	return c
 }
 
+// nearestCentroid returns the index of the centroid closest to v by
+// squared kernel distance, ties broken by the lower centroid index (the
+// strict-< argmin over an ascending scan). d2s is an nlist-length
+// scratch the caller provides so tight loops don't allocate.
+func nearestCentroid(v, centroids []float32, dim, nlist int, d2s []float64) int {
+	kernel.DistanceRows(v, centroids, dim, d2s[:nlist])
+	best, bestD := 0, math.Inf(1)
+	for ci, d := range d2s[:nlist] {
+		if d < bestD {
+			best, bestD = ci, d
+		}
+	}
+	return best
+}
+
 // assignNearest writes, for each listed bucket position, the index of its
 // nearest centroid. Large point sets fan out across cores.
 func assignNearest(vecs []float32, dim int, points []int32, centroids []float32, nlist int, out []int32) {
 	work := func(lo, hi int) {
+		d2s := make([]float64, nlist)
 		for i := lo; i < hi; i++ {
 			p := int(points[i])
 			v := vecs[p*dim : (p+1)*dim]
-			best, bestD := 0, math.Inf(1)
-			for ci := 0; ci < nlist; ci++ {
-				d := sqDist(v, centroids[ci*dim:(ci+1)*dim])
-				if d < bestD {
-					best, bestD = ci, d
-				}
-			}
-			out[i] = int32(best)
+			out[i] = int32(nearestCentroid(v, centroids, dim, nlist, d2s))
 		}
 	}
 	parallelChunks(len(points), work)
@@ -236,12 +246,7 @@ func (x *IVF) Append(dbIndex int, l fingerprint.Linkage) error {
 		}
 	} else {
 		pos := c.b.appendEntry(int32(dbIndex), l)
-		best, bestD := 0, math.Inf(1)
-		for ci := 0; ci < c.nlist; ci++ {
-			if d := sqDist(l.F, c.centroids[ci*x.dim:(ci+1)*x.dim]); d < bestD {
-				best, bestD = ci, d
-			}
-		}
+		best := nearestCentroid(l.F, c.centroids, x.dim, c.nlist, make([]float64, c.nlist))
 		c.lists[best] = append(c.lists[best], pos)
 	}
 	x.total++
@@ -269,6 +274,13 @@ func (x *IVF) SetNprobe(n int) {
 	x.nprobe.Store(int32(max(1, n)))
 }
 
+// cd is one centroid-ranking entry: centroid index plus squared kernel
+// distance to a query.
+type cd struct {
+	ci int
+	d2 float64
+}
+
 // Search returns approximately the k nearest same-label entries: it scans
 // the nprobe inverted lists whose centroids are closest to f. Results are
 // exact within the probed lists (same ordering contract as DB.Query).
@@ -282,17 +294,54 @@ func (x *IVF) Search(f fingerprint.Fingerprint, label, k int) ([]fingerprint.Mat
 	if !ok {
 		return nil, nil
 	}
-	nprobe := min(int(x.nprobe.Load()), c.nlist)
-
-	// Rank centroids by squared distance to the query.
-	type cd struct {
-		ci int
-		d2 float64
-	}
+	// Rank centroids by squared distance to the query — one contiguous
+	// kernel sweep of the centroid table.
+	d2s := make([]float64, c.nlist)
+	kernel.DistanceRows(f, c.centroids, x.dim, d2s)
 	cds := make([]cd, c.nlist)
-	for ci := 0; ci < c.nlist; ci++ {
-		cds[ci] = cd{ci, sqDist(f, c.centroids[ci*x.dim:(ci+1)*x.dim])}
+	for ci, d2 := range d2s {
+		cds[ci] = cd{ci, d2}
 	}
+	return x.scanProbed(c, f, label, k, cds), nil
+}
+
+// SearchBatch implements fingerprint.BatchSearcher. The coarse stage is
+// batched: all queries sharing a label rank that label's centroid table
+// in one blocked kernel sweep (the table stays cache-resident across the
+// group) before each query scans its own probed lists. Results are
+// identical to per-query Search calls.
+func (x *IVF) SearchBatch(fs []fingerprint.Fingerprint, labels []int, ks []int) ([][]fingerprint.Match, []error) {
+	results := make([][]fingerprint.Match, len(fs))
+	errs := make([]error, len(fs))
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	for label, qidx := range groupByLabel(x.dim, fs, labels, ks, errs) {
+		c, ok := x.labels[label]
+		if !ok {
+			continue // absent label: nil matches, nil error, like Search
+		}
+		qs := make([]float32, 0, len(qidx)*x.dim)
+		for _, i := range qidx {
+			qs = append(qs, fs[i]...)
+		}
+		d2s := make([]float64, len(qidx)*c.nlist)
+		kernel.DistanceBatch(qs, c.centroids, x.dim, d2s)
+		for j, i := range qidx {
+			cds := make([]cd, c.nlist)
+			for ci, d2 := range d2s[j*c.nlist : (j+1)*c.nlist] {
+				cds[ci] = cd{ci, d2}
+			}
+			results[i] = x.scanProbed(c, fs[i], label, ks[i], cds)
+		}
+	}
+	return results, errs
+}
+
+// scanProbed selects the nprobe closest lists from the (unsorted)
+// centroid ranking and runs the exact top-k scan over their members.
+// Callers hold the read lock.
+func (x *IVF) scanProbed(c *ivfClass, f fingerprint.Fingerprint, label, k int, cds []cd) []fingerprint.Match {
+	nprobe := min(int(x.nprobe.Load()), c.nlist)
 	sort.Slice(cds, func(a, b int) bool { return cds[a].d2 < cds[b].d2 })
 
 	total := 0
@@ -304,7 +353,7 @@ func (x *IVF) Search(f fingerprint.Fingerprint, label, k int) ([]fingerprint.Mat
 		for _, pc := range cds[:nprobe] {
 			scanPositions(t, f, x.dim, c.lists[pc.ci])
 		}
-		return t.matches(label), nil
+		return t.matches(label)
 	}
 	// Large candidate sets fan the probed lists' positions out across
 	// cores, mirroring the flat scan.
@@ -315,16 +364,22 @@ func (x *IVF) Search(f fingerprint.Fingerprint, label, k int) ([]fingerprint.Mat
 	final := parallelTopK(c.b, k, len(flat), func(t *topK, lo, hi int) {
 		scanPositions(t, f, x.dim, flat[lo:hi])
 	})
-	return final.matches(label), nil
+	return final.matches(label)
 }
 
-// scanPositions feeds the listed bucket positions through the heap.
+// scanPositions feeds the listed bucket positions through the heap,
+// gathering distances a block at a time via the vectorized kernel.
 func scanPositions(t *topK, q []float32, dim int, positions []int32) {
 	vecs := t.b.vecs
-	for _, pos := range positions {
-		d2 := sqDist(q, vecs[int(pos)*dim:(int(pos)+1)*dim])
-		if d2 <= t.threshold() {
-			t.consider(cand{d2: d2, pos: pos})
+	var buf [scanBlock]float64
+	for off := 0; off < len(positions); {
+		n := min(scanBlock, len(positions)-off)
+		kernel.DistanceGather(q, vecs, dim, positions[off:off+n], buf[:n])
+		for i := 0; i < n; i++ {
+			if d2 := buf[i]; d2 <= t.threshold() {
+				t.consider(cand{d2: d2, pos: positions[off+i]})
+			}
 		}
+		off += n
 	}
 }

@@ -1,0 +1,46 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"caltrain/internal/kernel/kerneltest"
+)
+
+// FuzzDistanceParity feeds raw bytes — reinterpreted as float32 vectors,
+// so NaN payloads, infinities, and subnormals arise from the byte space —
+// through every registered SqDist implementation and fails on any bitwise
+// divergence from the portable reference. off shifts the slices to
+// exercise vector-unaligned base pointers.
+func FuzzDistanceParity(f *testing.F) {
+	f.Add([]byte{}, []byte{}, byte(0))
+	f.Add([]byte{0, 0, 128, 63}, []byte{0, 0, 128, 191}, byte(0))
+	f.Fuzz(func(t *testing.T, qb, vb []byte, off byte) {
+		q, v := kerneltest.Pair(qb, vb, off)
+		kerneltest.CheckPair(t, q, v)
+	})
+}
+
+// FuzzDistanceBatchParity drives the batched entry points (DistanceBatch,
+// DistanceRows, DistanceGather) with fuzz-chosen shapes — dim, row count,
+// and query count all straddle the 8-wide block and 256-row scan-block
+// boundaries under the modulus — and fails unless every cell matches a
+// pairwise reference call bit-for-bit.
+func FuzzDistanceBatchParity(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, byte(1), byte(1), byte(1))
+	f.Add([]byte{0x7f, 0xc0, 0, 0, 0xff, 0x80, 0, 0}, byte(2), byte(9), byte(3))
+	f.Fuzz(func(t *testing.T, data []byte, nq, n, dim byte) {
+		d := 1 + int(dim)%17
+		numQ := 1 + int(nq)%4
+		numV := 1 + int(n)%300
+		need := (numQ + numV) * d
+		vals := kerneltest.FromBytes(data)
+		if len(vals) == 0 {
+			vals = []float32{0}
+		}
+		buf := make([]float32, need)
+		for i := range buf {
+			buf[i] = vals[i%len(vals)]
+		}
+		kerneltest.CheckBatch(t, buf[:numQ*d], buf[numQ*d:], d)
+	})
+}

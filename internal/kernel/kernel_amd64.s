@@ -1,0 +1,91 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func sqDistAVX2(q, v *float32, n int) float64
+//
+// Squared L2 distance between two n-length float32 vectors, computed in
+// float64 per the summation order specified in kernel.go: two 4-lane
+// double accumulators (Y0 holds partial sums p0..p3, Y1 holds p4..p7)
+// fed 8 elements per iteration, reduced with the fixed tree
+// ((p0+p4)+(p2+p6)) + ((p1+p5)+(p3+p7)), then a sequential scalar tail
+// for n mod 8 elements. Every arithmetic step is a single IEEE-754
+// double rounding (convert, subtract, multiply, add — no FMA), and a
+// NaN result is canonicalized to the math.NaN() bit pattern, matching
+// sqDistGeneric bit for bit on every input.
+TEXT ·sqDistAVX2(SB), NOSPLIT, $0-32
+	MOVQ q+0(FP), SI
+	MOVQ v+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPD Y0, Y0, Y0          // acc lanes p0..p3
+	VXORPD Y1, Y1, Y1          // acc lanes p4..p7
+	MOVQ CX, DX
+	ANDQ $-8, DX               // DX = n &^ 7, the blocked prefix
+	XORQ AX, AX                // AX = element index j
+	CMPQ DX, $0
+	JE   reduce
+
+blocked:
+	// Lanes j..j+3 into Y0.
+	VCVTPS2PD (SI)(AX*4), Y2   // 4 × float32 -> 4 × float64
+	VCVTPS2PD (DI)(AX*4), Y3
+	VSUBPD Y3, Y2, Y2          // d = q - v
+	VMULPD Y2, Y2, Y2          // d*d
+	VADDPD Y2, Y0, Y0          // p[k] += d*d
+	// Lanes j+4..j+7 into Y1.
+	VCVTPS2PD 16(SI)(AX*4), Y4
+	VCVTPS2PD 16(DI)(AX*4), Y5
+	VSUBPD Y5, Y4, Y4
+	VMULPD Y4, Y4, Y4
+	VADDPD Y4, Y1, Y1
+	ADDQ $8, AX
+	CMPQ AX, DX
+	JL   blocked
+
+reduce:
+	// s = ((p0+p4)+(p2+p6)) + ((p1+p5)+(p3+p7))
+	VADDPD Y1, Y0, Y0          // t[k] = p[k] + p[k+4]
+	VEXTRACTF128 $1, Y0, X1    // X1 = (t2, t3)
+	VADDPD X1, X0, X0          // X0 = (t0+t2, t1+t3)
+	VUNPCKHPD X0, X0, X1       // X1 lane0 = t1+t3
+	VADDSD X1, X0, X0          // s in X0 lane0
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	VCVTSS2SD (SI)(AX*4), X2, X2
+	VCVTSS2SD (DI)(AX*4), X3, X3
+	VSUBSD X3, X2, X2
+	VMULSD X2, X2, X2
+	VADDSD X2, X0, X0
+	INCQ AX
+	JMP  tail
+
+done:
+	VZEROUPPER
+	UCOMISD X0, X0             // PF set iff s is NaN
+	JPC  store
+	MOVQ $0x7FF8000000000001, AX
+	MOVQ AX, X0                // canonical math.NaN() bits
+store:
+	MOVSD X0, ret+24(FP)
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
