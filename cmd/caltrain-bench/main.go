@@ -41,7 +41,7 @@ func run() error {
 		parties  = flag.Int("participants", 0, "number of training participants")
 		seed     = flag.Uint64("seed", 0, "experiment seed")
 
-		record        = flag.String("record", "", "measure query-serving latency and write a BENCH_*.json trajectory entry to this path (skips experiments)")
+		record        = flag.String("record", "", "measure query-serving latency and write a BENCH_*.json trajectory entry to this path (skips experiments); \"auto\" picks the next free BENCH_NNN.json, an existing path is refused")
 		recordEntries = flag.Int("record-entries", 100_000, "class size for -record")
 		recordQueries = flag.Int("record-queries", 500, "measured queries for -record")
 		recordDim     = flag.Int("record-dim", 64, "fingerprint dimensionality for -record")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -50,6 +51,11 @@ type benchResult struct {
 	P50us   float64 `json:"p50_us"`
 	P99us   float64 `json:"p99_us"`
 	MeanUs  float64 `json:"mean_us"`
+	// BytesPerEntry is the index's resident search geometry
+	// (VectorBytes) divided by the entry count — the axis the
+	// product-quantized backend trades latency against. Identical
+	// across kernel rows for the same backend.
+	BytesPerEntry float64 `json:"bytes_per_entry"`
 	// EntriesPerSecPerCore is class entries covered per wall-second,
 	// normalized by GOMAXPROCS. For the exact backends this is true
 	// scan throughput; for IVF it is effective throughput (the index
@@ -60,12 +66,42 @@ type benchResult struct {
 	SpeedupVsGeneric float64 `json:"speedup_vs_generic,omitempty"`
 }
 
-// runRecord measures accountability-query serving latency — flat and
-// IVF backends under every registered distance kernel, on the clustered
-// single-label workload BenchmarkQueryScaling uses — and persists the
-// result as JSON. This is the bench-trajectory producer: one committed
-// BENCH_*.json per milestone.
+// resolveRecordPath turns the -record argument into a concrete target.
+// "auto" numbers the entry one past the highest BENCH_NNN.json in the
+// current directory — the trajectory stays strictly ordered even if an
+// old entry was deleted — and an explicit path must not already exist:
+// a committed trajectory entry is never silently overwritten.
+func resolveRecordPath(path string) (string, error) {
+	if path == "auto" {
+		high := 0
+		existing, err := filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return "", err
+		}
+		for _, p := range existing {
+			var n int
+			if _, err := fmt.Sscanf(filepath.Base(p), "BENCH_%d.json", &n); err == nil && n > high {
+				high = n
+			}
+		}
+		return fmt.Sprintf("BENCH_%03d.json", high+1), nil
+	}
+	if _, err := os.Stat(path); err == nil {
+		return "", fmt.Errorf("%s already exists; bench trajectory entries are append-only (use -record auto for the next free slot)", path)
+	}
+	return path, nil
+}
+
+// runRecord measures accountability-query serving latency — flat, IVF,
+// and IVFPQ backends under every registered distance kernel, on the
+// clustered single-label workload BenchmarkQueryScaling uses — and
+// persists the result as JSON. This is the bench-trajectory producer:
+// one committed BENCH_*.json per milestone.
 func runRecord(path string, entries, queries, dim int, seed uint64) error {
+	path, err := resolveRecordPath(path)
+	if err != nil {
+		return err
+	}
 	if seed == 0 {
 		seed = 15
 	}
@@ -88,6 +124,10 @@ func runRecord(path string, entries, queries, dim int, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	pq, err := index.TrainIVFPQ(db, index.IVFPQOptions{IVFOptions: index.IVFOptions{Seed: 16}})
+	if err != nil {
+		return err
+	}
 
 	rec := benchRecord{
 		Bench:  "query-serving",
@@ -104,21 +144,23 @@ func runRecord(path string, entries, queries, dim int, seed uint64) error {
 		for _, bk := range []struct {
 			name string
 			s    fingerprint.Searcher
-		}{{"flat", flat}, {"ivf", ivf}} {
+			geom int64
+		}{{"flat", flat, flat.VectorBytes()}, {"ivf", ivf, ivf.VectorBytes()}, {"ivfpq", pq, pq.VectorBytes()}} {
 			r, err := measureBackend(bk.s, qs, entries, k)
 			if err != nil {
 				restore()
 				return fmt.Errorf("%s/%s: %w", bk.name, im.Name, err)
 			}
 			r.Backend, r.Kernel = bk.name, im.Name
+			r.BytesPerEntry = float64(bk.geom) / float64(entries)
 			if im.Name == "generic" {
 				genericMean[bk.name] = r.MeanUs
 			} else if g := genericMean[bk.name]; g > 0 {
 				r.SpeedupVsGeneric = g / r.MeanUs
 			}
 			rec.Results = append(rec.Results, r)
-			fmt.Printf("record: %-4s kernel=%-7s p50=%8.1fµs p99=%8.1fµs mean=%8.1fµs %.3g entries/s/core\n",
-				r.Backend, r.Kernel, r.P50us, r.P99us, r.MeanUs, r.EntriesPerSecPerCore)
+			fmt.Printf("record: %-5s kernel=%-7s p50=%8.1fµs p99=%8.1fµs mean=%8.1fµs %.3g entries/s/core %.1f B/entry\n",
+				r.Backend, r.Kernel, r.P50us, r.P99us, r.MeanUs, r.EntriesPerSecPerCore, r.BytesPerEntry)
 		}
 		restore()
 	}
@@ -128,7 +170,17 @@ func runRecord(path string, entries, queries, dim int, seed uint64) error {
 		return err
 	}
 	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	// O_EXCL re-checks the resolve-time guarantee at write time: even if
+	// the slot was taken during the measurement, nothing is clobbered.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("record: wrote %s\n", path)

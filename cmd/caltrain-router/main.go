@@ -16,7 +16,10 @@
 // with -timeout, and degrades gracefully: when a shard's every replica
 // is down, a batch still returns the other shards' results, with the
 // dead shard named in unreachable_shards and per-result errors on its
-// queries.
+// queries. -response-cache N additionally keeps the N hottest
+// single-query responses at the router itself — repeated checks of the
+// same fingerprint answer without touching any shard, and a write
+// routed to a shard invalidates every response that shard owns.
 //
 // Writes fan out the other way: POST /ingest routes each new linkage to
 // its owning shard and replicates it to ALL of that shard's replicas
@@ -115,15 +118,16 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("caltrain-router", flag.ContinueOnError)
 	shards := shardFlags{}
 	var (
-		mapPath  = fs.String("map", "shards/shardmap.ctsm", "shard map written by caltrain-shard")
-		addr     = fs.String("addr", ":8790", "listen address")
-		timeout  = fs.Duration("timeout", shard.DefaultShardTimeout, "per-shard call timeout (all replica attempts combined)")
-		cooldown = fs.Duration("cooldown", shard.DefaultReplicaCooldown, "base cooldown for a failed replica (grows exponentially)")
-		maxBody  = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
-		maxBatch = fs.Int("max-batch", 256, "queries per batch request limit")
-		quorum   = fs.Int("write-quorum", 0, "replicas per shard that must ack an ingest batch (0 = majority)")
-		grace    = fs.Duration("grace", 10*time.Second, "shutdown drain timeout")
-		buckets  = fs.String("latency-buckets", "", "comma-separated router latency bucket bounds as durations (e.g. 5ms,25ms,100ms,1s); empty = network-scale defaults")
+		mapPath   = fs.String("map", "shards/shardmap.ctsm", "shard map written by caltrain-shard")
+		addr      = fs.String("addr", ":8790", "listen address")
+		timeout   = fs.Duration("timeout", shard.DefaultShardTimeout, "per-shard call timeout (all replica attempts combined)")
+		cooldown  = fs.Duration("cooldown", shard.DefaultReplicaCooldown, "base cooldown for a failed replica (grows exponentially)")
+		maxBody   = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
+		maxBatch  = fs.Int("max-batch", 256, "queries per batch request limit")
+		quorum    = fs.Int("write-quorum", 0, "replicas per shard that must ack an ingest batch (0 = majority)")
+		respCache = fs.Int("response-cache", 0, "cache up to N hot single-query responses at the router, invalidated on writes to the owning shard (0 = off)")
+		grace     = fs.Duration("grace", 10*time.Second, "shutdown drain timeout")
+		buckets   = fs.String("latency-buckets", "", "comma-separated router latency bucket bounds as durations (e.g. 5ms,25ms,100ms,1s); empty = network-scale defaults")
 
 		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this sidecar host:port (empty = no debug listener; never the public address)")
 		reqLog    = fs.Bool("request-log", false, "log one structured line per request: request ID, status, duration, stage timings")
@@ -179,6 +183,9 @@ func run(parent context.Context, args []string, out io.Writer) error {
 			RequestLog:         *reqLog,
 			SlowQueryThreshold: *slowQuery,
 		}),
+	}
+	if *respCache > 0 {
+		opts = append(opts, shard.WithRouterResponseCache(*respCache))
 	}
 	if *buckets != "" {
 		bounds, err := fingerprint.ParseLatencyBuckets(*buckets)

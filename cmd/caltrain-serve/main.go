@@ -31,11 +31,14 @@
 // Index backends (-backend; -index is a legacy alias): "linear" is the
 // exact reference scan over the database, "flat" the exact heap-select
 // scan over contiguous storage, "ivf" the approximate inverted-file
-// index (tune with -nlist/-nprobe; see internal/index). The flag is
+// index (tune with -nlist/-nprobe; see internal/index), "ivfpq" the
+// product-quantized IVF that stores -pq-m code bytes per entry instead
+// of float vectors (~4·dim/M smaller, ADC table scans). The flag is
 // parsed once into a serve.BackendSpec and the whole topology is built
 // through serve.Deployment — a new backend kind means a new Spec, not
-// daemon surgery. A built IVF index can be persisted with -save-index
-// and reloaded with -load-index to skip training on restart.
+// daemon surgery. A built IVF or IVFPQ index can be persisted with
+// -save-index and reloaded with -load-index to skip training on
+// restart.
 //
 // Online ingest (-wal DIR) turns the daemon into a durable write path:
 // POST /ingest batches are CRC-framed into a write-ahead log (fsynced
@@ -88,15 +91,16 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	var (
 		dbPath  = fs.String("db", "linkage.db", "linkage database path")
 		addr    = fs.String("addr", ":8791", "listen address")
-		kind    = fs.String("backend", "flat", "index backend: linear, flat, or ivf")
+		kind    = fs.String("backend", "flat", "index backend: linear, flat, ivf, or ivfpq")
 		depPath = fs.String("deployment", "", "deployment config file (JSON): backend, sharding, durability, limits in one document — conflicts with the per-knob flags")
 	)
 	fs.StringVar(kind, "index", "flat", "legacy alias of -backend")
 	var (
-		nlist     = fs.Int("nlist", 0, "IVF lists per label (0 = auto ≈√n)")
-		nprobe    = fs.Int("nprobe", 0, "IVF lists probed per query (0 = auto)")
-		iters     = fs.Int("iters", 0, "IVF k-means iterations (0 = default)")
-		seed      = fs.Uint64("seed", 42, "IVF training seed")
+		nlist     = fs.Int("nlist", 0, "IVF/IVFPQ lists per label (0 = auto ≈√n)")
+		nprobe    = fs.Int("nprobe", 0, "IVF/IVFPQ lists probed per query (0 = auto)")
+		iters     = fs.Int("iters", 0, "IVF/IVFPQ k-means iterations (0 = default)")
+		seed      = fs.Uint64("seed", 42, "IVF/IVFPQ training seed")
+		pqM       = fs.Int("pq-m", 0, "IVFPQ subquantizers (code bytes per entry, must divide the fingerprint dim; 0 = auto)")
 		loadIndex = fs.String("load-index", "", "load a serialized index instead of building one")
 		saveIndex = fs.String("save-index", "", "persist the built index to this path")
 		maxBody   = fs.Int64("max-body", fingerprint.DefaultMaxBodyBytes, "request body size limit in bytes")
@@ -141,14 +145,14 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	if *loadIndex != "" {
 		// The loaded index determines the backend; reject training flags
 		// that would silently be ignored. -nprobe stays honored (below).
-		for _, conflicting := range []string{"backend", "index", "nlist", "iters", "seed"} {
+		for _, conflicting := range []string{"backend", "index", "nlist", "iters", "seed", "pq-m"} {
 			if set[conflicting] {
 				return fmt.Errorf("-%s conflicts with -load-index: the loaded index determines the backend", conflicting)
 			}
 		}
 	}
 	if *saveIndex != "" && *loadIndex == "" && *kind == "linear" {
-		return fmt.Errorf("-save-index needs an index backend (-index flat or ivf): the linear scan has nothing to persist")
+		return fmt.Errorf("-save-index needs an index backend (-index flat, ivf, or ivfpq): the linear scan has nothing to persist")
 	}
 	if *walDir == "" && *depPath == "" {
 		for _, needsWAL := range []string{"fsync", "fsync-every", "wal-segment-bytes", "drift-threshold", "snapshot-every"} {
@@ -200,20 +204,32 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "deployment config: %s\n", *depPath)
 	} else {
-		ivfOpts := index.IVFOptions{Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed}
+		ivfOpts := index.IVFPQOptions{
+			IVFOptions: index.IVFOptions{Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed},
+			M:          *pqM,
+		}
 		var spec serve.BackendSpec
 		if *loadIndex != "" {
 			loaded, err := loadIndexFile(*loadIndex, db, out)
 			if err != nil {
 				return err
 			}
-			if ivf, ok := loaded.(*index.IVF); ok && set["nprobe"] {
-				ivf.SetNprobe(*nprobe)
-				fmt.Fprintf(out, "nprobe overridden to %d\n", ivf.Nprobe())
-			}
 			pre := serve.PrebuiltSpec{Searcher: loaded}
-			if _, isIVF := loaded.(*index.IVF); isIVF {
-				pre.RebuildFunc = serve.IVFSpec{IVFOptions: ivfOpts}.Rebuild()
+			switch x := loaded.(type) {
+			case *index.IVF:
+				if set["nprobe"] {
+					x.SetNprobe(*nprobe)
+					fmt.Fprintf(out, "nprobe overridden to %d\n", x.Nprobe())
+				}
+				pre.RebuildFunc = serve.IVFSpec{IVFOptions: ivfOpts.IVFOptions}.Rebuild()
+			case *index.IVFPQ:
+				if set["nprobe"] {
+					x.SetNprobe(*nprobe)
+					fmt.Fprintf(out, "nprobe overridden to %d\n", x.Nprobe())
+				}
+				retrain := ivfOpts
+				retrain.M = x.M() // the loaded code width wins over -pq-m's default
+				pre.RebuildFunc = serve.IVFPQSpec{IVFPQOptions: retrain}.Rebuild()
 			}
 			spec = pre
 		} else {

@@ -10,7 +10,7 @@
 // Outputs in -out:
 //
 //	shard-000.db … shard-00N.db   per-shard linkage databases
-//	shard-000.idx …               per-shard indexes (with -index flat|ivf)
+//	shard-000.idx …               per-shard indexes (with -index flat|ivf|ivfpq)
 //	shardmap.ctsm                 the label→shard assignment
 //
 // Each shard is then served by an ordinary caltrain-serve daemon
@@ -58,11 +58,12 @@ func run(args []string, out io.Writer) error {
 		outDir   = fs.String("out", "shards", "output directory")
 		nshards  = fs.Int("shards", 4, "number of shards")
 		strategy = fs.String("strategy", "hash", "label assignment: hash or range (balanced by entry count)")
-		kind     = fs.String("index", "", "also build a per-shard index: flat or ivf (empty: none)")
-		nlist    = fs.Int("nlist", 0, "IVF lists per label (0 = auto ≈√n)")
-		nprobe   = fs.Int("nprobe", 0, "IVF lists probed per query (0 = auto)")
-		iters    = fs.Int("iters", 0, "IVF k-means iterations (0 = default)")
-		seed     = fs.Uint64("seed", 42, "IVF training seed")
+		kind     = fs.String("index", "", "also build a per-shard index: flat, ivf, or ivfpq (empty: none)")
+		nlist    = fs.Int("nlist", 0, "IVF/IVFPQ lists per label (0 = auto ≈√n)")
+		nprobe   = fs.Int("nprobe", 0, "IVF/IVFPQ lists probed per query (0 = auto)")
+		iters    = fs.Int("iters", 0, "IVF/IVFPQ k-means iterations (0 = default)")
+		seed     = fs.Uint64("seed", 42, "IVF/IVFPQ training seed")
+		pqM      = fs.Int("pq-m", 0, "IVFPQ subquantizers (code bytes per entry, must divide the fingerprint dim; 0 = auto)")
 
 		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this sidecar host:port while splitting (empty = no debug listener)")
 	)
@@ -88,14 +89,15 @@ func run(args []string, out io.Writer) error {
 	var spec serve.BackendSpec
 	if *kind != "" {
 		var err error
-		spec, err = serve.ParseBackend(*kind, index.IVFOptions{
-			Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed,
+		spec, err = serve.ParseBackend(*kind, index.IVFPQOptions{
+			IVFOptions: index.IVFOptions{Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed},
+			M:          *pqM,
 		})
 		if err != nil {
 			return err
 		}
 		if _, linear := spec.(serve.LinearSpec); linear {
-			return fmt.Errorf("-index linear has nothing to persist (want flat or ivf)")
+			return fmt.Errorf("-index linear has nothing to persist (want flat, ivf, or ivfpq)")
 		}
 	}
 

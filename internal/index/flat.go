@@ -64,6 +64,25 @@ func (x *Flat) Append(dbIndex int, l fingerprint.Linkage) error {
 	return nil
 }
 
+// VectorBytes reports the bytes of search geometry the index holds in
+// memory — vector storage plus the per-entry database indices —
+// excluding the provenance metadata (source, hash) every backend
+// stores identically. For Flat this is essentially 4·dim bytes per
+// entry; the IVFPQ backend's VectorBytes divides this by roughly
+// 4·dim/M. The bench trajectory's bytes/entry rows and the
+// TestIVFPQRecall memory assertion both compare backends through this
+// method.
+func (x *Flat) VectorBytes() int64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var total int64
+	for _, b := range x.buckets {
+		total += 4 * int64(len(b.vecs))
+		total += 4 * int64(len(b.idx))
+	}
+	return total
+}
+
 // Search returns the k nearest same-label entries to f, ascending by L2
 // distance with ties broken by database index — exactly DB.Query's
 // contract.

@@ -475,8 +475,8 @@ func TestIVFRecallAfterAppend(t *testing.T) {
 	}
 }
 
-// TestAppendSearchRace hammers Append and Search concurrently on both
-// appendable backends — the interleaving the online ingest path
+// TestAppendSearchRace hammers Append and Search concurrently on every
+// appendable backend — the interleaving the online ingest path
 // creates, run under -race in CI.
 func TestAppendSearchRace(t *testing.T) {
 	db := populatedDB(t, 8, 400, 4, 61)
@@ -484,7 +484,11 @@ func TestAppendSearchRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, backend := range []Appender{NewFlat(db), ivf} {
+	ivfpq, err := TrainIVFPQ(db, IVFPQOptions{IVFOptions: IVFOptions{Nlist: 8, Seed: 8}, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []Appender{NewFlat(db), ivf, ivfpq} {
 		var wg sync.WaitGroup
 		stop := make(chan struct{})
 		for g := 0; g < 3; g++ {

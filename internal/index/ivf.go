@@ -265,6 +265,25 @@ func (x *IVF) Drift() float64 {
 	return float64(x.appended) / float64(x.total)
 }
 
+// VectorBytes reports the bytes of search geometry the index holds in
+// memory: the full float32 vectors, per-entry database indices,
+// centroid tables, and inverted-list positions. Provenance metadata
+// (source, hash) is excluded, as in Flat.VectorBytes.
+func (x *IVF) VectorBytes() int64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var total int64
+	for _, c := range x.labels {
+		total += 4 * int64(len(c.b.vecs))
+		total += 4 * int64(len(c.b.idx))
+		total += 4 * int64(len(c.centroids))
+		for _, list := range c.lists {
+			total += 4 * int64(len(list))
+		}
+	}
+	return total
+}
+
 // Nprobe returns the current probe width.
 func (x *IVF) Nprobe() int { return int(x.nprobe.Load()) }
 

@@ -29,11 +29,20 @@ var (
 //	entry: idx u32 | srclen u16 | src | hash[32] | dim × f32
 //	IVF only: nprobe u32, then per label: nlist u32 |
 //	          nlist×dim × f32 centroids | nlist × (len u32 | len × pos u32)
+//
+// IVFPQ stores no float vectors, so after the same header its body
+// replaces the per-label entry section entirely:
+//
+//	nprobe u32 | m u32
+//	per label (ascending): label i32 | nlist u32 |
+//	  nlist×dim × f32 centroids | m×256×(dim/m) × f32 codebook |
+//	  nlist × (len u32 | len × (idx u32 | srclen u16 | src | hash[32] | m code bytes))
 const (
 	ixMagic   = "CTIX"
 	ixVersion = 1
 	kindFlat  = 0
 	kindIVF   = 1
+	kindIVFPQ = 2
 )
 
 const (
@@ -66,6 +75,10 @@ func Save(w io.Writer, s Searcher) error {
 		for y, c := range x.labels {
 			buckets[y] = c.b
 		}
+	case *IVFPQ:
+		x.mu.RLock()
+		defer x.mu.RUnlock()
+		return saveIVFPQ(bw, x)
 	default:
 		return fmt.Errorf("index: save: unsupported backend %q", s.Kind())
 	}
@@ -128,7 +141,63 @@ func Save(w io.Writer, s Searcher) error {
 	return nil
 }
 
-// Load deserializes an index written by Save, returning a *Flat or *IVF.
+// saveIVFPQ writes the kindIVFPQ stream: header, search knobs, then per
+// label the coarse centroids, PQ codebook, and code-carrying inverted
+// lists. The caller holds the index read lock.
+func saveIVFPQ(bw *bufio.Writer, x *IVFPQ) error {
+	if _, err := bw.WriteString(ixMagic); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	bw.WriteByte(ixVersion)
+	bw.WriteByte(kindIVFPQ)
+	var u32 [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		bw.Write(u32[:])
+	}
+	put(uint32(x.dim))
+	put(uint32(len(x.labels)))
+	put(uint32(x.Nprobe()))
+	put(uint32(x.m))
+	labels := make([]int, 0, len(x.labels))
+	for y := range x.labels {
+		labels = append(labels, y)
+	}
+	sort.Ints(labels)
+	for _, y := range labels {
+		c := x.labels[y]
+		put(uint32(int32(y)))
+		put(uint32(c.nlist))
+		for _, v := range c.centroids {
+			put(math.Float32bits(v))
+		}
+		for _, v := range c.book.centroids {
+			put(math.Float32bits(v))
+		}
+		for _, l := range c.lists {
+			put(uint32(l.n()))
+			for i := 0; i < l.n(); i++ {
+				if len(l.src[i]) > 65535 {
+					return fmt.Errorf("index: save: source %q… exceeds 65535 bytes", l.src[i][:32])
+				}
+				put(uint32(l.idx[i]))
+				var u16 [2]byte
+				binary.LittleEndian.PutUint16(u16[:], uint16(len(l.src[i])))
+				bw.Write(u16[:])
+				bw.WriteString(l.src[i])
+				bw.Write(l.hash[i][:])
+				bw.Write(l.codes[i*x.m : (i+1)*x.m])
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes an index written by Save, returning a *Flat, *IVF,
+// or *IVFPQ.
 func Load(r io.Reader) (Searcher, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, 4+1+1+4+4)
@@ -153,6 +222,9 @@ func Load(r io.Reader) (Searcher, error) {
 			return 0, err
 		}
 		return binary.LittleEndian.Uint32(u32b[:]), nil
+	}
+	if kind == kindIVFPQ {
+		return loadIVFPQ(br, dim, nlabels, get)
 	}
 	labels := make([]int, nlabels)
 	buckets := make(map[int]*bucket, nlabels)
@@ -280,4 +352,106 @@ func Load(r io.Reader) (Searcher, error) {
 	default:
 		return nil, fmt.Errorf("index: load: unknown kind %d: %w", kind, ErrCorrupt)
 	}
+}
+
+// loadIVFPQ deserializes the kindIVFPQ body. Hostile headers must error
+// (never panic or balloon): every count is bounds-checked before its
+// allocation, mirroring the flat/IVF loader.
+func loadIVFPQ(br *bufio.Reader, dim, nlabels int, get func() (uint32, error)) (*IVFPQ, error) {
+	np, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("index: load nprobe: %w: %w", err, ErrCorrupt)
+	}
+	if np == 0 || np > maxPlausible {
+		return nil, fmt.Errorf("index: load: implausible nprobe %d: %w", np, ErrCorrupt)
+	}
+	mv, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("index: load m: %w: %w", err, ErrCorrupt)
+	}
+	m := int(mv)
+	if m < 1 || m > dim || dim%m != 0 {
+		return nil, fmt.Errorf("index: load: IVFPQ m=%d does not divide dim %d: %w", m, dim, ErrCorrupt)
+	}
+	dsub := dim / m
+	x := &IVFPQ{dim: dim, m: m, labels: make(map[int]*ivfpqClass, nlabels)}
+	x.nprobe.Store(int32(np))
+	for li := 0; li < nlabels; li++ {
+		yv, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("index: load label %d: %w: %w", li, err, ErrCorrupt)
+		}
+		y := int(int32(yv))
+		if _, dup := x.labels[y]; dup {
+			return nil, fmt.Errorf("index: load: duplicate label %d: %w", y, ErrCorrupt)
+		}
+		nl, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("index: load label %d lists: %w: %w", y, err, ErrCorrupt)
+		}
+		nlist := int(nl)
+		if nlist <= 0 || nlist > maxPlausible || nlist*dim > maxPlausibleElems {
+			return nil, fmt.Errorf("index: load: implausible nlist %d (dim %d): %w", nlist, dim, ErrCorrupt)
+		}
+		c := &ivfpqClass{
+			nlist:     nlist,
+			centroids: make([]float32, nlist*dim),
+			book:      &pqCodebook{m: m, dsub: dsub, centroids: make([]float32, m*pqKs*dsub)},
+			lists:     make([]*pqList, nlist),
+		}
+		for j := range c.centroids {
+			v, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("index: load centroids %d: %w: %w", y, err, ErrCorrupt)
+			}
+			c.centroids[j] = math.Float32frombits(v)
+		}
+		for j := range c.book.centroids {
+			v, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("index: load codebook %d: %w: %w", y, err, ErrCorrupt)
+			}
+			c.book.centroids[j] = math.Float32frombits(v)
+		}
+		for ci := 0; ci < nlist; ci++ {
+			ln, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("index: load list %d/%d: %w: %w", y, ci, err, ErrCorrupt)
+			}
+			n := int(ln)
+			if n > maxPlausible || n*m > maxPlausibleElems {
+				return nil, fmt.Errorf("index: load: implausible list length %d (m %d): %w", n, m, ErrCorrupt)
+			}
+			l := &pqList{
+				codes: make([]byte, n*m),
+				idx:   make([]int32, n),
+				src:   make([]string, n),
+				hash:  make([][32]byte, n),
+			}
+			for i := 0; i < n; i++ {
+				iv, err := get()
+				if err != nil {
+					return nil, fmt.Errorf("index: load entry %d/%d/%d: %w: %w", y, ci, i, err, ErrCorrupt)
+				}
+				l.idx[i] = int32(iv)
+				var u16 [2]byte
+				if _, err := io.ReadFull(br, u16[:]); err != nil {
+					return nil, fmt.Errorf("index: load entry %d/%d/%d: %w: %w", y, ci, i, err, ErrCorrupt)
+				}
+				rest := make([]byte, int(binary.LittleEndian.Uint16(u16[:]))+32+m)
+				if _, err := io.ReadFull(br, rest); err != nil {
+					return nil, fmt.Errorf("index: load entry %d/%d/%d: %w: %w", y, ci, i, err, ErrCorrupt)
+				}
+				slen := len(rest) - 32 - m
+				l.src[i] = string(rest[:slen])
+				copy(l.hash[i][:], rest[slen:slen+32])
+				copy(l.codes[i*m:(i+1)*m], rest[slen+32:])
+			}
+			c.lists[ci] = l
+			c.n += n
+		}
+		x.labels[y] = c
+		x.total += c.n
+	}
+	return x, nil
 }

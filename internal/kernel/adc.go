@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// ADC (asymmetric distance computation) table scan — the product-
+// quantization list-scan primitive behind the IVFPQ backend. A query is
+// turned into one lookup table of partial squared distances (M
+// subquantizers × ADCKs centroids, float32), and each stored code — M
+// uint8 centroid indices — is scored by summing its M table cells. The
+// subtract-square work is paid once per (query, list) when the table is
+// built; scanning a code costs M loads and M adds, independent of the
+// vector dimensionality.
+//
+// Bit-stability contract. ADCScan follows the same rule as SqDist:
+// every implementation MUST produce bitwise identical float64 results,
+// and the summation order is part of the specification, mirroring the
+// pair kernel so a future AVX2 gather path realises the identical
+// rounding:
+//
+//	nblk = m &^ 7
+//	p[k] = Σ_i t[8i+k]  for 8i+k < nblk, i ascending   (8 partial sums)
+//	s    = ((p0+p4)+(p2+p6)) + ((p1+p5)+(p3+p7))       (fixed tree)
+//	s   += t[j]  for j = nblk..m-1, j ascending         (scalar tail)
+//
+// where t[j] = float64(table[j*ADCKs + codes[j]]), every addition
+// IEEE-754 double rounded. A NaN result is canonicalized to the
+// math.NaN() bit pattern, exactly as SqDist canonicalizes.
+
+// ADCKs is the per-subquantizer codebook size. It is fixed at 256 so a
+// code element is exactly one uint8 and table rows have a constant
+// stride — both the storage format and the scan kernel bake it in.
+const ADCKs = 256
+
+// adcScanGeneric is the portable blocked reference: row r of codes
+// (m bytes) scores out[r] per the specified summation order.
+func adcScanGeneric(table []float32, codes []byte, m int, out []float64) {
+	nblk := m &^ 7
+	for r := range out {
+		row := codes[r*m : (r+1)*m]
+		var p [8]float64
+		for j := 0; j < nblk; j += 8 {
+			cc := row[j : j+8]
+			for k := 0; k < 8; k++ {
+				p[k] += float64(table[(j+k)*ADCKs+int(cc[k])])
+			}
+		}
+		s := ((p[0] + p[4]) + (p[2] + p[6])) + ((p[1] + p[5]) + (p[3] + p[7]))
+		for j := nblk; j < m; j++ {
+			s += float64(table[j*ADCKs+int(row[j])])
+		}
+		if s != s {
+			s = math.NaN() // canonical payload, same as SqDist
+		}
+		out[r] = s
+	}
+}
+
+// checkADCArgs validates one ADCScan call; hot paths size their
+// arguments once per request, so violations are programming errors.
+func checkADCArgs(name string, table []float32, codes []byte, m int, out []float64) {
+	if m < 0 {
+		panic(fmt.Sprintf("kernel: %s m must be non-negative, got %d", name, m))
+	}
+	if len(table) != m*ADCKs {
+		panic(fmt.Sprintf("kernel: %s table has %d cells, want m×Ks = %d×%d", name, len(table), m, ADCKs))
+	}
+	if len(codes) != len(out)*m {
+		panic(fmt.Sprintf("kernel: %s %d code bytes for %d rows of %d", name, len(codes), len(out), m))
+	}
+}
+
+// ADCScan scores len(out) product-quantized codes against one query's
+// ADC lookup table via the active implementation: out[r] is the sum of
+// the m table cells row r of codes selects, per the package's specified
+// summation order. table is m×ADCKs partial squared distances
+// (row-major by subquantizer); codes is len(out) rows of m uint8
+// centroid indices.
+func ADCScan(table []float32, codes []byte, m int, out []float64) {
+	checkADCArgs("ADCScan:", table, codes, m, out)
+	active.Load().ADCScan(table, codes, m, out)
+}
+
+// ADCScanRef is the portable reference, exported under a fixed name so
+// the differential harness compares hardware paths against it
+// regardless of which implementation is active.
+func ADCScanRef(table []float32, codes []byte, m int, out []float64) {
+	checkADCArgs("ADCScanRef:", table, codes, m, out)
+	adcScanGeneric(table, codes, m, out)
+}

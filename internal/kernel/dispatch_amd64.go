@@ -47,8 +47,12 @@ func sqDistAsm(q, v []float32) float64 {
 
 // registerArch appends the AVX2 path when the host supports it; called
 // once from the package init before the dispatch default is chosen.
+// The ADC slot currently points at the portable scan — table lookups
+// are load-bound and the blocked reference already saturates them; the
+// dispatch slot is where a VPGATHERDD path lands without touching any
+// caller, held to the reference by kerneltest.CheckADC/FuzzADCParity.
 func registerArch() {
 	if hasAVX2() {
-		impls = append(impls, Impl{Name: "avx2", SqDist: sqDistAsm})
+		impls = append(impls, Impl{Name: "avx2", SqDist: sqDistAsm, ADCScan: adcScanGeneric})
 	}
 }

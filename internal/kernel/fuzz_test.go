@@ -3,6 +3,7 @@ package kernel_test
 import (
 	"testing"
 
+	"caltrain/internal/kernel"
 	"caltrain/internal/kernel/kerneltest"
 )
 
@@ -42,5 +43,35 @@ func FuzzDistanceBatchParity(f *testing.F) {
 			buf[i] = vals[i%len(vals)]
 		}
 		kerneltest.CheckBatch(t, buf[:numQ*d], buf[numQ*d:], d)
+	})
+}
+
+// FuzzADCParity drives the ADC table scan with fuzz-chosen shapes — the
+// subquantizer count m and the row count straddle the 8-row block
+// boundary — over lookup tables populated from raw bytes, so NaN
+// payloads, infinities, and subnormals land in table cells, and fails
+// on any bitwise divergence between a registered implementation and the
+// portable reference.
+func FuzzADCParity(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, byte(1), byte(3))
+	f.Add([]byte{0x7f, 0xc0, 0, 0, 0xff, 0x80, 0, 0}, byte(4), byte(9))
+	f.Fuzz(func(t *testing.T, data []byte, mb, nb byte) {
+		m := 1 + int(mb)%8
+		rows := 1 + int(nb)%300
+		vals := kerneltest.FromBytes(data)
+		if len(vals) == 0 {
+			vals = []float32{0}
+		}
+		table := make([]float32, m*kernel.ADCKs)
+		for i := range table {
+			table[i] = vals[i%len(vals)]
+		}
+		codes := make([]byte, rows*m)
+		if len(data) > 0 {
+			for i := range codes {
+				codes[i] = data[i%len(data)]
+			}
+		}
+		kerneltest.CheckADC(t, table, codes, m)
 	})
 }

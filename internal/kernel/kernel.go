@@ -56,11 +56,16 @@ type Impl struct {
 	// equal-length float32 vectors, computed per the package's
 	// specified summation order.
 	SqDist func(q, v []float32) float64
+	// ADCScan is the product-quantization table-scan kernel (adc.go):
+	// it scores rows of uint8 codes against one query's ADC lookup
+	// table, per the specified summation order. Arguments are validated
+	// by the package-level ADCScan before dispatch.
+	ADCScan func(table []float32, codes []byte, m int, out []float64)
 }
 
 // impls is the registry: the portable reference first, hardware paths
 // appended by per-arch init (dispatch_amd64.go).
-var impls = []Impl{{Name: "generic", SqDist: sqDistGeneric}}
+var impls = []Impl{{Name: "generic", SqDist: sqDistGeneric, ADCScan: adcScanGeneric}}
 
 // active is the implementation SqDist and the batched entry points
 // dispatch to. It is atomic so benchmarks can swap implementations while

@@ -97,6 +97,43 @@ func checkOrder(t testing.TB, q, v []float32) {
 	}
 }
 
+// CheckADC fails t unless every registered implementation's ADC
+// table scan returns the reference's exact float64 bits over (table,
+// codes): same fixed reduction tree, same canonical NaN, any m. table
+// must be m×ADCKs floats; trailing code bytes short of a full m-byte
+// row are dropped.
+func CheckADC(t testing.TB, table []float32, codes []byte, m int) {
+	t.Helper()
+	if m <= 0 {
+		t.Fatalf("CheckADC needs m ≥ 1, got %d", m)
+	}
+	rows := len(codes) / m
+	codes = codes[:rows*m]
+	want := make([]float64, rows)
+	kernel.ADCScanRef(table, codes, m, want)
+	got := make([]float64, rows)
+	check := func(name string) {
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s: ADCScan[%d] = %v (%#016x), reference %v (%#016x) (m=%d, rows=%d)",
+					name, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]), m, rows)
+			}
+		}
+	}
+	for _, im := range kernel.Impls() {
+		for i := range got {
+			got[i] = -1
+		}
+		im.ADCScan(table, codes, m, got)
+		check("impl " + im.Name)
+	}
+	for i := range got {
+		got[i] = -1
+	}
+	kernel.ADCScan(table, codes, m, got)
+	check("dispatched (" + kernel.Active() + ")")
+}
+
 // CheckBatch fails t unless the batched entry points (DistanceBatch,
 // DistanceRows, DistanceGather) agree cell-for-cell, in exact bits,
 // with pairwise reference calls over the same queries and vectors.

@@ -53,13 +53,18 @@ type Config struct {
 // resolved through ParseBackend — the same single string-to-backend
 // seam the -backend flag uses.
 type BackendConfig struct {
-	// Kind is "linear", "flat", or "ivf" ("" means flat).
+	// Kind is "linear", "flat", "ivf", or "ivfpq" ("" means flat).
 	Kind string `json:"kind"`
-	// IVF training and search knobs (ivf only; zero = auto defaults).
+	// IVF training and search knobs (ivf and ivfpq; zero = auto
+	// defaults).
 	Nlist  int    `json:"nlist,omitempty"`
 	Nprobe int    `json:"nprobe,omitempty"`
 	Iters  int    `json:"iters,omitempty"`
 	Seed   uint64 `json:"seed,omitempty"`
+	// M is the ivfpq subquantizer count (code bytes per entry); it must
+	// divide the fingerprint dimensionality. Zero picks the largest of
+	// {16, 8, 4, 2, 1} that does.
+	M int `json:"m,omitempty"`
 }
 
 // WALFileConfig is the file form of WALConfig plus the WAL tuning the
@@ -195,11 +200,14 @@ func (c Config) Deployment() (Deployment, error) {
 	if kind == "" {
 		kind = "flat"
 	}
-	spec, err := ParseBackend(kind, index.IVFOptions{
-		Nlist:  c.Backend.Nlist,
-		Nprobe: c.Backend.Nprobe,
-		Iters:  c.Backend.Iters,
-		Seed:   c.Backend.Seed,
+	spec, err := ParseBackend(kind, index.IVFPQOptions{
+		IVFOptions: index.IVFOptions{
+			Nlist:  c.Backend.Nlist,
+			Nprobe: c.Backend.Nprobe,
+			Iters:  c.Backend.Iters,
+			Seed:   c.Backend.Seed,
+		},
+		M: c.Backend.M,
 	})
 	if err != nil {
 		return Deployment{}, err

@@ -50,6 +50,24 @@ func TestParseConfigFull(t *testing.T) {
 	}
 }
 
+// TestParseConfigIVFPQ: the "m" knob reaches the IVFPQ spec alongside
+// the shared IVF tunables.
+func TestParseConfigIVFPQ(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(
+		`{"backend": {"kind": "ivfpq", "nlist": 8, "nprobe": 4, "seed": 9, "m": 4}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := cfg.Deployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, ok := dep.Backend.(IVFPQSpec)
+	if !ok || pq.Nlist != 8 || pq.Nprobe != 4 || pq.Seed != 9 || pq.M != 4 {
+		t.Fatalf("backend spec: %#v", dep.Backend)
+	}
+}
+
 // TestParseConfigRejects: unknown fields, bad kinds, bad durations, bad
 // fsync policies, and impossible topologies all fail at parse/translate
 // time instead of silently serving defaults.

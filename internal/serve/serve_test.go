@@ -37,9 +37,10 @@ func TestParseBackend(t *testing.T) {
 		{"linear", "linear"},
 		{"flat", "flat"},
 		{"ivf", "ivf"},
+		{"ivfpq", "ivfpq"},
 	}
 	for _, c := range cases {
-		spec, err := ParseBackend(c.kind, index.IVFOptions{})
+		spec, err := ParseBackend(c.kind, index.IVFPQOptions{})
 		if err != nil {
 			t.Fatalf("%s: %v", c.kind, err)
 		}
@@ -47,14 +48,19 @@ func TestParseBackend(t *testing.T) {
 			t.Fatalf("%s: kind %s", c.kind, spec.Kind())
 		}
 	}
-	if _, err := ParseBackend("annoy", index.IVFOptions{}); err == nil {
+	if _, err := ParseBackend("annoy", index.IVFPQOptions{}); err == nil {
 		t.Fatal("unknown backend kind accepted")
 	}
 }
 
 func TestSpecBuildKinds(t *testing.T) {
 	db := testDB(t, 8, 200, 4)
-	for _, spec := range []BackendSpec{LinearSpec{}, FlatSpec{}, IVFSpec{index.IVFOptions{Nlist: 2, Nprobe: 2, Seed: 3}}} {
+	for _, spec := range []BackendSpec{
+		LinearSpec{},
+		FlatSpec{},
+		IVFSpec{index.IVFOptions{Nlist: 2, Nprobe: 2, Seed: 3}},
+		IVFPQSpec{index.IVFPQOptions{IVFOptions: index.IVFOptions{Nlist: 2, Nprobe: 2, Seed: 3}, M: 4}},
+	} {
 		sr, err := spec.Build(db)
 		if err != nil {
 			t.Fatalf("%s build: %v", spec.Kind(), err)
@@ -75,6 +81,9 @@ func TestSpecBuildKinds(t *testing.T) {
 		t.Fatal("exact specs should not retrain")
 	}
 	if (IVFSpec{}).Rebuild() == nil {
+		t.Fatal("IVFSpec must supply a rebuild hook")
+	}
+	if (IVFPQSpec{}).Rebuild() == nil {
 		t.Fatal("ivf spec has no retrain hook")
 	}
 }

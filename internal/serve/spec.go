@@ -23,8 +23,8 @@ import (
 // facade and the daemons hold a Spec, and only ParseBackend ever maps a
 // wire/flag name to one.
 type BackendSpec interface {
-	// Kind returns the backend's wire name ("linear", "flat", "ivf") —
-	// what /v1/meta and /v1/stats report.
+	// Kind returns the backend's wire name ("linear", "flat", "ivf",
+	// "ivfpq") — what /v1/meta and /v1/stats report.
 	Kind() string
 	// Build constructs the backend over db.
 	Build(db *fingerprint.DB) (fingerprint.Searcher, error)
@@ -87,6 +87,32 @@ func (s IVFSpec) Rebuild() func(*fingerprint.DB) (fingerprint.Searcher, error) {
 	}
 }
 
+// IVFPQSpec serves the product-quantized inverted-file index: IVF's
+// coarse structure with M-byte codes instead of float vectors in the
+// lists, ~4·dim/M times smaller in memory and scanned by ADC table
+// lookups. Like IVFSpec it supplies the drift-triggered background
+// retrain for durable write paths.
+type IVFPQSpec struct {
+	index.IVFPQOptions
+}
+
+// Kind implements BackendSpec.
+func (IVFPQSpec) Kind() string { return "ivfpq" }
+
+// Build implements BackendSpec.
+func (s IVFPQSpec) Build(db *fingerprint.DB) (fingerprint.Searcher, error) {
+	return index.TrainIVFPQ(db, s.IVFPQOptions)
+}
+
+// Rebuild implements BackendSpec: retrain with the same options over a
+// fresh snapshot, for the write path's drift-triggered hot swap.
+func (s IVFPQSpec) Rebuild() func(*fingerprint.DB) (fingerprint.Searcher, error) {
+	opts := s.IVFPQOptions
+	return func(snap *fingerprint.DB) (fingerprint.Searcher, error) {
+		return index.TrainIVFPQ(snap, opts)
+	}
+}
+
 // PrebuiltSpec wraps an already-built backend — a daemon that loaded a
 // serialized index with -load-index serves it through the same
 // Deployment layer as a freshly trained one. It cannot be sharded: the
@@ -114,16 +140,20 @@ func (s PrebuiltSpec) Rebuild() func(*fingerprint.DB) (fingerprint.Searcher, err
 
 // ParseBackend maps a backend's wire/flag name to its Spec — the single
 // place the serving tier turns a string into a backend. The daemons'
-// -backend flag and the facade both resolve here.
-func ParseBackend(kind string, ivf index.IVFOptions) (BackendSpec, error) {
+// -backend flag and the facade both resolve here. opts carries every
+// tunable; the exact backends ignore it, "ivf" reads the embedded
+// IVFOptions, and "ivfpq" additionally reads M.
+func ParseBackend(kind string, opts index.IVFPQOptions) (BackendSpec, error) {
 	switch kind {
 	case "linear":
 		return LinearSpec{}, nil
 	case "flat":
 		return FlatSpec{}, nil
 	case "ivf":
-		return IVFSpec{IVFOptions: ivf}, nil
+		return IVFSpec{IVFOptions: opts.IVFOptions}, nil
+	case "ivfpq":
+		return IVFPQSpec{IVFPQOptions: opts}, nil
 	default:
-		return nil, fmt.Errorf("serve: unknown backend kind %q (want linear, flat, or ivf)", kind)
+		return nil, fmt.Errorf("serve: unknown backend kind %q (want linear, flat, ivf, or ivfpq)", kind)
 	}
 }

@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"caltrain/internal/fingerprint"
+)
+
+// cacheKey identifies one single-query request for the router's
+// response cache: the owning label, an FNV-1a hash of the fingerprint,
+// and the requested k. Hot accountability queries — the same suspect
+// fingerprint checked repeatedly against the same label — repeat this
+// triple exactly, which is what makes a router-side cache worth its
+// memory: a hit saves the whole scatter round trip.
+type cacheKey struct {
+	label  int
+	fpHash uint64
+	k      int
+}
+
+// fingerprintHash folds a fingerprint into the cache key with FNV-1a
+// over the raw float bits. Bit-exact equality is the right notion here:
+// clients replay byte-identical JSON for repeated checks, and hashing
+// bits (not values) keeps -0 vs +0 and NaN payloads from aliasing
+// distinct requests.
+func fingerprintHash(fp []float32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range fp {
+		b := math.Float32bits(v)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(b >> s))
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// cacheEntry is one cached response plus the shard generation it was
+// computed under; a bumped generation turns the entry stale in place.
+type cacheEntry struct {
+	key   cacheKey
+	resp  *fingerprint.QueryResponse
+	shard int
+	gen   uint64
+}
+
+// responseCache is the router's bounded LRU over single-query
+// responses. Correctness under writes comes from per-shard generation
+// counters rather than scanning for affected keys: an ingest routed to
+// shard sid bumps gens[sid], and every entry computed under an older
+// generation misses (and is evicted) on its next lookup. Lookups
+// capture the generation BEFORE the scatter and store it with the
+// entry, so a write that lands mid-flight still invalidates the
+// response cached after it.
+type responseCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+	gens  []atomic.Uint64
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newResponseCache(capacity, nshards int) *responseCache {
+	return &responseCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element, capacity),
+		gens:  make([]atomic.Uint64, nshards),
+	}
+}
+
+// gen reads shard sid's current generation; callers snapshot it before
+// scattering and pass it back to put.
+func (c *responseCache) gen(sid int) uint64 { return c.gens[sid].Load() }
+
+// bump invalidates every cached response owned by shard sid.
+func (c *responseCache) bump(sid int) { c.gens[sid].Add(1) }
+
+// get returns the cached response for key if present and still current
+// under its shard's generation. Stale entries count as misses and are
+// evicted on the spot.
+func (c *responseCache) get(key cacheKey) (*fingerprint.QueryResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != c.gens[e.shard].Load() {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return e.resp, true
+}
+
+// put stores a response computed for key against shard sid under the
+// generation snapshotted before the scatter, evicting the least
+// recently used entry past capacity.
+func (c *responseCache) put(key cacheKey, sid int, gen uint64, resp *fingerprint.QueryResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.resp, e.shard, e.gen = resp, sid, gen
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp, shard: sid, gen: gen})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the live entry count (stale entries included until their
+// next lookup evicts them).
+func (c *responseCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

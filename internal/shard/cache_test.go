@@ -1,0 +1,230 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"caltrain/internal/fingerprint"
+)
+
+// cacheIngester is a minimal volatile write path for cache tests:
+// entries apply straight to the shard database the replica serves, so
+// an invalidated cache entry observably changes answers.
+type cacheIngester struct{ db *fingerprint.DB }
+
+func (c *cacheIngester) IngestBatch(ls []fingerprint.Linkage) (int, error) {
+	for i, l := range ls {
+		if err := c.db.Add(l); err != nil {
+			return i, err
+		}
+	}
+	return len(ls), nil
+}
+
+func (c *cacheIngester) IngestStats() fingerprint.IngestStats { return fingerprint.IngestStats{} }
+
+// cachedFixture shards db across nshards linear local replicas that
+// accept volatile writes, behind a router with an n-entry response
+// cache.
+func cachedFixture(t *testing.T, db *fingerprint.DB, nshards, n int) *Router {
+	t.Helper()
+	m := mustHashMap(t, nshards)
+	parts, err := SplitDB(db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas := make([][]Replica, nshards)
+	for i, p := range parts {
+		svc := fingerprint.NewService(p, fingerprint.WithIngester(&cacheIngester{db: p}))
+		replicas[i] = []Replica{NewLocalReplica(fmt.Sprintf("local-%d", i), svc)}
+	}
+	rt, err := NewRouter(m, replicas, WithRouterResponseCache(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func postQuery(t *testing.T, h http.Handler, q fingerprint.QueryRequest) *fingerprint.QueryResponse {
+	t.Helper()
+	payload, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(payload)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out fingerprint.QueryResponse
+	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestRouterResponseCacheHit: a repeated single query answers from the
+// cache (hit counter moves, answers identical), while a different k or
+// fingerprint misses.
+func TestRouterResponseCacheHit(t *testing.T) {
+	db := testDB(t, 8, 200, 6)
+	rt := cachedFixture(t, db, 2, 64)
+	h := rt.Handler()
+
+	q := fingerprint.QueryRequest{Fingerprint: db.Entry(0).F, Label: 0, K: 3}
+	first := postQuery(t, h, q)
+	if rt.cache.hits.Load() != 0 || rt.cache.misses.Load() != 1 {
+		t.Fatalf("after first query: hits=%d misses=%d", rt.cache.hits.Load(), rt.cache.misses.Load())
+	}
+	second := postQuery(t, h, q)
+	if rt.cache.hits.Load() != 1 {
+		t.Fatalf("repeat query did not hit: hits=%d misses=%d", rt.cache.hits.Load(), rt.cache.misses.Load())
+	}
+	if len(first.Matches) != len(second.Matches) {
+		t.Fatalf("cached answer diverges: %d vs %d matches", len(first.Matches), len(second.Matches))
+	}
+	for i := range first.Matches {
+		if first.Matches[i] != second.Matches[i] {
+			t.Fatalf("cached match %d diverges: %+v vs %+v", i, first.Matches[i], second.Matches[i])
+		}
+	}
+
+	// Same fingerprint, different k: a distinct request, so a miss.
+	q.K = 4
+	postQuery(t, h, q)
+	if rt.cache.hits.Load() != 1 {
+		t.Fatalf("different k hit the cache: hits=%d", rt.cache.hits.Load())
+	}
+}
+
+// TestRouterResponseCacheInvalidatedByIngest: a write routed to the
+// owning shard invalidates that shard's cached responses — the next
+// lookup misses and serves the post-write answer — while entries owned
+// by other shards keep hitting.
+func TestRouterResponseCacheInvalidatedByIngest(t *testing.T) {
+	db := testDB(t, 8, 200, 6)
+	rt := cachedFixture(t, db, 2, 64)
+	h := rt.Handler()
+
+	// Find two labels on different shards.
+	la := 0
+	lb := -1
+	for y := 1; y < 6; y++ {
+		if rt.m.Shard(y) != rt.m.Shard(la) {
+			lb = y
+			break
+		}
+	}
+	if lb < 0 {
+		t.Fatal("all labels on one shard")
+	}
+
+	qa := fingerprint.QueryRequest{Fingerprint: db.Entry(0).F, Label: la, K: 3}
+	qb := fingerprint.QueryRequest{Fingerprint: db.Entry(1).F, Label: lb, K: 3}
+	before := postQuery(t, h, qa)
+	postQuery(t, h, qb)
+
+	// Ingest an exact duplicate of qa's fingerprint under label la: the
+	// post-write top match is at distance 0.
+	entries := []fingerprint.IngestEntry{{Fingerprint: qa.Fingerprint, Label: la, Source: "new-party"}}
+	payload, _ := json.Marshal(fingerprint.IngestRequest{Entries: entries})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(payload)))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"accepted":1`) {
+		t.Fatalf("ingest status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	hits := rt.cache.hits.Load()
+	after := postQuery(t, h, qa)
+	if rt.cache.hits.Load() != hits {
+		t.Fatal("query on the written shard hit a stale cache entry")
+	}
+	// The duplicate ties the original at distance 0 and loses the index
+	// tie-break, but it must show up in the top 3 — only a fresh scatter
+	// can see it.
+	var found bool
+	for _, m := range after.Matches {
+		found = found || m.Source == "new-party"
+	}
+	if !found {
+		t.Fatalf("post-ingest answer is stale: %+v (before: %+v)", after.Matches, before.Matches)
+	}
+	// The other shard's entry survived the invalidation.
+	postQuery(t, h, qb)
+	if rt.cache.hits.Load() != hits+1 {
+		t.Fatal("write to one shard evicted another shard's entries")
+	}
+}
+
+// TestRouterResponseCacheBounded: the LRU never exceeds its capacity
+// and evicts the least recently used key first.
+func TestRouterResponseCacheBounded(t *testing.T) {
+	c := newResponseCache(3, 1)
+	resp := &fingerprint.QueryResponse{}
+	for i := 0; i < 5; i++ {
+		c.put(cacheKey{label: i}, 0, 0, resp)
+	}
+	if c.len() != 3 {
+		t.Fatalf("cache holds %d entries, cap 3", c.len())
+	}
+	// 2,3,4 remain; touch 2 so 3 is the LRU, then insert one more.
+	if _, ok := c.get(cacheKey{label: 2}); !ok {
+		t.Fatal("recent entry evicted")
+	}
+	c.put(cacheKey{label: 5}, 0, 0, resp)
+	if _, ok := c.get(cacheKey{label: 3}); ok {
+		t.Fatal("LRU entry survived past capacity")
+	}
+	if _, ok := c.get(cacheKey{label: 2}); !ok {
+		t.Fatal("recently used entry evicted instead of LRU")
+	}
+}
+
+// TestRouterCacheMetrics: the hit/miss counters export through
+// /v1/metrics only when the cache is enabled.
+func TestRouterCacheMetrics(t *testing.T) {
+	db := testDB(t, 8, 120, 4)
+	rt := cachedFixture(t, db, 2, 16)
+	h := rt.Handler()
+	q := fingerprint.QueryRequest{Fingerprint: db.Entry(0).F, Label: 0, K: 2}
+	postQuery(t, h, q)
+	postQuery(t, h, q)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "caltrain_router_cache_hits_total 1") ||
+		!strings.Contains(body, "caltrain_router_cache_misses_total 1") {
+		t.Fatalf("cache counters missing from metrics:\n%s", body)
+	}
+
+	// Without the option the families are absent entirely.
+	plain, _ := shardedFixture(t, db, 2)
+	rec = httptest.NewRecorder()
+	plain.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	if strings.Contains(rec.Body.String(), "caltrain_router_cache") {
+		t.Fatal("cache counters exported with the cache disabled")
+	}
+}
+
+// TestFingerprintHashDistinguishesBits: bit-level float differences
+// (signed zero, NaN payloads) key distinct cache slots.
+func TestFingerprintHashDistinguishesBits(t *testing.T) {
+	a := []float32{0, 1, 2}
+	b := []float32{float32(math.Copysign(0, -1)), 1, 2}
+	if fingerprintHash(a) == fingerprintHash(b) {
+		t.Fatal("+0 and -0 alias one cache key")
+	}
+	if fingerprintHash(a) != fingerprintHash([]float32{0, 1, 2}) {
+		t.Fatal("equal fingerprints hash differently")
+	}
+	if fingerprintHash(nil) == fingerprintHash([]float32{0}) {
+		t.Fatal("empty and zero fingerprints alias")
+	}
+}

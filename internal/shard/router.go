@@ -296,6 +296,11 @@ type Router struct {
 	errs    atomic.Uint64
 	latency *fingerprint.Histogram
 
+	// cacheSize > 0 enables the single-query response cache; cache is
+	// built in NewRouter once the shard count is known.
+	cacheSize int
+	cache     *responseCache
+
 	errCodes *obs.CounterVec
 	metrics  *obs.Registry
 	// scrapeMu guards scrape, the shard-stat snapshot refreshed on every
@@ -370,6 +375,17 @@ func WithWriteQuorum(n int) RouterOption {
 	return func(r *Router) { r.writeQuorum = n }
 }
 
+// WithRouterResponseCache enables a bounded LRU over single-query
+// responses, keyed by (label, fingerprint hash, k) and capped at n
+// entries. A hit answers from the router without touching any shard; a
+// write routed to a shard invalidates every cached response that shard
+// owns (per-shard generation counters — no key scan). n <= 0 leaves
+// caching off, the default: only deployments with genuinely hot repeat
+// queries should pay the staleness bookkeeping.
+func WithRouterResponseCache(n int) RouterOption {
+	return func(r *Router) { r.cacheSize = n }
+}
+
 // WithObservability configures the router's request logging, slow-query
 // threshold, and metrics toggle — the same knobs
 // fingerprint.WithObservability gives a single daemon.
@@ -412,6 +428,9 @@ func NewRouter(m *Map, replicas [][]Replica, opts ...RouterOption) (*Router, err
 	r.scrape.entries = make([]int64, len(r.shards))
 	for i := range r.scrape.entries {
 		r.scrape.entries[i] = -1
+	}
+	if r.cacheSize > 0 {
+		r.cache = newResponseCache(r.cacheSize, len(r.shards))
 	}
 	r.errCodes = obs.NewCounterVec("caltrain_request_errors_total",
 		"Error envelopes written, labeled by stable wire-protocol code.", "code")
@@ -498,6 +517,16 @@ func (r *Router) buildMetrics() *obs.Registry {
 				return fingerprint.PromHistogram(sc.merged, sc.sumUS, sc.hasSum)
 			}),
 	)
+	if r.cache != nil {
+		reg.MustRegister(
+			obs.CounterFunc("caltrain_router_cache_hits_total",
+				"Single-query requests answered from the router's response cache.",
+				func() float64 { return float64(r.cache.hits.Load()) }),
+			obs.CounterFunc("caltrain_router_cache_misses_total",
+				"Single-query cache lookups that missed (absent or invalidated by a write).",
+				func() float64 { return float64(r.cache.misses.Load()) }),
+		)
+	}
 	return reg
 }
 
@@ -723,6 +752,24 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	if !r.decode(w, req, &q) {
 		return
 	}
+	// Cache lookup keys on the exact request triple; the generation is
+	// snapshotted BEFORE the scatter so a write landing mid-flight still
+	// invalidates whatever this request caches afterwards.
+	var (
+		key cacheKey
+		sid int
+		gen uint64
+	)
+	if r.cache != nil {
+		sid = r.m.Shard(q.Label)
+		key = cacheKey{label: q.Label, fpHash: fingerprintHash(q.Fingerprint), k: q.K}
+		if resp, ok := r.cache.get(key); ok {
+			r.latency.Observe(time.Since(started))
+			writeJSON(w, resp)
+			return
+		}
+		gen = r.cache.gen(sid)
+	}
 	results, unreachable := r.scatter(req.Context(), []fingerprint.QueryRequest{q})
 	if len(unreachable) > 0 {
 		// A single query has no partial result to return; the owning
@@ -745,6 +792,9 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		r.errCodes.Inc(code)
 		fingerprint.WriteError(w, fingerprint.StatusForErrCode(code), code, "%s", results[0].Error)
 		return
+	}
+	if r.cache != nil {
+		r.cache.put(key, sid, gen, results[0].QueryResponse)
 	}
 	r.latency.Observe(time.Since(started))
 	writeJSON(w, results[0].QueryResponse)
@@ -922,6 +972,15 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	}
 	wg.Wait()
 	replicateDone()
+	if r.cache != nil {
+		// Invalidate after the replicas applied the writes: cached
+		// responses for the touched shards go stale in one generation
+		// bump, and in-flight queries that raced the write stored a
+		// pre-bump generation so their entries miss too.
+		for sid := range byShard {
+			r.cache.bump(sid)
+		}
+	}
 
 	out := fingerprint.IngestResponse{}
 	for sid, res := range results {

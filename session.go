@@ -335,6 +335,13 @@ func WithIVFBackend(opts IVFOptions) QueryHandlerOption {
 	return func(c *queryHandlerConfig) { c.spec = IVFSpec{IVFOptions: opts} }
 }
 
+// WithIVFPQBackend serves queries with the product-quantized IVF index
+// — IVF accuracy knobs plus the M memory knob, ~4·dim/M times smaller
+// than the float backends.
+func WithIVFPQBackend(opts IVFPQOptions) QueryHandlerOption {
+	return func(c *queryHandlerConfig) { c.spec = IVFPQSpec{IVFPQOptions: opts} }
+}
+
 // WithBackendSpec serves queries with any BackendSpec — the seam where
 // a future backend (PQ, HNSW, a custom Searcher) plugs into every
 // Session serving constructor without facade changes.

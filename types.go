@@ -94,6 +94,12 @@ type (
 	IVFIndex = index.IVF
 	// IVFOptions tunes IVF training and search.
 	IVFOptions = index.IVFOptions
+	// IVFPQIndex is the product-quantized IVF backend: M code bytes per
+	// entry instead of float vectors, scanned by ADC table lookups.
+	IVFPQIndex = index.IVFPQ
+	// IVFPQOptions tunes IVFPQ training and search (IVFOptions plus the
+	// subquantizer count M).
+	IVFPQOptions = index.IVFPQOptions
 	// QueryService is the HTTP accountability query service (hot-swappable
 	// backend, batch queries, stats, graceful Serve).
 	QueryService = fingerprint.Service
@@ -118,6 +124,9 @@ type (
 	FlatSpec = serve.FlatSpec
 	// IVFSpec is the approximate IVF index with its training options.
 	IVFSpec = serve.IVFSpec
+	// IVFPQSpec is the product-quantized IVF index with its training
+	// options (~4·dim/M times smaller in memory than IVF/Flat).
+	IVFPQSpec = serve.IVFPQSpec
 	// PrebuiltSpec serves an already-built (e.g. loaded) backend.
 	PrebuiltSpec = serve.PrebuiltSpec
 	// Deployment declares a serving topology over one linkage database:
@@ -264,10 +273,11 @@ const (
 func ErrorCodeOf(err error) string { return fingerprint.CodeOf(err) }
 
 // ParseBackendSpec maps a backend's wire/flag name ("linear", "flat",
-// "ivf") to its Spec — the single string-to-backend seam; everything
-// downstream holds a BackendSpec.
-func ParseBackendSpec(kind string, ivf IVFOptions) (BackendSpec, error) {
-	return serve.ParseBackend(kind, ivf)
+// "ivf", "ivfpq") to its Spec — the single string-to-backend seam;
+// everything downstream holds a BackendSpec. opts carries every
+// tunable; the exact backends ignore it.
+func ParseBackendSpec(kind string, opts IVFPQOptions) (BackendSpec, error) {
+	return serve.ParseBackend(kind, opts)
 }
 
 // Serialized-format failure sentinels, shared by every loader
@@ -339,7 +349,13 @@ func TrainIVFIndex(db *LinkageDB, opts IVFOptions) (*IVFIndex, error) {
 	return index.TrainIVF(db, opts)
 }
 
-// SaveIndex serializes a Flat or IVF index.
+// TrainIVFPQIndex trains a product-quantized IVF index from a snapshot
+// of db.
+func TrainIVFPQIndex(db *LinkageDB, opts IVFPQOptions) (*IVFPQIndex, error) {
+	return index.TrainIVFPQ(db, opts)
+}
+
+// SaveIndex serializes a Flat, IVF, or IVFPQ index.
 func SaveIndex(w io.Writer, s Searcher) error { return index.Save(w, s) }
 
 // LoadIndex deserializes an index saved with SaveIndex.
@@ -404,6 +420,9 @@ var (
 	WithRouterMaxBodyBytes = shard.WithRouterMaxBodyBytes
 	// WithRouterLatencyBuckets replaces the router histogram bounds.
 	WithRouterLatencyBuckets = shard.WithRouterLatencyBuckets
+	// WithRouterResponseCache caches up to N hot single-query responses
+	// at the router, invalidated by writes to the owning shard (0 = off).
+	WithRouterResponseCache = shard.WithRouterResponseCache
 	// WithWriteQuorum sets how many replicas of a shard must acknowledge
 	// a routed ingest batch (0 = majority).
 	WithWriteQuorum = shard.WithWriteQuorum
