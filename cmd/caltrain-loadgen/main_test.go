@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"caltrain/internal/fingerprint"
+	"caltrain/internal/obs"
+	"caltrain/internal/serve"
+)
+
+func TestParseSLO(t *testing.T) {
+	budgets, err := parseSLO("p99<50ms, errors<0.1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(budgets) != 2 {
+		t.Fatalf("want 2 budgets, got %d", len(budgets))
+	}
+	if budgets[0].metric != "p99" || budgets[0].latency != 50*time.Millisecond {
+		t.Fatalf("p99 budget parsed as %+v", budgets[0])
+	}
+	if budgets[1].metric != "errors" || budgets[1].errorRate != 0.001 {
+		t.Fatalf("errors budget parsed as %+v", budgets[1])
+	}
+
+	if b, err := parseSLO("errors<0.25"); err != nil || b[0].errorRate != 0.25 {
+		t.Fatalf("bare fraction: %+v, %v", b, err)
+	}
+	for _, bad := range []string{"", "p99", "p42<1ms", "p99<banana", "p99<-5ms", "errors<oops"} {
+		if _, err := parseSLO(bad); err == nil {
+			t.Errorf("parseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	if got := percentile(ds, 50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(ds, 99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Fatalf("empty p99 = %v", got)
+	}
+	if got := percentile(ds[:1], 1); got != time.Millisecond {
+		t.Fatalf("single-sample p1 = %v", got)
+	}
+}
+
+// testDeployment builds a 2-shard in-process deployment with a volatile
+// write path and serves it over httptest.
+func testDeployment(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	db, err := fingerprint.NewDB(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 200; i++ {
+		f := make(fingerprint.Fingerprint, 8)
+		for j := range f {
+			f[j] = rng.Float32()
+		}
+		if err := db.Add(fingerprint.Linkage{F: f, Y: i % 4, S: "seed"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	built, err := serve.Deployment{Shards: 2, VolatileWrites: true}.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(built.Handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { built.Close() })
+	return built, srv
+}
+
+// TestRunSmoke drives the loadgen against a real 2-shard deployment and
+// checks both halves of the loop: the run meets a loose SLO, and the
+// traffic left retrievable traces behind GET /v1/debug/traces — the
+// same check CI's smoke job performs cross-process.
+func TestRunSmoke(t *testing.T) {
+	built, srv := testDeployment(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", srv.URL,
+		"-duration", "500ms",
+		"-qps", "0",
+		"-concurrency", "2",
+		"-batch", "4",
+		"-write-ratio", "0.2",
+		"-slo", "p99<10s,errors<50%",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "latency: p50=") {
+		t.Fatalf("report missing latency line:\n%s", out.String())
+	}
+
+	debug := httptest.NewServer(obs.DebugHandler(built.TraceStore()))
+	defer debug.Close()
+	resp, err := http.Get(debug.URL + "/v1/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/debug/traces: status %d", resp.StatusCode)
+	}
+	var listing struct {
+		Traces []json.RawMessage `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Traces) == 0 {
+		t.Fatal("loadgen traffic left no traces in the deployment's store")
+	}
+}
+
+// TestRunSLOViolation: an impossible latency budget must fail the run
+// (the CI gate relies on the non-zero exit).
+func TestRunSLOViolation(t *testing.T) {
+	_, srv := testDeployment(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", srv.URL,
+		"-duration", "200ms",
+		"-qps", "0",
+		"-concurrency", "1",
+		"-slo", "p99<1ns",
+	}, &out)
+	if err == nil {
+		t.Fatalf("impossible SLO passed:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "SLO violated") {
+		t.Fatalf("want SLO violation error, got: %v", err)
+	}
+}
+
+// TestRunBadFlags: invalid flag combinations are rejected before any
+// traffic is sent.
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-duration", "0s"},
+		{"-qps", "-1"},
+		{"-batch", "0"},
+		{"-write-ratio", "1.5"},
+		{"-k", "0"},
+		{"-concurrency", "0"},
+		{"-slo", "p42<1ms"},
+	} {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

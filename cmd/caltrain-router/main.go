@@ -46,8 +46,15 @@
 //
 // Every request carries an X-Request-Id (inbound or generated) that the
 // router forwards to the shard daemons it fans out to, so one ID ties a
-// client call to its per-shard work in every daemon's -request-log.
-// -debug-addr opens a pprof/expvar sidecar listener.
+// client call to its per-shard work in every daemon's -request-log. The
+// router also records every request as a span tree (route, scatter, one
+// span per shard attempt, the replica RPCs) and propagates trace
+// context to the shard daemons W3C-traceparent-style, so a shard's own
+// spans parent under the router's scatter span in one trace; head
+// sampling (-trace-sample-rate), the bounded store (-trace-store), and
+// the slow-trace threshold (-trace-slow) match caltrain-serve.
+// -debug-addr opens a sidecar listener serving pprof, expvar, and
+// GET /v1/debug/traces[/{id}].
 package main
 
 import (
@@ -66,6 +73,7 @@ import (
 	"time"
 
 	"caltrain/internal/fingerprint"
+	"caltrain/internal/obs"
 	"caltrain/internal/serve"
 	"caltrain/internal/shard"
 )
@@ -129,9 +137,13 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		grace     = fs.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		buckets   = fs.String("latency-buckets", "", "comma-separated router latency bucket bounds as durations (e.g. 5ms,25ms,100ms,1s); empty = network-scale defaults")
 
-		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this sidecar host:port (empty = no debug listener; never the public address)")
-		reqLog    = fs.Bool("request-log", false, "log one structured line per request: request ID, status, duration, stage timings")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /v1/debug/traces on this sidecar host:port (empty = no debug listener; never the public address)")
+		reqLog    = fs.Bool("request-log", false, "log one structured line per request: request ID, trace ID, status, duration, stage timings")
 		slowQuery = fs.Duration("slow-query-threshold", 0, "warn about requests slower than this, even without -request-log (0 = disabled)")
+
+		traceRate  = fs.Float64("trace-sample-rate", 1, "head-sampling probability for request traces, in [0,1] (0 = keep only slow/error traces)")
+		traceStore = fs.Int("trace-store", 0, "in-memory trace store size behind /v1/debug/traces (0 = default, negative = no retention)")
+		traceSlow  = fs.Duration("trace-slow", 0, "always store traces slower than this, even when not head-sampled (0 = disabled)")
 	)
 	fs.Var(shards, "shard", "shard replicas as ID=addr[,addr...]; repeat per shard")
 	if err := fs.Parse(args); err != nil {
@@ -169,6 +181,17 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	if *slowQuery < 0 {
 		return fmt.Errorf("-slow-query-threshold must be non-negative (0 disables the slow-query log)")
 	}
+	if *traceRate < 0 || *traceRate > 1 {
+		return fmt.Errorf("-trace-sample-rate must be in [0,1], got %v", *traceRate)
+	}
+	if *traceSlow < 0 {
+		return fmt.Errorf("-trace-slow must be non-negative (0 disables the slow-trace keep)")
+	}
+	tracer := obs.NewTracer(obs.TracerOptions{
+		SampleRate: *traceRate,
+		StoreSize:  *traceStore,
+		SlowAlways: *traceSlow,
+	})
 	opts := []shard.RouterOption{
 		shard.WithShardTimeout(*timeout),
 		shard.WithReplicaCooldown(*cooldown),
@@ -182,6 +205,7 @@ func run(parent context.Context, args []string, out io.Writer) error {
 			Logger:             slog.New(slog.NewTextHandler(os.Stderr, nil)),
 			RequestLog:         *reqLog,
 			SlowQueryThreshold: *slowQuery,
+			Tracer:             tracer,
 		}),
 	}
 	if *respCache > 0 {
@@ -205,12 +229,12 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(parent, syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	if *debugAddr != "" {
-		dl, err := serve.ListenDebug(*debugAddr)
+		dl, err := serve.ListenDebug(*debugAddr, tracer.Store())
 		if err != nil {
 			return err
 		}
 		defer dl.Close()
-		fmt.Fprintf(out, "debug listener (pprof, expvar) on %s\n", dl.Addr())
+		fmt.Fprintf(out, "debug listener (pprof, expvar, traces) on %s\n", dl.Addr())
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

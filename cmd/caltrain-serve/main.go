@@ -25,8 +25,12 @@
 // response, in error envelopes, and — with -request-log — in one
 // structured stderr log line per request with per-stage timings;
 // -slow-query-threshold warns about slow requests even without the
-// full request log. -debug-addr opens a pprof/expvar sidecar listener
-// that is never mounted on the public address.
+// full request log. Every request is also recorded as a span tree
+// under one trace — joined across processes via the W3C traceparent
+// header — head-sampled at -trace-sample-rate into a bounded in-memory
+// store (-trace-store), with slow (-trace-slow) and 5xx traces always
+// kept. -debug-addr opens a sidecar listener (never the public
+// address) serving pprof, expvar, and GET /v1/debug/traces[/{id}].
 //
 // Index backends (-backend; -index is a legacy alias): "linear" is the
 // exact reference scan over the database, "flat" the exact heap-select
@@ -109,9 +113,13 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		grace     = fs.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		buckets   = fs.String("latency-buckets", "", "comma-separated /stats latency bucket bounds as durations (e.g. 100us,1ms,10ms); empty = sub-ms defaults")
 
-		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this sidecar host:port (empty = no debug listener; never the public address)")
-		reqLog    = fs.Bool("request-log", false, "log one structured line per request: request ID, status, duration, stage timings")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /v1/debug/traces on this sidecar host:port (empty = no debug listener; never the public address)")
+		reqLog    = fs.Bool("request-log", false, "log one structured line per request: request ID, trace ID, status, duration, stage timings")
 		slowQuery = fs.Duration("slow-query-threshold", 0, "warn about requests slower than this, even without -request-log (0 = disabled)")
+
+		traceRate  = fs.Float64("trace-sample-rate", 1, "head-sampling probability for request traces, in [0,1] (0 = keep only slow/error traces)")
+		traceStore = fs.Int("trace-store", 0, "in-memory trace store size behind /v1/debug/traces (0 = default, negative = no retention)")
+		traceSlow  = fs.Duration("trace-slow", 0, "always store traces slower than this, even when not head-sampled (0 = disabled)")
 
 		walDir    = fs.String("wal", "", "write-ahead log directory; enables POST /ingest (empty = read-only daemon)")
 		fsync     = fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
@@ -163,6 +171,12 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	}
 	if *slowQuery < 0 {
 		return fmt.Errorf("-slow-query-threshold must be non-negative (0 disables the slow-query log)")
+	}
+	if *traceRate < 0 || *traceRate > 1 {
+		return fmt.Errorf("-trace-sample-rate must be in [0, 1]")
+	}
+	if *traceSlow < 0 {
+		return fmt.Errorf("-trace-slow must be non-negative (0 disables the always-store threshold)")
 	}
 	syncPolicy, err := ingest.ParseSyncPolicy(*fsync)
 	if err != nil {
@@ -271,6 +285,11 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	if *depPath == "" {
 		dep.Observability.RequestLog = *reqLog
 		dep.Observability.SlowQueryThreshold = *slowQuery
+		dep.Observability.Trace = &serve.TraceConfig{
+			SampleRate: *traceRate,
+			StoreSize:  *traceStore,
+			SlowAlways: *traceSlow,
+		}
 	}
 	if dep.Observability.Logger == nil {
 		dep.Observability.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -360,12 +379,12 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	}
 
 	if da := dep.Observability.DebugAddr; da != "" {
-		dl, err := serve.ListenDebug(da)
+		dl, err := serve.ListenDebug(da, built.TraceStore())
 		if err != nil {
 			return err
 		}
 		defer dl.Close()
-		fmt.Fprintf(out, "debug listener (pprof, expvar) on %s\n", dl.Addr())
+		fmt.Fprintf(out, "debug listener (pprof, expvar, traces) on %s\n", dl.Addr())
 	}
 
 	l, err := net.Listen("tcp", *addr)

@@ -73,7 +73,7 @@ func run(args []string, out io.Writer) error {
 	if *debugAddr != "" {
 		// Splitting and per-shard index training can run for minutes on a
 		// big database; the sidecar makes them profileable like the daemons.
-		dl, err := serve.ListenDebug(*debugAddr)
+		dl, err := serve.ListenDebug(*debugAddr, nil)
 		if err != nil {
 			return err
 		}

@@ -161,12 +161,16 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	return nil
 }
 
-// setRequestID forwards the context's request ID (if any) on the
-// outbound request, so a caller already inside a traced request — a
-// service calling a service — keeps one ID across the hop.
+// setRequestID forwards the context's request ID and trace context (if
+// any) on the outbound request, so a caller already inside a traced
+// request — a service calling a service — keeps one ID across the hop
+// and the receiving daemon's spans parent under the caller's trace.
 func setRequestID(req *http.Request) {
 	if id := obs.RequestIDFrom(req.Context()); id != "" {
 		req.Header.Set(obs.RequestIDHeader, id)
+	}
+	if sc := obs.SpanContextFrom(req.Context()); sc.Valid() {
+		req.Header.Set(obs.TraceParentHeader, sc.TraceParent())
 	}
 }
 

@@ -55,6 +55,9 @@ type ErrorEnvelope struct {
 	// RequestID is the X-Request-Id the failing request carried (or was
 	// assigned), so a client-reported error joins against server logs.
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID names the trace the failing request was recorded under, so
+	// a client-reported error joins against /v1/debug/traces as well.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // WriteError writes the structured error envelope with the given HTTP
@@ -67,6 +70,7 @@ func WriteError(w http.ResponseWriter, status int, code, format string, args ...
 		Code:      code,
 		Error:     fmt.Sprintf(format, args...),
 		RequestID: obs.ResponseRequestID(w),
+		TraceID:   obs.ResponseTraceID(w),
 	})
 }
 
@@ -195,6 +199,9 @@ type MetaCapabilities struct {
 	// Sharded reports whether a scatter-gather router answers, rather
 	// than a single daemon.
 	Sharded bool `json:"sharded"`
+	// Trace reports whether the deployment retains request traces — a
+	// -debug-addr sidecar can answer /v1/debug/traces.
+	Trace bool `json:"trace"`
 }
 
 // MetaResponse is the JSON body of GET /v1/meta: server version, wire

@@ -9,11 +9,13 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"caltrain/internal/kernel"
 	"caltrain/internal/obs"
 )
 
@@ -236,6 +238,9 @@ func (s *Service) buildMetrics() *obs.Registry {
 				return []obs.Sample{{Value: st.LastSnapshotAgeSeconds}}
 			}),
 	)
+	if fams := s.obsOpts.Tracer.MetricFamilies(); len(fams) > 0 {
+		reg.MustRegister(fams...)
+	}
 	return reg
 }
 
@@ -540,6 +545,7 @@ func (s *Service) Meta() MetaResponse {
 		Capabilities: MetaCapabilities{
 			Ingest:  s.ingester != nil,
 			Sharded: false,
+			Trace:   s.obsOpts.Tracer != nil,
 		},
 		Build: obs.Build(),
 	}
@@ -606,9 +612,12 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request: %v", err)
 		return
 	}
-	done := obs.TraceFrom(r.Context()).StartStage("search")
+	_, span := obs.StartSpan(r.Context(), "search")
+	span.SetAttr("backend", s.Searcher().Kind())
+	span.SetAttr("kernel", kernel.Active())
 	resp, err := s.runQuery(req)
-	done()
+	span.SetError(err)
+	span.End()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, queryErrCode(req, s.maxK), "%v", err)
 		return
@@ -640,8 +649,11 @@ func (s *Service) RunBatchCtx(ctx context.Context, reqs []QueryRequest) *BatchRe
 	started := time.Now()
 	s.batches.Add(1)
 	s.queries.Add(uint64(len(reqs)))
-	done := obs.TraceFrom(ctx).StartStage("search")
-	defer done()
+	_, span := obs.StartSpan(ctx, "search")
+	span.SetAttr("backend", s.Searcher().Kind())
+	span.SetAttr("kernel", kernel.Active())
+	span.SetAttr("batch", strconv.Itoa(len(reqs)))
+	defer span.End()
 	out := &BatchResponse{Results: make([]BatchResult, len(reqs))}
 	if bs, ok := s.Searcher().(BatchSearcher); ok && len(reqs) > 1 {
 		s.runBatchSearch(bs, reqs, out)
@@ -798,9 +810,10 @@ func (s *Service) RunIngestCtx(ctx context.Context, entries []IngestEntry) (*Ing
 	if ci, ok := s.ingester.(ctxIngester); ok {
 		accepted, err = ci.IngestBatchCtx(ctx, ls)
 	} else {
-		done := obs.TraceFrom(ctx).StartStage("wal_append")
+		_, span := obs.StartSpan(ctx, "wal_append")
 		accepted, err = s.ingester.IngestBatch(ls)
-		done()
+		span.SetError(err)
+		span.End()
 	}
 	if err != nil {
 		s.errs.Add(1)

@@ -204,9 +204,10 @@ func (s *Store) IngestBatchCtx(ctx context.Context, ls []fingerprint.Linkage) (i
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	done := obs.TraceFrom(ctx).StartStage("wal_append")
-	err := s.wal.Append(uint64(s.db.Len()), ls)
-	done()
+	wctx, span := obs.StartSpan(ctx, "wal_append")
+	err := s.wal.AppendCtx(wctx, uint64(s.db.Len()), ls)
+	span.SetError(err)
+	span.End()
 	if err != nil {
 		return 0, err
 	}

@@ -23,6 +23,7 @@
 package ingest
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"caltrain/internal/fingerprint"
+	"caltrain/internal/obs"
 )
 
 // WAL corruption sentinels, shared with the other format loaders (see
@@ -313,6 +315,14 @@ func (w *WAL) appendRecord(seq uint64, l fingerprint.Linkage) {
 // under SyncAlways, fsynced: the acknowledgment is the durability
 // guarantee. The segment rotates once it exceeds SegmentBytes.
 func (w *WAL) Append(seq uint64, ls []fingerprint.Linkage) error {
+	return w.AppendCtx(context.Background(), seq, ls)
+}
+
+// AppendCtx is Append with a caller-supplied context: the SyncAlways
+// fsync is recorded as its own "fsync" span on the context's trace, so
+// a trace of a slow write separates disk-flush time from framing and
+// buffer-write time.
+func (w *WAL) AppendCtx(ctx context.Context, seq uint64, ls []fingerprint.Linkage) error {
 	if len(ls) == 0 {
 		return nil
 	}
@@ -348,7 +358,11 @@ func (w *WAL) Append(seq uint64, ls []fingerprint.Linkage) error {
 	w.size += int64(n)
 	w.total += int64(n)
 	if w.opts.Sync == SyncAlways {
-		if err := w.f.Sync(); err != nil {
+		_, span := obs.StartSpan(ctx, "fsync")
+		err := w.f.Sync()
+		span.SetError(err)
+		span.End()
+		if err != nil {
 			return fmt.Errorf("ingest: wal: %w", err)
 		}
 	}

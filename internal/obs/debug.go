@@ -1,17 +1,24 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
 )
 
 // DebugHandler returns the handler a daemon serves on its private
-// -debug-addr sidecar listener: net/http/pprof under /debug/pprof/ and
-// expvar under /debug/vars. It is intentionally a separate mux that is
-// never mounted on a public route set — profiling endpoints can dump
-// heap contents and must stay off the serving address.
-func DebugHandler() http.Handler {
+// -debug-addr sidecar listener: net/http/pprof under /debug/pprof/,
+// expvar under /debug/vars, and — when a trace store is supplied — the
+// trace inspection endpoints GET /v1/debug/traces (list; query params
+// min_duration, errors, limit) and GET /v1/debug/traces/{id} (full span
+// tree). It is intentionally a separate mux that is never mounted on a
+// public route set — profiling endpoints can dump heap contents and
+// traces can reveal request paths, so both must stay off the serving
+// address.
+func DebugHandler(store *TraceStore) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -19,5 +26,91 @@ func DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	if store != nil {
+		mux.HandleFunc("GET /v1/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			listTraces(store, w, r)
+		})
+		mux.HandleFunc("GET /v1/debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+			getTrace(store, w, r)
+		})
+	}
 	return mux
+}
+
+// traceSummary is one row of the trace listing: the snapshot minus its
+// span tree, plus the span count so the operator can spot unusually
+// deep requests before fetching the full trace.
+type traceSummary struct {
+	TraceID    string    `json:"trace_id"`
+	RequestID  string    `json:"request_id,omitempty"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationUS int64     `json:"duration_us"`
+	Status     int       `json:"status"`
+	Sampled    bool      `json:"sampled"`
+	Error      bool      `json:"error"`
+	Spans      int       `json:"spans"`
+}
+
+func debugJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func listTraces(store *TraceStore, w http.ResponseWriter, r *http.Request) {
+	f := ListFilter{Limit: 50}
+	q := r.URL.Query()
+	if v := q.Get("min_duration"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			debugJSON(w, http.StatusBadRequest, map[string]string{"error": "bad min_duration: want a Go duration like 50ms"})
+			return
+		}
+		f.MinDuration = d
+	}
+	if v := q.Get("errors"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			debugJSON(w, http.StatusBadRequest, map[string]string{"error": "bad errors: want true or false"})
+			return
+		}
+		f.ErrorsOnly = b
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			debugJSON(w, http.StatusBadRequest, map[string]string{"error": "bad limit: want a positive integer"})
+			return
+		}
+		f.Limit = n
+	}
+	snaps := store.List(f)
+	out := struct {
+		Traces []traceSummary `json:"traces"`
+	}{Traces: make([]traceSummary, len(snaps))}
+	for i, t := range snaps {
+		out.Traces[i] = traceSummary{
+			TraceID:    t.TraceID,
+			RequestID:  t.RequestID,
+			Root:       t.Root,
+			Start:      t.Start,
+			DurationUS: t.DurationUS,
+			Status:     t.Status,
+			Sampled:    t.Sampled,
+			Error:      t.Error,
+			Spans:      len(t.Spans),
+		}
+	}
+	debugJSON(w, http.StatusOK, out)
+}
+
+func getTrace(store *TraceStore, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap := store.Get(id)
+	if snap == nil {
+		debugJSON(w, http.StatusNotFound, map[string]string{"error": "trace not found or evicted"})
+		return
+	}
+	debugJSON(w, http.StatusOK, snap)
 }

@@ -9,7 +9,8 @@ import (
 // Options configures the per-request observability middleware a route
 // set installs around its handlers. The zero value is the always-on
 // baseline: request IDs are generated, propagated, and echoed on every
-// response, but nothing is logged and metrics stay enabled.
+// response, trace context is parsed and threaded, but nothing is logged
+// or retained and metrics stay enabled.
 type Options struct {
 	// Component names the serving tier in request logs ("serve",
 	// "router", "shard"), so merged log streams stay attributable.
@@ -18,13 +19,19 @@ type Options struct {
 	// RequestLog or SlowQueryThreshold require one.
 	Logger *slog.Logger
 	// RequestLog emits one structured log line per request with method,
-	// path, status, duration, request ID, and per-stage timings.
+	// path, status, duration, request ID, trace ID, and per-stage
+	// timings.
 	RequestLog bool
 	// SlowQueryThreshold, when positive, logs any request slower than
 	// the threshold at Warn level even when RequestLog is off.
 	SlowQueryThreshold time.Duration
 	// DisableMetrics removes the /v1/metrics route entirely.
 	DisableMetrics bool
+	// Tracer applies the trace sampling/retention policy: head sampling
+	// where traces originate, always-keep for slow and failed requests,
+	// and the store behind /v1/debug/traces. Nil keeps span recording
+	// and context propagation working but retains nothing.
+	Tracer *Tracer
 }
 
 func (o Options) logger() *slog.Logger {
@@ -35,12 +42,14 @@ func (o Options) logger() *slog.Logger {
 }
 
 // responseWriter captures the response status and carries the request
-// ID so that envelope writers deeper in the stack (WriteError) can
-// stamp it without threading a parameter through every call site.
+// and trace IDs so that envelope writers deeper in the stack
+// (WriteError) can stamp them without threading parameters through
+// every call site.
 type responseWriter struct {
 	http.ResponseWriter
 	status    int
 	requestID string
+	traceID   string
 }
 
 func (w *responseWriter) WriteHeader(status int) {
@@ -60,6 +69,9 @@ func (w *responseWriter) Write(b []byte) (int, error) {
 // ObsRequestID exposes the request ID to ResponseRequestID's unwrap
 // walk.
 func (w *responseWriter) ObsRequestID() string { return w.requestID }
+
+// ObsTraceID exposes the trace ID to ResponseTraceID's unwrap walk.
+func (w *responseWriter) ObsTraceID() string { return w.traceID }
 
 // Unwrap lets http.ResponseController and ResponseRequestID reach the
 // underlying writer.
@@ -82,35 +94,76 @@ func ResponseRequestID(w http.ResponseWriter) string {
 	return ""
 }
 
-// Middleware wraps a handler with request-ID handling, trace context,
-// and (per Options) request/slow-query logging. The request ID is taken
-// from a valid inbound X-Request-Id header or freshly generated, echoed
-// on the response, and reachable downstream via RequestIDFrom(ctx) and
-// ResponseRequestID(w).
+// ResponseTraceID walks a ResponseWriter's Unwrap chain looking for the
+// middleware's trace ID. "" when the middleware is not installed.
+func ResponseTraceID(w http.ResponseWriter) string {
+	for w != nil {
+		if ider, ok := w.(interface{ ObsTraceID() string }); ok {
+			return ider.ObsTraceID()
+		}
+		u, ok := w.(interface{ Unwrap() http.ResponseWriter })
+		if !ok {
+			return ""
+		}
+		w = u.Unwrap()
+	}
+	return ""
+}
+
+// Middleware wraps a handler with request-ID handling, trace recording,
+// and (per Options) request/slow-query logging.
+//
+// The request ID is taken from a valid inbound X-Request-Id header or
+// freshly generated, echoed on the response, and reachable downstream
+// via RequestIDFrom(ctx) and ResponseRequestID(w).
+//
+// Trace context is taken from a valid inbound traceparent header — the
+// request then joins a trace begun upstream, keeping its trace ID and
+// sampling decision — or a fresh trace is started and head-sampled by
+// opts.Tracer. Either way a root span covers the handler, StartSpan
+// nests under it via the request context, X-Trace-Id is echoed on the
+// response, and when the request finishes the Tracer decides retention
+// (head-sampled, slow, or failed traces land in the store behind
+// /v1/debug/traces).
 func Middleware(opts Options, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(RequestIDHeader)
 		if !ValidRequestID(id) {
 			id = NewRequestID()
 		}
-		trace := NewTrace(id)
-		w.Header().Set(RequestIDHeader, id)
-		rw := &responseWriter{ResponseWriter: w, requestID: id}
-		start := time.Now()
-		next.ServeHTTP(rw, r.WithContext(WithTrace(r.Context(), trace)))
-		elapsed := time.Since(start)
-
-		slow := opts.SlowQueryThreshold > 0 && elapsed >= opts.SlowQueryThreshold
-		if !opts.RequestLog && !slow {
-			return
+		var trace *Trace
+		if parent, ok := ParseTraceParent(r.Header.Get(TraceParentHeader)); ok {
+			trace = NewChildTrace(id, parent)
+		} else {
+			trace = NewTrace(id)
+			trace.SetSampled(opts.Tracer.headSample())
 		}
+		w.Header().Set(RequestIDHeader, id)
+		w.Header().Set(TraceIDHeader, trace.TraceID())
+		rw := &responseWriter{ResponseWriter: w, requestID: id, traceID: trace.TraceID()}
+
+		ctx, root := StartSpan(WithTrace(r.Context(), trace), r.Method+" "+r.URL.Path)
+		trace.setRoot(root)
+		start := time.Now()
+		next.ServeHTTP(rw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		root.End()
+
 		status := rw.status
 		if status == 0 {
 			status = http.StatusOK
 		}
+		opts.Tracer.Finish(trace, status, elapsed)
+
+		slow := opts.SlowQueryThreshold > 0 && elapsed >= opts.SlowQueryThreshold
+		failed := status >= 500
+		if !opts.RequestLog && !slow && !failed {
+			return
+		}
 		attrs := []slog.Attr{
 			slog.String("component", opts.Component),
 			slog.String("request_id", id),
+			slog.String("trace_id", trace.TraceID()),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.String("remote", r.RemoteAddr),
@@ -121,9 +174,15 @@ func Middleware(opts Options, next http.Handler) http.Handler {
 			attrs = append(attrs, slog.Duration("stage_"+st.Name, st.Duration))
 		}
 		logger := opts.logger()
-		if slow {
+		switch {
+		case failed:
+			// A 5xx must reach the logs even when request logging is off
+			// and the failure was fast — an invisible internal error is
+			// the worst kind.
+			logger.LogAttrs(r.Context(), slog.LevelError, "request failed", attrs...)
+		case slow:
 			logger.LogAttrs(r.Context(), slog.LevelWarn, "slow request", attrs...)
-		} else {
+		default:
 			logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 		}
 	})

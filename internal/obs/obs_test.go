@@ -312,7 +312,7 @@ func TestResponseRequestIDUnwrapChain(t *testing.T) {
 }
 
 func TestDebugHandler(t *testing.T) {
-	h := DebugHandler()
+	h := DebugHandler(nil)
 	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))

@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanSnapshot is one span's immutable record inside a stored trace.
+type SpanSnapshot struct {
+	ID         string    `json:"id"`
+	Parent     string    `json:"parent,omitempty"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationUS int64     `json:"duration_us"`
+	Attrs      []Attr    `json:"attrs,omitempty"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// TraceSnapshot is one request's immutable trace record: identity,
+// outcome, and the full span tree. Snapshots are built once when the
+// request finishes and never mutated, so the store hands them out to
+// concurrent readers without copying.
+type TraceSnapshot struct {
+	TraceID    string    `json:"trace_id"`
+	RequestID  string    `json:"request_id,omitempty"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationUS int64     `json:"duration_us"`
+	Status     int       `json:"status"`
+	Sampled    bool      `json:"sampled"`
+	// Error marks a request the server failed (5xx) — these land in the
+	// store's error lane regardless of head sampling.
+	Error bool           `json:"error"`
+	Spans []SpanSnapshot `json:"spans,omitempty"`
+}
+
+// storeRef counts how many keep-lanes hold a snapshot, so byID keeps an
+// entry reachable until every lane has evicted it.
+type storeRef struct {
+	snap *TraceSnapshot
+	refs int
+}
+
+// TraceStore is the bounded in-memory trace retention buffer behind
+// /v1/debug/traces. Three keep-lanes share one ID index: a ring of the
+// most recent traces, a slowest-traces lane, and an error-traces ring —
+// so a flood of fast healthy requests cannot evict the one slow or
+// failed trace the operator is hunting. A trace stays retrievable by ID
+// as long as any lane still holds it.
+type TraceStore struct {
+	mu      sync.Mutex
+	recent  []*TraceSnapshot // ring, len == cap once warm
+	next    int              // next write position in recent
+	slow    []*TraceSnapshot // unordered; evicts its fastest member
+	slowCap int
+	errs    []*TraceSnapshot // ring
+	errNext int
+	errCap  int
+	byID    map[string]*storeRef
+}
+
+// NewTraceStore creates a store keeping up to size recent traces plus
+// side-lanes (each size/4, min 8) for the slowest and error traces.
+// size < 1 is treated as 1.
+func NewTraceStore(size int) *TraceStore {
+	if size < 1 {
+		size = 1
+	}
+	lane := size / 4
+	if lane < 8 {
+		lane = 8
+	}
+	return &TraceStore{
+		recent:  make([]*TraceSnapshot, 0, size),
+		slowCap: lane,
+		errCap:  lane,
+		byID:    make(map[string]*storeRef),
+	}
+}
+
+func (s *TraceStore) retain(snap *TraceSnapshot) {
+	ref := s.byID[snap.TraceID]
+	if ref == nil {
+		ref = &storeRef{snap: snap}
+		s.byID[snap.TraceID] = ref
+	}
+	ref.refs++
+}
+
+func (s *TraceStore) release(snap *TraceSnapshot) {
+	if snap == nil {
+		return
+	}
+	if ref := s.byID[snap.TraceID]; ref != nil {
+		ref.refs--
+		if ref.refs <= 0 {
+			delete(s.byID, snap.TraceID)
+		}
+	}
+}
+
+// Add records a finished trace in every lane it qualifies for.
+func (s *TraceStore) Add(snap *TraceSnapshot) {
+	if s == nil || snap == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Recent lane: plain ring.
+	if len(s.recent) < cap(s.recent) {
+		s.recent = append(s.recent, snap)
+	} else {
+		s.release(s.recent[s.next])
+		s.recent[s.next] = snap
+		s.next = (s.next + 1) % len(s.recent)
+	}
+	s.retain(snap)
+
+	// Slow lane: keep the slowest slowCap traces seen.
+	if len(s.slow) < s.slowCap {
+		s.slow = append(s.slow, snap)
+		s.retain(snap)
+	} else {
+		min := 0
+		for i, t := range s.slow {
+			if t.DurationUS < s.slow[min].DurationUS {
+				min = i
+			}
+		}
+		if snap.DurationUS > s.slow[min].DurationUS {
+			s.release(s.slow[min])
+			s.slow[min] = snap
+			s.retain(snap)
+		}
+	}
+
+	// Error lane: ring of failed requests.
+	if snap.Error {
+		if len(s.errs) < s.errCap {
+			s.errs = append(s.errs, snap)
+		} else {
+			s.release(s.errs[s.errNext])
+			s.errs[s.errNext] = snap
+			s.errNext = (s.errNext + 1) % len(s.errs)
+		}
+		s.retain(snap)
+	}
+}
+
+// Get returns the stored trace with the given trace ID, or nil.
+func (s *TraceStore) Get(id string) *TraceSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ref := s.byID[id]; ref != nil {
+		return ref.snap
+	}
+	return nil
+}
+
+// Len returns the number of distinct traces currently retained.
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+// ListFilter narrows a TraceStore listing.
+type ListFilter struct {
+	// MinDuration drops traces faster than the threshold.
+	MinDuration time.Duration
+	// ErrorsOnly keeps only failed (5xx) traces.
+	ErrorsOnly bool
+	// Limit caps the result length; <= 0 means no cap.
+	Limit int
+}
+
+// List returns retained traces newest-first, filtered.
+func (s *TraceStore) List(f ListFilter) []*TraceSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]*TraceSnapshot, 0, len(s.byID))
+	for _, ref := range s.byID {
+		out = append(out, ref.snap)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.After(out[j].Start)
+		}
+		return out[i].TraceID < out[j].TraceID
+	})
+	kept := out[:0]
+	for _, t := range out {
+		if f.ErrorsOnly && !t.Error {
+			continue
+		}
+		if f.MinDuration > 0 && t.DurationUS < f.MinDuration.Microseconds() {
+			continue
+		}
+		kept = append(kept, t)
+		if f.Limit > 0 && len(kept) == f.Limit {
+			break
+		}
+	}
+	return kept
+}
+
+// TracerOptions configures a Tracer.
+type TracerOptions struct {
+	// SampleRate is the head-sampling probability in [0, 1] for traces
+	// originating at this process. 0 disables head sampling — only
+	// slow/error traces are kept (the tail decision); >= 1 samples every
+	// request. Inherited (propagated) traces keep the origin's decision.
+	SampleRate float64
+	// StoreSize bounds the in-memory trace store. 0 means the default
+	// (256); negative disables retention entirely (spans are still
+	// recorded and propagated, nothing is kept locally).
+	StoreSize int
+	// SlowAlways, when positive, stores any trace slower than the
+	// threshold even when head sampling passed it by.
+	SlowAlways time.Duration
+}
+
+// DefaultTraceStoreSize is the trace store capacity used when
+// TracerOptions.StoreSize is zero.
+const DefaultTraceStoreSize = 256
+
+// Tracer owns a process's trace retention policy: the head-sampling
+// rate applied where traces originate, the always-keep threshold for
+// slow requests, the bounded store behind /v1/debug/traces, and the
+// caltrain_traces_* counters. One Tracer is shared by every component
+// in a process so a deployment built in-process lands its whole span
+// tree in one store. All methods are nil-safe; a nil Tracer means
+// tracing is limited to ID propagation.
+type Tracer struct {
+	rate       float64
+	slowAlways time.Duration
+	store      *TraceStore
+
+	sampled atomic.Uint64
+	stored  atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewTracer creates a tracer. See TracerOptions for defaults.
+func NewTracer(opts TracerOptions) *Tracer {
+	rate := opts.SampleRate
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	t := &Tracer{rate: rate, slowAlways: opts.SlowAlways}
+	if opts.StoreSize >= 0 {
+		size := opts.StoreSize
+		if size == 0 {
+			size = DefaultTraceStoreSize
+		}
+		t.store = NewTraceStore(size)
+	}
+	return t
+}
+
+// Store returns the tracer's trace store (nil when retention is
+// disabled or the tracer is nil).
+func (t *Tracer) Store() *TraceStore {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// headSample draws the head-sampling decision for a trace originating
+// here.
+func (t *Tracer) headSample() bool {
+	if t == nil || t.rate <= 0 {
+		return false
+	}
+	return t.rate >= 1 || rand.Float64() < t.rate
+}
+
+// Finish applies the retention decision to a finished request trace:
+// keep when head-sampled, when the request failed (5xx), or when it ran
+// past the SlowAlways threshold — the tail half of the sampling policy.
+// No-op on a nil tracer or trace.
+func (t *Tracer) Finish(tr *Trace, status int, elapsed time.Duration) {
+	if t == nil || tr == nil {
+		return
+	}
+	if tr.Sampled() {
+		t.sampled.Add(1)
+	}
+	keep := tr.Sampled() || status >= 500 ||
+		(t.slowAlways > 0 && elapsed >= t.slowAlways)
+	if !keep || t.store == nil {
+		t.dropped.Add(1)
+		return
+	}
+	t.store.Add(tr.Snapshot(status))
+	t.stored.Add(1)
+}
+
+// MetricFamilies returns the caltrain_traces_* counter family for a
+// component's /v1/metrics registry. Nil on a nil tracer, so callers
+// register conditionally without branching.
+func (t *Tracer) MetricFamilies() []*Family {
+	if t == nil {
+		return nil
+	}
+	return []*Family{
+		CounterFunc("caltrain_traces_sampled_total",
+			"Finished request traces whose sampled flag was set (head decision, local or inherited).",
+			func() float64 { return float64(t.sampled.Load()) }),
+		CounterFunc("caltrain_traces_stored_total",
+			"Finished request traces retained in the in-memory trace store.",
+			func() float64 { return float64(t.stored.Load()) }),
+		CounterFunc("caltrain_traces_dropped_total",
+			"Finished request traces discarded by the sampling/retention policy.",
+			func() float64 { return float64(t.dropped.Load()) }),
+	}
+}

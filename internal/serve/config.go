@@ -115,9 +115,33 @@ type ObsFileConfig struct {
 	// SlowQueryThreshold warns about requests slower than this
 	// ("250ms"); omitted or 0 disables the slow-query log.
 	SlowQueryThreshold Duration `json:"slow_query_threshold,omitempty"`
-	// DebugAddr is the host:port of the pprof/expvar sidecar listener
-	// ("localhost:6060"); empty keeps it closed.
+	// DebugAddr is the host:port of the pprof/expvar/trace sidecar
+	// listener ("localhost:6060"); empty keeps it closed.
 	DebugAddr string `json:"debug_addr,omitempty"`
+	// Tracing tunes distributed tracing; see TraceFileConfig. Omitted
+	// means the defaults: every request sampled into a default-sized
+	// store.
+	Tracing *TraceFileConfig `json:"tracing,omitempty"`
+}
+
+// TraceFileConfig is the tracing block of an observability config:
+//
+//	"tracing": {
+//	  "sample_rate": 0.05,
+//	  "store": 512,
+//	  "slow_always": "100ms"
+//	}
+type TraceFileConfig struct {
+	// SampleRate is the head-sampling probability in [0, 1]. Omitted
+	// means 1 (sample everything); an explicit 0 keeps only slow/error
+	// traces.
+	SampleRate *float64 `json:"sample_rate,omitempty"`
+	// Store bounds the in-memory trace store behind /v1/debug/traces;
+	// omitted or 0 means the default, negative disables retention.
+	Store int `json:"store,omitempty"`
+	// SlowAlways stores any trace slower than this even when head
+	// sampling passed it by ("100ms"); omitted or 0 disables.
+	SlowAlways Duration `json:"slow_always,omitempty"`
 }
 
 // config validates the block and translates it into the in-memory
@@ -133,12 +157,28 @@ func (o ObsFileConfig) config() (*ObservabilityConfig, error) {
 			return nil, fmt.Errorf("serve: observability.debug_addr must be host:port: %w", err)
 		}
 	}
-	return &ObservabilityConfig{
+	cfg := &ObservabilityConfig{
 		DisableMetrics:     o.Metrics != nil && !*o.Metrics,
 		RequestLog:         o.RequestLog,
 		SlowQueryThreshold: time.Duration(o.SlowQueryThreshold),
 		DebugAddr:          o.DebugAddr,
-	}, nil
+	}
+	if o.Tracing != nil {
+		tc := &TraceConfig{SampleRate: 1}
+		if o.Tracing.SampleRate != nil {
+			if r := *o.Tracing.SampleRate; r < 0 || r > 1 {
+				return nil, fmt.Errorf("serve: observability.tracing.sample_rate must be in [0, 1], got %v", r)
+			}
+			tc.SampleRate = *o.Tracing.SampleRate
+		}
+		if o.Tracing.SlowAlways < 0 {
+			return nil, fmt.Errorf("serve: observability.tracing.slow_always must be non-negative (0 disables), got %s", time.Duration(o.Tracing.SlowAlways))
+		}
+		tc.StoreSize = o.Tracing.Store
+		tc.SlowAlways = time.Duration(o.Tracing.SlowAlways)
+		cfg.Trace = tc
+	}
+	return cfg, nil
 }
 
 // Duration is a time.Duration that marshals as a duration string

@@ -54,12 +54,35 @@ type ObservabilityConfig struct {
 	// Logger receives the request and slow-query logs; nil means
 	// slog.Default.
 	Logger *slog.Logger
+	// Trace tunes distributed tracing: the head-sampling rate, the
+	// in-memory trace store bound, and the always-keep threshold for
+	// slow requests. Nil keeps the defaults — every request sampled, a
+	// store of obs.DefaultTraceStoreSize traces.
+	Trace *TraceConfig
+}
+
+// TraceConfig is the tracing block of an ObservabilityConfig (file
+// form: observability.tracing). The zero value head-samples nothing and
+// keeps only slow/error traces — set SampleRate explicitly; a nil
+// TraceConfig on ObservabilityConfig means sample everything instead.
+type TraceConfig struct {
+	// SampleRate is the head-sampling probability in [0, 1] for traces
+	// originating at this deployment. 0 keeps only slow/error traces.
+	SampleRate float64
+	// StoreSize bounds the in-memory trace store behind
+	// /v1/debug/traces; 0 means obs.DefaultTraceStoreSize, negative
+	// disables retention.
+	StoreSize int
+	// SlowAlways stores any trace slower than this even when head
+	// sampling passed it by; 0 disables the slow lane's tail decision.
+	SlowAlways time.Duration
 }
 
 // options translates the config into the per-handler observability
-// options, stamping the component name that request logs carry.
-func (o *ObservabilityConfig) options(component string) fingerprint.Observability {
-	opts := fingerprint.Observability{Component: component}
+// options, stamping the component name that request logs carry and the
+// deployment-wide tracer.
+func (o *ObservabilityConfig) options(component string, tracer *obs.Tracer) fingerprint.Observability {
+	opts := fingerprint.Observability{Component: component, Tracer: tracer}
 	if o != nil {
 		opts.Logger = o.Logger
 		opts.RequestLog = o.RequestLog
@@ -67,6 +90,23 @@ func (o *ObservabilityConfig) options(component string) fingerprint.Observabilit
 		opts.DisableMetrics = o.DisableMetrics
 	}
 	return opts
+}
+
+// tracer builds the deployment-wide Tracer every handler shares — one
+// store holds an in-process topology's whole span tree. A nil Trace
+// block samples every request into a default-sized store, so traces are
+// inspectable out of the box; tune (or effectively disable with
+// SampleRate 0 and StoreSize -1) via the Trace block.
+func (d Deployment) tracer() *obs.Tracer {
+	tc := TraceConfig{SampleRate: 1}
+	if d.Observability != nil && d.Observability.Trace != nil {
+		tc = *d.Observability.Trace
+	}
+	return obs.NewTracer(obs.TracerOptions{
+		SampleRate: tc.SampleRate,
+		StoreSize:  tc.StoreSize,
+		SlowAlways: tc.SlowAlways,
+	})
 }
 
 // Deployment declares a complete serving topology over one linkage
@@ -124,6 +164,7 @@ type Server struct {
 	svc     *fingerprint.Service
 	router  *shard.Router
 	stores  []*ingest.Store
+	tracer  *obs.Tracer
 }
 
 // Handler returns the HTTP handler serving the /v1 wire protocol (and
@@ -148,6 +189,14 @@ func (s *Server) Store() *ingest.Store {
 	}
 	return s.stores[0]
 }
+
+// Tracer returns the deployment-wide tracer the built handlers share.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// TraceStore returns the trace retention store behind the deployment's
+// tracer — what ListenDebug mounts as /v1/debug/traces. Nil when
+// retention is disabled.
+func (s *Server) TraceStore() *obs.TraceStore { return s.tracer.Store() }
 
 // Serve runs the deployment on l until ctx is cancelled, then drains
 // in-flight requests for up to grace.
@@ -187,10 +236,11 @@ func (d Deployment) buildSingle(db *fingerprint.DB, spec BackendSpec) (*Server, 
 	if err != nil {
 		return nil, err
 	}
+	tracer := d.tracer()
 	sopts := append(append([]fingerprint.ServiceOption{}, d.Limits...),
-		fingerprint.WithObservability(d.Observability.options("serve")))
+		fingerprint.WithObservability(d.Observability.options("serve", tracer)))
 	svc := fingerprint.NewSearcherService(searcher, sopts...)
-	srv := &Server{svc: svc, handler: svc.Handler()}
+	srv := &Server{svc: svc, handler: svc.Handler(), tracer: tracer}
 	switch {
 	case d.WAL != nil:
 		store, err := d.openStore(d.WAL.Dir, db, searcher, spec, svc)
@@ -262,8 +312,13 @@ func (d Deployment) buildSharded(db *fingerprint.DB, spec BackendSpec) (*Server,
 			replicas[i] = append(replicas[i], shard.NewLocalReplica(name, svc))
 		}
 	}
+	// One tracer for the whole topology: the router's middleware records
+	// the root, and the local replicas' spans flow into the same trace
+	// through the request context — a single store holds the full tree.
+	tracer := d.tracer()
+	srv.tracer = tracer
 	ropts := append(append([]shard.RouterOption{}, d.RouterOptions...),
-		shard.WithObservability(d.Observability.options("router")))
+		shard.WithObservability(d.Observability.options("router", tracer)))
 	if d.WAL == nil && !d.VolatileWrites {
 		// Every shard service was built read-only; say so on /v1/meta
 		// instead of advertising a write path that would only answer 501.
@@ -304,11 +359,12 @@ func (d Deployment) openStore(dir string, db *fingerprint.DB, searcher fingerpri
 	return ingest.Open(dir, db, searcher, opts)
 }
 
-// ListenDebug opens the opt-in profiling sidecar: net/http/pprof and
-// expvar served on their own listener at addr, never mounted on the
+// ListenDebug opens the opt-in debug sidecar: net/http/pprof, expvar,
+// and — when store is non-nil — the /v1/debug/traces inspection
+// endpoints, served on their own listener at addr, never mounted on the
 // public handler. It returns the bound listener; close it to stop
 // serving. An empty addr is an error — callers gate on the knob first.
-func ListenDebug(addr string) (net.Listener, error) {
+func ListenDebug(addr string, store *obs.TraceStore) (net.Listener, error) {
 	if addr == "" {
 		return nil, fmt.Errorf("serve: debug listener needs an address")
 	}
@@ -316,7 +372,7 @@ func ListenDebug(addr string) (net.Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: debug listener: %w", err)
 	}
-	srv := &http.Server{Handler: obs.DebugHandler()}
+	srv := &http.Server{Handler: obs.DebugHandler(store)}
 	go func() { _ = srv.Serve(l) }()
 	return l, nil
 }

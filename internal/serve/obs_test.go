@@ -167,10 +167,10 @@ func TestConfigMetricsFalseRemovesEndpoint(t *testing.T) {
 // TestListenDebug: the sidecar serves pprof and expvar on its own
 // listener and refuses an empty address.
 func TestListenDebug(t *testing.T) {
-	if _, err := ListenDebug(""); err == nil {
+	if _, err := ListenDebug("", nil); err == nil {
 		t.Fatal("empty debug address accepted")
 	}
-	l, err := ListenDebug("127.0.0.1:0")
+	l, err := ListenDebug("127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,4 +193,117 @@ func TestListenDebug(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestConfigTracingBlock: the tracing block of an observability config
+// translates and validates.
+func TestConfigTracingBlock(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(`{
+		"observability": {
+			"tracing": {"sample_rate": 0.25, "store": 64, "slow_always": "100ms"}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := cfg.Deployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := dep.Observability.Trace
+	if tc == nil {
+		t.Fatal("tracing block not translated")
+	}
+	if tc.SampleRate != 0.25 || tc.StoreSize != 64 || tc.SlowAlways != 100*time.Millisecond {
+		t.Fatalf("tracing config: %+v", tc)
+	}
+
+	for _, bad := range []string{
+		`{"observability": {"tracing": {"sample_rate": 1.5}}}`,
+		`{"observability": {"tracing": {"sample_rate": -0.1}}}`,
+		`{"observability": {"tracing": {"slow_always": "-1s"}}}`,
+	} {
+		cfg, err := ParseConfig(strings.NewReader(bad))
+		if err != nil {
+			continue // rejected at parse time is fine too
+		}
+		if _, err := cfg.Deployment(); err == nil {
+			t.Errorf("config %s accepted", bad)
+		}
+	}
+}
+
+// TestShardedDeploymentTraceParity: a routed batch against an
+// in-process 2-shard deployment yields ONE trace whose span tree ties
+// the layers together — the shard attempts parent under the router's
+// scatter span, and the shard services' search spans parent under the
+// attempts.
+func TestShardedDeploymentTraceParity(t *testing.T) {
+	db := testDB(t, 8, 200, 4)
+	built, err := Deployment{Shards: 2}.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer built.Close()
+	store := built.TraceStore()
+	if store == nil {
+		t.Fatal("built deployment has no trace store")
+	}
+
+	body := `{"queries": [
+		{"fingerprint": [1,0,0,0,0,0,0,0], "label": 0, "k": 3},
+		{"fingerprint": [0,1,0,0,0,0,0,0], "label": 1, "k": 3}
+	]}`
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/query/batch", strings.NewReader(body))
+	built.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch query: status %d: %s", rec.Code, rec.Body.String())
+	}
+	traceID := rec.Header().Get(obs.TraceIDHeader)
+	if traceID == "" {
+		t.Fatal("response missing X-Trace-Id")
+	}
+	snap := store.Get(traceID)
+	if snap == nil {
+		t.Fatalf("trace %s not in the deployment store", traceID)
+	}
+
+	spans := map[string][]obs.SpanSnapshot{}
+	byID := map[string]obs.SpanSnapshot{}
+	for _, sp := range snap.Spans {
+		spans[sp.Name] = append(spans[sp.Name], sp)
+		byID[sp.ID] = sp
+	}
+	if len(spans["scatter"]) != 1 {
+		t.Fatalf("want 1 scatter span, got %d (spans: %v)", len(spans["scatter"]), names(snap.Spans))
+	}
+	scatter := spans["scatter"][0]
+	if root := byID[scatter.Parent]; root.Name != snap.Root {
+		t.Fatalf("scatter parents under %q, want root %q", root.Name, snap.Root)
+	}
+	if len(spans["shard_attempt"]) != 2 {
+		t.Fatalf("want 2 shard_attempt spans, got %d", len(spans["shard_attempt"]))
+	}
+	for _, at := range spans["shard_attempt"] {
+		if at.Parent != scatter.ID {
+			t.Fatalf("shard_attempt parents under %q, want scatter %q", at.Parent, scatter.ID)
+		}
+	}
+	if len(spans["search"]) == 0 {
+		t.Fatal("no search spans from the shard services")
+	}
+	for _, se := range spans["search"] {
+		if byID[se.Parent].Name != "shard_attempt" {
+			t.Fatalf("search parents under %q, want a shard_attempt", byID[se.Parent].Name)
+		}
+	}
+}
+
+func names(spans []obs.SpanSnapshot) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
 }

@@ -150,8 +150,20 @@ func (r *HTTPReplica) do(req *http.Request, out any) error {
 	if id := obs.RequestIDFrom(req.Context()); id != "" {
 		req.Header.Set(obs.RequestIDHeader, id)
 	}
+	// The RPC is a span of its own, and its context rides the wire as a
+	// traceparent header — the daemon's middleware parents its whole span
+	// tree under this span, joining the two processes' traces.
+	ctx, span := obs.StartSpan(req.Context(), "rpc")
+	span.SetAttr("replica", r.base)
+	span.SetAttr("path", req.URL.Path)
+	defer span.End()
+	req = req.WithContext(ctx)
+	if sc := obs.SpanContextFrom(ctx); sc.Valid() {
+		req.Header.Set(obs.TraceParentHeader, sc.TraceParent())
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
+		span.SetError(err)
 		return err
 	}
 	// Drain to EOF before Close so the Transport can reuse the
@@ -167,10 +179,14 @@ func (r *HTTPReplica) do(req *http.Request, out any) error {
 		// the envelope's message (or a bounded raw snippet) into the
 		// per-result error.
 		env, msg := fingerprint.ReadErrorBody(resp.Body)
-		return &StatusError{Code: resp.StatusCode, Msg: msg, EnvCode: env.Code}
+		serr := &StatusError{Code: resp.StatusCode, Msg: msg, EnvCode: env.Code}
+		span.SetError(serr)
+		return serr
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("shard: decode %s response: %w", req.URL.Path, err)
+		err = fmt.Errorf("shard: decode %s response: %w", req.URL.Path, err)
+		span.SetError(err)
+		return err
 	}
 	return nil
 }
@@ -527,6 +543,9 @@ func (r *Router) buildMetrics() *obs.Registry {
 				func() float64 { return float64(r.cache.misses.Load()) }),
 		)
 	}
+	if fams := r.obsOpts.Tracer.MetricFamilies(); len(fams) > 0 {
+		reg.MustRegister(fams...)
+	}
 	return reg
 }
 
@@ -590,10 +609,18 @@ func (r *Router) callShard(parent context.Context, sid int, sub []fingerprint.Qu
 	order = append(order, down...)
 	var lastErr error
 	for _, s := range order {
-		resp, err := s.r.QueryBatch(ctx, sub)
+		// One span per attempt, failover retries included, so a trace of a
+		// slow query shows WHICH replica burned the time before another
+		// answered.
+		actx, attempt := obs.StartSpan(ctx, "shard_attempt")
+		attempt.SetAttr("shard", strconv.Itoa(sid))
+		attempt.SetAttr("replica", s.r.Addr())
+		resp, err := s.r.QueryBatch(actx, sub)
 		if err == nil && len(resp.Results) != len(sub) {
 			err = fmt.Errorf("replica %s returned %d results for %d queries", s.r.Addr(), len(resp.Results), len(sub))
 		}
+		attempt.SetError(err)
+		attempt.End()
 		if err == nil {
 			s.markUp()
 			return resp, nil
@@ -629,14 +656,19 @@ func (r *Router) callShard(parent context.Context, sid int, sub []fingerprint.Qu
 // answered with a rejection yields per-result errors only — it was
 // reached.
 func (r *Router) scatter(ctx context.Context, reqs []fingerprint.QueryRequest) ([]fingerprint.BatchResult, []string) {
-	routeDone := obs.TraceFrom(ctx).StartStage("route")
+	_, route := obs.StartSpan(ctx, "route")
 	byShard := make(map[int][]int)
 	for i, q := range reqs {
 		sid := r.m.Shard(q.Label)
 		byShard[sid] = append(byShard[sid], i)
 	}
-	routeDone()
-	defer obs.TraceFrom(ctx).StartStage("fanout")()
+	route.End()
+	// The fan-out runs under one "scatter" span; per-shard attempt spans
+	// (and, through propagation, the shard daemons' own trees) parent
+	// under it via sctx.
+	sctx, scatterSpan := obs.StartSpan(ctx, "scatter")
+	scatterSpan.SetAttr("shards", strconv.Itoa(len(byShard)))
+	defer scatterSpan.End()
 	results := make([]fingerprint.BatchResult, len(reqs))
 	var mu sync.Mutex
 	var unreachable []string
@@ -649,7 +681,7 @@ func (r *Router) scatter(ctx context.Context, reqs []fingerprint.QueryRequest) (
 			for j, pos := range positions {
 				sub[j] = reqs[pos]
 			}
-			resp, err := r.callShard(ctx, sid, sub)
+			resp, err := r.callShard(sctx, sid, sub)
 			if err != nil {
 				r.errs.Add(uint64(len(positions)))
 				var rejected *StatusError
@@ -714,6 +746,7 @@ func (r *Router) Meta() fingerprint.MetaResponse {
 		Capabilities: fingerprint.MetaCapabilities{
 			Ingest:  r.metaIngest,
 			Sharded: true,
+			Trace:   r.obsOpts.Tracer != nil,
 		},
 		Build: obs.Build(),
 	}
@@ -763,7 +796,11 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	if r.cache != nil {
 		sid = r.m.Shard(q.Label)
 		key = cacheKey{label: q.Label, fpHash: fingerprintHash(q.Fingerprint), k: q.K}
-		if resp, ok := r.cache.get(key); ok {
+		_, lookup := obs.StartSpan(req.Context(), "cache_lookup")
+		resp, ok := r.cache.get(key)
+		lookup.SetAttr("hit", strconv.FormatBool(ok))
+		lookup.End()
+		if ok {
 			r.latency.Observe(time.Since(started))
 			writeJSON(w, resp)
 			return
@@ -861,18 +898,25 @@ func (r *Router) ingestShard(parent context.Context, sid int, entries []fingerpr
 		wg.Add(1)
 		go func(i int, s *replicaState) {
 			defer wg.Done()
+			actx, attempt := obs.StartSpan(ctx, "ingest_attempt")
+			attempt.SetAttr("shard", strconv.Itoa(sid))
+			attempt.SetAttr("replica", s.r.Addr())
+			defer attempt.End()
 			ir, ok := s.r.(IngestReplica)
 			if !ok {
 				// Same shape a read-only daemon answers with over HTTP,
 				// so the accounting below treats both alike: alive, no
 				// cooldown, no acknowledgment.
-				acks[i] = ack{s: s, err: &StatusError{
+				serr := &StatusError{
 					Code: http.StatusNotImplemented,
 					Msg:  fmt.Sprintf("replica %s does not accept writes", s.r.Addr()),
-				}}
+				}
+				attempt.SetError(serr)
+				acks[i] = ack{s: s, err: serr}
 				return
 			}
-			_, err := ir.Ingest(ctx, entries)
+			_, err := ir.Ingest(actx, entries)
+			attempt.SetError(err)
 			var rejected *StatusError
 			if errors.As(err, &rejected) && rejected.definitive() {
 				acks[i] = ack{s: s, err: err, rejected: true}
@@ -959,19 +1003,22 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	results := make(map[int]shardIngestResult, len(byShard))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	replicateDone := obs.TraceFrom(req.Context()).StartStage("replicate")
+	// The replication fan-out runs under one "replicate" span; per-replica
+	// attempt spans parent under it via rctx.
+	rctx, replicate := obs.StartSpan(req.Context(), "replicate")
+	replicate.SetAttr("shards", strconv.Itoa(len(byShard)))
 	for sid, entries := range byShard {
 		wg.Add(1)
 		go func(sid int, entries []fingerprint.IngestEntry) {
 			defer wg.Done()
-			res := r.ingestShard(req.Context(), sid, entries)
+			res := r.ingestShard(rctx, sid, entries)
 			mu.Lock()
 			results[sid] = res
 			mu.Unlock()
 		}(sid, entries)
 	}
 	wg.Wait()
-	replicateDone()
+	replicate.End()
 	if r.cache != nil {
 		// Invalidate after the replicas applied the writes: cached
 		// responses for the touched shards go stale in one generation

@@ -153,12 +153,13 @@ type (
 )
 
 // Observability types (internal/obs through the serving layers):
-// Prometheus metrics on GET /v1/metrics, X-Request-Id tracing with
-// per-stage timings, and the pprof/expvar debug sidecar.
+// Prometheus metrics on GET /v1/metrics, distributed request tracing
+// with W3C-traceparent propagation, and the pprof/expvar/traces debug
+// sidecar.
 type (
 	// ObservabilityConfig tunes a Deployment's observability — the
-	// metrics endpoint, request and slow-query logging, and the debug
-	// listener address.
+	// metrics endpoint, request and slow-query logging, tracing, and the
+	// debug listener address.
 	ObservabilityConfig = serve.ObservabilityConfig
 	// DeploymentObsConfig is the file form of ObservabilityConfig: the
 	// "observability" block of a DeploymentConfig.
@@ -169,13 +170,59 @@ type (
 	// BuildInfo identifies the serving binary — Go version, VCS
 	// revision — on GET /v1/meta and the caltrain_build_info metric.
 	BuildInfo = obs.BuildInfo
-	// RequestTrace carries a request's ID and accumulated per-stage
-	// timings through a context; see TraceFromContext.
+	// RequestTrace carries a request's span tree through a context; see
+	// TraceFromContext.
 	RequestTrace = obs.Trace
 	// MetricsRegistry is a hand-rolled, dependency-free Prometheus
 	// text-format registry — what backs every /v1/metrics endpoint.
 	MetricsRegistry = obs.Registry
 )
+
+// Distributed-tracing types (internal/obs): hierarchical spans recorded
+// per request, head-sampled, kept in a bounded in-memory store behind
+// GET /v1/debug/traces on the debug sidecar, and propagated across
+// processes W3C-traceparent-style so a routed query forms one trace.
+type (
+	// Span is one timed operation in a request's trace; see StartSpan.
+	// Every method is nil-safe.
+	Span = obs.Span
+	// SpanContext is the wire form of a span's position in its trace —
+	// trace ID, span ID, sampled flag — as carried by the traceparent
+	// header.
+	SpanContext = obs.SpanContext
+	// Tracer owns a deployment's sampling decisions and trace retention.
+	Tracer = obs.Tracer
+	// TracerOptions configures a Tracer: head-sampling rate, store size,
+	// and the always-keep slow threshold.
+	TracerOptions = obs.TracerOptions
+	// TraceStore is the bounded in-memory ring of finished traces behind
+	// GET /v1/debug/traces, with keep-lanes for the slowest and errored.
+	TraceStore = obs.TraceStore
+	// TraceSnapshot is one finished trace as stored and served: root
+	// name, duration, status, and the span tree.
+	TraceSnapshot = obs.TraceSnapshot
+	// SpanSnapshot is one finished span of a TraceSnapshot.
+	SpanSnapshot = obs.SpanSnapshot
+	// TraceConfig is the Deployment form of TracerOptions — the
+	// Observability.Trace block.
+	TraceConfig = serve.TraceConfig
+	// DeploymentTraceConfig is the file form of TraceConfig: the
+	// "tracing" block of a DeploymentObsConfig.
+	DeploymentTraceConfig = serve.TraceFileConfig
+)
+
+// NewTracer creates a Tracer. The zero TracerOptions head-samples
+// nothing and keeps the default-sized store; a nil *Tracer is valid and
+// records nothing.
+func NewTracer(opts TracerOptions) *Tracer { return obs.NewTracer(opts) }
+
+// StartSpan starts a child span of the context's current span (or of
+// the request's root) and returns the context to pass to downstream
+// work. End the span when the operation finishes; on a context with no
+// trace it returns a nil Span, whose methods are all no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.StartSpan(ctx, name)
+}
 
 // Observability options, forwarded from the serving layers.
 var (
@@ -187,13 +234,17 @@ var (
 )
 
 // NewDebugHandler returns the pprof + expvar handler the daemons serve
-// on -debug-addr. Mount it on a private sidecar listener only — never
-// on the public serving address.
-func NewDebugHandler() http.Handler { return obs.DebugHandler() }
+// on -debug-addr; a non-nil store additionally serves the stored traces
+// at GET /v1/debug/traces and /v1/debug/traces/{id}. Mount it on a
+// private sidecar listener only — never on the public serving address.
+func NewDebugHandler(store *TraceStore) http.Handler { return obs.DebugHandler(store) }
 
 // ListenDebug opens the debug sidecar: NewDebugHandler served on its
-// own listener at addr. Close the returned listener to stop it.
-func ListenDebug(addr string) (net.Listener, error) { return serve.ListenDebug(addr) }
+// own listener at addr. Pass a built Deployment's TraceStore() (or nil
+// for no trace endpoint); close the returned listener to stop it.
+func ListenDebug(addr string, store *TraceStore) (net.Listener, error) {
+	return serve.ListenDebug(addr, store)
+}
 
 // NewRequestID returns a fresh request ID in the form the X-Request-Id
 // middleware generates.
