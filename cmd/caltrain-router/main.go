@@ -44,6 +44,26 @@
 //	                      per-shard entry gauges and the merged shard
 //	                      latency histogram
 //
+// Self-healing (-repair, tuned with -repair-after/-repair-interval):
+// when a replica stays degraded past the threshold, the router nudges
+// its sync state machine (POST /v1/repl/sync) naming a healthy replica
+// of the same shard as the source, polls /v1/repl/status until the
+// replica reports live, and readmits it to the rotation. The daemons
+// must run with replication enabled (caltrain-serve -repl). Repairs
+// show up as always-sampled "repair" traces, the repair block of
+// GET /v1/stats, and caltrain_router_repair_* metrics.
+//
+// Declarative mode (-deployment config.json) replaces the topology
+// flags with the same serve.Config document format caltrain-serve
+// takes, using its topology block — shard map path, per-shard replica
+// URLs, write quorum, repair — so one config language describes both
+// halves of a deployment:
+//
+//	caltrain-router -deployment router.json
+//	{"topology": {"map": "shards/shardmap.ctsm",
+//	              "shards": {"0": ["replica-a:9000", "replica-b:9000"]},
+//	              "write_quorum": 1, "repair": {"after": "15s"}}}
+//
 // Every request carries an X-Request-Id (inbound or generated) that the
 // router forwards to the shard daemons it fans out to, so one ID ties a
 // client call to its per-shard work in every daemon's -request-log. The
@@ -144,10 +164,58 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		traceRate  = fs.Float64("trace-sample-rate", 1, "head-sampling probability for request traces, in [0,1] (0 = keep only slow/error traces)")
 		traceStore = fs.Int("trace-store", 0, "in-memory trace store size behind /v1/debug/traces (0 = default, negative = no retention)")
 		traceSlow  = fs.Duration("trace-slow", 0, "always store traces slower than this, even when not head-sampled (0 = disabled)")
+
+		depPath        = fs.String("deployment", "", "deployment config file (JSON) with a topology block: shard map, replicas, quorum, repair in one document — conflicts with the topology flags")
+		repair         = fs.Bool("repair", false, "enable the anti-entropy repair loop: drive degraded replicas through a /v1/repl/sync resync from a healthy same-shard peer and readmit them")
+		repairAfter    = fs.Duration("repair-after", 0, "degradation streak before a repair starts (0 = default; implies -repair)")
+		repairInterval = fs.Duration("repair-interval", 0, "repair loop health scan period (0 = default; implies -repair)")
 	)
 	fs.Var(shards, "shard", "shard replicas as ID=addr[,addr...]; repeat per shard")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *repairAfter < 0 || *repairInterval < 0 {
+		return fmt.Errorf("-repair-after and -repair-interval must be non-negative (0 means default)")
+	}
+
+	if *depPath != "" {
+		// The config file declares the whole topology; a topology flag
+		// alongside it would silently lose to (or fight with) the file.
+		// Only the flags naming where the router runs are allowed.
+		processFlags := map[string]bool{"addr": true, "grace": true, "deployment": true, "debug-addr": true}
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			if !processFlags[f.Name] && conflict == "" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-%s conflicts with -deployment: the config file declares the topology", conflict)
+		}
+		cfg, err := serve.LoadConfig(*depPath)
+		if err != nil {
+			return err
+		}
+		plan, err := cfg.RouterPlan(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+		if err != nil {
+			return err
+		}
+		built, err := serve.NewRouter(plan.Map, plan.Replicas, plan.Options...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "deployment config: %s\n", *depPath)
+		da := plan.DebugAddr
+		if *debugAddr != "" {
+			da = *debugAddr
+		}
+		var traces *obs.TraceStore
+		if plan.Tracer != nil {
+			traces = plan.Tracer.Store()
+		}
+		return serveRouter(parent, out, built, plan.Map, da, traces, *addr, *grace)
 	}
 
 	mf, err := os.Open(*mapPath)
@@ -218,6 +286,13 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		}
 		opts = append(opts, shard.WithRouterLatencyBuckets(bounds))
 	}
+	if *repair || set["repair-after"] || set["repair-interval"] {
+		opts = append(opts, shard.WithRepair(shard.RepairOptions{
+			After:    *repairAfter,
+			Interval: *repairInterval,
+			Logger:   slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		}))
+	}
 	// The topology assembles through the declarative serving layer, like
 	// caltrain-serve: the router is a Deployment whose shards live in
 	// other processes.
@@ -225,24 +300,30 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return serveRouter(parent, out, built, m, *debugAddr, tracer.Store(), *addr, *grace)
+}
 
+// serveRouter opens the debug sidecar (when configured) and the public
+// listener, then runs the built router until SIGINT/SIGTERM. Serve also
+// runs the anti-entropy repair loop when the router was built with one.
+func serveRouter(parent context.Context, out io.Writer, built *serve.Server, m *shard.Map, debugAddr string, traces *obs.TraceStore, addr string, grace time.Duration) error {
 	ctx, stop := signal.NotifyContext(parent, syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if *debugAddr != "" {
-		dl, err := serve.ListenDebug(*debugAddr, tracer.Store())
+	if debugAddr != "" {
+		dl, err := serve.ListenDebug(debugAddr, traces)
 		if err != nil {
 			return err
 		}
 		defer dl.Close()
 		fmt.Fprintf(out, "debug listener (pprof, expvar, traces) on %s\n", dl.Addr())
 	}
-	l, err := net.Listen("tcp", *addr)
+	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "routing accountability queries on %s across %d shards (%s map; /v1 + legacy: POST /query, POST /query/batch, POST /ingest, GET /healthz, GET /stats, GET /meta)\n",
 		l.Addr(), m.NumShards(), m.Strategy())
-	if err := built.Serve(ctx, l, *grace); err != nil {
+	if err := built.Serve(ctx, l, grace); err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "drained, bye")

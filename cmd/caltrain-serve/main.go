@@ -53,6 +53,16 @@
 // -drift-threshold. -snapshot-every (and graceful shutdown) persists
 // the database back to -db and truncates the log.
 //
+// Replication (-repl, -repl-peer URL; or the replication{} block in
+// -deployment mode) makes a -wal daemon a self-healing replica: it
+// serves GET /v1/repl/snapshot and GET /v1/repl/wal so peers can
+// bootstrap and catch up from it, and runs the sync state machine
+// (cold → snapshot → catchup → live) that POST /v1/repl/sync — and the
+// router's anti-entropy repair loop — drive. With -repl-peer the daemon
+// syncs from that peer at startup before accepting external writes, and
+// a missing -db file is fetched from the peer as a snapshot, so a
+// brand-new empty replica joins with nothing but a peer URL.
+//
 // Declarative mode (-deployment config.json) replaces the per-knob
 // flags with one JSON document — backend, sharding, replicas,
 // durability, limits — parsed by serve.ParseConfig:
@@ -77,6 +87,7 @@ import (
 	"syscall"
 	"time"
 
+	"caltrain/internal/cluster"
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/index"
 	"caltrain/internal/ingest"
@@ -127,6 +138,9 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		segBytes  = fs.Int64("wal-segment-bytes", 64<<20, "rotate WAL segments past this size")
 		drift     = fs.Float64("drift-threshold", ingest.DefaultDriftThreshold, "appended fraction that triggers a background IVF retrain + hot-swap (negative disables)")
 		snapEvery = fs.Duration("snapshot-every", 0, "periodically persist the database to -db and truncate the WAL (0 = only on graceful shutdown)")
+
+		replOn   = fs.Bool("repl", false, "enable replication: serve the /v1/repl/* snapshot+WAL source endpoints and run the sync state machine (needs -wal)")
+		replPeer = fs.String("repl-peer", "", "sync source base URL (another replica of the same shard); implies -repl — the daemon syncs from the peer at startup, and a missing -db file is bootstrapped from its snapshot")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -163,7 +177,7 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-save-index needs an index backend (-index flat, ivf, or ivfpq): the linear scan has nothing to persist")
 	}
 	if *walDir == "" && *depPath == "" {
-		for _, needsWAL := range []string{"fsync", "fsync-every", "wal-segment-bytes", "drift-threshold", "snapshot-every"} {
+		for _, needsWAL := range []string{"fsync", "fsync-every", "wal-segment-bytes", "drift-threshold", "snapshot-every", "repl", "repl-peer"} {
 			if set[needsWAL] {
 				return fmt.Errorf("-%s needs -wal: the read-only daemon has no write path", needsWAL)
 			}
@@ -183,22 +197,13 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	dbf, err := os.Open(*dbPath)
-	if err != nil {
-		return err
-	}
-	db, err := fingerprint.LoadDB(dbf)
-	dbf.Close()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "linkage database: %d entries, fingerprint dim %d\n", db.Len(), db.Dim())
-
 	// Resolve the topology into a declarative Deployment: from the
 	// -deployment config file whole, or from the per-knob flags (the
 	// backend flag, or a loaded index, becomes the BackendSpec).
 	// Everything downstream — service or router, write path, retrain
-	// hook — assembles from it.
+	// hook — assembles from it. The config resolves before the database
+	// loads so a replication peer declared there can bootstrap a missing
+	// -db file.
 	var dep serve.Deployment
 	if *depPath != "" {
 		cfg, err := serve.LoadConfig(*depPath)
@@ -217,7 +222,38 @@ func run(parent context.Context, args []string, out io.Writer) error {
 			}
 		}
 		fmt.Fprintf(out, "deployment config: %s\n", *depPath)
-	} else {
+	}
+	peer := *replPeer
+	if dep.Replication != nil {
+		peer = dep.Replication.Peer
+	}
+
+	var db *fingerprint.DB
+	dbf, err := os.Open(*dbPath)
+	switch {
+	case err == nil:
+		db, err = fingerprint.LoadDB(dbf)
+		dbf.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "linkage database: %d entries, fingerprint dim %d\n", db.Len(), db.Dim())
+	case os.IsNotExist(err) && peer != "":
+		// A brand-new replica: no local database yet, but a peer to copy.
+		// Its snapshot seeds the database; the sync state machine catches
+		// up the WAL tail once the topology is built and serving.
+		var seq uint64
+		db, seq, err = cluster.FetchSnapshot(parent, nil, peer)
+		if err != nil {
+			return fmt.Errorf("bootstrap from %s: %w", peer, err)
+		}
+		fmt.Fprintf(out, "bootstrap: %s missing; fetched snapshot from %s (%d entries, fingerprint dim %d, seq %d)\n",
+			*dbPath, peer, db.Len(), db.Dim(), seq)
+	default:
+		return err
+	}
+
+	if *depPath == "" {
 		ivfOpts := index.IVFPQOptions{
 			IVFOptions: index.IVFOptions{Nlist: *nlist, Nprobe: *nprobe, Iters: *iters, Seed: *seed},
 			M:          *pqM,
@@ -272,6 +308,9 @@ func run(parent context.Context, args []string, out io.Writer) error {
 				WAL:            ingest.WALOptions{Sync: syncPolicy, SyncEvery: *fsyncEvry, SegmentBytes: *segBytes},
 				DriftThreshold: *drift,
 			}}
+		}
+		if *replOn || *replPeer != "" {
+			dep.Replication = &serve.ReplicationConfig{Peer: *replPeer}
 		}
 	}
 	// Observability: the config file's observability block wins in
@@ -329,6 +368,13 @@ func run(parent context.Context, args []string, out io.Writer) error {
 	} else if stores := built.Stores(); len(stores) > 0 {
 		fmt.Fprintf(out, "wal: %s, %d shard-replica stores\n", dep.WAL.Dir, len(stores))
 	}
+	if dep.Replication != nil {
+		if dep.Replication.Peer != "" {
+			fmt.Fprintf(out, "replication: enabled, peer %s\n", dep.Replication.Peer)
+		} else {
+			fmt.Fprintln(out, "replication: enabled (source-only until nudged)")
+		}
+	}
 
 	if *saveIndex != "" {
 		if err := saveIndexFile(*saveIndex, svc.Searcher()); err != nil {
@@ -366,11 +412,17 @@ func run(parent context.Context, args []string, out io.Writer) error {
 			for {
 				select {
 				case <-t.C:
-					if err := store.Snapshot(*dbPath, persist...); err != nil {
+					// Ask for the store each cycle: under replication a
+					// full resync swaps it (and the database) out.
+					st := built.Store()
+					if st == nil {
+						continue
+					}
+					if err := st.Snapshot(*dbPath, persist...); err != nil {
 						fmt.Fprintf(out, "snapshot: %v\n", err)
 						continue
 					}
-					fmt.Fprintf(out, "snapshot: %d entries → %s, wal truncated\n", db.Len(), *dbPath)
+					fmt.Fprintf(out, "snapshot: %d entries → %s, wal truncated\n", svc.Searcher().Len(), *dbPath)
 				case <-ctx.Done():
 					return
 				}
@@ -408,14 +460,17 @@ func run(parent context.Context, args []string, out io.Writer) error {
 		}
 		// Graceful shutdown compacts: persist the database (and the
 		// index, when one is being persisted) so the restart loads a
-		// snapshot instead of replaying the whole log.
-		if err := store.Snapshot(*dbPath, persist...); err != nil {
+		// snapshot instead of replaying the whole log. The store is
+		// re-fetched: under replication a full resync swaps it out.
+		if st := built.Store(); st != nil {
+			if err := st.Snapshot(*dbPath, persist...); err != nil {
+				return err
+			}
+		}
+		if err := built.Close(); err != nil {
 			return err
 		}
-		if err := store.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "final snapshot: %d entries → %s\n", db.Len(), *dbPath)
+		fmt.Fprintf(out, "final snapshot: %d entries → %s\n", svc.Searcher().Len(), *dbPath)
 	} else if stores := built.Stores(); len(stores) > 0 {
 		// Sharded write paths have no single -db file to compact into;
 		// close them flushed — the per-replica WALs replay on restart.

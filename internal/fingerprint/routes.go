@@ -202,6 +202,45 @@ type MetaCapabilities struct {
 	// Trace reports whether the deployment retains request traces — a
 	// -debug-addr sidecar can answer /v1/debug/traces.
 	Trace bool `json:"trace"`
+	// Replication reports whether the /v1/repl/* endpoints answer:
+	// this daemon can serve snapshots and ship WAL records to a
+	// follower, and can itself be nudged to resync from a peer.
+	Replication bool `json:"replication,omitempty"`
+}
+
+// Replication wire types, shared by internal/cluster (which implements
+// the endpoints) and internal/shard (whose router drives repair
+// through them) so neither imports the other.
+
+// ReplSyncRequest is the JSON body of POST /v1/repl/sync — the repair
+// nudge. Peer overrides the replica's configured sync source for this
+// run; empty keeps it.
+type ReplSyncRequest struct {
+	Peer string `json:"peer,omitempty"`
+}
+
+// ReplStatus is the JSON body of GET /v1/repl/status (and of the 202
+// reply to a sync nudge): where a replica's follower state machine
+// stands.
+type ReplStatus struct {
+	// State is the sync state machine's position: "cold", "snapshot",
+	// "catchup", or "live".
+	State string `json:"state"`
+	// LagSeq is the last observed gap between the peer's head sequence
+	// and this replica's, in records; 0 when caught up or never synced.
+	LagSeq int64 `json:"lag_seq"`
+	// Head is this replica's own next sequence number.
+	Head uint64 `json:"head"`
+	// Peer is the sync source base URL ("" when none is configured).
+	Peer string `json:"peer,omitempty"`
+	// Syncs counts completed sync runs; FullSyncs counts the subset
+	// that needed a snapshot bootstrap rather than WAL catchup alone.
+	Syncs     uint64 `json:"syncs"`
+	FullSyncs uint64 `json:"full_syncs"`
+	// LastSyncUnix is when the last successful sync finished.
+	LastSyncUnix int64 `json:"last_sync_unix,omitempty"`
+	// LastError is the most recent sync failure, cleared on success.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // MetaResponse is the JSON body of GET /v1/meta: server version, wire
@@ -253,6 +292,18 @@ type RouteSet struct {
 	// Metrics serves the Prometheus exposition (GET /v1/metrics and the
 	// legacy /metrics alias); nil leaves the route unmounted.
 	Metrics http.HandlerFunc
+	// Replication endpoints (internal/cluster): nil handlers leave the
+	// routes unmounted, which is how a deployment without replication
+	// keeps answering 404 on /v1/repl/*.
+	//
+	//	GET  /v1/repl/snapshot  consistent DB snapshot + covered seq
+	//	GET  /v1/repl/wal       WAL records from ?from=<seq>
+	//	POST /v1/repl/sync      nudge this replica to resync from a peer
+	//	GET  /v1/repl/status    follower state machine position
+	ReplSnapshot http.HandlerFunc
+	ReplWAL      http.HandlerFunc
+	ReplSync     http.HandlerFunc
+	ReplStatus   http.HandlerFunc
 	// Meta is evaluated per request, so capabilities that change after
 	// construction (SetIngester) stay accurate.
 	Meta func() MetaResponse
@@ -295,6 +346,10 @@ func (rs RouteSet) Handler() http.Handler {
 	mount(http.MethodGet, "/healthz", rs.Healthz)
 	mount(http.MethodGet, "/stats", rs.Stats)
 	mount(http.MethodGet, "/metrics", rs.Metrics)
+	mount(http.MethodGet, "/repl/snapshot", rs.ReplSnapshot)
+	mount(http.MethodGet, "/repl/wal", rs.ReplWAL)
+	mount(http.MethodPost, "/repl/sync", rs.ReplSync)
+	mount(http.MethodGet, "/repl/status", rs.ReplStatus)
 	if rs.Meta != nil {
 		mount(http.MethodGet, "/meta", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, rs.Meta())

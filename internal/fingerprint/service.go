@@ -41,6 +41,8 @@ type Service struct {
 	bucketsUS []int64
 	obsOpts   Observability
 
+	repl ReplRoutes
+
 	start    time.Time
 	queries  atomic.Uint64
 	batches  atomic.Uint64
@@ -136,8 +138,34 @@ func WithIngester(ing Ingester) ServiceOption {
 // SetIngester enables the write path after construction — the daemon
 // wiring order is service first (the ingest store hot-swaps through
 // it), then the store, then this. Call before serving; it is not
-// synchronized against in-flight requests.
+// synchronized against in-flight requests. A replicated deployment
+// installs one long-lived Ingester (the cluster Syncer) exactly once
+// and swaps stores inside it, so this is never called at runtime.
 func (s *Service) SetIngester(ing Ingester) { s.ingester = ing }
+
+// ReplRoutes is the set of replication endpoint handlers a cluster
+// subsystem hangs on a Service (internal/cluster provides them).
+type ReplRoutes struct {
+	Snapshot http.HandlerFunc // GET  /v1/repl/snapshot
+	WAL      http.HandlerFunc // GET  /v1/repl/wal
+	Sync     http.HandlerFunc // POST /v1/repl/sync
+	Status   http.HandlerFunc // GET  /v1/repl/status
+}
+
+// SetReplRoutes mounts the replication endpoints on the next Handler
+// call and flips the meta capability. Like SetIngester, call before
+// serving.
+func (s *Service) SetReplRoutes(rr ReplRoutes) { s.repl = rr }
+
+// MustRegisterMetrics adds metric families to the service's registry —
+// how the replication subsystem exposes its sync gauges on the same
+// /v1/metrics scrape. Safe after construction (the registry
+// serializes), but families must not duplicate existing names.
+func (s *Service) MustRegisterMetrics(fams ...*obs.Family) {
+	for _, f := range fams {
+		s.metrics.MustRegister(f)
+	}
+}
 
 // NewService serves the linkage database itself (exact linear scan) —
 // the zero-setup path. Production deployments wrap an index backend with
@@ -528,6 +556,10 @@ func (s *Service) Handler() http.Handler {
 		Stats:         s.handleStats,
 		Meta:          s.Meta,
 		Observability: s.obsOpts,
+		ReplSnapshot:  s.repl.Snapshot,
+		ReplWAL:       s.repl.WAL,
+		ReplSync:      s.repl.Sync,
+		ReplStatus:    s.repl.Status,
 	}
 	if !s.obsOpts.DisableMetrics {
 		rs.Metrics = s.metrics.ServeHTTP
@@ -543,9 +575,10 @@ func (s *Service) Meta() MetaResponse {
 		Protocol: ProtocolVersion,
 		Backend:  s.Searcher().Kind(),
 		Capabilities: MetaCapabilities{
-			Ingest:  s.ingester != nil,
-			Sharded: false,
-			Trace:   s.obsOpts.Tracer != nil,
+			Ingest:      s.ingester != nil,
+			Sharded:     false,
+			Trace:       s.obsOpts.Tracer != nil,
+			Replication: s.repl.Snapshot != nil,
 		},
 		Build: obs.Build(),
 	}

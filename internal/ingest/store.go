@@ -347,6 +347,48 @@ func (s *Store) IngestStats() fingerprint.IngestStats {
 // Replayed returns how many WAL entries Open restored.
 func (s *Store) Replayed() int { return int(s.replayed) }
 
+// Dim returns the fingerprint dimension of the backing database.
+func (s *Store) Dim() int { return s.db.Dim() }
+
+// Head returns the next sequence number the log will assign — the
+// number of linkages applied so far. A follower at Head() == the
+// source's Head() is fully caught up.
+func (s *Store) Head() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(s.db.Len())
+}
+
+// SnapshotView returns a consistent copy of the database plus the
+// sequence number it covers (its entry count) — the replication
+// snapshot: a follower loading the copy and replaying shipped records
+// from seq onward reconstructs the store exactly. The copy shares
+// immutable fingerprint storage with the live database, so taking it
+// is cheap and the caller can stream it over the network outside any
+// store lock.
+func (s *Store) SnapshotView() (*fingerprint.DB, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := s.db.Snapshot(-1)
+	return snap, uint64(snap.Len())
+}
+
+// ReplCursor opens a WAL cursor at from together with the head
+// sequence observed at the same instant — no append can land between
+// the two reads, so every record in [from, head) that the log still
+// retains is visible through the cursor. The caller must Close the
+// cursor; while it is open, compaction defers segment deletion (see
+// WAL.Truncate).
+func (s *Store) ReplCursor(from uint64) (*Cursor, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, err := s.wal.OpenCursor(from)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cur, uint64(s.db.Len()), nil
+}
+
 // Close waits for any background retrain and closes the WAL. It does
 // not snapshot; an un-snapshotted store simply replays more on the next
 // Open.

@@ -23,6 +23,7 @@
 package ingest
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -161,6 +162,16 @@ type WAL struct {
 	// stop (fail-stop) so the damage stays at the stream's tail, which
 	// replay tolerates.
 	failed bool
+	// cursors counts open replication cursors (OpenCursor). While any
+	// are open, Truncate defers segment unlinking into pending instead
+	// of deleting files a reader still holds mid-stream.
+	cursors int
+	// pending names segments logically deleted by Truncate while a
+	// cursor pinned them; the last cursor Close unlinks them. A crash
+	// before that point leaves the files behind harmlessly: their
+	// records are covered by the snapshot that triggered the Truncate,
+	// so the next restart's idempotent replay skips every one.
+	pending map[int]bool
 }
 
 // OpenWAL opens (creating if needed) the log directory and starts a
@@ -242,10 +253,7 @@ func (w *WAL) openSegment(n int) error {
 		os.Remove(path)
 		return err
 	}
-	hdr := make([]byte, 0, walHeaderLen)
-	hdr = append(hdr, walMagic...)
-	hdr = append(hdr, walVersion)
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(w.dim))
+	hdr := appendWALHeader(make([]byte, 0, walHeaderLen), w.dim)
 	if _, err := f.Write(hdr); err != nil {
 		return fail(fmt.Errorf("ingest: wal: %w", err))
 	}
@@ -292,22 +300,105 @@ func (w *WAL) syncLoop() {
 	}
 }
 
-// appendRecord frames one linkage into w.buf.
-func (w *WAL) appendRecord(seq uint64, l fingerprint.Linkage) {
-	payLen := 4 + 2 + len(l.S) + 32 + 4*w.dim
-	w.buf = binary.LittleEndian.AppendUint64(w.buf, seq)
-	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(payLen))
-	payStart := len(w.buf) + 4 // past the CRC slot
-	w.buf = append(w.buf, 0, 0, 0, 0)
-	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(int32(l.Y)))
-	w.buf = binary.LittleEndian.AppendUint16(w.buf, uint16(len(l.S)))
-	w.buf = append(w.buf, l.S...)
-	w.buf = append(w.buf, l.H[:]...)
+// appendWALHeader frames the CTWL segment header into buf — shared by
+// segment files and the /v1/repl/wal ship stream, which reuses the
+// segment framing byte for byte.
+func appendWALHeader(buf []byte, dim int) []byte {
+	buf = append(buf, walMagic...)
+	buf = append(buf, walVersion)
+	return binary.LittleEndian.AppendUint32(buf, uint32(dim))
+}
+
+// appendWALRecord frames one linkage record into buf — the shared
+// encoder behind WAL.Append and the replication ship stream.
+func appendWALRecord(buf []byte, dim int, seq uint64, l fingerprint.Linkage) []byte {
+	payLen := 4 + 2 + len(l.S) + 32 + 4*dim
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payLen))
+	payStart := len(buf) + 4 // past the CRC slot
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(l.Y)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(l.S)))
+	buf = append(buf, l.S...)
+	buf = append(buf, l.H[:]...)
 	for _, v := range l.F {
-		w.buf = binary.LittleEndian.AppendUint32(w.buf, math.Float32bits(v))
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
 	}
-	crc := crc32.Checksum(w.buf[payStart:], crcTable)
-	binary.LittleEndian.PutUint32(w.buf[payStart-4:payStart], crc)
+	crc := crc32.Checksum(buf[payStart:], crcTable)
+	binary.LittleEndian.PutUint32(buf[payStart-4:payStart], crc)
+	return buf
+}
+
+// errTorn tags a record that ends short or fails its CRC — the
+// signature of a write interrupted mid-record. Whether that is fatal
+// depends on the reader: replay tolerates it only at the stream's
+// tail, a cursor skips to the next segment (the bytes were never
+// acknowledged), and a ship-stream reader treats it as a truncated
+// transfer.
+var errTorn = errors.New("torn record")
+
+// readWALHeader reads and validates a CTWL header, returning the
+// stream's fingerprint dimension.
+func readWALHeader(r io.Reader) (int, error) {
+	hdr := make([]byte, walHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, fmt.Errorf("header: %w: %w", err, ErrCorrupt)
+	}
+	if string(hdr[:4]) != walMagic {
+		return 0, fmt.Errorf("bad magic %q: %w", hdr[:4], ErrCorrupt)
+	}
+	if hdr[4] != walVersion {
+		return 0, fmt.Errorf("unsupported version %d: %w", hdr[4], ErrVersionMismatch)
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr[5:]))
+	if dim <= 0 {
+		return 0, fmt.Errorf("implausible dimension %d: %w", dim, ErrCorrupt)
+	}
+	return dim, nil
+}
+
+// readWALRecord decodes the next record from r. It returns io.EOF at a
+// clean record boundary, an errTorn-tagged error for a short or
+// CRC-failing record, and an ErrCorrupt-tagged error for damage the
+// CRC vouched for (which no torn write can produce). *payload is the
+// caller's reusable scratch buffer.
+func readWALRecord(r io.Reader, dim int, payload *[]byte) (uint64, fingerprint.Linkage, error) {
+	var recHdr [8 + 4 + 4]byte
+	if _, err := io.ReadFull(r, recHdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, fingerprint.Linkage{}, io.EOF
+		}
+		return 0, fingerprint.Linkage{}, fmt.Errorf("record header: %w: %w", err, errTorn)
+	}
+	seq := binary.LittleEndian.Uint64(recHdr[:])
+	payLen := int(binary.LittleEndian.Uint32(recHdr[8:]))
+	crc := binary.LittleEndian.Uint32(recHdr[12:])
+	if payLen < 4+2+32+4*dim || payLen > 4+2+65535+32+4*dim {
+		return 0, fingerprint.Linkage{}, fmt.Errorf("implausible record length %d: %w", payLen, errTorn)
+	}
+	if cap(*payload) < payLen {
+		*payload = make([]byte, payLen)
+	}
+	buf := (*payload)[:payLen]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, fingerprint.Linkage{}, fmt.Errorf("record body: %w: %w", err, errTorn)
+	}
+	if crc32.Checksum(buf, crcTable) != crc {
+		return 0, fingerprint.Linkage{}, fmt.Errorf("record %d CRC mismatch: %w", seq, errTorn)
+	}
+	l := fingerprint.Linkage{Y: int(int32(binary.LittleEndian.Uint32(buf)))}
+	slen := int(binary.LittleEndian.Uint16(buf[4:]))
+	if 4+2+slen+32+4*dim != payLen {
+		return 0, fingerprint.Linkage{}, fmt.Errorf("record %d source length %d inconsistent: %w", seq, slen, ErrCorrupt)
+	}
+	l.S = string(buf[6 : 6+slen])
+	copy(l.H[:], buf[6+slen:6+slen+32])
+	l.F = make(fingerprint.Fingerprint, dim)
+	fb := buf[6+slen+32:]
+	for j := 0; j < dim; j++ {
+		l.F[j] = math.Float32frombits(binary.LittleEndian.Uint32(fb[j*4:]))
+	}
+	return seq, l, nil
 }
 
 // Append logs a batch of linkages, the first at sequence number seq and
@@ -339,7 +430,7 @@ func (w *WAL) AppendCtx(ctx context.Context, seq uint64, ls []fingerprint.Linkag
 		if len(l.F) != w.dim {
 			return fmt.Errorf("%w: wal append: %d dims, log %d", fingerprint.ErrDimMismatch, len(l.F), w.dim)
 		}
-		w.appendRecord(seq+uint64(i), l)
+		w.buf = appendWALRecord(w.buf, w.dim, seq+uint64(i), l)
 	}
 	n, err := w.f.Write(w.buf)
 	if err != nil {
@@ -419,6 +510,8 @@ func (w *WAL) Bytes() int64 {
 }
 
 // Segments counts the live segments on disk — the wal_segments stat.
+// Segments a Truncate has already retired but a cursor still pins are
+// not counted: logically they are gone.
 func (w *WAL) Segments() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -426,13 +519,24 @@ func (w *WAL) Segments() int {
 	if err != nil {
 		return 0
 	}
-	return len(segs)
+	n := 0
+	for _, s := range segs {
+		if !w.pending[s] {
+			n++
+		}
+	}
+	return n
 }
 
-// Truncate deletes every segment and starts a fresh one — the
+// Truncate retires every segment and starts a fresh one — the
 // compaction step after the backing database has been snapshotted, at
 // which point every logged record is covered by the snapshot. Callers
 // must guarantee no concurrent Append (the Store holds its write lock).
+//
+// Segments pinned by an open replication cursor are not unlinked —
+// they move to the pending set and the last cursor's Close deletes
+// them — so compaction racing a follower's WAL fetch cannot yank
+// segment files out from under the reader mid-stream.
 func (w *WAL) Truncate() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -447,9 +551,19 @@ func (w *WAL) Truncate() error {
 		return err
 	}
 	for _, n := range segs {
+		if w.cursors > 0 {
+			if w.pending == nil {
+				w.pending = make(map[int]bool)
+			}
+			w.pending[n] = true
+			continue
+		}
 		if err := os.Remove(segmentPath(w.dir, n)); err != nil {
 			return fmt.Errorf("ingest: wal: %w", err)
 		}
+	}
+	if w.cursors == 0 {
+		w.pending = nil
 	}
 	if w.opts.Sync != SyncNever {
 		if err := syncDir(w.dir); err != nil {
@@ -516,68 +630,27 @@ func replaySegment(path string, dim int, tornOK bool, fn func(uint64, fingerprin
 		return fmt.Errorf("ingest: wal replay: %w", err)
 	}
 	defer f.Close()
-	hdr := make([]byte, walHeaderLen)
-	if _, err := io.ReadFull(f, hdr); err != nil {
-		return fmt.Errorf("ingest: wal replay %s: header: %w: %w", filepath.Base(path), err, ErrCorrupt)
+	br := bufio.NewReaderSize(f, 64<<10)
+	got, err := readWALHeader(br)
+	if err != nil {
+		return fmt.Errorf("ingest: wal replay %s: %w", filepath.Base(path), err)
 	}
-	if string(hdr[:4]) != walMagic {
-		return fmt.Errorf("ingest: wal replay %s: bad magic %q: %w", filepath.Base(path), hdr[:4], ErrCorrupt)
-	}
-	if hdr[4] != walVersion {
-		return fmt.Errorf("ingest: wal replay %s: unsupported version %d: %w", filepath.Base(path), hdr[4], ErrVersionMismatch)
-	}
-	if got := int(binary.LittleEndian.Uint32(hdr[5:])); got != dim {
+	if got != dim {
 		return fmt.Errorf("ingest: wal replay %s: log dim %d, database dim %d: %w", filepath.Base(path), got, dim, ErrCorrupt)
 	}
-	maxPay := 4 + 2 + 65535 + 32 + 4*dim
-	recHdr := make([]byte, 8+4+4)
 	var payload []byte
 	for {
-		if _, err := io.ReadFull(f, recHdr); err != nil {
-			if err == io.EOF {
-				return nil // clean end
-			}
-			if tornOK {
-				return nil // torn record header at the tail
-			}
-			return fmt.Errorf("ingest: wal replay %s: record header: %w: %w", filepath.Base(path), err, ErrCorrupt)
-		}
-		seq := binary.LittleEndian.Uint64(recHdr)
-		payLen := int(binary.LittleEndian.Uint32(recHdr[8:]))
-		crc := binary.LittleEndian.Uint32(recHdr[12:])
-		if payLen < 4+2+32+4*dim || payLen > maxPay {
+		seq, l, err := readWALRecord(br, dim, &payload)
+		switch {
+		case err == io.EOF:
+			return nil // clean end
+		case errors.Is(err, errTorn):
 			if tornOK {
 				return nil
 			}
-			return fmt.Errorf("ingest: wal replay %s: implausible record length %d: %w", filepath.Base(path), payLen, ErrCorrupt)
-		}
-		if cap(payload) < payLen {
-			payload = make([]byte, payLen)
-		}
-		payload = payload[:payLen]
-		if _, err := io.ReadFull(f, payload); err != nil {
-			if tornOK {
-				return nil
-			}
-			return fmt.Errorf("ingest: wal replay %s: record body: %w: %w", filepath.Base(path), err, ErrCorrupt)
-		}
-		if crc32.Checksum(payload, crcTable) != crc {
-			if tornOK {
-				return nil
-			}
-			return fmt.Errorf("ingest: wal replay %s: record %d CRC mismatch: %w", filepath.Base(path), seq, ErrCorrupt)
-		}
-		l := fingerprint.Linkage{Y: int(int32(binary.LittleEndian.Uint32(payload)))}
-		slen := int(binary.LittleEndian.Uint16(payload[4:]))
-		if 4+2+slen+32+4*dim != payLen {
-			return fmt.Errorf("ingest: wal replay %s: record %d source length %d inconsistent: %w", filepath.Base(path), seq, slen, ErrCorrupt)
-		}
-		l.S = string(payload[6 : 6+slen])
-		copy(l.H[:], payload[6+slen:6+slen+32])
-		l.F = make(fingerprint.Fingerprint, dim)
-		fb := payload[6+slen+32:]
-		for j := 0; j < dim; j++ {
-			l.F[j] = math.Float32frombits(binary.LittleEndian.Uint32(fb[j*4:]))
+			return fmt.Errorf("ingest: wal replay %s: %w: %w", filepath.Base(path), err, ErrCorrupt)
+		case err != nil:
+			return fmt.Errorf("ingest: wal replay %s: %w", filepath.Base(path), err)
 		}
 		if err := fn(seq, l); err != nil {
 			return err

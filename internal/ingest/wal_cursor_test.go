@@ -1,0 +1,325 @@
+package ingest
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"testing"
+
+	"caltrain/internal/fingerprint"
+)
+
+// drainCursor reads every record the cursor yields, failing on any
+// error other than a clean io.EOF.
+func drainCursor(t *testing.T, c *Cursor) map[uint64]fingerprint.Linkage {
+	t.Helper()
+	got := map[uint64]fingerprint.Linkage{}
+	for {
+		seq, l, err := c.Next()
+		if err == io.EOF {
+			return got
+		}
+		if err != nil {
+			t.Fatalf("cursor: %v", err)
+		}
+		if _, dup := got[seq]; dup {
+			t.Fatalf("cursor yielded seq %d twice", seq)
+		}
+		got[seq] = l
+	}
+}
+
+// TestCursorFromZero: a cursor over a multi-segment log returns every
+// acknowledged record, including those in the still-active segment.
+func TestCursorFromZero(t *testing.T) {
+	dir := t.TempDir()
+	ls := testLinkages(11, 60, 8)
+	// Small segments force several rotations mid-stream.
+	w, err := OpenWAL(dir, 8, WALOptions{SegmentBytes: 512, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := range ls {
+		if err := w.Append(uint64(i), ls[i:i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := w.OpenCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got := drainCursor(t, c)
+	if len(got) != len(ls) {
+		t.Fatalf("cursor read %d of %d records", len(got), len(ls))
+	}
+	for i, want := range ls {
+		l := got[uint64(i)]
+		if l.Y != want.Y || l.S != want.S || l.H != want.H {
+			t.Fatalf("record %d metadata mismatch", i)
+		}
+		for j := range want.F {
+			if math.Float32bits(l.F[j]) != math.Float32bits(want.F[j]) {
+				t.Fatalf("record %d dim %d: %v vs %v", i, j, l.F[j], want.F[j])
+			}
+		}
+	}
+}
+
+// TestCursorRotationBoundary: a cursor whose from lands exactly on a
+// segment rotation boundary starts at that record, skipping the whole
+// earlier segment.
+func TestCursorRotationBoundary(t *testing.T) {
+	dir := t.TempDir()
+	ls := testLinkages(13, 30, 4)
+	w, err := OpenWAL(dir, 4, WALOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// First 10 records in segment A, force a rotation, rest in segment B.
+	if err := w.Append(0, ls[:10]); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	if err := w.rotateLocked(); err != nil {
+		w.mu.Unlock()
+		t.Fatal(err)
+	}
+	w.mu.Unlock()
+	if err := w.Append(10, ls[10:]); err != nil {
+		t.Fatal(err)
+	}
+
+	// seq 10 is the first record of the post-rotation segment.
+	c, err := w.OpenCursor(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got := drainCursor(t, c)
+	if len(got) != 20 {
+		t.Fatalf("cursor from rotation boundary read %d records, want 20", len(got))
+	}
+	for i := 10; i < 30; i++ {
+		if _, ok := got[uint64(i)]; !ok {
+			t.Fatalf("record %d missing", i)
+		}
+	}
+	if _, ok := got[9]; ok {
+		t.Fatal("cursor yielded a record before its from seq")
+	}
+}
+
+// TestCursorTornTail: a torn record at the tail of a sealed segment
+// ends that segment cleanly — the cursor moves on to the next segment
+// without error, because torn bytes were never acknowledged.
+func TestCursorTornTail(t *testing.T) {
+	dir := t.TempDir()
+	ls := testLinkages(17, 12, 4)
+	w, err := OpenWAL(dir, 4, WALOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, ls[:6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail of the sealed segment: append half a record header.
+	segs, _, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v (%d)", err, len(segs))
+	}
+	f, err := os.OpenFile(segmentPath(dir, segs[0]), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Reopen: OpenWAL starts a fresh active segment after the torn one.
+	w, err = OpenWAL(dir, 4, WALOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(6, ls[6:]); err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.OpenCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got := drainCursor(t, c)
+	if len(got) != 12 {
+		t.Fatalf("cursor across a torn tail read %d records, want 12", len(got))
+	}
+}
+
+// TestCursorPinsTruncatedSegments is the regression test for segment
+// deletion racing an open cursor: Truncate with a cursor open must not
+// unlink the files mid-read. The records stay readable, and the last
+// cursor Close deletes the retired segments.
+func TestCursorPinsTruncatedSegments(t *testing.T) {
+	dir := t.TempDir()
+	ls := testLinkages(19, 40, 4)
+	w, err := OpenWAL(dir, 4, WALOptions{SegmentBytes: 512, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := range ls {
+		if err := w.Append(uint64(i), ls[i:i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := w.OpenCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a few records, then compact underneath the cursor.
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Next(); err != nil {
+			t.Fatalf("pre-truncate read: %v", err)
+		}
+	}
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Segments(); got != 1 {
+		t.Fatalf("after truncate, %d live segments reported, want 1 (the fresh active)", got)
+	}
+	// Every remaining record must still stream back intact.
+	rest := drainCursor(t, c)
+	if len(rest) != len(ls)-3 {
+		t.Fatalf("post-truncate cursor read %d records, want %d", len(rest), len(ls)-3)
+	}
+	// Pinned files are still on disk until the cursor closes...
+	segs, _, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("pinned segments were deleted early: %d files on disk", len(segs))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and gone once it does (only the fresh active remains).
+	segs, _, err = listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("after last cursor close, %d segment files remain, want 1", len(segs))
+	}
+	// New cursors see only the post-truncate world.
+	c2, err := w.OpenCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got := drainCursor(t, c2); len(got) != 0 {
+		t.Fatalf("fresh cursor after truncate read %d records, want 0", len(got))
+	}
+}
+
+// TestCursorIgnoresLaterAppends: records appended after OpenCursor are
+// outside the captured view; the cursor ends at the open-time head.
+func TestCursorIgnoresLaterAppends(t *testing.T) {
+	dir := t.TempDir()
+	ls := testLinkages(23, 20, 4)
+	w, err := OpenWAL(dir, 4, WALOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(0, ls[:10]); err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.OpenCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := w.Append(10, ls[10:]); err != nil {
+		t.Fatal(err)
+	}
+	got := drainCursor(t, c)
+	if len(got) != 10 {
+		t.Fatalf("cursor read %d records, want the 10 acknowledged before open", len(got))
+	}
+}
+
+// TestShipRoundTrip: the ship stream carries records bit-for-bit, and
+// a truncated stream surfaces as ErrCorrupt rather than a silent
+// short read.
+func TestShipRoundTrip(t *testing.T) {
+	ls := testLinkages(29, 8, 4)
+	var buf bytes.Buffer
+	if err := WriteShipHeader(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	var frame []byte
+	for i, l := range ls {
+		var err error
+		frame, err = AppendShipRecord(frame[:0], 4, uint64(i), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	full := append([]byte(nil), buf.Bytes()...)
+
+	sr, err := NewShipReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Dim() != 4 {
+		t.Fatalf("ship dim %d, want 4", sr.Dim())
+	}
+	n := 0
+	for {
+		seq, l, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(n) || l.S != ls[n].S || l.H != ls[n].H {
+			t.Fatalf("record %d mismatch", n)
+		}
+		n++
+	}
+	if n != len(ls) {
+		t.Fatalf("ship stream yielded %d records, want %d", n, len(ls))
+	}
+
+	// A cut stream must error, not end cleanly.
+	sr, err = NewShipReader(bytes.NewReader(full[:len(full)-7]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawErr := false
+	for {
+		_, _, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("truncated ship stream ended cleanly; want an error")
+	}
+}

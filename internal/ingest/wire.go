@@ -1,0 +1,73 @@
+package ingest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"caltrain/internal/fingerprint"
+)
+
+// Ship stream: the body of a GET /v1/repl/wal response is framed
+// exactly like a WAL segment — the CTWL header, then records — so both
+// ends reuse the segment codec and its CRC framing. Unlike a segment
+// on disk, a ship stream has no tolerated torn tail: a short or
+// CRC-failing record means the transfer was cut, and the reader
+// reports it as an error so the follower retries instead of silently
+// under-reading.
+
+// WriteShipHeader starts a ship stream for fingerprints of the given
+// dimension.
+func WriteShipHeader(w io.Writer, dim int) error {
+	if dim <= 0 {
+		return fmt.Errorf("ingest: ship: dimension must be positive, got %d", dim)
+	}
+	_, err := w.Write(appendWALHeader(make([]byte, 0, walHeaderLen), dim))
+	return err
+}
+
+// AppendShipRecord frames one record into buf, returning the extended
+// buffer — callers batch several records per network write.
+func AppendShipRecord(buf []byte, dim int, seq uint64, l fingerprint.Linkage) ([]byte, error) {
+	if len(l.F) != dim {
+		return buf, fmt.Errorf("%w: ship record: %d dims, stream %d", fingerprint.ErrDimMismatch, len(l.F), dim)
+	}
+	return appendWALRecord(buf, dim, seq, l), nil
+}
+
+// ShipReader decodes a ship stream.
+type ShipReader struct {
+	r       *bufio.Reader
+	dim     int
+	payload []byte
+}
+
+// NewShipReader reads and validates the stream header.
+func NewShipReader(r io.Reader) (*ShipReader, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	dim, err := readWALHeader(br)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: ship: %w", err)
+	}
+	return &ShipReader{r: br, dim: dim}, nil
+}
+
+// Dim reports the stream's fingerprint dimension.
+func (s *ShipReader) Dim() int { return s.dim }
+
+// Next returns the next record, or io.EOF at the stream's clean end.
+// A record cut mid-frame is an ErrCorrupt-tagged error: ship streams
+// have no acknowledged-tail exemption.
+func (s *ShipReader) Next() (uint64, fingerprint.Linkage, error) {
+	seq, l, err := readWALRecord(s.r, s.dim, &s.payload)
+	switch {
+	case err == io.EOF:
+		return 0, fingerprint.Linkage{}, io.EOF
+	case errors.Is(err, errTorn):
+		return 0, fingerprint.Linkage{}, fmt.Errorf("ingest: ship: truncated stream: %w: %w", err, ErrCorrupt)
+	case err != nil:
+		return 0, fingerprint.Linkage{}, fmt.Errorf("ingest: ship: %w", err)
+	}
+	return seq, l, nil
+}

@@ -1,0 +1,31 @@
+//go:build arm64 && !noasm
+
+package kernel
+
+// NEON dispatch for the arm64 assembly path. Advanced SIMD (ASIMD) is
+// part of the baseline ARMv8-A profile Go requires on arm64, so unlike
+// the amd64 AVX2 path there is no CPU-feature probe — the path is
+// registered unconditionally. Build with `-tags noasm` to exclude the
+// assembly and force the portable reference.
+
+// Assembly routine (kernel_arm64.s).
+//
+//go:noescape
+func sqDistNEON(q, v *float32, n int) float64
+
+func sqDistAsm(q, v []float32) float64 {
+	if len(q) == 0 {
+		return 0
+	}
+	return sqDistNEON(&q[0], &v[0], len(q))
+}
+
+// registerArch appends the NEON path; called once from the package init
+// before the dispatch default is chosen. The ADC slot points at the
+// portable scan for the same reason as on amd64: table lookups are
+// load-bound and the blocked reference already saturates them; the
+// dispatch slot is where a TBL-based path lands without touching any
+// caller, held to the reference by kerneltest.CheckADC/FuzzADCParity.
+func registerArch() {
+	impls = append(impls, Impl{Name: "neon", SqDist: sqDistAsm, ADCScan: adcScanGeneric})
+}

@@ -1,10 +1,11 @@
-//go:build !amd64 || noasm
+//go:build (!amd64 && !arm64) || noasm
 
 package kernel
 
 // No hardware path on this build: the portable reference registered in
 // kernel.go is the only implementation. The `noasm` tag forces this
-// even on amd64 — CI runs the whole test suite under it so the portable
-// fallback cannot bit-rot on hardware that would auto-select AVX2.
+// even on amd64/arm64 — CI runs the whole test suite under it so the
+// portable fallback cannot bit-rot on hardware that would auto-select
+// a vector path.
 
 func registerArch() {}

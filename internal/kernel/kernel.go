@@ -3,13 +3,17 @@
 // stages (centroid ranking and inverted-list scans), the exact DB
 // reference scan, and Fingerprint.L2Distance all bottom out here.
 //
-// Two implementations exist:
+// Three implementations exist:
 //
 //   - generic: a portable pure-Go blocked scan (always present, and the
-//     only one under `-tags noasm` or on non-amd64 builds).
+//     only one under `-tags noasm` or on architectures without an
+//     assembly path).
 //   - avx2: hand-written Go assembly (kernel_amd64.s) selected by
 //     runtime CPU-feature dispatch on amd64 when the host supports
 //     AVX2+OSXSAVE.
+//   - neon: hand-written Go assembly (kernel_arm64.s) registered
+//     unconditionally on arm64 — ASIMD is baseline ARMv8-A, so no
+//     feature probe is needed.
 //
 // Bit-stability contract. Every implementation MUST produce bitwise
 // identical float64 results for identical inputs, so indexes built,
@@ -50,7 +54,7 @@ import (
 
 // Impl is one registered distance implementation.
 type Impl struct {
-	// Name identifies the implementation: "generic" or "avx2".
+	// Name identifies the implementation: "generic", "avx2", or "neon".
 	Name string
 	// SqDist is the pair kernel: squared L2 distance between two
 	// equal-length float32 vectors, computed per the package's
@@ -81,9 +85,10 @@ func init() {
 }
 
 // Impls returns the registered implementations, the portable reference
-// ("generic") first. On amd64 with AVX2 (and without `-tags noasm`) it
-// also contains "avx2". The differential harness iterates this to
-// cross-check every implementation against the reference.
+// ("generic") first. On amd64 with AVX2 it also contains "avx2", on
+// arm64 "neon" (both excluded under `-tags noasm`). The differential
+// harness iterates this to cross-check every implementation against
+// the reference.
 func Impls() []Impl {
 	out := make([]Impl, len(impls))
 	copy(out, impls)

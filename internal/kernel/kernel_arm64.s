@@ -1,0 +1,109 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// func sqDistNEON(q, v *float32, n int) float64
+//
+// Squared L2 distance between two n-length float32 vectors, computed in
+// float64 per the summation order specified in kernel.go: four 2-lane
+// double accumulators hold the 8 strided partial sums (V16 = {p0,p1},
+// V17 = {p2,p3}, V18 = {p4,p5}, V19 = {p6,p7}), fed 8 elements per
+// iteration, reduced with the fixed tree
+// ((p0+p4)+(p2+p6)) + ((p1+p5)+(p3+p7)), then a sequential scalar tail
+// for n mod 8 elements. Every arithmetic step is a single IEEE-754
+// double rounding (convert, subtract, multiply, add — no FMA/FMLA), and
+// a NaN result is canonicalized to the math.NaN() bit pattern, matching
+// sqDistGeneric bit for bit on every input.
+//
+// The widening converts and the 2-lane double arithmetic are WORD-coded:
+// the Go assembler accepts VLD1/VEOR and the scalar FP forms, but not
+// FCVTL/FCVTL2 or the .2D arithmetic (FADD/FSUB/FMUL on vector doubles).
+// Encodings (ARMv8 A64):
+//
+//	FCVTL  Vd.2D, Vn.2S = 0x0E617800 | n<<5 | d
+//	FCVTL2 Vd.2D, Vn.4S = 0x4E617800 | n<<5 | d
+//	FADD   Vd.2D, Vn.2D, Vm.2D = 0x4E60D400 | m<<16 | n<<5 | d
+//	FSUB   Vd.2D, Vn.2D, Vm.2D = 0x4EE0D400 | m<<16 | n<<5 | d
+//	FMUL   Vd.2D, Vn.2D, Vm.2D = 0x6E60DC00 | m<<16 | n<<5 | d
+TEXT ·sqDistNEON(SB), NOSPLIT, $0-32
+	MOVD q+0(FP), R0
+	MOVD v+8(FP), R1
+	MOVD n+16(FP), R2
+	VEOR V16.B16, V16.B16, V16.B16 // acc {p0,p1}
+	VEOR V17.B16, V17.B16, V17.B16 // acc {p2,p3}
+	VEOR V18.B16, V18.B16, V18.B16 // acc {p4,p5}
+	VEOR V19.B16, V19.B16, V19.B16 // acc {p6,p7}
+	AND  $-8, R2, R3               // R3 = n &^ 7, the blocked prefix
+	MOVD ZR, R4                    // R4 = element index j
+	CBZ  R3, reduce
+
+blocked:
+	VLD1.P 32(R0), [V4.S4, V5.S4] // q[j..j+3], q[j+4..j+7]
+	VLD1.P 32(R1), [V6.S4, V7.S4] // v[j..j+3], v[j+4..j+7]
+
+	// Lanes j, j+1 into V16.
+	WORD $0x0E617880 // FCVTL  V0.2D, V4.2S    2 × float32 -> 2 × float64
+	WORD $0x0E6178C1 // FCVTL  V1.2D, V6.2S
+	WORD $0x4EE1D400 // FSUB   V0.2D, V0.2D, V1.2D   d = q - v
+	WORD $0x6E60DC00 // FMUL   V0.2D, V0.2D, V0.2D   d*d
+	WORD $0x4E60D610 // FADD   V16.2D, V16.2D, V0.2D p[k] += d*d
+
+	// Lanes j+2, j+3 into V17.
+	WORD $0x4E617881 // FCVTL2 V1.2D, V4.4S
+	WORD $0x4E6178C2 // FCVTL2 V2.2D, V6.4S
+	WORD $0x4EE2D421 // FSUB   V1.2D, V1.2D, V2.2D
+	WORD $0x6E61DC21 // FMUL   V1.2D, V1.2D, V1.2D
+	WORD $0x4E61D631 // FADD   V17.2D, V17.2D, V1.2D
+
+	// Lanes j+4, j+5 into V18.
+	WORD $0x0E6178A0 // FCVTL  V0.2D, V5.2S
+	WORD $0x0E6178E1 // FCVTL  V1.2D, V7.2S
+	WORD $0x4EE1D400 // FSUB   V0.2D, V0.2D, V1.2D
+	WORD $0x6E60DC00 // FMUL   V0.2D, V0.2D, V0.2D
+	WORD $0x4E60D652 // FADD   V18.2D, V18.2D, V0.2D
+
+	// Lanes j+6, j+7 into V19.
+	WORD $0x4E6178A1 // FCVTL2 V1.2D, V5.4S
+	WORD $0x4E6178E2 // FCVTL2 V2.2D, V7.4S
+	WORD $0x4EE2D421 // FSUB   V1.2D, V1.2D, V2.2D
+	WORD $0x6E61DC21 // FMUL   V1.2D, V1.2D, V1.2D
+	WORD $0x4E61D673 // FADD   V19.2D, V19.2D, V1.2D
+
+	ADD $8, R4
+	CMP R3, R4
+	BLT blocked
+
+reduce:
+	// s = ((p0+p4)+(p2+p6)) + ((p1+p5)+(p3+p7))
+	WORD $0x4E72D614 // FADD V20.2D, V16.2D, V18.2D  {p0+p4, p1+p5}
+	WORD $0x4E73D635 // FADD V21.2D, V17.2D, V19.2D  {p2+p6, p3+p7}
+	WORD $0x4E75D694 // FADD V20.2D, V20.2D, V21.2D  {lane sums}
+	VMOV  V20.D[0], R5
+	FMOVD R5, F0
+	VMOV  V20.D[1], R6
+	FMOVD R6, F1
+	FADDD F1, F0, F0 // s in F0
+
+tail:
+	CMP R2, R4
+	BGE done
+	FMOVS  (R0), F2
+	FMOVS  (R1), F3
+	FCVTSD F2, F2 // float32 -> float64
+	FCVTSD F3, F3
+	FSUBD  F3, F2, F2
+	FMULD  F2, F2, F2
+	FADDD  F2, F0, F0
+	ADD    $4, R0
+	ADD    $4, R1
+	ADD    $1, R4
+	B      tail
+
+done:
+	FCMPD F0, F0 // unordered (V set) iff s is NaN
+	BVC   store
+	MOVD  $0x7FF8000000000001, R5
+	FMOVD R5, F0 // canonical math.NaN() bits
+store:
+	FMOVD F0, ret+24(FP)
+	RET

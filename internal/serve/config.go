@@ -47,6 +47,71 @@ type Config struct {
 	// Observability tunes metrics, request logging, and the debug
 	// listener; see ObsFileConfig.
 	Observability *ObsFileConfig `json:"observability,omitempty"`
+	// Replication enables the self-healing sync state machine on a
+	// single-service WAL deployment; see ReplicationFileConfig.
+	Replication *ReplicationFileConfig `json:"replication,omitempty"`
+	// Topology is the routed-topology block consumed by caltrain-router
+	// -deployment; it conflicts with every daemon-shape field. See
+	// TopologyConfig.
+	Topology *TopologyConfig `json:"topology,omitempty"`
+}
+
+// ReplicationFileConfig is the replication block of a daemon config:
+//
+//	"replication": {"peer": "replica-a:8791"}
+//
+// It requires a wal block (the WAL is the replication transport) and a
+// single-service shape. With a peer, the daemon syncs from it at
+// startup (snapshot bootstrap or WAL catchup) before accepting external
+// writes; without one, the daemon only serves the /v1/repl/* source
+// endpoints and syncs when a repair nudge names a peer.
+type ReplicationFileConfig struct {
+	// Peer is the sync source base URL — normally another replica of the
+	// same shard. Empty means source-only until nudged.
+	Peer string `json:"peer,omitempty"`
+}
+
+// TopologyConfig is the routed-topology block of a deployment config —
+// the caltrain-router shape, where the shards live in other processes:
+//
+//	"topology": {
+//	  "map": "shards/shardmap.ctsm",
+//	  "shards": {"0": ["replica-a:9000", "replica-b:9000"], "1": ["replica-c:9001"]},
+//	  "write_quorum": 1,
+//	  "repair": {"after": "15s"}
+//	}
+type TopologyConfig struct {
+	// Map is the shard map file written by caltrain-shard (required).
+	Map string `json:"map"`
+	// Shards maps shard ID → replica base URLs in preference order; a
+	// bare host:port defaults to http. Every shard in the map must be
+	// listed (required).
+	Shards map[string][]string `json:"shards"`
+	// WriteQuorum is how many replicas of a shard must acknowledge an
+	// ingest batch (0 = majority).
+	WriteQuorum int `json:"write_quorum,omitempty"`
+	// Timeout bounds each shard call; Cooldown is the base cooldown for
+	// a failed replica. Zero keeps the router defaults.
+	Timeout  Duration `json:"timeout,omitempty"`
+	Cooldown Duration `json:"cooldown,omitempty"`
+	// ResponseCache keeps up to N hot single-query responses at the
+	// router (0 = off).
+	ResponseCache int `json:"response_cache,omitempty"`
+	// Repair enables the anti-entropy repair loop; see RepairFileConfig.
+	Repair *RepairFileConfig `json:"repair,omitempty"`
+}
+
+// RepairFileConfig is the repair block of a topology config: presence
+// enables the router's anti-entropy loop (degraded replicas are driven
+// through a /v1/repl/sync resync and readmitted). Zero fields keep the
+// shard.Default* repair values.
+type RepairFileConfig struct {
+	// After is the degradation streak that triggers a repair.
+	After Duration `json:"after,omitempty"`
+	// Interval is the health scan period.
+	Interval Duration `json:"interval,omitempty"`
+	// SyncTimeout bounds one repair attempt end to end.
+	SyncTimeout Duration `json:"sync_timeout,omitempty"`
 }
 
 // BackendConfig names and tunes the index backend in a Config. Kind is
@@ -236,6 +301,9 @@ func LoadConfig(path string) (Config, error) {
 // Deployment translates the config into the Deployment it declares,
 // validating every field (backend kind, fsync policy, latency bounds).
 func (c Config) Deployment() (Deployment, error) {
+	if c.Topology != nil {
+		return Deployment{}, fmt.Errorf("serve: topology is the router's block (caltrain-router -deployment); a daemon config declares backend/wal/replication")
+	}
 	kind := c.Backend.Kind
 	if kind == "" {
 		kind = "flat"
@@ -318,6 +386,15 @@ func (c Config) Deployment() (Deployment, error) {
 			store.DriftThreshold = *c.WAL.DriftThreshold
 		}
 		dep.WAL = &WALConfig{Dir: c.WAL.Dir, Store: store}
+	}
+	if c.Replication != nil {
+		if dep.WAL == nil {
+			return Deployment{}, fmt.Errorf("serve: replication requires a wal block — the WAL is the replication transport")
+		}
+		if c.Shards > 1 {
+			return Deployment{}, fmt.Errorf("serve: replication applies to a single-service daemon; in a routed topology each shard process carries its own replication block")
+		}
+		dep.Replication = &ReplicationConfig{Peer: c.Replication.Peer}
 	}
 	return dep, nil
 }

@@ -6,9 +6,11 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"time"
 
+	"caltrain/internal/cluster"
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/ingest"
 	"caltrain/internal/obs"
@@ -154,6 +156,22 @@ type Deployment struct {
 	// listener on whichever handler the deployment builds; nil keeps
 	// the defaults (metrics on, logging off, no debug listener).
 	Observability *ObservabilityConfig
+	// Replication runs the self-healing sync state machine on a
+	// single-service WAL deployment: the daemon serves the /v1/repl/*
+	// endpoints (snapshot + WAL shipping for followers, sync nudge +
+	// status), and — when a peer is configured or nudged — bootstraps or
+	// repairs itself from that peer before accepting external writes.
+	// Requires WAL; see ReplicationConfig.
+	Replication *ReplicationConfig
+}
+
+// ReplicationConfig enables replication on a single-service deployment
+// (file form: the replication block of a Config).
+type ReplicationConfig struct {
+	// Peer is the sync source base URL — normally another replica of
+	// the same shard. Empty means source-only: the daemon starts live
+	// and syncs only when a repair nudge names a peer.
+	Peer string
 }
 
 // Server is a built Deployment: the handle through which a process
@@ -164,6 +182,7 @@ type Server struct {
 	svc     *fingerprint.Service
 	router  *shard.Router
 	stores  []*ingest.Store
+	syncer  *cluster.Syncer
 	tracer  *obs.Tracer
 }
 
@@ -178,29 +197,64 @@ func (s *Server) Service() *fingerprint.Service { return s.svc }
 func (s *Server) Router() *shard.Router { return s.router }
 
 // Stores returns every durable write path the build opened (one per
-// shard replica), empty without a WAL. Keep them to Snapshot.
-func (s *Server) Stores() []*ingest.Store { return s.stores }
+// shard replica), empty without a WAL. Keep them to Snapshot. Under
+// replication the store can be swapped by a full resync, so ask each
+// time instead of caching the slice.
+func (s *Server) Stores() []*ingest.Store {
+	if s.syncer != nil {
+		if st := s.syncer.Store(); st != nil {
+			return []*ingest.Store{st}
+		}
+		return nil
+	}
+	return s.stores
+}
 
 // Store returns the single-service build's durable write path, nil
-// without a WAL (use Stores for sharded builds).
+// without a WAL (use Stores for sharded builds). Under replication
+// this is the syncer's CURRENT store — a full resync replaces it, so
+// snapshot paths must call Store at use time, not once at startup.
 func (s *Server) Store() *ingest.Store {
+	if s.syncer != nil {
+		return s.syncer.Store()
+	}
 	if len(s.stores) == 0 {
 		return nil
 	}
 	return s.stores[0]
 }
 
+// Syncer returns the replication state machine, nil unless the
+// deployment declared Replication.
+func (s *Server) Syncer() *cluster.Syncer { return s.syncer }
+
 // Tracer returns the deployment-wide tracer the built handlers share.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // TraceStore returns the trace retention store behind the deployment's
 // tracer — what ListenDebug mounts as /v1/debug/traces. Nil when
-// retention is disabled.
-func (s *Server) TraceStore() *obs.TraceStore { return s.tracer.Store() }
+// retention is disabled or the server was wired without a tracer
+// (NewRouter, where the tracer lives in the router options).
+func (s *Server) TraceStore() *obs.TraceStore {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.Store()
+}
 
 // Serve runs the deployment on l until ctx is cancelled, then drains
-// in-flight requests for up to grace.
+// in-flight requests for up to grace. A replication-enabled build also
+// runs its startup sync loop here, and a router built with
+// shard.WithRepair its anti-entropy repair loop — both stop with ctx.
 func (s *Server) Serve(ctx context.Context, l net.Listener, grace time.Duration) error {
+	bg, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if s.syncer != nil {
+		go s.syncer.Run(bg)
+	}
+	if s.router != nil {
+		go s.router.RunRepairLoop(bg)
+	}
 	return fingerprint.ServeHandler(ctx, l, s.handler, grace)
 }
 
@@ -208,6 +262,11 @@ func (s *Server) Serve(ctx context.Context, l net.Listener, grace time.Duration)
 // background retrains). It does not snapshot; call Store Snapshot
 // first when compaction on shutdown is wanted.
 func (s *Server) Close() error {
+	if s.syncer != nil {
+		// The syncer owns the current store (a full resync may have
+		// replaced the one opened at startup).
+		return s.syncer.Close()
+	}
 	var firstErr error
 	for _, st := range s.stores {
 		if err := st.Close(); err != nil && firstErr == nil {
@@ -231,7 +290,12 @@ func (d Deployment) Build(db *fingerprint.DB) (*Server, error) {
 
 // buildSingle assembles the one-daemon shape: spec-built backend, query
 // service with limits, and whichever write path the config asks for.
+// The handler is built last — replication mounts the /v1/repl/* routes
+// on the service first.
 func (d Deployment) buildSingle(db *fingerprint.DB, spec BackendSpec) (*Server, error) {
+	if d.Replication != nil && d.WAL == nil {
+		return nil, fmt.Errorf("serve: replication requires a WAL — the WAL is the replication transport")
+	}
 	searcher, err := spec.Build(db)
 	if err != nil {
 		return nil, err
@@ -240,15 +304,37 @@ func (d Deployment) buildSingle(db *fingerprint.DB, spec BackendSpec) (*Server, 
 	sopts := append(append([]fingerprint.ServiceOption{}, d.Limits...),
 		fingerprint.WithObservability(d.Observability.options("serve", tracer)))
 	svc := fingerprint.NewSearcherService(searcher, sopts...)
-	srv := &Server{svc: svc, handler: svc.Handler(), tracer: tracer}
+	srv := &Server{svc: svc, tracer: tracer}
 	switch {
 	case d.WAL != nil:
 		store, err := d.openStore(d.WAL.Dir, db, searcher, spec, svc)
 		if err != nil {
 			return nil, err
 		}
-		svc.SetIngester(store)
-		srv.stores = []*ingest.Store{store}
+		if d.Replication != nil {
+			sync, err := d.newSyncer(svc, spec)
+			if err != nil {
+				store.Close()
+				return nil, err
+			}
+			// The syncer is the service's long-lived Ingester: external
+			// writes flow through it into the current store, and reject
+			// with 503 while a sync run rewrites history underneath.
+			sync.AttachStore(store)
+			svc.SetIngester(sync)
+			src := cluster.NewSource(sync.Store)
+			svc.SetReplRoutes(fingerprint.ReplRoutes{
+				Snapshot: src.HandleSnapshot,
+				WAL:      src.HandleWAL,
+				Sync:     sync.HandleSync,
+				Status:   sync.HandleStatus,
+			})
+			svc.MustRegisterMetrics(sync.MetricFamilies()...)
+			srv.syncer = sync
+		} else {
+			svc.SetIngester(store)
+			srv.stores = []*ingest.Store{store}
+		}
 	case d.VolatileWrites:
 		ing, err := newVolatileIngester(db, searcher)
 		if err != nil {
@@ -256,7 +342,35 @@ func (d Deployment) buildSingle(db *fingerprint.DB, spec BackendSpec) (*Server, 
 		}
 		svc.SetIngester(ing)
 	}
+	srv.handler = svc.Handler()
 	return srv, nil
+}
+
+// newSyncer wires the replication state machine for a single-service
+// build: Build trains a serving backend from a fetched snapshot with
+// the deployment's spec, Reopen is the full-resync handoff (wipe the
+// local WAL, open a fresh store with the same Swapper/Rebuild plumbing
+// the startup store had).
+func (d Deployment) newSyncer(svc *fingerprint.Service, spec BackendSpec) (*cluster.Syncer, error) {
+	dir := d.WAL.Dir
+	logger := slog.Default()
+	if d.Observability != nil && d.Observability.Logger != nil {
+		logger = d.Observability.Logger
+	}
+	return cluster.NewSyncer(cluster.Options{
+		Peer:    d.Replication.Peer,
+		Service: svc,
+		Build: func(ndb *fingerprint.DB) (fingerprint.Searcher, error) {
+			return BuildShardBackend(spec, ndb)
+		},
+		Reopen: func(ndb *fingerprint.DB, sr fingerprint.Searcher) (*ingest.Store, error) {
+			if err := os.RemoveAll(dir); err != nil {
+				return nil, err
+			}
+			return d.openStore(dir, ndb, sr, spec, svc)
+		},
+		Logf: func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
+	})
 }
 
 // buildSharded assembles the in-process sharded shape: the database is
@@ -267,6 +381,9 @@ func (d Deployment) buildSingle(db *fingerprint.DB, spec BackendSpec) (*Server, 
 func (d Deployment) buildSharded(db *fingerprint.DB, spec BackendSpec) (*Server, error) {
 	if _, ok := spec.(PrebuiltSpec); ok {
 		return nil, fmt.Errorf("serve: a prebuilt backend covers the whole database and cannot be sharded")
+	}
+	if d.Replication != nil {
+		return nil, fmt.Errorf("serve: replication applies to a single-service daemon; in a routed topology each shard process carries its own replication config")
 	}
 	m, err := shard.NewHashMap(d.Shards)
 	if err != nil {

@@ -1,0 +1,219 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"caltrain/internal/fingerprint"
+)
+
+// fakeSyncReplica is a SyncableReplica double: it records nudges and
+// walks its reported state to live after a configurable number of
+// status polls.
+type fakeSyncReplica struct {
+	addr string
+
+	mu         sync.Mutex
+	nudgedPeer []string
+	polls      int
+	livePolls  int // polls before reporting live; 0 = immediately
+	syncs      uint64
+	inRun      bool
+	nudgeErr   error
+	failWith   string // non-empty: report a failed run (cold + last_error)
+}
+
+func (f *fakeSyncReplica) Addr() string                  { return f.addr }
+func (f *fakeSyncReplica) Healthz(context.Context) error { return nil }
+func (f *fakeSyncReplica) QueryBatch(context.Context, []fingerprint.QueryRequest) (*fingerprint.BatchResponse, error) {
+	return &fingerprint.BatchResponse{}, nil
+}
+func (f *fakeSyncReplica) Stats(context.Context) (*fingerprint.StatsResponse, error) {
+	return &fingerprint.StatsResponse{}, nil
+}
+
+func (f *fakeSyncReplica) SyncFrom(_ context.Context, peer string) (*fingerprint.ReplStatus, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.nudgeErr != nil {
+		return nil, f.nudgeErr
+	}
+	f.nudgedPeer = append(f.nudgedPeer, peer)
+	f.polls = 0
+	f.inRun = true
+	return &fingerprint.ReplStatus{State: "catchup", Peer: peer, Syncs: f.syncs}, nil
+}
+
+func (f *fakeSyncReplica) SyncStatus(context.Context) (*fingerprint.ReplStatus, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failWith != "" {
+		return &fingerprint.ReplStatus{State: "cold", LastError: f.failWith}, nil
+	}
+	f.polls++
+	if f.polls > f.livePolls {
+		if f.inRun {
+			f.inRun = false
+			f.syncs++ // the nudged run completed
+		}
+		return &fingerprint.ReplStatus{State: "live", Syncs: f.syncs}, nil
+	}
+	return &fingerprint.ReplStatus{State: "catchup", Syncs: f.syncs}, nil
+}
+
+func (f *fakeSyncReplica) nudges() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.nudgedPeer...)
+}
+
+func repairTestRouter(t *testing.T, reps []Replica) *Router {
+	t.Helper()
+	rt, err := NewRouter(mustHashMap(t, 1), [][]Replica{reps}, WithRepair(RepairOptions{
+		After:       50 * time.Millisecond,
+		Interval:    10 * time.Millisecond,
+		Poll:        5 * time.Millisecond,
+		SyncTimeout: 5 * time.Second,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// degrade backdates a failure streak so the replica qualifies for
+// repair immediately.
+func degrade(s *replicaState, age time.Duration) {
+	s.markDown(time.Now().Add(-age), time.Millisecond)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRepairLoopResyncsDegradedReplica: a replica degraded past the
+// threshold gets nudged to sync from the shard's healthy peer, and is
+// readmitted (streak cleared) once its state machine reports live.
+func TestRepairLoopResyncsDegradedReplica(t *testing.T) {
+	healthy := &fakeSyncReplica{addr: "http://peer-a"}
+	broken := &fakeSyncReplica{addr: "http://replica-b", livePolls: 3, syncs: 4}
+	rt := repairTestRouter(t, []Replica{healthy, broken})
+	degrade(rt.shards[0][1], time.Second)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rt.RunRepairLoop(ctx)
+
+	waitFor(t, "repair success", func() bool { return rt.repair.succeeded.Load() == 1 })
+	nudges := broken.nudges()
+	if len(nudges) != 1 || nudges[0] != "http://peer-a" {
+		t.Fatalf("nudges = %v, want one naming the healthy peer", nudges)
+	}
+	if got := rt.shards[0][1].degradedFor(rt.now()); got != 0 {
+		t.Fatalf("repaired replica still carries a %v degradation streak", got)
+	}
+	if healthy.nudges() != nil {
+		t.Fatalf("healthy peer was nudged: %v", healthy.nudges())
+	}
+	st := rt.repair.stats()
+	if st.Attempts != 1 || st.Failed != 0 || st.LastReplica != "http://replica-b" || st.LastPeer != "http://peer-a" {
+		t.Fatalf("repair stats %+v", st)
+	}
+	// The in-flight gauge must return to zero once the attempt finishes —
+	// a leak here reads as a repair stuck forever in /stats.
+	waitFor(t, "in-flight gauge drain", func() bool { return rt.repair.inFlight.Load() == 0 })
+}
+
+// TestRepairLoopFailureBacksOff: a replica whose nudge fails is counted
+// failed and not retried before the backoff expires.
+func TestRepairLoopFailureBacksOff(t *testing.T) {
+	healthy := &fakeSyncReplica{addr: "http://peer-a"}
+	broken := &fakeSyncReplica{addr: "http://replica-b", nudgeErr: errors.New("connection refused")}
+	// After doubles as the retry backoff: make it long relative to the
+	// observation window below so a second attempt cannot sneak in.
+	rt, err := NewRouter(mustHashMap(t, 1), [][]Replica{{healthy, broken}}, WithRepair(RepairOptions{
+		After:       time.Second,
+		Interval:    10 * time.Millisecond,
+		Poll:        5 * time.Millisecond,
+		SyncTimeout: 5 * time.Second,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	degrade(rt.shards[0][1], 2*time.Second)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rt.RunRepairLoop(ctx)
+
+	waitFor(t, "repair failure", func() bool { return rt.repair.failed.Load() >= 1 })
+	// Give the scan several more ticks: the backoff must hold attempts
+	// at one despite the replica still being degraded.
+	time.Sleep(100 * time.Millisecond)
+	if got := rt.repair.attempts.Load(); got != 1 {
+		t.Fatalf("attempts after failure = %d, want 1 (backoff)", got)
+	}
+	st := rt.repair.stats()
+	if st.LastError == "" {
+		t.Fatal("failed repair left no last_error in stats")
+	}
+	if rt.shards[0][1].inRepair() {
+		t.Fatal("failed repair left the replica claimed")
+	}
+}
+
+// TestRepairLoopFailedRunReported: a nudge that lands but whose sync
+// run fails server-side (status: cold + last_error) is a failed repair.
+func TestRepairLoopFailedRunReported(t *testing.T) {
+	healthy := &fakeSyncReplica{addr: "http://peer-a"}
+	broken := &fakeSyncReplica{addr: "http://replica-b", failWith: "wal gap"}
+	rt := repairTestRouter(t, []Replica{healthy, broken})
+	degrade(rt.shards[0][1], time.Second)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rt.RunRepairLoop(ctx)
+
+	waitFor(t, "repair failure", func() bool { return rt.repair.failed.Load() >= 1 })
+	if st := rt.repair.stats(); st.Succeeded != 0 || st.LastError == "" {
+		t.Fatalf("repair stats %+v, want a recorded server-side failure", st)
+	}
+}
+
+// TestRepairLoopSkipsUnsupportedReplicas: degraded replicas without the
+// sync extension, and degraded replicas with no healthy syncable peer,
+// are left alone.
+func TestRepairLoopSkipsUnsupportedReplicas(t *testing.T) {
+	db, err := fingerprint.NewDB(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := NewLocalReplica("local-a", fingerprint.NewSearcherService(db))
+	broken := &fakeSyncReplica{addr: "http://replica-b"}
+	rt := repairTestRouter(t, []Replica{plain, broken})
+	// Both degraded: the plain replica is not syncable; the syncable one
+	// has no healthy *syncable* peer to source from.
+	degrade(rt.shards[0][0], time.Second)
+	degrade(rt.shards[0][1], time.Second)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rt.RunRepairLoop(ctx)
+	time.Sleep(100 * time.Millisecond)
+	if got := rt.repair.attempts.Load(); got != 0 {
+		t.Fatalf("attempts = %d, want 0 (no viable repair)", got)
+	}
+	if got := broken.nudges(); got != nil {
+		t.Fatalf("replica without a healthy syncable peer was nudged: %v", got)
+	}
+}

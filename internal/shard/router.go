@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"caltrain/internal/cluster"
 	"caltrain/internal/fingerprint"
 	"caltrain/internal/obs"
 )
@@ -43,6 +44,21 @@ type IngestReplica interface {
 	Replica
 	// Ingest durably applies a batch of new linkages on the replica.
 	Ingest(ctx context.Context, entries []fingerprint.IngestEntry) (*fingerprint.IngestResponse, error)
+}
+
+// SyncableReplica is the optional repair extension of Replica: a
+// replica whose daemon runs the internal/cluster sync state machine.
+// The router's anti-entropy repair loop drives such replicas back to
+// consistency after a degradation; replicas without the extension (or
+// whose daemons answer 404 — replication not enabled) are left to the
+// write fan-out's best effort.
+type SyncableReplica interface {
+	Replica
+	// SyncFrom nudges the replica to resync from peer (a base URL; empty
+	// keeps the replica's configured source).
+	SyncFrom(ctx context.Context, peer string) (*fingerprint.ReplStatus, error)
+	// SyncStatus reports the replica's sync state machine.
+	SyncStatus(ctx context.Context) (*fingerprint.ReplStatus, error)
 }
 
 // HTTPReplica reaches a shard daemon (caltrain-serve) over HTTP using
@@ -107,6 +123,17 @@ func (r *HTTPReplica) Healthz(ctx context.Context) error {
 		return err
 	}
 	return r.do(req, &struct{}{})
+}
+
+// SyncFrom POSTs a /v1/repl/sync nudge to the daemon, telling its sync
+// state machine to resync from peer.
+func (r *HTTPReplica) SyncFrom(ctx context.Context, peer string) (*fingerprint.ReplStatus, error) {
+	return cluster.SyncNudge(ctx, r.client, r.base, peer)
+}
+
+// SyncStatus fetches the daemon's /v1/repl/status.
+func (r *HTTPReplica) SyncStatus(ctx context.Context) (*fingerprint.ReplStatus, error) {
+	return cluster.SyncStatus(ctx, r.client, r.base)
 }
 
 // Stats fetches the daemon's /stats counters.
@@ -244,6 +271,15 @@ type replicaState struct {
 	// after which the replica is probed again.
 	fails     int
 	downUntil time.Time
+	// downSince marks when the current failure streak began (zero while
+	// the streak is clear). It survives cooldown expiry — a flapping
+	// replica keeps its streak clock — and only a genuine success resets
+	// it, so the repair loop's "degraded past the threshold" test sees
+	// sustained trouble, not one blip.
+	downSince time.Time
+	// repairing marks an anti-entropy repair in flight so the scan loop
+	// never starts a second one against the same replica.
+	repairing bool
 }
 
 func (s *replicaState) healthy(now time.Time) bool {
@@ -256,17 +292,56 @@ func (s *replicaState) markUp() {
 	s.mu.Lock()
 	s.fails = 0
 	s.downUntil = time.Time{}
+	s.downSince = time.Time{}
 	s.mu.Unlock()
 }
 
 func (s *replicaState) markDown(now time.Time, base time.Duration) {
 	s.mu.Lock()
 	s.fails++
+	if s.downSince.IsZero() {
+		s.downSince = now
+	}
 	// Exponential cooldown, capped at 32× the base, so a dead replica
 	// costs at most one probe per window instead of one per batch.
 	backoff := base << min(s.fails-1, 5)
 	s.downUntil = now.Add(backoff)
 	s.mu.Unlock()
+}
+
+// degradedFor reports how long the replica's current failure streak has
+// run, zero when it has none.
+func (s *replicaState) degradedFor(now time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.downSince.IsZero() {
+		return 0
+	}
+	return now.Sub(s.downSince)
+}
+
+// beginRepair claims the replica for one repair attempt; false when one
+// is already in flight.
+func (s *replicaState) beginRepair() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.repairing {
+		return false
+	}
+	s.repairing = true
+	return true
+}
+
+func (s *replicaState) endRepair() {
+	s.mu.Lock()
+	s.repairing = false
+	s.mu.Unlock()
+}
+
+func (s *replicaState) inRepair() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repairing
 }
 
 // Router limits and defaults.
@@ -316,6 +391,11 @@ type Router struct {
 	// built in NewRouter once the shard count is known.
 	cacheSize int
 	cache     *responseCache
+
+	// repairCfg != nil enables the anti-entropy repair loop; repair is
+	// built in NewRouter and started by Serve (or RunRepairLoop).
+	repairCfg *RepairOptions
+	repair    *repairer
 
 	errCodes *obs.CounterVec
 	metrics  *obs.Registry
@@ -448,6 +528,9 @@ func NewRouter(m *Map, replicas [][]Replica, opts ...RouterOption) (*Router, err
 	if r.cacheSize > 0 {
 		r.cache = newResponseCache(r.cacheSize, len(r.shards))
 	}
+	if r.repairCfg != nil {
+		r.repair = newRepairer(r, *r.repairCfg)
+	}
 	r.errCodes = obs.NewCounterVec("caltrain_request_errors_total",
 		"Error envelopes written, labeled by stable wire-protocol code.", "code")
 	r.metrics = r.buildMetrics()
@@ -533,6 +616,9 @@ func (r *Router) buildMetrics() *obs.Registry {
 				return fingerprint.PromHistogram(sc.merged, sc.sumUS, sc.hasSum)
 			}),
 	)
+	if r.repair != nil {
+		reg.MustRegister(r.repair.metricFamilies()...)
+	}
 	if r.cache != nil {
 		reg.MustRegister(
 			obs.CounterFunc("caltrain_router_cache_hits_total",
@@ -753,9 +839,25 @@ func (r *Router) Meta() fingerprint.MetaResponse {
 }
 
 // Serve runs the router on l until ctx is cancelled, then drains
-// in-flight requests for up to grace, exactly like Service.Serve.
+// in-flight requests for up to grace, exactly like Service.Serve. When
+// WithRepair is configured the anti-entropy repair loop runs alongside
+// serving and stops with it.
 func (r *Router) Serve(ctx context.Context, l net.Listener, grace time.Duration) error {
+	if r.repair != nil {
+		rctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		go r.repair.run(rctx)
+	}
 	return fingerprint.ServeHandler(ctx, l, r.Handler(), grace)
+}
+
+// RunRepairLoop runs the anti-entropy repair loop until ctx is
+// cancelled, for deployments that serve the router through Handler()
+// rather than Serve. No-op without WithRepair.
+func (r *Router) RunRepairLoop(ctx context.Context) {
+	if r.repair != nil {
+		r.repair.run(ctx)
+	}
 }
 
 func (r *Router) fail(w http.ResponseWriter, status int, code, format string, args ...any) {
@@ -1135,6 +1237,9 @@ type StatsResponse struct {
 	Shards            []ShardStats               `json:"shards"`
 	ShardLatencyUS    []fingerprint.HistogramBin `json:"shard_latency_us,omitempty"`
 	UnreachableShards []string                   `json:"unreachable_shards,omitempty"`
+	// Repair reports the anti-entropy repair loop, present only when
+	// WithRepair is configured.
+	Repair *RepairStats `json:"repair,omitempty"`
 }
 
 // shardStatsResult is one shard's answer to a stats fan-out: its stats
@@ -1225,6 +1330,10 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	}
 	if len(shardBins) > 0 {
 		out.ShardLatencyUS = fingerprint.MergeBins(shardBins...)
+	}
+	if r.repair != nil {
+		st := r.repair.stats()
+		out.Repair = &st
 	}
 	sort.Strings(out.UnreachableShards)
 	writeJSON(w, out)
